@@ -1,0 +1,466 @@
+// Command csmaterials is a CLI over the CS Materials reproduction: list
+// the dataset's courses, inspect a course's classification, search
+// materials, run the agreement and factorization analyses, and produce
+// PDC anchor-point recommendations.
+//
+// Usage:
+//
+//	csmaterials courses
+//	csmaterials show   -course ID
+//	csmaterials search -tags T1,T2 [-prefix P] [-author A] [-language L] [-limit N]
+//	csmaterials agree  -group CS1|DS|PDC [-threshold K]
+//	csmaterials types  -group all|CS1|DS [-k K]
+//	csmaterials anchors [-course ID]
+//	csmaterials export -file PATH
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"csmaterials/internal/agreement"
+	"csmaterials/internal/anchor"
+	"csmaterials/internal/audit"
+	"csmaterials/internal/catalog"
+	"csmaterials/internal/cluster"
+	"csmaterials/internal/core"
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/factorize"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+	"csmaterials/internal/search"
+	"csmaterials/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "courses":
+		err = cmdCourses()
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "agree":
+		err = cmdAgree(os.Args[2:])
+	case "types":
+		err = cmdTypes(os.Args[2:])
+	case "anchors":
+		err = cmdAnchors(os.Args[2:])
+	case "audit":
+		err = cmdAudit(os.Args[2:])
+	case "pdcmaterials":
+		err = cmdPDCMaterials(os.Args[2:])
+	case "align":
+		err = cmdAlign(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csmaterials: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: csmaterials <command> [flags]
+
+commands:
+  courses            list the 20 dataset courses (Figure 1)
+  show    -course ID print a course's materials and curriculum coverage
+  search  -tags ...  search materials by curriculum tags and facets
+  agree   -group G   tag-agreement analysis for a course group (Figures 3/4/6/8)
+  types   -group G   NNMF course-type analysis (Figures 2/5/7)
+  anchors [-course]  PDC anchor-point recommendations (§5.2)
+  audit   -course ID CS2013 tier-coverage audit and PDC readiness
+  pdcmaterials -course ID  recommend public PDC materials (Nifty/Peachy/Unplugged)
+  align   -left ID -right ID [-svg F]  radial alignment view of two courses
+  cluster [-group G] [-k K] hierarchical clustering dendrogram of courses
+  classify -file F [-group G] [-k K]  project a new course onto a fitted model
+  export  -file F    write the dataset as JSON`)
+}
+
+func groupIDs(group string) ([]string, error) {
+	switch strings.ToLower(group) {
+	case "cs1":
+		return dataset.CS1CourseIDs(), nil
+	case "ds":
+		return dataset.DSCourseIDs(), nil
+	case "dsalgo", "ds+algo":
+		return dataset.DSAlgoCourseIDs(), nil
+	case "pdc":
+		return dataset.PDCCourseIDs(), nil
+	case "all":
+		return dataset.AllCourseIDs(), nil
+	default:
+		return nil, fmt.Errorf("unknown group %q (want CS1, DS, DSAlgo, PDC, or all)", group)
+	}
+}
+
+func cmdCourses() error {
+	fmt.Printf("%-28s %-8s %-8s %5s %5s\n", "ID", "group", "also", "tags", "mats")
+	for _, c := range dataset.Courses() {
+		fmt.Printf("%-28s %-8s %-8s %5d %5d\n", c.ID, c.Group, c.SecondaryGroup, len(c.TagSet()), len(c.Materials))
+	}
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	id := fs.String("course", "", "course ID")
+	_ = fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("show: -course is required")
+	}
+	c := dataset.Repository().Course(*id)
+	if c == nil {
+		return fmt.Errorf("unknown course %q", *id)
+	}
+	fmt.Printf("%s\n  %s — %s (%s)\n", c.ID, c.Name, c.Institution, c.Group)
+	fmt.Printf("  %d materials, %d distinct curriculum tags\n\n", len(c.Materials), len(c.TagSet()))
+	counts := map[string]int{}
+	cs := ontology.CS2013()
+	pdc := ontology.PDC12()
+	for tag := range c.TagSet() {
+		if n := cs.Lookup(tag); n != nil {
+			counts[ontology.AreaOf(n).ID]++
+		} else if n := pdc.Lookup(tag); n != nil {
+			counts["PDC12:"+ontology.AreaOf(n).ID]++
+		}
+	}
+	var areas []string
+	for ka := range counts {
+		areas = append(areas, ka)
+	}
+	sort.Slice(areas, func(i, j int) bool { return counts[areas[i]] > counts[areas[j]] })
+	fmt.Println("  coverage by knowledge area:")
+	for _, ka := range areas {
+		fmt.Printf("    %-30s %3d tags\n", ka, counts[ka])
+	}
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	tags := fs.String("tags", "", "comma-separated curriculum tag IDs")
+	prefix := fs.String("prefix", "", "tag prefix, e.g. AL/basic-analysis/")
+	author := fs.String("author", "", "author facet")
+	language := fs.String("language", "", "programming language facet")
+	level := fs.String("level", "", "course level facet")
+	text := fs.String("text", "", "free-text match on title/description")
+	limit := fs.Int("limit", 10, "maximum results")
+	_ = fs.Parse(args)
+
+	q := search.Query{
+		Text: *text, Author: *author, Language: *language,
+		CourseLevel: *level, Limit: *limit,
+	}
+	if *tags != "" {
+		q.Tags = strings.Split(*tags, ",")
+	}
+	if *prefix != "" {
+		q.TagPrefixes = []string{*prefix}
+	}
+	engine := search.NewEngine(dataset.Repository())
+	results := engine.Search(q)
+	if len(results) == 0 {
+		fmt.Println("no materials found")
+		return nil
+	}
+	for _, r := range results {
+		fmt.Printf("%6.2f  %-28s %-10s %s\n", r.Score, r.Material.ID, r.Material.Type, r.Material.Title)
+		for _, t := range r.MatchedTags {
+			fmt.Printf("        · %s\n", t)
+		}
+	}
+	return nil
+}
+
+func cmdAgree(args []string) error {
+	fs := flag.NewFlagSet("agree", flag.ExitOnError)
+	group := fs.String("group", "CS1", "course group")
+	threshold := fs.Int("threshold", 2, "agreement threshold for the tree")
+	_ = fs.Parse(args)
+	ids, err := groupIDs(*group)
+	if err != nil {
+		return err
+	}
+	a, err := agreement.Analyze(dataset.CoursesByID(ids), ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d distinct tags across %d courses\n", *group, a.NumTags(), len(ids))
+	for k := 2; k <= len(ids); k++ {
+		fmt.Printf("  in >=%d courses: %d tags\n", k, a.AtLeast(k))
+	}
+	fmt.Println()
+	fmt.Print(viz.ASCIISeries(a.Series(), 8))
+	fmt.Printf("\nknowledge areas with agreement >= %d: %v\n", *threshold, a.KASpan(*threshold))
+	return nil
+}
+
+func cmdTypes(args []string) error {
+	fs := flag.NewFlagSet("types", flag.ExitOnError)
+	group := fs.String("group", "all", "course group")
+	k := fs.Int("k", 0, "number of types (default: 4 for all, 3 otherwise)")
+	_ = fs.Parse(args)
+	ids, err := groupIDs(*group)
+	if err != nil {
+		return err
+	}
+	if *k == 0 {
+		*k = 3
+		if strings.EqualFold(*group, "all") {
+			*k = 4
+		}
+	}
+	m, err := factorize.Analyze(dataset.CoursesByID(ids), *k, factorize.PaperOptions(),
+		ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(m.Courses))
+	for i, c := range m.Courses {
+		labels[i] = fmt.Sprintf("%s [%s]", c.ID, c.Group)
+	}
+	fmt.Print(viz.ASCIIHeatmap(m.W.NormalizeRowsL1(), labels, 36))
+	fmt.Println()
+	for t := 0; t < *k; t++ {
+		kas := m.DominantKAs(t)
+		top := kas
+		if len(top) > 4 {
+			top = top[:4]
+		}
+		var parts []string
+		for _, kw := range top {
+			parts = append(parts, fmt.Sprintf("%s %.0f%%", kw.Tag, kw.Weight*100))
+		}
+		fmt.Printf("type %d: %s\n", t+1, strings.Join(parts, ", "))
+	}
+	return nil
+}
+
+func cmdAnchors(args []string) error {
+	fs := flag.NewFlagSet("anchors", flag.ExitOnError)
+	id := fs.String("course", "", "course ID (default: all courses)")
+	_ = fs.Parse(args)
+	rec, err := anchor.NewRecommender(ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		return err
+	}
+	var courses []*materials.Course
+	if *id != "" {
+		c := dataset.Repository().Course(*id)
+		if c == nil {
+			return fmt.Errorf("unknown course %q", *id)
+		}
+		courses = []*materials.Course{c}
+	} else {
+		courses = dataset.Courses()
+	}
+	for _, c := range courses {
+		recs := rec.Recommend(c)
+		if len(recs) == 0 && *id == "" {
+			continue
+		}
+		fmt.Printf("=== %s [%s]\n", c.ID, c.Group)
+		fmt.Print(anchor.Report(recs))
+	}
+	return nil
+}
+
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	id := fs.String("course", "", "course ID")
+	_ = fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("audit: -course is required")
+	}
+	c := dataset.Repository().Course(*id)
+	if c == nil {
+		return fmt.Errorf("unknown course %q", *id)
+	}
+	report := audit.Audit(c, ontology.CS2013())
+	fmt.Print(report.String())
+	readiness := audit.AssessPDCReadiness(c)
+	fmt.Printf("\nPDC readiness:\n")
+	fmt.Printf("  PDC12 core topics covered: %d/%d\n", readiness.CoreCovered, readiness.CoreTotal)
+	fmt.Printf("  prerequisite score: %.0f%%\n", 100*readiness.PrerequisiteScore())
+	for _, p := range audit.PrerequisiteTags() {
+		mark := " "
+		if readiness.Prerequisites[p] {
+			mark = "x"
+		}
+		fmt.Printf("  [%s] %s\n", mark, p)
+	}
+	return nil
+}
+
+func cmdPDCMaterials(args []string) error {
+	fs := flag.NewFlagSet("pdcmaterials", flag.ExitOnError)
+	id := fs.String("course", "", "course ID")
+	limit := fs.Int("limit", 8, "maximum recommendations")
+	_ = fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("pdcmaterials: -course is required")
+	}
+	c := dataset.Repository().Course(*id)
+	if c == nil {
+		return fmt.Errorf("unknown course %q", *id)
+	}
+	recs := catalog.Recommend(c, *limit)
+	if len(recs) == 0 {
+		fmt.Println("no catalog materials fit this course")
+		return nil
+	}
+	fmt.Printf("public PDC materials for %s:\n", c.ID)
+	for _, r := range recs {
+		fmt.Printf("  %5.2f  [%-14s] %s\n", r.Score, r.Entry.Source, r.Entry.Material.Title)
+		fmt.Printf("         fits %d covered entries, introduces %d new PDC12 entries\n",
+			len(r.SharedTags), r.NewPDC)
+	}
+	return nil
+}
+
+func cmdAlign(args []string) error {
+	fs := flag.NewFlagSet("align", flag.ExitOnError)
+	left := fs.String("left", "", "left course ID")
+	right := fs.String("right", "", "right course ID")
+	svg := fs.String("svg", "", "write the radial alignment SVG to this path")
+	_ = fs.Parse(args)
+	if *left == "" || *right == "" {
+		return fmt.Errorf("align: -left and -right are required")
+	}
+	art, err := core.AlignmentArtifact(*left, *right)
+	if err != nil {
+		return err
+	}
+	fmt.Print(art.Text)
+	if *svg != "" {
+		if err := os.WriteFile(*svg, []byte(art.SVGs["alignment.svg"]), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *svg)
+	}
+	return nil
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	group := fs.String("group", "all", "course group")
+	k := fs.Int("k", 0, "also print the clusters from cutting into k groups")
+	linkage := fs.String("linkage", "average", "average, single, or complete")
+	_ = fs.Parse(args)
+	ids, err := groupIDs(*group)
+	if err != nil {
+		return err
+	}
+	var link cluster.Linkage
+	switch strings.ToLower(*linkage) {
+	case "average":
+		link = cluster.Average
+	case "single":
+		link = cluster.Single
+	case "complete":
+		link = cluster.Complete
+	default:
+		return fmt.Errorf("unknown linkage %q", *linkage)
+	}
+	d, err := cluster.Build(dataset.CoursesByID(ids), link)
+	if err != nil {
+		return err
+	}
+	fmt.Print(d.Render())
+	if *k > 0 {
+		clusters, err := d.CutK(*k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ncut into %d clusters:\n", *k)
+		for i, cl := range clusters {
+			fmt.Printf("  cluster %d:", i+1)
+			for _, c := range cl {
+				fmt.Printf(" %s", c.ID)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	file := fs.String("file", "", "JSON file with the course(s) to classify (export format)")
+	group := fs.String("group", "CS1", "course group defining the model")
+	k := fs.Int("k", 3, "number of types in the model")
+	_ = fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("classify: -file is required")
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	incoming := materials.NewRepository(ontology.CS2013(), ontology.PDC12())
+	if err := incoming.LoadJSON(f); err != nil {
+		return err
+	}
+	if len(incoming.Courses()) == 0 {
+		return fmt.Errorf("classify: no courses in %s", *file)
+	}
+	ids, err := groupIDs(*group)
+	if err != nil {
+		return err
+	}
+	model, err := factorize.Analyze(dataset.CoursesByID(ids), *k, factorize.PaperOptions(),
+		ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		return err
+	}
+	for _, c := range incoming.Courses() {
+		shares := model.Project(c, 0)
+		dominant := model.ProjectDominant(c)
+		fmt.Printf("%s:\n", c.ID)
+		for t, sh := range shares {
+			marker := " "
+			if t == dominant {
+				marker = "*"
+			}
+			fmt.Printf("  %s type %d (%s): %.0f%%\n", marker, t+1, model.TypeLabel(t), sh*100)
+		}
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	file := fs.String("file", "dataset.json", "output path")
+	_ = fs.Parse(args)
+	f, err := os.Create(*file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dataset.Repository().SaveJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *file)
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command figures regenerates every figure of the paper from the
+// synthesized dataset and writes text plus SVG artifacts to an output
+// directory.
+//
+// Usage:
+//
+//	figures [-out DIR] [-fig ID]
+//
+// With no -fig, every figure is produced. Figure IDs: 1, 2, 3a, 3b, 4, 5,
+// 6, 7, 8, anchors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"csmaterials/internal/core"
+)
+
+func main() {
+	out := flag.String("out", "out", "output directory for text and SVG artifacts")
+	fig := flag.String("fig", "", "single figure ID to generate (default: all)")
+	quiet := flag.Bool("q", false, "do not echo figure text to stdout")
+	flag.Parse()
+
+	if err := run(*out, *fig, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir, only string, quiet bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	found := false
+	for _, f := range core.Figures() {
+		if only != "" && f.ID != only {
+			continue
+		}
+		found = true
+		art, err := f.Gen()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", f.ID, err)
+		}
+		txtPath := filepath.Join(outDir, art.ID+".txt")
+		if err := os.WriteFile(txtPath, []byte(art.Text), 0o644); err != nil {
+			return err
+		}
+		for name, svg := range art.SVGs {
+			if err := os.WriteFile(filepath.Join(outDir, name), []byte(svg), 0o644); err != nil {
+				return err
+			}
+		}
+		if !quiet {
+			fmt.Printf("=== figure %s ===\n%s\n", f.ID, art.Text)
+		} else {
+			fmt.Printf("wrote %s (%d SVGs)\n", txtPath, len(art.SVGs))
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown figure ID %q", only)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllFigures(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "", true); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt, svg int
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".txt":
+			txt++
+		case ".svg":
+			svg++
+		}
+	}
+	if txt != 10 {
+		t.Fatalf("%d text artifacts, want 10 (9 figures + anchors)", txt)
+	}
+	if svg < 10 {
+		t.Fatalf("%d SVG artifacts, want >= 10", svg)
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "3a", true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure3-cs1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "CS1: 6 courses") {
+		t.Fatalf("figure 3a content wrong: %s", data)
+	}
+	// No other figure was generated.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "figure7") {
+			t.Fatal("figure 7 generated for -fig 3a")
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run(t.TempDir(), "99", true); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,50 @@
+// Command serve runs the CS Materials reproduction as a JSON HTTP API —
+// the "public resource" form of the system (§3.1).
+//
+// Usage:
+//
+//	serve [-addr :8080]
+//
+// Endpoints:
+//
+//	GET /healthz
+//	GET /api/courses
+//	GET /api/courses/{id}
+//	GET /api/courses/{id}/materials
+//	GET /api/courses/{id}/anchors
+//	GET /api/courses/{id}/audit
+//	GET /api/courses/{id}/pdcmaterials
+//	GET /api/search?tags=...&prefix=...&author=...&limit=...
+//	GET /api/agreement?group=CS1|DS|DSAlgo|PDC|all&threshold=K
+//	GET /api/types?group=...&k=K
+//	GET /api/figures/{id}[?svg=name.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"csmaterials/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	s, err := server.New()
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("csmaterials API listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+// Command workshop simulates the paper's two-day course analysis workshop
+// (§3.2) end to end for a single course: day one classifies the course's
+// materials against the guidelines (here: loads one dataset course and
+// validates it into a fresh repository); day two runs the analyses the
+// attendees are taught — coverage, alignment between material types,
+// finding related materials, and the course's anchor points for PDC
+// content.
+//
+// Usage:
+//
+//	workshop [-course ID]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"csmaterials/internal/agreement"
+	"csmaterials/internal/anchor"
+	"csmaterials/internal/audit"
+	"csmaterials/internal/catalog"
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+	"csmaterials/internal/search"
+	"csmaterials/internal/simgraph"
+)
+
+func main() {
+	course := flag.String("course", "uncc-2214-krs", "course to analyze")
+	flag.Parse()
+	if err := run(*course); err != nil {
+		fmt.Fprintf(os.Stderr, "workshop: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(courseID string) error {
+	source := dataset.Repository().Course(courseID)
+	if source == nil {
+		return fmt.Errorf("unknown course %q", courseID)
+	}
+
+	// --- Day 1: input the class into the system -------------------------
+	fmt.Printf("Day 1: classifying %q into a fresh repository\n", source.Name)
+	repo := materials.NewRepository(ontology.CS2013(), ontology.PDC12())
+	if err := repo.AddCourse(source); err != nil {
+		return fmt.Errorf("classification rejected: %w", err)
+	}
+	fmt.Printf("  %d materials classified against %d curriculum entries\n\n",
+		len(source.Materials), len(source.TagSet()))
+
+	// --- Day 2: study the coverage ---------------------------------------
+	fmt.Println("Day 2, step 1: coverage by knowledge area")
+	counts := map[string]int{}
+	cs := ontology.CS2013()
+	for tag := range source.TagSet() {
+		if n := cs.Lookup(tag); n != nil {
+			counts[ontology.AreaOf(n).ID]++
+		}
+	}
+	var areas []string
+	for ka := range counts {
+		areas = append(areas, ka)
+	}
+	sort.Slice(areas, func(i, j int) bool { return counts[areas[i]] > counts[areas[j]] })
+	for _, ka := range areas {
+		fmt.Printf("  %-6s %3d entries\n", ka, counts[ka])
+	}
+
+	// --- Alignment between content delivery and assessment ---------------
+	fmt.Println("\nDay 2, step 2: alignment between lectures and assessments")
+	var lectures, assessments []*materials.Material
+	for _, m := range source.Materials {
+		switch m.Type {
+		case materials.Lecture, materials.Reading:
+			lectures = append(lectures, m)
+		case materials.Assignment, materials.Quiz, materials.Exam, materials.Lab, materials.Project:
+			assessments = append(assessments, m)
+		}
+	}
+	al := agreement.Align(lectures, assessments)
+	fmt.Printf("  Jaccard alignment: %.2f (%d shared, %d lecture-only, %d assessment-only tags)\n",
+		al.Jaccard, len(al.Shared), len(al.OnlyLeft), len(al.OnlyRight))
+	if len(al.OnlyLeft) > 0 {
+		fmt.Println("  covered in lectures but never assessed (first 5):")
+		for i, tag := range al.OnlyLeft {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("    - %s\n", tag)
+		}
+	}
+
+	// --- Find new materials for the class --------------------------------
+	fmt.Println("\nDay 2, step 3: finding related materials in the full repository")
+	engine := search.NewEngine(dataset.Repository())
+	seed := source.Materials[0]
+	fmt.Printf("  materials similar to %q:\n", seed.Title)
+	for _, r := range engine.SimilarTo(seed.ID, 5) {
+		fmt.Printf("    %5.2f  %s (%s)\n", r.Score, r.Material.Title, r.Material.ID)
+	}
+
+	// --- Similarity map of the course's own materials --------------------
+	fmt.Println("\nDay 2, step 4: 2D similarity map of the course's materials")
+	limit := len(source.Materials)
+	if limit > 12 {
+		limit = 12
+	}
+	g, err := simgraph.Build(source.Materials[:limit], simgraph.Jaccard)
+	if err != nil {
+		return err
+	}
+	pts, err := g.Embed(dataset.Seed)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Printf("    (%6.2f, %6.2f)  %s\n", p.X, p.Y, p.Material.ID)
+	}
+
+	// --- Anchor points ----------------------------------------------------
+	fmt.Println("\nDay 2, step 5: PDC anchor points for this course")
+	rec, err := anchor.NewRecommender(ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		return err
+	}
+	fmt.Print(anchor.Report(rec.Recommend(source)))
+
+	// --- Audit against the guideline tiers --------------------------------
+	fmt.Println("\nDay 2, step 6: CS2013 tier audit and PDC readiness")
+	report := audit.Audit(source, ontology.CS2013())
+	fmt.Printf("  core-1 coverage %.1f%%, core-2 coverage %.1f%%\n",
+		100*report.TierCoverage(ontology.TierCore1), 100*report.TierCoverage(ontology.TierCore2))
+	readiness := audit.AssessPDCReadiness(source)
+	fmt.Printf("  PDC prerequisite score: %.0f%% of the §4.7 prerequisite entries covered\n",
+		100*readiness.PrerequisiteScore())
+
+	// --- Public PDC materials that fit this course -------------------------
+	fmt.Println("\nDay 2, step 7: public PDC materials that fit this course")
+	for _, r := range catalog.Recommend(source, 5) {
+		fmt.Printf("  %5.2f  [%-14s] %s (+%d new PDC12 entries)\n",
+			r.Score, r.Entry.Source, r.Entry.Material.Title, r.NewPDC)
+	}
+	return nil
+}

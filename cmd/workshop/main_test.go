@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestWorkshopRunsForEveryDatasetCourse(t *testing.T) {
+	// The workshop flow must complete for any course an attendee brings.
+	for _, id := range []string{"uncc-2214-krs", "ccc-csci40-kerney", "uncc-3145-saule", "utsa-bopana"} {
+		if err := run(id); err != nil {
+			t.Errorf("workshop failed for %s: %v", id, err)
+		}
+	}
+}
+
+func TestWorkshopRejectsUnknownCourse(t *testing.T) {
+	if err := run("ghost"); err == nil {
+		t.Fatal("unknown course accepted")
+	}
+}

@@ -1,0 +1,14 @@
+// Package csmaterials is a from-scratch Go reproduction of "Data-Driven
+// Discovery of Anchor Points for PDC Content" (McQuaigue, Saule,
+// Subramanian, Payton; SC-W 2023): the CS Materials classification system,
+// the ACM/IEEE CS2013 and NSF/IEEE-TCPP PDC12 curriculum ontologies, a
+// calibrated synthesis of the paper's 20-course workshop dataset, the
+// NNMF course-type analysis with PCA/MDS baselines, the tag-agreement
+// analyses, and the §5.2 PDC anchor-point recommender.
+//
+// The root package only anchors the module and the benchmark harness
+// (bench_test.go); the implementation lives under internal/ and the
+// runnable entry points under cmd/ and examples/. See README.md for the
+// tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure.
+package csmaterials

@@ -1,0 +1,101 @@
+// materialsearch demonstrates the CS Materials search workflow of §3.1.2:
+// search the repository for materials matching curriculum topics, build
+// the similarity graph between the query results, and embed them in 2D
+// with MDS so that similar materials cluster together.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/search"
+	"csmaterials/internal/simgraph"
+)
+
+func main() {
+	engine := search.NewEngine(dataset.Repository())
+
+	// An instructor looks for sorting material to borrow.
+	query := search.Query{
+		TagPrefixes: []string{"AL/fundamental-data-structures-and-algorithms/"},
+		Limit:       8,
+	}
+	fmt.Println("query: materials on fundamental data structures and algorithms")
+	results := engine.Search(query)
+	var ms []*materials.Material
+	for _, r := range results {
+		fmt.Printf("  %5.2f  %-30s %-10s by %s\n", r.Score, r.Material.ID, r.Material.Type, r.Material.Author)
+		ms = append(ms, r.Material)
+	}
+
+	// "It can be difficult to understand how good the result of a search
+	// is" — build the similarity graph over the results.
+	g, err := simgraph.Build(ms, simgraph.Jaccard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nstrongest similarity edges among the results:")
+	edges := g.Edges(0.01)
+	for i, e := range edges {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %.2f  %s <-> %s\n", e.Weight, e.From, e.To)
+	}
+	if len(edges) == 0 {
+		fmt.Println("  (no overlapping results)")
+	}
+
+	// MDS maps the materials to 2D locations where similar materials are
+	// naturally clustered together.
+	pts, err := g.Embed(dataset.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n2D map of the result set (classical MDS + SMACOF):")
+	plot(pts)
+
+	// Faceted search: the same query narrowed to one author.
+	narrowed := query
+	narrowed.Author = "KRS"
+	fmt.Println("\nsame query, author=KRS facet:")
+	for _, r := range engine.Search(narrowed) {
+		fmt.Printf("  %5.2f  %s\n", r.Score, r.Material.ID)
+	}
+}
+
+// plot renders points on a small ASCII canvas.
+func plot(pts []simgraph.Point) {
+	const w, h = 60, 16
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for i, p := range pts {
+		x := int((p.X - minX) / (maxX - minX) * float64(w-1))
+		y := int((p.Y - minY) / (maxY - minY) * float64(h-1))
+		grid[y][x] = byte('A' + i)
+	}
+	for _, row := range grid {
+		fmt.Printf("  |%s|\n", row)
+	}
+	for i, p := range pts {
+		fmt.Printf("  %c = %s\n", 'A'+i, p.Material.ID)
+	}
+}

@@ -1,0 +1,112 @@
+// schedulerlab is the concrete PDC assignment §5.2 proposes for Data
+// Structures courses: model a computation as a parallel task graph,
+// topologically sort it to derive a feasible order of tasks, compute the
+// critical path to get a sense of how parallel the graph is, and run a
+// list-scheduling simulator built on a priority queue. It finishes by
+// executing the graph for real on goroutines and comparing the measured
+// speedup to the simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"csmaterials/internal/taskgraph"
+	"csmaterials/internal/viz"
+)
+
+func main() {
+	// Part 1: a task graph students can reason about — a small build
+	// system: parse 4 files, compile each, link, test.
+	g := taskgraph.NewGraph()
+	check(g.AddTask("parse", 1))
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("compile%d", i)
+		check(g.AddTask(id, 3))
+		check(g.AddDep("parse", id))
+	}
+	check(g.AddTask("link", 2))
+	for i := 0; i < 4; i++ {
+		check(g.AddDep(fmt.Sprintf("compile%d", i), "link"))
+	}
+	check(g.AddTask("test", 2))
+	check(g.AddDep("link", "test"))
+
+	order, err := g.TopoSort()
+	check(err)
+	fmt.Printf("feasible order: %v\n", order)
+	_, cp, err := g.CriticalPath()
+	check(err)
+	fmt.Println("\ntask graph in Graphviz dot (critical path in red):")
+	fmt.Print(g.DOT("build", cp))
+
+	span, path, err := g.CriticalPath()
+	check(err)
+	par, _ := g.Parallelism()
+	fmt.Printf("work = %.0f, span (critical path) = %.0f via %v\n", g.TotalWork(), span, path)
+	fmt.Printf("average parallelism = work/span = %.2f\n\n", par)
+
+	// Part 2: simulate list scheduling on 1..4 machines.
+	fmt.Println("list-scheduling simulation (critical-path priority):")
+	fmt.Printf("  %-9s %-9s %-8s %-10s\n", "machines", "makespan", "speedup", "efficiency")
+	for _, m := range []int{1, 2, 3, 4} {
+		s, err := taskgraph.ListSchedule(g, m, taskgraph.CriticalPathPriority)
+		check(err)
+		fmt.Printf("  %-9d %-9.1f %-8.2f %-10.2f\n", m, s.Makespan, s.Speedup(), s.Efficiency())
+	}
+
+	s2, err := taskgraph.ListSchedule(g, 2, taskgraph.CriticalPathPriority)
+	check(err)
+	fmt.Println("\nGantt chart on 2 machines:")
+	fmt.Print(viz.ASCIIGantt(s2, 64))
+
+	// Part 3: priorities matter — compare policies on a random DAG.
+	rng := rand.New(rand.NewSource(42))
+	big := taskgraph.Layered(8, 12, 0.25, rng)
+	fmt.Printf("\npolicy comparison on a random layered DAG (%d tasks, %d edges):\n",
+		big.Len(), big.NumEdges())
+	for _, p := range []taskgraph.Policy{taskgraph.FIFO, taskgraph.LPT, taskgraph.CriticalPathPriority} {
+		s, err := taskgraph.ListSchedule(big, 4, p)
+		check(err)
+		fmt.Printf("  %-14s makespan %.1f  speedup %.2f\n", p, s.Makespan, s.Speedup())
+	}
+
+	// Part 3b: heterogeneous machines — HEFT with communication costs.
+	fmt.Println("\nHEFT on a heterogeneous platform {2.0, 1.0, 1.0, 0.5} speeds:")
+	for _, comm := range []float64{0, 1, 4} {
+		s, err := taskgraph.HEFT(big, []taskgraph.Machine{{Speed: 2}, {Speed: 1}, {Speed: 1}, {Speed: 0.5}}, comm)
+		check(err)
+		fmt.Printf("  comm=%.0f  makespan %.1f  speedup %.2f\n", comm, s.Makespan, s.Speedup())
+	}
+
+	// Part 4: run it for real on goroutines. Each task spins for
+	// work × 2ms; measure wall-clock speedup.
+	fmt.Printf("\nreal execution on goroutines (GOMAXPROCS=%d):\n", runtime.GOMAXPROCS(0))
+	unit := 2 * time.Millisecond
+	burn := func(id string) error {
+		deadline := time.Now().Add(time.Duration(float64(big.Task(id).Work) * float64(unit)))
+		for time.Now().Before(deadline) {
+		}
+		return nil
+	}
+	var serial time.Duration
+	for _, workers := range []int{1, 2, 4} {
+		start := time.Now()
+		check(big.Execute(workers, burn))
+		elapsed := time.Since(start)
+		if workers == 1 {
+			serial = elapsed
+		}
+		fmt.Printf("  workers=%d  elapsed=%v  speedup=%.2f\n",
+			workers, elapsed.Round(time.Millisecond), float64(serial)/float64(elapsed))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

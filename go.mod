@@ -1,0 +1,3 @@
+module csmaterials
+
+go 1.22

@@ -1,0 +1,267 @@
+package agreement
+
+import (
+	"testing"
+
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+)
+
+const (
+	tagRecursion = "SDF/fundamental-programming-concepts/the-concept-of-recursion"
+	tagBigO      = "AL/basic-analysis/big-o-notation-use"
+	tagVars      = "SDF/fundamental-programming-concepts/variables-and-primitive-data-types"
+	tagDigraph   = "DS/graphs-and-trees/directed-graphs"
+)
+
+func mkCourse(id string, tags ...string) *materials.Course {
+	return &materials.Course{
+		ID: id, Name: id, Group: materials.GroupCS1,
+		Materials: []*materials.Material{
+			{ID: id + "-m", Title: "m", Type: materials.Lecture, Tags: tags},
+		},
+	}
+}
+
+func analyzeOrDie(t *testing.T, cs []*materials.Course) *Analysis {
+	t.Helper()
+	a, err := Analyze(cs, ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, ontology.CS2013()); err == nil {
+		t.Error("no courses accepted")
+	}
+	if _, err := Analyze([]*materials.Course{mkCourse("a", tagVars)}); err == nil {
+		t.Error("no guidelines accepted")
+	}
+}
+
+func TestCountsSmall(t *testing.T) {
+	a := analyzeOrDie(t, []*materials.Course{
+		mkCourse("a", tagVars, tagRecursion),
+		mkCourse("b", tagRecursion, tagBigO),
+		mkCourse("c", tagRecursion),
+	})
+	if a.NumTags() != 3 {
+		t.Fatalf("NumTags = %d", a.NumTags())
+	}
+	if a.Counts[tagRecursion] != 3 || a.Counts[tagVars] != 1 || a.Counts[tagBigO] != 1 {
+		t.Fatalf("Counts = %v", a.Counts)
+	}
+	if a.AtLeast(2) != 1 || a.AtLeast(1) != 3 || a.AtLeast(4) != 0 {
+		t.Fatal("AtLeast wrong")
+	}
+	tags := a.TagsAtLeast(3)
+	if len(tags) != 1 || tags[0] != tagRecursion {
+		t.Fatalf("TagsAtLeast(3) = %v", tags)
+	}
+}
+
+func TestHistogramAndSeries(t *testing.T) {
+	a := analyzeOrDie(t, []*materials.Course{
+		mkCourse("a", tagVars, tagRecursion),
+		mkCourse("b", tagRecursion, tagBigO),
+	})
+	h := a.Histogram()
+	if h.Counts[1] != 2 || h.Counts[2] != 1 {
+		t.Fatalf("Histogram = %v", h.Counts)
+	}
+	s := a.Series()
+	if len(s) != 3 || s[0] != 2 || s[1] != 1 || s[2] != 1 {
+		t.Fatalf("Series = %v", s)
+	}
+}
+
+func TestTreePruning(t *testing.T) {
+	a := analyzeOrDie(t, []*materials.Course{
+		mkCourse("a", tagVars, tagRecursion, tagBigO),
+		mkCourse("b", tagRecursion, tagBigO),
+		mkCourse("c", tagRecursion),
+	})
+	g := ontology.CS2013()
+	t2 := a.Tree(g, 2)
+	// tags with count >=2: recursion (3), bigO (2).
+	if t2.Lookup(tagRecursion) == nil || t2.Lookup(tagBigO) == nil {
+		t.Fatal("agreement-2 tree missing expected tags")
+	}
+	if t2.Lookup(tagVars) != nil {
+		t.Fatal("agreement-2 tree contains single-course tag")
+	}
+	// Ancestors are retained.
+	if t2.Lookup("SDF") == nil || t2.Lookup("AL/basic-analysis") == nil {
+		t.Fatal("agreement tree lost ancestors")
+	}
+	t3 := a.Tree(g, 3)
+	if t3.Lookup(tagBigO) != nil {
+		t.Fatal("agreement-3 tree contains 2-course tag")
+	}
+	if t3.Lookup(tagRecursion) == nil {
+		t.Fatal("agreement-3 tree lost 3-course tag")
+	}
+	// Threshold above the max yields an empty tree.
+	if a.Tree(g, 4).Len() != 0 {
+		t.Fatal("agreement-4 tree should be empty")
+	}
+}
+
+func TestKASpanAndCounts(t *testing.T) {
+	a := analyzeOrDie(t, []*materials.Course{
+		mkCourse("a", tagVars, tagBigO, tagDigraph),
+		mkCourse("b", tagVars, tagBigO),
+	})
+	span := a.KASpan(2)
+	if len(span) != 2 || span[0] != "AL" || span[1] != "SDF" {
+		t.Fatalf("KASpan(2) = %v", span)
+	}
+	span1 := a.KASpan(1)
+	if len(span1) != 3 {
+		t.Fatalf("KASpan(1) = %v", span1)
+	}
+	counts := a.KACounts(2)
+	if counts["AL"] != 1 || counts["SDF"] != 1 || counts["DS"] != 0 {
+		t.Fatalf("KACounts(2) = %v", counts)
+	}
+	units := a.UnitCounts(2)
+	if units["SDF/fundamental-programming-concepts"] != 1 {
+		t.Fatalf("UnitCounts = %v", units)
+	}
+}
+
+func TestKASpanWithPDC12Tags(t *testing.T) {
+	pdcTag := "ALGO/algorithmic-paradigms/reduction-as-a-parallel-pattern"
+	a := analyzeOrDie(t, []*materials.Course{
+		mkCourse("a", pdcTag),
+		mkCourse("b", pdcTag),
+	})
+	span := a.KASpan(2)
+	if len(span) != 1 || span[0] != "NSF/IEEE-TCPP PDC12:ALGO" {
+		t.Fatalf("KASpan = %v", span)
+	}
+}
+
+// TestFigure3Shapes replays the Figure 3 comparison on the synthesized
+// dataset: Data Structures courses agree more than CS1 courses.
+func TestFigure3Shapes(t *testing.T) {
+	cs1 := analyzeOrDie(t, dataset.CoursesByID(dataset.CS1CourseIDs()))
+	ds := analyzeOrDie(t, dataset.CoursesByID(dataset.DSCourseIDs()))
+
+	if cs1.NumTags() < 200 {
+		t.Errorf("CS1 tags = %d, want > 200", cs1.NumTags())
+	}
+	if ds.AtLeast(2) <= cs1.AtLeast(2) {
+		t.Errorf("DS >=2 (%d) must exceed CS1 >=2 (%d)", ds.AtLeast(2), cs1.AtLeast(2))
+	}
+	// Series is the plotted curve: verify it is non-increasing and its
+	// head equals the max agreement.
+	s := cs1.Series()
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[i-1] {
+			t.Fatal("Series not sorted descending")
+		}
+	}
+	if s[0] > len(cs1.Courses) {
+		t.Fatalf("max agreement %d exceeds course count", s[0])
+	}
+}
+
+// TestFigure4Trees replays the Figure 4 reading: the CS1 agreement tree
+// narrows from several knowledge areas at >=2 to SDF only at >=4.
+func TestFigure4Trees(t *testing.T) {
+	a := analyzeOrDie(t, dataset.CoursesByID(dataset.CS1CourseIDs()))
+	g := ontology.CS2013()
+	t2, t3, t4 := a.Tree(g, 2), a.Tree(g, 3), a.Tree(g, 4)
+	if !(t2.Len() > t3.Len() && t3.Len() > t4.Len()) {
+		t.Fatalf("trees must shrink: %d, %d, %d", t2.Len(), t3.Len(), t4.Len())
+	}
+	if len(t2.Areas()) < 4 {
+		t.Errorf("agreement-2 tree spans %d areas, want >= 4", len(t2.Areas()))
+	}
+	if got := t4.Areas(); len(got) != 1 || got[0].ID != "SDF" {
+		ids := make([]string, len(got))
+		for i, a := range got {
+			ids[i] = a.ID
+		}
+		t.Errorf("agreement-4 tree spans %v, want [SDF] only", ids)
+	}
+	// "12 of those are in the Fundamental Programming Concepts" — the FPC
+	// unit must hold the majority of the >=4 tags.
+	units := a.UnitCounts(4)
+	fpc := units["SDF/fundamental-programming-concepts"]
+	if fpc*2 < a.AtLeast(4) {
+		t.Errorf("FPC holds %d of %d >=4 tags; expected the majority", fpc, a.AtLeast(4))
+	}
+}
+
+// TestFigure8PDCTree replays §4.7: at agreement 2, most of the PDC tree
+// is PDC-related, and the CS1/DS anchors are present.
+func TestFigure8PDCTree(t *testing.T) {
+	a := analyzeOrDie(t, dataset.CoursesByID(dataset.PDCCourseIDs()))
+	cs := ontology.CS2013()
+	tree := a.Tree(cs, 2)
+	// The PD knowledge area must be present and carry many tags.
+	if tree.Lookup("PD") == nil {
+		t.Fatal("PDC agreement tree missing the PD knowledge area")
+	}
+	counts := a.KACounts(2)
+	if counts["PD"] < 15 {
+		t.Errorf("PD area has %d agreed tags, want >= 15", counts["PD"])
+	}
+	// The anchors named by the paper are in the tree.
+	for _, anchor := range []string{
+		tagDigraph,
+		tagRecursion,
+		"SDF/algorithms-and-design/divide-and-conquer-strategies",
+		tagBigO,
+	} {
+		if tree.Lookup(anchor) == nil {
+			t.Errorf("PDC agreement tree missing anchor %q", anchor)
+		}
+	}
+	// The PDC12 guideline tree shows agreement as well.
+	pdcTree := a.Tree(ontology.PDC12(), 2)
+	if pdcTree.Len() == 0 {
+		t.Error("PDC12 agreement tree is empty")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	left := []*materials.Material{
+		{ID: "l1", Title: "t", Type: materials.Lecture, Tags: []string{tagVars, tagRecursion}},
+	}
+	right := []*materials.Material{
+		{ID: "r1", Title: "t", Type: materials.Lecture, Tags: []string{tagRecursion, tagBigO}},
+	}
+	al := Align(left, right)
+	if len(al.Shared) != 1 || al.Shared[0] != tagRecursion {
+		t.Fatalf("Shared = %v", al.Shared)
+	}
+	if len(al.OnlyLeft) != 1 || al.OnlyLeft[0] != tagVars {
+		t.Fatalf("OnlyLeft = %v", al.OnlyLeft)
+	}
+	if len(al.OnlyRight) != 1 || al.OnlyRight[0] != tagBigO {
+		t.Fatalf("OnlyRight = %v", al.OnlyRight)
+	}
+	if al.Jaccard != 1.0/3.0 {
+		t.Fatalf("Jaccard = %v", al.Jaccard)
+	}
+}
+
+func TestAlignIdenticalAndEmpty(t *testing.T) {
+	ms := []*materials.Material{
+		{ID: "m", Title: "t", Type: materials.Lecture, Tags: []string{tagVars}},
+	}
+	al := Align(ms, ms)
+	if al.Jaccard != 1 || len(al.OnlyLeft) != 0 || len(al.OnlyRight) != 0 {
+		t.Fatalf("self-alignment = %+v", al)
+	}
+	empty := Align(nil, nil)
+	if empty.Jaccard != 1 {
+		t.Fatalf("empty alignment Jaccard = %v", empty.Jaccard)
+	}
+}

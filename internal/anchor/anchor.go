@@ -1,0 +1,331 @@
+// Package anchor operationalizes §5.2 of the paper: given what a course
+// actually covers (its curriculum classification and its NNMF type), where
+// can PDC content anchor without disrupting the course?
+//
+// Each Rule in the rule base is one of the paper's concrete suggestions —
+// reduction order for courses that teach data representation, parallel-for
+// for algorithmic CS1s, promise-style concurrency for object-oriented
+// CS1s, thread-safe containers and parallel combinatorial algorithms for
+// Data Structures flavors, and the parallel task-graph assignment. A rule
+// fires for a course when enough of its anchor tags are covered; the
+// recommendation lists the matched anchors (the insertion points) and the
+// PDC12 entries the content would teach.
+package anchor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+)
+
+// AnchorTag is a curriculum entry a rule can attach to, with a weight
+// expressing how load-bearing the entry is for the rule.
+type AnchorTag struct {
+	Tag    string
+	Weight float64
+}
+
+// Rule is one PDC-content insertion opportunity.
+type Rule struct {
+	// ID is a stable slug, Title a human-readable name.
+	ID, Title string
+	// Audience describes the course flavor the paper aims the content at.
+	Audience string
+	// Activity describes what students would do.
+	Activity string
+	// Anchors are the CS2013 entries the content attaches to.
+	Anchors []AnchorTag
+	// Teaches are the PDC12 entries the content introduces.
+	Teaches []string
+	// Threshold is the minimum weighted anchor coverage in (0, 1] for the
+	// rule to fire.
+	Threshold float64
+}
+
+// Recommendation is a rule matched against a concrete course.
+type Recommendation struct {
+	Rule   *Rule
+	Course *materials.Course
+	// Score is the weighted fraction of the rule's anchors the course
+	// covers (0, 1].
+	Score float64
+	// MatchedAnchors are the course's covered anchor tags — the concrete
+	// insertion points an instructor would recognize.
+	MatchedAnchors []string
+	// MissingAnchors are anchor tags the course does not cover.
+	MissingAnchors []string
+}
+
+// Recommender matches courses against the §5.2 rule base.
+type Recommender struct {
+	rules []*Rule
+}
+
+// NewRecommender builds the recommender with the paper's rule base,
+// validating every referenced tag against the given guidelines.
+func NewRecommender(guidelines ...*ontology.Guideline) (*Recommender, error) {
+	if len(guidelines) == 0 {
+		return nil, fmt.Errorf("anchor: no guidelines")
+	}
+	lookup := func(tag string) bool {
+		for _, g := range guidelines {
+			if g.Lookup(tag) != nil {
+				return true
+			}
+		}
+		return false
+	}
+	rules := ruleBase()
+	for _, r := range rules {
+		if r.Threshold <= 0 || r.Threshold > 1 {
+			return nil, fmt.Errorf("anchor: rule %q has threshold %v", r.ID, r.Threshold)
+		}
+		if len(r.Anchors) == 0 || len(r.Teaches) == 0 {
+			return nil, fmt.Errorf("anchor: rule %q lacks anchors or teachings", r.ID)
+		}
+		for _, a := range r.Anchors {
+			if !lookup(a.Tag) {
+				return nil, fmt.Errorf("anchor: rule %q references unknown anchor %q", r.ID, a.Tag)
+			}
+		}
+		for _, tch := range r.Teaches {
+			if !lookup(tch) {
+				return nil, fmt.Errorf("anchor: rule %q teaches unknown entry %q", r.ID, tch)
+			}
+		}
+	}
+	return &Recommender{rules: rules}, nil
+}
+
+// Rules returns the rule base.
+func (r *Recommender) Rules() []*Rule { return r.rules }
+
+// Rule returns the rule with the given ID, or nil.
+func (r *Recommender) Rule(id string) *Rule {
+	for _, rule := range r.rules {
+		if rule.ID == id {
+			return rule
+		}
+	}
+	return nil
+}
+
+// Recommend evaluates every rule against the course's tag set and returns
+// the firing rules sorted by descending score (ties by rule ID).
+func (r *Recommender) Recommend(c *materials.Course) []Recommendation {
+	tags := c.TagSet()
+	var out []Recommendation
+	for _, rule := range r.rules {
+		rec := score(rule, c, tags)
+		if rec.Score >= rule.Threshold {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Rule.ID < out[j].Rule.ID
+	})
+	return out
+}
+
+func score(rule *Rule, c *materials.Course, tags map[string]bool) Recommendation {
+	rec := Recommendation{Rule: rule, Course: c}
+	total, hit := 0.0, 0.0
+	for _, a := range rule.Anchors {
+		total += a.Weight
+		if tags[a.Tag] {
+			hit += a.Weight
+			rec.MatchedAnchors = append(rec.MatchedAnchors, a.Tag)
+		} else {
+			rec.MissingAnchors = append(rec.MissingAnchors, a.Tag)
+		}
+	}
+	sort.Strings(rec.MatchedAnchors)
+	sort.Strings(rec.MissingAnchors)
+	if total > 0 {
+		rec.Score = hit / total
+	}
+	return rec
+}
+
+// Report renders a course's recommendations as a readable block.
+func Report(recs []Recommendation) string {
+	if len(recs) == 0 {
+		return "no anchor points found\n"
+	}
+	var b strings.Builder
+	for _, rec := range recs {
+		fmt.Fprintf(&b, "[%.0f%%] %s (%s)\n", rec.Score*100, rec.Rule.Title, rec.Rule.ID)
+		fmt.Fprintf(&b, "       audience: %s\n", rec.Rule.Audience)
+		fmt.Fprintf(&b, "       activity: %s\n", rec.Rule.Activity)
+		fmt.Fprintf(&b, "       anchors covered (%d):\n", len(rec.MatchedAnchors))
+		for _, a := range rec.MatchedAnchors {
+			fmt.Fprintf(&b, "         - %s\n", a)
+		}
+		fmt.Fprintf(&b, "       teaches:\n")
+		for _, t := range rec.Rule.Teaches {
+			fmt.Fprintf(&b, "         + %s\n", t)
+		}
+	}
+	return b.String()
+}
+
+// ruleBase encodes §5.2. Anchor weights mark the load-bearing entries;
+// thresholds are set so the rule fires for the course flavor the paper
+// aims it at and not for the flavors the paper excludes.
+func ruleBase() []*Rule {
+	return []*Rule{
+		{
+			ID:       "reduction-order",
+			Title:    "Order of operations in parallel reductions",
+			Audience: "CS1 type 2 (imperative courses covering in-memory data representation)",
+			Activity: "Sum an array in different orders; observe that integer sums agree while floating-point sums differ, and connect the observation to parallel reduction trees.",
+			Anchors: []AnchorTag{
+				{Tag: "AR/machine-level-representation-of-data/fixed-and-floating-point-representation-of-real-numbers", Weight: 3},
+				{Tag: "AR/machine-level-representation-of-data/explain-how-floating-point-rounding-makes-addition-non-associative", Weight: 2},
+				{Tag: "AR/machine-level-representation-of-data/signed-and-unsigned-arithmetic-and-overflow", Weight: 1},
+				{Tag: "AR/machine-level-representation-of-data/numeric-data-representation-unsigned-and-twos-complement-integers", Weight: 2},
+				{Tag: "SDF/fundamental-programming-concepts/iterative-control-structures", Weight: 1},
+			},
+			Teaches: []string{
+				"ARCH/floating-point-representation/non-associativity-of-floating-point-addition",
+				"ARCH/floating-point-representation/error-propagation-in-parallel-reductions",
+				"ALGO/algorithmic-paradigms/reduction-as-a-parallel-pattern",
+			},
+			Threshold: 0.55,
+		},
+		{
+			ID:       "parallel-for",
+			Title:    "Parallel-for over compute-heavy loops",
+			Audience: "CS1 type 1 (courses with algorithmic thinking and implementation, where long runtimes are visible)",
+			Activity: "Take an existing O(n²) exercise, measure its runtime, annotate the outer loop parallel-for style, and measure again.",
+			Anchors: []AnchorTag{
+				{Tag: "AL/basic-analysis/empirical-measurement-of-performance", Weight: 2},
+				{Tag: "AL/basic-analysis/big-o-notation-use", Weight: 2},
+				{Tag: "AL/fundamental-data-structures-and-algorithms/quadratic-sorting-algorithms-selection-and-insertion-sort", Weight: 2},
+				{Tag: "SDF/algorithms-and-design/implementation-of-algorithms", Weight: 2},
+				{Tag: "AL/basic-analysis/complexity-classes-such-as-constant-logarithmic-linear-and-quadratic", Weight: 1},
+			},
+			Teaches: []string{
+				"PROG/parallel-programming-notations/parallel-for-loop-annotations-such-as-openmp",
+				"PROG/parallel-programming-paradigms/programming-by-data-parallel-decomposition",
+				"ALGO/parallel-and-distributed-models-and-complexity/speedup-efficiency-and-scalability",
+			},
+			Threshold: 0.6,
+		},
+		{
+			ID:       "promise-concurrency",
+			Title:    "Promise-style concurrency on objects",
+			Audience: "CS1 type 3 (object-oriented programming courses with little algorithmic development)",
+			Activity: "Give two independent objects slow methods; have students observe that calls on distinct objects need not be ordered, and coordinate results with promise-style futures or a CORBA-style remote object.",
+			Anchors: []AnchorTag{
+				{Tag: "PL/object-oriented-programming/object-oriented-design-classes-and-objects", Weight: 2},
+				{Tag: "PL/object-oriented-programming/dynamic-dispatch-definition-of-method-call", Weight: 1},
+				{Tag: "PL/object-oriented-programming/encapsulation-and-information-hiding", Weight: 2},
+				{Tag: "PL/object-oriented-programming/object-interfaces-and-abstract-classes", Weight: 1},
+			},
+			Teaches: []string{
+				"PROG/parallel-programming-notations/futures-and-promises",
+				"PROG/parallel-programming-paradigms/client-server-and-distributed-object-paradigms",
+				"XCUT/concurrency-concepts/ordering-of-operations-on-shared-objects",
+			},
+			Threshold: 0.6,
+		},
+		{
+			ID:       "concurrent-data-structures",
+			Title:    "Concurrent access to data structures",
+			Audience: "all Data Structures flavors (they all cover the core structures)",
+			Activity: "Hammer a shared stack or queue from two threads, watch it corrupt, then fix it with a lock and discuss the cost.",
+			Anchors: []AnchorTag{
+				{Tag: "SDF/fundamental-data-structures/stacks-and-queues", Weight: 2},
+				{Tag: "SDF/fundamental-data-structures/linked-lists", Weight: 2},
+				{Tag: "SDF/fundamental-data-structures/write-programs-that-use-linked-lists-stacks-and-queues", Weight: 2},
+				{Tag: "AL/fundamental-data-structures-and-algorithms/hash-tables-including-collision-avoidance-strategies", Weight: 1},
+				{Tag: "AL/fundamental-data-structures-and-algorithms/implement-and-use-a-hash-table-handling-collisions", Weight: 1},
+				{Tag: "AL/fundamental-data-structures-and-algorithms/binary-search-trees-common-operations", Weight: 1},
+				{Tag: "SDF/fundamental-data-structures/choosing-an-appropriate-data-structure", Weight: 1},
+			},
+			Teaches: []string{
+				"PROG/semantics-and-correctness-issues/thread-safety-of-data-structures",
+				"PROG/semantics-and-correctness-issues/mutual-exclusion-with-locks",
+				"PROG/semantics-and-correctness-issues/data-races-and-determinism",
+			},
+			Threshold: 0.55,
+		},
+		{
+			ID:       "thread-safe-types",
+			Title:    "Thread-safe types (ArrayList versus Vector)",
+			Audience: "DS type 2 (object-oriented Data Structures courses)",
+			Activity: "Compare Java's ArrayList and Vector under concurrent mutation; articulate that thread safety is the primary difference between the two types.",
+			Anchors: []AnchorTag{
+				{Tag: "PL/object-oriented-programming/collection-classes-and-iterators", Weight: 3},
+				{Tag: "PL/object-oriented-programming/generics-and-parameterized-types", Weight: 2},
+				{Tag: "SDF/fundamental-data-structures/choosing-an-appropriate-data-structure", Weight: 1},
+				{Tag: "PL/object-oriented-programming/object-interfaces-and-abstract-classes", Weight: 1},
+			},
+			Teaches: []string{
+				"PROG/parallel-programming-notations/concurrent-collections-and-thread-safe-containers",
+				"PROG/semantics-and-correctness-issues/thread-safety-of-data-structures",
+			},
+			Threshold: 0.6,
+		},
+		{
+			ID:       "parallel-brute-force",
+			Title:    "Cilk-style parallel brute force",
+			Audience: "DS type 3 (combinatorial algorithms courses)",
+			Activity: "Parallelize an exhaustive search (subset enumeration or backtracking) with spawn/sync task parallelism; brute-force algorithms are perfect for cilk-like parallelism.",
+			Anchors: []AnchorTag{
+				{Tag: "AL/algorithmic-strategies/brute-force-algorithms", Weight: 3},
+				{Tag: "AL/algorithmic-strategies/recursive-backtracking", Weight: 2},
+				{Tag: "DS/basics-of-counting/permutations-and-combinations", Weight: 1},
+			},
+			Teaches: []string{
+				"PROG/parallel-programming-notations/task-spawn-constructs-such-as-cilk-spawn-and-sync",
+				"ALGO/algorithmic-paradigms/recursive-task-based-parallelism",
+				"ALGO/algorithmic-paradigms/speculative-execution-and-branch-and-bound",
+			},
+			Threshold: 0.6,
+		},
+		{
+			ID:       "parallel-dynamic-programming",
+			Title:    "Parallelizing dynamic programming",
+			Audience: "DS type 3 (combinatorial algorithms courses covering dynamic programming)",
+			Activity: "Parallelize a bottom-up DP table with parallel-for over anti-diagonals; contrast with top-down memoization, whose dependency pattern justifies a tasking model.",
+			Anchors: []AnchorTag{
+				{Tag: "AL/algorithmic-strategies/dynamic-programming", Weight: 3},
+				{Tag: "AL/algorithmic-strategies/use-dynamic-programming-to-solve-an-appropriate-problem", Weight: 2},
+				{Tag: "AL/basic-analysis/recurrence-relations-and-the-analysis-of-recursive-algorithms", Weight: 1},
+			},
+			Teaches: []string{
+				"ALGO/algorithmic-paradigms/bottom-up-dynamic-programming-in-parallel",
+				"PROG/parallel-programming-notations/parallel-for-loop-annotations-such-as-openmp",
+				"ALGO/parallel-and-distributed-models-and-complexity/dependencies-and-task-graphs-as-models-of-computation",
+			},
+			Threshold: 0.7,
+		},
+		{
+			ID:       "task-graph-scheduling",
+			Title:    "Parallel task graphs and list scheduling",
+			Audience: "all DS flavors covering graphs; fits type 1 (problem-solving) best",
+			Activity: "Model a computation as a DAG, topologically sort it for a feasible order, compute the critical path to see how parallel it is, and implement a list-scheduling simulator with a priority queue (see the taskgraph package and the schedulerlab example).",
+			Anchors: []AnchorTag{
+				{Tag: "DS/graphs-and-trees/directed-graphs", Weight: 2},
+				{Tag: "AL/fundamental-data-structures-and-algorithms/graphs-and-graph-algorithms-representations", Weight: 2},
+				{Tag: "AL/fundamental-data-structures-and-algorithms/heaps-and-priority-queues", Weight: 2},
+				{Tag: "AL/fundamental-data-structures-and-algorithms/topological-sort-of-a-directed-acyclic-graph", Weight: 1},
+			},
+			Teaches: []string{
+				"ALGO/parallel-and-distributed-models-and-complexity/critical-path-as-a-lower-bound-on-time",
+				"ALGO/parallel-and-distributed-models-and-complexity/work-and-span-of-a-computation-dag",
+				"ALGO/algorithmic-problems/list-scheduling-and-makespan-minimization",
+				"ALGO/algorithmic-problems/topological-sort-for-dependency-resolution",
+			},
+			Threshold: 0.55,
+		},
+	}
+}

@@ -1,0 +1,255 @@
+package anchor
+
+import (
+	"strings"
+	"testing"
+
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+)
+
+func newRecommender(t *testing.T) *Recommender {
+	t.Helper()
+	r, err := NewRecommender(ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func recIDs(recs []Recommendation) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range recs {
+		out[r.Rule.ID] = r.Score
+	}
+	return out
+}
+
+func TestNewRecommenderValidatesRules(t *testing.T) {
+	if _, err := NewRecommender(); err == nil {
+		t.Fatal("no guidelines accepted")
+	}
+	// All rule tags must resolve against the real guidelines (this is the
+	// typo guard for the rule base).
+	r := newRecommender(t)
+	if len(r.Rules()) < 8 {
+		t.Fatalf("rule base has %d rules, want >= 8 (§5.2)", len(r.Rules()))
+	}
+	for _, rule := range r.Rules() {
+		if rule.Activity == "" || rule.Audience == "" || rule.Title == "" {
+			t.Errorf("rule %q missing documentation fields", rule.ID)
+		}
+	}
+}
+
+func TestRuleLookup(t *testing.T) {
+	r := newRecommender(t)
+	if r.Rule("parallel-for") == nil {
+		t.Fatal("parallel-for rule missing")
+	}
+	if r.Rule("nope") != nil {
+		t.Fatal("unknown rule returned")
+	}
+}
+
+func TestScoreComputation(t *testing.T) {
+	r := newRecommender(t)
+	rule := r.Rule("promise-concurrency")
+	course := &materials.Course{
+		ID: "x", Name: "X", Group: materials.GroupOOP,
+		Materials: []*materials.Material{{
+			ID: "m", Title: "m", Type: materials.Lecture,
+			Tags: []string{
+				"PL/object-oriented-programming/object-oriented-design-classes-and-objects",
+				"PL/object-oriented-programming/encapsulation-and-information-hiding",
+			},
+		}},
+	}
+	recs := r.Recommend(course)
+	ids := recIDs(recs)
+	// classes(2) + encapsulation(2) of total 6 = 0.667 ≥ 0.6.
+	got, ok := ids["promise-concurrency"]
+	if !ok {
+		t.Fatalf("promise-concurrency did not fire: %v", ids)
+	}
+	if got < 0.66 || got > 0.68 {
+		t.Fatalf("score = %v, want ~2/3", got)
+	}
+	// Matched and missing anchors partition the rule's anchors.
+	for _, rec := range recs {
+		if rec.Rule.ID == "promise-concurrency" {
+			if len(rec.MatchedAnchors)+len(rec.MissingAnchors) != len(rule.Anchors) {
+				t.Fatal("matched+missing != anchors")
+			}
+		}
+	}
+}
+
+func TestRecommendationsSorted(t *testing.T) {
+	r := newRecommender(t)
+	for _, c := range dataset.Courses() {
+		recs := r.Recommend(c)
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Score > recs[i-1].Score {
+				t.Fatalf("course %s: recommendations not sorted", c.ID)
+			}
+		}
+	}
+}
+
+// TestSection52CS1Claims asserts the paper's CS1 recommendations:
+// reduction-order fits the type 2 courses (Kerney, Bourke) and does not
+// fit types 1 and 3 (Ahmed, Singh, and the pure intro courses), the
+// algorithmic course gets parallel-for, and the OOP course gets
+// promise-style concurrency.
+func TestSection52CS1Claims(t *testing.T) {
+	r := newRecommender(t)
+	recsFor := func(id string) map[string]float64 {
+		return recIDs(r.Recommend(dataset.Repository().Course(id)))
+	}
+
+	kerney := recsFor("ccc-csci40-kerney")
+	if _, ok := kerney["reduction-order"]; !ok {
+		t.Error("Kerney (type 2) must get the reduction-order activity")
+	}
+	bourke := recsFor("unl-csce155e-bourke")
+	if _, ok := bourke["reduction-order"]; !ok {
+		t.Error("Bourke (type 2, C course) must get the reduction-order activity")
+	}
+	for _, id := range []string{"washu-cse131-singh", "tulane-cmps1100-kurdia", "ucf-cop3502-ahmed", "tulane-cmps1500-toups"} {
+		if _, ok := recsFor(id)["reduction-order"]; ok {
+			t.Errorf("%s (not type 2) must not get reduction-order", id)
+		}
+	}
+
+	ahmed := recsFor("ucf-cop3502-ahmed")
+	if _, ok := ahmed["parallel-for"]; !ok {
+		t.Error("Ahmed (type 1, algorithmic) must get parallel-for")
+	}
+
+	singh := recsFor("washu-cse131-singh")
+	if _, ok := singh["promise-concurrency"]; !ok {
+		t.Error("Singh (type 3, OOP) must get promise-style concurrency")
+	}
+	if _, ok := singh["parallel-for"]; ok {
+		t.Error("Singh (OOP, no algorithmic development) must not get parallel-for")
+	}
+	if _, ok := kerney["promise-concurrency"]; ok {
+		t.Error("Kerney (imperative) must not get promise-style concurrency")
+	}
+}
+
+// TestSection52DSClaims asserts the paper's Data Structures
+// recommendations: every DS flavor can host concurrent-data-structure
+// discussions, the OOP flavor gets thread-safe types, the combinatorial
+// flavor gets brute-force and dynamic-programming parallelism, and the
+// task-graph assignment fits every flavor (they all cover graphs).
+func TestSection52DSClaims(t *testing.T) {
+	r := newRecommender(t)
+	recsFor := func(id string) map[string]float64 {
+		return recIDs(r.Recommend(dataset.Repository().Course(id)))
+	}
+
+	for _, id := range dataset.DSCourseIDs() {
+		ids := recsFor(id)
+		if _, ok := ids["concurrent-data-structures"]; !ok {
+			t.Errorf("DS course %s must get concurrent-data-structures", id)
+		}
+		if _, ok := ids["task-graph-scheduling"]; !ok {
+			t.Errorf("DS course %s must get task-graph-scheduling (all flavors cover graphs)", id)
+		}
+	}
+
+	vcu := recsFor("vcu-cmsc256-duke")
+	if _, ok := vcu["thread-safe-types"]; !ok {
+		t.Error("VCU (DS type 2, OOP) must get thread-safe-types")
+	}
+
+	for _, id := range []string{"bsc-cac210-wagner", "uncc-2215-krs"} {
+		ids := recsFor(id)
+		if _, ok := ids["parallel-brute-force"]; !ok {
+			t.Errorf("%s (combinatorial) must get parallel-brute-force", id)
+		}
+		if _, ok := ids["parallel-dynamic-programming"]; !ok {
+			t.Errorf("%s (combinatorial) must get parallel-dynamic-programming", id)
+		}
+	}
+}
+
+// TestPDCCoursesNeedNoAnchors: the recommender targets early CS courses;
+// the PDC courses themselves already teach this content and should not
+// dominate the recommendations (their CS2013 coverage is PDC-focused).
+func TestPDCCoursesNeedNoAnchors(t *testing.T) {
+	r := newRecommender(t)
+	for _, id := range dataset.PDCCourseIDs() {
+		recs := r.Recommend(dataset.Repository().Course(id))
+		if len(recs) > 1 {
+			t.Errorf("PDC course %s received %d recommendations; expected at most 1", id, len(recs))
+		}
+	}
+}
+
+func TestTeachesResolveToPDC12(t *testing.T) {
+	r := newRecommender(t)
+	pdc := ontology.PDC12()
+	for _, rule := range r.Rules() {
+		for _, tag := range rule.Teaches {
+			n := pdc.Lookup(tag)
+			if n == nil {
+				t.Errorf("rule %s teaches %q, which is not a PDC12 entry", rule.ID, tag)
+				continue
+			}
+			if n.Kind != ontology.KindTopic {
+				t.Errorf("rule %s teaches non-topic %q", rule.ID, tag)
+			}
+		}
+	}
+}
+
+// TestTeachingsMigrateToPDC20 verifies that every PDC12 entry the rule
+// base teaches has a home in the PDC 2.0-beta revision — either the same
+// ID or a crosswalk mapping — so the recommender survives the guideline
+// update the paper anticipates.
+func TestTeachingsMigrateToPDC20(t *testing.T) {
+	r := newRecommender(t)
+	pdc20 := ontology.PDC20Beta()
+	crosswalk := ontology.CrosswalkPDC12To20()
+	for _, rule := range r.Rules() {
+		for _, tag := range rule.Teaches {
+			if pdc20.Lookup(tag) != nil {
+				continue
+			}
+			if mapped, ok := crosswalk[tag]; ok {
+				if pdc20.Lookup(mapped) == nil {
+					t.Errorf("rule %s: crosswalk target %q missing from PDC 2.0-beta", rule.ID, mapped)
+				}
+				continue
+			}
+			t.Errorf("rule %s teaches %q, which has no home in PDC 2.0-beta", rule.ID, tag)
+		}
+	}
+}
+
+func TestReport(t *testing.T) {
+	r := newRecommender(t)
+	recs := r.Recommend(dataset.Repository().Course("vcu-cmsc256-duke"))
+	out := Report(recs)
+	if !strings.Contains(out, "thread-safe-types") {
+		t.Fatalf("report missing rule: %s", out)
+	}
+	if !strings.Contains(out, "anchors covered") || !strings.Contains(out, "teaches:") {
+		t.Fatal("report missing sections")
+	}
+	if Report(nil) != "no anchor points found\n" {
+		t.Fatal("empty report wrong")
+	}
+}
+
+func TestEmptyCourseGetsNothing(t *testing.T) {
+	r := newRecommender(t)
+	c := &materials.Course{ID: "empty", Name: "Empty", Group: materials.GroupOther}
+	if recs := r.Recommend(c); len(recs) != 0 {
+		t.Fatalf("empty course got %d recommendations", len(recs))
+	}
+}

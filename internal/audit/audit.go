@@ -1,0 +1,254 @@
+// Package audit implements the curriculum audit that CS Materials offers
+// instructors (§3.1): compare a course's classification against the
+// CS2013 tier requirements — Core-1 units must be covered entirely by a
+// curriculum, Core-2 units at 80% or more — and against the PDC12 core,
+// reporting per-unit coverage and gaps. The aggregate audit over many
+// courses shows what a whole collection covers, which is how the paper
+// frames "understanding how computer science is being taught".
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+)
+
+// UnitCoverage reports how much of one knowledge unit a course covers.
+type UnitCoverage struct {
+	Unit    *ontology.Node
+	Tier    ontology.Tier
+	Covered int
+	Total   int
+}
+
+// Fraction returns covered/total (0 for empty units).
+func (u UnitCoverage) Fraction() float64 {
+	if u.Total == 0 {
+		return 0
+	}
+	return float64(u.Covered) / float64(u.Total)
+}
+
+// Report is a per-course audit against one guideline.
+type Report struct {
+	Course *materials.Course
+	// Units lists every knowledge unit of the guideline with the course's
+	// coverage, sorted by unit ID.
+	Units []UnitCoverage
+}
+
+// Audit computes a course's coverage of every knowledge unit in the
+// guideline. Tags that do not belong to the guideline are ignored (a
+// CS2013 audit is unaffected by PDC12 tags and vice versa).
+func Audit(c *materials.Course, g *ontology.Guideline) *Report {
+	covered := map[string]int{} // unit ID → covered leaf count
+	for tag := range c.TagSet() {
+		n := g.Lookup(tag)
+		if n == nil || len(n.Children) != 0 {
+			continue
+		}
+		if u := ontology.UnitOf(n); u != nil {
+			covered[u.ID]++
+		}
+	}
+	var units []UnitCoverage
+	for _, u := range g.NodesOfKind(ontology.KindUnit) {
+		total := 0
+		for _, child := range u.Children {
+			if len(child.Children) == 0 {
+				total++
+			}
+		}
+		units = append(units, UnitCoverage{Unit: u, Tier: u.Tier, Covered: covered[u.ID], Total: total})
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].Unit.ID < units[j].Unit.ID })
+	return &Report{Course: c, Units: units}
+}
+
+// TierCoverage returns the overall fraction of the tier's leaves the
+// course covers.
+func (r *Report) TierCoverage(tier ontology.Tier) float64 {
+	covered, total := 0, 0
+	for _, u := range r.Units {
+		if u.Tier != tier {
+			continue
+		}
+		covered += u.Covered
+		total += u.Total
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+// Gaps returns the units of the given tier covered strictly below the
+// fraction threshold, least-covered first.
+func (r *Report) Gaps(tier ontology.Tier, threshold float64) []UnitCoverage {
+	var out []UnitCoverage
+	for _, u := range r.Units {
+		if u.Tier == tier && u.Fraction() < threshold {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fraction() != out[j].Fraction() {
+			return out[i].Fraction() < out[j].Fraction()
+		}
+		return out[i].Unit.ID < out[j].Unit.ID
+	})
+	return out
+}
+
+// String renders the audit as a table of non-empty units.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit of %s\n", r.Course.ID)
+	fmt.Fprintf(&b, "  core-1 coverage: %5.1f%% (CS2013 requires 100%% across a curriculum)\n", 100*r.TierCoverage(ontology.TierCore1))
+	fmt.Fprintf(&b, "  core-2 coverage: %5.1f%% (CS2013 requires >= 80%% across a curriculum)\n", 100*r.TierCoverage(ontology.TierCore2))
+	for _, u := range r.Units {
+		if u.Covered == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-60s %2d/%2d (%s)\n", u.Unit.ID, u.Covered, u.Total, u.Tier)
+	}
+	return b.String()
+}
+
+// CollectionCoverage aggregates an audit over many courses: for each
+// knowledge unit, how many of the courses touch it at all. A single
+// course never covers the whole core — curricula do — so the aggregate
+// view is the meaningful one.
+type CollectionCoverage struct {
+	Unit *ontology.Node
+	Tier ontology.Tier
+	// Courses is the number of courses covering at least one leaf of the
+	// unit.
+	Courses int
+	// LeavesCovered is the number of distinct unit leaves covered by the
+	// union of the courses.
+	LeavesCovered int
+	Total         int
+}
+
+// AuditCollection audits the union of courses against the guideline.
+func AuditCollection(courses []*materials.Course, g *ontology.Guideline) []CollectionCoverage {
+	unionLeaves := map[string]map[string]bool{} // unit → leaf set
+	perUnitCourses := map[string]int{}
+	for _, c := range courses {
+		touched := map[string]bool{}
+		for tag := range c.TagSet() {
+			n := g.Lookup(tag)
+			if n == nil || len(n.Children) != 0 {
+				continue
+			}
+			u := ontology.UnitOf(n)
+			if u == nil {
+				continue
+			}
+			if unionLeaves[u.ID] == nil {
+				unionLeaves[u.ID] = map[string]bool{}
+			}
+			unionLeaves[u.ID][tag] = true
+			touched[u.ID] = true
+		}
+		for id := range touched {
+			perUnitCourses[id]++
+		}
+	}
+	var out []CollectionCoverage
+	for _, u := range g.NodesOfKind(ontology.KindUnit) {
+		total := 0
+		for _, child := range u.Children {
+			if len(child.Children) == 0 {
+				total++
+			}
+		}
+		out = append(out, CollectionCoverage{
+			Unit:          u,
+			Tier:          u.Tier,
+			Courses:       perUnitCourses[u.ID],
+			LeavesCovered: len(unionLeaves[u.ID]),
+			Total:         total,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Unit.ID < out[j].Unit.ID })
+	return out
+}
+
+// UncoveredCore returns the Core-1 units no course in the collection
+// touches — the blind spots of the whole collection.
+func UncoveredCore(cov []CollectionCoverage) []CollectionCoverage {
+	var out []CollectionCoverage
+	for _, c := range cov {
+		if c.Tier == ontology.TierCore1 && c.Courses == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// PDCReadiness evaluates how prepared a course's students would be for
+// PDC content: which PDC12 *core* topics the course already covers
+// (directly, for PDC courses) and how many CS2013 entries it shares with
+// the prerequisites the paper identifies (§4.7): directed graphs,
+// recursion/divide-and-conquer, and Big-Oh analysis.
+type PDCReadiness struct {
+	Course *materials.Course
+	// CoreCovered / CoreTotal: PDC12 core topics the course covers.
+	CoreCovered, CoreTotal int
+	// Prerequisites maps the paper's prerequisite entries to whether the
+	// course covers them.
+	Prerequisites map[string]bool
+}
+
+// PrerequisiteTags are the §4.7 CS1/DS entries that prepare students for
+// PDC content.
+func PrerequisiteTags() []string {
+	return []string{
+		"DS/graphs-and-trees/directed-graphs",
+		"SDF/fundamental-programming-concepts/the-concept-of-recursion",
+		"SDF/algorithms-and-design/divide-and-conquer-strategies",
+		"AL/algorithmic-strategies/divide-and-conquer",
+		"AL/basic-analysis/big-o-notation-use",
+		"AL/basic-analysis/asymptotic-analysis-of-upper-and-expected-complexity-bounds",
+	}
+}
+
+// AssessPDCReadiness audits a course against the PDC12 core and the
+// paper's prerequisite entries.
+func AssessPDCReadiness(c *materials.Course) *PDCReadiness {
+	pdc := ontology.PDC12()
+	tags := c.TagSet()
+	r := &PDCReadiness{Course: c, Prerequisites: map[string]bool{}}
+	for _, n := range pdc.NodesOfKind(ontology.KindTopic) {
+		if !n.Core {
+			continue
+		}
+		r.CoreTotal++
+		if tags[n.ID] {
+			r.CoreCovered++
+		}
+	}
+	for _, p := range PrerequisiteTags() {
+		r.Prerequisites[p] = tags[p]
+	}
+	return r
+}
+
+// PrerequisiteScore returns the fraction of prerequisite entries covered.
+func (r *PDCReadiness) PrerequisiteScore() float64 {
+	if len(r.Prerequisites) == 0 {
+		return 0
+	}
+	n := 0
+	for _, ok := range r.Prerequisites {
+		if ok {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Prerequisites))
+}

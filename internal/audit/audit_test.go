@@ -1,0 +1,177 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+)
+
+func mkCourse(id string, tags ...string) *materials.Course {
+	return &materials.Course{
+		ID: id, Name: id, Group: materials.GroupCS1,
+		Materials: []*materials.Material{
+			{ID: id + "-m", Title: "m", Type: materials.Lecture, Tags: tags},
+		},
+	}
+}
+
+func TestAuditCountsUnitLeaves(t *testing.T) {
+	g := ontology.CS2013()
+	c := mkCourse("c",
+		"SDF/fundamental-programming-concepts/the-concept-of-recursion",
+		"SDF/fundamental-programming-concepts/variables-and-primitive-data-types",
+		"AL/basic-analysis/big-o-notation-use",
+	)
+	r := Audit(c, g)
+	var fpc, ba UnitCoverage
+	for _, u := range r.Units {
+		switch u.Unit.ID {
+		case "SDF/fundamental-programming-concepts":
+			fpc = u
+		case "AL/basic-analysis":
+			ba = u
+		}
+	}
+	if fpc.Covered != 2 {
+		t.Fatalf("FPC covered = %d, want 2", fpc.Covered)
+	}
+	if fpc.Total < 10 {
+		t.Fatalf("FPC total = %d, too small", fpc.Total)
+	}
+	if ba.Covered != 1 {
+		t.Fatalf("basic-analysis covered = %d", ba.Covered)
+	}
+	if fpc.Tier != ontology.TierCore1 {
+		t.Fatalf("FPC tier = %v", fpc.Tier)
+	}
+}
+
+func TestAuditIgnoresForeignTags(t *testing.T) {
+	g := ontology.CS2013()
+	c := mkCourse("c", "ALGO/algorithmic-paradigms/reduction-as-a-parallel-pattern")
+	r := Audit(c, g)
+	for _, u := range r.Units {
+		if u.Covered != 0 {
+			t.Fatalf("PDC12 tag counted toward CS2013 unit %s", u.Unit.ID)
+		}
+	}
+}
+
+func TestTierCoverageAndGaps(t *testing.T) {
+	g := ontology.CS2013()
+	c := dataset.Repository().Course("ccc-csci40-kerney")
+	r := Audit(c, g)
+	c1 := r.TierCoverage(ontology.TierCore1)
+	if c1 <= 0 || c1 >= 1 {
+		t.Fatalf("a single CS1 course should cover some but not all of core-1: %v", c1)
+	}
+	// Gaps at threshold 1.0 lists every unit below full coverage; at 0 it
+	// is empty.
+	gaps := r.Gaps(ontology.TierCore1, 1.0)
+	if len(gaps) == 0 {
+		t.Fatal("no core-1 gaps for a single course — impossible")
+	}
+	for i := 1; i < len(gaps); i++ {
+		if gaps[i].Fraction() < gaps[i-1].Fraction() {
+			t.Fatal("gaps not sorted by coverage")
+		}
+	}
+	if len(r.Gaps(ontology.TierCore1, 0)) != 0 {
+		t.Fatal("threshold 0 must produce no gaps")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	c := dataset.Repository().Course("ccc-csci40-kerney")
+	out := Audit(c, ontology.CS2013()).String()
+	if !strings.Contains(out, "core-1 coverage") || !strings.Contains(out, "SDF/fundamental-programming-concepts") {
+		t.Fatalf("report incomplete:\n%s", out)
+	}
+}
+
+func TestAuditCollection(t *testing.T) {
+	g := ontology.CS2013()
+	courses := dataset.Courses()
+	cov := AuditCollection(courses, g)
+	byID := map[string]CollectionCoverage{}
+	for _, c := range cov {
+		byID[c.Unit.ID] = c
+	}
+	// FPC is covered by many courses.
+	fpc := byID["SDF/fundamental-programming-concepts"]
+	if fpc.Courses < 6 {
+		t.Fatalf("FPC covered by %d courses, want >= 6", fpc.Courses)
+	}
+	if fpc.LeavesCovered == 0 || fpc.LeavesCovered > fpc.Total {
+		t.Fatalf("FPC leaves covered = %d of %d", fpc.LeavesCovered, fpc.Total)
+	}
+	// Union coverage is at least any single course's coverage.
+	single := Audit(courses[0], g)
+	for _, u := range single.Units {
+		if byID[u.Unit.ID].LeavesCovered < u.Covered {
+			t.Fatalf("union coverage of %s below single-course coverage", u.Unit.ID)
+		}
+	}
+}
+
+func TestUncoveredCore(t *testing.T) {
+	g := ontology.CS2013()
+	// A collection of one tiny course leaves most of core-1 uncovered.
+	cov := AuditCollection([]*materials.Course{
+		mkCourse("tiny", "SDF/fundamental-programming-concepts/the-concept-of-recursion"),
+	}, g)
+	un := UncoveredCore(cov)
+	if len(un) == 0 {
+		t.Fatal("a tiny course cannot cover all of core-1")
+	}
+	for _, u := range un {
+		if u.Tier != ontology.TierCore1 || u.Courses != 0 {
+			t.Fatalf("non-gap in UncoveredCore: %+v", u)
+		}
+	}
+	// The full dataset covers far more.
+	full := UncoveredCore(AuditCollection(dataset.Courses(), g))
+	if len(full) >= len(un) {
+		t.Fatal("the 20-course collection should cover more core-1 units than one tiny course")
+	}
+}
+
+func TestPDCReadiness(t *testing.T) {
+	// A PDC course covers much of the PDC12 core; an intro course covers
+	// none of it but some prerequisites.
+	pdcCourse := dataset.Repository().Course("uncc-3145-saule")
+	r := AssessPDCReadiness(pdcCourse)
+	if r.CoreTotal == 0 {
+		t.Fatal("no PDC12 core topics found")
+	}
+	if float64(r.CoreCovered)/float64(r.CoreTotal) < 0.25 {
+		t.Fatalf("PDC course covers only %d/%d of the PDC12 core", r.CoreCovered, r.CoreTotal)
+	}
+	if r.PrerequisiteScore() < 0.5 {
+		t.Fatalf("PDC course prerequisite score %v too low", r.PrerequisiteScore())
+	}
+
+	intro := dataset.Repository().Course("tulane-cmps1100-kurdia")
+	ri := AssessPDCReadiness(intro)
+	if ri.CoreCovered != 0 {
+		t.Fatalf("intro course covers %d PDC12 core topics; expected 0", ri.CoreCovered)
+	}
+	// The DS courses are better prepared (they cover more prerequisites)
+	// than the pure intro course.
+	ds := AssessPDCReadiness(dataset.Repository().Course("uncc-2214-krs"))
+	if ds.PrerequisiteScore() <= ri.PrerequisiteScore() {
+		t.Fatalf("DS prerequisite score %v not above intro's %v", ds.PrerequisiteScore(), ri.PrerequisiteScore())
+	}
+}
+
+func TestPrerequisiteTagsResolve(t *testing.T) {
+	g := ontology.CS2013()
+	for _, tag := range PrerequisiteTags() {
+		if g.Lookup(tag) == nil {
+			t.Errorf("prerequisite %q not in CS2013", tag)
+		}
+	}
+}

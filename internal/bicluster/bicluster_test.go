@@ -1,0 +1,178 @@
+package bicluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"csmaterials/internal/matrix"
+)
+
+// blockMatrix builds a 0-1 matrix with two disjoint blocks, rows and
+// columns interleaved so that the input order hides the structure.
+func interleavedBlocks(rowsPerBlock, colsPerBlock int) *matrix.Dense {
+	rows := rowsPerBlock * 2
+	cols := colsPerBlock * 2
+	a := matrix.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			// Even rows/cols belong to block 0, odd to block 1.
+			if i%2 == j%2 {
+				a.Set(i, j, 1)
+			}
+		}
+	}
+	return a
+}
+
+func TestClusterValidation(t *testing.T) {
+	a := interleavedBlocks(3, 3)
+	if _, err := Cluster(a, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Cluster(a, 100); err == nil {
+		t.Error("huge k accepted")
+	}
+	neg := a.Clone()
+	neg.Set(0, 0, -1)
+	if _, err := Cluster(neg, 2); err == nil {
+		t.Error("negative entry accepted")
+	}
+}
+
+func TestClusterRecoversInterleavedBlocks(t *testing.T) {
+	a := interleavedBlocks(4, 5)
+	res, err := Cluster(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All even rows must share a block, all odd rows the other.
+	if res.RowBlock[0] == res.RowBlock[1] {
+		t.Fatalf("interleaved rows not separated: %v", res.RowBlock)
+	}
+	for i := 2; i < len(res.RowBlock); i++ {
+		if res.RowBlock[i] != res.RowBlock[i%2] {
+			t.Fatalf("row %d in wrong block: %v", i, res.RowBlock)
+		}
+	}
+	for j := 2; j < len(res.ColBlock); j++ {
+		if res.ColBlock[j] != res.ColBlock[j%2] {
+			t.Fatalf("col %d in wrong block: %v", j, res.ColBlock)
+		}
+	}
+	// The diagonal blocks must be denser than the off-diagonal ones.
+	if adv := res.DiagonalAdvantage(a); adv <= 0.5 {
+		t.Fatalf("diagonal advantage %v too small for perfect blocks", adv)
+	}
+}
+
+func TestPermuteMakesBlocksContiguous(t *testing.T) {
+	a := interleavedBlocks(3, 4)
+	res, err := Cluster(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Permute(a)
+	// After permutation the first half of rows and columns forms one
+	// solid block: the top-left and bottom-right quadrants are all ones
+	// (or the anti-diagonal ones, depending on sort direction).
+	rows, cols := p.Dims()
+	q := func(r0, r1, c0, c1 int) float64 {
+		s, n := 0.0, 0
+		for i := r0; i < r1; i++ {
+			for j := c0; j < c1; j++ {
+				s += p.At(i, j)
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	tl := q(0, rows/2, 0, cols/2)
+	br := q(rows/2, rows, cols/2, cols)
+	tr := q(0, rows/2, cols/2, cols)
+	bl := q(rows/2, rows, 0, cols/2)
+	diag := (tl + br) / 2
+	anti := (tr + bl) / 2
+	if diag != 1 && anti != 1 {
+		t.Fatalf("permuted matrix not block-diagonal: tl=%v br=%v tr=%v bl=%v", tl, br, tr, bl)
+	}
+}
+
+func TestPermuteShapeMismatchPanics(t *testing.T) {
+	a := interleavedBlocks(3, 3)
+	res, err := Cluster(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	res.Permute(matrix.New(2, 2))
+}
+
+func TestOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := matrix.Random(15, 25, rng)
+	res, err := Cluster(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPerm := func(p []int, n int) {
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("not a permutation: %v", p)
+			}
+			seen[v] = true
+		}
+	}
+	checkPerm(res.RowOrder, 15)
+	checkPerm(res.ColOrder, 25)
+	// Block assignments are within range and contiguous along the order.
+	prev := -1
+	for _, idx := range res.RowOrder {
+		b := res.RowBlock[idx]
+		if b < prev {
+			t.Fatal("blocks not monotone along the row order")
+		}
+		prev = b
+	}
+}
+
+func TestEmptyRowsHandled(t *testing.T) {
+	a := matrix.New(4, 4)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	// Rows 2, 3 are empty — must not produce NaNs or panic.
+	res, err := Cluster(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Permute(a)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			v := p.At(i, j)
+			if v != 0 && v != 1 {
+				t.Fatalf("corrupted value %v", v)
+			}
+		}
+	}
+}
+
+func TestBlockDensityBounds(t *testing.T) {
+	a := interleavedBlocks(3, 3)
+	res, err := Cluster(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.BlockDensity(a)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			v := d.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("density %v out of [0,1]", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package catalog models the public learning-material repositories the
+// paper surveys in §2.2 — Nifty Assignments, Peachy Parallel Assignments,
+// and PDC Unplugged — as CS Materials entries classified against the
+// CS2013 and PDC12 guidelines. It implements the paper's stated future
+// work: "classify more of the publicly available PDC materials in the
+// system to help recommend PDC materials for particular courses".
+//
+// Entry titles follow the published repositories; classifications are
+// this package's own (the repositories only loosely tag their content),
+// which is exactly the curation step the paper says the community needs.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+	"csmaterials/internal/stats"
+)
+
+// Source identifies which public repository an entry comes from.
+type Source string
+
+// The §2.2 repositories.
+const (
+	Nifty          Source = "nifty"           // Nifty Assignments (SIGCSE)
+	PeachyParallel Source = "peachy-parallel" // EduPar/EduHPC Peachy Parallel Assignments
+	PDCUnplugged   Source = "pdc-unplugged"   // PDC Unplugged activities
+)
+
+// Entry is one public material with its source repository.
+type Entry struct {
+	Material *materials.Material
+	Source   Source
+	// CourseLevels lists the early courses the repository targets the
+	// entry at (CS0, CS1, CS2, DS, ...).
+	CourseLevels []string
+}
+
+var (
+	once    sync.Once
+	entries []Entry
+)
+
+// Entries returns every catalog entry, validated against the guidelines.
+// The slice is shared; treat it as read-only.
+func Entries() []Entry {
+	once.Do(func() {
+		entries = buildEntries()
+		cs, pdc := ontology.CS2013(), ontology.PDC12()
+		for _, e := range entries {
+			for _, tag := range e.Material.Tags {
+				if cs.Lookup(tag) == nil && pdc.Lookup(tag) == nil {
+					panic(fmt.Sprintf("catalog: entry %q has unknown tag %q", e.Material.ID, tag))
+				}
+			}
+		}
+	})
+	return entries
+}
+
+// BySource returns the entries from one repository.
+func BySource(s Source) []Entry {
+	var out []Entry
+	for _, e := range Entries() {
+		if e.Source == s {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Recommendation ranks a catalog entry for a course.
+type Recommendation struct {
+	Entry Entry
+	// Fit is how much of the entry's CS2013 anchoring the course already
+	// covers (Jaccard of CS2013 tag sets restricted to the entry side).
+	Fit float64
+	// NewPDC counts the PDC12 entries the material would introduce that
+	// the course does not yet cover.
+	NewPDC int
+	// Score combines both: materials that fit the course AND bring new
+	// PDC content rank first.
+	Score float64
+	// SharedTags are the CS2013 entries the course and material share.
+	SharedTags []string
+}
+
+// Recommend ranks catalog materials for a course: the paper's future-work
+// recommendation pipeline. Only entries with positive score are returned,
+// best first, at most k (k <= 0 means all).
+func Recommend(c *materials.Course, k int) []Recommendation {
+	cs := ontology.CS2013()
+	pdc := ontology.PDC12()
+	courseTags := c.TagSet()
+	var out []Recommendation
+	for _, e := range Entries() {
+		var shared []string
+		csAnchor := 0
+		newPDC := 0
+		for _, tag := range e.Material.Tags {
+			switch {
+			case cs.Lookup(tag) != nil:
+				csAnchor++
+				if courseTags[tag] {
+					shared = append(shared, tag)
+				}
+			case pdc.Lookup(tag) != nil:
+				if !courseTags[tag] {
+					newPDC++
+				}
+			}
+		}
+		if csAnchor == 0 {
+			continue
+		}
+		fit := float64(len(shared)) / float64(csAnchor)
+		score := fit * (1 + float64(newPDC))
+		if len(shared) == 0 {
+			continue
+		}
+		sort.Strings(shared)
+		out = append(out, Recommendation{Entry: e, Fit: fit, NewPDC: newPDC, Score: score, SharedTags: shared})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entry.Material.ID < out[j].Entry.Material.ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SimilarEntries returns catalog entries most similar to a given material
+// (by Jaccard over full tag sets) — "a better set of slides or examples".
+func SimilarEntries(m *materials.Material, k int) []Recommendation {
+	src := m.TagSet()
+	var out []Recommendation
+	for _, e := range Entries() {
+		if e.Material.ID == m.ID {
+			continue
+		}
+		sim := stats.Jaccard(src, e.Material.TagSet())
+		if sim == 0 {
+			continue
+		}
+		out = append(out, Recommendation{Entry: e, Score: sim, Fit: sim})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entry.Material.ID < out[j].Entry.Material.ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// AsCourses wraps the catalog as pseudo-courses (one per source) so the
+// entries can be loaded into a materials.Repository next to real courses.
+func AsCourses() []*materials.Course {
+	bySource := map[Source][]*materials.Material{}
+	for _, e := range Entries() {
+		bySource[e.Source] = append(bySource[e.Source], e.Material)
+	}
+	names := map[Source]string{
+		Nifty:          "Nifty Assignments (public repository)",
+		PeachyParallel: "Peachy Parallel Assignments (public repository)",
+		PDCUnplugged:   "PDC Unplugged (public repository)",
+	}
+	var out []*materials.Course
+	for _, s := range []Source{Nifty, PeachyParallel, PDCUnplugged} {
+		ms := bySource[s]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+		out = append(out, &materials.Course{
+			ID:        "catalog-" + string(s),
+			Name:      names[s],
+			Group:     materials.GroupOther,
+			Materials: ms,
+		})
+	}
+	return out
+}

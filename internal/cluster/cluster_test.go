@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/materials"
+)
+
+func mkCourse(id string, tags ...string) *materials.Course {
+	ms := make([]*materials.Material, len(tags))
+	for i, t := range tags {
+		ms[i] = &materials.Material{ID: id + "-" + t, Title: t, Type: materials.Lecture, Tags: []string{t}}
+	}
+	return &materials.Course{ID: id, Name: id, Group: materials.GroupCS1, Materials: ms}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build([]*materials.Course{mkCourse("a", "x")}, Average); err == nil {
+		t.Fatal("single course accepted")
+	}
+}
+
+func TestTwoObviousGroups(t *testing.T) {
+	courses := []*materials.Course{
+		mkCourse("a1", "x", "y", "z"),
+		mkCourse("a2", "x", "y", "w"),
+		mkCourse("b1", "p", "q", "r"),
+		mkCourse("b2", "p", "q", "s"),
+	}
+	for _, link := range []Linkage{Average, Single, Complete} {
+		d, err := Build(courses, link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters, err := d.CutK(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(clusters) != 2 {
+			t.Fatalf("%v: %d clusters", link, len(clusters))
+		}
+		for _, cl := range clusters {
+			if len(cl) != 2 {
+				t.Fatalf("%v: cluster sizes wrong", link)
+			}
+			prefix := cl[0].ID[:1]
+			if cl[1].ID[:1] != prefix {
+				t.Fatalf("%v: mixed cluster %s/%s", link, cl[0].ID, cl[1].ID)
+			}
+		}
+	}
+}
+
+func TestDendrogramShape(t *testing.T) {
+	courses := dataset.Courses()
+	d, err := Build(courses, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Size != len(courses) {
+		t.Fatalf("root size %d", d.Root.Size)
+	}
+	leaves := d.Root.Leaves()
+	if len(leaves) != len(courses) {
+		t.Fatalf("%d leaves", len(leaves))
+	}
+	// Heights are within [0, 1] (Jaccard distances) and children merge no
+	// higher than their parent under average linkage on this data.
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		if n.Height < 0 || n.Height > 1 {
+			t.Fatalf("height %v out of range", n.Height)
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(d.Root)
+}
+
+func TestCutKBounds(t *testing.T) {
+	d, err := Build(dataset.Courses(), Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CutK(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := d.CutK(99); err == nil {
+		t.Error("oversized k accepted")
+	}
+	one, err := d.CutK(1)
+	if err != nil || len(one) != 1 || len(one[0]) != 20 {
+		t.Fatalf("CutK(1) = %d clusters, err %v", len(one), err)
+	}
+	all, err := d.CutK(20)
+	if err != nil || len(all) != 20 {
+		t.Fatalf("CutK(20) = %d clusters, err %v", len(all), err)
+	}
+	// Cluster counts are exactly k for every k.
+	for k := 2; k <= 20; k++ {
+		cl, err := d.CutK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cl) != k {
+			t.Fatalf("CutK(%d) = %d clusters", k, len(cl))
+		}
+		total := 0
+		for _, c := range cl {
+			total += len(c)
+		}
+		if total != 20 {
+			t.Fatalf("CutK(%d) covers %d courses", k, total)
+		}
+	}
+}
+
+// TestDatasetClustersMatchPaperFamilies: cutting the full dendrogram into
+// a handful of clusters must keep the three PDC courses together and the
+// two SoftEng courses together — the same families Figure 2 separates.
+func TestDatasetClustersMatchPaperFamilies(t *testing.T) {
+	d, err := Build(dataset.Courses(), Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := d.CutK(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterOf := map[string]int{}
+	for ci, cl := range clusters {
+		for _, c := range cl {
+			clusterOf[c.ID] = ci
+		}
+	}
+	if clusterOf["uncc-3145-saule"] != clusterOf["knox-cs309-bunde"] ||
+		clusterOf["uncc-3145-saule"] != clusterOf["lsu-csc1350-kundu"] {
+		t.Error("PDC courses split across clusters")
+	}
+	if clusterOf["gsu-csc4350-levine"] != clusterOf["uncc-4155-payton"] {
+		t.Error("SoftEng courses split across clusters")
+	}
+	if clusterOf["uncc-2214-krs"] != clusterOf["uncc-2214-saule"] {
+		t.Error("the two 2214 sections split across clusters")
+	}
+	// PDC courses do not share a cluster with CS1 courses at this cut.
+	if clusterOf["uncc-3145-saule"] == clusterOf["ccc-csci40-kerney"] {
+		t.Error("PDC and CS1 merged at k=6")
+	}
+}
+
+func TestCopheneticDistance(t *testing.T) {
+	d, err := Build(dataset.Courses(), Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := d.CopheneticDistance("uncc-2214-krs", "uncc-2214-krs")
+	if err != nil || same != 0 {
+		t.Fatalf("self distance = %v, %v", same, err)
+	}
+	within, err := d.CopheneticDistance("uncc-3145-saule", "knox-cs309-bunde")
+	if err != nil {
+		t.Fatal(err)
+	}
+	across, err := d.CopheneticDistance("uncc-3145-saule", "utsa-bopana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if within >= across {
+		t.Fatalf("PDC pair cophenetic %v not below cross-family %v", within, across)
+	}
+	if _, err := d.CopheneticDistance("ghost", "utsa-bopana"); err == nil {
+		t.Fatal("unknown course accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	d, err := Build(dataset.CoursesByID(dataset.PDCCourseIDs()), Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.Render()
+	for _, id := range dataset.PDCCourseIDs() {
+		if !strings.Contains(out, id) {
+			t.Fatalf("render missing %s:\n%s", id, out)
+		}
+	}
+	if !strings.Contains(out, "merge at") {
+		t.Fatal("render missing merge annotations")
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if Average.String() != "average" || Single.String() != "single" || Complete.String() != "complete" {
+		t.Fatal("linkage strings wrong")
+	}
+	if Linkage(9).String() == "" {
+		t.Fatal("out-of-range linkage string empty")
+	}
+}
+
+func TestSingleVsCompleteDiffer(t *testing.T) {
+	// A chain of courses: single linkage chains them together at low
+	// heights; complete linkage merges late.
+	courses := []*materials.Course{
+		mkCourse("c1", "a", "b"),
+		mkCourse("c2", "b", "c"),
+		mkCourse("c3", "c", "d"),
+		mkCourse("c4", "d", "e"),
+	}
+	s, err := Build(courses, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(courses, Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.Root.Height < c.Root.Height) && math.Abs(s.Root.Height-c.Root.Height) > 1e-12 {
+		t.Fatalf("single root %v should be below complete root %v", s.Root.Height, c.Root.Height)
+	}
+}

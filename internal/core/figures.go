@@ -1,0 +1,360 @@
+// Package core is the paper-facing facade of the repository: one function
+// per figure of "Data-Driven Discovery of Anchor Points for PDC Content"
+// (SC-W 2023). Each Figure* function runs the corresponding analysis on
+// the synthesized dataset and returns a text artifact matching the
+// figure's content (plus optional SVG renderings); the cmd/figures binary
+// and the root benchmark harness are thin wrappers around this package.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"csmaterials/internal/agreement"
+	"csmaterials/internal/anchor"
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/factorize"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+	"csmaterials/internal/viz"
+)
+
+// Artifact is one regenerated figure: a text rendition (what the
+// benchmark prints) and optional named SVG documents.
+type Artifact struct {
+	ID   string
+	Text string
+	SVGs map[string]string
+}
+
+func guidelines() []*ontology.Guideline {
+	return []*ontology.Guideline{ontology.CS2013(), ontology.PDC12()}
+}
+
+// Figure1 reproduces the course inventory table.
+func Figure1() (*Artifact, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-6s %-6s %5s %5s\n", "course", "group", "also", "tags", "mats")
+	for _, c := range dataset.Courses() {
+		fmt.Fprintf(&b, "%-28s %-6s %-6s %5d %5d\n",
+			c.ID, c.Group, c.SecondaryGroup, len(c.TagSet()), len(c.Materials))
+	}
+	return &Artifact{ID: "figure1", Text: b.String()}, nil
+}
+
+// Figure2 reproduces the NNMF of all 20 courses with k = 4: the W matrix
+// heat map and the group reading of each dimension.
+func Figure2() (*Artifact, error) {
+	m, err := factorize.Analyze(dataset.Courses(), 4, factorize.PaperOptions(), guidelines()...)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, len(m.Courses))
+	for i, c := range m.Courses {
+		labels[i] = fmt.Sprintf("%s [%s]", c.ID, c.Group)
+	}
+	var b strings.Builder
+	b.WriteString("NNMF model of all courses with k=4, W matrix (rows normalized):\n")
+	w := m.W.NormalizeRowsL1()
+	b.WriteString(viz.ASCIIHeatmap(w, labels, 36))
+	b.WriteString("\ndimension readings (dominant course groups):\n")
+	for t, counts := range m.GroupPurity() {
+		var parts []string
+		var groups []string
+		for g := range counts {
+			groups = append(groups, string(g))
+		}
+		sort.Strings(groups)
+		for _, g := range groups {
+			parts = append(parts, fmt.Sprintf("%s:%d", g, counts[materials.CourseGroup(g)]))
+		}
+		fmt.Fprintf(&b, "  dim %d (%s): %s\n", t+1, m.TypeLabel(t), strings.Join(parts, " "))
+	}
+	return &Artifact{
+		ID:   "figure2",
+		Text: b.String(),
+		SVGs: map[string]string{
+			"figure2_w.svg": viz.SVGHeatmap(w, labels, []string{"d1", "d2", "d3", "d4"}, "Figure 2: NNMF of all courses, k=4, W matrix"),
+		},
+	}, nil
+}
+
+// figure3 renders one agreement distribution panel.
+func figure3(ids []string, label string) (*Artifact, error) {
+	a, err := agreement.Analyze(dataset.CoursesByID(ids), guidelines()...)
+	if err != nil {
+		return nil, err
+	}
+	series := a.Series()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d courses map to %d distinct curriculum tags\n", label, len(ids), a.NumTags())
+	for k := 2; k <= len(ids); k++ {
+		fmt.Fprintf(&b, "  tags in >=%d courses: %d\n", k, a.AtLeast(k))
+	}
+	b.WriteString(viz.ASCIISeries(series, 8))
+	return &Artifact{
+		ID:   "figure3-" + strings.ToLower(label),
+		Text: b.String(),
+		SVGs: map[string]string{
+			fmt.Sprintf("figure3_%s.svg", strings.ToLower(label)): viz.SVGSeries(series,
+				fmt.Sprintf("Figure 3: agreement in %s courses", label), "Tags", "How many courses the tag appears in"),
+		},
+	}, nil
+}
+
+// Figure3a reproduces the CS1 tag-agreement distribution.
+func Figure3a() (*Artifact, error) { return figure3(dataset.CS1CourseIDs(), "CS1") }
+
+// Figure3b reproduces the Data Structures tag-agreement distribution.
+func Figure3b() (*Artifact, error) { return figure3(dataset.DSCourseIDs(), "DS") }
+
+// agreementTrees renders the pruned hit-trees at the given thresholds.
+func agreementTrees(ids []string, label string, thresholds []int) (*Artifact, error) {
+	a, err := agreement.Analyze(dataset.CoursesByID(ids), guidelines()...)
+	if err != nil {
+		return nil, err
+	}
+	cs := ontology.CS2013()
+	var b strings.Builder
+	svgs := map[string]string{}
+	for _, k := range thresholds {
+		tree := a.Tree(cs, k)
+		span := a.KASpan(k)
+		counts := a.KACounts(k)
+		fmt.Fprintf(&b, "%s agreement >= %d courses: %d tags across areas %v\n", label, k, a.AtLeast(k), span)
+		var areas []string
+		for ka := range counts {
+			areas = append(areas, ka)
+		}
+		sort.Strings(areas)
+		for _, ka := range areas {
+			fmt.Fprintf(&b, "    %-28s %d tags\n", ka, counts[ka])
+		}
+		svgs[fmt.Sprintf("%s_agreement_%d.svg", strings.ToLower(label), k)] =
+			viz.SVGRadialTree(tree, viz.RadialOptions{Counts: a.Counts, LabelAreas: true})
+	}
+	return &Artifact{ID: strings.ToLower(label) + "-trees", Text: b.String(), SVGs: svgs}, nil
+}
+
+// Figure4 reproduces the CS1 agreement trees at thresholds 2, 3, 4.
+func Figure4() (*Artifact, error) {
+	return agreementTrees(dataset.CS1CourseIDs(), "CS1", []int{2, 3, 4})
+}
+
+// Figure6 reproduces the Data Structures agreement trees at 2, 3, 4.
+func Figure6() (*Artifact, error) {
+	return agreementTrees(dataset.DSCourseIDs(), "DS", []int{2, 3, 4})
+}
+
+// flavors renders a CS1/DS flavor factorization: W and H heat maps plus
+// the knowledge-area reading of every type and the k-selection
+// diagnostics.
+func flavors(ids []string, label string, figID string) (*Artifact, error) {
+	courses := dataset.CoursesByID(ids)
+	m, err := factorize.Analyze(courses, 3, factorize.PaperOptions(), guidelines()...)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, len(m.Courses))
+	for i, c := range m.Courses {
+		labels[i] = c.ID
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "NNMF of %s courses, k=3. W matrix (rows normalized):\n", label)
+	w := m.W.NormalizeRowsL1()
+	b.WriteString(viz.ASCIIHeatmap(w, labels, 28))
+	b.WriteString("\ntype readings (H-matrix knowledge-area mass):\n")
+	for t := 0; t < 3; t++ {
+		kas := m.DominantKAs(t)
+		var parts []string
+		for _, kw := range kas[:minInt(5, len(kas))] {
+			parts = append(parts, fmt.Sprintf("%s %.0f%%", kw.Tag, kw.Weight*100))
+		}
+		fmt.Fprintf(&b, "  type %d: %s\n", t+1, strings.Join(parts, ", "))
+	}
+	b.WriteString("\ncourse compositions:\n")
+	for i, c := range m.Courses {
+		shares := m.TypeShare(i)
+		fmt.Fprintf(&b, "  %-26s dominant=type %d  shares=%.2f  evenness=%.2f\n",
+			c.ID, m.DominantType(i)+1, shares, m.Evenness(i))
+	}
+	diag, err := factorize.CompareK(courses, []int{2, 3, 4}, factorize.PaperOptions(), guidelines()...)
+	if err != nil {
+		return nil, err
+	}
+	b.WriteString("\nmodel selection (the paper picked k=3 by inspection):\n")
+	for _, d := range diag {
+		fmt.Fprintf(&b, "  k=%d  reconstruction error=%.4f  H-row redundancy=%.3f\n", d.K, d.Err, d.Redundancy)
+	}
+	return &Artifact{
+		ID:   figID,
+		Text: b.String(),
+		SVGs: map[string]string{
+			figID + "_w.svg": viz.SVGHeatmap(w, labels, []string{"t1", "t2", "t3"},
+				fmt.Sprintf("NNMF of %s courses, k=3: W matrix", label)),
+			figID + "_h.svg": viz.SVGHeatmap(m.H, []string{"type 1", "type 2", "type 3"}, nil,
+				fmt.Sprintf("NNMF of %s courses, k=3: H matrix", label)),
+		},
+	}, nil
+}
+
+// Figure5 reproduces the CS1 flavor factorization (W and H, k=3).
+func Figure5() (*Artifact, error) {
+	return flavors(dataset.CS1CourseIDs(), "CS1", "figure5")
+}
+
+// Figure7 reproduces the DS+Algorithms flavor factorization (k=3).
+func Figure7() (*Artifact, error) {
+	return flavors(dataset.DSAlgoCourseIDs(), "DS+Algo", "figure7")
+}
+
+// Figure8 reproduces the PDC course agreement tree at threshold 2.
+func Figure8() (*Artifact, error) {
+	a, err := agreement.Analyze(dataset.CoursesByID(dataset.PDCCourseIDs()), guidelines()...)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "PDC course agreement at >= 2 of %d courses: %d tags\n", len(dataset.PDCCourseIDs()), a.AtLeast(2))
+	counts := a.KACounts(2)
+	var areas []string
+	for ka := range counts {
+		areas = append(areas, ka)
+	}
+	sort.Strings(areas)
+	for _, ka := range areas {
+		fmt.Fprintf(&b, "    %-34s %d tags\n", ka, counts[ka])
+	}
+	b.WriteString("\nnon-parallelism entries shared by >=2 PDC courses (the paper's anchors):\n")
+	parallelKAs := map[string]bool{"PD": true, "SF": true, "OS": true, "AR": true}
+	cs := ontology.CS2013()
+	for _, tag := range a.TagsAtLeast(2) {
+		n := cs.Lookup(tag)
+		if n == nil {
+			continue // PDC12 entry
+		}
+		if parallelKAs[ontology.AreaOf(n).ID] {
+			continue
+		}
+		fmt.Fprintf(&b, "    %s (in %d courses)\n", tag, a.Counts[tag])
+	}
+	tree := a.Tree(cs, 2)
+	pdcTree := a.Tree(ontology.PDC12(), 2)
+	return &Artifact{
+		ID:   "figure8",
+		Text: b.String(),
+		SVGs: map[string]string{
+			"figure8_cs2013.svg": viz.SVGRadialTree(tree, viz.RadialOptions{Counts: a.Counts, LabelAreas: true}),
+			"figure8_pdc12.svg":  viz.SVGRadialTree(pdcTree, viz.RadialOptions{Counts: a.Counts, LabelAreas: true}),
+		},
+	}, nil
+}
+
+// AnchorReport reproduces the §5.2 discussion as a machine-generated
+// report: for every course, the PDC content that anchors into it.
+func AnchorReport() (*Artifact, error) {
+	rec, err := anchor.NewRecommender(guidelines()...)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	for _, c := range dataset.Courses() {
+		recs := rec.Recommend(c)
+		if len(recs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "=== %s [%s]\n", c.ID, c.Group)
+		b.WriteString(anchor.Report(recs))
+	}
+	return &Artifact{ID: "anchors", Text: b.String()}, nil
+}
+
+// AlignmentArtifact renders the §3.1.1 radial alignment view between two
+// courses: the union of their curriculum tags as a hit-tree, each node
+// colored on a divergent scale (-1 = only the left course covers it,
+// 0 = both, +1 = only the right course) and sized by material counts.
+func AlignmentArtifact(leftID, rightID string) (*Artifact, error) {
+	repo := dataset.Repository()
+	left := repo.Course(leftID)
+	right := repo.Course(rightID)
+	if left == nil {
+		return nil, fmt.Errorf("core: unknown course %q", leftID)
+	}
+	if right == nil {
+		return nil, fmt.Errorf("core: unknown course %q", rightID)
+	}
+	al := agreement.Align(left.Materials, right.Materials)
+
+	alignment := map[string]float64{}
+	counts := map[string]int{}
+	lc, rc := left.TagCounts(), right.TagCounts()
+	for _, t := range al.OnlyLeft {
+		alignment[t] = -1
+		counts[t] = lc[t]
+	}
+	for _, t := range al.OnlyRight {
+		alignment[t] = 1
+		counts[t] = rc[t]
+	}
+	for _, t := range al.Shared {
+		// Shade toward the side with more materials on the tag.
+		l, r := float64(lc[t]), float64(rc[t])
+		alignment[t] = (r - l) / (r + l)
+		counts[t] = lc[t] + rc[t]
+	}
+	cs := ontology.CS2013()
+	tree := cs.Prune(func(n *ontology.Node) bool {
+		_, hit := alignment[n.ID]
+		return hit && len(n.Children) == 0
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "alignment of %s vs %s\n", leftID, rightID)
+	fmt.Fprintf(&b, "  Jaccard: %.2f\n", al.Jaccard)
+	fmt.Fprintf(&b, "  shared tags: %d\n", len(al.Shared))
+	fmt.Fprintf(&b, "  only in %s: %d\n", leftID, len(al.OnlyLeft))
+	fmt.Fprintf(&b, "  only in %s: %d\n", rightID, len(al.OnlyRight))
+
+	return &Artifact{
+		ID:   "alignment",
+		Text: b.String(),
+		SVGs: map[string]string{
+			"alignment.svg": viz.SVGRadialTree(tree, viz.RadialOptions{
+				Counts:     counts,
+				Alignment:  alignment,
+				LabelAreas: true,
+			}),
+		},
+	}, nil
+}
+
+// Figures returns every artifact generator keyed by figure ID, in paper
+// order.
+func Figures() []struct {
+	ID  string
+	Gen func() (*Artifact, error)
+} {
+	return []struct {
+		ID  string
+		Gen func() (*Artifact, error)
+	}{
+		{"1", Figure1},
+		{"2", Figure2},
+		{"3a", Figure3a},
+		{"3b", Figure3b},
+		{"4", Figure4},
+		{"5", Figure5},
+		{"6", Figure6},
+		{"7", Figure7},
+		{"8", Figure8},
+		{"anchors", AnchorReport},
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

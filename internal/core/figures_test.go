@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEveryFigureGenerates(t *testing.T) {
+	for _, f := range Figures() {
+		art, err := f.Gen()
+		if err != nil {
+			t.Fatalf("figure %s: %v", f.ID, err)
+		}
+		if art.Text == "" {
+			t.Errorf("figure %s produced empty text", f.ID)
+		}
+		for name, svg := range art.SVGs {
+			if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+				t.Errorf("figure %s: %s is not a valid SVG", f.ID, name)
+			}
+		}
+	}
+}
+
+func TestFigure1ListsAllCourses(t *testing.T) {
+	art, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(art.Text, "\n"), "\n")
+	if len(lines) != 21 { // header + 20 courses
+		t.Fatalf("figure 1 has %d lines, want 21", len(lines))
+	}
+	if !strings.Contains(art.Text, "uncc-3145-saule") || !strings.Contains(art.Text, "utsa-bopana") {
+		t.Fatal("figure 1 missing courses")
+	}
+}
+
+func TestFigure2MentionsAllDimensions(t *testing.T) {
+	art, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dim := range []string{"dim 1", "dim 2", "dim 3", "dim 4"} {
+		if !strings.Contains(art.Text, dim) {
+			t.Errorf("figure 2 missing %s", dim)
+		}
+	}
+	if len(art.SVGs) != 1 {
+		t.Fatalf("figure 2 SVGs = %d", len(art.SVGs))
+	}
+}
+
+func TestFigure3Panels(t *testing.T) {
+	a, err := Figure3a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Text, "CS1: 6 courses") {
+		t.Fatalf("figure 3a header wrong: %q", strings.SplitN(a.Text, "\n", 2)[0])
+	}
+	b, err := Figure3b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.Text, "DS: 5 courses") {
+		t.Fatal("figure 3b header wrong")
+	}
+}
+
+func TestFigure4ReportsNarrowing(t *testing.T) {
+	art, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(art.Text, "agreement >= 2") || !strings.Contains(art.Text, "agreement >= 4") {
+		t.Fatal("figure 4 missing thresholds")
+	}
+	if len(art.SVGs) != 3 {
+		t.Fatalf("figure 4 SVGs = %d, want 3", len(art.SVGs))
+	}
+}
+
+func TestFigure5ListsTypesAndSelection(t *testing.T) {
+	art, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"type 1", "type 2", "type 3", "k=2", "k=3", "k=4", "washu-cse131-singh"} {
+		if !strings.Contains(art.Text, want) {
+			t.Errorf("figure 5 missing %q", want)
+		}
+	}
+	if len(art.SVGs) != 2 {
+		t.Fatalf("figure 5 SVGs = %d, want 2 (W and H)", len(art.SVGs))
+	}
+}
+
+func TestFigure8ListsAnchors(t *testing.T) {
+	art, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"DS/graphs-and-trees/directed-graphs",
+		"SDF/fundamental-programming-concepts/the-concept-of-recursion",
+		"AL/basic-analysis/big-o-notation-use",
+	} {
+		if !strings.Contains(art.Text, want) {
+			t.Errorf("figure 8 missing anchor %q", want)
+		}
+	}
+}
+
+func TestAnchorReportCoversCS1AndDS(t *testing.T) {
+	art, err := AnchorReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ccc-csci40-kerney", "vcu-cmsc256-duke", "reduction-order", "thread-safe-types", "task-graph-scheduling"} {
+		if !strings.Contains(art.Text, want) {
+			t.Errorf("anchor report missing %q", want)
+		}
+	}
+}
+
+func TestAlignmentArtifact(t *testing.T) {
+	art, err := AlignmentArtifact("uncc-2214-krs", "uncc-2214-saule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(art.Text, "Jaccard") {
+		t.Fatal("alignment text missing Jaccard")
+	}
+	svg := art.SVGs["alignment.svg"]
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("alignment SVG malformed")
+	}
+	// Two sections of the same course share a large core: Jaccard well
+	// above cross-family alignments.
+	cross, err := AlignmentArtifact("uncc-2214-krs", "utsa-bopana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cross.Text, "Jaccard: 0.0") {
+		t.Fatalf("DS vs networking alignment should be near zero:\n%s", cross.Text)
+	}
+	if _, err := AlignmentArtifact("ghost", "utsa-bopana"); err == nil {
+		t.Fatal("unknown left course accepted")
+	}
+	if _, err := AlignmentArtifact("utsa-bopana", "ghost"); err == nil {
+		t.Fatal("unknown right course accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden figure files")
+
+// TestGoldenFigures locks the exact text of every regenerated figure.
+// The dataset, the NNMF seeds, and every analysis are deterministic, so
+// any diff here is a real behavior change — rerun with -update only when
+// the change is intended, and review the diff like the paper artifact it
+// is.
+func TestGoldenFigures(t *testing.T) {
+	for _, f := range Figures() {
+		f := f
+		t.Run(f.ID, func(t *testing.T) {
+			art, err := f.Gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden-"+art.ID+".txt")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(art.Text), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/core -update`): %v", err)
+			}
+			if string(want) != art.Text {
+				t.Errorf("figure %s drifted from its golden file %s;\nif intended, regenerate with -update", f.ID, path)
+			}
+		})
+	}
+}

@@ -1,0 +1,393 @@
+// Package dataset synthesizes the paper's 20-course workshop dataset
+// (Figure 1). The real classifications collected through the CS Materials
+// workshops are not published, so this package builds a calibrated
+// substitute: each course is a probabilistic mixture of *archetype* tag
+// pools drawn from the CS2013 and PDC12 guidelines, with mixture weights
+// set from the paper's narrative (which instructor's course leans which
+// way), plus per-course idiosyncratic tags.
+//
+// The calibration targets are the paper's aggregate statistics — total
+// distinct tags per course group, the agreement distributions of Figure 3,
+// the knowledge-area spans of Figures 4/6/8, and the NNMF type structure
+// of Figures 2/5/7. The tests in this package assert those shapes.
+package dataset
+
+import (
+	"fmt"
+
+	"csmaterials/internal/ontology"
+)
+
+// tagProb is one entry of an archetype: a curriculum tag and the base
+// probability that a course built on this archetype covers it.
+type tagProb struct {
+	id string
+	p  float64
+}
+
+// archetype is a named pool of weighted curriculum tags.
+type archetype struct {
+	name string
+	tags []tagProb
+}
+
+// pool collects tagProb entries with convenience builders; it panics on
+// unknown IDs so that typos in the data tables fail fast.
+type pool struct {
+	cs  *ontology.Guideline
+	pdc *ontology.Guideline
+	out []tagProb
+}
+
+func newPool() *pool {
+	return &pool{cs: ontology.CS2013(), pdc: ontology.PDC12()}
+}
+
+// leaf adds a single CS2013 leaf by ID.
+func (b *pool) leaf(id string, p float64) *pool {
+	n := b.cs.Lookup(id)
+	if n == nil {
+		n = b.pdc.Lookup(id)
+	}
+	if n == nil {
+		panic(fmt.Sprintf("dataset: unknown tag %q", id))
+	}
+	if len(n.Children) != 0 {
+		panic(fmt.Sprintf("dataset: tag %q is not a leaf", id))
+	}
+	b.out = append(b.out, tagProb{id: id, p: p})
+	return b
+}
+
+// unit adds every leaf under a CS2013 knowledge unit.
+func (b *pool) unit(id string, p float64) *pool {
+	return b.subtree(b.cs, id, p)
+}
+
+// pdcUnit adds every leaf under a PDC12 unit or area.
+func (b *pool) pdcUnit(id string, p float64) *pool {
+	return b.subtree(b.pdc, id, p)
+}
+
+func (b *pool) subtree(g *ontology.Guideline, id string, p float64) *pool {
+	root := g.Lookup(id)
+	if root == nil {
+		panic(fmt.Sprintf("dataset: unknown subtree %q in %s", id, g.Name))
+	}
+	n := 0
+	var walk func(*ontology.Node)
+	walk = func(m *ontology.Node) {
+		if len(m.Children) == 0 {
+			b.out = append(b.out, tagProb{id: m.ID, p: p})
+			n++
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if n == 0 {
+		panic(fmt.Sprintf("dataset: subtree %q has no leaves", id))
+	}
+	return b
+}
+
+// topicsOnly adds only the KindTopic leaves under a unit (skipping
+// learning outcomes) — used where a course covers the subject matter but
+// the instructor did not classify against outcome entries.
+func (b *pool) topicsOnly(id string, p float64) *pool {
+	root := b.cs.Lookup(id)
+	if root == nil {
+		panic(fmt.Sprintf("dataset: unknown subtree %q", id))
+	}
+	for _, c := range root.Children {
+		if c.Kind == ontology.KindTopic {
+			b.out = append(b.out, tagProb{id: c.ID, p: p})
+		}
+	}
+	return b
+}
+
+func (b *pool) build(name string) archetype {
+	if len(b.out) == 0 {
+		panic(fmt.Sprintf("dataset: archetype %q is empty", name))
+	}
+	return archetype{name: name, tags: b.out}
+}
+
+// Archetype names used by the course specs.
+const (
+	archImperative    = "imperative"    // CS1 type 2 backbone: FPC + development methods
+	archDataRep       = "data-rep"      // CS1 type 2 extras: in-memory representation, testing/correctness
+	archAlgoThinking  = "algo-thinking" // CS1 type 1: complexity, D&C, sorting, basic structures
+	archOOP           = "oop"           // CS1 type 3 / DS type 2: classes, inheritance, polymorphism, generics
+	archDSCore        = "ds-core"       // the classic Data Structures core all DS flavors share
+	archDSPeriphery   = "ds-periphery"  // Java-flavored periphery: collections, iterators, visualization
+	archDSApps        = "ds-apps"       // DS type 1: problem solving, datasets, APIs, visualization
+	archCombinatorial = "combinatorial" // DS type 3 / Algorithms: greedy, DP, counting, enumeration
+	archSoftEng       = "softeng"       // software engineering courses
+	archPDC           = "pdc"           // parallel and distributed computing courses
+	archPDCAnchors    = "pdc-anchors"   // the non-PDC entries PDC courses share: digraphs, recursion/D&C, Big-Oh
+	archNetworking    = "networking"    // the computer-network course
+	archCS2Bridge     = "cs2-bridge"    // CS2: imperative consolidation + early data structures
+)
+
+// buildArchetypes constructs every archetype pool from the guidelines.
+func buildArchetypes() map[string]archetype {
+	m := map[string]archetype{}
+	add := func(a archetype) {
+		if _, dup := m[a.name]; dup {
+			panic("dataset: duplicate archetype " + a.name)
+		}
+		m[a.name] = a
+	}
+
+	// --- CS1 archetypes -------------------------------------------------
+
+	add(newPool().
+		unit("SDF/fundamental-programming-concepts", 0.9).
+		leaf("SDF/algorithms-and-design/implementation-of-algorithms", 0.85).
+		leaf("SDF/algorithms-and-design/the-concept-and-properties-of-algorithms", 0.6).
+		leaf("SDF/algorithms-and-design/problem-solving-strategies", 0.6).
+		leaf("SDF/algorithms-and-design/the-role-of-algorithms-in-the-problem-solving-process", 0.45).
+		unit("SDF/development-methods", 0.45).
+		build(archImperative))
+
+	add(newPool().
+		unit("AR/machine-level-representation-of-data", 0.85).
+		leaf("CN/processing/fundamentals-of-numerical-computation-and-error", 0.3).
+		leaf("IAS/defensive-programming/input-validation-and-data-sanitization", 0.4).
+		leaf("IAS/defensive-programming/correct-handling-of-exceptions-and-error-cases", 0.35).
+		leaf("IAS/defensive-programming/checking-the-correctness-of-programs-assertions-and-invariants", 0.4).
+		leaf("IAS/defensive-programming/use-assertions-to-document-and-check-invariants", 0.3).
+		leaf("SE/software-verification-and-validation/testing-levels-unit-integration-system-acceptance", 0.4).
+		leaf("SE/software-verification-and-validation/black-box-and-white-box-test-design", 0.3).
+		leaf("SE/software-verification-and-validation/verification-versus-validation", 0.25).
+		leaf("OS/overview-of-operating-systems/role-and-purpose-of-the-operating-system", 0.25).
+		build(archDataRep))
+
+	add(newPool().
+		unit("AL/basic-analysis", 0.8).
+		leaf("AL/algorithmic-strategies/brute-force-algorithms", 0.65).
+		leaf("AL/algorithmic-strategies/divide-and-conquer", 0.85).
+		leaf("AL/algorithmic-strategies/recursive-backtracking", 0.5).
+		leaf("AL/algorithmic-strategies/use-a-divide-and-conquer-algorithm-to-solve-an-appropriate-problem", 0.6).
+		leaf("AL/fundamental-data-structures-and-algorithms/sequential-and-binary-search-algorithms", 0.85).
+		leaf("AL/fundamental-data-structures-and-algorithms/quadratic-sorting-algorithms-selection-and-insertion-sort", 0.8).
+		leaf("AL/fundamental-data-structures-and-algorithms/o-n-log-n-sorting-algorithms-quicksort-heapsort-mergesort", 0.75).
+		leaf("AL/fundamental-data-structures-and-algorithms/binary-search-trees-common-operations", 0.6).
+		leaf("AL/fundamental-data-structures-and-algorithms/implement-basic-numerical-and-string-searching-algorithms", 0.6).
+		leaf("AL/fundamental-data-structures-and-algorithms/implement-common-quadratic-and-o-n-log-n-sorting-algorithms", 0.6).
+		unit("SDF/fundamental-data-structures", 0.8).
+		leaf("DS/graphs-and-trees/trees-properties-and-traversal-strategies", 0.45).
+		leaf("DS/graphs-and-trees/model-problems-using-graphs-and-trees", 0.3).
+		build(archAlgoThinking))
+
+	add(newPool().
+		unit("PL/object-oriented-programming", 0.9).
+		leaf("PL/basic-type-systems/generic-types-and-parametric-polymorphism", 0.6).
+		leaf("PL/basic-type-systems/define-and-use-a-generic-type", 0.55).
+		leaf("PL/basic-type-systems/a-type-as-a-set-of-values-with-operations", 0.5).
+		leaf("PL/event-driven-and-reactive-programming/events-and-event-handlers", 0.45).
+		leaf("PL/event-driven-and-reactive-programming/write-event-handlers-for-a-simple-graphical-application", 0.35).
+		leaf("SE/software-design/principles-of-design-coupling-cohesion-information-hiding", 0.45).
+		leaf("SE/software-design/designing-for-reuse-and-maintainability", 0.35).
+		build(archOOP))
+
+	// --- Data Structures archetypes --------------------------------------
+
+	add(newPool().
+		leaf("AL/basic-analysis/big-o-notation-formal-definition", 0.9).
+		leaf("AL/basic-analysis/big-o-notation-use", 0.95).
+		leaf("AL/basic-analysis/complexity-classes-such-as-constant-logarithmic-linear-and-quadratic", 0.9).
+		leaf("AL/basic-analysis/differences-among-best-expected-and-worst-case-behaviors", 0.8).
+		leaf("AL/basic-analysis/use-big-o-notation-to-give-asymptotic-upper-bounds", 0.85).
+		leaf("AL/basic-analysis/determine-informally-the-time-and-space-complexity-of-simple-algorithms", 0.8).
+		leaf("AL/basic-analysis/time-and-space-trade-offs-in-algorithms", 0.6).
+		unit("SDF/fundamental-data-structures", 0.9).
+		leaf("AL/fundamental-data-structures-and-algorithms/sequential-and-binary-search-algorithms", 0.9).
+		leaf("AL/fundamental-data-structures-and-algorithms/quadratic-sorting-algorithms-selection-and-insertion-sort", 0.85).
+		leaf("AL/fundamental-data-structures-and-algorithms/o-n-log-n-sorting-algorithms-quicksort-heapsort-mergesort", 0.9).
+		leaf("AL/fundamental-data-structures-and-algorithms/hash-tables-including-collision-avoidance-strategies", 0.9).
+		leaf("AL/fundamental-data-structures-and-algorithms/binary-search-trees-common-operations", 0.9).
+		leaf("AL/fundamental-data-structures-and-algorithms/balanced-binary-search-trees", 0.7).
+		leaf("AL/fundamental-data-structures-and-algorithms/heaps-and-priority-queues", 0.8).
+		leaf("AL/fundamental-data-structures-and-algorithms/graphs-and-graph-algorithms-representations", 0.85).
+		leaf("AL/fundamental-data-structures-and-algorithms/graph-traversals-depth-first-and-breadth-first", 0.85).
+		leaf("AL/fundamental-data-structures-and-algorithms/implement-and-use-a-hash-table-handling-collisions", 0.75).
+		leaf("AL/fundamental-data-structures-and-algorithms/implement-binary-search-trees-and-their-traversals", 0.8).
+		leaf("AL/fundamental-data-structures-and-algorithms/implement-graph-algorithms-including-traversals-and-shortest-paths", 0.6).
+		leaf("AL/fundamental-data-structures-and-algorithms/discuss-runtime-and-memory-efficiency-of-principal-algorithms", 0.7).
+		leaf("AL/fundamental-data-structures-and-algorithms/select-an-appropriate-sorting-or-searching-algorithm-for-an-application", 0.6).
+		leaf("SDF/fundamental-programming-concepts/the-concept-of-recursion", 0.9).
+		leaf("SDF/fundamental-programming-concepts/describe-the-concept-of-recursion-and-give-examples-of-its-use", 0.75).
+		leaf("SDF/fundamental-programming-concepts/identify-base-and-recursive-cases-of-a-recursive-function", 0.7).
+		leaf("SDF/algorithms-and-design/iterative-and-recursive-traversal-of-data-structures", 0.85).
+		leaf("SDF/algorithms-and-design/divide-and-conquer-strategies", 0.75).
+		leaf("DS/graphs-and-trees/trees-properties-and-traversal-strategies", 0.8).
+		leaf("DS/graphs-and-trees/undirected-graphs", 0.7).
+		leaf("DS/graphs-and-trees/directed-graphs", 0.7).
+		leaf("DS/graphs-and-trees/weighted-graphs", 0.6).
+		leaf("DS/graphs-and-trees/illustrate-the-basic-terminology-of-graph-theory-and-properties-of-trees", 0.55).
+		leaf("DS/graphs-and-trees/demonstrate-traversal-methods-for-trees-and-graphs", 0.6).
+		// Commonly-covered band: entries most Data Structure courses
+		// touch without them being the defining core. This band creates
+		// the broad 2-3 course agreement of Figure 3b.
+		leaf("AL/basic-analysis/empirical-measurement-of-performance", 0.5).
+		leaf("AL/basic-analysis/explain-what-is-meant-by-best-expected-and-worst-case-behavior", 0.55).
+		leaf("AL/basic-analysis/perform-empirical-studies-to-validate-hypotheses-about-runtime", 0.45).
+		leaf("AL/basic-analysis/asymptotic-analysis-of-upper-and-expected-complexity-bounds", 0.55).
+		leaf("AL/basic-analysis/recurrence-relations-and-the-analysis-of-recursive-algorithms", 0.5).
+		leaf("AL/basic-analysis/solve-elementary-recurrence-relations", 0.4).
+		leaf("AL/algorithmic-strategies/divide-and-conquer", 0.6).
+		leaf("AL/algorithmic-strategies/use-a-divide-and-conquer-algorithm-to-solve-an-appropriate-problem", 0.45).
+		leaf("AL/fundamental-data-structures-and-algorithms/pattern-matching-and-string-processing-algorithms", 0.45).
+		leaf("DS/proof-techniques/recursive-mathematical-definitions", 0.5).
+		leaf("DS/proof-techniques/weak-and-strong-mathematical-induction", 0.45).
+		leaf("DS/proof-techniques/structural-induction", 0.35).
+		leaf("DS/sets-relations-and-functions/sets-venn-diagrams-union-intersection-complement", 0.4).
+		leaf("SDF/fundamental-programming-concepts/basic-syntax-and-semantics-of-a-higher-level-language", 0.5).
+		leaf("SDF/fundamental-programming-concepts/functions-and-parameter-passing", 0.55).
+		leaf("SDF/fundamental-programming-concepts/iterative-control-structures", 0.5).
+		leaf("SDF/fundamental-programming-concepts/expressions-and-assignments", 0.4).
+		leaf("SDF/algorithms-and-design/abstraction-and-encapsulation-in-program-design", 0.55).
+		leaf("SDF/algorithms-and-design/separation-of-behavior-and-implementation", 0.5).
+		leaf("SDF/algorithms-and-design/iterative-and-recursive-mathematical-functions", 0.45).
+		leaf("SDF/algorithms-and-design/identify-the-data-components-and-behaviors-of-multiple-abstract-data-types", 0.5).
+		leaf("SDF/development-methods/unit-testing-and-test-case-design", 0.5).
+		leaf("SDF/development-methods/debugging-strategies", 0.55).
+		leaf("SDF/development-methods/program-comprehension", 0.45).
+		leaf("SDF/development-methods/trace-the-execution-of-a-variety-of-code-segments", 0.4).
+		leaf("PL/language-translation-and-execution/memory-management-garbage-collection-versus-manual", 0.4).
+		leaf("PL/basic-type-systems/primitive-types-versus-compound-types", 0.45).
+		build(archDSCore))
+
+	add(newPool().
+		leaf("PL/object-oriented-programming/collection-classes-and-iterators", 0.5).
+		leaf("PL/object-oriented-programming/use-iterators-and-collection-classes-to-process-aggregates", 0.45).
+		leaf("PL/object-oriented-programming/generics-and-parameterized-types", 0.45).
+		leaf("PL/object-oriented-programming/object-interfaces-and-abstract-classes", 0.4).
+		leaf("PL/object-oriented-programming/object-oriented-design-classes-and-objects", 0.5).
+		leaf("PL/object-oriented-programming/encapsulation-and-information-hiding", 0.45).
+		leaf("PL/object-oriented-programming/definition-of-classes-fields-methods-and-constructors", 0.4).
+		leaf("CN/interactive-visualization/interactive-charts-maps-and-graph-drawings", 0.4).
+		leaf("CN/introduction-to-modeling-and-simulation/visualizing-simulation-results", 0.35).
+		leaf("CN/introduction-to-modeling-and-simulation/working-with-large-datasets", 0.45).
+		build(archDSPeriphery))
+
+	add(newPool().
+		unit("CN/introduction-to-modeling-and-simulation", 0.75).
+		leaf("CN/interactive-visualization/principles-of-visual-encoding-of-data", 0.6).
+		leaf("CN/interactive-visualization/build-an-interactive-visualization-of-a-dataset", 0.55).
+		leaf("CN/data-information-and-knowledge/acquisition-cleaning-and-provenance-of-data", 0.6).
+		leaf("CN/data-information-and-knowledge/clean-and-document-a-raw-dataset-for-analysis", 0.5).
+		leaf("IM/information-management-concepts/data-capture-representation-and-organization", 0.65).
+		leaf("IM/information-management-concepts/indexing-and-searching-stored-information", 0.7).
+		leaf("IM/information-management-concepts/design-an-index-to-support-efficient-search-over-a-dataset", 0.55).
+		leaf("SDF/development-methods/modern-programming-environments-and-libraries", 0.7).
+		leaf("SDF/development-methods/construct-and-debug-programs-using-standard-libraries", 0.65).
+		leaf("SDF/algorithms-and-design/problem-solving-strategies", 0.7).
+		leaf("SDF/algorithms-and-design/the-role-of-algorithms-in-the-problem-solving-process", 0.6).
+		leaf("GV/visualization/information-visualization-of-trees-graphs-and-tables", 0.4).
+		build(archDSApps))
+
+	add(newPool().
+		leaf("AL/algorithmic-strategies/greedy-algorithms", 0.9).
+		leaf("AL/algorithmic-strategies/dynamic-programming", 0.9).
+		leaf("AL/algorithmic-strategies/recursive-backtracking", 0.75).
+		leaf("AL/algorithmic-strategies/brute-force-algorithms", 0.7).
+		leaf("AL/algorithmic-strategies/reduction-transform-and-conquer", 0.55).
+		leaf("AL/algorithmic-strategies/use-a-greedy-approach-to-solve-an-appropriate-problem", 0.7).
+		leaf("AL/algorithmic-strategies/use-dynamic-programming-to-solve-an-appropriate-problem", 0.7).
+		leaf("AL/algorithmic-strategies/determine-an-appropriate-algorithmic-approach-to-a-problem", 0.6).
+		leaf("AL/fundamental-data-structures-and-algorithms/shortest-path-algorithms-dijkstra-and-floyd", 0.75).
+		leaf("AL/fundamental-data-structures-and-algorithms/minimum-spanning-trees-prim-and-kruskal", 0.7).
+		leaf("AL/fundamental-data-structures-and-algorithms/topological-sort-of-a-directed-acyclic-graph", 0.6).
+		unit("DS/basics-of-counting", 0.7).
+		leaf("DS/sets-relations-and-functions/sets-venn-diagrams-union-intersection-complement", 0.6).
+		leaf("DS/sets-relations-and-functions/sets-cartesian-products-and-power-sets", 0.45).
+		leaf("DS/sets-relations-and-functions/perform-the-operations-of-union-intersection-complement-on-sets", 0.5).
+		leaf("AL/basic-analysis/recurrence-relations-and-the-analysis-of-recursive-algorithms", 0.75).
+		leaf("AL/basic-analysis/solve-elementary-recurrence-relations", 0.65).
+		leaf("AL/basic-automata-computability-and-complexity/introduction-to-the-p-and-np-classes-and-the-p-vs-np-problem", 0.5).
+		leaf("AL/basic-automata-computability-and-complexity/np-completeness-and-cook-s-theorem", 0.4).
+		leaf("AL/advanced-data-structures-algorithms-and-analysis/graphs-network-flows-and-matching", 0.35).
+		leaf("AL/advanced-data-structures-algorithms-and-analysis/randomized-algorithms", 0.3).
+		leaf("AL/advanced-data-structures-algorithms-and-analysis/union-find-and-path-compression", 0.35).
+		build(archCombinatorial))
+
+	// --- Other course archetypes -----------------------------------------
+
+	add(newPool().
+		unit("SE/software-processes", 0.85).
+		unit("SE/software-project-management", 0.8).
+		unit("SE/tools-and-environments", 0.75).
+		unit("SE/requirements-engineering", 0.85).
+		unit("SE/software-design", 0.8).
+		unit("SE/software-construction", 0.75).
+		unit("SE/software-verification-and-validation", 0.8).
+		unit("SE/software-evolution", 0.5).
+		leaf("SP/professional-communication/writing-technical-documentation", 0.5).
+		leaf("SP/professional-communication/communicating-with-stakeholders", 0.45).
+		leaf("SP/professional-communication/present-a-technical-solution-to-a-non-technical-audience", 0.4).
+		leaf("HCI/foundations/usability-heuristics-and-principles", 0.35).
+		build(archSoftEng))
+
+	add(newPool().
+		unit("PD/parallelism-fundamentals", 0.9).
+		unit("PD/parallel-decomposition", 0.85).
+		unit("PD/communication-and-coordination", 0.85).
+		unit("PD/parallel-algorithms-analysis-and-programming", 0.8).
+		unit("PD/parallel-architecture", 0.7).
+		unit("PD/parallel-performance", 0.55).
+		unit("PD/distributed-systems", 0.4).
+		unit("OS/concurrency", 0.6).
+		unit("SF/parallelism", 0.6).
+		leaf("SF/evaluation/apply-amdahl-s-law-to-predict-improvement-limits", 0.5).
+		leaf("AR/multiprocessing-and-alternative-architectures/shared-memory-multiprocessors-and-cache-coherence", 0.5).
+		leaf("AR/multiprocessing-and-alternative-architectures/gpu-and-accelerator-architectures", 0.4).
+		leaf("AR/assembly-level-machine-organization/introduction-to-simd-versus-mimd-and-the-flynn-taxonomy", 0.45).
+		pdcUnit("PROG/parallel-programming-paradigms", 0.6).
+		pdcUnit("PROG/semantics-and-correctness-issues", 0.55).
+		pdcUnit("ALGO/parallel-and-distributed-models-and-complexity", 0.6).
+		pdcUnit("ALGO/algorithmic-paradigms", 0.55).
+		pdcUnit("ARCH/classes-of-parallelism", 0.45).
+		pdcUnit("XCUT/concurrency-concepts", 0.5).
+		build(archPDC))
+
+	add(newPool().
+		leaf("DS/graphs-and-trees/directed-graphs", 0.98).
+		leaf("SDF/fundamental-programming-concepts/the-concept-of-recursion", 0.95).
+		leaf("SDF/algorithms-and-design/divide-and-conquer-strategies", 0.92).
+		leaf("AL/algorithmic-strategies/divide-and-conquer", 0.92).
+		leaf("AL/basic-analysis/big-o-notation-use", 0.95).
+		leaf("AL/basic-analysis/asymptotic-analysis-of-upper-and-expected-complexity-bounds", 0.9).
+		build(archPDCAnchors))
+
+	add(newPool().
+		unit("NC/introduction", 0.9).
+		unit("NC/networked-applications", 0.85).
+		unit("NC/reliable-data-delivery", 0.8).
+		unit("NC/routing-and-forwarding", 0.75).
+		unit("NC/local-area-networks", 0.7).
+		unit("NC/resource-allocation", 0.5).
+		unit("NC/mobility", 0.4).
+		leaf("IAS/network-security/firewalls-and-intrusion-detection", 0.5).
+		leaf("IAS/network-security/transport-layer-security", 0.45).
+		build(archNetworking))
+
+	add(newPool().
+		unit("SDF/fundamental-data-structures", 0.8).
+		leaf("SDF/fundamental-programming-concepts/functions-and-parameter-passing", 0.7).
+		leaf("SDF/fundamental-programming-concepts/the-concept-of-recursion", 0.75).
+		leaf("AL/basic-analysis/big-o-notation-use", 0.6).
+		leaf("AL/fundamental-data-structures-and-algorithms/sequential-and-binary-search-algorithms", 0.7).
+		leaf("AL/fundamental-data-structures-and-algorithms/quadratic-sorting-algorithms-selection-and-insertion-sort", 0.65).
+		leaf("PL/object-oriented-programming/object-oriented-design-classes-and-objects", 0.6).
+		leaf("PL/object-oriented-programming/inheritance-and-subtyping", 0.5).
+		unit("SDF/development-methods", 0.55).
+		build(archCS2Bridge))
+
+	return m
+}

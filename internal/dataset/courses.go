@@ -1,0 +1,263 @@
+package dataset
+
+import "csmaterials/internal/materials"
+
+// component is one archetype with its mixture weight in a course. The
+// probability that a course covers a tag is the archetype base
+// probability times the weight (capped at 0.98), taking the maximum when
+// several components supply the same tag.
+type component struct {
+	arch   string
+	weight float64
+}
+
+// spec describes one course of Figure 1.
+type spec struct {
+	id          string
+	name        string
+	institution string
+	instructor  string
+	group       materials.CourseGroup
+	secondary   materials.CourseGroup
+	mix         []component
+	noise       int // idiosyncratic tags unique to this course
+}
+
+// courseSpecs reconstructs Figure 1: the 20 retained workshop courses
+// with their group labels, plus mixture weights encoding the paper's
+// narrative about each course's flavor:
+//
+//   - Kerney's and Bourke's CS1 are imperative + data-representation
+//     (type 2 in Figure 5); Kurdia's is imperative; Singh's is
+//     object-oriented (type 3, taught in Java); Ahmed's is data
+//     structures and algorithms (type 1, "CS1" in name only);
+//     Toups' blends imperative and algorithms.
+//   - UNCC's two 2214 sections are application-flavored DS (type 1 in
+//     Figure 7), VCU's is OOP-flavored (type 2), BSC's and the two
+//     Algorithms courses are combinatorial (type 3), and UCF's course
+//     hits all three evenly.
+var courseSpecs = []spec{
+	{
+		id: "uncc-2214-krs", name: "UNCC ITCS 2214 KRS Data Structures and Algorithms",
+		institution: "UNC Charlotte", instructor: "KRS", group: materials.GroupDS,
+		mix: []component{
+			{archDSCore, 1.0}, {archDSPeriphery, 0.9}, {archDSApps, 1.0},
+		},
+		noise: 30,
+	},
+	{
+		id: "uncc-2214-saule", name: "UNCC ITCS 2214 Saule Data Structures and Algorithms",
+		institution: "UNC Charlotte", instructor: "Saule", group: materials.GroupDS,
+		mix: []component{
+			{archDSCore, 1.0}, {archDSPeriphery, 0.8}, {archDSApps, 0.9},
+			{archOOP, 0.2}, {archCombinatorial, 0.35},
+		},
+		noise: 28,
+	},
+	{
+		id: "uncc-3145-saule", name: "UNCC ITCS 3145 Saule Parallel and Distributed Computing",
+		institution: "UNC Charlotte", instructor: "Saule", group: materials.GroupPDC,
+		mix: []component{
+			{archPDC, 1.0}, {archPDCAnchors, 1.0},
+		},
+		noise: 18,
+	},
+	{
+		id: "uncc-3112-krs", name: "UNCC ITCS 3112 KRS Object Oriented Programming",
+		institution: "UNC Charlotte", instructor: "KRS", group: materials.GroupOOP,
+		mix: []component{
+			{archOOP, 1.0}, {archImperative, 0.55}, {archSoftEng, 0.25},
+		},
+		noise: 20,
+	},
+	{
+		id: "ccc-csci40-kerney", name: "CCC CSCI 40 Kerney CS1",
+		institution: "Clovis Community College", instructor: "Kerney", group: materials.GroupCS1,
+		mix: []component{
+			{archImperative, 1.0}, {archDataRep, 1.0},
+		},
+		noise: 22,
+	},
+	{
+		id: "hanover-cs225-wahl", name: "Hanover cs225 Wahl Algorithmic Analysis 2021",
+		institution: "Hanover College", instructor: "Wahl", group: materials.GroupAlgo,
+		mix: []component{
+			{archCombinatorial, 1.0}, {archDSCore, 0.75}, {archAlgoThinking, 0.7},
+		},
+		noise: 20,
+	},
+	{
+		id: "vcu-cmsc256-duke", name: "VCU CMSC 256 Duke Data Structures and Object-oriented Programming",
+		institution: "Virginia Commonwealth University", instructor: "Duke", group: materials.GroupDS,
+		secondary: materials.GroupOOP,
+		mix: []component{
+			{archDSCore, 0.95}, {archOOP, 0.95}, {archDSPeriphery, 0.9},
+		},
+		noise: 28,
+	},
+	{
+		id: "ccc-csci41-kerney", name: "CCC CSCI 41 Kerney CS2",
+		institution: "Clovis Community College", instructor: "Kerney", group: materials.GroupOther,
+		mix: []component{
+			{archCS2Bridge, 1.0}, {archImperative, 0.5}, {archDataRep, 0.45},
+		},
+		noise: 20,
+	},
+	{
+		id: "bsc-cac210-wagner", name: "BSC CAC 210 Wagner Data Structures and Algorithms",
+		institution: "Birmingham-Southern College", instructor: "Wagner", group: materials.GroupDS,
+		mix: []component{
+			{archDSCore, 0.95}, {archCombinatorial, 0.85}, {archDSPeriphery, 0.3},
+		},
+		noise: 26,
+	},
+	{
+		id: "uncc-2215-krs", name: "UNCC ITCS 2215 KRS Algorithms",
+		institution: "UNC Charlotte", instructor: "KRS", group: materials.GroupAlgo,
+		mix: []component{
+			{archCombinatorial, 1.0}, {archDSCore, 0.8}, {archAlgoThinking, 0.65},
+		},
+		noise: 20,
+	},
+	{
+		id: "gsu-csc4350-levine", name: "GSU CSC4350 Levine Software Engineering",
+		institution: "Georgia State University", instructor: "Levine", group: materials.GroupSoftEng,
+		mix: []component{
+			{archSoftEng, 1.0}, {archOOP, 0.3},
+		},
+		noise: 20,
+	},
+	{
+		id: "tulane-cmps1100-kurdia", name: "Tulane CMPS1100 Kurdia Intro to Programming",
+		institution: "Tulane University", instructor: "Kurdia", group: materials.GroupCS1,
+		mix: []component{
+			{archImperative, 0.95},
+		},
+		noise: 20,
+	},
+	{
+		id: "knox-cs309-bunde", name: "Knox CS309 Bunde Parallel Computing",
+		institution: "Knox College", instructor: "Bunde", group: materials.GroupPDC,
+		mix: []component{
+			{archPDC, 0.95}, {archPDCAnchors, 1.0},
+		},
+		noise: 18,
+	},
+	{
+		id: "lsu-csc1350-kundu", name: "LSU CSC 1350 Kundu Parallel Computation",
+		institution: "Louisiana State University", instructor: "Kundu", group: materials.GroupPDC,
+		mix: []component{
+			{archPDC, 0.9}, {archPDCAnchors, 1.0}, {archImperative, 0.2},
+		},
+		noise: 18,
+	},
+	{
+		id: "ucf-cop3502-ahmed", name: "UCF COP3502 Ahmed Computer Science 1 (CS1) Data structure and algorithm",
+		institution: "University of Central Florida", instructor: "Ahmed", group: materials.GroupCS1,
+		secondary: materials.GroupDS,
+		mix: []component{
+			{archAlgoThinking, 1.0}, {archDSCore, 0.9}, {archDSPeriphery, 0.35},
+			{archDSApps, 0.5}, {archOOP, 0.5}, {archCombinatorial, 0.55},
+			{archImperative, 0.25},
+		},
+		noise: 22,
+	},
+	{
+		id: "washu-cse131-singh", name: "WashU CSE131 Singh Computer Science 1",
+		institution: "Washington University in St. Louis", instructor: "Singh", group: materials.GroupCS1,
+		mix: []component{
+			{archOOP, 1.0}, {archImperative, 0.7},
+		},
+		noise: 22,
+	},
+	{
+		id: "unl-csce155e-bourke", name: "UNL CSCE 155E Bourke Computer Science I using C",
+		institution: "University of Nebraska-Lincoln", instructor: "Bourke", group: materials.GroupCS1,
+		mix: []component{
+			{archImperative, 1.0}, {archDataRep, 0.8}, {archAlgoThinking, 0.3},
+		},
+		noise: 22,
+	},
+	{
+		id: "uncc-4155-payton", name: "UNCC ITCS 4155 Payton Software Development Projects",
+		institution: "UNC Charlotte", instructor: "Payton", group: materials.GroupSoftEng,
+		mix: []component{
+			{archSoftEng, 0.95}, {archOOP, 0.35},
+		},
+		noise: 20,
+	},
+	{
+		id: "tulane-cmps1500-toups", name: "Tulane CMPS1500 Toups CS1",
+		institution: "Tulane University", instructor: "Toups", group: materials.GroupCS1,
+		mix: []component{
+			{archImperative, 0.8}, {archAlgoThinking, 0.65},
+		},
+		noise: 22,
+	},
+	{
+		id: "utsa-bopana", name: "UTSA Bopana Computer Network",
+		institution: "UT San Antonio", instructor: "Bopana", group: materials.GroupOther,
+		mix: []component{
+			{archNetworking, 1.0},
+		},
+		noise: 20,
+	},
+}
+
+// Paper-ordered course ID subsets used by the analyses.
+
+// CS1CourseIDs returns the six CS1/intro-programming courses of §4.3,
+// in the row order of Figure 5a.
+func CS1CourseIDs() []string {
+	return []string{
+		"ccc-csci40-kerney",
+		"tulane-cmps1100-kurdia",
+		"ucf-cop3502-ahmed",
+		"washu-cse131-singh",
+		"unl-csce155e-bourke",
+		"tulane-cmps1500-toups",
+	}
+}
+
+// DSCourseIDs returns the five Data Structures courses of §4.5.
+func DSCourseIDs() []string {
+	return []string{
+		"uncc-2214-krs",
+		"uncc-2214-saule",
+		"vcu-cmsc256-duke",
+		"bsc-cac210-wagner",
+		"ucf-cop3502-ahmed",
+	}
+}
+
+// DSAlgoCourseIDs returns the Data Structures plus Algorithms courses of
+// §4.6, in the row order of Figure 7a.
+func DSAlgoCourseIDs() []string {
+	return []string{
+		"uncc-2214-krs",
+		"uncc-2214-saule",
+		"hanover-cs225-wahl",
+		"vcu-cmsc256-duke",
+		"bsc-cac210-wagner",
+		"uncc-2215-krs",
+		"ucf-cop3502-ahmed",
+	}
+}
+
+// PDCCourseIDs returns the three PDC courses of §4.7.
+func PDCCourseIDs() []string {
+	return []string{
+		"uncc-3145-saule",
+		"knox-cs309-bunde",
+		"lsu-csc1350-kundu",
+	}
+}
+
+// AllCourseIDs returns every course ID in Figure 1 order.
+func AllCourseIDs() []string {
+	out := make([]string, len(courseSpecs))
+	for i, s := range courseSpecs {
+		out[i] = s.id
+	}
+	return out
+}

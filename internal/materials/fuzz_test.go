@@ -1,0 +1,43 @@
+package materials
+
+import (
+	"strings"
+	"testing"
+
+	"csmaterials/internal/ontology"
+)
+
+// FuzzLoadJSON feeds arbitrary bytes to the repository loader: it must
+// never panic, and whatever it accepts must be a valid repository state
+// (validated courses, consistent indexes).
+func FuzzLoadJSON(f *testing.F) {
+	f.Add(`{"courses":[]}`)
+	f.Add(`{"courses":[{"id":"x","name":"X","group":"CS1","materials":[]}]}`)
+	f.Add(`{"courses":[{"id":"x","name":"X","group":"CS1","materials":[{"id":"m","title":"t","type":"lecture","tags":["SDF/fundamental-programming-concepts/the-concept-of-recursion"]}]}]}`)
+	f.Add(`{not json`)
+	f.Add(`null`)
+	f.Add(`{"courses":[{"id":"","name":""}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		repo := NewRepository(ontology.CS2013(), ontology.PDC12())
+		err := repo.LoadJSON(strings.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must leave a consistent repository.
+		for _, c := range repo.Courses() {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("accepted invalid course: %v", err)
+			}
+			for _, m := range c.Materials {
+				if repo.Material(m.ID) != m {
+					t.Fatalf("material index inconsistent for %q", m.ID)
+				}
+				for _, tag := range m.Tags {
+					if !repo.KnownTag(tag) {
+						t.Fatalf("accepted unknown tag %q", tag)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package materials implements the data model of the CS Materials system
+// described in §3.1 of the paper: courses are collections of learning
+// materials (lectures, assignments, labs, ...), and each material is
+// classified against one or more curriculum guidelines by listing the IDs
+// of the guideline entries it addresses.
+//
+// The package provides an in-memory repository with tag indexes, JSON
+// import/export, validation against the guideline trees, and the
+// aggregation step every analysis starts from: turning a set of courses
+// into a 0-1 course × curriculum matrix.
+package materials
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MaterialType categorizes a learning material.
+type MaterialType string
+
+// Material types found in CS Materials.
+const (
+	Lecture    MaterialType = "lecture"
+	Assignment MaterialType = "assignment"
+	Lab        MaterialType = "lab"
+	Exam       MaterialType = "exam"
+	Quiz       MaterialType = "quiz"
+	Activity   MaterialType = "activity"
+	Reading    MaterialType = "reading"
+	Project    MaterialType = "project"
+)
+
+// ValidTypes lists every recognized material type.
+func ValidTypes() []MaterialType {
+	return []MaterialType{Lecture, Assignment, Lab, Exam, Quiz, Activity, Reading, Project}
+}
+
+// CourseGroup is the coarse label assigned to courses by the paper's
+// Figure 1 (based on the course name).
+type CourseGroup string
+
+// Course groups used by Figure 1.
+const (
+	GroupCS1     CourseGroup = "CS1"
+	GroupOOP     CourseGroup = "OOP"
+	GroupDS      CourseGroup = "DS"
+	GroupAlgo    CourseGroup = "Algo"
+	GroupSoftEng CourseGroup = "SoftEng"
+	GroupPDC     CourseGroup = "PDC"
+	GroupOther   CourseGroup = "Other"
+)
+
+// Material is one learning material classified against curriculum
+// guidelines. Tags hold guideline node IDs (CS2013 and/or PDC12).
+type Material struct {
+	ID          string       `json:"id"`
+	Title       string       `json:"title"`
+	Type        MaterialType `json:"type"`
+	Author      string       `json:"author,omitempty"`
+	Language    string       `json:"language,omitempty"`
+	CourseLevel string       `json:"course_level,omitempty"`
+	Datasets    []string     `json:"datasets,omitempty"`
+	Description string       `json:"description,omitempty"`
+	Tags        []string     `json:"tags"`
+}
+
+// Clone returns a deep copy of the material.
+func (m *Material) Clone() *Material {
+	cp := *m
+	cp.Datasets = append([]string(nil), m.Datasets...)
+	cp.Tags = append([]string(nil), m.Tags...)
+	return &cp
+}
+
+// TagSet returns the material's tags as a set.
+func (m *Material) TagSet() map[string]bool {
+	s := make(map[string]bool, len(m.Tags))
+	for _, t := range m.Tags {
+		s[t] = true
+	}
+	return s
+}
+
+// Course is a collection of materials taught at an institution.
+type Course struct {
+	ID          string      `json:"id"`
+	Name        string      `json:"name"`
+	Institution string      `json:"institution,omitempty"`
+	Instructor  string      `json:"instructor,omitempty"`
+	Group       CourseGroup `json:"group"`
+	// SecondaryGroup covers Figure 1's dual-labeled courses (e.g. UCF's
+	// COP3502 is both CS1 and DS).
+	SecondaryGroup CourseGroup `json:"secondary_group,omitempty"`
+	Materials      []*Material `json:"materials"`
+}
+
+// HasGroup reports whether the course carries g as its primary or
+// secondary group label.
+func (c *Course) HasGroup(g CourseGroup) bool {
+	return c.Group == g || c.SecondaryGroup == g
+}
+
+// TagSet returns the union of the tags of all the course's materials —
+// the paper's representation of a course as a set of curriculum entries.
+func (c *Course) TagSet() map[string]bool {
+	s := map[string]bool{}
+	for _, m := range c.Materials {
+		for _, t := range m.Tags {
+			s[t] = true
+		}
+	}
+	return s
+}
+
+// SortedTags returns the course's tag set as a sorted slice.
+func (c *Course) SortedTags() []string {
+	set := c.TagSet()
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TagCounts returns, for each tag, the number of the course's materials
+// classified against it (used by the hit-tree node sizing).
+func (c *Course) TagCounts() map[string]int {
+	counts := map[string]int{}
+	for _, m := range c.Materials {
+		for _, t := range m.Tags {
+			counts[t]++
+		}
+	}
+	return counts
+}
+
+// Validate checks the course's internal consistency: non-empty ID/name,
+// unique material IDs, recognized types, and non-empty tags.
+func (c *Course) Validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("materials: course with empty ID (name %q)", c.Name)
+	}
+	if c.Name == "" {
+		return fmt.Errorf("materials: course %q has empty name", c.ID)
+	}
+	seen := map[string]bool{}
+	valid := map[MaterialType]bool{}
+	for _, t := range ValidTypes() {
+		valid[t] = true
+	}
+	for _, m := range c.Materials {
+		if m.ID == "" {
+			return fmt.Errorf("materials: course %q has material with empty ID", c.ID)
+		}
+		if seen[m.ID] {
+			return fmt.Errorf("materials: course %q has duplicate material ID %q", c.ID, m.ID)
+		}
+		seen[m.ID] = true
+		if !valid[m.Type] {
+			return fmt.Errorf("materials: material %q has unknown type %q", m.ID, m.Type)
+		}
+		for _, tag := range m.Tags {
+			if strings.TrimSpace(tag) == "" {
+				return fmt.Errorf("materials: material %q has an empty tag", m.ID)
+			}
+		}
+	}
+	return nil
+}

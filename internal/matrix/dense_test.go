@@ -1,0 +1,367 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewZeroInitialized(t *testing.T) {
+	m := New(3, 4)
+	if r, c := m.Dims(); r != 3 || c != 4 {
+		t.Fatalf("Dims() = %d,%d, want 3,4", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {2, -3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestNewFromSliceRoundTrip(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := NewFromSlice(2, 3, data)
+	if m.At(0, 0) != 1 || m.At(0, 2) != 3 || m.At(1, 0) != 4 || m.At(1, 2) != 6 {
+		t.Fatalf("row-major layout wrong: %v", m)
+	}
+	// The matrix must own a copy, not alias the input.
+	data[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("NewFromSlice aliased caller data")
+	}
+}
+
+func TestNewFromSliceLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	NewFromSlice(2, 3, []float64{1, 2, 3})
+}
+
+func TestNewFromRows(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("unexpected matrix %v", m)
+	}
+}
+
+func TestNewFromRowsRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	NewFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("Identity(4).At(%d,%d) = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestRandomRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Random(5, 7, rng)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 7; j++ {
+			v := m.At(i, j)
+			if v < 0 || v >= 1 {
+				t.Fatalf("Random entry %v out of [0,1)", v)
+			}
+		}
+	}
+}
+
+func TestRandomNilRNGPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil rng")
+		}
+	}()
+	Random(2, 2, nil)
+}
+
+func TestRowViewAliases(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	m.RowView(1)[0] = 42
+	if m.At(1, 0) != 42 {
+		t.Fatal("RowView must alias storage")
+	}
+}
+
+func TestRowAndColCopies(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("Row must copy")
+	}
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("Col(1) = %v, want [2 4]", c)
+	}
+	c[0] = 99
+	if m.At(0, 1) != 2 {
+		t.Fatal("Col must copy")
+	}
+}
+
+func TestSetRowSetCol(t *testing.T) {
+	m := New(2, 3)
+	m.SetRow(1, []float64{7, 8, 9})
+	m.SetCol(0, []float64{1, 2})
+	if m.At(1, 0) != 2 || m.At(1, 2) != 9 || m.At(0, 0) != 1 {
+		t.Fatalf("unexpected matrix after SetRow/SetCol: %v", m)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	n := m.Clone()
+	n.Set(0, 0, 100)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("T dims = %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestAddSubMulElemDivElem(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	if got := a.Add(b); !got.Equal(NewFromRows([][]float64{{6, 8}, {10, 12}})) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a); !got.Equal(NewFromRows([][]float64{{4, 4}, {4, 4}})) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.MulElem(b); !got.Equal(NewFromRows([][]float64{{5, 12}, {21, 32}})) {
+		t.Fatalf("MulElem = %v", got)
+	}
+	if got := b.DivElem(a, 0); !got.Equal(NewFromRows([][]float64{{5, 3}, {7.0 / 3.0, 2}})) {
+		t.Fatalf("DivElem = %v", got)
+	}
+}
+
+func TestDivElemEpsilonGuard(t *testing.T) {
+	a := NewFromRows([][]float64{{1}})
+	z := NewFromRows([][]float64{{0}})
+	got := a.DivElem(z, 1e-9).At(0, 0)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("DivElem with eps produced %v", got)
+	}
+}
+
+func TestScaleApply(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	if got := a.Scale(2); !got.Equal(NewFromRows([][]float64{{2, 4}, {6, 8}})) {
+		t.Fatalf("Scale = %v", got)
+	}
+	got := a.Apply(func(i, j int, v float64) float64 { return v + float64(i*10+j) })
+	want := NewFromRows([][]float64{{1, 3}, {13, 15}})
+	if !got.Equal(want) {
+		t.Fatalf("Apply = %v, want %v", got, want)
+	}
+}
+
+func TestSumMeanMaxAbsMax(t *testing.T) {
+	a := NewFromRows([][]float64{{-5, 2}, {3, 4}})
+	if a.Sum() != 4 {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+	if a.Mean() != 1 {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if a.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %v", a.MaxAbs())
+	}
+	v, i, j := a.Max()
+	if v != 4 || i != 1 || j != 1 {
+		t.Fatalf("Max = %v at (%d,%d)", v, i, j)
+	}
+}
+
+func TestRowColSumsArgMax(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	rs := a.RowSums()
+	if rs[0] != 6 || rs[1] != 15 {
+		t.Fatalf("RowSums = %v", rs)
+	}
+	cs := a.ColSums()
+	if cs[0] != 5 || cs[1] != 7 || cs[2] != 9 {
+		t.Fatalf("ColSums = %v", cs)
+	}
+	if a.ArgMaxRow(0) != 2 || a.ArgMaxRow(1) != 2 {
+		t.Fatal("ArgMaxRow wrong")
+	}
+}
+
+func TestNormalizeRowsL1(t *testing.T) {
+	a := NewFromRows([][]float64{{2, 2}, {0, 0}, {1, 3}})
+	n := a.NormalizeRowsL1()
+	if !almostEqual(n.At(0, 0), 0.5, 1e-12) || !almostEqual(n.At(2, 1), 0.75, 1e-12) {
+		t.Fatalf("NormalizeRowsL1 = %v", n)
+	}
+	if n.At(1, 0) != 0 || n.At(1, 1) != 0 {
+		t.Fatal("zero row must remain zero")
+	}
+	if a.At(0, 0) != 2 {
+		t.Fatal("NormalizeRowsL1 mutated receiver")
+	}
+}
+
+func TestCenterCols(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 10}, {3, 20}})
+	c, means := a.CenterCols()
+	if means[0] != 2 || means[1] != 15 {
+		t.Fatalf("means = %v", means)
+	}
+	for j := 0; j < 2; j++ {
+		if s := c.Col(j)[0] + c.Col(j)[1]; !almostEqual(s, 0, 1e-12) {
+			t.Fatalf("column %d not centered, sum=%v", j, s)
+		}
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := NewFromRows([][]float64{{3, 4}})
+	if a.FrobeniusNorm() != 5 {
+		t.Fatalf("FrobeniusNorm = %v", a.FrobeniusNorm())
+	}
+}
+
+func TestStringElision(t *testing.T) {
+	big := New(30, 30)
+	s := big.String()
+	if len(s) == 0 {
+		t.Fatal("String() empty")
+	}
+}
+
+// --- property-based tests ---
+
+// genMatrix builds a reproducible pseudo-random matrix from quick's seed.
+func genMatrix(r, c int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(seed int64, r8, c8 uint8) bool {
+		r, c := int(r8%10)+1, int(c8%10)+1
+		m := genMatrix(r, c, seed)
+		return m.T().T().Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(seed int64, r8, c8 uint8) bool {
+		r, c := int(r8%8)+1, int(c8%8)+1
+		a := genMatrix(r, c, seed)
+		b := genMatrix(r, c, seed+1)
+		return a.Add(b).EqualTol(b.Add(a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMulTransposeIdentity(t *testing.T) {
+	// (A·B)ᵀ == Bᵀ·Aᵀ
+	f := func(seed int64, r8, k8, c8 uint8) bool {
+		r, k, c := int(r8%6)+1, int(k8%6)+1, int(c8%6)+1
+		a := genMatrix(r, k, seed)
+		b := genMatrix(k, c, seed+7)
+		return a.Mul(b).T().EqualTol(b.T().Mul(a.T()), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMulAtBMatchesExplicitTranspose(t *testing.T) {
+	f := func(seed int64, r8, c8, c28 uint8) bool {
+		r, c, c2 := int(r8%6)+1, int(c8%6)+1, int(c28%6)+1
+		a := genMatrix(r, c, seed)
+		b := genMatrix(r, c2, seed+3)
+		return a.MulAtB(b).EqualTol(a.T().Mul(b), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMulABtMatchesExplicitTranspose(t *testing.T) {
+	f := func(seed int64, r8, c8, r28 uint8) bool {
+		r, c, r2 := int(r8%6)+1, int(c8%6)+1, int(r28%6)+1
+		a := genMatrix(r, c, seed)
+		b := genMatrix(r2, c, seed+5)
+		return a.MulABt(b).EqualTol(a.Mul(b.T()), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropFrobeniusTransposeInvariant(t *testing.T) {
+	f := func(seed int64, r8, c8 uint8) bool {
+		r, c := int(r8%10)+1, int(c8%10)+1
+		m := genMatrix(r, c, seed)
+		return almostEqual(m.FrobeniusNorm(), m.T().FrobeniusNorm(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

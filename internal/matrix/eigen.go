@@ -1,0 +1,135 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi rotation method. It returns the eigenvalues in descending
+// order and a matrix whose columns are the corresponding orthonormal
+// eigenvectors, so that m = V · diag(values) · Vᵀ.
+//
+// Jacobi is O(n³) per sweep but unconditionally stable and more than fast
+// enough for the covariance and Gram matrices in this repository (tens to
+// a few hundred rows).
+func EigenSym(m *Dense) (values []float64, vectors *Dense) {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("matrix: EigenSym requires a square matrix, got %dx%d", m.rows, m.cols))
+	}
+	n := m.rows
+	a := m.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	tol := 1e-12 * (1 + a.MaxAbs())
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(a)
+		if off < tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.data[p*n+q]
+				if math.Abs(apq) < tol/float64(n) {
+					continue
+				}
+				app := a.data[p*n+p]
+				aqq := a.data[q*n+q]
+				// Standard Jacobi rotation angle.
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(a, v, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = a.data[i*n+i]
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+
+	sortedVals := make([]float64, n)
+	vectors = New(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			vectors.data[r*n+newCol] = v.data[r*n+oldCol]
+		}
+	}
+	return sortedVals, vectors
+}
+
+// rotate applies the Jacobi rotation G(p,q,θ) to a (as GᵀAG) and
+// accumulates it into v (as VG).
+func rotate(a, v *Dense, p, q int, c, s float64) {
+	n := a.rows
+	for k := 0; k < n; k++ {
+		akp := a.data[k*n+p]
+		akq := a.data[k*n+q]
+		a.data[k*n+p] = c*akp - s*akq
+		a.data[k*n+q] = s*akp + c*akq
+	}
+	for k := 0; k < n; k++ {
+		apk := a.data[p*n+k]
+		aqk := a.data[q*n+k]
+		a.data[p*n+k] = c*apk - s*aqk
+		a.data[q*n+k] = s*apk + c*aqk
+	}
+	for k := 0; k < n; k++ {
+		vkp := v.data[k*n+p]
+		vkq := v.data[k*n+q]
+		v.data[k*n+p] = c*vkp - s*vkq
+		v.data[k*n+q] = s*vkp + c*vkq
+	}
+}
+
+func offDiagNorm(a *Dense) float64 {
+	n := a.rows
+	s := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				s += a.data[i*n+j] * a.data[i*n+j]
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// TopEigenSym returns the k leading eigenpairs of a symmetric matrix.
+// vectors has one column per requested eigenpair.
+func TopEigenSym(m *Dense, k int) (values []float64, vectors *Dense) {
+	if k <= 0 || k > m.rows {
+		panic(fmt.Sprintf("matrix: TopEigenSym k=%d out of range for %dx%d", k, m.rows, m.cols))
+	}
+	all, vecs := EigenSym(m)
+	values = all[:k]
+	vectors = New(m.rows, k)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < k; j++ {
+			vectors.data[i*k+j] = vecs.data[i*vecs.cols+j]
+		}
+	}
+	return values, vectors
+}
+
+// Covariance returns the column covariance matrix of m (features are
+// columns, observations are rows), using the 1/(n-1) unbiased estimator.
+func Covariance(m *Dense) *Dense {
+	if m.rows < 2 {
+		panic("matrix: Covariance needs at least two observations")
+	}
+	centered, _ := m.CenterCols()
+	cov := centered.MulAtB(centered)
+	return cov.Scale(1 / float64(m.rows-1))
+}

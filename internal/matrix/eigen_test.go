@@ -1,0 +1,186 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSymmetric builds a random symmetric matrix A = BᵀB (positive
+// semidefinite, guaranteeing real non-negative eigenvalues).
+func randomSymmetric(n int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	b := Random(n, n, rng)
+	return b.MulAtB(b)
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	d := NewFromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	vals, vecs := EigenSym(d)
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if !almostEqual(vals[i], w, 1e-10) {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+	// Eigenvectors of a diagonal matrix are (signed) unit vectors.
+	for j := 0; j < 3; j++ {
+		col := vecs.Col(j)
+		nonzero := 0
+		for _, v := range col {
+			if math.Abs(v) > 1e-8 {
+				nonzero++
+			}
+		}
+		if nonzero != 1 {
+			t.Fatalf("eigenvector %d not axis-aligned: %v", j, col)
+		}
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := NewFromRows([][]float64{{2, 1}, {1, 2}})
+	vals, _ := EigenSym(m)
+	if !almostEqual(vals[0], 3, 1e-10) || !almostEqual(vals[1], 1, 1e-10) {
+		t.Fatalf("vals = %v, want [3 1]", vals)
+	}
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 10, 20} {
+		a := randomSymmetric(n, int64(n))
+		vals, vecs := EigenSym(a)
+		// Reconstruct V · diag(vals) · Vᵀ.
+		d := New(n, n)
+		for i, v := range vals {
+			d.Set(i, i, v)
+		}
+		rec := vecs.Mul(d).MulABt(vecs)
+		if !rec.EqualTol(a, 1e-7*(1+a.MaxAbs())) {
+			t.Fatalf("n=%d: reconstruction error %v", n, rec.Sub(a).MaxAbs())
+		}
+	}
+}
+
+func TestEigenSymOrthonormalVectors(t *testing.T) {
+	a := randomSymmetric(8, 42)
+	_, vecs := EigenSym(a)
+	gram := vecs.MulAtB(vecs)
+	if !gram.EqualTol(Identity(8), 1e-8) {
+		t.Fatalf("VᵀV != I: %v", gram)
+	}
+}
+
+func TestEigenSymDescendingOrder(t *testing.T) {
+	a := randomSymmetric(12, 7)
+	vals, _ := EigenSym(a)
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-10 {
+			t.Fatalf("eigenvalues not descending: %v", vals)
+		}
+	}
+}
+
+func TestEigenSymNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EigenSym(New(2, 3))
+}
+
+func TestTopEigenSym(t *testing.T) {
+	a := randomSymmetric(6, 11)
+	allVals, allVecs := EigenSym(a)
+	vals, vecs := TopEigenSym(a, 2)
+	if len(vals) != 2 || vecs.Cols() != 2 || vecs.Rows() != 6 {
+		t.Fatalf("TopEigenSym dims wrong: %d vals, %dx%d vecs", len(vals), vecs.Rows(), vecs.Cols())
+	}
+	for j := 0; j < 2; j++ {
+		if !almostEqual(vals[j], allVals[j], 1e-12) {
+			t.Fatalf("top value %d = %v, want %v", j, vals[j], allVals[j])
+		}
+		for i := 0; i < 6; i++ {
+			if !almostEqual(vecs.At(i, j), allVecs.At(i, j), 1e-12) {
+				t.Fatal("top vectors differ from full decomposition")
+			}
+		}
+	}
+}
+
+func TestTopEigenSymBadK(t *testing.T) {
+	a := randomSymmetric(3, 1)
+	for _, k := range []int{0, -1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TopEigenSym(k=%d) did not panic", k)
+				}
+			}()
+			TopEigenSym(a, k)
+		}()
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Two perfectly correlated columns.
+	m := NewFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	cov := Covariance(m)
+	if !almostEqual(cov.At(0, 0), 1, 1e-12) {
+		t.Fatalf("var(x) = %v, want 1", cov.At(0, 0))
+	}
+	if !almostEqual(cov.At(1, 1), 4, 1e-12) {
+		t.Fatalf("var(y) = %v, want 4", cov.At(1, 1))
+	}
+	if !almostEqual(cov.At(0, 1), 2, 1e-12) || !almostEqual(cov.At(1, 0), 2, 1e-12) {
+		t.Fatalf("cov(x,y) = %v, want 2", cov.At(0, 1))
+	}
+}
+
+func TestCovarianceNeedsTwoRows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Covariance(New(1, 3))
+}
+
+func TestPropEigenTraceEqualsSumOfEigenvalues(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8%8) + 2
+		a := randomSymmetric(n, seed)
+		vals, _ := EigenSym(a)
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		for _, v := range vals {
+			sum += v
+		}
+		return almostEqual(trace, sum, 1e-7*(1+math.Abs(trace)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropEigenvaluesNonNegativeForPSD(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8%6) + 2
+		a := randomSymmetric(n, seed)
+		vals, _ := EigenSym(a)
+		for _, v := range vals {
+			if v < -1e-8*(1+a.MaxAbs()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package mds implements multidimensional scaling: classical (Torgerson)
+// MDS and SMACOF stress majorization. CS Materials uses MDS to lay out
+// search results in 2D so that similar materials cluster together
+// (§3.1.2); the paper also lists MDS as a dimension-reduction baseline.
+package mds
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"csmaterials/internal/matrix"
+)
+
+// Classical computes Torgerson's classical MDS embedding of a symmetric
+// distance matrix d into k dimensions: double-center the squared
+// distances and take the top-k eigenpairs of the resulting Gram matrix.
+func Classical(d *matrix.Dense, k int) (*matrix.Dense, error) {
+	if err := checkDistances(d); err != nil {
+		return nil, err
+	}
+	n := d.Rows()
+	if k <= 0 || k >= n {
+		return nil, fmt.Errorf("mds: k=%d out of range for %d points", k, n)
+	}
+	// B = -1/2 · J · D² · J with J = I - 11ᵀ/n.
+	sq := d.MulElem(d)
+	rowMeans := sq.RowSums()
+	for i := range rowMeans {
+		rowMeans[i] /= float64(n)
+	}
+	grand := 0.0
+	for _, v := range rowMeans {
+		grand += v
+	}
+	grand /= float64(n)
+	b := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, -0.5*(sq.At(i, j)-rowMeans[i]-rowMeans[j]+grand))
+		}
+	}
+	vals, vecs := matrix.TopEigenSym(b, k)
+	x := matrix.New(n, k)
+	for t := 0; t < k; t++ {
+		scale := math.Sqrt(math.Max(vals[t], 0))
+		for i := 0; i < n; i++ {
+			x.Set(i, t, vecs.At(i, t)*scale)
+		}
+	}
+	return x, nil
+}
+
+// SMACOFOptions configures the SMACOF iteration.
+type SMACOFOptions struct {
+	// MaxIter bounds the majorization steps (default 300).
+	MaxIter int
+	// Tol stops when the relative stress improvement falls below it
+	// (default 1e-6).
+	Tol float64
+	// Seed seeds the random initial configuration when Init is nil.
+	Seed int64
+	// Init optionally provides the starting configuration (n × k); it is
+	// not mutated. When nil, a random configuration is used.
+	Init *matrix.Dense
+}
+
+// SMACOF embeds a symmetric distance matrix into k dimensions by stress
+// majorization, returning the configuration and its final raw stress.
+func SMACOF(d *matrix.Dense, k int, opts SMACOFOptions) (*matrix.Dense, float64, error) {
+	if err := checkDistances(d); err != nil {
+		return nil, 0, err
+	}
+	n := d.Rows()
+	if k <= 0 || k >= n {
+		return nil, 0, fmt.Errorf("mds: k=%d out of range for %d points", k, n)
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 300
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-6
+	}
+	var x *matrix.Dense
+	if opts.Init != nil {
+		if opts.Init.Rows() != n || opts.Init.Cols() != k {
+			return nil, 0, fmt.Errorf("mds: Init dims %dx%d, want %dx%d", opts.Init.Rows(), opts.Init.Cols(), n, k)
+		}
+		x = opts.Init.Clone()
+	} else {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		x = matrix.Random(n, k, rng)
+	}
+
+	prev := Stress(d, x)
+	for it := 0; it < opts.MaxIter; it++ {
+		x = guttmanTransform(d, x)
+		cur := Stress(d, x)
+		if prev-cur <= opts.Tol*math.Max(prev, 1e-12) {
+			prev = cur
+			break
+		}
+		prev = cur
+	}
+	return x, prev, nil
+}
+
+// guttmanTransform performs one SMACOF majorization step with uniform
+// weights: X' = (1/n) · B(X) · X where B collects d_ij / dist_ij ratios.
+func guttmanTransform(d, x *matrix.Dense) *matrix.Dense {
+	n := x.Rows()
+	b := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dist := pointDistance(x, i, j)
+			if dist > 1e-12 {
+				b.Set(i, j, -d.At(i, j)/dist)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				s += b.At(i, j)
+			}
+		}
+		b.Set(i, i, -s)
+	}
+	return b.Mul(x).Scale(1 / float64(n))
+}
+
+// Stress returns the raw stress Σ_{i<j} (d_ij − dist_ij)².
+func Stress(d, x *matrix.Dense) float64 {
+	n := d.Rows()
+	s := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			diff := d.At(i, j) - pointDistance(x, i, j)
+			s += diff * diff
+		}
+	}
+	return s
+}
+
+// NormalizedStress returns Kruskal's stress-1: sqrt(raw stress divided by
+// Σ d_ij²). Values below ~0.1 indicate a good embedding.
+func NormalizedStress(d, x *matrix.Dense) float64 {
+	n := d.Rows()
+	num, den := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			diff := d.At(i, j) - pointDistance(x, i, j)
+			num += diff * diff
+			den += d.At(i, j) * d.At(i, j)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+func pointDistance(x *matrix.Dense, i, j int) float64 {
+	ri, rj := x.RowView(i), x.RowView(j)
+	s := 0.0
+	for t := range ri {
+		d := ri[t] - rj[t]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// EuclideanDistances builds the pairwise distance matrix of the rows of
+// points.
+func EuclideanDistances(points *matrix.Dense) *matrix.Dense {
+	n := points.Rows()
+	d := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := pointDistance(points, i, j)
+			d.Set(i, j, dist)
+			d.Set(j, i, dist)
+		}
+	}
+	return d
+}
+
+// DistancesFromSimilarity converts a similarity matrix with entries in
+// [0, 1] (1 = identical) into a distance matrix via d = 1 − s, forcing a
+// zero diagonal. This is how CS Materials feeds material similarities to
+// MDS.
+func DistancesFromSimilarity(s *matrix.Dense) (*matrix.Dense, error) {
+	if s.Rows() != s.Cols() {
+		return nil, fmt.Errorf("mds: similarity matrix must be square, got %dx%d", s.Rows(), s.Cols())
+	}
+	n := s.Rows()
+	d := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := s.At(i, j)
+			if v < 0 || v > 1 {
+				return nil, fmt.Errorf("mds: similarity %v at (%d,%d) outside [0,1]", v, i, j)
+			}
+			d.Set(i, j, 1-v)
+		}
+	}
+	return d, nil
+}
+
+func checkDistances(d *matrix.Dense) error {
+	if d.Rows() != d.Cols() {
+		return fmt.Errorf("mds: distance matrix must be square, got %dx%d", d.Rows(), d.Cols())
+	}
+	n := d.Rows()
+	for i := 0; i < n; i++ {
+		if d.At(i, i) != 0 {
+			return fmt.Errorf("mds: non-zero diagonal at %d", i)
+		}
+		for j := 0; j < n; j++ {
+			v := d.At(i, j)
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("mds: invalid distance %v at (%d,%d)", v, i, j)
+			}
+			if math.Abs(v-d.At(j, i)) > 1e-9 {
+				return fmt.Errorf("mds: asymmetric distances at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}

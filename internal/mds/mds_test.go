@@ -1,0 +1,202 @@
+package mds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"csmaterials/internal/matrix"
+)
+
+// knownPoints builds a configuration and its exact distance matrix.
+func knownPoints(n, k int, seed int64) (*matrix.Dense, *matrix.Dense) {
+	rng := rand.New(rand.NewSource(seed))
+	x := matrix.Random(n, k, rng).Scale(10)
+	return x, EuclideanDistances(x)
+}
+
+func TestEuclideanDistances(t *testing.T) {
+	x := matrix.NewFromRows([][]float64{{0, 0}, {3, 4}, {0, 8}})
+	d := EuclideanDistances(x)
+	if d.At(0, 1) != 5 || d.At(1, 0) != 5 {
+		t.Fatalf("d(0,1) = %v, want 5", d.At(0, 1))
+	}
+	if d.At(0, 2) != 8 {
+		t.Fatalf("d(0,2) = %v, want 8", d.At(0, 2))
+	}
+	if d.At(1, 2) != 5 {
+		t.Fatalf("d(1,2) = %v, want 5", d.At(1, 2))
+	}
+	for i := 0; i < 3; i++ {
+		if d.At(i, i) != 0 {
+			t.Fatal("non-zero diagonal")
+		}
+	}
+}
+
+func TestClassicalRecoversExactDistances(t *testing.T) {
+	// Distances generated from 2D points must be reproduced exactly by a
+	// 2D classical MDS embedding (up to rotation), i.e. zero stress.
+	_, d := knownPoints(10, 2, 1)
+	x, err := Classical(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := EuclideanDistances(x)
+	if !rec.EqualTol(d, 1e-6*(1+d.MaxAbs())) {
+		t.Fatalf("classical MDS distance error %v", rec.Sub(d).MaxAbs())
+	}
+}
+
+func TestClassicalValidation(t *testing.T) {
+	_, d := knownPoints(5, 2, 2)
+	if _, err := Classical(d, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Classical(d, 5); err == nil {
+		t.Error("k=n accepted")
+	}
+	if _, err := Classical(matrix.New(3, 4), 2); err == nil {
+		t.Error("non-square accepted")
+	}
+	bad := d.Clone()
+	bad.Set(0, 0, 1)
+	if _, err := Classical(bad, 2); err == nil {
+		t.Error("non-zero diagonal accepted")
+	}
+	asym := d.Clone()
+	asym.Set(0, 1, asym.At(0, 1)+1)
+	if _, err := Classical(asym, 2); err == nil {
+		t.Error("asymmetric accepted")
+	}
+	neg := d.Clone()
+	neg.Set(0, 1, -1)
+	neg.Set(1, 0, -1)
+	if _, err := Classical(neg, 2); err == nil {
+		t.Error("negative distance accepted")
+	}
+}
+
+func TestSMACOFReducesStress(t *testing.T) {
+	_, d := knownPoints(12, 3, 3)
+	rng := rand.New(rand.NewSource(7))
+	init := matrix.Random(12, 2, rng)
+	initialStress := Stress(d, init)
+	x, finalStress, err := SMACOF(d, 2, SMACOFOptions{Init: init, MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalStress >= initialStress {
+		t.Fatalf("SMACOF did not reduce stress: %v -> %v", initialStress, finalStress)
+	}
+	if got := Stress(d, x); math.Abs(got-finalStress) > 1e-9*(1+got) {
+		t.Fatalf("reported stress %v != recomputed %v", finalStress, got)
+	}
+}
+
+func TestSMACOFExactEmbeddingNearZeroStress(t *testing.T) {
+	// 2D-generated distances embedded in 2D starting from classical MDS
+	// must reach (near) zero normalized stress.
+	_, d := knownPoints(10, 2, 11)
+	init, err := Classical(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := SMACOF(d, 2, SMACOFOptions{Init: init, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := NormalizedStress(d, x); ns > 1e-3 {
+		t.Fatalf("normalized stress %v, want ~0", ns)
+	}
+}
+
+func TestSMACOFDeterministicWithSeed(t *testing.T) {
+	_, d := knownPoints(8, 3, 13)
+	x1, s1, err := SMACOF(d, 2, SMACOFOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, s2, err := SMACOF(d, 2, SMACOFOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x1.Equal(x2) || s1 != s2 {
+		t.Fatal("SMACOF with same seed differs")
+	}
+}
+
+func TestSMACOFInitValidation(t *testing.T) {
+	_, d := knownPoints(6, 2, 17)
+	if _, _, err := SMACOF(d, 2, SMACOFOptions{Init: matrix.New(3, 2)}); err == nil {
+		t.Fatal("wrong-shape Init accepted")
+	}
+}
+
+func TestSMACOFDoesNotMutateInit(t *testing.T) {
+	_, d := knownPoints(6, 2, 19)
+	rng := rand.New(rand.NewSource(3))
+	init := matrix.Random(6, 2, rng)
+	cp := init.Clone()
+	if _, _, err := SMACOF(d, 2, SMACOFOptions{Init: init, MaxIter: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if !init.Equal(cp) {
+		t.Fatal("SMACOF mutated Init")
+	}
+}
+
+func TestStressZeroForPerfectConfig(t *testing.T) {
+	x, d := knownPoints(7, 2, 23)
+	if s := Stress(d, x); s > 1e-18 {
+		t.Fatalf("stress of generating configuration = %v", s)
+	}
+	if ns := NormalizedStress(d, x); ns > 1e-9 {
+		t.Fatalf("normalized stress = %v", ns)
+	}
+}
+
+func TestDistancesFromSimilarity(t *testing.T) {
+	s := matrix.NewFromRows([][]float64{{1, 0.75}, {0.75, 1}})
+	d, err := DistancesFromSimilarity(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(0, 1) != 0.25 || d.At(1, 0) != 0.25 {
+		t.Fatalf("d = %v", d)
+	}
+	if d.At(0, 0) != 0 || d.At(1, 1) != 0 {
+		t.Fatal("diagonal must be zero")
+	}
+	bad := matrix.NewFromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := DistancesFromSimilarity(bad); err == nil {
+		t.Fatal("similarity > 1 accepted")
+	}
+	if _, err := DistancesFromSimilarity(matrix.New(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestClassicalThenSimilarityPipeline(t *testing.T) {
+	// The CS Materials search pipeline: similarities -> distances -> 2D.
+	s := matrix.NewFromRows([][]float64{
+		{1, 0.9, 0.1, 0.1},
+		{0.9, 1, 0.1, 0.1},
+		{0.1, 0.1, 1, 0.9},
+		{0.1, 0.1, 0.9, 1},
+	})
+	d, err := DistancesFromSimilarity(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Classical(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two similar pairs must end up closer than cross-pair distances.
+	within := EuclideanDistances(x).At(0, 1)
+	across := EuclideanDistances(x).At(0, 2)
+	if within >= across {
+		t.Fatalf("similar materials not clustered: within=%v across=%v", within, across)
+	}
+}

@@ -1,0 +1,123 @@
+package nnmf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"csmaterials/internal/matrix"
+)
+
+// FactorizeCSR computes an NNMF of a sparse non-negative matrix using
+// multiplicative Frobenius updates whose A-products skip zeros — the
+// right representation for course × curriculum matrices, which are 0-1
+// with well under 20% density. It matches Factorize with
+// MultiplicativeFrobenius on the dense expansion of a, at a fraction of
+// the per-iteration cost (see BenchmarkSparseNNMF).
+//
+// Only the Frobenius multiplicative algorithm is implemented sparsely;
+// Options.Algorithm is ignored.
+func FactorizeCSR(a *matrix.CSR, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	rows, cols := a.Dims()
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("nnmf: K must be positive, got %d", opts.K)
+	}
+	if opts.K > rows || opts.K > cols {
+		return nil, fmt.Errorf("nnmf: K=%d exceeds matrix dimensions %dx%d", opts.K, rows, cols)
+	}
+	if a.AnyNegative() {
+		return nil, fmt.Errorf("nnmf: input matrix has negative entries")
+	}
+	normA := a.FrobeniusNorm()
+	if normA == 0 {
+		return nil, fmt.Errorf("nnmf: input matrix is all zeros")
+	}
+	mean := normA * normA / float64(rows*cols) // mean of A for 0-1 matrices equals density; use ‖A‖²/(r·c) which matches for 0-1 entries
+
+	restarts := opts.Restarts
+	if opts.Init == InitNNDSVD {
+		restarts = 1
+	}
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		var w, h *matrix.Dense
+		if opts.Init == InitNNDSVD {
+			w, h = nndsvd(a.ToDense(), opts.K)
+		} else {
+			w, h = randomInit(rows, cols, opts.K, mean, opts.Seed+int64(r))
+		}
+		res := runSparse(a, w, h, opts, normA)
+		res.Restart = r
+		if best == nil || res.Err < best.Err {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// randomInit mirrors initialize()'s scaling without requiring the dense
+// matrix: for 0-1 inputs, mean(A) = ‖A‖²/(rows·cols).
+func randomInit(rows, cols, k int, mean float64, seed int64) (*matrix.Dense, *matrix.Dense) {
+	rng := rand.New(rand.NewSource(seed))
+	scale := math.Sqrt(mean / float64(k))
+	w := matrix.Random(rows, k, rng).Scale(scale)
+	h := matrix.Random(k, cols, rng).Scale(scale)
+	return w, h
+}
+
+func runSparse(a *matrix.CSR, w, h *matrix.Dense, opts Options, normA float64) *Result {
+	res := &Result{}
+	prev := math.Inf(1)
+	init := 0.0
+	for it := 0; it < opts.MaxIter; it++ {
+		w, h = stepFrobeniusSparse(a, w, h, opts.Eps)
+		err := sparseRelativeError(a, w, h, normA)
+		res.Residuals = append(res.Residuals, err)
+		res.Iterations = it + 1
+		if it == 0 {
+			init = err
+		} else if prev-err <= opts.Tol*init {
+			res.Converged = true
+			break
+		}
+		prev = err
+	}
+	res.W, res.H = w, h
+	res.Err = res.Residuals[len(res.Residuals)-1]
+	return res
+}
+
+// stepFrobeniusSparse is stepFrobenius with the two A-products computed
+// through the CSR structure.
+func stepFrobeniusSparse(a *matrix.CSR, w, h *matrix.Dense, eps float64) (*matrix.Dense, *matrix.Dense) {
+	wtA := a.MulAtB(w).T() // (AᵀW)ᵀ = WᵀA, k × cols
+	wtWH := w.MulAtB(w).Mul(h)
+	h = h.MulElem(wtA.DivElem(wtWH, eps))
+
+	aHt := a.MulABt(h) // rows × k
+	wHHt := w.Mul(h.MulABt(h))
+	w = w.MulElem(aHt.DivElem(wHHt, eps))
+	return w, h
+}
+
+// sparseRelativeError computes ‖A − WH‖_F / normA without materializing
+// WH: ‖A−WH‖² = ‖A‖² − 2·⟨A, WH⟩ + tr((WᵀW)(HHᵀ)). The inner product
+// touches only the non-zeros of A; the trace term is k×k.
+func sparseRelativeError(a *matrix.CSR, w, h *matrix.Dense, normA float64) float64 {
+	dot := a.InnerWithProduct(w, h)
+	wtw := w.MulAtB(w)
+	hht := h.MulABt(h)
+	k := wtw.Rows()
+	trace := 0.0
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			trace += wtw.At(i, j) * hht.At(i, j) // both symmetric
+		}
+	}
+	errSq := normA*normA - 2*dot + trace
+	if errSq < 0 {
+		errSq = 0
+	}
+	return math.Sqrt(errSq) / normA
+}

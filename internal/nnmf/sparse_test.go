@@ -1,0 +1,80 @@
+package nnmf
+
+import (
+	"testing"
+
+	"csmaterials/internal/matrix"
+)
+
+func countZeros(m *matrix.Dense) int {
+	n := 0
+	for i := 0; i < m.Rows(); i++ {
+		for _, v := range m.RowView(i) {
+			if v == 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestL1HIncreasesHSparsity(t *testing.T) {
+	a := lowRankMatrix(12, 30, 3, 41)
+	dense, err := Factorize(a, Options{K: 3, Algorithm: HALS, Seed: 2, MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := Factorize(a, Options{K: 3, Algorithm: HALS, Seed: 2, MaxIter: 300, L1H: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countZeros(sparse.H) <= countZeros(dense.H) {
+		t.Fatalf("L1H did not increase H sparsity: %d vs %d zeros",
+			countZeros(sparse.H), countZeros(dense.H))
+	}
+	// The fit degrades but stays usable.
+	if sparse.Err > dense.Err*3+0.2 {
+		t.Fatalf("L1 fit collapsed: %v vs %v", sparse.Err, dense.Err)
+	}
+	// Factors stay non-negative.
+	for i := 0; i < sparse.H.Rows(); i++ {
+		for _, v := range sparse.H.RowView(i) {
+			if v < 0 {
+				t.Fatal("negative entry under L1")
+			}
+		}
+	}
+}
+
+func TestL1WIncreasesWSparsity(t *testing.T) {
+	a := lowRankMatrix(30, 12, 3, 43)
+	dense, err := Factorize(a, Options{K: 3, Algorithm: HALS, Seed: 2, MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := Factorize(a, Options{K: 3, Algorithm: HALS, Seed: 2, MaxIter: 300, L1W: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countZeros(sparse.W) <= countZeros(dense.W) {
+		t.Fatalf("L1W did not increase W sparsity: %d vs %d zeros",
+			countZeros(sparse.W), countZeros(dense.W))
+	}
+}
+
+func TestL1IgnoredByMultiplicative(t *testing.T) {
+	// The multiplicative algorithms document L1 as ignored: same result
+	// with and without the penalty.
+	a := lowRankMatrix(8, 10, 2, 47)
+	r1, err := Factorize(a, Options{K: 2, Seed: 3, MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Factorize(a, Options{K: 2, Seed: 3, MaxIter: 50, L1H: 10, L1W: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.H.Equal(r2.H) || !r1.W.Equal(r2.W) {
+		t.Fatal("L1 changed the multiplicative update result")
+	}
+}

@@ -1,0 +1,1691 @@
+package ontology
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// kuSpec describes one knowledge unit of the data table: its name, tier,
+// topic names, and learning outcomes. Outcomes are encoded as
+// "text|M" where M ∈ {F, U, A} for familiarity, usage, assessment.
+type kuSpec struct {
+	name     string
+	tier     Tier
+	topics   []string
+	outcomes []string
+}
+
+// kaSpec describes one knowledge area: its conventional abbreviation
+// (used as the ID segment, e.g. "SDF"), full name, and units.
+type kaSpec struct {
+	abbrev string
+	name   string
+	units  []kuSpec
+}
+
+var (
+	cs2013Once sync.Once
+	cs2013Tree *Guideline
+)
+
+// CS2013 returns the ACM/IEEE Computer Science Curricula 2013 guideline
+// tree. The tree is built once and shared; callers must treat it as
+// read-only (use Prune for filtered copies).
+func CS2013() *Guideline {
+	cs2013Once.Do(func() { cs2013Tree = buildCS2013() })
+	return cs2013Tree
+}
+
+func buildCS2013() *Guideline {
+	g := NewGuideline("ACM/IEEE CS2013")
+	for _, ka := range cs2013Data {
+		area := g.AddChildID(g.Root, KindArea, ka.abbrev, ka.name)
+		for _, ku := range ka.units {
+			unit := g.AddChild(area, KindUnit, ku.name)
+			unit.Tier = ku.tier
+			for _, tp := range ku.topics {
+				g.AddChild(unit, KindTopic, tp)
+			}
+			for _, oc := range ku.outcomes {
+				text, mastery := parseOutcome(oc)
+				n := g.AddChild(unit, KindOutcome, text)
+				n.Mastery = mastery
+			}
+		}
+	}
+	return g
+}
+
+func parseOutcome(enc string) (string, Mastery) {
+	i := strings.LastIndexByte(enc, '|')
+	if i < 0 {
+		panic(fmt.Sprintf("ontology: outcome %q missing mastery suffix", enc))
+	}
+	text := enc[:i]
+	switch enc[i+1:] {
+	case "F":
+		return text, MasteryFamiliarity
+	case "U":
+		return text, MasteryUsage
+	case "A":
+		return text, MasteryAssessment
+	default:
+		panic(fmt.Sprintf("ontology: outcome %q has unknown mastery %q", enc, enc[i+1:]))
+	}
+}
+
+// cs2013Data reconstructs the CS2013 body of knowledge. Knowledge-area
+// and knowledge-unit names (and tiers) follow the published guideline;
+// topic and outcome populations are complete for the areas exercised by
+// the paper's analyses and representative elsewhere (see DESIGN.md §2).
+var cs2013Data = []kaSpec{
+	{
+		abbrev: "SDF", name: "Software Development Fundamentals",
+		units: []kuSpec{
+			{
+				name: "Algorithms and Design", tier: TierCore1,
+				topics: []string{
+					"The concept and properties of algorithms",
+					"The role of algorithms in the problem-solving process",
+					"Problem-solving strategies",
+					"Iterative and recursive mathematical functions",
+					"Iterative and recursive traversal of data structures",
+					"Divide-and-conquer strategies",
+					"Implementation of algorithms",
+					"Abstraction and encapsulation in program design",
+					"Separation of behavior and implementation",
+				},
+				outcomes: []string{
+					"Discuss the importance of algorithms in the problem-solving process|F",
+					"Create algorithms for solving simple problems|U",
+					"Implement a divide-and-conquer algorithm for a problem|U",
+					"Apply the techniques of decomposition to break a program into smaller pieces|U",
+					"Identify the data components and behaviors of multiple abstract data types|U",
+				},
+			},
+			{
+				name: "Fundamental Programming Concepts", tier: TierCore1,
+				topics: []string{
+					"Basic syntax and semantics of a higher-level language",
+					"Variables and primitive data types",
+					"Expressions and assignments",
+					"Simple input and output",
+					"Conditional control structures",
+					"Iterative control structures",
+					"Functions and parameter passing",
+					"The concept of recursion",
+				},
+				outcomes: []string{
+					"Analyze and explain the behavior of simple programs|U",
+					"Identify and describe uses of primitive data types|F",
+					"Write programs that use primitive data types|U",
+					"Modify and expand short programs that use standard control structures|U",
+					"Design and implement a program that uses functions with parameters|U",
+					"Choose appropriate conditional and iteration constructs for a given task|A",
+					"Describe the concept of recursion and give examples of its use|F",
+					"Identify base and recursive cases of a recursive function|A",
+				},
+			},
+			{
+				name: "Fundamental Data Structures", tier: TierCore1,
+				topics: []string{
+					"Arrays",
+					"Records and structs",
+					"Strings and string processing",
+					"Stacks and queues",
+					"Linked lists",
+					"Sets and maps as abstract data types",
+					"References and aliasing",
+					"Choosing an appropriate data structure",
+				},
+				outcomes: []string{
+					"Write programs that use arrays and records|U",
+					"Write programs that use linked lists, stacks and queues|U",
+					"Compare alternative implementations of data structures|A",
+					"Choose the appropriate data structure to model a given problem|A",
+					"Describe how references allow structure sharing and its hazards|F",
+				},
+			},
+			{
+				name: "Development Methods", tier: TierCore1,
+				topics: []string{
+					"Program comprehension",
+					"Program correctness and defensive programming",
+					"The concept of a specification and pre/post-conditions",
+					"Unit testing and test-case design",
+					"Debugging strategies",
+					"Documentation and program style",
+					"Modern programming environments and libraries",
+				},
+				outcomes: []string{
+					"Trace the execution of a variety of code segments|U",
+					"Construct and debug programs using standard libraries|U",
+					"Apply a variety of strategies to the testing of simple programs|U",
+					"Create test cases that cover boundary conditions|U",
+					"Apply consistent documentation and program style standards|U",
+				},
+			},
+		},
+	},
+	{
+		abbrev: "AL", name: "Algorithms and Complexity",
+		units: []kuSpec{
+			{
+				name: "Basic Analysis", tier: TierCore1,
+				topics: []string{
+					"Differences among best, expected, and worst case behaviors",
+					"Asymptotic analysis of upper and expected complexity bounds",
+					"Big O notation: formal definition",
+					"Big O notation: use",
+					"Complexity classes such as constant, logarithmic, linear and quadratic",
+					"Empirical measurement of performance",
+					"Time and space trade-offs in algorithms",
+					"Recurrence relations and the analysis of recursive algorithms",
+				},
+				outcomes: []string{
+					"Explain what is meant by best, expected, and worst case behavior|F",
+					"Determine informally the time and space complexity of simple algorithms|U",
+					"Use big O notation to give asymptotic upper bounds|U",
+					"Perform empirical studies to validate hypotheses about runtime|A",
+					"Solve elementary recurrence relations|U",
+				},
+			},
+			{
+				name: "Algorithmic Strategies", tier: TierCore1,
+				topics: []string{
+					"Brute-force algorithms",
+					"Greedy algorithms",
+					"Divide-and-conquer",
+					"Recursive backtracking",
+					"Dynamic programming",
+					"Reduction: transform-and-conquer",
+					"Heuristics",
+				},
+				outcomes: []string{
+					"Use a greedy approach to solve an appropriate problem|U",
+					"Use a divide-and-conquer algorithm to solve an appropriate problem|U",
+					"Use recursive backtracking to solve a problem such as a maze|U",
+					"Use dynamic programming to solve an appropriate problem|U",
+					"Determine an appropriate algorithmic approach to a problem|A",
+				},
+			},
+			{
+				name: "Fundamental Data Structures and Algorithms", tier: TierCore1,
+				topics: []string{
+					"Sequential and binary search algorithms",
+					"Quadratic sorting algorithms: selection and insertion sort",
+					"O(n log n) sorting algorithms: quicksort, heapsort, mergesort",
+					"Hash tables including collision avoidance strategies",
+					"Binary search trees: common operations",
+					"Balanced binary search trees",
+					"Heaps and priority queues",
+					"Graphs and graph algorithms: representations",
+					"Graph traversals: depth-first and breadth-first",
+					"Shortest-path algorithms: Dijkstra and Floyd",
+					"Minimum spanning trees: Prim and Kruskal",
+					"Topological sort of a directed acyclic graph",
+					"Pattern matching and string processing algorithms",
+				},
+				outcomes: []string{
+					"Implement basic numerical and string searching algorithms|U",
+					"Implement common quadratic and O(n log n) sorting algorithms|U",
+					"Implement and use a hash table, handling collisions|U",
+					"Implement binary search trees and their traversals|U",
+					"Implement graph algorithms including traversals and shortest paths|U",
+					"Discuss runtime and memory efficiency of principal algorithms|A",
+					"Select an appropriate sorting or searching algorithm for an application|A",
+				},
+			},
+			{
+				name: "Basic Automata Computability and Complexity", tier: TierCore1,
+				topics: []string{
+					"Finite-state machines",
+					"Regular expressions",
+					"The halting problem",
+					"Context-free grammars",
+					"Introduction to the P and NP classes and the P vs NP problem",
+					"NP-completeness and Cook's theorem",
+				},
+				outcomes: []string{
+					"Design a finite state machine to accept a specified language|U",
+					"Explain why the halting problem has no algorithmic solution|F",
+					"Define the classes P and NP|F",
+					"Explain the significance of NP-completeness|F",
+				},
+			},
+			{
+				name: "Advanced Computational Complexity", tier: TierElective,
+				topics: []string{
+					"Review of the classes P and NP and the P vs NP problem",
+					"NP-completeness reductions",
+					"The complexity classes NP-hard and NP-complete",
+					"Approximation algorithms for NP-hard problems",
+					"Amortized analysis",
+				},
+				outcomes: []string{
+					"Prove that a problem is NP-complete via reduction|U",
+					"Apply amortized analysis to a sequence of operations|U",
+				},
+			},
+			{
+				name: "Advanced Automata Theory and Computability", tier: TierElective,
+				topics: []string{
+					"Turing machines and the Church-Turing thesis",
+					"Decidability and recognizability",
+					"Rice's theorem and reductions among undecidable problems",
+					"The Chomsky hierarchy",
+				},
+				outcomes: []string{
+					"Determine the decidability of a language|U",
+					"Classify languages within the Chomsky hierarchy|U",
+				},
+			},
+			{
+				name: "Advanced Data Structures Algorithms and Analysis", tier: TierElective,
+				topics: []string{
+					"Balanced trees: AVL, red-black, B-trees and splay trees",
+					"Graphs: network flows and matching",
+					"String matching: Knuth-Morris-Pratt and Boyer-Moore",
+					"Geometric algorithms: convex hull and line-segment intersection",
+					"Randomized algorithms",
+					"Union-find and path compression",
+					"Linear programming and duality",
+				},
+				outcomes: []string{
+					"Implement an advanced balanced tree and analyze its operations|U",
+					"Solve a maximum-flow problem on a network|U",
+					"Use a randomized algorithm to solve an appropriate problem|U",
+				},
+			},
+		},
+	},
+	{
+		abbrev: "DS", name: "Discrete Structures",
+		units: []kuSpec{
+			{
+				name: "Sets Relations and Functions", tier: TierCore1,
+				topics: []string{
+					"Sets: Venn diagrams, union, intersection, complement",
+					"Sets: Cartesian products and power sets",
+					"Relations: reflexivity, symmetry, transitivity",
+					"Equivalence relations and partial orders",
+					"Functions: surjections, injections, bijections",
+					"Functions: composition and inverse",
+				},
+				outcomes: []string{
+					"Perform the operations of union, intersection, complement on sets|U",
+					"Determine whether a relation is an equivalence relation or a partial order|U",
+					"Determine whether a function is injective, surjective, or bijective|U",
+				},
+			},
+			{
+				name: "Basic Logic", tier: TierCore1,
+				topics: []string{
+					"Propositional logic and logical connectives",
+					"Truth tables",
+					"Normal forms: conjunctive and disjunctive",
+					"Predicate logic and universal and existential quantification",
+					"Validity of well-formed formulas",
+					"Limitations of propositional and predicate logic",
+				},
+				outcomes: []string{
+					"Convert logical statements from informal language to propositional expressions|U",
+					"Use truth tables to establish logical equivalence|U",
+					"Apply quantifiers to convert between English and predicate logic|U",
+				},
+			},
+			{
+				name: "Proof Techniques", tier: TierCore1,
+				topics: []string{
+					"Implication, converse, inverse, contrapositive",
+					"Direct proof and proof by contradiction",
+					"Weak and strong mathematical induction",
+					"Structural induction",
+					"Recursive mathematical definitions",
+					"The well-ordering principle",
+				},
+				outcomes: []string{
+					"Outline the basic structure of each proof technique|U",
+					"Apply each of the proof techniques correctly in the construction of a sound argument|U",
+					"Identify the induction hypothesis in an inductive proof|A",
+				},
+			},
+			{
+				name: "Basics of Counting", tier: TierCore1,
+				topics: []string{
+					"Counting arguments: sum and product rule",
+					"The pigeonhole principle",
+					"Permutations and combinations",
+					"The binomial theorem and Pascal's identity",
+					"Solving recurrence relations",
+					"Inclusion-exclusion principle",
+				},
+				outcomes: []string{
+					"Apply counting arguments including sum and product rules|U",
+					"Apply the pigeonhole principle in the context of a formal proof|U",
+					"Compute permutations and combinations of a set|U",
+					"Solve a variety of basic recurrence relations|U",
+				},
+			},
+			{
+				name: "Graphs and Trees", tier: TierCore1,
+				topics: []string{
+					"Trees: properties and traversal strategies",
+					"Undirected graphs",
+					"Directed graphs",
+					"Weighted graphs",
+					"Spanning trees and spanning forests",
+					"Graph isomorphism",
+				},
+				outcomes: []string{
+					"Illustrate the basic terminology of graph theory and properties of trees|F",
+					"Model problems using graphs and trees|U",
+					"Demonstrate traversal methods for trees and graphs|U",
+				},
+			},
+			{
+				name: "Discrete Probability", tier: TierCore1,
+				topics: []string{
+					"Finite probability spaces and events",
+					"Conditional probability, independence, Bayes' theorem",
+					"Random variables and expectation",
+					"Variance and standard deviation of discrete variables",
+					"The law of large numbers",
+				},
+				outcomes: []string{
+					"Calculate probabilities of events for elementary problems|U",
+					"Apply Bayes' theorem to determine conditional probabilities|U",
+					"Compute the expectation of a discrete random variable|U",
+				},
+			},
+		},
+	},
+	{
+		abbrev: "PL", name: "Programming Languages",
+		units: []kuSpec{
+			{
+				name: "Object-Oriented Programming", tier: TierCore1,
+				topics: []string{
+					"Object-oriented design: classes and objects",
+					"Encapsulation and information hiding",
+					"Definition of classes: fields, methods, and constructors",
+					"Inheritance and subtyping",
+					"Subclasses and method overriding",
+					"Dynamic dispatch: definition of method-call",
+					"Polymorphism: subtype polymorphism versus parametric",
+					"Class hierarchy design",
+					"Object interfaces and abstract classes",
+					"Generics and parameterized types",
+					"Collection classes and iterators",
+				},
+				outcomes: []string{
+					"Design and implement a class hierarchy|U",
+					"Use subclassing to design simple class hierarchies that allow code to be reused|U",
+					"Use object-oriented encapsulation mechanisms such as interfaces and private members|U",
+					"Compare and contrast subtype and parametric polymorphism|A",
+					"Use iterators and collection classes to process aggregates|U",
+					"Explain how dynamic dispatch selects the method implementation at runtime|F",
+				},
+			},
+			{
+				name: "Functional Programming", tier: TierCore1,
+				topics: []string{
+					"Lambda expressions and anonymous functions",
+					"Effect-free programming and immutability",
+					"First-class functions and closures",
+					"Higher-order functions: map, filter, reduce",
+					"Recursion over recursive data types",
+					"Function composition",
+				},
+				outcomes: []string{
+					"Write basic algorithms that avoid assigning to mutable state|U",
+					"Write useful functions that take and return other functions|U",
+					"Use higher-order functions such as map and reduce over lists|U",
+				},
+			},
+			{
+				name: "Event-Driven and Reactive Programming", tier: TierCore2,
+				topics: []string{
+					"Events and event handlers",
+					"Callbacks and observer patterns",
+					"Asynchronous events and race conditions",
+					"Graphical user interface event loops",
+				},
+				outcomes: []string{
+					"Write event handlers for a simple graphical application|U",
+					"Explain why an event-driven program may behave nondeterministically|F",
+				},
+			},
+			{
+				name: "Basic Type Systems", tier: TierCore2,
+				topics: []string{
+					"A type as a set of values with operations",
+					"Primitive types versus compound types",
+					"Static versus dynamic typing",
+					"Type safety and errors caught by types",
+					"Generic types and parametric polymorphism",
+					"Type equivalence: structural versus name",
+				},
+				outcomes: []string{
+					"Explain how typing rules define the set of legal operations for a type|F",
+					"Define and use a generic type|U",
+					"Contrast static and dynamic typing trade-offs|A",
+				},
+			},
+			{
+				name: "Program Representation", tier: TierCore2,
+				topics: []string{
+					"Programs that take programs as input",
+					"Abstract syntax trees",
+					"Data structures to represent code for execution or translation",
+				},
+				outcomes: []string{
+					"Represent a simple expression language as a tree and evaluate it|U",
+				},
+			},
+			{
+				name: "Language Translation and Execution", tier: TierCore2,
+				topics: []string{
+					"Interpretation versus compilation",
+					"Language translation pipeline: lexing, parsing, code generation",
+					"Run-time representation of core language constructs",
+					"Memory management: garbage collection versus manual",
+				},
+				outcomes: []string{
+					"Distinguish a compiler from an interpreter|F",
+					"Explain the phases of a language translation pipeline|F",
+					"Discuss the benefits and limitations of garbage collection|A",
+				},
+			},
+			{
+				name: "Syntax Analysis", tier: TierElective,
+				topics: []string{
+					"Scanning: regular expressions and tokens",
+					"Parsing: context-free grammars",
+					"Recursive-descent and table-driven parsing",
+				},
+				outcomes: []string{
+					"Build a recursive-descent parser for a small grammar|U",
+				},
+			},
+			{
+				name: "Compiler Semantic Analysis", tier: TierElective,
+				topics: []string{
+					"Symbol tables and scope",
+					"Static semantic checking and type checking",
+					"Attribute grammars",
+				},
+				outcomes: []string{
+					"Implement a type checker for a small language|U",
+				},
+			},
+			{
+				name: "Code Generation", tier: TierElective,
+				topics: []string{
+					"Intermediate representations",
+					"Instruction selection and register allocation",
+					"Basic peephole optimization",
+				},
+				outcomes: []string{
+					"Generate code for a simple stack machine|U",
+				},
+			},
+			{
+				name: "Runtime Systems", tier: TierElective,
+				topics: []string{
+					"Activation records and the call stack",
+					"Heap layout and allocation",
+					"Just-in-time compilation",
+				},
+				outcomes: []string{
+					"Trace the stack and heap during execution of a small program|U",
+				},
+			},
+			{
+				name: "Static Analysis", tier: TierElective,
+				topics: []string{
+					"Data-flow analysis",
+					"Abstract interpretation",
+					"Practical bug-finding tools",
+				},
+				outcomes: []string{
+					"Use a static analysis tool to find defects in a program|U",
+				},
+			},
+			{
+				name: "Concurrency and Parallelism in Programming Languages", tier: TierElective,
+				topics: []string{
+					"Threads and shared-state concurrency in languages",
+					"Futures and promises",
+					"Message-passing constructs: actors and channels",
+					"Language memory models",
+					"Data parallelism constructs: parallel maps and loops",
+				},
+				outcomes: []string{
+					"Write a correct concurrent program using two different language constructs|U",
+					"Explain why a data race may yield unpredictable results|F",
+				},
+			},
+			{
+				name: "Advanced Type Systems", tier: TierElective,
+				topics: []string{
+					"Parametricity and type inference",
+					"Algebraic data types and pattern matching",
+					"Dependent types overview",
+				},
+				outcomes: []string{
+					"Use algebraic data types to model a small domain|U",
+				},
+			},
+			{
+				name: "Formal Semantics", tier: TierElective,
+				topics: []string{
+					"Operational semantics of expressions",
+					"Denotational semantics overview",
+					"Hoare logic and axiomatic semantics",
+				},
+				outcomes: []string{
+					"Derive the value of an expression with an operational semantics|U",
+				},
+			},
+			{
+				name: "Language Pragmatics", tier: TierElective,
+				topics: []string{
+					"Evaluation order, precedence, and associativity",
+					"Parameter-passing mechanisms",
+					"Domain-specific languages",
+				},
+				outcomes: []string{
+					"Compare call-by-value and call-by-reference parameter passing|A",
+				},
+			},
+			{
+				name: "Logic Programming", tier: TierElective,
+				topics: []string{
+					"Clauses, facts, rules, and queries",
+					"Unification and backtracking search",
+				},
+				outcomes: []string{
+					"Write a small logic program to solve a search problem|U",
+				},
+			},
+		},
+	},
+	{
+		abbrev: "AR", name: "Architecture and Organization",
+		units: []kuSpec{
+			{
+				name: "Digital Logic and Digital Systems", tier: TierCore2,
+				topics: []string{
+					"Overview of computer hardware organization",
+					"Combinational and sequential logic",
+					"Logic gates and truth-table realization",
+					"Registers and register transfer notation",
+					"Physical constraints: fan-in, fan-out, energy, speed of light",
+				},
+				outcomes: []string{
+					"Design a simple circuit using logic gates|U",
+					"Explain the progression from transistors to gates to components|F",
+				},
+			},
+			{
+				name: "Machine Level Representation of Data", tier: TierCore2,
+				topics: []string{
+					"Bits, bytes, and words",
+					"Numeric data representation: unsigned and twos-complement integers",
+					"Fixed- and floating-point representation of real numbers",
+					"Representation of character data",
+					"Representation of records, structs, and arrays in memory",
+					"Signed and unsigned arithmetic and overflow",
+					"Endianness and byte ordering",
+				},
+				outcomes: []string{
+					"Explain why everything is data in computers|F",
+					"Convert numbers between decimal, binary, and hexadecimal|U",
+					"Explain how fixed-length number representations lose information|F",
+					"Describe how arrays and structs are laid out in memory|F",
+					"Explain how floating-point rounding makes addition non-associative|F",
+				},
+			},
+			{
+				name: "Assembly Level Machine Organization", tier: TierCore2,
+				topics: []string{
+					"The von Neumann machine architecture",
+					"Instruction set architecture and instruction formats",
+					"The fetch-decode-execute cycle",
+					"Subroutine call and return at the machine level",
+					"Introduction to SIMD versus MIMD and the Flynn taxonomy",
+				},
+				outcomes: []string{
+					"Explain the organization of a von Neumann machine|F",
+					"Write a simple assembly fragment for a control construct|U",
+					"Describe the Flynn classification of parallel machines|F",
+				},
+			},
+			{
+				name: "Memory System Organization and Architecture", tier: TierCore2,
+				topics: []string{
+					"Memory hierarchies: registers, caches, main memory",
+					"Cache organization: lines, associativity, replacement",
+					"Latency versus bandwidth",
+					"Virtual memory overview",
+				},
+				outcomes: []string{
+					"Identify the levels of the memory hierarchy and their trade-offs|F",
+					"Explain how locality of reference makes caches effective|F",
+				},
+			},
+			{
+				name: "Interfacing and Communication", tier: TierCore2,
+				topics: []string{
+					"I/O fundamentals: polling and interrupts",
+					"Direct memory access",
+					"Buses and interconnects",
+				},
+				outcomes: []string{
+					"Explain how interrupts transfer control to the operating system|F",
+				},
+			},
+			{
+				name: "Functional Organization", tier: TierElective,
+				topics: []string{
+					"Instruction pipelining and hazards",
+					"Control unit implementation",
+					"Instruction-level parallelism",
+				},
+				outcomes: []string{
+					"Explain how pipelining improves instruction throughput|F",
+				},
+			},
+			{
+				name: "Multiprocessing and Alternative Architectures", tier: TierElective,
+				topics: []string{
+					"Shared-memory multiprocessors and cache coherence",
+					"GPU and accelerator architectures",
+					"Interconnection networks",
+				},
+				outcomes: []string{
+					"Describe the organization of a shared-memory multiprocessor|F",
+				},
+			},
+			{
+				name: "Performance Enhancements", tier: TierElective,
+				topics: []string{
+					"Branch prediction and speculative execution",
+					"Superscalar and out-of-order execution",
+					"Prefetching",
+				},
+				outcomes: []string{
+					"Explain the costs and benefits of speculative execution|F",
+				},
+			},
+		},
+	},
+	{
+		abbrev: "CN", name: "Computational Science",
+		units: []kuSpec{
+			{
+				name: "Introduction to Modeling and Simulation", tier: TierCore1,
+				topics: []string{
+					"Models as abstractions of situations",
+					"Simulations as dynamic modeling",
+					"The simulation life cycle: model, simulate, assess",
+					"Examples of applications in the physical and social sciences",
+					"Working with large datasets",
+					"Visualizing simulation results",
+				},
+				outcomes: []string{
+					"Explain the concept of modeling and the use of abstraction|F",
+					"Create a simple, formal mathematical model of a real-world situation|U",
+					"Use a dataset to drive and validate a simple simulation|U",
+					"Visualize the output of a simulation or dataset|U",
+				},
+			},
+			{
+				name: "Modeling and Simulation", tier: TierElective,
+				topics: []string{
+					"Discrete-event simulation",
+					"Monte Carlo methods and random number generation",
+					"Model validation and verification",
+					"Numerical integration of differential equations",
+				},
+				outcomes: []string{
+					"Build a discrete-event simulation of a queueing system|U",
+					"Use Monte Carlo estimation and reason about its error|U",
+				},
+			},
+			{
+				name: "Processing", tier: TierElective,
+				topics: []string{
+					"Fundamentals of numerical computation and error",
+					"Data-parallel processing of large datasets",
+					"Workflow pipelines for scientific data",
+				},
+				outcomes: []string{
+					"Quantify the numerical error of a floating-point computation|U",
+				},
+			},
+			{
+				name: "Interactive Visualization", tier: TierElective,
+				topics: []string{
+					"Principles of visual encoding of data",
+					"Interactive charts, maps, and graph drawings",
+					"Perceptual considerations: color scales, divergent maps",
+				},
+				outcomes: []string{
+					"Build an interactive visualization of a dataset|U",
+					"Choose an appropriate color scale for a data display|A",
+				},
+			},
+			{
+				name: "Data Information and Knowledge", tier: TierElective,
+				topics: []string{
+					"Acquisition, cleaning, and provenance of data",
+					"Metadata and standards for data interchange",
+					"From data to information to knowledge: aggregation and mining",
+				},
+				outcomes: []string{
+					"Clean and document a raw dataset for analysis|U",
+				},
+			},
+		},
+	},
+	{
+		abbrev: "GV", name: "Graphics and Visualization",
+		units: []kuSpec{
+			{
+				name: "Fundamental Concepts", tier: TierCore2,
+				topics: []string{
+					"Image representation: raster and vector",
+					"Color models: RGB and HSV",
+					"Coordinate systems and transformations",
+					"Human visual perception basics",
+				},
+				outcomes: []string{
+					"Describe how images are represented digitally|F",
+					"Apply 2D transformations to simple shapes|U",
+				},
+			},
+			{
+				name: "Basic Rendering", tier: TierElective,
+				topics: []string{
+					"The graphics pipeline",
+					"Rasterization of lines and polygons",
+					"Texture mapping basics",
+				},
+				outcomes: []string{"Render a simple scene with a rasterization pipeline|U"},
+			},
+			{
+				name: "Geometric Modeling", tier: TierElective,
+				topics: []string{
+					"Polygon meshes",
+					"Parametric curves and surfaces",
+				},
+				outcomes: []string{"Build and manipulate a polygonal model|U"},
+			},
+			{
+				name: "Computer Animation", tier: TierElective,
+				topics: []string{
+					"Keyframing and interpolation",
+					"Physically based animation overview",
+				},
+				outcomes: []string{"Animate a simple object with keyframes|U"},
+			},
+			{
+				name: "Visualization", tier: TierElective,
+				topics: []string{
+					"Visualization of scalar and vector fields",
+					"Information visualization of trees, graphs, and tables",
+					"Evaluation of visualization effectiveness",
+				},
+				outcomes: []string{"Design a visualization for a hierarchical dataset|U"},
+			},
+		},
+	},
+	{
+		abbrev: "HCI", name: "Human-Computer Interaction",
+		units: []kuSpec{
+			{
+				name: "Foundations", tier: TierCore1,
+				topics: []string{
+					"Contexts for HCI: desktop, web, mobile",
+					"Usability heuristics and principles",
+					"Human capabilities: perception, memory, attention",
+					"Accessibility",
+				},
+				outcomes: []string{
+					"Discuss why user-centered design matters|F",
+					"Evaluate an interface against usability heuristics|U",
+				},
+			},
+			{
+				name: "Designing Interaction", tier: TierCore2,
+				topics: []string{
+					"Task analysis and user modeling",
+					"Prototyping: low and high fidelity",
+					"Interface design patterns",
+				},
+				outcomes: []string{"Create a low-fidelity prototype for a given task|U"},
+			},
+			{
+				name: "Programming Interactive Systems", tier: TierElective,
+				topics: []string{
+					"GUI toolkits and widget hierarchies",
+					"Model-view-controller architecture",
+					"Handling input events",
+				},
+				outcomes: []string{"Implement a small GUI application with MVC|U"},
+			},
+			{
+				name: "User-Centered Design and Testing", tier: TierElective,
+				topics: []string{
+					"Usability testing methods",
+					"A/B testing and quantitative evaluation",
+				},
+				outcomes: []string{"Run a small usability study and report findings|U"},
+			},
+		},
+	},
+	{
+		abbrev: "IAS", name: "Information Assurance and Security",
+		units: []kuSpec{
+			{
+				name: "Foundational Concepts in Security", tier: TierCore1,
+				topics: []string{
+					"Confidentiality, integrity, availability",
+					"Risk, threats, vulnerabilities, and attack vectors",
+					"Authentication and authorization",
+					"Concept of trust and trustworthiness",
+				},
+				outcomes: []string{
+					"Analyze the trade-offs of balancing key security properties|A",
+					"Describe common threats and attack vectors|F",
+				},
+			},
+			{
+				name: "Principles of Secure Design", tier: TierCore1,
+				topics: []string{
+					"Least privilege and fail-safe defaults",
+					"Defense in depth",
+					"Open design and economy of mechanism",
+					"Security by design versus security through obscurity",
+				},
+				outcomes: []string{
+					"Apply the principle of least privilege in a system design|U",
+				},
+			},
+			{
+				name: "Defensive Programming", tier: TierCore1,
+				topics: []string{
+					"Input validation and data sanitization",
+					"Buffer overflows and memory-safe programming",
+					"Race conditions and time-of-check to time-of-use",
+					"Correct handling of exceptions and error cases",
+					"Checking the correctness of programs: assertions and invariants",
+				},
+				outcomes: []string{
+					"Write code that validates all untrusted input|U",
+					"Explain how a buffer overflow can be exploited|F",
+					"Use assertions to document and check invariants|U",
+				},
+			},
+			{
+				name: "Threats and Attacks", tier: TierCore2,
+				topics: []string{
+					"Malware taxonomy",
+					"Denial of service",
+					"Social engineering",
+				},
+				outcomes: []string{"Describe representative attack types|F"},
+			},
+			{
+				name: "Network Security", tier: TierCore2,
+				topics: []string{
+					"Firewalls and intrusion detection",
+					"Transport-layer security",
+					"Wireless security basics",
+				},
+				outcomes: []string{"Describe how TLS protects a connection|F"},
+			},
+			{
+				name: "Cryptography", tier: TierCore2,
+				topics: []string{
+					"Symmetric and asymmetric ciphers",
+					"Cryptographic hash functions",
+					"Digital signatures and certificates",
+				},
+				outcomes: []string{"Use a cryptographic library to encrypt and sign data|U"},
+			},
+			{
+				name: "Web Security", tier: TierElective,
+				topics: []string{
+					"Cross-site scripting and injection attacks",
+					"Session management weaknesses",
+				},
+				outcomes: []string{"Identify and fix an injection vulnerability|U"},
+			},
+		},
+	},
+	{
+		abbrev: "IM", name: "Information Management",
+		units: []kuSpec{
+			{
+				name: "Information Management Concepts", tier: TierCore1,
+				topics: []string{
+					"Information systems as sociotechnical systems",
+					"Data capture, representation, and organization",
+					"Indexing and searching stored information",
+					"Quality issues: reliability, scalability, efficiency of access",
+				},
+				outcomes: []string{
+					"Describe how humans gain access to information and data|F",
+					"Design an index to support efficient search over a dataset|U",
+				},
+			},
+			{
+				name: "Database Systems", tier: TierCore2,
+				topics: []string{
+					"Components of database systems",
+					"The relational model and relational algebra",
+					"Declarative queries with SQL",
+					"Database design: normalization basics",
+				},
+				outcomes: []string{
+					"Write simple SQL queries over a relational schema|U",
+					"Normalize a small schema to third normal form|U",
+				},
+			},
+			{
+				name: "Data Modeling", tier: TierCore2,
+				topics: []string{
+					"Entity-relationship modeling",
+					"Relational data modeling",
+					"Semi-structured data: trees and documents",
+				},
+				outcomes: []string{"Model a domain with an entity-relationship diagram|U"},
+			},
+			{
+				name: "Indexing", tier: TierElective,
+				topics: []string{
+					"B-tree and hash indexes",
+					"Inverted indexes for text",
+				},
+				outcomes: []string{"Choose an index for a given query workload|A"},
+			},
+			{
+				name: "Transaction Processing", tier: TierElective,
+				topics: []string{
+					"ACID properties",
+					"Concurrency control: locking and isolation levels",
+					"Failure recovery and logging",
+				},
+				outcomes: []string{"Explain how two-phase locking ensures serializability|F"},
+			},
+			{
+				name: "Distributed Databases", tier: TierElective,
+				topics: []string{
+					"Data partitioning and replication",
+					"Consistency models and the CAP trade-off",
+				},
+				outcomes: []string{"Discuss trade-offs between consistency and availability|A"},
+			},
+			{
+				name: "Data Mining", tier: TierElective,
+				topics: []string{
+					"Clustering and classification overview",
+					"Association rules",
+					"Dimensionality reduction and matrix factorization",
+				},
+				outcomes: []string{"Apply a clustering algorithm to a dataset and interpret the result|U"},
+			},
+			{
+				name: "Information Storage and Retrieval", tier: TierElective,
+				topics: []string{
+					"Boolean and ranked retrieval",
+					"Term weighting: TF-IDF",
+					"Evaluation: precision and recall",
+				},
+				outcomes: []string{"Build a small search engine with ranked retrieval|U"},
+			},
+		},
+	},
+	{
+		abbrev: "IS", name: "Intelligent Systems",
+		units: []kuSpec{
+			{
+				name: "Fundamental Issues", tier: TierCore2,
+				topics: []string{
+					"Overview of AI problems and AI winters",
+					"What is intelligent behavior: the Turing test",
+					"Problem characteristics: observability, determinism",
+				},
+				outcomes: []string{"Discuss what it means for a system to be intelligent|F"},
+			},
+			{
+				name: "Basic Search Strategies", tier: TierCore2,
+				topics: []string{
+					"Problem spaces, states, goals, and operators",
+					"Uninformed search: BFS, DFS, iterative deepening",
+					"Heuristic search: hill climbing and A*",
+					"Constraint satisfaction basics",
+				},
+				outcomes: []string{
+					"Formulate a problem as state-space search|U",
+					"Implement A* with an admissible heuristic|U",
+				},
+			},
+			{
+				name: "Basic Knowledge Representation and Reasoning", tier: TierCore2,
+				topics: []string{
+					"Propositional and first-order logic for KR",
+					"Forward and backward chaining",
+				},
+				outcomes: []string{"Encode simple domain knowledge in logic|U"},
+			},
+			{
+				name: "Basic Machine Learning", tier: TierCore2,
+				topics: []string{
+					"Supervised versus unsupervised learning",
+					"Decision trees and nearest neighbor",
+					"Overfitting and cross-validation",
+				},
+				outcomes: []string{"Train and evaluate a simple classifier|U"},
+			},
+		},
+	},
+	{
+		abbrev: "NC", name: "Networking and Communication",
+		units: []kuSpec{
+			{
+				name: "Introduction", tier: TierCore1,
+				topics: []string{
+					"Organization of the Internet: ISPs, content providers",
+					"Layering and its purposes",
+					"Switching techniques: circuit and packet",
+					"Physical pieces of a network: hosts, routers, links",
+				},
+				outcomes: []string{
+					"Articulate the organization of the Internet|F",
+					"Describe the layers of the network stack and their roles|F",
+				},
+			},
+			{
+				name: "Networked Applications", tier: TierCore1,
+				topics: []string{
+					"Naming and address schemes: DNS, IP, URIs",
+					"Client-server and peer-to-peer paradigms",
+					"HTTP as an application-layer protocol",
+					"Sockets and socket programming",
+				},
+				outcomes: []string{
+					"Implement a simple client-server socket application|U",
+					"Explain the role of DNS in naming|F",
+				},
+			},
+			{
+				name: "Reliable Data Delivery", tier: TierCore2,
+				topics: []string{
+					"Error control: retransmission and acknowledgements",
+					"Flow control and sliding windows",
+					"TCP congestion control overview",
+				},
+				outcomes: []string{"Explain how sliding-window protocols achieve reliability|F"},
+			},
+			{
+				name: "Routing and Forwarding", tier: TierCore2,
+				topics: []string{
+					"Routing versus forwarding",
+					"Shortest-path routing",
+					"IP addressing and subnetting",
+				},
+				outcomes: []string{"Compute forwarding tables from a topology|U"},
+			},
+			{
+				name: "Local Area Networks", tier: TierCore2,
+				topics: []string{
+					"Multiple access control: CSMA/CD and CSMA/CA",
+					"Ethernet and switching",
+				},
+				outcomes: []string{"Describe how collisions are handled in shared media|F"},
+			},
+			{
+				name: "Resource Allocation", tier: TierCore2,
+				topics: []string{
+					"Congestion and fairness",
+					"Quality of service basics",
+				},
+				outcomes: []string{"Discuss fairness in bandwidth allocation|F"},
+			},
+			{
+				name: "Mobility", tier: TierCore2,
+				topics: []string{
+					"Principles of cellular and wireless networking",
+					"Mobile IP overview",
+				},
+				outcomes: []string{"Describe handoff in a cellular network|F"},
+			},
+		},
+	},
+	{
+		abbrev: "OS", name: "Operating Systems",
+		units: []kuSpec{
+			{
+				name: "Overview of Operating Systems", tier: TierCore1,
+				topics: []string{
+					"Role and purpose of the operating system",
+					"Functionality of a typical operating system",
+					"Design issues: efficiency, robustness, portability",
+				},
+				outcomes: []string{
+					"Explain the objectives and functions of modern operating systems|F",
+				},
+			},
+			{
+				name: "Operating System Principles", tier: TierCore1,
+				topics: []string{
+					"Structuring methods: monolithic, layered, microkernel",
+					"Abstractions, processes, and resources",
+					"The user/system state transition and protection",
+				},
+				outcomes: []string{"Describe how computing resources are used by application software and managed by system software|F"},
+			},
+			{
+				name: "Concurrency", tier: TierCore2,
+				topics: []string{
+					"States and state diagrams of processes and threads",
+					"Thread creation and management",
+					"Race conditions and critical regions",
+					"Synchronization primitives: locks, semaphores, monitors, condition variables",
+					"Deadlock: causes, conditions, prevention",
+					"Producer-consumer and readers-writers problems",
+					"Atomicity and memory consistency",
+				},
+				outcomes: []string{
+					"Write correct concurrent programs using synchronization primitives|U",
+					"Identify a race condition in a code fragment|A",
+					"Explain the four necessary conditions for deadlock|F",
+				},
+			},
+			{
+				name: "Scheduling and Dispatch", tier: TierCore2,
+				topics: []string{
+					"Preemptive and non-preemptive scheduling",
+					"Scheduling policies: FCFS, SJF, priority, round robin",
+					"Dispatching and context switching",
+				},
+				outcomes: []string{
+					"Compare scheduling algorithms on turnaround and response time|U",
+				},
+			},
+			{
+				name: "Memory Management", tier: TierCore2,
+				topics: []string{
+					"Memory hierarchy review",
+					"Paging and virtual memory",
+					"Page replacement policies and thrashing",
+				},
+				outcomes: []string{"Explain how paging supports virtual memory|F"},
+			},
+			{
+				name: "Security and Protection", tier: TierCore2,
+				topics: []string{
+					"Protection domains and access control lists",
+					"Memory protection mechanisms",
+				},
+				outcomes: []string{"Describe how an OS isolates processes from one another|F"},
+			},
+			{
+				name: "File Systems", tier: TierElective,
+				topics: []string{
+					"Files, directories, and metadata",
+					"Allocation strategies and free-space management",
+					"Journaling and crash consistency",
+				},
+				outcomes: []string{"Describe how a file is located from a path name|F"},
+			},
+			{
+				name: "Virtual Machines", tier: TierElective,
+				topics: []string{
+					"Types of virtualization",
+					"Hypervisors and containers",
+				},
+				outcomes: []string{"Contrast containers with full virtual machines|A"},
+			},
+		},
+	},
+	{
+		abbrev: "PBD", name: "Platform-Based Development",
+		units: []kuSpec{
+			{
+				name: "Introduction to Platform-Based Development", tier: TierElective,
+				topics: []string{
+					"Programming via platform-specific APIs",
+					"Overview of platform languages and ecosystems",
+					"Constraints imposed by platforms",
+				},
+				outcomes: []string{"Describe how platform constraints shape program design|F"},
+			},
+			{
+				name: "Web Platforms", tier: TierElective,
+				topics: []string{
+					"Web programming languages and frameworks",
+					"Client-side versus server-side computation",
+					"Web services and REST APIs",
+				},
+				outcomes: []string{"Build a small web application with a REST backend|U"},
+			},
+			{
+				name: "Mobile Platforms", tier: TierElective,
+				topics: []string{
+					"Mobile programming environments",
+					"Sensors and location-aware applications",
+					"Power and network constraints",
+				},
+				outcomes: []string{"Implement a simple sensor-driven mobile app|U"},
+			},
+			{
+				name: "Game Platforms", tier: TierElective,
+				topics: []string{
+					"Game engines and real-time loops",
+					"2D sprite-based game development",
+				},
+				outcomes: []string{"Build a simple 2D game with a game loop|U"},
+			},
+		},
+	},
+	{
+		abbrev: "PD", name: "Parallel and Distributed Computing",
+		units: []kuSpec{
+			{
+				name: "Parallelism Fundamentals", tier: TierCore1,
+				topics: []string{
+					"Multiple simultaneous computations",
+					"Goals of parallelism: throughput versus concurrency for responsiveness",
+					"Parallelism, communication, and coordination",
+					"Programming errors not found in sequential programming: data races",
+				},
+				outcomes: []string{
+					"Distinguish using computational resources for speedup versus managing concurrent access|F",
+					"Distinguish multiple sufficient programming constructs to coordinate parallelism|U",
+				},
+			},
+			{
+				name: "Parallel Decomposition", tier: TierCore1,
+				topics: []string{
+					"Need for communication and coordination",
+					"Independence and partitioning",
+					"Task-based decomposition",
+					"Data-parallel decomposition",
+					"Basic knowledge of parallel decomposition concepts",
+				},
+				outcomes: []string{
+					"Decompose a problem into independent tasks|U",
+					"Write a correct and scalable parallel algorithm using data-parallel decomposition|U",
+				},
+			},
+			{
+				name: "Communication and Coordination", tier: TierCore1,
+				topics: []string{
+					"Shared memory and consistency",
+					"Message passing between processes",
+					"Synchronization: locks, barriers, atomics",
+					"Deadlock and livelock in coordination",
+					"Futures and promises as coordination abstractions",
+				},
+				outcomes: []string{
+					"Use mutual exclusion to avoid a given race condition|U",
+					"Write a program that correctly terminates when all of its set of concurrent tasks complete|U",
+				},
+			},
+			{
+				name: "Parallel Algorithms Analysis and Programming", tier: TierCore2,
+				topics: []string{
+					"Critical path, work, and span of a parallel computation",
+					"Speedup, efficiency, and Amdahl's law",
+					"Parallel reduction and scan",
+					"Parallel loops and independence",
+					"Task graphs and dependency-driven scheduling",
+					"Load balancing strategies",
+				},
+				outcomes: []string{
+					"Define critical path, work, and span|F",
+					"Use Amdahl's law to bound achievable speedup|U",
+					"Implement a parallel divide-and-conquer or data-parallel algorithm|U",
+					"Analyze a parallel algorithm's work and span|A",
+				},
+			},
+			{
+				name: "Parallel Architecture", tier: TierCore2,
+				topics: []string{
+					"Multicore processors",
+					"Shared versus distributed memory organization",
+					"Symmetric multiprocessing and NUMA",
+					"SIMD and vector processing",
+					"GPU accelerators",
+				},
+				outcomes: []string{
+					"Explain the differences between shared and distributed memory|F",
+					"Describe the SIMD execution model|F",
+				},
+			},
+			{
+				name: "Parallel Performance", tier: TierElective,
+				topics: []string{
+					"Load balancing and scheduling overheads",
+					"Data locality and communication cost",
+					"Scalability: strong and weak scaling",
+					"Performance measurement of parallel programs",
+				},
+				outcomes: []string{
+					"Measure and report strong and weak scaling of a parallel program|U",
+					"Identify a load imbalance and propose a remedy|A",
+				},
+			},
+			{
+				name: "Distributed Systems", tier: TierElective,
+				topics: []string{
+					"Faults and partial failure",
+					"Distributed message delivery: ordering and reliability",
+					"Consensus and leader election overview",
+					"Remote procedure calls and distributed objects",
+					"Clusters and data-parallel frameworks",
+				},
+				outcomes: []string{
+					"Explain why consensus is hard under partial failure|F",
+					"Implement a simple distributed computation over message passing|U",
+				},
+			},
+			{
+				name: "Cloud Computing", tier: TierElective,
+				topics: []string{
+					"Infrastructure, platform, and software as a service",
+					"Elasticity and resource virtualization",
+					"Data storage in the cloud",
+				},
+				outcomes: []string{"Deploy an application onto a cloud platform|U"},
+			},
+			{
+				name: "Formal Models and Semantics", tier: TierElective,
+				topics: []string{
+					"Formal models of concurrency: interleaving semantics",
+					"Linearizability and sequential consistency",
+					"Process calculi overview",
+				},
+				outcomes: []string{"Determine whether a history is linearizable|U"},
+			},
+		},
+	},
+	{
+		abbrev: "SE", name: "Software Engineering",
+		units: []kuSpec{
+			{
+				name: "Software Processes", tier: TierCore1,
+				topics: []string{
+					"Software life-cycle models: waterfall, iterative, agile",
+					"Phases of software development",
+					"Process maturity and improvement",
+				},
+				outcomes: []string{
+					"Describe how software can be developed via a process|F",
+					"Compare plan-driven and agile approaches for a given project|A",
+				},
+			},
+			{
+				name: "Software Project Management", tier: TierCore2,
+				topics: []string{
+					"Team organization and roles",
+					"Effort estimation and scheduling",
+					"Risk management",
+					"Version control and configuration management",
+				},
+				outcomes: []string{
+					"Plan the iterations of a small team project|U",
+					"Use a version control system collaboratively|U",
+				},
+			},
+			{
+				name: "Tools and Environments", tier: TierCore2,
+				topics: []string{
+					"Integrated development environments",
+					"Build systems and continuous integration",
+					"Testing tools and coverage measurement",
+					"Issue tracking",
+				},
+				outcomes: []string{
+					"Set up continuous integration for a small project|U",
+				},
+			},
+			{
+				name: "Requirements Engineering", tier: TierCore1,
+				topics: []string{
+					"Functional and non-functional requirements",
+					"Elicitation techniques: interviews, user stories",
+					"Requirements specification and validation",
+				},
+				outcomes: []string{
+					"Write user stories with acceptance criteria|U",
+					"Distinguish functional from non-functional requirements|F",
+				},
+			},
+			{
+				name: "Software Design", tier: TierCore1,
+				topics: []string{
+					"Principles of design: coupling, cohesion, information hiding",
+					"Architectural styles and patterns",
+					"Design patterns: creational, structural, behavioral",
+					"Modeling with UML class and sequence diagrams",
+					"Designing for reuse and maintainability",
+				},
+				outcomes: []string{
+					"Apply design principles to decompose a system into modules|U",
+					"Use appropriate design patterns in a small system|U",
+					"Model a design with UML diagrams|U",
+				},
+			},
+			{
+				name: "Software Construction", tier: TierCore1,
+				topics: []string{
+					"Coding standards and code review",
+					"Defensive coding practices",
+					"API design and documentation",
+					"Refactoring",
+				},
+				outcomes: []string{
+					"Perform a code review against a checklist|U",
+					"Refactor code to improve its structure without changing behavior|U",
+				},
+			},
+			{
+				name: "Software Verification and Validation", tier: TierCore1,
+				topics: []string{
+					"Verification versus validation",
+					"Testing levels: unit, integration, system, acceptance",
+					"Test-driven development",
+					"Black-box and white-box test design",
+					"Regression testing",
+					"Defect tracking and triage",
+				},
+				outcomes: []string{
+					"Create a test plan for a medium-size code segment|U",
+					"Apply test-driven development in a small project|U",
+					"Distinguish black-box from white-box testing|F",
+				},
+			},
+			{
+				name: "Software Evolution", tier: TierCore2,
+				topics: []string{
+					"Software maintenance categories",
+					"Working with legacy code",
+					"Re-engineering and migration",
+				},
+				outcomes: []string{"Identify refactoring opportunities in legacy code|U"},
+			},
+			{
+				name: "Formal Methods", tier: TierElective,
+				topics: []string{
+					"Pre- and post-conditions and invariants",
+					"Model checking overview",
+				},
+				outcomes: []string{"Specify a module using pre- and post-conditions|U"},
+			},
+			{
+				name: "Software Reliability", tier: TierElective,
+				topics: []string{
+					"Fault, error, failure terminology",
+					"Reliability engineering and fault tolerance",
+				},
+				outcomes: []string{"Discuss techniques that improve software reliability|F"},
+			},
+		},
+	},
+	{
+		abbrev: "SF", name: "Systems Fundamentals",
+		units: []kuSpec{
+			{
+				name: "Computational Paradigms", tier: TierCore1,
+				topics: []string{
+					"Basic building blocks: gates, flip-flops, components",
+					"Hardware as a computational paradigm",
+					"Multiple representations and layers of interpretation",
+				},
+				outcomes: []string{
+					"Describe computing systems as layered abstractions|F",
+				},
+			},
+			{
+				name: "Cross-Layer Communications", tier: TierCore1,
+				topics: []string{
+					"Programming abstractions and interfaces",
+					"Requests and responses across layers",
+				},
+				outcomes: []string{"Trace a request through system layers|U"},
+			},
+			{
+				name: "State and State Machines", tier: TierCore1,
+				topics: []string{
+					"Digital versus analog state",
+					"State machines as system models",
+					"Sequential behavior and state transition diagrams",
+				},
+				outcomes: []string{"Model a small system as a state machine|U"},
+			},
+			{
+				name: "Parallelism", tier: TierCore1,
+				topics: []string{
+					"Sequential versus parallel processing",
+					"System support for parallelism: multicore and networked",
+					"Kinds of parallelism: data, task, pipeline",
+					"Coordination costs and overheads",
+				},
+				outcomes: []string{
+					"Distinguish data parallelism from task parallelism with examples|F",
+					"Explain why coordination limits achievable speedup|F",
+				},
+			},
+			{
+				name: "Evaluation", tier: TierCore1,
+				topics: []string{
+					"Performance figures of merit: latency and throughput",
+					"Benchmarking and workload selection",
+					"Amdahl's law as an evaluation tool",
+				},
+				outcomes: []string{
+					"Measure latency and throughput of a simple system|U",
+					"Apply Amdahl's law to predict improvement limits|U",
+				},
+			},
+			{
+				name: "Resource Allocation and Scheduling", tier: TierCore2,
+				topics: []string{
+					"Kinds of resources and allocation schemes",
+					"Scheduling trade-offs: fairness versus throughput",
+				},
+				outcomes: []string{"Compare two scheduling disciplines on a workload|U"},
+			},
+			{
+				name: "Virtualization and Isolation", tier: TierCore2,
+				topics: []string{
+					"Rationale for protection and predictable performance",
+					"Levels of indirection and virtualization mechanisms",
+				},
+				outcomes: []string{"Explain how virtualization provides isolation|F"},
+			},
+			{
+				name: "Reliability through Redundancy", tier: TierCore2,
+				topics: []string{
+					"Distinction between bugs and faults",
+					"Redundancy for fault tolerance",
+				},
+				outcomes: []string{"Describe how redundancy masks faults|F"},
+			},
+		},
+	},
+	{
+		abbrev: "SP", name: "Social Issues and Professional Practice",
+		units: []kuSpec{
+			{
+				name: "Social Context", tier: TierCore1,
+				topics: []string{
+					"Social implications of computing in a networked world",
+					"Impact of social media and accessibility of technology",
+					"The digital divide",
+				},
+				outcomes: []string{
+					"Describe positive and negative ways computing alters society|F",
+				},
+			},
+			{
+				name: "Analytical Tools", tier: TierCore1,
+				topics: []string{
+					"Ethical argumentation",
+					"Stakeholder analysis",
+				},
+				outcomes: []string{"Evaluate stakeholder positions for an ethical dilemma|U"},
+			},
+			{
+				name: "Professional Ethics", tier: TierCore1,
+				topics: []string{
+					"Codes of ethics: ACM and IEEE",
+					"Accountability and responsibility of professionals",
+					"Ethical dissent and whistle-blowing",
+				},
+				outcomes: []string{"Apply a professional code of ethics to a scenario|U"},
+			},
+			{
+				name: "Intellectual Property", tier: TierCore1,
+				topics: []string{
+					"Copyright, patents, and trade secrets",
+					"Software licensing including open source",
+					"Plagiarism",
+				},
+				outcomes: []string{"Contrast open-source licenses and their obligations|F"},
+			},
+			{
+				name: "Privacy and Civil Liberties", tier: TierCore1,
+				topics: []string{
+					"Privacy implications of pervasive data collection",
+					"Technology-based solutions for privacy",
+				},
+				outcomes: []string{"Discuss how data aggregation threatens privacy|F"},
+			},
+			{
+				name: "Professional Communication", tier: TierCore1,
+				topics: []string{
+					"Writing technical documentation",
+					"Oral presentations of technical material",
+					"Communicating with stakeholders",
+				},
+				outcomes: []string{"Present a technical solution to a non-technical audience|U"},
+			},
+			{
+				name: "Sustainability", tier: TierCore1,
+				topics: []string{
+					"Energy footprint of computing",
+					"Sustainable software engineering practices",
+				},
+				outcomes: []string{"Estimate the energy impact of a computing choice|U"},
+			},
+		},
+	},
+}

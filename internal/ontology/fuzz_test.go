@@ -1,0 +1,45 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzSlug exercises the ID segment normalizer with arbitrary input: the
+// output must always be a valid ID segment (lowercase ASCII alphanumerics
+// and single dashes, no leading/trailing dash) and idempotent.
+func FuzzSlug(f *testing.F) {
+	for _, seed := range []string{
+		"Fundamental Programming Concepts",
+		"Big O notation: formal definition",
+		"NP-completeness and Cook's theorem",
+		"ünïcödé Ünicode",
+		"---",
+		"",
+		"a  b\tc\nd",
+		"🎉 emoji party 🎉",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := Slug(s)
+		if out != Slug(out) {
+			t.Fatalf("Slug not idempotent on %q: %q -> %q", s, out, Slug(out))
+		}
+		if strings.HasPrefix(out, "-") || strings.HasSuffix(out, "-") {
+			t.Fatalf("Slug(%q) = %q has boundary dash", s, out)
+		}
+		if strings.Contains(out, "--") {
+			t.Fatalf("Slug(%q) = %q has double dash", s, out)
+		}
+		for _, r := range out {
+			if r != '-' && !unicode.IsLower(r) && !unicode.IsDigit(r) {
+				t.Fatalf("Slug(%q) = %q contains %q", s, out, r)
+			}
+			if r > unicode.MaxASCII {
+				t.Fatalf("Slug(%q) = %q contains non-ASCII", s, out)
+			}
+		}
+	})
+}

@@ -1,0 +1,411 @@
+// Package ontology models curriculum guidelines as trees, mirroring the
+// structure that the CS Materials system classifies learning materials
+// against: a guideline contains knowledge areas, which contain knowledge
+// units, which contain topics and learning outcomes.
+//
+// Two guideline instances are provided: the ACM/IEEE CS2013 Computer
+// Science curriculum (see cs2013.go) and the NSF/IEEE-TCPP 2012 Parallel
+// and Distributed Computing curriculum (see pdc12.go). Both are
+// reconstructions built from the published documents: the knowledge-area
+// and knowledge-unit skeletons carry the real names; topic populations are
+// complete for the areas the paper's analyses touch and representative
+// elsewhere (documented in DESIGN.md).
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the level of a node within a guideline tree.
+type Kind int
+
+const (
+	// KindRoot is the single root of a guideline.
+	KindRoot Kind = iota
+	// KindArea is a knowledge area (e.g. Software Development Fundamentals).
+	KindArea
+	// KindUnit is a knowledge unit within an area.
+	KindUnit
+	// KindTopic is a topic within a knowledge unit.
+	KindTopic
+	// KindOutcome is a learning outcome within a knowledge unit.
+	KindOutcome
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRoot:
+		return "root"
+	case KindArea:
+		return "area"
+	case KindUnit:
+		return "unit"
+	case KindTopic:
+		return "topic"
+	case KindOutcome:
+		return "outcome"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Tier is the CS2013 coverage requirement attached to knowledge units.
+type Tier int
+
+const (
+	// TierNone marks nodes that carry no tier (root, areas, PDC12 nodes).
+	TierNone Tier = iota
+	// TierCore1 units must be covered entirely by a curriculum.
+	TierCore1
+	// TierCore2 units should be covered at 80% or more.
+	TierCore2
+	// TierElective units are optional.
+	TierElective
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierNone:
+		return "none"
+	case TierCore1:
+		return "core-1"
+	case TierCore2:
+		return "core-2"
+	case TierElective:
+		return "elective"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Mastery is the CS2013 learning-outcome mastery level.
+type Mastery int
+
+const (
+	// MasteryNone marks nodes that are not learning outcomes.
+	MasteryNone Mastery = iota
+	// MasteryFamiliarity: the student can answer "what do you know about this?".
+	MasteryFamiliarity
+	// MasteryUsage: the student can apply the concept concretely.
+	MasteryUsage
+	// MasteryAssessment: the student can weigh alternatives.
+	MasteryAssessment
+)
+
+func (m Mastery) String() string {
+	switch m {
+	case MasteryNone:
+		return "none"
+	case MasteryFamiliarity:
+		return "familiarity"
+	case MasteryUsage:
+		return "usage"
+	case MasteryAssessment:
+		return "assessment"
+	default:
+		return fmt.Sprintf("Mastery(%d)", int(m))
+	}
+}
+
+// Bloom is the PDC12 Bloom-taxonomy level attached to PDC topics.
+type Bloom int
+
+const (
+	// BloomNone marks nodes without a Bloom annotation (CS2013 nodes).
+	BloomNone Bloom = iota
+	// BloomKnow: recall the concept.
+	BloomKnow
+	// BloomComprehend: explain the concept.
+	BloomComprehend
+	// BloomApply: use the concept in new situations.
+	BloomApply
+)
+
+func (b Bloom) String() string {
+	switch b {
+	case BloomNone:
+		return "none"
+	case BloomKnow:
+		return "know"
+	case BloomComprehend:
+		return "comprehend"
+	case BloomApply:
+		return "apply"
+	default:
+		return fmt.Sprintf("Bloom(%d)", int(b))
+	}
+}
+
+// Node is one entry in a guideline tree. Nodes are identified by a
+// path-like ID ("SDF/fundamental-programming-concepts/conditionals") that
+// is stable across rebuilds and is what materials are classified against.
+type Node struct {
+	ID       string
+	Kind     Kind
+	Name     string
+	Tier     Tier    // knowledge units only (CS2013)
+	Mastery  Mastery // learning outcomes only (CS2013)
+	Bloom    Bloom   // topics only (PDC12)
+	Core     bool    // PDC12 core vs elective
+	Parent   *Node
+	Children []*Node
+}
+
+// Guideline is a curriculum guideline tree with an ID index.
+type Guideline struct {
+	Name  string
+	Root  *Node
+	index map[string]*Node
+}
+
+// NewGuideline creates an empty guideline with a root node.
+func NewGuideline(name string) *Guideline {
+	root := &Node{ID: "", Kind: KindRoot, Name: name}
+	g := &Guideline{Name: name, Root: root, index: map[string]*Node{"": root}}
+	return g
+}
+
+// Slug converts a human-readable name into the ID segment form:
+// lower case, spaces and punctuation collapsed to single dashes.
+func Slug(name string) string {
+	var b strings.Builder
+	lastDash := true // suppress leading dash
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}
+
+// AddChild creates a node under parent and registers it in the index. The
+// child's ID is parent.ID + "/" + Slug(name) (or just the slug at the top
+// level). It panics if the resulting ID already exists: guideline data
+// must not contain duplicates.
+func (g *Guideline) AddChild(parent *Node, kind Kind, name string) *Node {
+	return g.AddChildID(parent, kind, Slug(name), name)
+}
+
+// AddChildID is AddChild with an explicit ID segment, used where the
+// conventional segment differs from the slugged name (e.g. knowledge-area
+// abbreviations such as "SDF").
+func (g *Guideline) AddChildID(parent *Node, kind Kind, segment, name string) *Node {
+	if parent == nil {
+		panic("ontology: AddChild with nil parent")
+	}
+	if segment == "" {
+		panic(fmt.Sprintf("ontology: empty ID segment for node %q", name))
+	}
+	id := segment
+	if parent.ID != "" {
+		id = parent.ID + "/" + segment
+	}
+	if _, dup := g.index[id]; dup {
+		panic(fmt.Sprintf("ontology: duplicate node ID %q", id))
+	}
+	n := &Node{ID: id, Kind: kind, Name: name, Parent: parent}
+	parent.Children = append(parent.Children, n)
+	g.index[id] = n
+	return n
+}
+
+// Lookup returns the node with the given ID, or nil.
+func (g *Guideline) Lookup(id string) *Node { return g.index[id] }
+
+// MustLookup returns the node with the given ID and panics if absent.
+// Use it for IDs that are hard-coded into analyses.
+func (g *Guideline) MustLookup(id string) *Node {
+	n := g.index[id]
+	if n == nil {
+		panic(fmt.Sprintf("ontology: unknown node ID %q in guideline %q", id, g.Name))
+	}
+	return n
+}
+
+// Len returns the number of nodes, excluding the root.
+func (g *Guideline) Len() int { return len(g.index) - 1 }
+
+// Walk visits every node in depth-first pre-order, root first. Returning
+// false from visit stops the descent into that node's children (the walk
+// continues with siblings).
+func (g *Guideline) Walk(visit func(*Node) bool) { walk(g.Root, visit) }
+
+func walk(n *Node, visit func(*Node) bool) {
+	if !visit(n) {
+		return
+	}
+	for _, c := range n.Children {
+		walk(c, visit)
+	}
+}
+
+// Nodes returns all non-root nodes sorted by ID for deterministic
+// iteration (map order is randomized in Go).
+func (g *Guideline) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.index)-1)
+	for id, n := range g.index {
+		if id == "" {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NodesOfKind returns all nodes of the given kind, sorted by ID.
+func (g *Guideline) NodesOfKind(k Kind) []*Node {
+	var out []*Node
+	for _, n := range g.Nodes() {
+		if n.Kind == k {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Leaves returns all leaf nodes (topics and outcomes), sorted by ID.
+// These are the "curriculum tags" that materials are classified against.
+func (g *Guideline) Leaves() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes() {
+		if len(n.Children) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Areas returns the knowledge areas in insertion order.
+func (g *Guideline) Areas() []*Node {
+	var out []*Node
+	for _, c := range g.Root.Children {
+		if c.Kind == KindArea {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AreaOf returns the knowledge area ancestor of n (or n itself if n is an
+// area). It returns nil for the root.
+func AreaOf(n *Node) *Node {
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.Kind == KindArea {
+			return cur
+		}
+	}
+	return nil
+}
+
+// UnitOf returns the knowledge unit ancestor of n (or n itself if n is a
+// unit), or nil if there is none.
+func UnitOf(n *Node) *Node {
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.Kind == KindUnit {
+			return cur
+		}
+	}
+	return nil
+}
+
+// Depth returns the number of edges from the root to n.
+func Depth(n *Node) int {
+	d := 0
+	for cur := n; cur.Parent != nil; cur = cur.Parent {
+		d++
+	}
+	return d
+}
+
+// Path returns the nodes from the root (exclusive) down to n (inclusive).
+func Path(n *Node) []*Node {
+	var rev []*Node
+	for cur := n; cur != nil && cur.Kind != KindRoot; cur = cur.Parent {
+		rev = append(rev, cur)
+	}
+	out := make([]*Node, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// LCA returns the lowest common ancestor of a and b within the same
+// guideline tree (possibly the root).
+func LCA(a, b *Node) *Node {
+	seen := map[*Node]bool{}
+	for cur := a; cur != nil; cur = cur.Parent {
+		seen[cur] = true
+	}
+	for cur := b; cur != nil; cur = cur.Parent {
+		if seen[cur] {
+			return cur
+		}
+	}
+	return nil
+}
+
+// SubtreeIDs returns the IDs of every node in n's subtree, n included.
+func SubtreeIDs(n *Node) []string {
+	var out []string
+	walk(n, func(m *Node) bool {
+		if m.Kind != KindRoot {
+			out = append(out, m.ID)
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// Prune returns a deep copy of the guideline tree containing only nodes
+// for which keep returns true, plus every ancestor of a kept node. This
+// implements the "hit-tree" of the CS Materials system: the subset of the
+// classification tree touched by a set of materials.
+func (g *Guideline) Prune(keep func(*Node) bool) *Guideline {
+	// Pass 1: mark every node that is kept or has a kept descendant.
+	keepSet := map[*Node]bool{}
+	var mark func(n *Node) bool
+	mark = func(n *Node) bool {
+		any := n.Kind != KindRoot && keep(n)
+		for _, c := range n.Children {
+			if mark(c) {
+				any = true
+			}
+		}
+		if any {
+			keepSet[n] = true
+		}
+		return any
+	}
+	mark(g.Root)
+
+	// Pass 2: copy the marked skeleton.
+	out := NewGuideline(g.Name)
+	var cp func(src, dstParent *Node)
+	cp = func(src, dstParent *Node) {
+		for _, c := range src.Children {
+			if !keepSet[c] {
+				continue
+			}
+			dst := &Node{ID: c.ID, Kind: c.Kind, Name: c.Name,
+				Tier: c.Tier, Mastery: c.Mastery, Bloom: c.Bloom, Core: c.Core,
+				Parent: dstParent}
+			dstParent.Children = append(dstParent.Children, dst)
+			out.index[dst.ID] = dst
+			cp(c, dst)
+		}
+	}
+	cp(g.Root, out.Root)
+	return out
+}

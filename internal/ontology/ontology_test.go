@@ -1,0 +1,349 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSlug(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Fundamental Programming Concepts", "fundamental-programming-concepts"},
+		{"Big O notation: formal definition", "big-o-notation-formal-definition"},
+		{"  leading  spaces ", "leading-spaces"},
+		{"Already-slugged", "already-slugged"},
+		{"UPPER", "upper"},
+		{"a/b", "a-b"},
+		{"trailing!", "trailing"},
+	}
+	for _, c := range cases {
+		if got := Slug(c.in); got != c.want {
+			t.Errorf("Slug(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddChildBuildsIDs(t *testing.T) {
+	g := NewGuideline("test")
+	a := g.AddChildID(g.Root, KindArea, "XX", "Example Area")
+	u := g.AddChild(a, KindUnit, "Some Unit")
+	tp := g.AddChild(u, KindTopic, "A Topic Here")
+	if a.ID != "XX" {
+		t.Fatalf("area ID = %q", a.ID)
+	}
+	if u.ID != "XX/some-unit" {
+		t.Fatalf("unit ID = %q", u.ID)
+	}
+	if tp.ID != "XX/some-unit/a-topic-here" {
+		t.Fatalf("topic ID = %q", tp.ID)
+	}
+	if g.Lookup(tp.ID) != tp {
+		t.Fatal("Lookup failed for topic")
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+}
+
+func TestAddChildDuplicatePanics(t *testing.T) {
+	g := NewGuideline("test")
+	a := g.AddChildID(g.Root, KindArea, "XX", "Area")
+	g.AddChild(a, KindUnit, "Unit One")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate ID")
+		}
+	}()
+	g.AddChild(a, KindUnit, "Unit One")
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	g := NewGuideline("test")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.MustLookup("nope")
+}
+
+func TestCS2013Structure(t *testing.T) {
+	g := CS2013()
+	areas := g.Areas()
+	if len(areas) != 18 {
+		t.Fatalf("CS2013 has %d areas, want 18", len(areas))
+	}
+	wantAreas := []string{"SDF", "AL", "DS", "PL", "AR", "CN", "GV", "HCI", "IAS", "IM", "IS", "NC", "OS", "PBD", "PD", "SE", "SF", "SP"}
+	have := map[string]bool{}
+	for _, a := range areas {
+		have[a.ID] = true
+	}
+	for _, w := range wantAreas {
+		if !have[w] {
+			t.Errorf("missing knowledge area %q", w)
+		}
+	}
+	if g.Len() < 600 {
+		t.Fatalf("CS2013 has only %d nodes; expected a realistic population (>600)", g.Len())
+	}
+}
+
+func TestCS2013KeyEntriesExist(t *testing.T) {
+	g := CS2013()
+	// Entries the paper's analyses refer to by name must exist.
+	ids := []string{
+		"SDF/fundamental-programming-concepts",
+		"SDF/fundamental-programming-concepts/variables-and-primitive-data-types",
+		"SDF/fundamental-programming-concepts/conditional-control-structures",
+		"SDF/fundamental-programming-concepts/the-concept-of-recursion",
+		"SDF/algorithms-and-design/divide-and-conquer-strategies",
+		"AL/basic-analysis/big-o-notation-formal-definition",
+		"AL/fundamental-data-structures-and-algorithms/topological-sort-of-a-directed-acyclic-graph",
+		"DS/graphs-and-trees/directed-graphs",
+		"PL/object-oriented-programming/inheritance-and-subtyping",
+		"PD/parallelism-fundamentals",
+		"AR/machine-level-representation-of-data/representation-of-records-structs-and-arrays-in-memory",
+	}
+	for _, id := range ids {
+		if g.Lookup(id) == nil {
+			t.Errorf("CS2013 missing expected entry %q", id)
+		}
+	}
+}
+
+func TestCS2013TiersAndMastery(t *testing.T) {
+	g := CS2013()
+	fpc := g.MustLookup("SDF/fundamental-programming-concepts")
+	if fpc.Tier != TierCore1 {
+		t.Fatalf("FPC tier = %v, want core-1", fpc.Tier)
+	}
+	if fpc.Kind != KindUnit {
+		t.Fatalf("FPC kind = %v", fpc.Kind)
+	}
+	// All outcomes must carry a mastery level; all topics must not.
+	g.Walk(func(n *Node) bool {
+		switch n.Kind {
+		case KindOutcome:
+			if n.Mastery == MasteryNone {
+				t.Errorf("outcome %q has no mastery", n.ID)
+			}
+		case KindTopic:
+			if n.Mastery != MasteryNone {
+				t.Errorf("topic %q has a mastery level", n.ID)
+			}
+		}
+		return true
+	})
+}
+
+func TestCS2013SharedInstance(t *testing.T) {
+	if CS2013() != CS2013() {
+		t.Fatal("CS2013 must return the shared instance")
+	}
+}
+
+func TestPDC12Structure(t *testing.T) {
+	g := PDC12()
+	areas := g.Areas()
+	if len(areas) != 4 {
+		t.Fatalf("PDC12 has %d areas, want 4", len(areas))
+	}
+	for _, want := range []string{"ARCH", "PROG", "ALGO", "XCUT"} {
+		if g.Lookup(want) == nil {
+			t.Errorf("PDC12 missing area %q", want)
+		}
+	}
+	// Every topic must have a Bloom level; units and areas must not.
+	g.Walk(func(n *Node) bool {
+		if n.Kind == KindTopic && n.Bloom == BloomNone {
+			t.Errorf("PDC topic %q has no Bloom level", n.ID)
+		}
+		if n.Kind != KindTopic && n.Bloom != BloomNone {
+			t.Errorf("non-topic %q has a Bloom level", n.ID)
+		}
+		return true
+	})
+	// There must be both core and elective topics.
+	core, elective := 0, 0
+	for _, n := range g.NodesOfKind(KindTopic) {
+		if n.Core {
+			core++
+		} else {
+			elective++
+		}
+	}
+	if core == 0 || elective == 0 {
+		t.Fatalf("PDC12 core=%d elective=%d; both must be non-zero", core, elective)
+	}
+}
+
+func TestAreaOfUnitOfDepthPath(t *testing.T) {
+	g := CS2013()
+	n := g.MustLookup("SDF/fundamental-programming-concepts/the-concept-of-recursion")
+	if AreaOf(n).ID != "SDF" {
+		t.Fatalf("AreaOf = %q", AreaOf(n).ID)
+	}
+	if UnitOf(n).ID != "SDF/fundamental-programming-concepts" {
+		t.Fatalf("UnitOf = %q", UnitOf(n).ID)
+	}
+	if Depth(n) != 3 {
+		t.Fatalf("Depth = %d, want 3", Depth(n))
+	}
+	p := Path(n)
+	if len(p) != 3 || p[0].ID != "SDF" || p[2] != n {
+		t.Fatalf("Path = %v", p)
+	}
+}
+
+func TestAreaOfRootNil(t *testing.T) {
+	g := CS2013()
+	if AreaOf(g.Root) != nil {
+		t.Fatal("AreaOf(root) should be nil")
+	}
+	if UnitOf(g.MustLookup("SDF")) != nil {
+		t.Fatal("UnitOf(area) should be nil")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	g := CS2013()
+	a := g.MustLookup("SDF/fundamental-programming-concepts/the-concept-of-recursion")
+	b := g.MustLookup("SDF/fundamental-programming-concepts/conditional-control-structures")
+	if got := LCA(a, b); got.ID != "SDF/fundamental-programming-concepts" {
+		t.Fatalf("LCA = %q", got.ID)
+	}
+	c := g.MustLookup("AL/basic-analysis/big-o-notation-use")
+	if got := LCA(a, c); got.Kind != KindRoot {
+		t.Fatalf("cross-area LCA = %q, want root", got.ID)
+	}
+	if got := LCA(a, a); got != a {
+		t.Fatal("LCA(a,a) != a")
+	}
+}
+
+func TestSubtreeIDs(t *testing.T) {
+	g := CS2013()
+	fpc := g.MustLookup("SDF/fundamental-programming-concepts")
+	ids := SubtreeIDs(fpc)
+	if len(ids) < 10 {
+		t.Fatalf("FPC subtree too small: %d", len(ids))
+	}
+	for _, id := range ids {
+		if !strings.HasPrefix(id, "SDF/fundamental-programming-concepts") {
+			t.Fatalf("subtree ID %q escapes subtree", id)
+		}
+	}
+}
+
+func TestNodesSortedDeterministic(t *testing.T) {
+	g := CS2013()
+	a := g.Nodes()
+	b := g.Nodes()
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("Nodes() not deterministic")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].ID <= a[i-1].ID {
+			t.Fatalf("Nodes() not sorted at %d: %q <= %q", i, a[i].ID, a[i-1].ID)
+		}
+	}
+}
+
+func TestLeavesAreTopicsOrOutcomes(t *testing.T) {
+	g := CS2013()
+	for _, l := range g.Leaves() {
+		if l.Kind != KindTopic && l.Kind != KindOutcome {
+			t.Fatalf("leaf %q has kind %v", l.ID, l.Kind)
+		}
+		if len(l.Children) != 0 {
+			t.Fatalf("leaf %q has children", l.ID)
+		}
+	}
+}
+
+func TestPrune(t *testing.T) {
+	g := CS2013()
+	// Keep only two specific topics; the pruned tree must contain exactly
+	// them plus their ancestors.
+	keepIDs := map[string]bool{
+		"SDF/fundamental-programming-concepts/the-concept-of-recursion": true,
+		"AL/basic-analysis/big-o-notation-use":                          true,
+	}
+	p := g.Prune(func(n *Node) bool { return keepIDs[n.ID] })
+	wantIDs := []string{
+		"SDF",
+		"SDF/fundamental-programming-concepts",
+		"SDF/fundamental-programming-concepts/the-concept-of-recursion",
+		"AL",
+		"AL/basic-analysis",
+		"AL/basic-analysis/big-o-notation-use",
+	}
+	if p.Len() != len(wantIDs) {
+		t.Fatalf("pruned tree has %d nodes, want %d", p.Len(), len(wantIDs))
+	}
+	for _, id := range wantIDs {
+		if p.Lookup(id) == nil {
+			t.Errorf("pruned tree missing %q", id)
+		}
+	}
+	// Pruned copy must be independent of the original.
+	if p.Lookup("SDF") == g.Lookup("SDF") {
+		t.Fatal("Prune must deep-copy nodes")
+	}
+	// Original must be untouched.
+	if g.Len() < 600 {
+		t.Fatal("Prune mutated the original guideline")
+	}
+}
+
+func TestPruneEmpty(t *testing.T) {
+	g := CS2013()
+	p := g.Prune(func(n *Node) bool { return false })
+	if p.Len() != 0 {
+		t.Fatalf("empty prune kept %d nodes", p.Len())
+	}
+}
+
+func TestPruneParentLinksConsistent(t *testing.T) {
+	g := CS2013()
+	p := g.Prune(func(n *Node) bool { return n.Kind == KindTopic && AreaOf(n).ID == "SDF" })
+	p.Walk(func(n *Node) bool {
+		for _, c := range n.Children {
+			if c.Parent != n {
+				t.Fatalf("child %q has wrong parent", c.ID)
+			}
+		}
+		return true
+	})
+	// All topics in SDF must be present.
+	want := 0
+	g.Walk(func(n *Node) bool {
+		if n.Kind == KindTopic && AreaOf(n) != nil && AreaOf(n).ID == "SDF" {
+			want++
+		}
+		return true
+	})
+	got := len(p.NodesOfKind(KindTopic))
+	if got != want {
+		t.Fatalf("pruned SDF topics = %d, want %d", got, want)
+	}
+}
+
+func TestKindTierMasteryBloomStrings(t *testing.T) {
+	if KindTopic.String() != "topic" || KindRoot.String() != "root" {
+		t.Fatal("Kind.String wrong")
+	}
+	if TierCore1.String() != "core-1" || TierElective.String() != "elective" {
+		t.Fatal("Tier.String wrong")
+	}
+	if MasteryUsage.String() != "usage" {
+		t.Fatal("Mastery.String wrong")
+	}
+	if BloomApply.String() != "apply" {
+		t.Fatal("Bloom.String wrong")
+	}
+	if Kind(99).String() == "" || Tier(99).String() == "" || Mastery(99).String() == "" || Bloom(99).String() == "" {
+		t.Fatal("out-of-range String should not be empty")
+	}
+}

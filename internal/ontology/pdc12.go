@@ -1,0 +1,279 @@
+package ontology
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// pdcTopic encodes a PDC12 topic as "name|B|core" where B ∈ {K, C, A}
+// (Bloom: know, comprehend, apply) and core is "c" or "e".
+type pdcUnit struct {
+	name   string
+	topics []string
+}
+
+type pdcArea struct {
+	abbrev string
+	name   string
+	units  []pdcUnit
+}
+
+var (
+	pdc12Once sync.Once
+	pdc12Tree *Guideline
+)
+
+// PDC12 returns the NSF/IEEE-TCPP 2012 Parallel and Distributed Computing
+// curriculum guideline tree. Unlike CS2013, PDC12 attaches Bloom levels to
+// topics and distinguishes only core from elective. The tree is built once
+// and shared; callers must treat it as read-only.
+func PDC12() *Guideline {
+	pdc12Once.Do(func() { pdc12Tree = buildPDC12() })
+	return pdc12Tree
+}
+
+func buildPDC12() *Guideline {
+	g := NewGuideline("NSF/IEEE-TCPP PDC12")
+	for _, area := range pdc12Data {
+		a := g.AddChildID(g.Root, KindArea, area.abbrev, area.name)
+		for _, unit := range area.units {
+			u := g.AddChild(a, KindUnit, unit.name)
+			for _, enc := range unit.topics {
+				name, bloom, core := parsePDCTopic(enc)
+				n := g.AddChild(u, KindTopic, name)
+				n.Bloom = bloom
+				n.Core = core
+			}
+		}
+	}
+	return g
+}
+
+func parsePDCTopic(enc string) (string, Bloom, bool) {
+	parts := strings.Split(enc, "|")
+	if len(parts) != 3 {
+		panic(fmt.Sprintf("ontology: malformed PDC topic %q", enc))
+	}
+	var b Bloom
+	switch parts[1] {
+	case "K":
+		b = BloomKnow
+	case "C":
+		b = BloomComprehend
+	case "A":
+		b = BloomApply
+	default:
+		panic(fmt.Sprintf("ontology: unknown Bloom level %q in %q", parts[1], enc))
+	}
+	switch parts[2] {
+	case "c":
+		return parts[0], b, true
+	case "e":
+		return parts[0], b, false
+	default:
+		panic(fmt.Sprintf("ontology: unknown core flag %q in %q", parts[2], enc))
+	}
+}
+
+// pdc12Data reconstructs the NSF/IEEE-TCPP 2012 PDC curriculum: four
+// areas (Architecture, Programming, Algorithms, Cross-Cutting and
+// Advanced Topics), topics annotated with Bloom levels and core status.
+var pdc12Data = []pdcArea{
+	{
+		abbrev: "ARCH", name: "Architecture",
+		units: []pdcUnit{
+			{
+				name: "Classes of Parallelism",
+				topics: []string{
+					"Superscalar instruction-level parallelism|K|c",
+					"SIMD and vector operation|K|c",
+					"Pipelines as assembly-line parallelism|C|c",
+					"Streams such as GPU pipelines|K|e",
+					"MIMD and the Flynn taxonomy|K|c",
+					"Simultaneous multithreading|K|c",
+					"Highly multithreaded architectures|K|e",
+					"Multicore processors|C|c",
+					"Heterogeneous architectures such as CPU plus GPU|K|c",
+				},
+			},
+			{
+				name: "Memory Hierarchy",
+				topics: []string{
+					"Cache organization in multicore systems|C|c",
+					"Atomicity of memory operations|K|c",
+					"Memory consistency models|K|e",
+					"Cache coherence protocols|K|e",
+					"False sharing|K|e",
+					"Impact of memory hierarchy on performance|C|c",
+				},
+			},
+			{
+				name: "Floating-Point Representation",
+				topics: []string{
+					"Floating-point range and precision|K|c",
+					"Rounding error and its accumulation|K|c",
+					"Non-associativity of floating-point addition|C|c",
+					"Error propagation in parallel reductions|K|e",
+				},
+			},
+			{
+				name: "Performance Metrics",
+				topics: []string{
+					"Cycles per instruction and benchmark metrics|K|c",
+					"Peak versus sustained performance|K|c",
+					"MIPS and FLOPS as measures|K|c",
+				},
+			},
+			{
+				name: "Interconnects",
+				topics: []string{
+					"Shared buses and contention|K|e",
+					"Network topologies: mesh, torus, fat tree|K|e",
+					"Latency and bandwidth of interconnects|C|e",
+				},
+			},
+		},
+	},
+	{
+		abbrev: "PROG", name: "Programming",
+		units: []pdcUnit{
+			{
+				name: "Parallel Programming Paradigms",
+				topics: []string{
+					"Programming by task decomposition|A|c",
+					"Programming by data-parallel decomposition|A|c",
+					"Shared-memory programming|A|c",
+					"Message-passing programming|C|c",
+					"Hybrid shared and distributed programming|K|e",
+					"Client-server and distributed-object paradigms|C|c",
+					"Functional and dataflow models of parallelism|K|e",
+					"Event-driven and reactive concurrency|K|e",
+				},
+			},
+			{
+				name: "Parallel Programming Notations",
+				topics: []string{
+					"Parallel-for loop annotations such as OpenMP|A|c",
+					"Task-spawn constructs such as cilk spawn and sync|C|c",
+					"Thread libraries|C|c",
+					"Message-passing libraries such as MPI|C|c",
+					"Futures and promises|C|e",
+					"Concurrent collections and thread-safe containers|C|c",
+					"CUDA-style accelerator kernels|K|e",
+				},
+			},
+			{
+				name: "Semantics and Correctness Issues",
+				topics: []string{
+					"Tasks and threads as units of execution|C|c",
+					"Synchronization: critical regions, producer-consumer|A|c",
+					"Mutual exclusion with locks|A|c",
+					"Data races and determinism|C|c",
+					"Deadlock detection and avoidance|C|c",
+					"Memory models and visibility of writes|K|e",
+					"Concurrency defects and debugging|C|c",
+					"Thread safety of data structures|C|c",
+				},
+			},
+			{
+				name: "Performance Issues in Programming",
+				topics: []string{
+					"Computation decomposition and granularity|C|c",
+					"Load balancing of parallel work|C|c",
+					"Scheduling and mapping tasks to resources|C|c",
+					"Data distribution and locality|C|c",
+					"Communication overhead and aggregation|K|e",
+					"Performance tuning and profiling tools|K|e",
+				},
+			},
+		},
+	},
+	{
+		abbrev: "ALGO", name: "Algorithms",
+		units: []pdcUnit{
+			{
+				name: "Parallel and Distributed Models and Complexity",
+				topics: []string{
+					"Costs of computation: time, space, power|C|c",
+					"Asymptotic analysis in the parallel context|A|c",
+					"Work and span of a computation DAG|C|c",
+					"Critical path as a lower bound on time|C|c",
+					"Speedup, efficiency, and scalability|C|c",
+					"Amdahl's law and Gustafson's law|C|c",
+					"The PRAM model|K|e",
+					"BSP and LogP cost models|K|e",
+					"Dependencies and task graphs as models of computation|C|c",
+					"Directed acyclic graphs and topological order|C|c",
+				},
+			},
+			{
+				name: "Algorithmic Paradigms",
+				topics: []string{
+					"Divide-and-conquer in parallel|A|c",
+					"Recursive task-based parallelism|C|c",
+					"Reduction as a parallel pattern|A|c",
+					"Scan and prefix-sum as parallel patterns|C|c",
+					"Stencil computations|K|e",
+					"Master-worker and work queues|C|c",
+					"Pipelined algorithms|K|e",
+					"Bottom-up dynamic programming in parallel|K|e",
+					"Speculative execution and branch-and-bound|K|e",
+				},
+			},
+			{
+				name: "Algorithmic Problems",
+				topics: []string{
+					"Parallel summation and collective communication|A|c",
+					"Parallel sorting: merge-based and sample sort|C|c",
+					"Parallel matrix operations|C|c",
+					"Parallel graph traversal: BFS in parallel|K|e",
+					"Parallel search of unstructured spaces|C|c",
+					"Convolution and map over arrays|C|c",
+					"List scheduling and makespan minimization|K|e",
+					"Topological sort for dependency resolution|C|c",
+				},
+			},
+		},
+	},
+	{
+		abbrev: "XCUT", name: "Cross-Cutting and Advanced Topics",
+		units: []pdcUnit{
+			{
+				name: "High-Level Themes",
+				topics: []string{
+					"Why and what is parallel and distributed computing|K|c",
+					"History of parallel computing and Moore's law|K|e",
+					"Power and energy as first-class constraints|K|e",
+				},
+			},
+			{
+				name: "Concurrency Concepts",
+				topics: []string{
+					"Nondeterminism as inherent to concurrency|C|c",
+					"Concurrency beyond parallelism: overlapping I/O|K|c",
+					"Ordering of operations on shared objects|C|c",
+				},
+			},
+			{
+				name: "Fault Tolerance and Distribution",
+				topics: []string{
+					"Partial failure in distributed systems|K|e",
+					"Replication and redundancy|K|e",
+					"Consensus at a high level|K|e",
+					"Distributed transactions overview|K|e",
+				},
+			},
+			{
+				name: "Current and Advanced Topics",
+				topics: []string{
+					"Cluster and cloud computing|K|c",
+					"MapReduce-style data processing|K|e",
+					"Peer-to-peer systems|K|e",
+					"Security in distributed systems|K|e",
+					"Performance modeling of applications at scale|K|e",
+				},
+			},
+		},
+	},
+}

@@ -1,0 +1,269 @@
+package ontology
+
+import "sync"
+
+var (
+	pdc20Once sync.Once
+	pdc20Tree *Guideline
+)
+
+// PDC20Beta returns the NSF/IEEE-TCPP PDC curriculum version 2.0-beta
+// (released late 2020; the paper notes the revision was expected in
+// 2023). The beta keeps the four areas of PDC12 but broadens them:
+// energy as a first-class concern, accelerators, big-data processing,
+// and a more explicit treatment of concurrency safety. The tree is built
+// once and shared; treat it as read-only.
+//
+// CS Materials supports classifying against multiple guideline versions
+// simultaneously; this reproduction ships PDC20-beta so anchor rules and
+// course classifications can migrate when the community does.
+func PDC20Beta() *Guideline {
+	pdc20Once.Do(func() { pdc20Tree = buildPDC20() })
+	return pdc20Tree
+}
+
+func buildPDC20() *Guideline {
+	g := NewGuideline("NSF/IEEE-TCPP PDC 2.0-beta")
+	for _, area := range pdc20Data {
+		a := g.AddChildID(g.Root, KindArea, area.abbrev, area.name)
+		for _, unit := range area.units {
+			u := g.AddChild(a, KindUnit, unit.name)
+			for _, enc := range unit.topics {
+				name, bloom, core := parsePDCTopic(enc)
+				n := g.AddChild(u, KindTopic, name)
+				n.Bloom = bloom
+				n.Core = core
+			}
+		}
+	}
+	return g
+}
+
+// pdc20Data reconstructs the 2.0-beta body of knowledge: the PDC12
+// skeleton with the beta's additions.
+var pdc20Data = []pdcArea{
+	{
+		abbrev: "ARCH", name: "Architecture",
+		units: []pdcUnit{
+			{
+				name: "Classes of Parallelism",
+				topics: []string{
+					"Superscalar instruction-level parallelism|K|c",
+					"SIMD and vector operation|C|c",
+					"Pipelines as assembly-line parallelism|C|c",
+					"MIMD and the Flynn taxonomy|K|c",
+					"Simultaneous multithreading|K|c",
+					"Multicore processors|C|c",
+					"Heterogeneous architectures such as CPU plus GPU|C|c",
+					"GPU and accelerator microarchitecture|K|e",
+					"Domain-specific accelerators such as tensor units|K|e",
+				},
+			},
+			{
+				name: "Memory Hierarchy",
+				topics: []string{
+					"Cache organization in multicore systems|C|c",
+					"Atomicity of memory operations|C|c",
+					"Memory consistency models|K|c",
+					"Cache coherence protocols|K|e",
+					"False sharing|C|c",
+					"High-bandwidth and non-volatile memory|K|e",
+				},
+			},
+			{
+				name: "Energy and Power",
+				topics: []string{
+					"Power as a first-class architectural constraint|K|c",
+					"Dynamic voltage and frequency scaling|K|e",
+					"Energy proportionality of computing systems|K|e",
+					"Dark silicon and the end of Dennard scaling|K|e",
+				},
+			},
+			{
+				name: "Performance Metrics",
+				topics: []string{
+					"Peak versus sustained performance|K|c",
+					"FLOPS, bandwidth, and arithmetic intensity|C|c",
+					"The roofline model|K|e",
+				},
+			},
+		},
+	},
+	{
+		abbrev: "PROG", name: "Programming",
+		units: []pdcUnit{
+			{
+				name: "Parallel Programming Paradigms",
+				topics: []string{
+					"Programming by task decomposition|A|c",
+					"Programming by data-parallel decomposition|A|c",
+					"Shared-memory programming|A|c",
+					"Message-passing programming|C|c",
+					"Hybrid shared and distributed programming|C|c",
+					"Asynchronous and event-driven concurrency|C|c",
+					"Serverless and function-as-a-service models|K|e",
+					"Dataflow and streaming models|K|e",
+				},
+			},
+			{
+				name: "Parallel Programming Notations",
+				topics: []string{
+					"Parallel-for loop annotations such as OpenMP|A|c",
+					"Task-spawn constructs such as cilk spawn and sync|C|c",
+					"Thread libraries|C|c",
+					"Message-passing libraries such as MPI|C|c",
+					"Futures, promises, and async-await|C|c",
+					"Concurrent collections and thread-safe containers|C|c",
+					"GPU kernel programming such as CUDA and SYCL|C|e",
+					"Parallel frameworks for big data such as MapReduce and Spark|K|e",
+				},
+			},
+			{
+				name: "Semantics and Correctness Issues",
+				topics: []string{
+					"Tasks and threads as units of execution|C|c",
+					"Synchronization: critical regions, producer-consumer|A|c",
+					"Mutual exclusion with locks|A|c",
+					"Data races and determinism|A|c",
+					"Deadlock detection and avoidance|C|c",
+					"Memory models and visibility of writes|C|c",
+					"Thread safety of data structures|C|c",
+					"Lock-free and wait-free techniques|K|e",
+					"Race detection and sanitizer tooling|K|e",
+				},
+			},
+			{
+				name: "Performance Issues in Programming",
+				topics: []string{
+					"Computation decomposition and granularity|C|c",
+					"Load balancing of parallel work|C|c",
+					"Scheduling and mapping tasks to resources|C|c",
+					"Data distribution and locality|C|c",
+					"Communication overhead and aggregation|C|c",
+					"Energy-aware programming|K|e",
+					"Performance portability across architectures|K|e",
+				},
+			},
+		},
+	},
+	{
+		abbrev: "ALGO", name: "Algorithms",
+		units: []pdcUnit{
+			{
+				name: "Parallel and Distributed Models and Complexity",
+				topics: []string{
+					"Costs of computation: time, space, power, energy|C|c",
+					"Asymptotic analysis in the parallel context|A|c",
+					"Work and span of a computation DAG|C|c",
+					"Critical path as a lower bound on time|C|c",
+					"Speedup, efficiency, and scalability|C|c",
+					"Amdahl's law and Gustafson's law|C|c",
+					"Dependencies and task graphs as models of computation|C|c",
+					"Directed acyclic graphs and topological order|C|c",
+					"Communication-avoiding algorithm design|K|e",
+				},
+			},
+			{
+				name: "Algorithmic Paradigms",
+				topics: []string{
+					"Divide-and-conquer in parallel|A|c",
+					"Recursive task-based parallelism|C|c",
+					"Reduction as a parallel pattern|A|c",
+					"Scan and prefix-sum as parallel patterns|C|c",
+					"Stencil computations|C|c",
+					"Master-worker and work queues|C|c",
+					"Bottom-up dynamic programming in parallel|C|c",
+					"Speculative execution and branch-and-bound|K|e",
+					"Bulk-synchronous and asynchronous iteration|K|e",
+				},
+			},
+			{
+				name: "Algorithmic Problems",
+				topics: []string{
+					"Parallel summation and collective communication|A|c",
+					"Parallel sorting: merge-based and sample sort|C|c",
+					"Parallel matrix operations|C|c",
+					"Parallel graph analytics: BFS, PageRank|C|e",
+					"Parallel search of unstructured spaces|C|c",
+					"List scheduling and makespan minimization|C|c",
+					"Topological sort for dependency resolution|C|c",
+					"Distributed machine learning computations|K|e",
+				},
+			},
+		},
+	},
+	{
+		abbrev: "XCUT", name: "Cross-Cutting and Advanced Topics",
+		units: []pdcUnit{
+			{
+				name: "High-Level Themes",
+				topics: []string{
+					"Why and what is parallel and distributed computing|K|c",
+					"Parallelism as the norm, not the exception|C|c",
+					"Power and energy as first-class constraints|K|c",
+				},
+			},
+			{
+				name: "Concurrency Concepts",
+				topics: []string{
+					"Nondeterminism as inherent to concurrency|C|c",
+					"Concurrency beyond parallelism: overlapping I/O|C|c",
+					"Ordering of operations on shared objects|C|c",
+					"Linearizability at a high level|K|e",
+				},
+			},
+			{
+				name: "Fault Tolerance and Distribution",
+				topics: []string{
+					"Partial failure in distributed systems|C|c",
+					"Replication and redundancy|K|c",
+					"Consensus at a high level|K|e",
+					"Checkpointing and recovery|K|e",
+				},
+			},
+			{
+				name: "Current and Advanced Topics",
+				topics: []string{
+					"Cluster and cloud computing|C|c",
+					"Big data processing at scale|K|c",
+					"Edge and fog computing|K|e",
+					"Quantum computing overview|K|e",
+					"Security in distributed systems|K|e",
+				},
+			},
+		},
+	},
+}
+
+// CrosswalkPDC12To20 maps PDC12 topic IDs to their PDC 2.0-beta
+// counterparts for the entries this repository's anchor rules teach.
+// Topics absent from the map either kept the same ID (common, since both
+// versions share the skeleton) or have no direct successor.
+func CrosswalkPDC12To20() map[string]string {
+	return map[string]string{
+		// Renamed or restructured entries.
+		"PROG/parallel-programming-notations/futures-and-promises":                           "PROG/parallel-programming-notations/futures-promises-and-async-await",
+		"ARCH/floating-point-representation/non-associativity-of-floating-point-addition":    "ALGO/parallel-and-distributed-models-and-complexity/costs-of-computation-time-space-power-energy",
+		"ARCH/floating-point-representation/error-propagation-in-parallel-reductions":        "ALGO/algorithmic-paradigms/reduction-as-a-parallel-pattern",
+		"XCUT/high-level-themes/history-of-parallel-computing-and-moore-s-law":               "XCUT/high-level-themes/parallelism-as-the-norm-not-the-exception",
+		"PROG/parallel-programming-paradigms/client-server-and-distributed-object-paradigms": "PROG/parallel-programming-paradigms/asynchronous-and-event-driven-concurrency",
+	}
+}
+
+// ResolveAcrossVersions looks a tag up in PDC12 first, then via the
+// crosswalk in PDC 2.0-beta, then directly in 2.0-beta. It returns the
+// node and the guideline that owns it, or (nil, nil).
+func ResolveAcrossVersions(tag string) (*Node, *Guideline) {
+	if n := PDC12().Lookup(tag); n != nil {
+		return n, PDC12()
+	}
+	if mapped, ok := CrosswalkPDC12To20()[tag]; ok {
+		if n := PDC20Beta().Lookup(mapped); n != nil {
+			return n, PDC20Beta()
+		}
+	}
+	if n := PDC20Beta().Lookup(tag); n != nil {
+		return n, PDC20Beta()
+	}
+	return nil, nil
+}

@@ -1,0 +1,127 @@
+package ontology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPropSlugIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Slug(s)
+		return Slug(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSlugAlphabet(t *testing.T) {
+	f := func(s string) bool {
+		for _, r := range Slug(s) {
+			ok := r == '-' || (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+			if !ok {
+				return false
+			}
+		}
+		out := Slug(s)
+		return !strings.HasPrefix(out, "-") && !strings.HasSuffix(out, "-") &&
+			!strings.Contains(out, "--")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropPruneSubsetInvariants: for random keep-sets of leaves, a pruned
+// tree (a) contains exactly the kept leaves among its leaves, (b) every
+// node is either kept or has a kept descendant, and (c) never grows.
+func TestPropPruneSubsetInvariants(t *testing.T) {
+	g := CS2013()
+	leaves := g.Leaves()
+	f := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%30) + 1
+		keep := map[string]bool{}
+		for i := 0; i < n; i++ {
+			keep[leaves[rng.Intn(len(leaves))].ID] = true
+		}
+		pruned := g.Prune(func(nd *Node) bool { return keep[nd.ID] && len(nd.Children) == 0 })
+		if pruned.Len() > g.Len() {
+			return false
+		}
+		// Every kept leaf appears; every pruned leaf was kept.
+		got := map[string]bool{}
+		for _, l := range pruned.Leaves() {
+			got[l.ID] = true
+			if !keep[l.ID] {
+				return false
+			}
+		}
+		for id := range keep {
+			if !got[id] {
+				return false
+			}
+		}
+		// Ancestors of kept leaves are present.
+		for id := range keep {
+			n := g.MustLookup(id)
+			for cur := n.Parent; cur != nil && cur.Kind != KindRoot; cur = cur.Parent {
+				if pruned.Lookup(cur.ID) == nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropLCAIsCommonAncestor: the LCA of two random nodes is an ancestor
+// of both and no child of it is.
+func TestPropLCAIsCommonAncestor(t *testing.T) {
+	g := CS2013()
+	nodes := g.Nodes()
+	isAncestor := func(a, n *Node) bool {
+		for cur := n; cur != nil; cur = cur.Parent {
+			if cur == a {
+				return true
+			}
+		}
+		return false
+	}
+	f := func(i16, j16 uint16) bool {
+		a := nodes[int(i16)%len(nodes)]
+		b := nodes[int(j16)%len(nodes)]
+		l := LCA(a, b)
+		if l == nil {
+			return false
+		}
+		if !isAncestor(l, a) || !isAncestor(l, b) {
+			return false
+		}
+		// No child of the LCA is an ancestor of both.
+		for _, c := range l.Children {
+			if isAncestor(c, a) && isAncestor(c, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropDepthConsistentWithPath: Depth equals len(Path) for every node.
+func TestPropDepthConsistentWithPath(t *testing.T) {
+	g := PDC12()
+	for _, n := range g.Nodes() {
+		if Depth(n) != len(Path(n)) {
+			t.Fatalf("node %q: depth %d, path length %d", n.ID, Depth(n), len(Path(n)))
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package pca implements principal component analysis via the
+// eigendecomposition of the column covariance matrix. The paper names PCA
+// (with MDS) as the dimension-reduction alternative to NNMF it wants to
+// compare against (§5.3, §6); the benchmark harness uses this package for
+// that ablation.
+package pca
+
+import (
+	"fmt"
+
+	"csmaterials/internal/matrix"
+)
+
+// Result is a fitted PCA model.
+type Result struct {
+	// Components holds the principal directions as columns (features × k).
+	Components *matrix.Dense
+	// Explained holds the variance along each component, descending.
+	Explained []float64
+	// TotalVariance is the trace of the covariance matrix.
+	TotalVariance float64
+	// Means are the column means subtracted before projection.
+	Means []float64
+	// Scores are the projections of the training rows (rows × k).
+	Scores *matrix.Dense
+}
+
+// Fit computes the k leading principal components of a (observations are
+// rows, features are columns).
+func Fit(a *matrix.Dense, k int) (*Result, error) {
+	rows, cols := a.Dims()
+	if rows < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 observations, got %d", rows)
+	}
+	if k <= 0 || k > cols || k > rows {
+		return nil, fmt.Errorf("pca: k=%d out of range for %dx%d", k, rows, cols)
+	}
+	cov := matrix.Covariance(a)
+	vals, vecs := matrix.TopEigenSym(cov, k)
+	total := 0.0
+	for i := 0; i < cols; i++ {
+		total += cov.At(i, i)
+	}
+	centered, means := a.CenterCols()
+	scores := centered.Mul(vecs)
+	// Clamp tiny negative eigenvalues from numerical jitter.
+	for i, v := range vals {
+		if v < 0 {
+			vals[i] = 0
+		}
+	}
+	return &Result{
+		Components:    vecs,
+		Explained:     vals,
+		TotalVariance: total,
+		Means:         means,
+		Scores:        scores,
+	}, nil
+}
+
+// ExplainedRatio returns the fraction of total variance captured by each
+// component.
+func (r *Result) ExplainedRatio() []float64 {
+	out := make([]float64, len(r.Explained))
+	if r.TotalVariance == 0 {
+		return out
+	}
+	for i, v := range r.Explained {
+		out[i] = v / r.TotalVariance
+	}
+	return out
+}
+
+// Transform projects new rows (same feature width as the training data)
+// onto the fitted components.
+func (r *Result) Transform(a *matrix.Dense) (*matrix.Dense, error) {
+	if a.Cols() != len(r.Means) {
+		return nil, fmt.Errorf("pca: Transform expects %d features, got %d", len(r.Means), a.Cols())
+	}
+	centered := a.Apply(func(_, j int, v float64) float64 { return v - r.Means[j] })
+	return centered.Mul(r.Components), nil
+}
+
+// Reconstruct maps scores back to the original feature space (inverse
+// transform), used to measure reconstruction error against NNMF.
+func (r *Result) Reconstruct(scores *matrix.Dense) (*matrix.Dense, error) {
+	if scores.Cols() != r.Components.Cols() {
+		return nil, fmt.Errorf("pca: Reconstruct expects %d components, got %d", r.Components.Cols(), scores.Cols())
+	}
+	back := scores.MulABt(r.Components)
+	return back.Apply(func(_, j int, v float64) float64 { return v + r.Means[j] }), nil
+}

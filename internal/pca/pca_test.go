@@ -1,0 +1,146 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"csmaterials/internal/matrix"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFitValidation(t *testing.T) {
+	a := matrix.NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if _, err := Fit(matrix.New(1, 3), 1); err == nil {
+		t.Error("single observation accepted")
+	}
+	if _, err := Fit(a, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Fit(a, 3); err == nil {
+		t.Error("k > cols accepted")
+	}
+}
+
+func TestPerfectlyCorrelatedData(t *testing.T) {
+	// y = 2x: one component explains everything.
+	a := matrix.NewFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}})
+	r, err := Fit(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := r.ExplainedRatio()
+	if !approx(ratios[0], 1, 1e-9) {
+		t.Fatalf("first component explains %v, want 1", ratios[0])
+	}
+	if !approx(ratios[1], 0, 1e-9) {
+		t.Fatalf("second component explains %v, want 0", ratios[1])
+	}
+	// The first component direction is (1,2)/√5 up to sign.
+	c0 := r.Components.Col(0)
+	want := []float64{1 / math.Sqrt(5), 2 / math.Sqrt(5)}
+	sign := 1.0
+	if c0[0] < 0 {
+		sign = -1
+	}
+	for i := range want {
+		if !approx(sign*c0[i], want[i], 1e-9) {
+			t.Fatalf("component = %v, want ±%v", c0, want)
+		}
+	}
+}
+
+func TestScoresCentered(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := matrix.Random(20, 5, rng)
+	r, err := Fit(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := r.Scores.ColSums()
+	for j, s := range sums {
+		if !approx(s, 0, 1e-9) {
+			t.Fatalf("score column %d not centered: %v", j, s)
+		}
+	}
+}
+
+func TestExplainedDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := matrix.Random(30, 6, rng)
+	r, err := Fit(a, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(r.Explained); i++ {
+		if r.Explained[i] > r.Explained[i-1]+1e-12 {
+			t.Fatal("explained variance not descending")
+		}
+	}
+	total := 0.0
+	for _, v := range r.ExplainedRatio() {
+		total += v
+	}
+	if !approx(total, 1, 1e-6) {
+		t.Fatalf("full-rank explained ratios sum to %v", total)
+	}
+}
+
+func TestTransformMatchesScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := matrix.Random(15, 4, rng)
+	r, err := Fit(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := r.Transform(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proj.EqualTol(r.Scores, 1e-9) {
+		t.Fatal("Transform of training data differs from Scores")
+	}
+	if _, err := r.Transform(matrix.New(3, 7)); err == nil {
+		t.Fatal("wrong-width Transform accepted")
+	}
+}
+
+func TestReconstructFullRankIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := matrix.Random(12, 4, rng)
+	r, err := Fit(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := r.Reconstruct(r.Scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EqualTol(a, 1e-8) {
+		t.Fatalf("full-rank reconstruction error %v", back.Sub(a).MaxAbs())
+	}
+	if _, err := r.Reconstruct(matrix.New(3, 2)); err == nil {
+		t.Fatal("wrong-width Reconstruct accepted")
+	}
+}
+
+func TestLowRankReconstructionBeatsNothing(t *testing.T) {
+	// Rank-1 structure + tiny noise: 1 component must reconstruct well.
+	rng := rand.New(rand.NewSource(5))
+	base := matrix.Random(20, 1, rng)
+	dirs := matrix.Random(1, 6, rng)
+	a := base.Mul(dirs).Apply(func(_, _ int, v float64) float64 { return v + 0.01*rng.NormFloat64() })
+	r, err := Fit(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := r.Reconstruct(r.Scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := back.Sub(a).FrobeniusNorm() / a.FrobeniusNorm()
+	if relErr > 0.05 {
+		t.Fatalf("rank-1 PCA reconstruction error %v too high", relErr)
+	}
+}

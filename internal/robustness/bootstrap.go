@@ -1,0 +1,96 @@
+package robustness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"csmaterials/internal/agreement"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+	"csmaterials/internal/stats"
+)
+
+// BootstrapCI is a percentile bootstrap confidence interval for one
+// agreement statistic.
+type BootstrapCI struct {
+	// Threshold is the agreement level ("tags in >= Threshold courses").
+	Threshold int
+	// Observed is the statistic on the real course sample.
+	Observed int
+	// Low and High bound the central confidence interval.
+	Low, High float64
+	// Level is the confidence level, e.g. 0.9.
+	Level float64
+}
+
+// BootstrapAgreement addresses §5.3's "the number of courses ... is
+// somewhat small" directly: resample the courses with replacement many
+// times, recompute the Figure 3 statistics on each resample, and report
+// percentile confidence intervals. Wide intervals mean the paper's counts
+// are fragile to which courses happened to attend the workshops.
+func BootstrapAgreement(courses []*materials.Course, resamples int, level float64, seed int64, guidelines ...*ontology.Guideline) ([]BootstrapCI, error) {
+	if len(courses) < 2 {
+		return nil, fmt.Errorf("robustness: need at least 2 courses")
+	}
+	if resamples < 10 {
+		return nil, fmt.Errorf("robustness: need at least 10 resamples, got %d", resamples)
+	}
+	if level <= 0 || level >= 1 {
+		return nil, fmt.Errorf("robustness: confidence level %v out of (0,1)", level)
+	}
+	base, err := agreement.Analyze(courses, guidelines...)
+	if err != nil {
+		return nil, err
+	}
+	n := len(courses)
+	rng := rand.New(rand.NewSource(seed))
+
+	// One distribution of the statistic per threshold.
+	samples := map[int][]float64{}
+	for r := 0; r < resamples; r++ {
+		resample := make([]*materials.Course, n)
+		seen := map[string]int{}
+		for i := range resample {
+			c := courses[rng.Intn(n)]
+			// agreement.Analyze counts per distinct course; a bootstrap
+			// resample may pick the same course twice, which must count
+			// twice. Clone with a suffixed ID to keep the multiset
+			// semantics (tags are shared, materials reused).
+			seen[c.ID]++
+			if seen[c.ID] == 1 {
+				resample[i] = c
+			} else {
+				resample[i] = &materials.Course{
+					ID: fmt.Sprintf("%s#%d", c.ID, seen[c.ID]), Name: c.Name,
+					Group: c.Group, Materials: c.Materials,
+				}
+			}
+		}
+		a, err := agreement.Analyze(resample, guidelines...)
+		if err != nil {
+			return nil, err
+		}
+		for k := 2; k <= n; k++ {
+			samples[k] = append(samples[k], float64(a.AtLeast(k)))
+		}
+	}
+
+	alpha := (1 - level) / 2
+	var out []BootstrapCI
+	thresholds := make([]int, 0, len(samples))
+	for k := range samples {
+		thresholds = append(thresholds, k)
+	}
+	sort.Ints(thresholds)
+	for _, k := range thresholds {
+		out = append(out, BootstrapCI{
+			Threshold: k,
+			Observed:  base.AtLeast(k),
+			Low:       stats.Quantile(samples[k], alpha),
+			High:      stats.Quantile(samples[k], 1-alpha),
+			Level:     level,
+		})
+	}
+	return out, nil
+}

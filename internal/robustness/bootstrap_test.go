@@ -1,0 +1,95 @@
+package robustness
+
+import (
+	"testing"
+
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/ontology"
+)
+
+func TestBootstrapValidation(t *testing.T) {
+	courses := dataset.CoursesByID(dataset.CS1CourseIDs())
+	gs := []*ontology.Guideline{ontology.CS2013()}
+	if _, err := BootstrapAgreement(courses[:1], 100, 0.9, 1, gs...); err == nil {
+		t.Error("single course accepted")
+	}
+	if _, err := BootstrapAgreement(courses, 5, 0.9, 1, gs...); err == nil {
+		t.Error("too few resamples accepted")
+	}
+	if _, err := BootstrapAgreement(courses, 100, 1.5, 1, gs...); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestBootstrapCIsCoverObserved(t *testing.T) {
+	courses := dataset.CoursesByID(dataset.CS1CourseIDs())
+	cis, err := BootstrapAgreement(courses, 200, 0.9, 7, ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cis) != 5 { // thresholds 2..6 for 6 courses
+		t.Fatalf("CIs for %d thresholds, want 5", len(cis))
+	}
+	for _, ci := range cis {
+		if ci.Low > ci.High {
+			t.Fatalf("threshold %d: inverted CI [%v, %v]", ci.Threshold, ci.Low, ci.High)
+		}
+		if ci.Low < 0 {
+			t.Fatalf("threshold %d: negative lower bound", ci.Threshold)
+		}
+		// The bootstrap distribution straddles the observed statistic at
+		// a loose margin (the observed need not be inside a 90% CI for
+		// skewed statistics, but it cannot be wildly outside).
+		obs := float64(ci.Observed)
+		if obs < ci.Low*0.3-5 || obs > ci.High*3+5 {
+			t.Fatalf("threshold %d: observed %v far outside CI [%v, %v]", ci.Threshold, obs, ci.Low, ci.High)
+		}
+	}
+	// Higher thresholds have lower counts throughout.
+	for i := 1; i < len(cis); i++ {
+		if cis[i].High > cis[i-1].High+1e-9 {
+			t.Fatalf("CI upper bounds not decreasing with threshold: %v", cis)
+		}
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	courses := dataset.CoursesByID(dataset.DSCourseIDs())
+	a, err := BootstrapAgreement(courses, 50, 0.9, 3, ontology.CS2013())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapAgreement(courses, 50, 0.9, 3, ontology.CS2013())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different CIs")
+		}
+	}
+}
+
+func TestBootstrapWiderWithFewerCourses(t *testing.T) {
+	// The §5.3 point quantified: a 3-course sample has (relatively) wider
+	// intervals than a 6-course sample at threshold 2.
+	gs := []*ontology.Guideline{ontology.CS2013(), ontology.PDC12()}
+	big, err := BootstrapAgreement(dataset.CoursesByID(dataset.CS1CourseIDs()), 200, 0.9, 11, gs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := BootstrapAgreement(dataset.CoursesByID(dataset.CS1CourseIDs()[:3]), 200, 0.9, 11, gs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relWidth := func(ci BootstrapCI) float64 {
+		if ci.Observed == 0 {
+			return 0
+		}
+		return (ci.High - ci.Low) / float64(ci.Observed)
+	}
+	if relWidth(small[0]) <= relWidth(big[0]) {
+		t.Fatalf("3-course CI (rel width %v) not wider than 6-course (%v)",
+			relWidth(small[0]), relWidth(big[0]))
+	}
+}

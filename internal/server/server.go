@@ -1,0 +1,472 @@
+// Package server exposes the CS Materials reproduction as a JSON HTTP
+// API, mirroring the fact that CS Materials itself is a public web
+// resource (§3.1): course listings and details, material search, the
+// agreement and factorization analyses, anchor-point recommendations,
+// audits, and the regenerated paper figures.
+//
+// The server is read-only (the dataset is deterministic) and built on
+// net/http only.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"csmaterials/internal/agreement"
+	"csmaterials/internal/anchor"
+	"csmaterials/internal/audit"
+	"csmaterials/internal/catalog"
+	"csmaterials/internal/cluster"
+	"csmaterials/internal/core"
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/factorize"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+	"csmaterials/internal/search"
+)
+
+// Server holds the shared read-only state behind the handlers.
+type Server struct {
+	repo        *materials.Repository
+	engine      *search.Engine
+	recommender *anchor.Recommender
+	mux         *http.ServeMux
+}
+
+// New builds a server over the synthesized dataset.
+func New() (*Server, error) {
+	rec, err := anchor.NewRecommender(ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		repo:        dataset.Repository(),
+		engine:      search.NewEngine(dataset.Repository()),
+		recommender: rec,
+		mux:         http.NewServeMux(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/api/courses", s.handleCourses)
+	s.mux.HandleFunc("/api/courses/", s.handleCourse) // /api/courses/{id}[/anchors|/audit|/materials|/pdcmaterials]
+	s.mux.HandleFunc("/api/search", s.handleSearch)
+	s.mux.HandleFunc("/api/agreement", s.handleAgreement)
+	s.mux.HandleFunc("/api/types", s.handleTypes)
+	s.mux.HandleFunc("/api/figures/", s.handleFigure) // /api/figures/{id}
+	s.mux.HandleFunc("/api/cluster", s.handleCluster)
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if !methodGuard(w, r) {
+		return
+	}
+	ids, err := groupCourseIDs(r.URL.Query().Get("group"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	d, err := cluster.Build(dataset.CoursesByID(ids), cluster.Average)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	k := 4
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad k %q", v)
+			return
+		}
+		k = n
+	}
+	clusters, err := d.CutK(k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([][]string, len(clusters))
+	for i, cl := range clusters {
+		for _, c := range cl {
+			out[i] = append(out[i], c.ID)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"k": k, "linkage": d.Linkage.String(),
+		"clusters":   out,
+		"dendrogram": d.Render(),
+	})
+}
+
+// writeJSON writes v as indented JSON with the right content type.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func methodGuard(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":    "ok",
+		"courses":   len(s.repo.Courses()),
+		"materials": s.repo.NumMaterials(),
+	})
+}
+
+// courseSummary is the list-view shape.
+type courseSummary struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Institution string `json:"institution,omitempty"`
+	Instructor  string `json:"instructor,omitempty"`
+	Group       string `json:"group"`
+	Secondary   string `json:"secondary_group,omitempty"`
+	Tags        int    `json:"tags"`
+	Materials   int    `json:"materials"`
+}
+
+func summarize(c *materials.Course) courseSummary {
+	return courseSummary{
+		ID: c.ID, Name: c.Name, Institution: c.Institution, Instructor: c.Instructor,
+		Group: string(c.Group), Secondary: string(c.SecondaryGroup),
+		Tags: len(c.TagSet()), Materials: len(c.Materials),
+	}
+}
+
+func (s *Server) handleCourses(w http.ResponseWriter, r *http.Request) {
+	if !methodGuard(w, r) {
+		return
+	}
+	var out []courseSummary
+	for _, c := range s.repo.Courses() {
+		out = append(out, summarize(c))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCourse(w http.ResponseWriter, r *http.Request) {
+	if !methodGuard(w, r) {
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/api/courses/")
+	parts := strings.SplitN(rest, "/", 2)
+	c := s.repo.Course(parts[0])
+	if c == nil {
+		writeError(w, http.StatusNotFound, "unknown course %q", parts[0])
+		return
+	}
+	sub := ""
+	if len(parts) == 2 {
+		sub = parts[1]
+	}
+	switch sub {
+	case "":
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"course": summarize(c),
+			"tags":   c.SortedTags(),
+		})
+	case "materials":
+		writeJSON(w, http.StatusOK, c.Materials)
+	case "anchors":
+		recs := s.recommender.Recommend(c)
+		type rec struct {
+			Rule     string   `json:"rule"`
+			Title    string   `json:"title"`
+			Score    float64  `json:"score"`
+			Audience string   `json:"audience"`
+			Activity string   `json:"activity"`
+			Matched  []string `json:"matched_anchors"`
+			Teaches  []string `json:"teaches"`
+		}
+		out := make([]rec, 0, len(recs))
+		for _, rc := range recs {
+			out = append(out, rec{
+				Rule: rc.Rule.ID, Title: rc.Rule.Title, Score: rc.Score,
+				Audience: rc.Rule.Audience, Activity: rc.Rule.Activity,
+				Matched: rc.MatchedAnchors, Teaches: rc.Rule.Teaches,
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	case "audit":
+		rep := audit.Audit(c, ontology.CS2013())
+		readiness := audit.AssessPDCReadiness(c)
+		type unit struct {
+			Unit     string  `json:"unit"`
+			Tier     string  `json:"tier"`
+			Covered  int     `json:"covered"`
+			Total    int     `json:"total"`
+			Fraction float64 `json:"fraction"`
+		}
+		var units []unit
+		for _, u := range rep.Units {
+			if u.Covered == 0 {
+				continue
+			}
+			units = append(units, unit{
+				Unit: u.Unit.ID, Tier: u.Tier.String(),
+				Covered: u.Covered, Total: u.Total, Fraction: u.Fraction(),
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"core1_coverage":     rep.TierCoverage(ontology.TierCore1),
+			"core2_coverage":     rep.TierCoverage(ontology.TierCore2),
+			"units":              units,
+			"pdc_core_covered":   readiness.CoreCovered,
+			"pdc_core_total":     readiness.CoreTotal,
+			"prerequisite_score": readiness.PrerequisiteScore(),
+		})
+	case "pdcmaterials":
+		recs := catalog.Recommend(c, parseLimit(r, 10))
+		type rec struct {
+			ID     string   `json:"id"`
+			Title  string   `json:"title"`
+			Source string   `json:"source"`
+			Score  float64  `json:"score"`
+			NewPDC int      `json:"new_pdc_entries"`
+			Shared []string `json:"shared_tags"`
+		}
+		out := make([]rec, 0, len(recs))
+		for _, rc := range recs {
+			out = append(out, rec{
+				ID: rc.Entry.Material.ID, Title: rc.Entry.Material.Title,
+				Source: string(rc.Entry.Source), Score: rc.Score,
+				NewPDC: rc.NewPDC, Shared: rc.SharedTags,
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		writeError(w, http.StatusNotFound, "unknown course endpoint %q", sub)
+	}
+}
+
+func parseLimit(r *http.Request, def int) int {
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !methodGuard(w, r) {
+		return
+	}
+	q := search.Query{
+		Text:        r.URL.Query().Get("text"),
+		Author:      r.URL.Query().Get("author"),
+		Language:    r.URL.Query().Get("language"),
+		CourseLevel: r.URL.Query().Get("level"),
+		Limit:       parseLimit(r, 20),
+	}
+	if tags := r.URL.Query().Get("tags"); tags != "" {
+		q.Tags = strings.Split(tags, ",")
+	}
+	if p := r.URL.Query().Get("prefix"); p != "" {
+		q.TagPrefixes = []string{p}
+	}
+	if len(q.Tags) == 0 && len(q.TagPrefixes) == 0 && q.Text == "" &&
+		q.Author == "" && q.Language == "" && q.CourseLevel == "" {
+		writeError(w, http.StatusBadRequest, "empty query: pass tags, prefix, text, or a facet")
+		return
+	}
+	results := s.engine.Search(q)
+	type hit struct {
+		ID      string   `json:"id"`
+		Title   string   `json:"title"`
+		Type    string   `json:"type"`
+		Author  string   `json:"author,omitempty"`
+		Score   float64  `json:"score"`
+		Matched []string `json:"matched_tags,omitempty"`
+	}
+	out := make([]hit, 0, len(results))
+	for _, res := range results {
+		out = append(out, hit{
+			ID: res.Material.ID, Title: res.Material.Title, Type: string(res.Material.Type),
+			Author: res.Material.Author, Score: res.Score, Matched: res.MatchedTags,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func groupCourseIDs(group string) ([]string, error) {
+	switch strings.ToLower(group) {
+	case "cs1":
+		return dataset.CS1CourseIDs(), nil
+	case "ds":
+		return dataset.DSCourseIDs(), nil
+	case "dsalgo":
+		return dataset.DSAlgoCourseIDs(), nil
+	case "pdc":
+		return dataset.PDCCourseIDs(), nil
+	case "all", "":
+		return dataset.AllCourseIDs(), nil
+	default:
+		return nil, fmt.Errorf("unknown group %q", group)
+	}
+}
+
+func (s *Server) handleAgreement(w http.ResponseWriter, r *http.Request) {
+	if !methodGuard(w, r) {
+		return
+	}
+	ids, err := groupCourseIDs(r.URL.Query().Get("group"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a, err := agreement.Analyze(dataset.CoursesByID(ids), ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	atLeast := map[string]int{}
+	for k := 2; k <= len(ids); k++ {
+		atLeast[strconv.Itoa(k)] = a.AtLeast(k)
+	}
+	threshold := 2
+	if v := r.URL.Query().Get("threshold"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			threshold = n
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"courses":   ids,
+		"tags":      a.NumTags(),
+		"at_least":  atLeast,
+		"ka_span":   a.KASpan(threshold),
+		"ka_counts": a.KACounts(threshold),
+		"threshold": threshold,
+	})
+}
+
+func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
+	if !methodGuard(w, r) {
+		return
+	}
+	group := r.URL.Query().Get("group")
+	ids, err := groupCourseIDs(group)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k := 3
+	if strings.EqualFold(group, "all") || group == "" {
+		k = 4
+	}
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad k %q", v)
+			return
+		}
+		k = n
+	}
+	model, err := factorize.Analyze(dataset.CoursesByID(ids), k, factorize.PaperOptions(),
+		ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	type courseType struct {
+		Course   string    `json:"course"`
+		Dominant int       `json:"dominant_type"`
+		Shares   []float64 `json:"shares"`
+		Evenness float64   `json:"evenness"`
+	}
+	var courses []courseType
+	for i, c := range model.Courses {
+		courses = append(courses, courseType{
+			Course: c.ID, Dominant: model.DominantType(i),
+			Shares: model.TypeShare(i), Evenness: model.Evenness(i),
+		})
+	}
+	types := make([]map[string]interface{}, k)
+	for t := 0; t < k; t++ {
+		shares := model.KAShare(t)
+		kas := make(map[string]float64, len(shares))
+		for ka, v := range shares {
+			kas[ka] = v
+		}
+		top := model.TopTags(t, 5)
+		topTags := make([]string, len(top))
+		for i, tw := range top {
+			topTags[i] = tw.Tag
+		}
+		types[t] = map[string]interface{}{
+			"label":    model.TypeLabel(t),
+			"ka_share": kas,
+			"top_tags": topTags,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"k": k, "courses": courses, "types": types,
+		"redundancy": model.Redundancy(),
+	})
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	if !methodGuard(w, r) {
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/api/figures/")
+	for _, f := range core.Figures() {
+		if f.ID != id {
+			continue
+		}
+		art, err := f.Gen()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		svgNames := make([]string, 0, len(art.SVGs))
+		for name := range art.SVGs {
+			svgNames = append(svgNames, name)
+		}
+		sort.Strings(svgNames)
+		// Serve one SVG directly when requested.
+		if svg := r.URL.Query().Get("svg"); svg != "" {
+			body, ok := art.SVGs[svg]
+			if !ok {
+				writeError(w, http.StatusNotFound, "figure %s has no SVG %q", id, svg)
+				return
+			}
+			w.Header().Set("Content-Type", "image/svg+xml")
+			_, _ = w.Write([]byte(body))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"id": art.ID, "text": art.Text, "svgs": svgNames,
+		})
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown figure %q", id)
+}

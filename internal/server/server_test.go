@@ -1,0 +1,321 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func decode(t *testing.T, data []byte, v interface{}) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Status    string `json:"status"`
+		Courses   int    `json:"courses"`
+		Materials int    `json:"materials"`
+	}
+	decode(t, body, &out)
+	if out.Status != "ok" || out.Courses != 20 || out.Materials < 400 {
+		t.Fatalf("health = %+v", out)
+	}
+}
+
+func TestListCourses(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := get(t, ts, "/api/courses")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out []struct {
+		ID    string `json:"id"`
+		Group string `json:"group"`
+		Tags  int    `json:"tags"`
+	}
+	decode(t, body, &out)
+	if len(out) != 20 {
+		t.Fatalf("%d courses", len(out))
+	}
+	if out[0].ID != "uncc-2214-krs" || out[0].Tags == 0 {
+		t.Fatalf("first course = %+v", out[0])
+	}
+}
+
+func TestCourseDetailAndSubresources(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := get(t, ts, "/api/courses/vcu-cmsc256-duke")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var detail struct {
+		Course struct {
+			ID string `json:"id"`
+		} `json:"course"`
+		Tags []string `json:"tags"`
+	}
+	decode(t, body, &detail)
+	if detail.Course.ID != "vcu-cmsc256-duke" || len(detail.Tags) < 50 {
+		t.Fatalf("detail = %+v (%d tags)", detail.Course, len(detail.Tags))
+	}
+
+	resp, body = get(t, ts, "/api/courses/vcu-cmsc256-duke/anchors")
+	if resp.StatusCode != 200 {
+		t.Fatalf("anchors status %d", resp.StatusCode)
+	}
+	var recs []struct {
+		Rule  string  `json:"rule"`
+		Score float64 `json:"score"`
+	}
+	decode(t, body, &recs)
+	found := false
+	for _, r := range recs {
+		if r.Rule == "thread-safe-types" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("thread-safe-types not in VCU anchors: %+v", recs)
+	}
+
+	resp, body = get(t, ts, "/api/courses/vcu-cmsc256-duke/audit")
+	if resp.StatusCode != 200 {
+		t.Fatalf("audit status %d", resp.StatusCode)
+	}
+	var aud struct {
+		Core1 float64 `json:"core1_coverage"`
+		Units []struct {
+			Unit string `json:"unit"`
+		} `json:"units"`
+	}
+	decode(t, body, &aud)
+	if aud.Core1 <= 0 || len(aud.Units) == 0 {
+		t.Fatalf("audit = %+v", aud)
+	}
+
+	resp, body = get(t, ts, "/api/courses/vcu-cmsc256-duke/pdcmaterials?limit=3")
+	if resp.StatusCode != 200 {
+		t.Fatalf("pdcmaterials status %d", resp.StatusCode)
+	}
+	var pdcm []struct {
+		ID string `json:"id"`
+	}
+	decode(t, body, &pdcm)
+	if len(pdcm) == 0 || len(pdcm) > 3 {
+		t.Fatalf("pdcmaterials = %d entries", len(pdcm))
+	}
+
+	resp, body = get(t, ts, "/api/courses/vcu-cmsc256-duke/materials")
+	if resp.StatusCode != 200 {
+		t.Fatalf("materials status %d", resp.StatusCode)
+	}
+	var ms []struct {
+		ID string `json:"id"`
+	}
+	decode(t, body, &ms)
+	if len(ms) < 10 {
+		t.Fatalf("materials = %d", len(ms))
+	}
+}
+
+func TestCourseNotFound(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := get(t, ts, "/api/courses/ghost")
+	if resp.StatusCode != 404 {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = get(t, ts, "/api/courses/vcu-cmsc256-duke/bogus")
+	if resp.StatusCode != 404 {
+		t.Fatalf("bad subresource status %d", resp.StatusCode)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := get(t, ts, "/api/search?prefix=AL/basic-analysis/&limit=5")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var hits []struct {
+		ID    string  `json:"id"`
+		Score float64 `json:"score"`
+	}
+	decode(t, body, &hits)
+	if len(hits) == 0 || len(hits) > 5 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	// Empty query rejected.
+	resp, _ = get(t, ts, "/api/search")
+	if resp.StatusCode != 400 {
+		t.Fatalf("empty query status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAgreementEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := get(t, ts, "/api/agreement?group=CS1&threshold=4")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Tags    int            `json:"tags"`
+		AtLeast map[string]int `json:"at_least"`
+		KASpan  []string       `json:"ka_span"`
+	}
+	decode(t, body, &out)
+	if out.Tags < 200 {
+		t.Fatalf("CS1 tags = %d", out.Tags)
+	}
+	if len(out.KASpan) != 1 || out.KASpan[0] != "SDF" {
+		t.Fatalf("KA span at threshold 4 = %v, want [SDF]", out.KASpan)
+	}
+	resp, _ = get(t, ts, "/api/agreement?group=bogus")
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad group status %d", resp.StatusCode)
+	}
+}
+
+func TestTypesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := get(t, ts, "/api/types?group=cs1&k=3")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		K       int `json:"k"`
+		Courses []struct {
+			Course   string `json:"course"`
+			Dominant int    `json:"dominant_type"`
+		} `json:"courses"`
+		Types []struct {
+			Label string `json:"label"`
+		} `json:"types"`
+	}
+	decode(t, body, &out)
+	if out.K != 3 || len(out.Courses) != 6 || len(out.Types) != 3 {
+		t.Fatalf("types = %+v", out)
+	}
+	resp, _ = get(t, ts, "/api/types?group=cs1&k=banana")
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad k status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts, "/api/types?group=cs1&k=99")
+	if resp.StatusCode != 400 {
+		t.Fatalf("oversized k status %d", resp.StatusCode)
+	}
+}
+
+func TestFigureEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := get(t, ts, "/api/figures/3a")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		ID   string   `json:"id"`
+		Text string   `json:"text"`
+		SVGs []string `json:"svgs"`
+	}
+	decode(t, body, &out)
+	if !strings.Contains(out.Text, "CS1: 6 courses") || len(out.SVGs) != 1 {
+		t.Fatalf("figure = %+v", out)
+	}
+	// SVG served directly.
+	resp, svg := get(t, ts, "/api/figures/3a?svg="+out.SVGs[0])
+	if resp.StatusCode != 200 {
+		t.Fatalf("svg status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Fatal("not an SVG body")
+	}
+	resp, _ = get(t, ts, "/api/figures/99")
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown figure status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts, "/api/figures/3a?svg=nope.svg")
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown svg status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/api/courses", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+}
+
+func TestClusterEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := get(t, ts, "/api/cluster?group=all&k=6")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		K        int        `json:"k"`
+		Clusters [][]string `json:"clusters"`
+	}
+	decode(t, body, &out)
+	if out.K != 6 || len(out.Clusters) != 6 {
+		t.Fatalf("cluster response = %+v", out)
+	}
+	total := 0
+	for _, cl := range out.Clusters {
+		total += len(cl)
+	}
+	if total != 20 {
+		t.Fatalf("clusters cover %d courses", total)
+	}
+	resp, _ = get(t, ts, "/api/cluster?group=all&k=0")
+	if resp.StatusCode != 400 {
+		t.Fatalf("k=0 status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts, "/api/cluster?group=bogus")
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad group status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,270 @@
+// Package stats provides the descriptive statistics, similarity measures,
+// and histogram helpers shared by the analysis packages: tag-agreement
+// distributions (Figure 3 of the paper), cosine redundancy between NNMF
+// basis vectors, and Jaccard similarity between material tag sets.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs; it panics on an empty slice
+// because a silent NaN propagates confusingly through the analyses.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty slice")
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		panic("stats: Variance needs at least two samples")
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs without mutating it.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile q=%v out of [0,1]", q))
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if len(cp) == 1 {
+		return cp[0]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// MinMax returns the smallest and largest values in xs.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors. Two
+// zero vectors have similarity 0 by convention.
+func Cosine(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: Cosine length mismatch %d vs %d", len(a), len(b)))
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Jaccard returns |a ∩ b| / |a ∪ b| for two string sets represented as
+// maps. Two empty sets have similarity 1 by convention (identical).
+func Jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Dice returns the Sørensen–Dice coefficient 2|a∩b| / (|a|+|b|).
+func Dice(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(a)+len(b))
+}
+
+// Histogram is a fixed-bin histogram over non-negative integer-valued
+// observations (e.g. "this tag appears in n courses").
+type Histogram struct {
+	// Counts[v] is the number of observations with value v.
+	Counts []int
+}
+
+// NewHistogram builds a histogram from integer observations.
+func NewHistogram(obs []int) *Histogram {
+	max := 0
+	for _, o := range obs {
+		if o < 0 {
+			panic(fmt.Sprintf("stats: negative observation %d", o))
+		}
+		if o > max {
+			max = o
+		}
+	}
+	h := &Histogram{Counts: make([]int, max+1)}
+	for _, o := range obs {
+		h.Counts[o]++
+	}
+	return h
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// AtLeast returns the number of observations with value ≥ v.
+func (h *Histogram) AtLeast(v int) int {
+	t := 0
+	for i := v; i < len(h.Counts); i++ {
+		if i >= 0 {
+			t += h.Counts[i]
+		}
+	}
+	return t
+}
+
+// CCDF returns, for each value v, the count of observations ≥ v — the
+// complementary cumulative form used by Figure 3's narrative ("50 tags
+// appear in 2 or more courses").
+func (h *Histogram) CCDF() []int {
+	out := make([]int, len(h.Counts))
+	run := 0
+	for v := len(h.Counts) - 1; v >= 0; v-- {
+		run += h.Counts[v]
+		out[v] = run
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy (nats) of a non-negative weight
+// vector, used to quantify how evenly a course spreads across NNMF types
+// (the paper's "UCF hits all three types evenly").
+func Entropy(ws []float64) float64 {
+	var sum float64
+	for _, w := range ws {
+		if w < 0 {
+			panic("stats: Entropy of negative weight")
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, w := range ws {
+		if w == 0 {
+			continue
+		}
+		p := w / sum
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// NormalizedEntropy returns Entropy scaled into [0,1] by log(len(ws)).
+func NormalizedEntropy(ws []float64) float64 {
+	if len(ws) <= 1 {
+		return 0
+	}
+	return Entropy(ws) / math.Log(float64(len(ws)))
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) < 2 {
+		panic("stats: Pearson needs at least two samples")
+	}
+	ma, mb := Mean(a), Mean(b)
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// RankDescending returns the permutation that sorts xs in descending
+// order: out[0] is the index of the largest value. Ties break by index
+// for determinism.
+func RankDescending(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return xs[idx[i]] > xs[idx[j]] })
+	return idx
+}

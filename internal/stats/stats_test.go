@@ -1,0 +1,275 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !approx(got, 4.571428571, 1e-6) {
+		t.Fatalf("Variance = %v", got)
+	}
+	if got := StdDev(xs); !approx(got, math.Sqrt(4.571428571), 1e-6) {
+		t.Fatalf("StdDev = %v", got)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("Median even = %v", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("q0.5 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q0.25 = %v", got)
+	}
+}
+
+func TestQuantileBadQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = %v, %v", min, max)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); got != 0 {
+		t.Fatalf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine([]float64{1, 2}, []float64{2, 4}); !approx(got, 1, 1e-12) {
+		t.Fatalf("parallel cosine = %v", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 2}); got != 0 {
+		t.Fatalf("zero-vector cosine = %v", got)
+	}
+}
+
+func TestJaccardDice(t *testing.T) {
+	a := map[string]bool{"x": true, "y": true}
+	b := map[string]bool{"y": true, "z": true}
+	if got := Jaccard(a, b); !approx(got, 1.0/3.0, 1e-12) {
+		t.Fatalf("Jaccard = %v", got)
+	}
+	if got := Dice(a, b); !approx(got, 0.5, 1e-12) {
+		t.Fatalf("Dice = %v", got)
+	}
+	if Jaccard(nil, nil) != 1 || Dice(nil, nil) != 1 {
+		t.Fatal("empty-set similarity convention broken")
+	}
+	if got := Jaccard(a, nil); got != 0 {
+		t.Fatalf("Jaccard with empty = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]int{1, 1, 2, 3, 3, 3, 0})
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Counts[3] != 3 || h.Counts[1] != 2 || h.Counts[0] != 1 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	if h.AtLeast(2) != 4 {
+		t.Fatalf("AtLeast(2) = %d", h.AtLeast(2))
+	}
+	if h.AtLeast(10) != 0 {
+		t.Fatalf("AtLeast(10) = %d", h.AtLeast(10))
+	}
+	ccdf := h.CCDF()
+	if ccdf[0] != 7 || ccdf[1] != 6 || ccdf[2] != 4 || ccdf[3] != 3 {
+		t.Fatalf("CCDF = %v", ccdf)
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram([]int{-1})
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]float64{1, 1}); !approx(got, math.Log(2), 1e-12) {
+		t.Fatalf("uniform entropy = %v", got)
+	}
+	if got := Entropy([]float64{1, 0}); got != 0 {
+		t.Fatalf("point-mass entropy = %v", got)
+	}
+	if got := Entropy([]float64{0, 0}); got != 0 {
+		t.Fatalf("all-zero entropy = %v", got)
+	}
+}
+
+func TestNormalizedEntropy(t *testing.T) {
+	if got := NormalizedEntropy([]float64{1, 1, 1}); !approx(got, 1, 1e-12) {
+		t.Fatalf("uniform normalized entropy = %v", got)
+	}
+	if got := NormalizedEntropy([]float64{5}); got != 0 {
+		t.Fatalf("singleton normalized entropy = %v", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if got := Pearson(a, b); !approx(got, 1, 1e-12) {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	c := []float64{8, 6, 4, 2}
+	if got := Pearson(a, c); !approx(got, -1, 1e-12) {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if got := Pearson(a, flat); got != 0 {
+		t.Fatalf("zero-variance correlation = %v", got)
+	}
+}
+
+func TestRankDescending(t *testing.T) {
+	got := RankDescending([]float64{0.2, 0.9, 0.5})
+	if got[0] != 1 || got[1] != 2 || got[2] != 0 {
+		t.Fatalf("RankDescending = %v", got)
+	}
+	// Ties break by original index.
+	got = RankDescending([]float64{1, 1, 1})
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("tie-break RankDescending = %v", got)
+	}
+}
+
+func TestPropQuantileMonotone(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropCosineBounded(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8%10) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		c := Cosine(a, b)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropJaccardSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := map[string]bool{}
+		b := map[string]bool{}
+		letters := "abcdefgh"
+		for i := 0; i < len(letters); i++ {
+			if rng.Intn(2) == 0 {
+				a[letters[i:i+1]] = true
+			}
+			if rng.Intn(2) == 0 {
+				b[letters[i:i+1]] = true
+			}
+		}
+		return Jaccard(a, b) == Jaccard(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropHistogramCCDFConsistent(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8%30) + 1
+		rng := rand.New(rand.NewSource(seed))
+		obs := make([]int, n)
+		for i := range obs {
+			obs[i] = rng.Intn(8)
+		}
+		h := NewHistogram(obs)
+		ccdf := h.CCDF()
+		for v := range ccdf {
+			if ccdf[v] != h.AtLeast(v) {
+				return false
+			}
+		}
+		return ccdf[0] == h.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot format, with task work as node
+// labels. When highlight is non-nil (e.g. the critical path), those tasks
+// are drawn bold red — the way a student would mark the critical path in
+// the §5.2 assignment.
+func (g *Graph) DOT(name string, highlight []string) string {
+	hi := map[string]bool{}
+	for _, id := range highlight {
+		hi[id] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"sans-serif\"];\n")
+	for _, id := range g.Tasks() {
+		t := g.Task(id)
+		// DOT renders \n inside a quoted label as a line break; build the
+		// label by hand so %q does not double-escape the backslash.
+		attrs := fmt.Sprintf(`label="%s\n%.1f"`, strings.ReplaceAll(id, `"`, `\"`), t.Work)
+		if hi[id] {
+			attrs += ", color=red, penwidth=2, fontcolor=red"
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", id, attrs)
+	}
+	// Deterministic edge order.
+	var edges [][2]string
+	for _, from := range g.Tasks() {
+		for _, to := range g.Successors(from) {
+			edges = append(edges, [2]string{from, to})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		attrs := ""
+		if hi[e[0]] && hi[e[1]] {
+			attrs = " [color=red, penwidth=2]"
+		}
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", e[0], e[1], attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package taskgraph
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Execute runs the graph for real on a pool of `workers` goroutines:
+// every task's function runs exactly once, only after all its
+// predecessors completed. The first error cancels remaining work (tasks
+// already started still finish). Execute returns the first task error, or
+// the cycle error if the graph is invalid.
+//
+// This is the "actually parallel" counterpart to the ListSchedule
+// simulator — the executor the schedulerlab example uses to demonstrate
+// real speedup to students.
+func (g *Graph) Execute(workers int, run func(id string) error) error {
+	if workers <= 0 {
+		return fmt.Errorf("taskgraph: need at least one worker, got %d", workers)
+	}
+	if run == nil {
+		return fmt.Errorf("taskgraph: nil run function")
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+
+	var mu sync.Mutex
+	indeg := make(map[string]int, len(g.tasks))
+	for id := range g.tasks {
+		indeg[id] = len(g.pred[id])
+	}
+	readyCh := make(chan string, len(g.tasks))
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			readyCh <- id
+		}
+	}
+
+	var firstErr error
+	var failed bool
+	remaining := len(g.tasks)
+	done := make(chan struct{})
+
+	complete := func(id string, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && !failed {
+			failed = true
+			firstErr = fmt.Errorf("taskgraph: task %q: %w", id, err)
+		}
+		if !failed {
+			for _, s := range g.succ[id] {
+				indeg[s]--
+				if indeg[s] == 0 {
+					readyCh <- s
+				}
+			}
+		}
+		remaining--
+		// Finished: everything ran, or we failed and the already-released
+		// queue has drained (tasks blocked behind the failure will never
+		// become ready, so there is nothing left to wait for).
+		if remaining == 0 || (failed && len(readyCh) == 0) {
+			select {
+			case <-done:
+			default:
+				close(done)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case id := <-readyCh:
+					mu.Lock()
+					stop := failed
+					mu.Unlock()
+					if stop {
+						complete(id, nil)
+						continue
+					}
+					complete(id, run(id))
+				}
+			}
+		}()
+	}
+	<-done
+	// Workers parked on readyCh observe the closed done channel and exit.
+	wg.Wait()
+	return firstErr
+}

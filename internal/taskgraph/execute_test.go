@@ -1,0 +1,162 @@
+package taskgraph
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// recorder tracks execution order with a mutex for race-safe assertions.
+type recorder struct {
+	mu    sync.Mutex
+	order []string
+	pos   map[string]int
+}
+
+func newRecorder() *recorder { return &recorder{pos: map[string]int{}} }
+
+func (r *recorder) run(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pos[id] = len(r.order)
+	r.order = append(r.order, id)
+	return nil
+}
+
+func TestExecuteValidation(t *testing.T) {
+	g := Chain(2)
+	if err := g.Execute(0, func(string) error { return nil }); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if err := g.Execute(1, nil); err == nil {
+		t.Error("nil run accepted")
+	}
+	cyc := NewGraph()
+	_ = cyc.AddTask("a", 1)
+	_ = cyc.AddTask("b", 1)
+	_ = cyc.AddDep("a", "b")
+	_ = cyc.AddDep("b", "a")
+	if err := cyc.Execute(1, func(string) error { return nil }); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestExecuteRunsEveryTaskOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := Layered(5, 6, 0.3, rng)
+	for _, workers := range []int{1, 2, 8} {
+		rec := newRecorder()
+		if err := g.Execute(workers, rec.run); err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.order) != g.Len() {
+			t.Fatalf("workers=%d: ran %d tasks, want %d", workers, len(rec.order), g.Len())
+		}
+		seen := map[string]bool{}
+		for _, id := range rec.order {
+			if seen[id] {
+				t.Fatalf("task %s ran twice", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestExecuteRespectsDependencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := Layered(6, 4, 0.4, rng)
+	for trial := 0; trial < 5; trial++ {
+		rec := newRecorder()
+		if err := g.Execute(8, rec.run); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range g.Tasks() {
+			for _, p := range g.Predecessors(id) {
+				if rec.pos[p] > rec.pos[id] {
+					t.Fatalf("task %s ran before its predecessor %s", id, p)
+				}
+			}
+		}
+	}
+}
+
+func TestExecutePropagatesError(t *testing.T) {
+	g := Chain(5)
+	boom := errors.New("boom")
+	ran := 0
+	var mu sync.Mutex
+	err := g.Execute(2, func(id string) error {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		if id == "t2" {
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// Tasks after the failure point must not run (chain ordering).
+	mu.Lock()
+	defer mu.Unlock()
+	if ran > 3 {
+		t.Fatalf("%d tasks ran after failure in a chain", ran)
+	}
+}
+
+func TestExecuteErrorInParallelBranchStops(t *testing.T) {
+	g := ForkJoin(16)
+	boom := errors.New("branch failed")
+	err := g.Execute(4, func(id string) error {
+		if id == "body3" {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExecuteSingleTask(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddTask("only", 1); err != nil {
+		t.Fatal(err)
+	}
+	rec := newRecorder()
+	if err := g.Execute(4, rec.run); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.order) != 1 || rec.order[0] != "only" {
+		t.Fatalf("order = %v", rec.order)
+	}
+}
+
+func TestExecuteParallelismActuallyHappens(t *testing.T) {
+	// With enough workers, two independent tasks must overlap: use a
+	// barrier that only releases when both have started.
+	g := NewGraph()
+	_ = g.AddTask("a", 1)
+	_ = g.AddTask("b", 1)
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	var once sync.Once
+	err := g.Execute(2, func(id string) error {
+		started <- struct{}{}
+		once.Do(func() {
+			// Wait for the second start before releasing both.
+			go func() {
+				<-started
+				<-started
+				close(release)
+			}()
+		})
+		<-release
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package taskgraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Chain builds a linear chain of n unit-work tasks — zero parallelism.
+func Chain(n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		mustAdd(g.AddTask(fmt.Sprintf("t%d", i), 1))
+		if i > 0 {
+			mustAdd(g.AddDep(fmt.Sprintf("t%d", i-1), fmt.Sprintf("t%d", i)))
+		}
+	}
+	return g
+}
+
+// ForkJoin builds a source, n parallel unit-work tasks, and a sink — the
+// parallel-for shape.
+func ForkJoin(n int) *Graph {
+	g := NewGraph()
+	mustAdd(g.AddTask("fork", 1))
+	mustAdd(g.AddTask("join", 1))
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("body%d", i)
+		mustAdd(g.AddTask(id, 1))
+		mustAdd(g.AddDep("fork", id))
+		mustAdd(g.AddDep(id, "join"))
+	}
+	return g
+}
+
+// Layered builds a random layered DAG: `layers` levels of `width` tasks;
+// each task depends on each task of the previous layer with probability
+// p; tasks with no sampled predecessor get one, keeping layers honest.
+// Work is drawn uniformly from [1, 2).
+func Layered(layers, width int, p float64, rng *rand.Rand) *Graph {
+	if rng == nil {
+		panic("taskgraph: Layered requires a non-nil *rand.Rand")
+	}
+	g := NewGraph()
+	id := func(l, w int) string { return fmt.Sprintf("l%dw%d", l, w) }
+	for l := 0; l < layers; l++ {
+		for w := 0; w < width; w++ {
+			mustAdd(g.AddTask(id(l, w), 1+rng.Float64()))
+		}
+	}
+	for l := 1; l < layers; l++ {
+		for w := 0; w < width; w++ {
+			any := false
+			for pw := 0; pw < width; pw++ {
+				if rng.Float64() < p {
+					mustAdd(g.AddDep(id(l-1, pw), id(l, w)))
+					any = true
+				}
+			}
+			if !any {
+				mustAdd(g.AddDep(id(l-1, rng.Intn(width)), id(l, w)))
+			}
+		}
+	}
+	return g
+}
+
+// MapReduce builds m map tasks feeding r reduce tasks through a full
+// bipartite shuffle, with a final gather task.
+func MapReduce(m, r int) *Graph {
+	g := NewGraph()
+	for i := 0; i < m; i++ {
+		mustAdd(g.AddTask(fmt.Sprintf("map%d", i), 2))
+	}
+	for j := 0; j < r; j++ {
+		id := fmt.Sprintf("reduce%d", j)
+		mustAdd(g.AddTask(id, 3))
+		for i := 0; i < m; i++ {
+			mustAdd(g.AddDep(fmt.Sprintf("map%d", i), id))
+		}
+	}
+	mustAdd(g.AddTask("gather", 1))
+	for j := 0; j < r; j++ {
+		mustAdd(g.AddDep(fmt.Sprintf("reduce%d", j), "gather"))
+	}
+	return g
+}
+
+// DivideAndConquer builds a binary recursion tree of the given depth with
+// combine nodes — the cilk-style brute-force shape §5.2 discusses.
+// Each level's leaves spawn two children; conquer nodes mirror the tree
+// upward.
+func DivideAndConquer(depth int) *Graph {
+	g := NewGraph()
+	var build func(path string, d int) (string, string)
+	build = func(path string, d int) (string, string) {
+		divide := "d" + path
+		mustAdd(g.AddTask(divide, 1))
+		if d == 0 {
+			return divide, divide
+		}
+		combine := "c" + path
+		mustAdd(g.AddTask(combine, 1))
+		lDiv, lComb := build(path+"0", d-1)
+		rDiv, rComb := build(path+"1", d-1)
+		mustAdd(g.AddDep(divide, lDiv))
+		mustAdd(g.AddDep(divide, rDiv))
+		mustAdd(g.AddDep(lComb, combine))
+		mustAdd(g.AddDep(rComb, combine))
+		return divide, combine
+	}
+	build("r", depth)
+	return g
+}
+
+func mustAdd(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package taskgraph implements the Parallel Task Graph model that §5.2
+// proposes as PDC content for Data Structures courses: directed acyclic
+// graphs of weighted tasks, topological sorting to derive a feasible
+// execution order, critical-path analysis to measure how parallel a graph
+// is, a list-scheduling simulator built on a priority queue, and a real
+// goroutine-based executor. The anchor-point recommender points at this
+// package as the concrete assignment artifact, and the benchmark harness
+// uses it for the scheduling ablations.
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Task is a unit of work in the graph.
+type Task struct {
+	ID   string
+	Work float64 // abstract execution time, must be > 0
+}
+
+// Graph is a directed acyclic graph of tasks. Edges point from a
+// prerequisite to its dependent: an edge (a, b) means a must finish
+// before b starts.
+type Graph struct {
+	tasks map[string]*Task
+	succ  map[string][]string
+	pred  map[string][]string
+	order []string // insertion order for determinism
+}
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph {
+	return &Graph{
+		tasks: map[string]*Task{},
+		succ:  map[string][]string{},
+		pred:  map[string][]string{},
+	}
+}
+
+// AddTask registers a task; IDs must be unique and work positive.
+func (g *Graph) AddTask(id string, work float64) error {
+	if id == "" {
+		return fmt.Errorf("taskgraph: empty task ID")
+	}
+	if work <= 0 {
+		return fmt.Errorf("taskgraph: task %q has non-positive work %v", id, work)
+	}
+	if _, dup := g.tasks[id]; dup {
+		return fmt.Errorf("taskgraph: duplicate task %q", id)
+	}
+	g.tasks[id] = &Task{ID: id, Work: work}
+	g.order = append(g.order, id)
+	return nil
+}
+
+// AddDep records that `from` must complete before `to` starts. Both tasks
+// must exist; self-loops and duplicate edges are rejected. Cycles are
+// detected lazily by TopoSort/Validate.
+func (g *Graph) AddDep(from, to string) error {
+	if g.tasks[from] == nil {
+		return fmt.Errorf("taskgraph: unknown task %q", from)
+	}
+	if g.tasks[to] == nil {
+		return fmt.Errorf("taskgraph: unknown task %q", to)
+	}
+	if from == to {
+		return fmt.Errorf("taskgraph: self-dependency on %q", from)
+	}
+	for _, s := range g.succ[from] {
+		if s == to {
+			return fmt.Errorf("taskgraph: duplicate edge %q -> %q", from, to)
+		}
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	return nil
+}
+
+// Len returns the number of tasks.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// Task returns the task with the given ID, or nil.
+func (g *Graph) Task(id string) *Task { return g.tasks[id] }
+
+// Tasks returns all task IDs in insertion order.
+func (g *Graph) Tasks() []string { return append([]string(nil), g.order...) }
+
+// Predecessors returns the prerequisite IDs of a task, sorted.
+func (g *Graph) Predecessors(id string) []string {
+	out := append([]string(nil), g.pred[id]...)
+	sort.Strings(out)
+	return out
+}
+
+// Successors returns the dependent IDs of a task, sorted.
+func (g *Graph) Successors(id string) []string {
+	out := append([]string(nil), g.succ[id]...)
+	sort.Strings(out)
+	return out
+}
+
+// NumEdges returns the number of dependency edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, s := range g.succ {
+		n += len(s)
+	}
+	return n
+}
+
+// TopoSort returns a feasible execution order (Kahn's algorithm,
+// deterministic: ready tasks are taken in insertion order) or an error if
+// the graph has a cycle.
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := map[string]int{}
+	for id := range g.tasks {
+		indeg[id] = len(g.pred[id])
+	}
+	var ready []string
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	var out []string
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		out = append(out, id)
+		for _, s := range g.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(out) != len(g.tasks) {
+		return nil, fmt.Errorf("taskgraph: cycle detected (%d of %d tasks sortable)", len(out), len(g.tasks))
+	}
+	return out, nil
+}
+
+// Validate reports whether the graph is acyclic.
+func (g *Graph) Validate() error {
+	_, err := g.TopoSort()
+	return err
+}
+
+// TotalWork returns the sum of all task works — the serial execution
+// time, and the "work" of the work/span model.
+func (g *Graph) TotalWork() float64 {
+	s := 0.0
+	for _, t := range g.tasks {
+		s += t.Work
+	}
+	return s
+}
+
+// CriticalPath returns the span of the graph — the longest
+// work-weighted path — together with one path realizing it. This is the
+// §5.2 "compute metrics like critical path to get a sense how parallel
+// the graph is".
+func (g *Graph) CriticalPath() (float64, []string, error) {
+	topo, err := g.TopoSort()
+	if err != nil {
+		return 0, nil, err
+	}
+	finish := map[string]float64{} // earliest finish = longest path ending at task
+	prev := map[string]string{}
+	best := 0.0
+	bestID := ""
+	for _, id := range topo {
+		start := 0.0
+		for _, p := range g.pred[id] {
+			if finish[p] > start {
+				start = finish[p]
+				prev[id] = p
+			}
+		}
+		finish[id] = start + g.tasks[id].Work
+		if finish[id] > best {
+			best = finish[id]
+			bestID = id
+		}
+	}
+	var path []string
+	for id := bestID; id != ""; {
+		path = append(path, id)
+		id = prev[id]
+	}
+	// Reverse into source→sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return best, path, nil
+}
+
+// Parallelism returns work/span — the average parallelism available in
+// the graph, an upper bound on useful machine count.
+func (g *Graph) Parallelism() (float64, error) {
+	span, _, err := g.CriticalPath()
+	if err != nil {
+		return 0, err
+	}
+	if span == 0 {
+		return 0, nil
+	}
+	return g.TotalWork() / span, nil
+}
+
+// BottomLevels returns, for every task, the length of the longest path
+// from the task to any sink, inclusive of the task's own work. This is
+// the priority used by critical-path list scheduling.
+func (g *Graph) BottomLevels() (map[string]float64, error) {
+	topo, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	bl := map[string]float64{}
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		best := 0.0
+		for _, s := range g.succ[id] {
+			if bl[s] > best {
+				best = bl[s]
+			}
+		}
+		bl[id] = best + g.tasks[id].Work
+	}
+	return bl, nil
+}

@@ -1,0 +1,297 @@
+package taskgraph
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+// diamond builds a -> {b, c} -> d with the given works.
+func diamond(t *testing.T, wa, wb, wc, wd float64) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for _, x := range []struct {
+		id string
+		w  float64
+	}{{"a", wa}, {"b", wb}, {"c", wc}, {"d", wd}} {
+		if err := g.AddTask(x.id, x.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}} {
+		if err := g.AddDep(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddTaskValidation(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddTask("", 1); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := g.AddTask("a", 0); err == nil {
+		t.Error("zero work accepted")
+	}
+	if err := g.AddTask("a", -1); err == nil {
+		t.Error("negative work accepted")
+	}
+	if err := g.AddTask("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddTask("a", 1); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+}
+
+func TestAddDepValidation(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddTask("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddTask("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep("a", "ghost"); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := g.AddDep("ghost", "a"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := g.AddDep("a", "a"); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddDep("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep("a", "b"); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := diamond(t, 1, 1, 1, 1)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos["a"] > pos["b"] || pos["a"] > pos["c"] || pos["b"] > pos["d"] || pos["c"] > pos["d"] {
+		t.Fatalf("topological order violated: %v", order)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := NewGraph()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := g.AddTask(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}} {
+		if err := g.AddDep(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	g := diamond(t, 1, 5, 2, 1)
+	span, path, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(span, 7) { // a(1) + b(5) + d(1)
+		t.Fatalf("span = %v, want 7", span)
+	}
+	if len(path) != 3 || path[0] != "a" || path[1] != "b" || path[2] != "d" {
+		t.Fatalf("critical path = %v", path)
+	}
+}
+
+func TestTotalWorkAndParallelism(t *testing.T) {
+	g := diamond(t, 1, 5, 2, 1)
+	if !approx(g.TotalWork(), 9) {
+		t.Fatalf("TotalWork = %v", g.TotalWork())
+	}
+	p, err := g.Parallelism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(p, 9.0/7.0) {
+		t.Fatalf("Parallelism = %v", p)
+	}
+}
+
+func TestBottomLevels(t *testing.T) {
+	g := diamond(t, 1, 5, 2, 1)
+	bl, err := g.BottomLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(bl["d"], 1) || !approx(bl["b"], 6) || !approx(bl["c"], 3) || !approx(bl["a"], 7) {
+		t.Fatalf("BottomLevels = %v", bl)
+	}
+}
+
+func TestChainProperties(t *testing.T) {
+	g := Chain(10)
+	if g.Len() != 10 || g.NumEdges() != 9 {
+		t.Fatalf("chain: %d tasks %d edges", g.Len(), g.NumEdges())
+	}
+	span, _, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(span, 10) {
+		t.Fatalf("chain span = %v", span)
+	}
+	p, _ := g.Parallelism()
+	if !approx(p, 1) {
+		t.Fatalf("chain parallelism = %v", p)
+	}
+}
+
+func TestForkJoinProperties(t *testing.T) {
+	g := ForkJoin(8)
+	span, _, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(span, 3) { // fork + body + join
+		t.Fatalf("fork-join span = %v", span)
+	}
+	p, _ := g.Parallelism()
+	if !approx(p, 10.0/3.0) {
+		t.Fatalf("fork-join parallelism = %v", p)
+	}
+}
+
+func TestLayeredGeneratorValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Layered(6, 8, 0.3, rng)
+	if g.Len() != 48 {
+		t.Fatalf("layered size = %d", g.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every non-first-layer task has at least one predecessor.
+	for _, id := range g.Tasks() {
+		if id[:2] != "l0" && len(g.Predecessors(id)) == 0 {
+			t.Fatalf("task %s has no predecessors", id)
+		}
+	}
+}
+
+func TestMapReduceShape(t *testing.T) {
+	g := MapReduce(4, 2)
+	if g.Len() != 7 {
+		t.Fatalf("mapreduce size = %d", g.Len())
+	}
+	if len(g.Predecessors("reduce0")) != 4 {
+		t.Fatalf("reduce0 preds = %v", g.Predecessors("reduce0"))
+	}
+	if len(g.Predecessors("gather")) != 2 {
+		t.Fatal("gather must depend on both reducers")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivideAndConquerShape(t *testing.T) {
+	g := DivideAndConquer(3)
+	// 2^(d+1)-1 divide nodes at levels 0..3 = 15, combine for internal
+	// nodes = 7. Total 22.
+	if g.Len() != 22 {
+		t.Fatalf("D&C size = %d, want 22", g.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	span, _, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 divides down (root to leaf) + 3 combines back up = 7 unit tasks.
+	if !approx(span, 7) {
+		t.Fatalf("D&C span = %v, want 7", span)
+	}
+}
+
+func TestPropCriticalPathAtMostTotalWork(t *testing.T) {
+	f := func(seed int64, l8, w8 uint8) bool {
+		layers := int(l8%5) + 1
+		width := int(w8%5) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := Layered(layers, width, 0.4, rng)
+		span, _, err := g.CriticalPath()
+		if err != nil {
+			return false
+		}
+		return span <= g.TotalWork()+1e-9 && span > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTopoSortIsValidPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Layered(4, 5, 0.3, rng)
+		order, err := g.TopoSort()
+		if err != nil || len(order) != g.Len() {
+			return false
+		}
+		pos := map[string]int{}
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, id := range g.Tasks() {
+			for _, p := range g.Predecessors(id) {
+				if pos[p] > pos[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	g := diamond(t, 1, 5, 2, 1)
+	_, path, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT("diamond", path)
+	for _, want := range []string{"digraph \"diamond\"", `"a" -> "b"`, `"c" -> "d"`, "color=red"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Edge count: one line per dependency.
+	if got := strings.Count(dot, "->"); got != g.NumEdges() {
+		t.Fatalf("DOT has %d edges, want %d", got, g.NumEdges())
+	}
+	// The off-critical-path edge is not highlighted.
+	if strings.Contains(dot, `"a" -> "c" [color=red`) {
+		t.Fatal("non-critical edge highlighted")
+	}
+}

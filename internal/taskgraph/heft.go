@@ -1,0 +1,195 @@
+package taskgraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Machine is a processor in a heterogeneous platform: Speed scales task
+// durations (a task of work w runs for w/Speed).
+type Machine struct {
+	Speed float64
+}
+
+// HeteroSchedule is a schedule on heterogeneous machines with
+// communication costs — the output of HEFT. Slot durations depend on the
+// machine the task landed on, so it is a distinct type from Schedule.
+type HeteroSchedule struct {
+	Machines []Machine
+	// Comm is the per-unit communication latency between distinct
+	// machines used when the schedule was built.
+	Comm float64
+	// Slots records placement and timing per task.
+	Slots    map[string]Slot
+	Makespan float64
+
+	totalWork float64
+}
+
+// Speedup returns the best single-machine time divided by the makespan:
+// serial time on the fastest machine.
+func (s *HeteroSchedule) Speedup() float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	fastest := 0.0
+	for _, m := range s.Machines {
+		if m.Speed > fastest {
+			fastest = m.Speed
+		}
+	}
+	return (s.totalWork / fastest) / s.Makespan
+}
+
+// HEFT schedules the graph on heterogeneous machines with the classic
+// Heterogeneous-Earliest-Finish-Time heuristic (Topcuoglu et al.):
+// tasks are prioritized by upward rank (critical-path-like, using mean
+// execution and communication costs), then greedily assigned to the
+// machine minimizing their earliest finish time, accounting for a
+// uniform per-dependency communication delay `comm` when producer and
+// consumer land on different machines.
+//
+// This extends the §5.2 list-scheduling assignment to the heterogeneous
+// platforms real student clusters have.
+func HEFT(g *Graph, machines []Machine, comm float64) (*HeteroSchedule, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("taskgraph: HEFT needs at least one machine")
+	}
+	for i, m := range machines {
+		if m.Speed <= 0 {
+			return nil, fmt.Errorf("taskgraph: machine %d has non-positive speed %v", i, m.Speed)
+		}
+	}
+	if comm < 0 {
+		return nil, fmt.Errorf("taskgraph: negative communication cost %v", comm)
+	}
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("taskgraph: empty graph")
+	}
+	topo, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+
+	// Mean execution time per task over machines; mean communication is
+	// comm scaled by the probability the endpoints differ.
+	meanSpeedInv := 0.0
+	for _, m := range machines {
+		meanSpeedInv += 1 / m.Speed
+	}
+	meanSpeedInv /= float64(len(machines))
+	meanComm := comm
+	if len(machines) == 1 {
+		meanComm = 0
+	} else {
+		meanComm = comm * float64(len(machines)-1) / float64(len(machines))
+	}
+
+	// Upward rank: rank(t) = meanExec(t) + max over successors of
+	// (meanComm + rank(s)).
+	rank := map[string]float64{}
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		best := 0.0
+		for _, s := range g.succ[id] {
+			if v := meanComm + rank[s]; v > best {
+				best = v
+			}
+		}
+		rank[id] = g.tasks[id].Work*meanSpeedInv + best
+	}
+	order := append([]string(nil), topo...)
+	sort.SliceStable(order, func(i, j int) bool { return rank[order[i]] > rank[order[j]] })
+
+	sched := &HeteroSchedule{
+		Machines: machines, Comm: comm,
+		Slots: map[string]Slot{}, totalWork: g.TotalWork(),
+	}
+	machineFree := make([]float64, len(machines))
+
+	for _, id := range order {
+		bestMachine, bestStart, bestEnd := -1, 0.0, math.Inf(1)
+		for m := range machines {
+			// Data-ready time on machine m: predecessors finish plus
+			// communication if they ran elsewhere.
+			ready := 0.0
+			for _, p := range g.pred[id] {
+				ps := sched.Slots[p]
+				arrive := ps.End
+				if ps.Machine != m {
+					arrive += comm
+				}
+				if arrive > ready {
+					ready = arrive
+				}
+			}
+			start := math.Max(ready, machineFree[m])
+			end := start + g.tasks[id].Work/machines[m].Speed
+			if end < bestEnd {
+				bestMachine, bestStart, bestEnd = m, start, end
+			}
+		}
+		sched.Slots[id] = Slot{Machine: bestMachine, Start: bestStart, End: bestEnd}
+		machineFree[bestMachine] = bestEnd
+		if bestEnd > sched.Makespan {
+			sched.Makespan = bestEnd
+		}
+	}
+	return sched, nil
+}
+
+// Validate checks the heterogeneous schedule: every task placed once,
+// durations match work/speed, machines never overlap, and every
+// dependency (plus cross-machine communication) is respected.
+func (s *HeteroSchedule) Validate(g *Graph) error {
+	if len(s.Slots) != g.Len() {
+		return fmt.Errorf("taskgraph: schedule has %d slots for %d tasks", len(s.Slots), g.Len())
+	}
+	perMachine := map[int][]Slot{}
+	for id, slot := range s.Slots {
+		t := g.Task(id)
+		if t == nil {
+			return fmt.Errorf("taskgraph: unknown task %q", id)
+		}
+		if slot.Machine < 0 || slot.Machine >= len(s.Machines) {
+			return fmt.Errorf("taskgraph: task %q on machine %d of %d", id, slot.Machine, len(s.Machines))
+		}
+		wantDur := t.Work / s.Machines[slot.Machine].Speed
+		if math.Abs((slot.End-slot.Start)-wantDur) > 1e-9 {
+			return fmt.Errorf("taskgraph: task %q duration %v, want %v", id, slot.End-slot.Start, wantDur)
+		}
+		perMachine[slot.Machine] = append(perMachine[slot.Machine], slot)
+		for _, p := range g.pred[id] {
+			ps := s.Slots[p]
+			arrive := ps.End
+			if ps.Machine != slot.Machine {
+				arrive += s.Comm
+			}
+			if arrive > slot.Start+1e-9 {
+				return fmt.Errorf("taskgraph: task %q starts at %v before data from %q arrives at %v",
+					id, slot.Start, p, arrive)
+			}
+		}
+	}
+	for m, slots := range perMachine {
+		sort.Slice(slots, func(i, j int) bool { return slots[i].Start < slots[j].Start })
+		for i := 1; i < len(slots); i++ {
+			if slots[i].Start < slots[i-1].End-1e-9 {
+				return fmt.Errorf("taskgraph: overlap on machine %d", m)
+			}
+		}
+	}
+	return nil
+}
+
+// UniformMachines builds n machines of speed 1 — the homogeneous special
+// case, where HEFT degenerates to critical-path list scheduling with
+// communication delays.
+func UniformMachines(n int) []Machine {
+	out := make([]Machine, n)
+	for i := range out {
+		out[i] = Machine{Speed: 1}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package taskgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHEFTValidation(t *testing.T) {
+	g := Chain(3)
+	if _, err := HEFT(g, nil, 0); err == nil {
+		t.Error("no machines accepted")
+	}
+	if _, err := HEFT(g, []Machine{{Speed: 0}}, 0); err == nil {
+		t.Error("zero-speed machine accepted")
+	}
+	if _, err := HEFT(g, UniformMachines(2), -1); err == nil {
+		t.Error("negative comm accepted")
+	}
+	if _, err := HEFT(NewGraph(), UniformMachines(2), 0); err == nil {
+		t.Error("empty graph accepted")
+	}
+	cyc := NewGraph()
+	_ = cyc.AddTask("a", 1)
+	_ = cyc.AddTask("b", 1)
+	_ = cyc.AddDep("a", "b")
+	_ = cyc.AddDep("b", "a")
+	if _, err := HEFT(cyc, UniformMachines(2), 0); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestHEFTSingleFastMachineEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Layered(4, 4, 0.3, rng)
+	s, err := HEFT(g, []Machine{{Speed: 2}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan-g.TotalWork()/2) > 1e-9 {
+		t.Fatalf("single-machine makespan %v, want %v", s.Makespan, g.TotalWork()/2)
+	}
+	if math.Abs(s.Speedup()-1) > 1e-9 {
+		t.Fatalf("single-machine speedup %v", s.Speedup())
+	}
+}
+
+func TestHEFTUniformNoCommMatchesListScheduleBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := Layered(6, 6, 0.3, rng)
+	span, _, _ := g.CriticalPath()
+	for _, m := range []int{1, 2, 4} {
+		s, err := HEFT(g, UniformMachines(m), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		lb := math.Max(span, g.TotalWork()/float64(m))
+		if s.Makespan < lb-1e-9 {
+			t.Fatalf("m=%d: makespan %v below bound %v", m, s.Makespan, lb)
+		}
+		// HEFT with no comm on uniform machines should match the greedy
+		// list scheduler within Graham's factor.
+		ub := g.TotalWork()/float64(m) + span*(1-1/float64(m)) + 1e-9
+		if s.Makespan > ub {
+			t.Fatalf("m=%d: makespan %v above Graham bound %v", m, s.Makespan, ub)
+		}
+	}
+}
+
+func TestHEFTPrefersFastMachine(t *testing.T) {
+	// Independent tasks, one fast and one slow machine: the fast machine
+	// must take more work.
+	g := NewGraph()
+	for i := 0; i < 8; i++ {
+		mustAdd(g.AddTask(string(rune('a'+i)), 1))
+	}
+	s, err := HEFT(g, []Machine{{Speed: 3}, {Speed: 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := 0, 0
+	for _, slot := range s.Slots {
+		if slot.Machine == 0 {
+			fast++
+		} else {
+			slow++
+		}
+	}
+	if fast <= slow {
+		t.Fatalf("fast machine ran %d tasks, slow %d", fast, slow)
+	}
+	// Optimal makespan for 8 unit tasks on speeds {3,1} is 2 (6 on fast,
+	// 2 on slow); HEFT should achieve it or be close.
+	if s.Makespan > 3+1e-9 {
+		t.Fatalf("makespan %v too far from optimal 2", s.Makespan)
+	}
+}
+
+func TestHEFTCommunicationKeepsChainsTogether(t *testing.T) {
+	// A chain with heavy communication: spreading it across machines
+	// costs comm per hop, so HEFT should keep it on one machine and the
+	// makespan should equal the serial time.
+	g := Chain(6)
+	s, err := HEFT(g, UniformMachines(4), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan-6) > 1e-9 {
+		t.Fatalf("chain makespan %v, want 6 (no pointless migration)", s.Makespan)
+	}
+	first := s.Slots["t0"].Machine
+	for id, slot := range s.Slots {
+		if slot.Machine != first {
+			t.Fatalf("task %s migrated to machine %d despite heavy comm", id, slot.Machine)
+		}
+	}
+}
+
+func TestHEFTCommCostVsZero(t *testing.T) {
+	// With communication costs, the makespan can only be >= the zero-comm
+	// makespan on the same platform.
+	rng := rand.New(rand.NewSource(3))
+	g := Layered(5, 6, 0.3, rng)
+	machines := []Machine{{Speed: 1}, {Speed: 1.5}, {Speed: 0.5}}
+	free, err := HEFT(g, machines, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := HEFT(g, machines, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.Makespan < free.Makespan-1e-9 {
+		t.Fatalf("comm=2 makespan %v below comm=0 %v", costly.Makespan, free.Makespan)
+	}
+}
+
+func TestHEFTHeterogeneousBeatsEquivalentUniformWhenSkewed(t *testing.T) {
+	// Same aggregate capacity, but HEFT can exploit the fast machine for
+	// the critical path: a chain on {2.0, 0.5, 0.5, 1.0} finishes faster
+	// than on uniform speed-1 machines.
+	g := Chain(8)
+	fast, err := HEFT(g, []Machine{{Speed: 2}, {Speed: 0.5}, {Speed: 0.5}, {Speed: 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := HEFT(g, UniformMachines(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Makespan >= uniform.Makespan {
+		t.Fatalf("heterogeneous chain %v not faster than uniform %v", fast.Makespan, uniform.Makespan)
+	}
+}
+
+func TestPropHEFTAlwaysValid(t *testing.T) {
+	f := func(seed int64, m8, c8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Layered(4, 4, 0.35, rng)
+		nm := int(m8%4) + 1
+		machines := make([]Machine, nm)
+		for i := range machines {
+			machines[i] = Machine{Speed: 0.5 + rng.Float64()*2}
+		}
+		comm := float64(c8%5) / 2
+		s, err := HEFT(g, machines, comm)
+		if err != nil {
+			return false
+		}
+		return s.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+package taskgraph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Policy selects the priority used by the list scheduler when several
+// tasks are ready at once.
+type Policy int
+
+const (
+	// FIFO takes ready tasks in graph insertion order.
+	FIFO Policy = iota
+	// LPT (longest processing time) prefers heavier tasks.
+	LPT
+	// CriticalPathPriority prefers tasks with the largest bottom level —
+	// the classic HLF/CP list-scheduling heuristic.
+	CriticalPathPriority
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case LPT:
+		return "lpt"
+	case CriticalPathPriority:
+		return "critical-path"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Slot records where and when a task ran in a simulated schedule.
+type Slot struct {
+	Machine    int
+	Start, End float64
+}
+
+// Schedule is the result of a list-scheduling simulation.
+type Schedule struct {
+	Machines  int
+	Policy    Policy
+	Makespan  float64
+	Slots     map[string]Slot
+	totalWork float64
+}
+
+// Speedup returns serial time divided by makespan.
+func (s *Schedule) Speedup() float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return s.totalWork / s.Makespan
+}
+
+// Efficiency returns speedup divided by machine count.
+func (s *Schedule) Efficiency() float64 {
+	return s.Speedup() / float64(s.Machines)
+}
+
+// readyItem is a heap entry: a ready task and its priority.
+type readyItem struct {
+	id       string
+	priority float64 // larger = scheduled first
+	seq      int     // insertion-order tiebreak
+}
+
+type readyQueue []readyItem
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q readyQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x interface{}) { *q = append(*q, x.(readyItem)) }
+func (q *readyQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// machineItem tracks when each simulated machine becomes free.
+type machineItem struct {
+	id   int
+	free float64
+}
+
+type machineQueue []machineItem
+
+func (q machineQueue) Len() int { return len(q) }
+func (q machineQueue) Less(i, j int) bool {
+	if q[i].free != q[j].free {
+		return q[i].free < q[j].free
+	}
+	return q[i].id < q[j].id
+}
+func (q machineQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *machineQueue) Push(x interface{}) { *q = append(*q, x.(machineItem)) }
+func (q *machineQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// ListSchedule simulates list scheduling of the graph on m identical
+// machines: whenever a machine is free and tasks are ready, the
+// highest-priority ready task starts. This is the simulator §5.2
+// describes as "a good application of priority queues and graphs".
+func ListSchedule(g *Graph, machines int, policy Policy) (*Schedule, error) {
+	if machines <= 0 {
+		return nil, fmt.Errorf("taskgraph: need at least one machine, got %d", machines)
+	}
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("taskgraph: empty graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	priority := map[string]float64{}
+	switch policy {
+	case LPT:
+		for id, t := range g.tasks {
+			priority[id] = t.Work
+		}
+	case CriticalPathPriority:
+		bl, err := g.BottomLevels()
+		if err != nil {
+			return nil, err
+		}
+		priority = bl
+	default: // FIFO: earlier insertion = higher priority
+		for i, id := range g.order {
+			priority[id] = -float64(i)
+		}
+	}
+	seq := map[string]int{}
+	for i, id := range g.order {
+		seq[id] = i
+	}
+
+	indeg := map[string]int{}
+	for id := range g.tasks {
+		indeg[id] = len(g.pred[id])
+	}
+
+	ready := &readyQueue{}
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			heap.Push(ready, readyItem{id: id, priority: priority[id], seq: seq[id]})
+		}
+	}
+	freeMachines := make([]int, 0, machines)
+	for i := machines - 1; i >= 0; i-- {
+		freeMachines = append(freeMachines, i) // pop from the back: lowest ID first
+	}
+
+	// Event-driven simulation: at each instant, greedily start ready
+	// tasks on free machines in priority order (no machine idles while a
+	// task is ready); when stuck, advance time to the next completion.
+	type running struct {
+		id      string
+		machine int
+		end     float64
+	}
+	var pending []running
+	sched := &Schedule{Machines: machines, Policy: policy, Slots: map[string]Slot{}, totalWork: g.TotalWork()}
+	now := 0.0
+
+	for len(sched.Slots) < g.Len() {
+		// Start everything startable at the current time.
+		for ready.Len() > 0 && len(freeMachines) > 0 {
+			item := heap.Pop(ready).(readyItem)
+			m := freeMachines[len(freeMachines)-1]
+			freeMachines = freeMachines[:len(freeMachines)-1]
+			end := now + g.tasks[item.id].Work
+			sched.Slots[item.id] = Slot{Machine: m, Start: now, End: end}
+			pending = append(pending, running{id: item.id, machine: m, end: end})
+			if end > sched.Makespan {
+				sched.Makespan = end
+			}
+		}
+		if len(sched.Slots) == g.Len() {
+			break
+		}
+		// Advance to the earliest completion and retire every task that
+		// finishes then, releasing machines and dependents.
+		next := math.Inf(1)
+		for _, r := range pending {
+			if r.end < next {
+				next = r.end
+			}
+		}
+		now = next
+		kept := pending[:0]
+		var done []running
+		for _, r := range pending {
+			if r.end <= now+1e-12 {
+				done = append(done, r)
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		pending = kept
+		// Deterministic release order.
+		sort.Slice(done, func(i, j int) bool { return done[i].id < done[j].id })
+		for _, r := range done {
+			freeMachines = append(freeMachines, r.machine)
+			for _, s := range g.succ[r.id] {
+				indeg[s]--
+				if indeg[s] == 0 {
+					heap.Push(ready, readyItem{id: s, priority: priority[s], seq: seq[s]})
+				}
+			}
+		}
+		// Keep machine pop order deterministic: highest index at the back
+		// is popped first after sorting descending.
+		sort.Sort(sort.Reverse(sort.IntSlice(freeMachines)))
+	}
+	return sched, nil
+}
+
+// Validate checks a schedule against its graph: every task scheduled
+// exactly once, no machine overlap, and every dependency respected.
+func (s *Schedule) Validate(g *Graph) error {
+	if len(s.Slots) != g.Len() {
+		return fmt.Errorf("taskgraph: schedule has %d slots for %d tasks", len(s.Slots), g.Len())
+	}
+	perMachine := map[int][]Slot{}
+	for id, slot := range s.Slots {
+		t := g.Task(id)
+		if t == nil {
+			return fmt.Errorf("taskgraph: schedule contains unknown task %q", id)
+		}
+		if math.Abs((slot.End-slot.Start)-t.Work) > 1e-9 {
+			return fmt.Errorf("taskgraph: task %q scheduled for %v, work is %v", id, slot.End-slot.Start, t.Work)
+		}
+		if slot.Machine < 0 || slot.Machine >= s.Machines {
+			return fmt.Errorf("taskgraph: task %q on machine %d of %d", id, slot.Machine, s.Machines)
+		}
+		perMachine[slot.Machine] = append(perMachine[slot.Machine], slot)
+		for _, p := range g.pred[id] {
+			if s.Slots[p].End > slot.Start+1e-9 {
+				return fmt.Errorf("taskgraph: task %q starts at %v before predecessor %q ends at %v",
+					id, slot.Start, p, s.Slots[p].End)
+			}
+		}
+	}
+	for m, slots := range perMachine {
+		sort.Slice(slots, func(i, j int) bool { return slots[i].Start < slots[j].Start })
+		for i := 1; i < len(slots); i++ {
+			if slots[i].Start < slots[i-1].End-1e-9 {
+				return fmt.Errorf("taskgraph: overlap on machine %d", m)
+			}
+		}
+	}
+	return nil
+}

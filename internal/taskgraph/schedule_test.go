@@ -1,0 +1,200 @@
+package taskgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustSchedule(t *testing.T, g *Graph, m int, p Policy) *Schedule {
+	t.Helper()
+	s, err := ListSchedule(g, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	return s
+}
+
+func TestListScheduleValidation(t *testing.T) {
+	g := Chain(3)
+	if _, err := ListSchedule(g, 0, FIFO); err == nil {
+		t.Error("zero machines accepted")
+	}
+	if _, err := ListSchedule(NewGraph(), 1, FIFO); err == nil {
+		t.Error("empty graph accepted")
+	}
+	cyc := NewGraph()
+	_ = cyc.AddTask("a", 1)
+	_ = cyc.AddTask("b", 1)
+	_ = cyc.AddDep("a", "b")
+	_ = cyc.AddDep("b", "a")
+	if _, err := ListSchedule(cyc, 1, FIFO); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestSingleMachineMakespanEqualsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Layered(4, 4, 0.3, rng)
+	for _, p := range []Policy{FIFO, LPT, CriticalPathPriority} {
+		s := mustSchedule(t, g, 1, p)
+		if math.Abs(s.Makespan-g.TotalWork()) > 1e-9 {
+			t.Fatalf("%v: single-machine makespan %v != total work %v", p, s.Makespan, g.TotalWork())
+		}
+		if math.Abs(s.Speedup()-1) > 1e-9 {
+			t.Fatalf("single-machine speedup %v", s.Speedup())
+		}
+	}
+}
+
+func TestChainNoSpeedup(t *testing.T) {
+	g := Chain(10)
+	s := mustSchedule(t, g, 8, CriticalPathPriority)
+	if math.Abs(s.Makespan-10) > 1e-9 {
+		t.Fatalf("chain makespan = %v, want 10", s.Makespan)
+	}
+	if s.Speedup() > 1+1e-9 {
+		t.Fatalf("chain speedup = %v", s.Speedup())
+	}
+}
+
+func TestForkJoinPerfectSpeedup(t *testing.T) {
+	g := ForkJoin(8)
+	s := mustSchedule(t, g, 8, FIFO)
+	// fork(1) + bodies in parallel(1) + join(1) = 3.
+	if math.Abs(s.Makespan-3) > 1e-9 {
+		t.Fatalf("fork-join makespan = %v, want 3", s.Makespan)
+	}
+	// With 4 machines, bodies take 2 rounds.
+	s4 := mustSchedule(t, g, 4, FIFO)
+	if math.Abs(s4.Makespan-4) > 1e-9 {
+		t.Fatalf("fork-join on 4 machines = %v, want 4", s4.Makespan)
+	}
+}
+
+func TestMakespanNeverBelowBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		g := Layered(5, 6, 0.35, rng)
+		span, _, _ := g.CriticalPath()
+		for _, m := range []int{1, 2, 4, 8} {
+			for _, p := range []Policy{FIFO, LPT, CriticalPathPriority} {
+				s := mustSchedule(t, g, m, p)
+				lb := math.Max(span, g.TotalWork()/float64(m))
+				if s.Makespan < lb-1e-9 {
+					t.Fatalf("makespan %v below lower bound %v (m=%d, %v)", s.Makespan, lb, m, p)
+				}
+				// Graham's bound for greedy list scheduling.
+				ub := g.TotalWork()/float64(m) + span*(1-1/float64(m)) + 1e-9
+				if s.Makespan > ub {
+					t.Fatalf("makespan %v above Graham bound %v (m=%d, %v)", s.Makespan, ub, m, p)
+				}
+			}
+		}
+	}
+}
+
+func TestMoreMachinesNeverHurt(t *testing.T) {
+	// For a fixed priority order this holds for these workloads (list
+	// scheduling anomalies need adversarial priorities).
+	rng := rand.New(rand.NewSource(11))
+	g := Layered(6, 8, 0.3, rng)
+	prev := math.Inf(1)
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		s := mustSchedule(t, g, m, CriticalPathPriority)
+		if s.Makespan > prev+1e-6 {
+			t.Fatalf("makespan grew from %v to %v at m=%d", prev, s.Makespan, m)
+		}
+		prev = s.Makespan
+	}
+}
+
+func TestCriticalPathPolicyBeatsFIFOOnAdversarialGraph(t *testing.T) {
+	// A long chain plus independent fillers: CP priority starts the chain
+	// immediately; FIFO (insertion order) delays it behind the fillers.
+	g := NewGraph()
+	for i := 0; i < 8; i++ {
+		mustAdd(g.AddTask("filler"+string(rune('0'+i)), 4))
+	}
+	mustAdd(g.AddTask("c0", 4))
+	mustAdd(g.AddTask("c1", 4))
+	mustAdd(g.AddTask("c2", 4))
+	mustAdd(g.AddDep("c0", "c1"))
+	mustAdd(g.AddDep("c1", "c2"))
+
+	cp := mustSchedule(t, g, 2, CriticalPathPriority)
+	ff := mustSchedule(t, g, 2, FIFO)
+	if cp.Makespan >= ff.Makespan {
+		t.Fatalf("critical-path makespan %v not better than FIFO %v", cp.Makespan, ff.Makespan)
+	}
+}
+
+func TestEfficiencyBounds(t *testing.T) {
+	g := ForkJoin(16)
+	s := mustSchedule(t, g, 4, LPT)
+	if s.Efficiency() <= 0 || s.Efficiency() > 1+1e-9 {
+		t.Fatalf("efficiency = %v", s.Efficiency())
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := Layered(5, 5, 0.4, rng)
+	a := mustSchedule(t, g, 3, CriticalPathPriority)
+	b := mustSchedule(t, g, 3, CriticalPathPriority)
+	if a.Makespan != b.Makespan {
+		t.Fatal("nondeterministic makespan")
+	}
+	for id, sa := range a.Slots {
+		if b.Slots[id] != sa {
+			t.Fatalf("slot for %s differs: %+v vs %+v", id, sa, b.Slots[id])
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := Chain(3)
+	s := mustSchedule(t, g, 1, FIFO)
+	// Corrupt: shift a task before its predecessor.
+	bad := *s
+	bad.Slots = map[string]Slot{}
+	for id, slot := range s.Slots {
+		bad.Slots[id] = slot
+	}
+	sl := bad.Slots["t2"]
+	sl.Start, sl.End = 0, 1
+	bad.Slots["t2"] = sl
+	if err := bad.Validate(g); err == nil {
+		t.Fatal("corrupted schedule accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FIFO.String() != "fifo" || LPT.String() != "lpt" || CriticalPathPriority.String() != "critical-path" {
+		t.Fatal("Policy strings wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("out-of-range Policy string empty")
+	}
+}
+
+func TestPropScheduleAlwaysValid(t *testing.T) {
+	f := func(seed int64, m8, p8 uint8) bool {
+		m := int(m8%8) + 1
+		policy := Policy(int(p8) % 3)
+		rng := rand.New(rand.NewSource(seed))
+		g := Layered(4, 5, 0.3, rng)
+		s, err := ListSchedule(g, m, policy)
+		if err != nil {
+			return false
+		}
+		return s.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

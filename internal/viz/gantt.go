@@ -1,0 +1,128 @@
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"csmaterials/internal/matrix"
+	"csmaterials/internal/taskgraph"
+)
+
+// ASCIIGantt renders a list schedule as a per-machine timeline, one row
+// per machine, time flowing right, each task drawn as its first letter
+// repeated over its duration. Width is the number of character columns
+// for the full makespan (default 72).
+func ASCIIGantt(s *taskgraph.Schedule, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if s.Makespan == 0 || len(s.Slots) == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / s.Makespan
+
+	rows := make([][]byte, s.Machines)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	// Deterministic paint order.
+	ids := make([]string, 0, len(s.Slots))
+	for id := range s.Slots {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		slot := s.Slots[id]
+		from := int(slot.Start * scale)
+		to := int(slot.End * scale)
+		if to > width {
+			to = width
+		}
+		if to == from && from < width {
+			to = from + 1
+		}
+		ch := id[0]
+		for x := from; x < to; x++ {
+			rows[slot.Machine][x] = ch
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.2f on %d machines (%s priority)\n", s.Makespan, s.Machines, s.Policy)
+	for m, row := range rows {
+		fmt.Fprintf(&b, "m%-2d |%s|\n", m, row)
+	}
+	fmt.Fprintf(&b, "    0%s%.1f\n", strings.Repeat(" ", width-6), s.Makespan)
+	return b.String()
+}
+
+// SVGGantt renders the schedule as an SVG timeline with one lane per
+// machine and labeled task bars.
+func SVGGantt(s *taskgraph.Schedule, title string) string {
+	const laneH = 26
+	const leftW = 46
+	const plotW = 640
+	h := 50 + s.Machines*laneH
+	scale := plotW / s.Makespan
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", leftW+plotW+20, h)
+	fmt.Fprintf(&b, `<text x="8" y="18" font-family="sans-serif" font-size="13" font-weight="bold">%s</text>`+"\n", escape(title))
+	for m := 0; m < s.Machines; m++ {
+		y := 32 + m*laneH
+		fmt.Fprintf(&b, `<text x="8" y="%d" font-family="sans-serif" font-size="10">m%d</text>`+"\n", y+laneH/2+3, m)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n", leftW, y+laneH, leftW+plotW, y+laneH)
+	}
+	ids := make([]string, 0, len(s.Slots))
+	for id := range s.Slots {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	palette := []string{"#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#eeca3b"}
+	for i, id := range ids {
+		slot := s.Slots[id]
+		x := leftW + slot.Start*scale
+		w := (slot.End - slot.Start) * scale
+		y := 32 + slot.Machine*laneH
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="#333" stroke-width="0.5"/>`+"\n",
+			x, y+3, w, laneH-6, palette[i%len(palette)])
+		if w > 28 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="9" fill="white">%s</text>`+"\n",
+				x+3, y+laneH/2+3, escape(truncate(id, int(w/7))))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// ASCIIMatrixView renders the biclustered material × tag matrix view of
+// §3.1.1: rows are materials, columns are tags, both in the biclustered
+// order, with block boundaries marked.
+func ASCIIMatrixView(a *matrix.Dense, rowOrder, colOrder []int, rowBlocks []int, rowLabels []string, labelWidth int) string {
+	if labelWidth <= 0 {
+		labelWidth = 20
+	}
+	var b strings.Builder
+	prevBlock := -1
+	for _, i := range rowOrder {
+		if rowBlocks != nil && rowBlocks[i] != prevBlock {
+			if prevBlock != -1 {
+				fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", len(colOrder)))
+			}
+			prevBlock = rowBlocks[i]
+		}
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "%-*s |", labelWidth, truncate(label, labelWidth))
+		for _, j := range colOrder {
+			if a.At(i, j) > 0 {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

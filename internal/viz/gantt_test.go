@@ -1,0 +1,92 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"csmaterials/internal/bicluster"
+	"csmaterials/internal/matrix"
+	"csmaterials/internal/taskgraph"
+)
+
+func testSchedule(t *testing.T) *taskgraph.Schedule {
+	t.Helper()
+	g := taskgraph.ForkJoin(4)
+	s, err := taskgraph.ListSchedule(g, 2, taskgraph.FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestASCIIGantt(t *testing.T) {
+	s := testSchedule(t)
+	out := ASCIIGantt(s, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + one lane per machine + axis.
+	if len(lines) != 1+2+1 {
+		t.Fatalf("gantt lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "makespan") {
+		t.Fatal("missing makespan header")
+	}
+	// Fork 'f' and join 'j' appear; body tasks 'b' appear in both lanes.
+	body := lines[1] + lines[2]
+	for _, ch := range []string{"f", "j", "b"} {
+		if !strings.Contains(body, ch) {
+			t.Fatalf("gantt missing task %q:\n%s", ch, out)
+		}
+	}
+}
+
+func TestASCIIGanttEmpty(t *testing.T) {
+	s := &taskgraph.Schedule{}
+	if got := ASCIIGantt(s, 10); got != "(empty schedule)\n" {
+		t.Fatalf("empty gantt = %q", got)
+	}
+}
+
+func TestSVGGantt(t *testing.T) {
+	s := testSchedule(t)
+	svg := SVGGantt(s, "fork-join on 2 machines")
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG")
+	}
+	// One rect per task.
+	if got := strings.Count(svg, "<rect"); got != 6 {
+		t.Fatalf("rects = %d, want 6", got)
+	}
+}
+
+func TestASCIIMatrixView(t *testing.T) {
+	// Two interleaved blocks.
+	a := matrix.New(4, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			if i%2 == j%2 {
+				a.Set(i, j, 1)
+			}
+		}
+	}
+	res, err := bicluster.Cluster(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ASCIIMatrixView(a, res.RowOrder, res.ColOrder, res.RowBlock,
+		[]string{"m0", "m1", "m2", "m3"}, 6)
+	if !strings.Contains(out, "#") {
+		t.Fatal("matrix view empty")
+	}
+	// Block separator drawn once between the two blocks.
+	if strings.Count(out, "+---") != 1 {
+		t.Fatalf("expected one block separator:\n%s", out)
+	}
+	// After biclustering the first two displayed rows are identical
+	// patterns (same block).
+	lines := strings.Split(out, "\n")
+	p0 := lines[0][strings.Index(lines[0], "|"):]
+	p1 := lines[1][strings.Index(lines[1], "|"):]
+	if p0 != p1 {
+		t.Fatalf("rows of the same block differ:\n%s", out)
+	}
+}

@@ -1,0 +1,214 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"csmaterials/internal/ontology"
+)
+
+// RadialOptions configures the radial hit-tree rendering of §3.1.1.
+type RadialOptions struct {
+	// Counts sizes each node by the number of materials classified
+	// against it (nil means uniform sizes).
+	Counts map[string]int
+	// Alignment colors nodes on a divergent scale in [-1, 1]: -1 means
+	// the entry is only in the left material set, +1 only in the right,
+	// 0 fully aligned. Nil means uniform coloring.
+	Alignment map[string]float64
+	// LabelAreas writes the knowledge-area names next to the first-level
+	// nodes, as Figure 4 does.
+	LabelAreas bool
+	// Size is the SVG width and height in pixels (default 640).
+	Size int
+}
+
+// RadialLayout places every node of a guideline tree on concentric
+// circles: the root at the center, each depth at a fixed radius. The
+// level with the most nodes (the "reference level" of §3.1.1) is spaced
+// uniformly; other levels inherit angles from their descendants (mean of
+// children) or, for nodes below the reference level without that
+// anchoring, from their parent ordering.
+type RadialLayout struct {
+	// Pos maps node ID to its (angle, radius) in polar coordinates;
+	// radius is the depth (0 = root).
+	Angle map[string]float64
+	Depth map[string]int
+	// RefLevel is the depth chosen as the reference level.
+	RefLevel int
+	// MaxDepth is the deepest level present.
+	MaxDepth int
+}
+
+// Layout computes the radial layout for a guideline tree.
+func Layout(g *ontology.Guideline) *RadialLayout {
+	l := &RadialLayout{Angle: map[string]float64{}, Depth: map[string]int{}}
+
+	// Find the level with the most nodes.
+	levelNodes := map[int][]*ontology.Node{}
+	g.Walk(func(n *ontology.Node) bool {
+		d := ontology.Depth(n)
+		l.Depth[n.ID] = d
+		if d > l.MaxDepth {
+			l.MaxDepth = d
+		}
+		if n.Kind != ontology.KindRoot {
+			levelNodes[d] = append(levelNodes[d], n)
+		}
+		return true
+	})
+	best, bestCount := 1, -1
+	depths := make([]int, 0, len(levelNodes))
+	for d := range levelNodes {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	for _, d := range depths {
+		if len(levelNodes[d]) > bestCount {
+			best, bestCount = d, len(levelNodes[d])
+		}
+	}
+	l.RefLevel = best
+
+	// Order the reference level by a depth-first traversal so subtrees
+	// stay angularly contiguous, then space uniformly.
+	var refOrder []*ontology.Node
+	g.Walk(func(n *ontology.Node) bool {
+		if l.Depth[n.ID] == best && n.Kind != ontology.KindRoot {
+			refOrder = append(refOrder, n)
+		}
+		return true
+	})
+	for i, n := range refOrder {
+		l.Angle[n.ID] = 2 * math.Pi * float64(i) / float64(len(refOrder))
+	}
+
+	// Nodes above the reference level: mean angle of their children
+	// (bottom-up). Nodes below: inherit the nearest positioned ancestor's
+	// angle with a small deterministic fan-out.
+	var fix func(n *ontology.Node) (float64, bool)
+	fix = func(n *ontology.Node) (float64, bool) {
+		if a, ok := l.Angle[n.ID]; ok {
+			// Still descend so deeper nodes get placed.
+			placeDescendants(l, n)
+			return a, true
+		}
+		var sum float64
+		var cnt int
+		for _, c := range n.Children {
+			if a, ok := fix(c); ok {
+				sum += a
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0, false
+		}
+		a := sum / float64(cnt)
+		if n.Kind != ontology.KindRoot {
+			l.Angle[n.ID] = a
+		}
+		return a, true
+	}
+	fix(g.Root)
+	return l
+}
+
+// placeDescendants assigns angles to nodes strictly below an anchored
+// node by fanning them around the anchor's angle.
+func placeDescendants(l *RadialLayout, n *ontology.Node) {
+	base := l.Angle[n.ID]
+	var leaves []*ontology.Node
+	var collect func(m *ontology.Node)
+	collect = func(m *ontology.Node) {
+		for _, c := range m.Children {
+			leaves = append(leaves, c)
+			collect(c)
+		}
+	}
+	collect(n)
+	if len(leaves) == 0 {
+		return
+	}
+	spread := math.Pi / 64
+	for i, c := range leaves {
+		if _, done := l.Angle[c.ID]; done {
+			continue
+		}
+		offset := (float64(i) - float64(len(leaves)-1)/2) * spread / float64(len(leaves))
+		l.Angle[c.ID] = base + offset
+	}
+}
+
+// SVGRadialTree renders the hit-tree: nodes on concentric circles, edges
+// to parents, node area scaled by material counts, and an optional
+// divergent alignment coloring. The root is drawn in red, as in the
+// paper's figures.
+func SVGRadialTree(g *ontology.Guideline, opts RadialOptions) string {
+	size := opts.Size
+	if size <= 0 {
+		size = 640
+	}
+	l := Layout(g)
+	center := float64(size) / 2
+	ringGap := (center - 40) / math.Max(float64(l.MaxDepth), 1)
+
+	pos := func(id string) (float64, float64) {
+		a := l.Angle[id]
+		r := float64(l.Depth[id]) * ringGap
+		return center + r*math.Cos(a), center + r*math.Sin(a)
+	}
+
+	maxCount := 1
+	for _, c := range opts.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", size, size)
+	// Edges first.
+	g.Walk(func(n *ontology.Node) bool {
+		if n.Kind == ontology.KindRoot || n.Parent == nil {
+			return true
+		}
+		x1, y1 := pos(n.ID)
+		var x2, y2 float64
+		if n.Parent.Kind == ontology.KindRoot {
+			x2, y2 = center, center
+		} else {
+			x2, y2 = pos(n.Parent.ID)
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#bbb" stroke-width="0.6"/>`+"\n", x1, y1, x2, y2)
+		return true
+	})
+	// Root in red.
+	fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="6" fill="#cc2222"/>`+"\n", center, center)
+	// Nodes.
+	g.Walk(func(n *ontology.Node) bool {
+		if n.Kind == ontology.KindRoot {
+			return true
+		}
+		x, y := pos(n.ID)
+		r := 2.5
+		if opts.Counts != nil {
+			r = 2 + 4*math.Sqrt(float64(opts.Counts[n.ID])/float64(maxCount))
+		}
+		fill := "#336699"
+		if opts.Alignment != nil {
+			if v, ok := opts.Alignment[n.ID]; ok {
+				fill = divergingScale(v)
+			}
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="#333" stroke-width="0.4"/>`+"\n", x, y, r, fill)
+		if opts.LabelAreas && n.Kind == ontology.KindArea {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" font-weight="bold">%s</text>`+"\n", x+6, y-4, escape(n.ID))
+		}
+		return true
+	})
+	b.WriteString("</svg>\n")
+	return b.String()
+}

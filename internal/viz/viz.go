@@ -1,0 +1,229 @@
+// Package viz renders the repository's analysis artifacts the way the
+// paper's figures do: W/H matrix heat maps (Figures 2, 5, 7), radial
+// hit-trees over the curriculum ontology (Figures 4, 6, 8), and
+// tag-agreement series plots (Figure 3). Every visualization has an SVG
+// form for files and an ASCII form for terminals; both are deterministic.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"csmaterials/internal/matrix"
+)
+
+// asciiShades maps intensity 0..1 to characters of increasing density.
+const asciiShades = " .:-=+*#%@"
+
+// ASCIIHeatmap renders a matrix as text, one character per cell, scaled
+// to the matrix maximum. Row labels are truncated to labelWidth.
+func ASCIIHeatmap(m *matrix.Dense, rowLabels []string, labelWidth int) string {
+	if labelWidth <= 0 {
+		labelWidth = 24
+	}
+	max := m.MaxAbs()
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	for i := 0; i < m.Rows(); i++ {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "%-*s |", labelWidth, truncate(label, labelWidth))
+		for _, v := range m.RowView(i) {
+			b.WriteByte(shade(v / max))
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+func shade(x float64) byte {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	idx := int(x * float64(len(asciiShades)-1))
+	return asciiShades[idx]
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}
+
+// SVGHeatmap renders a matrix as an SVG heat map with a white→blue scale
+// and row labels, mirroring the W-matrix panels of Figures 2, 5a and 7a.
+func SVGHeatmap(m *matrix.Dense, rowLabels, colLabels []string, title string) string {
+	const cell = 18
+	const labelW = 260
+	const topH = 40
+	rows, cols := m.Dims()
+	w := labelW + cols*cell + 20
+	h := topH + rows*cell + 40
+	max := m.MaxAbs()
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="10" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n", escape(title))
+	for i := 0; i < rows; i++ {
+		y := topH + i*cell
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			labelW-6, y+cell-5, escape(truncate(label, 44)))
+		for j := 0; j < cols; j++ {
+			v := m.At(i, j) / max
+			if v < 0 {
+				v = 0
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#ccc"/>`+"\n",
+				labelW+j*cell, y, cell, cell, blueScale(v))
+		}
+	}
+	for j := 0; j < cols && j < len(colLabels); j++ {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="9" text-anchor="middle">%s</text>`+"\n",
+			labelW+j*cell+cell/2, topH+rows*cell+14, escape(truncate(colLabels[j], 10)))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// blueScale maps 0..1 to a white→dark-blue hex color.
+func blueScale(v float64) string {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	r := int(255 - 205*v)
+	g := int(255 - 175*v)
+	bl := int(255 - 75*v)
+	return fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+}
+
+// divergingScale maps -1..1 to a red→white→blue color (the alignment
+// scale of the radial view: mid-range means fully aligned).
+func divergingScale(v float64) string {
+	if v < -1 {
+		v = -1
+	}
+	if v > 1 {
+		v = 1
+	}
+	if v < 0 {
+		t := -v
+		return fmt.Sprintf("#%02x%02x%02x", 255, int(255-180*t), int(255-180*t))
+	}
+	t := v
+	return fmt.Sprintf("#%02x%02x%02x", int(255-180*t), int(255-180*t), 255)
+}
+
+// ASCIISeries renders a Figure-3-style descending series as a text
+// column chart with the given height in rows.
+func ASCIISeries(series []int, height int) string {
+	if len(series) == 0 {
+		return "(empty series)\n"
+	}
+	if height <= 0 {
+		height = 8
+	}
+	max := series[0]
+	for _, v := range series {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	// Downsample to at most 100 columns.
+	cols := len(series)
+	step := 1
+	if cols > 100 {
+		step = (cols + 99) / 100
+		cols = (len(series) + step - 1) / step
+	}
+	var b strings.Builder
+	for row := height; row >= 1; row-- {
+		threshold := float64(row) / float64(height) * float64(max)
+		fmt.Fprintf(&b, "%4d |", int(math.Ceil(threshold)))
+		for c := 0; c < cols; c++ {
+			v := series[c*step]
+			if float64(v) >= threshold {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "     +%s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(&b, "      tags 1..%d (sorted by agreement, %d per column)\n", len(series), step)
+	return b.String()
+}
+
+// SVGSeries renders the Figure 3 plot: x = tag index, y = number of
+// courses the tag appears in.
+func SVGSeries(series []int, title, xLabel, yLabel string) string {
+	const w, h = 520, 300
+	const mLeft, mBottom, mTop, mRight = 50, 40, 30, 10
+	plotW := w - mLeft - mRight
+	plotH := h - mTop - mBottom
+	maxY := 1
+	for _, v := range series {
+		if v > maxY {
+			maxY = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-family="sans-serif" font-size="13" font-weight="bold">%s</text>`+"\n", mLeft, escape(title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", mLeft, mTop, mLeft, mTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", mLeft, mTop+plotH, mLeft+plotW, mTop+plotH)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n", mLeft+plotW/2, h-8, escape(xLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" font-family="sans-serif" font-size="10" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n", mTop+plotH/2, mTop+plotH/2, escape(yLabel))
+	// Y ticks at integers.
+	for y := 0; y <= maxY; y++ {
+		py := mTop + plotH - y*plotH/maxY
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="9" text-anchor="end">%d</text>`+"\n", mLeft-4, py+3, y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#eee"/>`+"\n", mLeft, py, mLeft+plotW, py)
+	}
+	// Points.
+	n := len(series)
+	if n > 0 {
+		var pts []string
+		for i, v := range series {
+			px := mLeft
+			if n > 1 {
+				px = mLeft + i*plotW/(n-1)
+			}
+			py := mTop + plotH - v*plotH/maxY
+			pts = append(pts, fmt.Sprintf("%d,%d", px, py))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#1f5fbf" stroke-width="1.5"/>`+"\n", strings.Join(pts, " "))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

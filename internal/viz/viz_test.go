@@ -1,0 +1,200 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"csmaterials/internal/agreement"
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/matrix"
+	"csmaterials/internal/ontology"
+)
+
+func TestASCIIHeatmapShape(t *testing.T) {
+	m := matrix.NewFromRows([][]float64{{0, 0.5, 1}, {1, 0, 0}})
+	out := ASCIIHeatmap(m, []string{"row-a", "row-b"}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("heatmap lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "row-a") {
+		t.Fatal("row label missing")
+	}
+	// Max value renders as the densest shade, zero as space.
+	if !strings.Contains(lines[0], "@") {
+		t.Fatalf("max cell not dense: %q", lines[0])
+	}
+}
+
+func TestASCIIHeatmapZeroMatrix(t *testing.T) {
+	out := ASCIIHeatmap(matrix.New(2, 3), nil, 0)
+	if !strings.Contains(out, "|   |") {
+		t.Fatalf("zero matrix should render blank cells: %q", out)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("abcdef", 4); got != "abc…" {
+		t.Fatalf("truncate = %q", got)
+	}
+	if got := truncate("ab", 4); got != "ab" {
+		t.Fatalf("truncate = %q", got)
+	}
+}
+
+func TestSVGHeatmapWellFormed(t *testing.T) {
+	m := matrix.NewFromRows([][]float64{{0, 1}, {0.5, 0.2}})
+	svg := SVGHeatmap(m, []string{"a", "b"}, []string{"t1", "t2"}, "Figure 2 <test>")
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<rect") != 4 {
+		t.Fatalf("expected 4 cells, got %d", strings.Count(svg, "<rect"))
+	}
+	if strings.Contains(svg, "<test>") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;test&gt;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestBlueScaleEndpoints(t *testing.T) {
+	if blueScale(0) != "#ffffff" {
+		t.Fatalf("blueScale(0) = %s", blueScale(0))
+	}
+	if blueScale(1) != "#3250b4" {
+		t.Fatalf("blueScale(1) = %s", blueScale(1))
+	}
+	if blueScale(-5) != blueScale(0) || blueScale(5) != blueScale(1) {
+		t.Fatal("blueScale must clamp")
+	}
+}
+
+func TestDivergingScale(t *testing.T) {
+	if divergingScale(0) != "#ffffff" {
+		t.Fatalf("center = %s", divergingScale(0))
+	}
+	left, right := divergingScale(-1), divergingScale(1)
+	if left == right {
+		t.Fatal("diverging endpoints identical")
+	}
+	if !strings.HasPrefix(left, "#ff") {
+		t.Fatalf("negative side should be red-ish: %s", left)
+	}
+}
+
+func TestASCIISeries(t *testing.T) {
+	out := ASCIISeries([]int{5, 4, 3, 2, 1, 1, 1}, 5)
+	if !strings.Contains(out, "#") {
+		t.Fatal("series has no bars")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 6 {
+		t.Fatalf("series too short: %d lines", len(lines))
+	}
+	if ASCIISeries(nil, 5) != "(empty series)\n" {
+		t.Fatal("empty series not handled")
+	}
+}
+
+func TestASCIISeriesDownsamples(t *testing.T) {
+	big := make([]int, 500)
+	for i := range big {
+		big[i] = 500 - i
+	}
+	out := ASCIISeries(big, 6)
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 130 {
+			t.Fatalf("line too long (%d): downsampling failed", len(line))
+		}
+	}
+}
+
+func TestSVGSeriesWellFormed(t *testing.T) {
+	svg := SVGSeries([]int{4, 3, 2, 1}, "Fig 3a", "Tags", "Courses")
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("series line missing")
+	}
+	if !strings.Contains(svg, "Fig 3a") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestLayoutReferenceLevelUniform(t *testing.T) {
+	g := ontology.CS2013()
+	l := Layout(g)
+	if l.RefLevel < 1 || l.RefLevel > l.MaxDepth {
+		t.Fatalf("RefLevel = %d", l.RefLevel)
+	}
+	// Every node must have an angle and a depth.
+	g.Walk(func(n *ontology.Node) bool {
+		if n.Kind == ontology.KindRoot {
+			return true
+		}
+		if _, ok := l.Angle[n.ID]; !ok {
+			t.Fatalf("node %q has no angle", n.ID)
+		}
+		return true
+	})
+	// Reference-level nodes are uniformly spaced: collect and check gaps.
+	var refIDs []string
+	g.Walk(func(n *ontology.Node) bool {
+		if n.Kind != ontology.KindRoot && l.Depth[n.ID] == l.RefLevel {
+			refIDs = append(refIDs, n.ID)
+		}
+		return true
+	})
+	if len(refIDs) < 10 {
+		t.Fatalf("reference level suspiciously small: %d", len(refIDs))
+	}
+	want := 2 * 3.14159265 / float64(len(refIDs))
+	angles := make([]float64, len(refIDs))
+	for i, id := range refIDs {
+		angles[i] = l.Angle[id]
+	}
+	// Angles were assigned in DFS order, so consecutive entries differ by
+	// the uniform step.
+	for i := 1; i < len(angles); i++ {
+		gap := angles[i] - angles[i-1]
+		if gap < want*0.99 || gap > want*1.01 {
+			t.Fatalf("non-uniform gap %v at %d, want %v", gap, i, want)
+		}
+	}
+}
+
+func TestSVGRadialTreeOnAgreementTree(t *testing.T) {
+	a, err := agreement.Analyze(dataset.CoursesByID(dataset.CS1CourseIDs()), ontology.CS2013())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := a.Tree(ontology.CS2013(), 2)
+	svg := SVGRadialTree(tree, RadialOptions{Counts: a.Counts, LabelAreas: true})
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// Root is red; SDF label appears.
+	if !strings.Contains(svg, "#cc2222") {
+		t.Fatal("red root missing")
+	}
+	if !strings.Contains(svg, ">SDF</text>") {
+		t.Fatal("knowledge-area label missing")
+	}
+	// One circle per node plus the root.
+	nodes := tree.Len()
+	if got := strings.Count(svg, "<circle"); got != nodes+1 {
+		t.Fatalf("circles = %d, want %d", got, nodes+1)
+	}
+}
+
+func TestSVGRadialTreeAlignmentColors(t *testing.T) {
+	g := ontology.CS2013().Prune(func(n *ontology.Node) bool {
+		return n.ID == "SDF/fundamental-programming-concepts/the-concept-of-recursion"
+	})
+	svg := SVGRadialTree(g, RadialOptions{Alignment: map[string]float64{
+		"SDF/fundamental-programming-concepts/the-concept-of-recursion": -1,
+	}})
+	if !strings.Contains(svg, divergingScale(-1)) {
+		t.Fatal("alignment color not applied")
+	}
+}
