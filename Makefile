@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build vet test race bench serve tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Concurrency-sensitive packages under the race detector: the serving
+# cache/singleflight/metrics, the HTTP handlers on top of them, and the
+# goroutine task-graph executor.
+race:
+	$(GO) test -race ./internal/serving/ ./internal/server/ ./internal/taskgraph/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+serve:
+	$(GO) run ./cmd/serve
+
+# Everything the repo's tier-1 gate runs, plus vet and race.
+tier1: build vet test race

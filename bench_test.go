@@ -12,6 +12,8 @@ package csmaterials_test
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
@@ -32,6 +34,7 @@ import (
 	"csmaterials/internal/pca"
 	"csmaterials/internal/robustness"
 	"csmaterials/internal/search"
+	"csmaterials/internal/server"
 	"csmaterials/internal/simgraph"
 	"csmaterials/internal/taskgraph"
 )
@@ -249,6 +252,73 @@ func BenchmarkTaskGraphExecute(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Serving layer: cold vs. warm analysis cache --------------------------
+
+// serveOnce drives one request through the full middleware + handler
+// stack and fails the benchmark on a non-200.
+func serveOnce(b *testing.B, s *server.Server, path string) {
+	b.Helper()
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+	if rr.Code != http.StatusOK {
+		b.Fatalf("GET %s: status %d\n%s", path, rr.Code, rr.Body.String())
+	}
+}
+
+// BenchmarkServeTypes contrasts recomputing the NNMF typing on every
+// request (cold: cache retention disabled) with serving it from the
+// LRU cache (warm). The warm path is the production configuration.
+func BenchmarkServeTypes(b *testing.B) {
+	const path = "/api/v1/types?group=all&k=4"
+	b.Run("cold", func(b *testing.B) {
+		s, err := server.NewWithOptions(server.Options{CacheSize: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveOnce(b, s, path)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s, err := server.New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		serveOnce(b, s, path) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveOnce(b, s, path)
+		}
+	})
+}
+
+// BenchmarkServeAgreement does the same for the agreement analysis.
+func BenchmarkServeAgreement(b *testing.B) {
+	const path = "/api/v1/agreement?group=cs1&threshold=4"
+	b.Run("cold", func(b *testing.B) {
+		s, err := server.NewWithOptions(server.Options{CacheSize: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveOnce(b, s, path)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s, err := server.New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		serveOnce(b, s, path)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveOnce(b, s, path)
+		}
+	})
 }
 
 // --- Supporting-system benchmarks ----------------------------------------

@@ -1,30 +1,42 @@
-// Command serve runs the CS Materials reproduction as a JSON HTTP API —
-// the "public resource" form of the system (§3.1).
+// Command serve runs the CS Materials reproduction as a versioned JSON
+// HTTP API — the "public resource" form of the system (§3.1) — with
+// production hardening: a bounded LRU cache with singleflight over the
+// analyses, per-route metrics, panic recovery, structured access logs,
+// per-request timeouts, and graceful shutdown on SIGINT/SIGTERM.
 //
 // Usage:
 //
-//	serve [-addr :8080]
+//	serve [-addr :8080] [-cache-size 256] [-request-timeout 30s] [-shutdown-timeout 10s]
 //
-// Endpoints:
+// Endpoints (all GET; every /api/v1 response is a {"data","meta"}
+// envelope, errors are {"error":{"code","message"}}):
 //
 //	GET /healthz
-//	GET /api/courses
-//	GET /api/courses/{id}
-//	GET /api/courses/{id}/materials
-//	GET /api/courses/{id}/anchors
-//	GET /api/courses/{id}/audit
-//	GET /api/courses/{id}/pdcmaterials
-//	GET /api/search?tags=...&prefix=...&author=...&limit=...
-//	GET /api/agreement?group=CS1|DS|DSAlgo|PDC|all&threshold=K
-//	GET /api/types?group=...&k=K
-//	GET /api/figures/{id}[?svg=name.svg]
+//	GET /api/v1/courses?limit=N&offset=M
+//	GET /api/v1/courses/{id}
+//	GET /api/v1/courses/{id}/materials
+//	GET /api/v1/courses/{id}/anchors
+//	GET /api/v1/courses/{id}/audit
+//	GET /api/v1/courses/{id}/pdcmaterials?limit=N
+//	GET /api/v1/search?tags=...&prefix=...&author=...&limit=N&offset=M
+//	GET /api/v1/agreement?group=CS1|DS|DSAlgo|PDC|all&threshold=K
+//	GET /api/v1/types?group=...&k=K
+//	GET /api/v1/cluster?group=...&k=K
+//	GET /api/v1/figures/{id}[?svg=name.svg]
+//	GET /debug/metrics
+//
+// Legacy /api/... paths permanently redirect to /api/v1/... .
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"csmaterials/internal/server"
@@ -32,19 +44,52 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache-size", server.DefaultCacheSize, "analysis cache capacity in entries (negative disables retention)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	flag.Parse()
 
-	s, err := server.New()
+	logger := log.New(os.Stderr, "serve ", log.LstdFlags|log.LUTC)
+	s, err := server.NewWithOptions(server.Options{CacheSize: *cacheSize, Logger: logger})
 	if err != nil {
-		log.Fatalf("serve: %v", err)
+		logger.Fatalf("startup: %v", err)
 	}
+
+	const timeoutBody = `{"error":{"code":"timeout","message":"request timed out"}}`
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s,
+		Handler:           http.TimeoutHandler(s, *requestTimeout, timeoutBody),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		// The handler deadline fires first; leave headroom to flush.
+		WriteTimeout: *requestTimeout + 5*time.Second,
+		IdleTimeout:  2 * time.Minute,
+		ErrorLog:     logger,
 	}
-	fmt.Printf("csmaterials API listening on %s\n", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Propagate the signal context into every request so in-flight
+	// handlers observe cancellation during shutdown.
+	srv.BaseContext = func(net.Listener) context.Context { return ctx }
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		logger.Printf("shutdown: signal received, draining for up to %s", *shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v (forcing close)", err)
+			_ = srv.Close()
+		}
+	}()
+
+	logger.Printf("csmaterials API listening on %s (cache=%d entries, request timeout %s)", *addr, *cacheSize, *requestTimeout)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("serve: %v", err)
+		logger.Fatalf("serve: %v", err)
 	}
+	<-done
+	logger.Printf("shutdown: complete")
 }

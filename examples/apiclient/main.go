@@ -1,0 +1,148 @@
+// Apiclient: drive the v1 HTTP API end-to-end against an in-process
+// httptest.Server — paginated course listing, a course's anchor
+// recommendations, the cached NNMF typing (watch meta.cache flip from
+// miss to hit), a legacy-path redirect, and the /debug/metrics report.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"csmaterials/internal/server"
+	"csmaterials/internal/serving"
+)
+
+// envelope mirrors the v1 {"data","meta"} response shape.
+type envelope struct {
+	Data json.RawMessage `json:"data"`
+	Meta struct {
+		Total  int    `json:"total"`
+		Limit  int    `json:"limit"`
+		Offset int    `json:"offset"`
+		Cache  string `json:"cache"`
+		Key    string `json:"key"`
+	} `json:"meta"`
+}
+
+func getEnvelope(base, path string) (envelope, error) {
+	var e envelope
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return e, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return e, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return e, fmt.Errorf("GET %s: %s\n%s", path, resp.Status, body)
+	}
+	return e, json.Unmarshal(body, &e)
+}
+
+func main() {
+	s, err := server.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	fmt.Printf("in-process API at %s\n\n", ts.URL)
+
+	// 1. Paginated course listing.
+	e, err := getEnvelope(ts.URL, "/api/v1/courses?limit=5&offset=0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var courses []struct {
+		ID    string `json:"id"`
+		Name  string `json:"name"`
+		Group string `json:"group"`
+	}
+	if err := json.Unmarshal(e.Data, &courses); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("courses page 1 (total %d, showing %d):\n", e.Meta.Total, len(courses))
+	for _, c := range courses {
+		fmt.Printf("  %-22s %-6s %s\n", c.ID, c.Group, c.Name)
+	}
+
+	// 2. Anchor-point recommendations for one course (§5.2).
+	e, err = getEnvelope(ts.URL, "/api/v1/courses/"+courses[0].ID+"/anchors")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var anchors []struct {
+		Rule  string  `json:"rule"`
+		Title string  `json:"title"`
+		Score float64 `json:"score"`
+	}
+	if err := json.Unmarshal(e.Data, &anchors); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop anchor recommendations for %s:\n", courses[0].ID)
+	for i, a := range anchors {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %.2f  %-24s %s\n", a.Score, a.Rule, a.Title)
+	}
+
+	// 3. The cached NNMF typing: the first request computes, the
+	// second is served from the LRU cache.
+	for i := 1; i <= 2; i++ {
+		e, err = getEnvelope(ts.URL, "/api/v1/types?group=cs1&k=3")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntypes request %d: cache=%s key=%s\n", i, e.Meta.Cache, e.Meta.Key)
+	}
+	var typing struct {
+		K     int `json:"k"`
+		Types []struct {
+			Label string `json:"label"`
+		} `json:"types"`
+	}
+	if err := json.Unmarshal(e.Data, &typing); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CS1 splits into %d types:", typing.K)
+	for _, t := range typing.Types {
+		fmt.Printf(" %q", t.Label)
+	}
+	fmt.Println()
+
+	// 4. Legacy paths still work via permanent redirect.
+	resp, err := http.Get(ts.URL + "/api/agreement?group=CS1&threshold=4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := resp.Request.URL.Path
+	resp.Body.Close()
+	fmt.Printf("\nlegacy /api/agreement redirected to %s (%s)\n", final, resp.Status)
+
+	// 5. Observability: per-route counters and cache accounting.
+	resp, err = http.Get(ts.URL + "/debug/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snap serving.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n/debug/metrics:")
+	for route, rs := range snap.Routes {
+		fmt.Printf("  %-32s count=%d p99=%.1fms\n", route, rs.Count, rs.P99MS)
+	}
+	if snap.Cache != nil {
+		fmt.Printf("  cache: hits=%d misses=%d size=%d/%d\n",
+			snap.Cache.Hits, snap.Cache.Misses, snap.Cache.Size, snap.Cache.Capacity)
+	}
+}

@@ -1,16 +1,24 @@
-// Package server exposes the CS Materials reproduction as a JSON HTTP
-// API, mirroring the fact that CS Materials itself is a public web
-// resource (§3.1): course listings and details, material search, the
-// agreement and factorization analyses, anchor-point recommendations,
-// audits, and the regenerated paper figures.
+// Package server exposes the CS Materials reproduction as a versioned
+// JSON HTTP API, mirroring the fact that CS Materials itself is a
+// public web resource (§3.1): course listings and details, material
+// search, the agreement and factorization analyses, anchor-point
+// recommendations, audits, and the regenerated paper figures.
 //
-// The server is read-only (the dataset is deterministic) and built on
-// net/http only.
+// The v1 API lives under /api/v1/ and answers every request with a
+// {"data": ..., "meta": {...}} envelope; errors use
+// {"error": {"code", "message"}}. Legacy /api/... paths permanently
+// redirect to their /api/v1/... equivalents.
+//
+// The server is read-only and the dataset deterministic, so analysis
+// results are cached forever (bounded by size) in internal/serving's
+// LRU cache; concurrent identical requests collapse into a single
+// computation via singleflight. Per-route metrics are served at
+// GET /debug/metrics. Built on net/http only.
 package server
 
 import (
-	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
@@ -25,9 +33,26 @@ import (
 	"csmaterials/internal/dataset"
 	"csmaterials/internal/factorize"
 	"csmaterials/internal/materials"
+	"csmaterials/internal/nnmf"
 	"csmaterials/internal/ontology"
 	"csmaterials/internal/search"
+	"csmaterials/internal/serving"
 )
+
+// DefaultCacheSize bounds the analysis result cache when Options does
+// not say otherwise.
+const DefaultCacheSize = 256
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize bounds the analysis result cache in entries. Zero
+	// means DefaultCacheSize; a negative value disables retention
+	// (singleflight deduplication still applies).
+	CacheSize int
+	// Logger receives access logs and panic stacks; nil disables
+	// logging (useful in tests and benchmarks).
+	Logger *log.Logger
+}
 
 // Server holds the shared read-only state behind the handlers.
 type Server struct {
@@ -35,114 +60,245 @@ type Server struct {
 	engine      *search.Engine
 	recommender *anchor.Recommender
 	mux         *http.ServeMux
+	handler     http.Handler
+	cache       *serving.Cache
+	metrics     *serving.Metrics
+	logger      *log.Logger
+
+	// analyzeTypes is factorize.Analyze, injectable so tests can count
+	// underlying calls through the cache/singleflight path.
+	analyzeTypes func([]*materials.Course, int, nnmf.Options, ...*ontology.Guideline) (*factorize.Model, error)
 }
 
-// New builds a server over the synthesized dataset.
-func New() (*Server, error) {
+// New builds a server over the synthesized dataset with defaults.
+func New() (*Server, error) { return NewWithOptions(Options{}) }
+
+// NewWithOptions builds a server with explicit serving options.
+func NewWithOptions(o Options) (*Server, error) {
 	rec, err := anchor.NewRecommender(ontology.CS2013(), ontology.PDC12())
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		repo:        dataset.Repository(),
-		engine:      search.NewEngine(dataset.Repository()),
-		recommender: rec,
-		mux:         http.NewServeMux(),
+	size := o.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
 	}
+	s := &Server{
+		repo:         dataset.Repository(),
+		engine:       search.NewEngine(dataset.Repository()),
+		recommender:  rec,
+		mux:          http.NewServeMux(),
+		cache:        serving.NewCache(size),
+		metrics:      serving.NewMetrics(),
+		logger:       o.Logger,
+		analyzeTypes: factorize.Analyze,
+	}
+	s.metrics.ObserveCache(s.cache)
 	s.routes()
+	s.handler = serving.Recover(s.logger, serving.AccessLog(s.logger, http.HandlerFunc(s.route)))
 	return s, nil
 }
 
+// Metrics exposes the metrics registry (for cmd/serve and tests).
+func (s *Server) Metrics() *serving.Metrics { return s.metrics }
+
+// Cache exposes the result cache (for benchmarks and tests).
+func (s *Server) Cache() *serving.Cache { return s.cache }
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/api/courses", s.handleCourses)
-	s.mux.HandleFunc("/api/courses/", s.handleCourse) // /api/courses/{id}[/anchors|/audit|/materials|/pdcmaterials]
-	s.mux.HandleFunc("/api/search", s.handleSearch)
-	s.mux.HandleFunc("/api/agreement", s.handleAgreement)
-	s.mux.HandleFunc("/api/types", s.handleTypes)
-	s.mux.HandleFunc("/api/figures/", s.handleFigure) // /api/figures/{id}
-	s.mux.HandleFunc("/api/cluster", s.handleCluster)
+	s.handle("GET /healthz", http.HandlerFunc(s.handleHealth))
+	s.handle("GET /api/v1/courses", http.HandlerFunc(s.handleCourses))
+	s.handle("GET /api/v1/courses/{id}", http.HandlerFunc(s.handleCourse))
+	s.handle("GET /api/v1/courses/{id}/{view}", http.HandlerFunc(s.handleCourseView))
+	s.handle("GET /api/v1/search", http.HandlerFunc(s.handleSearch))
+	s.handle("GET /api/v1/agreement", http.HandlerFunc(s.handleAgreement))
+	s.handle("GET /api/v1/types", http.HandlerFunc(s.handleTypes))
+	s.handle("GET /api/v1/cluster", http.HandlerFunc(s.handleCluster))
+	s.handle("GET /api/v1/figures/{id}", http.HandlerFunc(s.handleFigure))
+	s.handle("GET /debug/metrics", s.metrics.Handler())
+	s.handle("/api/", http.HandlerFunc(s.handleLegacy))
 }
 
-func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
-	if !methodGuard(w, r) {
+// handle registers pattern with per-route instrumentation.
+func (s *Server) handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, serving.Instrument(s.metrics, pattern, h))
+}
+
+// route dispatches through the mux, replacing its plain-text 404/405
+// responses with the API's JSON error envelope.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	if _, pattern := s.mux.Handler(r); pattern == "" {
+		serving.Instrument(s.metrics, "(unmatched)", http.HandlerFunc(s.handleUnmatched)).ServeHTTP(w, r)
 		return
 	}
-	ids, err := groupCourseIDs(r.URL.Query().Get("group"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	d, err := cluster.Build(dataset.CoursesByID(ids), cluster.Average)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	k := 4
-	if v := r.URL.Query().Get("k"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "bad k %q", v)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleUnmatched(w http.ResponseWriter, r *http.Request) {
+	// The API is GET-only: if the path matches a real route under GET,
+	// the original method was the problem. The method-less legacy
+	// "/api/" catch-all does not count as a real route here.
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		probe := r.Clone(r.Context())
+		probe.Method = http.MethodGet
+		if _, pattern := s.mux.Handler(probe); pattern != "" && pattern != "/api/" {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "method %s not allowed", r.Method)
 			return
 		}
-		k = n
 	}
-	clusters, err := d.CutK(k)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	writeError(w, http.StatusNotFound, "not_found", "no such endpoint %s", r.URL.Path)
+}
+
+// handleLegacy permanently redirects pre-v1 /api/... paths to their
+// /api/v1/... equivalents, preserving the query string.
+func (s *Server) handleLegacy(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/")
+	if rest == "v1" || strings.HasPrefix(rest, "v1/") {
+		// A /api/v1/ path no specific pattern claimed: either a wrong
+		// method on a real route or an unknown endpoint.
+		s.handleUnmatched(w, r)
 		return
 	}
-	out := make([][]string, len(clusters))
-	for i, cl := range clusters {
-		for _, c := range cl {
-			out[i] = append(out[i], c.ID)
-		}
+	target := "/api/v1/" + rest
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"k": k, "linkage": d.Linkage.String(),
-		"clusters":   out,
-		"dendrogram": d.Render(),
-	})
+	http.Redirect(w, r, target, http.StatusPermanentRedirect)
 }
 
-// writeJSON writes v as indented JSON with the right content type.
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+// --- Envelope ------------------------------------------------------------
+
+// envelope is the uniform success shape of every v1 response.
+type envelope struct {
+	Data interface{} `json:"data"`
+	Meta interface{} `json:"meta"`
 }
 
-type apiError struct {
-	Error string `json:"error"`
+// ListMeta is the meta block of paginated list endpoints.
+type ListMeta struct {
+	Total  int `json:"total"`
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+// CacheMeta is the meta block of cached analysis endpoints.
+type CacheMeta struct {
+	// Cache is "hit" when the result was served without recomputing
+	// (retained entry or shared singleflight), "miss" otherwise.
+	Cache string `json:"cache"`
+	Key   string `json:"key"`
 }
 
-func methodGuard(w http.ResponseWriter, r *http.Request) bool {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
-		return false
+func cacheMeta(key string, served bool) CacheMeta {
+	if served {
+		return CacheMeta{Cache: "hit", Key: key}
 	}
-	return true
+	return CacheMeta{Cache: "miss", Key: key}
+}
+
+func writeData(w http.ResponseWriter, status int, data, meta interface{}) {
+	if meta == nil {
+		meta = struct{}{}
+	}
+	serving.WriteJSON(w, status, envelope{Data: data, Meta: meta})
+}
+
+// ErrorBody is the uniform error shape.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	serving.WriteJSON(w, status, errorEnvelope{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// httpError lets cached compute functions carry a status and code.
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func writeComputeError(w http.ResponseWriter, err error) {
+	if he, ok := err.(*httpError); ok {
+		writeError(w, he.status, he.code, "%s", he.msg)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+}
+
+// --- Query parameter parsing ---------------------------------------------
+
+// parseIntParam parses an integer query parameter, returning def when
+// absent and an error when malformed or below min.
+func parseIntParam(r *http.Request, name string, def, min int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < min {
+		return 0, fmt.Errorf("bad %s %q: want integer >= %d", name, v, min)
+	}
+	return n, nil
+}
+
+// parsePage parses limit/offset with strict validation.
+func parsePage(r *http.Request, defLimit int) (limit, offset int, err error) {
+	if limit, err = parseIntParam(r, "limit", defLimit, 1); err != nil {
+		return 0, 0, err
+	}
+	if offset, err = parseIntParam(r, "offset", 0, 0); err != nil {
+		return 0, 0, err
+	}
+	return limit, offset, nil
+}
+
+// pageBounds clips [offset, offset+limit) to n items.
+func pageBounds(n, limit, offset int) (lo, hi int) {
+	lo = offset
+	if lo > n {
+		lo = n
+	}
+	hi = lo + limit
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// --- Health --------------------------------------------------------------
+
+// HealthResponse is the /healthz data payload.
+type HealthResponse struct {
+	Status    string `json:"status"`
+	Courses   int    `json:"courses"`
+	Materials int    `json:"materials"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":    "ok",
-		"courses":   len(s.repo.Courses()),
-		"materials": s.repo.NumMaterials(),
-	})
+	writeData(w, http.StatusOK, HealthResponse{
+		Status:    "ok",
+		Courses:   len(s.repo.Courses()),
+		Materials: s.repo.NumMaterials(),
+	}, nil)
 }
 
-// courseSummary is the list-view shape.
-type courseSummary struct {
+// --- Courses -------------------------------------------------------------
+
+// CourseSummary is the list-view shape of a course.
+type CourseSummary struct {
 	ID          string `json:"id"`
 	Name        string `json:"name"`
 	Institution string `json:"institution,omitempty"`
@@ -153,8 +309,8 @@ type courseSummary struct {
 	Materials   int    `json:"materials"`
 }
 
-func summarize(c *materials.Course) courseSummary {
-	return courseSummary{
+func summarize(c *materials.Course) CourseSummary {
+	return CourseSummary{
 		ID: c.ID, Name: c.Name, Institution: c.Institution, Instructor: c.Instructor,
 		Group: string(c.Group), Secondary: string(c.SecondaryGroup),
 		Tags: len(c.TagSet()), Materials: len(c.Materials),
@@ -162,122 +318,182 @@ func summarize(c *materials.Course) courseSummary {
 }
 
 func (s *Server) handleCourses(w http.ResponseWriter, r *http.Request) {
-	if !methodGuard(w, r) {
+	limit, offset, err := parsePage(r, 20)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	var out []courseSummary
-	for _, c := range s.repo.Courses() {
+	cs := s.repo.Courses()
+	lo, hi := pageBounds(len(cs), limit, offset)
+	out := make([]CourseSummary, 0, hi-lo)
+	for _, c := range cs[lo:hi] {
 		out = append(out, summarize(c))
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeData(w, http.StatusOK, out, ListMeta{Total: len(cs), Limit: limit, Offset: offset})
+}
+
+// CourseDetail is the single-course data payload.
+type CourseDetail struct {
+	Course CourseSummary `json:"course"`
+	Tags   []string      `json:"tags"`
+}
+
+func (s *Server) course(w http.ResponseWriter, r *http.Request) *materials.Course {
+	id := r.PathValue("id")
+	c := s.repo.Course(id)
+	if c == nil {
+		writeError(w, http.StatusNotFound, "not_found", "unknown course %q", id)
+	}
+	return c
 }
 
 func (s *Server) handleCourse(w http.ResponseWriter, r *http.Request) {
-	if !methodGuard(w, r) {
-		return
-	}
-	rest := strings.TrimPrefix(r.URL.Path, "/api/courses/")
-	parts := strings.SplitN(rest, "/", 2)
-	c := s.repo.Course(parts[0])
+	c := s.course(w, r)
 	if c == nil {
-		writeError(w, http.StatusNotFound, "unknown course %q", parts[0])
 		return
 	}
-	sub := ""
-	if len(parts) == 2 {
-		sub = parts[1]
+	writeData(w, http.StatusOK, CourseDetail{Course: summarize(c), Tags: c.SortedTags()}, nil)
+}
+
+// AnchorRec is one §5.2 anchor-point recommendation.
+type AnchorRec struct {
+	Rule     string   `json:"rule"`
+	Title    string   `json:"title"`
+	Score    float64  `json:"score"`
+	Audience string   `json:"audience"`
+	Activity string   `json:"activity"`
+	Matched  []string `json:"matched_anchors"`
+	Teaches  []string `json:"teaches"`
+}
+
+// AuditUnit is one covered CS2013 unit in an audit report.
+type AuditUnit struct {
+	Unit     string  `json:"unit"`
+	Tier     string  `json:"tier"`
+	Covered  int     `json:"covered"`
+	Total    int     `json:"total"`
+	Fraction float64 `json:"fraction"`
+}
+
+// AuditResponse is the course audit data payload.
+type AuditResponse struct {
+	Core1Coverage     float64     `json:"core1_coverage"`
+	Core2Coverage     float64     `json:"core2_coverage"`
+	Units             []AuditUnit `json:"units"`
+	PDCCoreCovered    int         `json:"pdc_core_covered"`
+	PDCCoreTotal      int         `json:"pdc_core_total"`
+	PrerequisiteScore float64     `json:"prerequisite_score"`
+}
+
+// PDCRec is one public-catalog material recommendation.
+type PDCRec struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Source string   `json:"source"`
+	Score  float64  `json:"score"`
+	NewPDC int      `json:"new_pdc_entries"`
+	Shared []string `json:"shared_tags"`
+}
+
+func (s *Server) handleCourseView(w http.ResponseWriter, r *http.Request) {
+	c := s.course(w, r)
+	if c == nil {
+		return
 	}
-	switch sub {
-	case "":
-		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"course": summarize(c),
-			"tags":   c.SortedTags(),
-		})
+	switch view := r.PathValue("view"); view {
 	case "materials":
-		writeJSON(w, http.StatusOK, c.Materials)
+		writeData(w, http.StatusOK, c.Materials, ListMeta{Total: len(c.Materials), Limit: len(c.Materials), Offset: 0})
 	case "anchors":
-		recs := s.recommender.Recommend(c)
-		type rec struct {
-			Rule     string   `json:"rule"`
-			Title    string   `json:"title"`
-			Score    float64  `json:"score"`
-			Audience string   `json:"audience"`
-			Activity string   `json:"activity"`
-			Matched  []string `json:"matched_anchors"`
-			Teaches  []string `json:"teaches"`
-		}
-		out := make([]rec, 0, len(recs))
-		for _, rc := range recs {
-			out = append(out, rec{
-				Rule: rc.Rule.ID, Title: rc.Rule.Title, Score: rc.Score,
-				Audience: rc.Rule.Audience, Activity: rc.Rule.Activity,
-				Matched: rc.MatchedAnchors, Teaches: rc.Rule.Teaches,
-			})
-		}
-		writeJSON(w, http.StatusOK, out)
-	case "audit":
-		rep := audit.Audit(c, ontology.CS2013())
-		readiness := audit.AssessPDCReadiness(c)
-		type unit struct {
-			Unit     string  `json:"unit"`
-			Tier     string  `json:"tier"`
-			Covered  int     `json:"covered"`
-			Total    int     `json:"total"`
-			Fraction float64 `json:"fraction"`
-		}
-		var units []unit
-		for _, u := range rep.Units {
-			if u.Covered == 0 {
-				continue
+		v, served, err := s.cache.Do("anchors|"+c.ID, func() (interface{}, error) {
+			recs := s.recommender.Recommend(c)
+			out := make([]AnchorRec, 0, len(recs))
+			for _, rc := range recs {
+				out = append(out, AnchorRec{
+					Rule: rc.Rule.ID, Title: rc.Rule.Title, Score: rc.Score,
+					Audience: rc.Rule.Audience, Activity: rc.Rule.Activity,
+					Matched: rc.MatchedAnchors, Teaches: rc.Rule.Teaches,
+				})
 			}
-			units = append(units, unit{
-				Unit: u.Unit.ID, Tier: u.Tier.String(),
-				Covered: u.Covered, Total: u.Total, Fraction: u.Fraction(),
-			})
-		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"core1_coverage":     rep.TierCoverage(ontology.TierCore1),
-			"core2_coverage":     rep.TierCoverage(ontology.TierCore2),
-			"units":              units,
-			"pdc_core_covered":   readiness.CoreCovered,
-			"pdc_core_total":     readiness.CoreTotal,
-			"prerequisite_score": readiness.PrerequisiteScore(),
+			return out, nil
 		})
+		if err != nil {
+			writeComputeError(w, err)
+			return
+		}
+		writeData(w, http.StatusOK, v.([]AnchorRec), cacheMeta("anchors|"+c.ID, served))
+	case "audit":
+		v, served, err := s.cache.Do("audit|"+c.ID, func() (interface{}, error) {
+			rep := audit.Audit(c, ontology.CS2013())
+			readiness := audit.AssessPDCReadiness(c)
+			units := make([]AuditUnit, 0, len(rep.Units))
+			for _, u := range rep.Units {
+				if u.Covered == 0 {
+					continue
+				}
+				units = append(units, AuditUnit{
+					Unit: u.Unit.ID, Tier: u.Tier.String(),
+					Covered: u.Covered, Total: u.Total, Fraction: u.Fraction(),
+				})
+			}
+			return &AuditResponse{
+				Core1Coverage:     rep.TierCoverage(ontology.TierCore1),
+				Core2Coverage:     rep.TierCoverage(ontology.TierCore2),
+				Units:             units,
+				PDCCoreCovered:    readiness.CoreCovered,
+				PDCCoreTotal:      readiness.CoreTotal,
+				PrerequisiteScore: readiness.PrerequisiteScore(),
+			}, nil
+		})
+		if err != nil {
+			writeComputeError(w, err)
+			return
+		}
+		writeData(w, http.StatusOK, v.(*AuditResponse), cacheMeta("audit|"+c.ID, served))
 	case "pdcmaterials":
-		recs := catalog.Recommend(c, parseLimit(r, 10))
-		type rec struct {
-			ID     string   `json:"id"`
-			Title  string   `json:"title"`
-			Source string   `json:"source"`
-			Score  float64  `json:"score"`
-			NewPDC int      `json:"new_pdc_entries"`
-			Shared []string `json:"shared_tags"`
+		limit, err := parseIntParam(r, "limit", 10, 1)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+			return
 		}
-		out := make([]rec, 0, len(recs))
-		for _, rc := range recs {
-			out = append(out, rec{
-				ID: rc.Entry.Material.ID, Title: rc.Entry.Material.Title,
-				Source: string(rc.Entry.Source), Score: rc.Score,
-				NewPDC: rc.NewPDC, Shared: rc.SharedTags,
-			})
+		key := fmt.Sprintf("pdcmaterials|%s|%d", c.ID, limit)
+		v, served, err := s.cache.Do(key, func() (interface{}, error) {
+			recs := catalog.Recommend(c, limit)
+			out := make([]PDCRec, 0, len(recs))
+			for _, rc := range recs {
+				out = append(out, PDCRec{
+					ID: rc.Entry.Material.ID, Title: rc.Entry.Material.Title,
+					Source: string(rc.Entry.Source), Score: rc.Score,
+					NewPDC: rc.NewPDC, Shared: rc.SharedTags,
+				})
+			}
+			return out, nil
+		})
+		if err != nil {
+			writeComputeError(w, err)
+			return
 		}
-		writeJSON(w, http.StatusOK, out)
+		writeData(w, http.StatusOK, v.([]PDCRec), cacheMeta(key, served))
 	default:
-		writeError(w, http.StatusNotFound, "unknown course endpoint %q", sub)
+		writeError(w, http.StatusNotFound, "not_found", "unknown course view %q", view)
 	}
 }
 
-func parseLimit(r *http.Request, def int) int {
-	if v := r.URL.Query().Get("limit"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			return n
-		}
-	}
-	return def
+// --- Search --------------------------------------------------------------
+
+// SearchHit is one material search result.
+type SearchHit struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Type    string   `json:"type"`
+	Author  string   `json:"author,omitempty"`
+	Score   float64  `json:"score"`
+	Matched []string `json:"matched_tags,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	if !methodGuard(w, r) {
+	limit, offset, err := parsePage(r, 20)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	q := search.Query{
@@ -285,7 +501,6 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Author:      r.URL.Query().Get("author"),
 		Language:    r.URL.Query().Get("language"),
 		CourseLevel: r.URL.Query().Get("level"),
-		Limit:       parseLimit(r, 20),
 	}
 	if tags := r.URL.Query().Get("tags"); tags != "" {
 		q.Tags = strings.Split(tags, ",")
@@ -295,27 +510,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(q.Tags) == 0 && len(q.TagPrefixes) == 0 && q.Text == "" &&
 		q.Author == "" && q.Language == "" && q.CourseLevel == "" {
-		writeError(w, http.StatusBadRequest, "empty query: pass tags, prefix, text, or a facet")
+		writeError(w, http.StatusBadRequest, "bad_request", "empty query: pass tags, prefix, text, or a facet")
 		return
 	}
-	results := s.engine.Search(q)
-	type hit struct {
-		ID      string   `json:"id"`
-		Title   string   `json:"title"`
-		Type    string   `json:"type"`
-		Author  string   `json:"author,omitempty"`
-		Score   float64  `json:"score"`
-		Matched []string `json:"matched_tags,omitempty"`
-	}
-	out := make([]hit, 0, len(results))
-	for _, res := range results {
-		out = append(out, hit{
+	results := s.engine.Search(q) // Limit 0: rank everything, then paginate
+	lo, hi := pageBounds(len(results), limit, offset)
+	out := make([]SearchHit, 0, hi-lo)
+	for _, res := range results[lo:hi] {
+		out = append(out, SearchHit{
 			ID: res.Material.ID, Title: res.Material.Title, Type: string(res.Material.Type),
 			Author: res.Material.Author, Score: res.Score, Matched: res.MatchedTags,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeData(w, http.StatusOK, out, ListMeta{Total: len(results), Limit: limit, Offset: offset})
 }
+
+// --- Group-based analyses ------------------------------------------------
 
 func groupCourseIDs(group string) ([]string, error) {
 	switch strings.ToLower(group) {
@@ -334,139 +544,228 @@ func groupCourseIDs(group string) ([]string, error) {
 	}
 }
 
-func (s *Server) handleAgreement(w http.ResponseWriter, r *http.Request) {
-	if !methodGuard(w, r) {
-		return
+// normGroup canonicalizes the group parameter for cache keys.
+func normGroup(group string) string {
+	g := strings.ToLower(group)
+	if g == "" {
+		g = "all"
 	}
-	ids, err := groupCourseIDs(r.URL.Query().Get("group"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	a, err := agreement.Analyze(dataset.CoursesByID(ids), ontology.CS2013(), ontology.PDC12())
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	atLeast := map[string]int{}
-	for k := 2; k <= len(ids); k++ {
-		atLeast[strconv.Itoa(k)] = a.AtLeast(k)
-	}
-	threshold := 2
-	if v := r.URL.Query().Get("threshold"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			threshold = n
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"courses":   ids,
-		"tags":      a.NumTags(),
-		"at_least":  atLeast,
-		"ka_span":   a.KASpan(threshold),
-		"ka_counts": a.KACounts(threshold),
-		"threshold": threshold,
-	})
+	return g
 }
 
-func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
-	if !methodGuard(w, r) {
-		return
-	}
+// AgreementResponse is the /api/v1/agreement data payload.
+type AgreementResponse struct {
+	Courses   []string       `json:"courses"`
+	Tags      int            `json:"tags"`
+	AtLeast   map[string]int `json:"at_least"`
+	KASpan    []string       `json:"ka_span"`
+	KACounts  map[string]int `json:"ka_counts"`
+	Threshold int            `json:"threshold"`
+}
+
+func (s *Server) handleAgreement(w http.ResponseWriter, r *http.Request) {
 	group := r.URL.Query().Get("group")
 	ids, err := groupCourseIDs(group)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	k := 3
-	if strings.EqualFold(group, "all") || group == "" {
-		k = 4
-	}
-	if v := r.URL.Query().Get("k"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "bad k %q", v)
-			return
-		}
-		k = n
-	}
-	model, err := factorize.Analyze(dataset.CoursesByID(ids), k, factorize.PaperOptions(),
-		ontology.CS2013(), ontology.PDC12())
+	threshold, err := parseIntParam(r, "threshold", 2, 1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	type courseType struct {
-		Course   string    `json:"course"`
-		Dominant int       `json:"dominant_type"`
-		Shares   []float64 `json:"shares"`
-		Evenness float64   `json:"evenness"`
-	}
-	var courses []courseType
-	for i, c := range model.Courses {
-		courses = append(courses, courseType{
-			Course: c.ID, Dominant: model.DominantType(i),
-			Shares: model.TypeShare(i), Evenness: model.Evenness(i),
-		})
-	}
-	types := make([]map[string]interface{}, k)
-	for t := 0; t < k; t++ {
-		shares := model.KAShare(t)
-		kas := make(map[string]float64, len(shares))
-		for ka, v := range shares {
-			kas[ka] = v
+	key := fmt.Sprintf("agreement|%s|%d", normGroup(group), threshold)
+	v, served, err := s.cache.Do(key, func() (interface{}, error) {
+		a, err := agreement.Analyze(dataset.CoursesByID(ids), ontology.CS2013(), ontology.PDC12())
+		if err != nil {
+			return nil, err
 		}
-		top := model.TopTags(t, 5)
-		topTags := make([]string, len(top))
-		for i, tw := range top {
-			topTags[i] = tw.Tag
+		atLeast := make(map[string]int, len(ids))
+		for k := 2; k <= len(ids); k++ {
+			atLeast[strconv.Itoa(k)] = a.AtLeast(k)
 		}
-		types[t] = map[string]interface{}{
-			"label":    model.TypeLabel(t),
-			"ka_share": kas,
-			"top_tags": topTags,
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"k": k, "courses": courses, "types": types,
-		"redundancy": model.Redundancy(),
+		return &AgreementResponse{
+			Courses:   ids,
+			Tags:      a.NumTags(),
+			AtLeast:   atLeast,
+			KASpan:    a.KASpan(threshold),
+			KACounts:  a.KACounts(threshold),
+			Threshold: threshold,
+		}, nil
 	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeData(w, http.StatusOK, v.(*AgreementResponse), cacheMeta(key, served))
+}
+
+// CourseType is one course's NNMF typing.
+type CourseType struct {
+	Course   string    `json:"course"`
+	Dominant int       `json:"dominant_type"`
+	Shares   []float64 `json:"shares"`
+	Evenness float64   `json:"evenness"`
+}
+
+// TypeSummary describes one discovered course type.
+type TypeSummary struct {
+	Label   string             `json:"label"`
+	KAShare map[string]float64 `json:"ka_share"`
+	TopTags []string           `json:"top_tags"`
+}
+
+// TypesResponse is the /api/v1/types data payload.
+type TypesResponse struct {
+	K          int           `json:"k"`
+	Courses    []CourseType  `json:"courses"`
+	Types      []TypeSummary `json:"types"`
+	Redundancy float64       `json:"redundancy"`
+}
+
+func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
+	group := r.URL.Query().Get("group")
+	ids, err := groupCourseIDs(group)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	defK := 3
+	if normGroup(group) == "all" {
+		defK = 4
+	}
+	k, err := parseIntParam(r, "k", defK, 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	key := fmt.Sprintf("types|%s|%d", normGroup(group), k)
+	v, served, err := s.cache.Do(key, func() (interface{}, error) {
+		model, err := s.analyzeTypes(dataset.CoursesByID(ids), k, factorize.PaperOptions(),
+			ontology.CS2013(), ontology.PDC12())
+		if err != nil {
+			return nil, &httpError{status: http.StatusBadRequest, code: "bad_request", msg: err.Error()}
+		}
+		courses := make([]CourseType, 0, len(model.Courses))
+		for i, c := range model.Courses {
+			courses = append(courses, CourseType{
+				Course: c.ID, Dominant: model.DominantType(i),
+				Shares: model.TypeShare(i), Evenness: model.Evenness(i),
+			})
+		}
+		types := make([]TypeSummary, k)
+		for t := 0; t < k; t++ {
+			shares := model.KAShare(t)
+			kas := make(map[string]float64, len(shares))
+			for ka, v := range shares {
+				kas[ka] = v
+			}
+			top := model.TopTags(t, 5)
+			topTags := make([]string, len(top))
+			for i, tw := range top {
+				topTags[i] = tw.Tag
+			}
+			types[t] = TypeSummary{Label: model.TypeLabel(t), KAShare: kas, TopTags: topTags}
+		}
+		return &TypesResponse{K: k, Courses: courses, Types: types, Redundancy: model.Redundancy()}, nil
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeData(w, http.StatusOK, v.(*TypesResponse), cacheMeta(key, served))
+}
+
+// ClusterResponse is the /api/v1/cluster data payload.
+type ClusterResponse struct {
+	K          int        `json:"k"`
+	Linkage    string     `json:"linkage"`
+	Clusters   [][]string `json:"clusters"`
+	Dendrogram string     `json:"dendrogram"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	group := r.URL.Query().Get("group")
+	ids, err := groupCourseIDs(group)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	k, err := parseIntParam(r, "k", 4, 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	key := fmt.Sprintf("cluster|%s|%d", normGroup(group), k)
+	v, served, err := s.cache.Do(key, func() (interface{}, error) {
+		d, err := cluster.Build(dataset.CoursesByID(ids), cluster.Average)
+		if err != nil {
+			return nil, err
+		}
+		clusters, err := d.CutK(k)
+		if err != nil {
+			return nil, &httpError{status: http.StatusBadRequest, code: "bad_request", msg: err.Error()}
+		}
+		out := make([][]string, len(clusters))
+		for i, cl := range clusters {
+			out[i] = make([]string, 0, len(cl))
+			for _, c := range cl {
+				out[i] = append(out[i], c.ID)
+			}
+		}
+		return &ClusterResponse{
+			K: k, Linkage: d.Linkage.String(),
+			Clusters: out, Dendrogram: d.Render(),
+		}, nil
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeData(w, http.StatusOK, v.(*ClusterResponse), cacheMeta(key, served))
+}
+
+// --- Figures -------------------------------------------------------------
+
+// FigureResponse is the /api/v1/figures/{id} data payload.
+type FigureResponse struct {
+	ID   string   `json:"id"`
+	Text string   `json:"text"`
+	SVGs []string `json:"svgs"`
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
-	if !methodGuard(w, r) {
-		return
-	}
-	id := strings.TrimPrefix(r.URL.Path, "/api/figures/")
-	for _, f := range core.Figures() {
-		if f.ID != id {
-			continue
-		}
-		art, err := f.Gen()
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		svgNames := make([]string, 0, len(art.SVGs))
-		for name := range art.SVGs {
-			svgNames = append(svgNames, name)
-		}
-		sort.Strings(svgNames)
-		// Serve one SVG directly when requested.
-		if svg := r.URL.Query().Get("svg"); svg != "" {
-			body, ok := art.SVGs[svg]
-			if !ok {
-				writeError(w, http.StatusNotFound, "figure %s has no SVG %q", id, svg)
-				return
+	id := r.PathValue("id")
+	key := "figure|" + id
+	v, served, err := s.cache.Do(key, func() (interface{}, error) {
+		for _, f := range core.Figures() {
+			if f.ID == id {
+				return f.Gen()
 			}
-			w.Header().Set("Content-Type", "image/svg+xml")
-			_, _ = w.Write([]byte(body))
-			return
 		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"id": art.ID, "text": art.Text, "svgs": svgNames,
-		})
+		return nil, &httpError{status: http.StatusNotFound, code: "not_found", msg: fmt.Sprintf("unknown figure %q", id)}
+	})
+	if err != nil {
+		writeComputeError(w, err)
 		return
 	}
-	writeError(w, http.StatusNotFound, "unknown figure %q", id)
+	art := v.(*core.Artifact)
+	// Serve one SVG directly when requested.
+	if svg := r.URL.Query().Get("svg"); svg != "" {
+		body, ok := art.SVGs[svg]
+		if !ok {
+			writeError(w, http.StatusNotFound, "not_found", "figure %s has no SVG %q", id, svg)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml")
+		_, _ = w.Write([]byte(body))
+		return
+	}
+	svgNames := make([]string, 0, len(art.SVGs))
+	for name := range art.SVGs {
+		svgNames = append(svgNames, name)
+	}
+	sort.Strings(svgNames)
+	writeData(w, http.StatusOK, FigureResponse{ID: art.ID, Text: art.Text, SVGs: svgNames}, cacheMeta(key, served))
 }

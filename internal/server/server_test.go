@@ -7,9 +7,14 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"csmaterials/internal/factorize"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/nnmf"
+	"csmaterials/internal/ontology"
 )
 
-func newTestServer(t *testing.T) *httptest.Server {
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	s, err := New()
 	if err != nil {
@@ -17,7 +22,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
-	return ts
+	return s, ts
 }
 
 func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
@@ -34,6 +39,25 @@ func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte
 	return resp, body
 }
 
+// env is the generic decoded v1 envelope.
+type env struct {
+	Data json.RawMessage `json:"data"`
+	Meta struct {
+		Total  int    `json:"total"`
+		Limit  int    `json:"limit"`
+		Offset int    `json:"offset"`
+		Cache  string `json:"cache"`
+		Key    string `json:"key"`
+	} `json:"meta"`
+}
+
+type errEnv struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
 func decode(t *testing.T, data []byte, v interface{}) {
 	t.Helper()
 	if err := json.Unmarshal(data, v); err != nil {
@@ -41,69 +65,128 @@ func decode(t *testing.T, data []byte, v interface{}) {
 	}
 }
 
-func TestHealthz(t *testing.T) {
-	ts := newTestServer(t)
-	resp, body := get(t, ts, "/healthz")
-	if resp.StatusCode != 200 {
-		t.Fatalf("status %d", resp.StatusCode)
+// getEnvelope fetches path and decodes the success envelope, failing on
+// anything but wantStatus.
+func getEnvelope(t *testing.T, ts *httptest.Server, path string, wantStatus int) env {
+	t.Helper()
+	resp, body := get(t, ts, path)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d\n%s", path, resp.StatusCode, wantStatus, body)
 	}
+	var e env
+	decode(t, body, &e)
+	if e.Data == nil {
+		t.Fatalf("GET %s: no data field in envelope\n%s", path, body)
+	}
+	return e
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	e := getEnvelope(t, ts, "/healthz", 200)
 	var out struct {
 		Status    string `json:"status"`
 		Courses   int    `json:"courses"`
 		Materials int    `json:"materials"`
 	}
-	decode(t, body, &out)
+	decode(t, e.Data, &out)
 	if out.Status != "ok" || out.Courses != 20 || out.Materials < 400 {
 		t.Fatalf("health = %+v", out)
 	}
 }
 
-func TestListCourses(t *testing.T) {
-	ts := newTestServer(t)
-	resp, body := get(t, ts, "/api/courses")
-	if resp.StatusCode != 200 {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
+func TestListCoursesPagination(t *testing.T) {
+	_, ts := newTestServer(t)
+	e := getEnvelope(t, ts, "/api/v1/courses", 200)
 	var out []struct {
 		ID    string `json:"id"`
 		Group string `json:"group"`
 		Tags  int    `json:"tags"`
 	}
-	decode(t, body, &out)
-	if len(out) != 20 {
-		t.Fatalf("%d courses", len(out))
+	decode(t, e.Data, &out)
+	if len(out) != 20 || e.Meta.Total != 20 || e.Meta.Limit != 20 || e.Meta.Offset != 0 {
+		t.Fatalf("%d courses, meta = %+v", len(out), e.Meta)
 	}
 	if out[0].ID != "uncc-2214-krs" || out[0].Tags == 0 {
 		t.Fatalf("first course = %+v", out[0])
 	}
+
+	// Pagination edges: a window, the tail, and past-the-end.
+	e = getEnvelope(t, ts, "/api/v1/courses?limit=5&offset=18", 200)
+	decode(t, e.Data, &out)
+	if len(out) != 2 || e.Meta.Total != 20 || e.Meta.Limit != 5 || e.Meta.Offset != 18 {
+		t.Fatalf("tail page: %d courses, meta = %+v", len(out), e.Meta)
+	}
+	e = getEnvelope(t, ts, "/api/v1/courses?limit=5&offset=100", 200)
+	if string(e.Data) != "[]" {
+		t.Fatalf("past-the-end page data = %s, want []", e.Data)
+	}
+	first := getEnvelope(t, ts, "/api/v1/courses?limit=1", 200)
+	second := getEnvelope(t, ts, "/api/v1/courses?limit=1&offset=1", 200)
+	if string(first.Data) == string(second.Data) {
+		t.Fatal("offset=1 returned the same course as offset=0")
+	}
 }
 
-func TestCourseDetailAndSubresources(t *testing.T) {
-	ts := newTestServer(t)
-	resp, body := get(t, ts, "/api/courses/vcu-cmsc256-duke")
-	if resp.StatusCode != 200 {
-		t.Fatalf("status %d", resp.StatusCode)
+// TestBadQueryParams: malformed limit/offset/k/threshold are 400s with
+// the error envelope, not silently defaulted.
+func TestBadQueryParams(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, path string
+	}{
+		{"courses bad limit", "/api/v1/courses?limit=banana"},
+		{"courses zero limit", "/api/v1/courses?limit=0"},
+		{"courses negative offset", "/api/v1/courses?offset=-1"},
+		{"courses float limit", "/api/v1/courses?limit=1.5"},
+		{"search bad limit", "/api/v1/search?prefix=AL/&limit=nope"},
+		{"search bad offset", "/api/v1/search?prefix=AL/&offset=x"},
+		{"types bad k", "/api/v1/types?group=cs1&k=banana"},
+		{"types zero k", "/api/v1/types?group=cs1&k=0"},
+		{"agreement bad threshold", "/api/v1/agreement?group=cs1&threshold=banana"},
+		{"agreement zero threshold", "/api/v1/agreement?group=cs1&threshold=0"},
+		{"cluster zero k", "/api/v1/cluster?group=all&k=0"},
+		{"pdcmaterials bad limit", "/api/v1/courses/vcu-cmsc256-duke/pdcmaterials?limit=-3"},
+		{"types bad group", "/api/v1/types?group=bogus"},
+		{"agreement bad group", "/api/v1/agreement?group=bogus"},
+		{"cluster bad group", "/api/v1/cluster?group=bogus"},
+		{"search empty query", "/api/v1/search"},
 	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := get(t, ts, tc.path)
+			if resp.StatusCode != 400 {
+				t.Fatalf("status %d, want 400\n%s", resp.StatusCode, body)
+			}
+			var e errEnv
+			decode(t, body, &e)
+			if e.Error.Code != "bad_request" || e.Error.Message == "" {
+				t.Fatalf("error envelope = %+v", e)
+			}
+		})
+	}
+}
+
+func TestCourseDetailAndViews(t *testing.T) {
+	_, ts := newTestServer(t)
+	e := getEnvelope(t, ts, "/api/v1/courses/vcu-cmsc256-duke", 200)
 	var detail struct {
 		Course struct {
 			ID string `json:"id"`
 		} `json:"course"`
 		Tags []string `json:"tags"`
 	}
-	decode(t, body, &detail)
+	decode(t, e.Data, &detail)
 	if detail.Course.ID != "vcu-cmsc256-duke" || len(detail.Tags) < 50 {
 		t.Fatalf("detail = %+v (%d tags)", detail.Course, len(detail.Tags))
 	}
 
-	resp, body = get(t, ts, "/api/courses/vcu-cmsc256-duke/anchors")
-	if resp.StatusCode != 200 {
-		t.Fatalf("anchors status %d", resp.StatusCode)
-	}
+	e = getEnvelope(t, ts, "/api/v1/courses/vcu-cmsc256-duke/anchors", 200)
 	var recs []struct {
 		Rule  string  `json:"rule"`
 		Score float64 `json:"score"`
 	}
-	decode(t, body, &recs)
+	decode(t, e.Data, &recs)
 	found := false
 	for _, r := range recs {
 		if r.Rule == "thread-safe-types" {
@@ -114,109 +197,125 @@ func TestCourseDetailAndSubresources(t *testing.T) {
 		t.Fatalf("thread-safe-types not in VCU anchors: %+v", recs)
 	}
 
-	resp, body = get(t, ts, "/api/courses/vcu-cmsc256-duke/audit")
-	if resp.StatusCode != 200 {
-		t.Fatalf("audit status %d", resp.StatusCode)
-	}
+	e = getEnvelope(t, ts, "/api/v1/courses/vcu-cmsc256-duke/audit", 200)
 	var aud struct {
 		Core1 float64 `json:"core1_coverage"`
 		Units []struct {
 			Unit string `json:"unit"`
 		} `json:"units"`
 	}
-	decode(t, body, &aud)
+	decode(t, e.Data, &aud)
 	if aud.Core1 <= 0 || len(aud.Units) == 0 {
 		t.Fatalf("audit = %+v", aud)
 	}
 
-	resp, body = get(t, ts, "/api/courses/vcu-cmsc256-duke/pdcmaterials?limit=3")
-	if resp.StatusCode != 200 {
-		t.Fatalf("pdcmaterials status %d", resp.StatusCode)
-	}
+	e = getEnvelope(t, ts, "/api/v1/courses/vcu-cmsc256-duke/pdcmaterials?limit=3", 200)
 	var pdcm []struct {
 		ID string `json:"id"`
 	}
-	decode(t, body, &pdcm)
+	decode(t, e.Data, &pdcm)
 	if len(pdcm) == 0 || len(pdcm) > 3 {
 		t.Fatalf("pdcmaterials = %d entries", len(pdcm))
 	}
 
-	resp, body = get(t, ts, "/api/courses/vcu-cmsc256-duke/materials")
-	if resp.StatusCode != 200 {
-		t.Fatalf("materials status %d", resp.StatusCode)
-	}
+	e = getEnvelope(t, ts, "/api/v1/courses/vcu-cmsc256-duke/materials", 200)
 	var ms []struct {
 		ID string `json:"id"`
 	}
-	decode(t, body, &ms)
-	if len(ms) < 10 {
-		t.Fatalf("materials = %d", len(ms))
+	decode(t, e.Data, &ms)
+	if len(ms) < 10 || e.Meta.Total != len(ms) {
+		t.Fatalf("materials = %d, meta = %+v", len(ms), e.Meta)
 	}
 }
 
-func TestCourseNotFound(t *testing.T) {
-	ts := newTestServer(t)
-	resp, _ := get(t, ts, "/api/courses/ghost")
-	if resp.StatusCode != 404 {
-		t.Fatalf("status %d, want 404", resp.StatusCode)
+func TestNotFoundJSON(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, path string
+	}{
+		{"unknown course", "/api/v1/courses/ghost"},
+		{"unknown view", "/api/v1/courses/vcu-cmsc256-duke/bogus"},
+		{"unknown figure", "/api/v1/figures/99"},
+		{"unknown endpoint", "/api/v1/bogus"},
+		{"unregistered path", "/nope"},
 	}
-	resp, _ = get(t, ts, "/api/courses/vcu-cmsc256-duke/bogus")
-	if resp.StatusCode != 404 {
-		t.Fatalf("bad subresource status %d", resp.StatusCode)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := get(t, ts, tc.path)
+			if resp.StatusCode != 404 {
+				t.Fatalf("status %d, want 404\n%s", resp.StatusCode, body)
+			}
+			var e errEnv
+			decode(t, body, &e)
+			if e.Error.Code != "not_found" || e.Error.Message == "" {
+				t.Fatalf("error envelope = %+v", e)
+			}
+		})
 	}
 }
 
-func TestSearchEndpoint(t *testing.T) {
-	ts := newTestServer(t)
-	resp, body := get(t, ts, "/api/search?prefix=AL/basic-analysis/&limit=5")
-	if resp.StatusCode != 200 {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
+func TestSearchPagination(t *testing.T) {
+	_, ts := newTestServer(t)
+	e := getEnvelope(t, ts, "/api/v1/search?prefix=AL/basic-analysis/&limit=5", 200)
 	var hits []struct {
 		ID    string  `json:"id"`
 		Score float64 `json:"score"`
 	}
-	decode(t, body, &hits)
+	decode(t, e.Data, &hits)
 	if len(hits) == 0 || len(hits) > 5 {
 		t.Fatalf("hits = %d", len(hits))
 	}
-	// Empty query rejected.
-	resp, _ = get(t, ts, "/api/search")
-	if resp.StatusCode != 400 {
-		t.Fatalf("empty query status %d, want 400", resp.StatusCode)
+	if e.Meta.Total < len(hits) || e.Meta.Limit != 5 {
+		t.Fatalf("meta = %+v", e.Meta)
+	}
+	// Offset walks the ranked list: page 2 starts where page 1 ended.
+	all := getEnvelope(t, ts, "/api/v1/search?prefix=AL/basic-analysis/&limit=4&offset=0", 200)
+	var page1 []struct {
+		ID string `json:"id"`
+	}
+	decode(t, all.Data, &page1)
+	next := getEnvelope(t, ts, "/api/v1/search?prefix=AL/basic-analysis/&limit=4&offset=2", 200)
+	var page2 []struct {
+		ID string `json:"id"`
+	}
+	decode(t, next.Data, &page2)
+	if len(page1) < 4 || len(page2) < 1 || page1[2].ID != page2[0].ID {
+		t.Fatalf("offset window mismatch: page1=%+v page2=%+v", page1, page2)
+	}
+	// Past-the-end offsets return an empty array, never null.
+	e = getEnvelope(t, ts, "/api/v1/search?prefix=AL/basic-analysis/&offset=100000", 200)
+	if string(e.Data) != "[]" {
+		t.Fatalf("past-the-end data = %s, want []", e.Data)
 	}
 }
 
 func TestAgreementEndpoint(t *testing.T) {
-	ts := newTestServer(t)
-	resp, body := get(t, ts, "/api/agreement?group=CS1&threshold=4")
-	if resp.StatusCode != 200 {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
+	_, ts := newTestServer(t)
+	e := getEnvelope(t, ts, "/api/v1/agreement?group=CS1&threshold=4", 200)
 	var out struct {
 		Tags    int            `json:"tags"`
 		AtLeast map[string]int `json:"at_least"`
 		KASpan  []string       `json:"ka_span"`
 	}
-	decode(t, body, &out)
+	decode(t, e.Data, &out)
 	if out.Tags < 200 {
 		t.Fatalf("CS1 tags = %d", out.Tags)
 	}
 	if len(out.KASpan) != 1 || out.KASpan[0] != "SDF" {
 		t.Fatalf("KA span at threshold 4 = %v, want [SDF]", out.KASpan)
 	}
-	resp, _ = get(t, ts, "/api/agreement?group=bogus")
-	if resp.StatusCode != 400 {
-		t.Fatalf("bad group status %d", resp.StatusCode)
+	if e.Meta.Cache != "miss" {
+		t.Fatalf("first request cache = %q", e.Meta.Cache)
+	}
+	e = getEnvelope(t, ts, "/api/v1/agreement?group=CS1&threshold=4", 200)
+	if e.Meta.Cache != "hit" {
+		t.Fatalf("second request cache = %q", e.Meta.Cache)
 	}
 }
 
 func TestTypesEndpoint(t *testing.T) {
-	ts := newTestServer(t)
-	resp, body := get(t, ts, "/api/types?group=cs1&k=3")
-	if resp.StatusCode != 200 {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
+	_, ts := newTestServer(t)
+	e := getEnvelope(t, ts, "/api/v1/types?group=cs1&k=3", 200)
 	var out struct {
 		K       int `json:"k"`
 		Courses []struct {
@@ -227,37 +326,36 @@ func TestTypesEndpoint(t *testing.T) {
 			Label string `json:"label"`
 		} `json:"types"`
 	}
-	decode(t, body, &out)
+	decode(t, e.Data, &out)
 	if out.K != 3 || len(out.Courses) != 6 || len(out.Types) != 3 {
 		t.Fatalf("types = %+v", out)
 	}
-	resp, _ = get(t, ts, "/api/types?group=cs1&k=banana")
+	// Oversized k is a factorization error surfaced as 400.
+	resp, body := get(t, ts, "/api/v1/types?group=cs1&k=99")
 	if resp.StatusCode != 400 {
-		t.Fatalf("bad k status %d", resp.StatusCode)
+		t.Fatalf("oversized k status %d\n%s", resp.StatusCode, body)
 	}
-	resp, _ = get(t, ts, "/api/types?group=cs1&k=99")
-	if resp.StatusCode != 400 {
-		t.Fatalf("oversized k status %d", resp.StatusCode)
+	var ee errEnv
+	decode(t, body, &ee)
+	if ee.Error.Code != "bad_request" {
+		t.Fatalf("oversized k error = %+v", ee)
 	}
 }
 
 func TestFigureEndpoint(t *testing.T) {
-	ts := newTestServer(t)
-	resp, body := get(t, ts, "/api/figures/3a")
-	if resp.StatusCode != 200 {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
+	_, ts := newTestServer(t)
+	e := getEnvelope(t, ts, "/api/v1/figures/3a", 200)
 	var out struct {
 		ID   string   `json:"id"`
 		Text string   `json:"text"`
 		SVGs []string `json:"svgs"`
 	}
-	decode(t, body, &out)
+	decode(t, e.Data, &out)
 	if !strings.Contains(out.Text, "CS1: 6 courses") || len(out.SVGs) != 1 {
 		t.Fatalf("figure = %+v", out)
 	}
-	// SVG served directly.
-	resp, svg := get(t, ts, "/api/figures/3a?svg="+out.SVGs[0])
+	// SVG served directly, from the cached artifact.
+	resp, svg := get(t, ts, "/api/v1/figures/3a?svg="+out.SVGs[0])
 	if resp.StatusCode != 200 {
 		t.Fatalf("svg status %d", resp.StatusCode)
 	}
@@ -267,39 +365,20 @@ func TestFigureEndpoint(t *testing.T) {
 	if !strings.HasPrefix(string(svg), "<svg") {
 		t.Fatal("not an SVG body")
 	}
-	resp, _ = get(t, ts, "/api/figures/99")
-	if resp.StatusCode != 404 {
-		t.Fatalf("unknown figure status %d", resp.StatusCode)
-	}
-	resp, _ = get(t, ts, "/api/figures/3a?svg=nope.svg")
+	resp, _ = get(t, ts, "/api/v1/figures/3a?svg=nope.svg")
 	if resp.StatusCode != 404 {
 		t.Fatalf("unknown svg status %d", resp.StatusCode)
 	}
 }
 
-func TestMethodNotAllowed(t *testing.T) {
-	ts := newTestServer(t)
-	resp, err := http.Post(ts.URL+"/api/courses", "application/json", strings.NewReader("{}"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("POST status %d", resp.StatusCode)
-	}
-}
-
 func TestClusterEndpoint(t *testing.T) {
-	ts := newTestServer(t)
-	resp, body := get(t, ts, "/api/cluster?group=all&k=6")
-	if resp.StatusCode != 200 {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
+	_, ts := newTestServer(t)
+	e := getEnvelope(t, ts, "/api/v1/cluster?group=all&k=6", 200)
 	var out struct {
 		K        int        `json:"k"`
 		Clusters [][]string `json:"clusters"`
 	}
-	decode(t, body, &out)
+	decode(t, e.Data, &out)
 	if out.K != 6 || len(out.Clusters) != 6 {
 		t.Fatalf("cluster response = %+v", out)
 	}
@@ -310,12 +389,90 @@ func TestClusterEndpoint(t *testing.T) {
 	if total != 20 {
 		t.Fatalf("clusters cover %d courses", total)
 	}
-	resp, _ = get(t, ts, "/api/cluster?group=all&k=0")
-	if resp.StatusCode != 400 {
-		t.Fatalf("k=0 status %d", resp.StatusCode)
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{"/api/v1/courses", "/api/v1/types", "/healthz"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s status %d", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+			t.Fatalf("POST %s Allow = %q", path, allow)
+		}
+		var e errEnv
+		decode(t, body, &e)
+		if e.Error.Code != "method_not_allowed" {
+			t.Fatalf("POST %s error envelope = %+v", path, e)
+		}
 	}
-	resp, _ = get(t, ts, "/api/cluster?group=bogus")
-	if resp.StatusCode != 400 {
-		t.Fatalf("bad group status %d", resp.StatusCode)
+}
+
+// TestLegacyRedirects: pre-v1 paths 308 to their v1 equivalents with
+// the query string intact, and clients that follow redirects see the
+// v1 envelope.
+func TestLegacyRedirects(t *testing.T) {
+	_, ts := newTestServer(t)
+	noFollow := &http.Client{
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	cases := []struct{ from, to string }{
+		{"/api/courses", "/api/v1/courses"},
+		{"/api/courses/vcu-cmsc256-duke/anchors", "/api/v1/courses/vcu-cmsc256-duke/anchors"},
+		{"/api/search?prefix=AL/&limit=5", "/api/v1/search?prefix=AL/&limit=5"},
+		{"/api/types?group=cs1&k=3", "/api/v1/types?group=cs1&k=3"},
+		{"/api/figures/3a", "/api/v1/figures/3a"},
+	}
+	for _, tc := range cases {
+		resp, err := noFollow.Get(ts.URL + tc.from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Fatalf("GET %s status %d, want 308", tc.from, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != tc.to {
+			t.Fatalf("GET %s Location = %q, want %q", tc.from, loc, tc.to)
+		}
+	}
+	// A default client lands on the v1 payload.
+	e := getEnvelope(t, ts, "/api/agreement?group=CS1&threshold=4", 200)
+	var out struct {
+		KASpan []string `json:"ka_span"`
+	}
+	decode(t, e.Data, &out)
+	if len(out.KASpan) != 1 || out.KASpan[0] != "SDF" {
+		t.Fatalf("redirected agreement = %+v", out)
+	}
+}
+
+// TestPanicReturns500Envelope: a handler panic becomes a JSON 500, not
+// a dropped connection.
+func TestPanicReturns500Envelope(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.analyzeTypes = func([]*materials.Course, int, nnmf.Options, ...*ontology.Guideline) (*factorize.Model, error) {
+		panic("injected analysis panic")
+	}
+	resp, body := get(t, ts, "/api/v1/types?group=cs1&k=2")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d\n%s", resp.StatusCode, body)
+	}
+	var e errEnv
+	decode(t, body, &e)
+	if e.Error.Code != "internal" || e.Error.Message == "" {
+		t.Fatalf("error envelope = %+v", e)
+	}
+	// The server is still alive afterwards.
+	if resp, _ := get(t, ts, "/healthz"); resp.StatusCode != 200 {
+		t.Fatalf("healthz after panic: %d", resp.StatusCode)
 	}
 }

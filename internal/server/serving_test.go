@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"csmaterials/internal/factorize"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/nnmf"
+	"csmaterials/internal/ontology"
+	"csmaterials/internal/serving"
+)
+
+// countingAnalyze wraps factorize.Analyze with a call counter.
+func countingAnalyze(calls *int32) func([]*materials.Course, int, nnmf.Options, ...*ontology.Guideline) (*factorize.Model, error) {
+	return func(cs []*materials.Course, k int, opts nnmf.Options, gs ...*ontology.Guideline) (*factorize.Model, error) {
+		atomic.AddInt32(calls, 1)
+		return factorize.Analyze(cs, k, opts, gs...)
+	}
+}
+
+// TestSingleflightCollapsesConcurrentTypes fires N parallel identical
+// /api/v1/types requests at a fresh server and proves exactly one
+// underlying factorize.Analyze call happened: concurrent arrivals share
+// the in-flight computation, later ones hit the completed cache entry.
+func TestSingleflightCollapsesConcurrentTypes(t *testing.T) {
+	s, ts := newTestServer(t)
+	var calls int32
+	s.analyzeTypes = countingAnalyze(&calls)
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/api/v1/types?group=cs1&k=3")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var e env
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != 200 {
+				errs <- &httpStatusError{resp.StatusCode}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("factorize.Analyze ran %d times for %d concurrent identical requests, want 1", got, n)
+	}
+	st := s.Cache().Stats()
+	if st.Hits+st.Shared != n-1 {
+		t.Fatalf("cache stats = %+v, want hits+shared = %d", st, n-1)
+	}
+}
+
+type httpStatusError struct{ status int }
+
+func (e *httpStatusError) Error() string { return http.StatusText(e.status) }
+
+// TestCacheMetaAndMetrics walks the miss→hit transition and checks that
+// /debug/metrics reports route counts, latency buckets, and cache
+// accounting for it.
+func TestCacheMetaAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	e := getEnvelope(t, ts, "/api/v1/types?group=cs1&k=3", 200)
+	if e.Meta.Cache != "miss" || e.Meta.Key != "types|cs1|3" {
+		t.Fatalf("first request meta = %+v", e.Meta)
+	}
+	e = getEnvelope(t, ts, "/api/v1/types?group=cs1&k=3", 200)
+	if e.Meta.Cache != "hit" {
+		t.Fatalf("second request meta = %+v", e.Meta)
+	}
+
+	resp, body := get(t, ts, "/debug/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var snap serving.Snapshot
+	decode(t, body, &snap)
+	rs, ok := snap.Routes["GET /api/v1/types"]
+	if !ok {
+		t.Fatalf("types route missing from metrics: %v", snap.Routes)
+	}
+	if rs.Count != 2 || rs.ByStatus["200"] != 2 {
+		t.Fatalf("types route stats = %+v", rs)
+	}
+	bucketTotal := uint64(0)
+	for _, n := range rs.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != 2 {
+		t.Fatalf("latency buckets sum to %d, want 2: %+v", bucketTotal, rs.Buckets)
+	}
+	if rs.P99MS < rs.P50MS {
+		t.Fatalf("quantiles out of order: %+v", rs)
+	}
+	if snap.Cache == nil || snap.Cache.Hits < 1 || snap.Cache.Misses < 1 {
+		t.Fatalf("cache stats = %+v", snap.Cache)
+	}
+}
+
+// TestDefaultGroupAndKSharing: group= and group=all normalize to the
+// same cache key, so the second spelling is a hit.
+func TestDefaultGroupAndKSharing(t *testing.T) {
+	_, ts := newTestServer(t)
+	e := getEnvelope(t, ts, "/api/v1/cluster?group=all&k=4", 200)
+	if e.Meta.Cache != "miss" {
+		t.Fatalf("first = %+v", e.Meta)
+	}
+	e = getEnvelope(t, ts, "/api/v1/cluster", 200)
+	if e.Meta.Cache != "hit" || e.Meta.Key != "cluster|all|4" {
+		t.Fatalf("normalized spelling did not share cache: %+v", e.Meta)
+	}
+}
+
+// TestCacheDisabledServer: a negative cache size retains nothing but
+// the API still works.
+func TestCacheDisabledServer(t *testing.T) {
+	s, err := NewWithOptions(Options{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		e := getEnvelope(t, ts, "/api/v1/agreement?group=cs1&threshold=2", 200)
+		if e.Meta.Cache != "miss" {
+			t.Fatalf("request %d cache = %q, want miss", i, e.Meta.Cache)
+		}
+	}
+	if st := s.Cache().Stats(); st.Size != 0 {
+		t.Fatalf("disabled cache retained %d entries", st.Size)
+	}
+}

@@ -1,0 +1,130 @@
+package serving
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU result cache with singleflight deduplication:
+// concurrent Do calls for the same key share one computation, and
+// completed results are retained (most recently used first) up to the
+// configured capacity. Errors are never cached.
+//
+// A capacity <= 0 disables retention — every Do misses — but
+// singleflight deduplication still collapses concurrent callers.
+type Cache struct {
+	capacity int
+	group    Group
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	shared    uint64
+}
+
+type cacheEntry struct {
+	key string
+	val interface{}
+}
+
+// NewCache returns a cache holding at most capacity entries.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (interface{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put stores key→val, evicting the least recently used entry when full.
+func (c *Cache) put(key string, val interface{}) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Do returns the cached value for key or computes it, deduplicating
+// concurrent computations for the same key through the singleflight
+// group. The boolean reports whether the value was served without
+// running compute in this call (a cache hit or a shared flight).
+func (c *Cache) Do(key string, compute func() (interface{}, error)) (interface{}, bool, error) {
+	if v, ok := c.Get(key); ok {
+		return v, true, nil
+	}
+	v, err, sharedFlight := c.group.Do(key, func() (interface{}, error) {
+		v, err := compute()
+		if err == nil {
+			c.put(key, v)
+		}
+		return v, err
+	})
+	if sharedFlight {
+		c.mu.Lock()
+		c.shared++
+		c.mu.Unlock()
+	}
+	return v, sharedFlight, err
+}
+
+// Reset drops all retained entries; counters are preserved.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Shared    uint64 `json:"shared_flights"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Stats snapshots the hit/miss/eviction accounting.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Shared:    c.shared,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,162 @@
+package serving
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until true or the test deadline budget runs out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(4)
+	calls := 0
+	compute := func() (interface{}, error) { calls++; return "v", nil }
+
+	v, served, err := c.Do("k", compute)
+	if err != nil || served || v.(string) != "v" {
+		t.Fatalf("first Do: v=%v served=%v err=%v", v, served, err)
+	}
+	v, served, err = c.Do("k", compute)
+	if err != nil || !served || v.(string) != "v" {
+		t.Fatalf("second Do: v=%v served=%v err=%v", v, served, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 || st.Capacity != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	put := func(k string) {
+		if _, _, err := c.Do(k, func() (interface{}, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	if _, ok := c.Get("a"); !ok { // touch a → b is now LRU
+		t.Fatal("a missing before eviction")
+	}
+	put("c") // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("newest c was evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(4)
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.Do("k", func() (interface{}, error) { calls++; return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, served, err := c.Do("k", func() (interface{}, error) { calls++; return 7, nil })
+	if err != nil || served || v.(int) != 7 {
+		t.Fatalf("retry: v=%v served=%v err=%v", v, served, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (errors must not be cached)", calls)
+	}
+}
+
+func TestCacheDisabledStillDeduplicates(t *testing.T) {
+	c := NewCache(0)
+	var calls int32
+	started := make(chan struct{})
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do("k", func() (interface{}, error) {
+			atomic.AddInt32(&calls, 1)
+			close(started)
+			<-block
+			return 1, nil
+		})
+	}()
+	<-started
+	const joiners = 4
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Do("k", func() (interface{}, error) {
+				atomic.AddInt32(&calls, 1)
+				return 1, nil
+			})
+		}()
+	}
+	waitFor(t, func() bool { return c.group.waiting("k") >= joiners })
+	close(block)
+	wg.Wait()
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	// Nothing retained: the next sequential Do recomputes.
+	_, served, _ := c.Do("k", func() (interface{}, error) { return 1, nil })
+	if served {
+		t.Fatal("capacity-0 cache retained an entry")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(4)
+	c.Do("k", func() (interface{}, error) { return 1, nil })
+	c.Reset()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry survived Reset")
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("size = %d after Reset", st.Size)
+	}
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	c := NewCache(8)
+	var wg sync.WaitGroup
+	keys := []string{"a", "b", "c", "d"}
+	for i := 0; i < 32; i++ {
+		key := keys[i%len(keys)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Do(key, func() (interface{}, error) { return key, nil })
+			if err != nil || v.(string) != key {
+				t.Errorf("Do(%q) = %v, %v", key, v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Size != len(keys) {
+		t.Fatalf("size = %d, want %d", st.Size, len(keys))
+	}
+}

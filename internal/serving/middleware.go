@@ -1,0 +1,133 @@
+package serving
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// StatusWriter wraps a ResponseWriter and records the status code and
+// body size actually written, so middleware can log and meter them.
+type StatusWriter struct {
+	http.ResponseWriter
+	Status int
+	Bytes  int64
+	wrote  bool
+}
+
+// Wrap returns w as a *StatusWriter, reusing it if already wrapped.
+func Wrap(w http.ResponseWriter) *StatusWriter {
+	if sw, ok := w.(*StatusWriter); ok {
+		return sw
+	}
+	return &StatusWriter{ResponseWriter: w}
+}
+
+func (w *StatusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.Status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *StatusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.Status = http.StatusOK
+		w.wrote = true
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.Bytes += int64(n)
+	return n, err
+}
+
+// Wrote reports whether any status or body reached the client.
+func (w *StatusWriter) Wrote() bool { return w.wrote }
+
+// Recover converts handler panics into a 500 JSON error envelope
+// (matching the API's {"error":{"code","message"}} shape) instead of a
+// dropped connection, logging the stack to logger.
+func Recover(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := Wrap(w)
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			if logger != nil {
+				logger.Printf("panic method=%s path=%s err=%v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			}
+			if !sw.Wrote() {
+				WriteJSON(sw, http.StatusInternalServerError, map[string]interface{}{
+					"error": map[string]string{
+						"code":    "internal",
+						"message": "internal server error",
+					},
+				})
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// AccessLog emits one structured (logfmt-style) line per request.
+func AccessLog(logger *log.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := Wrap(w)
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		logger.Printf("access method=%s path=%q query=%q status=%d bytes=%d dur=%s remote=%s",
+			r.Method, r.URL.Path, r.URL.RawQuery, sw.Status, sw.Bytes, time.Since(start).Round(time.Microsecond), r.RemoteAddr)
+	})
+}
+
+// Instrument meters next under the given route label: request count,
+// status codes, latency histogram, and the in-flight gauge.
+func Instrument(m *Metrics, route string, next http.Handler) http.Handler {
+	if m == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := Wrap(w)
+		m.IncInFlight()
+		start := time.Now()
+		defer func() {
+			m.DecInFlight()
+			status := sw.Status
+			if !sw.Wrote() {
+				status = http.StatusOK
+			}
+			if p := recover(); p != nil {
+				// A panic is escaping to the Recover middleware; meter
+				// it as the 500 that Recover will write.
+				m.Observe(route, http.StatusInternalServerError, time.Since(start))
+				panic(p)
+			}
+			m.Observe(route, status, time.Since(start))
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// WriteJSON writes v as indented JSON with the right content type.
+func WriteJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -1,0 +1,82 @@
+// Package serving is the production-hardening layer between the HTTP
+// handlers and the analysis packages: a keyed result cache with
+// singleflight deduplication, per-route metrics, and the middleware
+// stack (panic recovery, access logs, instrumentation) that cmd/serve
+// wraps around the API.
+//
+// The dataset behind the analyses is deterministic, so cached results
+// never go stale: the cache is bounded by size only and invalidation
+// does not exist.
+package serving
+
+import "sync"
+
+// call is an in-flight or completed singleflight computation.
+type call struct {
+	wg   sync.WaitGroup
+	val  interface{}
+	err  error
+	dups int // completed waiters that joined this flight
+}
+
+// Group deduplicates concurrent computations by key: while a call for
+// a key is in flight, additional Do calls for the same key wait for it
+// and share its result instead of computing again.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// Do executes fn once per key at a time. The boolean reports whether
+// the result was shared from another caller's flight. If fn panics the
+// panic propagates to the initiating caller and waiters receive an
+// errPanicked error rather than hanging.
+func (g *Group) Do(key string, fn func() (interface{}, error)) (interface{}, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(call)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	normal := false
+	defer func() {
+		if !normal {
+			c.err = errPanicked
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val, c.err = fn()
+	normal = true
+	return c.val, c.err, false
+}
+
+// waiting reports how many callers are blocked on the key's in-flight
+// call (0 when no call is in flight). Used by tests to build
+// deterministic concurrency scenarios.
+func (g *Group) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.dups
+	}
+	return 0
+}
+
+// errPanicked is handed to waiters whose flight's fn panicked.
+var errPanicked = errorString("serving: singleflight computation panicked")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,151 @@
+package serving
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSingleflightShares proves that callers arriving while a flight is
+// in progress share its result: the test parks the first call on a
+// channel, waits until N more callers have joined the flight, and only
+// then lets the computation finish.
+func TestSingleflightShares(t *testing.T) {
+	var g Group
+	var calls int32
+	started := make(chan struct{})
+	block := make(chan struct{})
+
+	results := make(chan int, 9)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, _ := g.Do("k", func() (interface{}, error) {
+			atomic.AddInt32(&calls, 1)
+			close(started)
+			<-block
+			return 42, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		results <- v.(int)
+	}()
+	<-started
+
+	const joiners = 8
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (interface{}, error) {
+				atomic.AddInt32(&calls, 1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if !shared {
+				t.Error("joiner did not share the flight")
+			}
+			results <- v.(int)
+		}()
+	}
+	// Wait until all joiners are provably parked on the in-flight call
+	// before releasing it, so sharing is deterministic, not timing luck.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.waiting("k") < joiners {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d joiners parked", g.waiting("k"), joiners)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	wg.Wait()
+	close(results)
+
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("computation ran %d times, want 1", n)
+	}
+	count := 0
+	for v := range results {
+		count++
+		if v != 42 {
+			t.Fatalf("got %d, want 42", v)
+		}
+	}
+	if count != joiners+1 {
+		t.Fatalf("%d results, want %d", count, joiners+1)
+	}
+}
+
+func TestSingleflightDistinctKeys(t *testing.T) {
+	var g Group
+	v1, err, shared := g.Do("a", func() (interface{}, error) { return 1, nil })
+	if err != nil || shared || v1.(int) != 1 {
+		t.Fatalf("a: v=%v err=%v shared=%v", v1, err, shared)
+	}
+	v2, err, shared := g.Do("b", func() (interface{}, error) { return 2, nil })
+	if err != nil || shared || v2.(int) != 2 {
+		t.Fatalf("b: v=%v err=%v shared=%v", v2, err, shared)
+	}
+	// A key is re-computable after its flight completes.
+	v3, _, shared := g.Do("a", func() (interface{}, error) { return 3, nil })
+	if shared || v3.(int) != 3 {
+		t.Fatalf("second a flight: v=%v shared=%v", v3, shared)
+	}
+}
+
+func TestSingleflightError(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	_, err, _ := g.Do("k", func() (interface{}, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestSingleflightPanic: the panic propagates to the initiating caller
+// and parked waiters get an error instead of hanging.
+func TestSingleflightPanic(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	block := make(chan struct{})
+	panicked := make(chan interface{}, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		g.Do("k", func() (interface{}, error) {
+			close(started)
+			<-block
+			panic("kaboom")
+		})
+	}()
+	<-started
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do("k", func() (interface{}, error) { return nil, nil })
+		waiterErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.waiting("k") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	if p := <-panicked; p != "kaboom" {
+		t.Fatalf("initiator recovered %v", p)
+	}
+	select {
+	case err := <-waiterErr:
+		if err == nil {
+			t.Fatal("waiter got nil error after panic")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung after panic")
+	}
+}
