@@ -12,10 +12,11 @@ test:
 	$(GO) test ./...
 
 # Concurrency-sensitive packages under the race detector: the serving
-# cache/singleflight/metrics, the HTTP handlers on top of them, and the
-# goroutine task-graph executor.
+# cache/singleflight/metrics, the resilience primitives and fault
+# injector, the HTTP handlers on top of them, and the goroutine
+# task-graph executor.
 race:
-	$(GO) test -race ./internal/serving/ ./internal/server/ ./internal/taskgraph/
+	$(GO) test -race ./internal/serving/ ./internal/resilience/... ./internal/server/ ./internal/taskgraph/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -2,16 +2,28 @@
 // HTTP API — the "public resource" form of the system (§3.1) — with
 // production hardening: a bounded LRU cache with singleflight over the
 // analyses, per-route metrics, panic recovery, structured access logs,
-// per-request timeouts, and graceful shutdown on SIGINT/SIGTERM.
+// per-request timeouts, graceful shutdown on SIGINT/SIGTERM, and a
+// resilience ladder (load shedding, per-analysis circuit breakers,
+// stale-serve degradation).
 //
 // Usage:
 //
 //	serve [-addr :8080] [-cache-size 256] [-request-timeout 30s] [-shutdown-timeout 10s]
+//	      [-max-inflight 256] [-breaker-threshold 5] [-breaker-cooldown 30s] [-stale-serve=true]
+//
+// Beyond -max-inflight concurrent /api/v1 requests the server sheds
+// load with 429 + Retry-After. Each analysis family has a circuit
+// breaker that opens after -breaker-threshold consecutive compute
+// failures and probes again after -breaker-cooldown; while a breaker
+// is open (or a compute fails) the server degrades to the last known
+// good result — marked meta.stale:true and X-Served-Stale — unless
+// -stale-serve=false.
 //
 // Endpoints (all GET; every /api/v1 response is a {"data","meta"}
 // envelope, errors are {"error":{"code","message"}}):
 //
 //	GET /healthz
+//	GET /readyz
 //	GET /api/v1/courses?limit=N&offset=M
 //	GET /api/v1/courses/{id}
 //	GET /api/v1/courses/{id}/materials
@@ -39,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"csmaterials/internal/resilience"
 	"csmaterials/internal/server"
 )
 
@@ -47,10 +60,21 @@ func main() {
 	cacheSize := flag.Int("cache-size", server.DefaultCacheSize, "analysis cache capacity in entries (negative disables retention)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "max concurrent /api/v1 requests before shedding with 429 (negative disables)")
+	breakerThreshold := flag.Int("breaker-threshold", resilience.DefaultBreakerThreshold, "consecutive compute failures before an analysis circuit opens (negative disables breakers)")
+	breakerCooldown := flag.Duration("breaker-cooldown", resilience.DefaultBreakerCooldown, "how long an open circuit waits before a half-open probe")
+	staleServe := flag.Bool("stale-serve", true, "serve last-known-good results (meta.stale) when a compute fails or its circuit is open")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "serve ", log.LstdFlags|log.LUTC)
-	s, err := server.NewWithOptions(server.Options{CacheSize: *cacheSize, Logger: logger})
+	s, err := server.NewWithOptions(server.Options{
+		CacheSize:         *cacheSize,
+		Logger:            logger,
+		MaxInFlight:       *maxInFlight,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
+		DisableStaleServe: !*staleServe,
+	})
 	if err != nil {
 		logger.Fatalf("startup: %v", err)
 	}
@@ -86,7 +110,7 @@ func main() {
 		}
 	}()
 
-	logger.Printf("csmaterials API listening on %s (cache=%d entries, request timeout %s)", *addr, *cacheSize, *requestTimeout)
+	logger.Printf("csmaterials API listening on %s (cache=%d entries, request timeout %s, max in-flight %d)", *addr, *cacheSize, *requestTimeout, *maxInFlight)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		logger.Fatalf("serve: %v", err)
 	}

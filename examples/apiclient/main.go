@@ -2,6 +2,12 @@
 // httptest.Server — paginated course listing, a course's anchor
 // recommendations, the cached NNMF typing (watch meta.cache flip from
 // miss to hit), a legacy-path redirect, and the /debug/metrics report.
+//
+// The server is started with fault injection enabled, and every call
+// goes through a retrying client (exponential backoff with jitter,
+// honouring Retry-After on 429/503), so the demo also shows the
+// resilience ladder absorbing injected 503s and degrading to stale
+// results while a circuit is open.
 package main
 
 import (
@@ -9,12 +15,85 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"time"
 
+	"csmaterials/internal/resilience/faultinject"
 	"csmaterials/internal/server"
 	"csmaterials/internal/serving"
 )
+
+// client retries transient failures: 429 (shed) and 503 (circuit open
+// or unready) are retried with exponential backoff plus jitter, and a
+// Retry-After header, when present, overrides the computed backoff.
+type client struct {
+	base     string
+	http     *http.Client
+	retries  int
+	backoff  time.Duration // first-retry backoff; doubles per attempt
+	maxSleep time.Duration
+	rng      *rand.Rand
+	verbose  bool
+}
+
+func newClient(base string) *client {
+	return &client{
+		base:     base,
+		http:     &http.Client{Timeout: 30 * time.Second},
+		retries:  5,
+		backoff:  50 * time.Millisecond,
+		maxSleep: 2 * time.Second,
+		rng:      rand.New(rand.NewSource(7)),
+		verbose:  true,
+	}
+}
+
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// sleepFor picks the delay before retry attempt (1-based): the
+// server's Retry-After if it sent one, otherwise exponential backoff
+// with full jitter.
+func (c *client) sleepFor(attempt int, resp *http.Response) time.Duration {
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	d := c.backoff << (attempt - 1)
+	if d > c.maxSleep {
+		d = c.maxSleep
+	}
+	return time.Duration(c.rng.Int63n(int64(d) + 1))
+}
+
+// get fetches path, retrying shed/unavailable responses. It returns
+// the final response's status, headers, and body.
+func (c *client) get(path string) (*http.Response, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http.Get(c.base + path)
+		if err != nil {
+			return nil, nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !retryable(resp.StatusCode) || attempt == c.retries {
+			return resp, body, nil
+		}
+		sleep := c.sleepFor(attempt+1, resp)
+		if c.verbose {
+			fmt.Printf("  [retry] GET %s -> %s, backing off %s\n", path, resp.Status, sleep.Round(time.Millisecond))
+		}
+		time.Sleep(sleep)
+	}
+}
 
 // envelope mirrors the v1 {"data","meta"} response shape.
 type envelope struct {
@@ -25,17 +104,13 @@ type envelope struct {
 		Offset int    `json:"offset"`
 		Cache  string `json:"cache"`
 		Key    string `json:"key"`
+		Stale  bool   `json:"stale"`
 	} `json:"meta"`
 }
 
-func getEnvelope(base, path string) (envelope, error) {
+func (c *client) getEnvelope(path string) (envelope, error) {
 	var e envelope
-	resp, err := http.Get(base + path)
-	if err != nil {
-		return e, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	resp, body, err := c.get(path)
 	if err != nil {
 		return e, err
 	}
@@ -46,16 +121,34 @@ func getEnvelope(base, path string) (envelope, error) {
 }
 
 func main() {
-	s, err := server.New()
+	// Inject faults: every agreement compute fails while these rules
+	// are in force. The seed makes the run reproducible.
+	faults := faultinject.New(42)
+	s, err := server.NewWithOptions(server.Options{Faults: faults})
 	if err != nil {
 		log.Fatal(err)
 	}
 	ts := httptest.NewServer(s)
 	defer ts.Close()
+	c := newClient(ts.URL)
 	fmt.Printf("in-process API at %s\n\n", ts.URL)
 
+	// 0. Readiness: the client waits for /readyz before real traffic
+	// (503 while the dataset loads and the warmup analysis runs).
+	for {
+		resp, _, err := c.get("/readyz")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			fmt.Println("server is ready")
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
 	// 1. Paginated course listing.
-	e, err := getEnvelope(ts.URL, "/api/v1/courses?limit=5&offset=0")
+	e, err := c.getEnvelope("/api/v1/courses?limit=5&offset=0")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,13 +160,13 @@ func main() {
 	if err := json.Unmarshal(e.Data, &courses); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("courses page 1 (total %d, showing %d):\n", e.Meta.Total, len(courses))
+	fmt.Printf("\ncourses page 1 (total %d, showing %d):\n", e.Meta.Total, len(courses))
 	for _, c := range courses {
 		fmt.Printf("  %-22s %-6s %s\n", c.ID, c.Group, c.Name)
 	}
 
 	// 2. Anchor-point recommendations for one course (§5.2).
-	e, err = getEnvelope(ts.URL, "/api/v1/courses/"+courses[0].ID+"/anchors")
+	e, err = c.getEnvelope("/api/v1/courses/" + courses[0].ID + "/anchors")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,7 +189,7 @@ func main() {
 	// 3. The cached NNMF typing: the first request computes, the
 	// second is served from the LRU cache.
 	for i := 1; i <= 2; i++ {
-		e, err = getEnvelope(ts.URL, "/api/v1/types?group=cs1&k=3")
+		e, err = c.getEnvelope("/api/v1/types?group=cs1&k=3")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -117,7 +210,23 @@ func main() {
 	}
 	fmt.Println()
 
-	// 4. Legacy paths still work via permanent redirect.
+	// 4. Degradation under injected faults: prime the agreement
+	// analysis, then make every agreement compute fail. The server
+	// answers from the last known good copy, flagged stale, and the
+	// retrying client rides out any 503s.
+	if _, err := c.getEnvelope("/api/v1/agreement?group=CS1&threshold=4"); err != nil {
+		log.Fatal(err)
+	}
+	s.Cache().Reset() // force the next request back to the compute path
+	faults.SetRules(faultinject.Rule{Match: "compute/agreement", Probability: 1, Status: 500})
+	e, err = c.getEnvelope("/api/v1/agreement?group=CS1&threshold=4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nagreement with compute faults injected: cache=%s stale=%v\n", e.Meta.Cache, e.Meta.Stale)
+	faults.SetRules()
+
+	// 5. Legacy paths still work via permanent redirect.
 	resp, err := http.Get(ts.URL + "/api/agreement?group=CS1&threshold=4")
 	if err != nil {
 		log.Fatal(err)
@@ -126,7 +235,8 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("\nlegacy /api/agreement redirected to %s (%s)\n", final, resp.Status)
 
-	// 5. Observability: per-route counters and cache accounting.
+	// 6. Observability: per-route counters, cache accounting, and the
+	// resilience ladder's own numbers.
 	resp, err = http.Get(ts.URL + "/debug/metrics")
 	if err != nil {
 		log.Fatal(err)
@@ -142,7 +252,13 @@ func main() {
 		fmt.Printf("  %-32s count=%d p99=%.1fms\n", route, rs.Count, rs.P99MS)
 	}
 	if snap.Cache != nil {
-		fmt.Printf("  cache: hits=%d misses=%d size=%d/%d\n",
-			snap.Cache.Hits, snap.Cache.Misses, snap.Cache.Size, snap.Cache.Capacity)
+		fmt.Printf("  cache: hits=%d misses=%d size=%d/%d stale_served=%d\n",
+			snap.Cache.Hits, snap.Cache.Misses, snap.Cache.Size, snap.Cache.Capacity, snap.Cache.StaleServed)
+	}
+	if snap.Resilience != nil {
+		fmt.Printf("  shedder: admitted=%d shed=%d\n", snap.Resilience.Shedder.Admitted, snap.Resilience.Shedder.Shed)
+		for name, b := range snap.Resilience.Breakers {
+			fmt.Printf("  breaker %-12s state=%s failures=%d\n", name, b.State, b.Failures)
+		}
 	}
 }

@@ -1,0 +1,253 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned (or wrapped) by callers that found their circuit
+// open: the protected compute path was not attempted.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed: requests flow normally; failures are counted.
+	Closed State = iota
+	// Open: requests are rejected without touching the compute path
+	// until the cooldown elapses.
+	Open
+	// HalfOpen: one probe request at a time is let through; success
+	// closes the circuit, failure re-opens it.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultBreakerThreshold and DefaultBreakerCooldown are used when a
+// BreakerSet is built with zero values.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 30 * time.Second
+)
+
+// Breaker is a circuit breaker over one named compute path. It opens
+// after threshold consecutive failures, rejects everything for the
+// cooldown, then half-opens: a single probe is admitted, and its
+// outcome decides between closing again and another cooldown round.
+//
+// Use it as
+//
+//	if !b.Allow() { return ErrOpen }
+//	v, err := compute()
+//	b.Record(err == nil /* or a gentler classification */)
+//
+// Every Allow() == true must be matched by exactly one Record so the
+// half-open probe slot is returned.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    State
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+
+	successes uint64
+	failures  uint64
+	rejected  uint64
+	opens     uint64
+}
+
+// NewBreaker returns a closed breaker. Zero threshold/cooldown take
+// the defaults; now == nil uses time.Now.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a request may proceed. An open circuit whose
+// cooldown has elapsed transitions to half-open and admits the caller
+// as its probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.rejected++
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	default: // HalfOpen
+		if b.probing {
+			b.rejected++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports the outcome of an Allowed request. Success closes the
+// circuit and resets the failure run; failure either re-opens a
+// half-open circuit or, after threshold consecutive failures, opens a
+// closed one.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.successes++
+		b.fails = 0
+		b.state = Closed
+		return
+	}
+	b.failures++
+	b.fails++
+	if b.state == HalfOpen || b.fails >= b.threshold {
+		b.open()
+	}
+}
+
+// open transitions to Open; callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.fails = 0
+	b.opens++
+}
+
+// State returns the breaker's current position, applying the
+// open→half-open cooldown transition lazily so observers see the same
+// state the next Allow would.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// RetryAfter is how long a rejected caller should wait before the
+// circuit will consider a probe (zero when it already would).
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open {
+		return 0
+	}
+	d := b.cooldown - b.now().Sub(b.openedAt)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// BreakerStats is a point-in-time snapshot of one breaker.
+type BreakerStats struct {
+	State     string `json:"state"`
+	Successes uint64 `json:"successes_total"`
+	Failures  uint64 `json:"failures_total"`
+	Rejected  uint64 `json:"rejected_total"`
+	Opens     uint64 `json:"opens_total"`
+}
+
+// Stats snapshots the breaker.
+func (b *Breaker) Stats() BreakerStats {
+	state := b.State().String()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:     state,
+		Successes: b.successes,
+		Failures:  b.failures,
+		Rejected:  b.rejected,
+		Opens:     b.opens,
+	}
+}
+
+// BreakerSet lazily manages one breaker per name (per analysis kind in
+// the API) with shared threshold/cooldown settings.
+type BreakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	m         map[string]*Breaker
+}
+
+// NewBreakerSet returns an empty set; zero values take the defaults.
+func NewBreakerSet(threshold int, cooldown time.Duration) *BreakerSet {
+	return &BreakerSet{threshold: threshold, cooldown: cooldown, m: make(map[string]*Breaker)}
+}
+
+// Get returns the breaker for name, creating it on first use.
+func (s *BreakerSet) Get(name string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[name]
+	if !ok {
+		b = NewBreaker(s.threshold, s.cooldown, s.now)
+		s.m[name] = b
+	}
+	return b
+}
+
+// SetClock replaces the time source of the set and every existing
+// breaker (tests use this to step through cooldowns deterministically).
+func (s *BreakerSet) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+	for _, b := range s.m {
+		b.mu.Lock()
+		b.now = now
+		b.mu.Unlock()
+	}
+}
+
+// Stats snapshots every breaker in the set, keyed by name.
+func (s *BreakerSet) Stats() map[string]BreakerStats {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.m))
+	breakers := make([]*Breaker, 0, len(s.m))
+	for name, b := range s.m {
+		names = append(names, name)
+		breakers = append(breakers, b)
+	}
+	s.mu.Unlock()
+	out := make(map[string]BreakerStats, len(names))
+	for i, b := range breakers {
+		out[names[i]] = b.Stats()
+	}
+	return out
+}

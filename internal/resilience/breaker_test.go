@@ -1,0 +1,180 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(3, time.Minute, clk.Now)
+	for i := 0; i < 3; i++ {
+		if b.State() != Closed {
+			t.Fatalf("failure %d: state %v, want closed", i, b.State())
+		}
+		if !b.Allow() {
+			t.Fatalf("failure %d: closed breaker rejected", i)
+		}
+		b.Record(false)
+	}
+	if b.State() != Open {
+		t.Fatalf("state after %d failures = %v, want open", 3, b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+	if ra := b.RetryAfter(); ra <= 0 || ra > time.Minute {
+		t.Fatalf("retry-after = %v", ra)
+	}
+	st := b.Stats()
+	if st.Failures != 3 || st.Rejected != 1 || st.Opens != 1 || st.State != "open" {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b := NewBreaker(3, time.Minute, newFakeClock().Now)
+	for i := 0; i < 2; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	b.Allow()
+	b.Record(true) // interrupts the run
+	for i := 0; i < 2; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Fatal("breaker opened although no 3 consecutive failures occurred")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovery(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(2, time.Minute, clk.Now)
+	b.Allow()
+	b.Record(false)
+	b.Allow()
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatal("breaker did not open")
+	}
+
+	// Cooldown not elapsed: still rejecting.
+	clk.Advance(30 * time.Second)
+	if b.Allow() {
+		t.Fatal("admitted before cooldown elapsed")
+	}
+
+	// Cooldown elapsed: exactly one probe is admitted.
+	clk.Advance(31 * time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open after cooldown", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected")
+	}
+	b.Record(true)
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, time.Minute, clk.Now)
+	b.Allow()
+	b.Record(false) // opens (threshold 1)
+	clk.Advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if st := b.Stats(); st.Opens != 2 {
+		t.Fatalf("opens = %d, want 2", st.Opens)
+	}
+	// The new cooldown starts at the re-open, not the original open.
+	clk.Advance(30 * time.Second)
+	if b.Allow() {
+		t.Fatal("admitted half a cooldown after re-opening")
+	}
+}
+
+// TestBreakerConcurrentAllowRecord drives a breaker from many
+// goroutines to exercise the locking under -race.
+func TestBreakerConcurrentAllowRecord(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(5, time.Millisecond, clk.Now)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		fail := i%2 == 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if b.Allow() {
+					b.Record(!fail)
+				}
+				b.State()
+				b.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBreakerSet(t *testing.T) {
+	clk := newFakeClock()
+	s := NewBreakerSet(1, time.Minute)
+	s.SetClock(clk.Now)
+	a := s.Get("types")
+	if s.Get("types") != a {
+		t.Fatal("Get returned a different breaker for the same name")
+	}
+	a.Allow()
+	a.Record(false)
+	other := s.Get("cluster")
+	if other.State() != Closed {
+		t.Fatal("breakers are not independent")
+	}
+	st := s.Stats()
+	if st["types"].State != "open" || st["cluster"].State != "closed" {
+		t.Fatalf("set stats = %+v", st)
+	}
+	// SetClock reaches breakers created before the call.
+	clk.Advance(time.Minute)
+	if a.State() != HalfOpen {
+		t.Fatalf("fake clock not wired into existing breaker: state %v", a.State())
+	}
+}

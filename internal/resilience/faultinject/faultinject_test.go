@@ -1,0 +1,183 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func TestInjectErrorByRoute(t *testing.T) {
+	in := New(1, Rule{Match: "/api/v1/types", Probability: 1, Status: 503, Code: "chaos"})
+	h := in.Middleware(okHandler())
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/types?group=all", nil))
+	if rec.Code != 503 {
+		t.Fatalf("status = %d, want injected 503", rec.Code)
+	}
+	var e struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("injected error is not the JSON envelope: %v\n%s", err, rec.Body.Bytes())
+	}
+	if e.Error.Code != "chaos" || e.Error.Message == "" {
+		t.Fatalf("envelope = %+v", e)
+	}
+
+	// Non-matching route passes through untouched.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/courses", nil))
+	if rec.Code != 200 {
+		t.Fatalf("unmatched route got %d", rec.Code)
+	}
+	if st := in.Stats(); st.Matched != 1 || st.Errored != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSeedDeterminism: the same seed injects the same fault sequence.
+func TestSeedDeterminism(t *testing.T) {
+	sequence := func(seed int64) string {
+		in := New(seed, Rule{Probability: 0.5, Status: 500})
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if in.ComputeError("compute/x") != nil {
+				b.WriteByte('E')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a, b := sequence(42), sequence(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "E") || !strings.Contains(a, ".") {
+		t.Fatalf("p=0.5 sequence is degenerate: %s", a)
+	}
+	if c := sequence(7); c == a {
+		t.Fatalf("different seeds produced identical sequences: %s", c)
+	}
+}
+
+func TestComputeErrorAndSetRules(t *testing.T) {
+	in := New(1)
+	if err := in.ComputeError("compute/types"); err != nil {
+		t.Fatalf("ruleless injector injected %v", err)
+	}
+	in.SetRules(Rule{Match: "compute/types", Probability: 1, Status: 500})
+	if err := in.ComputeError("compute/types"); err == nil {
+		t.Fatal("rule did not inject")
+	} else if !strings.Contains(err.Error(), "fault_injected") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := in.ComputeError("compute/cluster"); err != nil {
+		t.Fatalf("prefix match leaked to other label: %v", err)
+	}
+	in.SetRules()
+	if err := in.ComputeError("compute/types"); err != nil {
+		t.Fatalf("cleared rules still inject: %v", err)
+	}
+}
+
+func TestInjectPanic(t *testing.T) {
+	in := New(1, Rule{Probability: 1, Panic: true})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic injected")
+		}
+		if st := in.Stats(); st.Panicked != 1 {
+			t.Fatalf("stats = %+v", st)
+		}
+	}()
+	in.ComputeError("compute/anything")
+}
+
+// TestHoldBlocksDeterministically: a Hold rule parks the request until
+// the channel closes — the deterministic "slow request" for tests.
+func TestHoldBlocksDeterministically(t *testing.T) {
+	hold := make(chan struct{})
+	in := New(1, Rule{Match: "/slow", Probability: 1, Hold: hold})
+	h := in.Middleware(okHandler())
+
+	done := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/slow", nil))
+		done <- rec.Code
+	}()
+	select {
+	case code := <-done:
+		t.Fatalf("held request completed early with %d", code)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(hold)
+	select {
+	case code := <-done:
+		if code != 200 {
+			t.Fatalf("released request got %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never released")
+	}
+	if st := in.Stats(); st.Held != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.ComputeError("x") != nil {
+		t.Fatal("nil injector injected")
+	}
+	in.SetRules(Rule{Probability: 1, Status: 500})
+	if got := in.Stats(); got != (Stats{}) {
+		t.Fatalf("nil stats = %+v", got)
+	}
+	h := in.Middleware(okHandler())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Fatal("nil middleware altered the response")
+	}
+}
+
+// TestConcurrentInjection exercises the locking under -race: rules are
+// swapped while requests evaluate them.
+func TestConcurrentInjection(t *testing.T) {
+	in := New(99, Rule{Probability: 0.5, Status: 500})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				in.ComputeError("compute/x")
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			in.SetRules(Rule{Probability: 0.3, Status: 503})
+			in.Stats()
+		}
+	}()
+	wg.Wait()
+}

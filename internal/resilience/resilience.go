@@ -1,0 +1,21 @@
+// Package resilience implements the degradation ladder the API walks
+// when the system is unhealthy: shed load first (reject excess work
+// fast with 429), break circuits second (stop calling a compute path
+// that keeps failing), and degrade third (serve last-known-good stale
+// results instead of errors, via internal/serving's stale store).
+//
+// The package is deliberately stdlib-only and HTTP-agnostic at its
+// core: Shedder and Breaker expose Acquire/Release and Allow/Record
+// primitives; internal/serving and internal/server wire them into the
+// middleware stack and response envelopes. The faultinject subpackage
+// provides the deterministic chaos harness the tests use to prove each
+// rung of the ladder engages.
+package resilience
+
+// Stats is the resilience section of the /debug/metrics snapshot:
+// shedder counters plus the state and accounting of every named
+// circuit breaker.
+type Stats struct {
+	Shedder  ShedderStats            `json:"shedder"`
+	Breakers map[string]BreakerStats `json:"breakers"`
+}

@@ -1,0 +1,76 @@
+package resilience
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRetryAfter is the Retry-After hint handed to shed clients
+// when the Shedder was built without an explicit one.
+const DefaultRetryAfter = time.Second
+
+// Shedder is a concurrency-based load shedder: it admits at most max
+// requests in flight and rejects the rest immediately, so a burst
+// beyond capacity costs a cheap 429 instead of a queue that grows
+// until every client times out.
+//
+// A max <= 0 disables shedding: Acquire always admits (the gauge and
+// counters still work, so metrics stay meaningful).
+type Shedder struct {
+	max        int64
+	retryAfter time.Duration
+
+	inFlight int64  // atomic gauge
+	admitted uint64 // atomic counter
+	shed     uint64 // atomic counter
+}
+
+// NewShedder returns a shedder admitting at most max concurrent
+// requests, hinting Retry-After: retryAfter (DefaultRetryAfter when
+// zero or negative) on rejection.
+func NewShedder(max int, retryAfter time.Duration) *Shedder {
+	if retryAfter <= 0 {
+		retryAfter = DefaultRetryAfter
+	}
+	return &Shedder{max: int64(max), retryAfter: retryAfter}
+}
+
+// Acquire reserves an in-flight slot, reporting whether the request
+// was admitted. Every admitted request must Release exactly once.
+func (s *Shedder) Acquire() bool {
+	n := atomic.AddInt64(&s.inFlight, 1)
+	if s.max > 0 && n > s.max {
+		atomic.AddInt64(&s.inFlight, -1)
+		atomic.AddUint64(&s.shed, 1)
+		return false
+	}
+	atomic.AddUint64(&s.admitted, 1)
+	return true
+}
+
+// Release returns an admitted request's slot.
+func (s *Shedder) Release() { atomic.AddInt64(&s.inFlight, -1) }
+
+// InFlight is the current number of admitted requests.
+func (s *Shedder) InFlight() int64 { return atomic.LoadInt64(&s.inFlight) }
+
+// RetryAfter is the backoff hint for rejected requests.
+func (s *Shedder) RetryAfter() time.Duration { return s.retryAfter }
+
+// ShedderStats is a point-in-time snapshot of the shedder counters.
+type ShedderStats struct {
+	MaxInFlight int64  `json:"max_in_flight"`
+	InFlight    int64  `json:"in_flight"`
+	Admitted    uint64 `json:"admitted_total"`
+	Shed        uint64 `json:"shed_total"`
+}
+
+// Stats snapshots the shedder.
+func (s *Shedder) Stats() ShedderStats {
+	return ShedderStats{
+		MaxInFlight: s.max,
+		InFlight:    atomic.LoadInt64(&s.inFlight),
+		Admitted:    atomic.LoadUint64(&s.admitted),
+		Shed:        atomic.LoadUint64(&s.shed),
+	}
+}

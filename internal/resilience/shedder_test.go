@@ -1,0 +1,77 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShedderAdmitsUpToMax(t *testing.T) {
+	s := NewShedder(2, 0)
+	if !s.Acquire() || !s.Acquire() {
+		t.Fatal("shedder rejected within capacity")
+	}
+	if s.Acquire() {
+		t.Fatal("shedder admitted beyond capacity")
+	}
+	if got := s.InFlight(); got != 2 {
+		t.Fatalf("in-flight = %d, want 2", got)
+	}
+	s.Release()
+	if !s.Acquire() {
+		t.Fatal("shedder rejected after a Release freed a slot")
+	}
+	st := s.Stats()
+	if st.Admitted != 3 || st.Shed != 1 || st.MaxInFlight != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.RetryAfter() != DefaultRetryAfter {
+		t.Fatalf("retry-after = %v, want default", s.RetryAfter())
+	}
+}
+
+func TestShedderDisabled(t *testing.T) {
+	s := NewShedder(0, 3*time.Second)
+	for i := 0; i < 100; i++ {
+		if !s.Acquire() {
+			t.Fatal("disabled shedder rejected a request")
+		}
+	}
+	if st := s.Stats(); st.Shed != 0 || st.InFlight != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.RetryAfter() != 3*time.Second {
+		t.Fatalf("retry-after = %v", s.RetryAfter())
+	}
+}
+
+// TestShedderConcurrent hammers Acquire/Release from many goroutines
+// and checks the books balance: the gauge returns to zero and
+// admitted+shed accounts for every attempt. Run under -race.
+func TestShedderConcurrent(t *testing.T) {
+	s := NewShedder(8, 0)
+	const workers, perWorker = 16, 200
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				if s.Acquire() {
+					if s.InFlight() > 8 {
+						t.Error("in-flight exceeded max")
+					}
+					s.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("gauge did not return to zero: %+v", st)
+	}
+	if st.Admitted+st.Shed != workers*perWorker {
+		t.Fatalf("admitted %d + shed %d != %d attempts", st.Admitted, st.Shed, workers*perWorker)
+	}
+}

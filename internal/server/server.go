@@ -14,15 +14,31 @@
 // LRU cache; concurrent identical requests collapse into a single
 // computation via singleflight. Per-route metrics are served at
 // GET /debug/metrics. Built on net/http only.
+//
+// Every analysis request walks internal/resilience's degradation
+// ladder: a load shedder rejects work beyond -max-inflight with 429 +
+// Retry-After before it costs anything; a per-analysis circuit breaker
+// opens after repeated compute failures so a broken path fails fast
+// (503 circuit_open + Retry-After); and when a compute fails, times
+// out, or is circuit-broken, the last-known-good cached value is
+// served instead with meta.stale: true and an X-Served-Stale header
+// while a breaker-gated refresh runs in the background. GET /readyz is
+// the readiness probe (distinct from the /healthz liveness probe): it
+// stays 503 until the dataset is loaded and the all-group agreement
+// analysis has been warmed, and always reports breaker states.
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"csmaterials/internal/agreement"
 	"csmaterials/internal/anchor"
@@ -35,6 +51,8 @@ import (
 	"csmaterials/internal/materials"
 	"csmaterials/internal/nnmf"
 	"csmaterials/internal/ontology"
+	"csmaterials/internal/resilience"
+	"csmaterials/internal/resilience/faultinject"
 	"csmaterials/internal/search"
 	"csmaterials/internal/serving"
 )
@@ -42,6 +60,10 @@ import (
 // DefaultCacheSize bounds the analysis result cache when Options does
 // not say otherwise.
 const DefaultCacheSize = 256
+
+// DefaultMaxInFlight bounds concurrently served API requests when
+// Options does not say otherwise.
+const DefaultMaxInFlight = 256
 
 // Options configures a Server.
 type Options struct {
@@ -52,6 +74,29 @@ type Options struct {
 	// Logger receives access logs and panic stacks; nil disables
 	// logging (useful in tests and benchmarks).
 	Logger *log.Logger
+	// MaxInFlight bounds concurrently served /api/ requests; excess is
+	// shed immediately with 429 + Retry-After. Zero means
+	// DefaultMaxInFlight; a negative value disables shedding.
+	MaxInFlight int
+	// BreakerThreshold is the number of consecutive compute failures
+	// that opens an analysis's circuit. Zero means
+	// resilience.DefaultBreakerThreshold; a negative value disables
+	// circuit breaking.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects before
+	// half-opening for a probe. Zero means
+	// resilience.DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// DisableStaleServe turns off last-known-good degradation: compute
+	// failures become errors instead of stale responses.
+	DisableStaleServe bool
+	// Faults, when non-nil, injects chaos (latency, errors, panics)
+	// into API routes and compute paths. Tests and demos only.
+	Faults *faultinject.Injector
+
+	// disableWarmup skips the background readiness warmup so tests can
+	// drive the /readyz transition deterministically.
+	disableWarmup bool
 }
 
 // Server holds the shared read-only state behind the handlers.
@@ -64,6 +109,15 @@ type Server struct {
 	cache       *serving.Cache
 	metrics     *serving.Metrics
 	logger      *log.Logger
+
+	shedder    *resilience.Shedder
+	breakers   *resilience.BreakerSet // nil when circuit breaking is disabled
+	faults     *faultinject.Injector  // nil when no chaos is injected
+	staleServe bool
+
+	readyMu  sync.Mutex
+	ready    bool
+	readyErr error
 
 	// analyzeTypes is factorize.Analyze, injectable so tests can count
 	// underlying calls through the cache/singleflight path.
@@ -83,6 +137,12 @@ func NewWithOptions(o Options) (*Server, error) {
 	if size == 0 {
 		size = DefaultCacheSize
 	}
+	maxInFlight := o.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = DefaultMaxInFlight
+	} else if maxInFlight < 0 {
+		maxInFlight = 0 // shedder treats 0 as unlimited
+	}
 	s := &Server{
 		repo:         dataset.Repository(),
 		engine:       search.NewEngine(dataset.Repository()),
@@ -91,11 +151,27 @@ func NewWithOptions(o Options) (*Server, error) {
 		cache:        serving.NewCache(size),
 		metrics:      serving.NewMetrics(),
 		logger:       o.Logger,
+		shedder:      resilience.NewShedder(maxInFlight, 0),
+		faults:       o.Faults,
+		staleServe:   !o.DisableStaleServe,
 		analyzeTypes: factorize.Analyze,
 	}
+	if o.BreakerThreshold >= 0 {
+		s.breakers = resilience.NewBreakerSet(o.BreakerThreshold, o.BreakerCooldown)
+	}
 	s.metrics.ObserveCache(s.cache)
+	s.metrics.ObserveResilience(func() resilience.Stats {
+		st := resilience.Stats{Shedder: s.shedder.Stats()}
+		if s.breakers != nil {
+			st.Breakers = s.breakers.Stats()
+		}
+		return st
+	})
 	s.routes()
 	s.handler = serving.Recover(s.logger, serving.AccessLog(s.logger, http.HandlerFunc(s.route)))
+	if !o.disableWarmup {
+		go s.warmup()
+	}
 	return s, nil
 }
 
@@ -110,14 +186,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 
 func (s *Server) routes() {
 	s.handle("GET /healthz", http.HandlerFunc(s.handleHealth))
-	s.handle("GET /api/v1/courses", http.HandlerFunc(s.handleCourses))
-	s.handle("GET /api/v1/courses/{id}", http.HandlerFunc(s.handleCourse))
-	s.handle("GET /api/v1/courses/{id}/{view}", http.HandlerFunc(s.handleCourseView))
-	s.handle("GET /api/v1/search", http.HandlerFunc(s.handleSearch))
-	s.handle("GET /api/v1/agreement", http.HandlerFunc(s.handleAgreement))
-	s.handle("GET /api/v1/types", http.HandlerFunc(s.handleTypes))
-	s.handle("GET /api/v1/cluster", http.HandlerFunc(s.handleCluster))
-	s.handle("GET /api/v1/figures/{id}", http.HandlerFunc(s.handleFigure))
+	s.handle("GET /readyz", http.HandlerFunc(s.handleReady))
+	s.handleAPI("GET /api/v1/courses", http.HandlerFunc(s.handleCourses))
+	s.handleAPI("GET /api/v1/courses/{id}", http.HandlerFunc(s.handleCourse))
+	s.handleAPI("GET /api/v1/courses/{id}/{view}", http.HandlerFunc(s.handleCourseView))
+	s.handleAPI("GET /api/v1/search", http.HandlerFunc(s.handleSearch))
+	s.handleAPI("GET /api/v1/agreement", http.HandlerFunc(s.handleAgreement))
+	s.handleAPI("GET /api/v1/types", http.HandlerFunc(s.handleTypes))
+	s.handleAPI("GET /api/v1/cluster", http.HandlerFunc(s.handleCluster))
+	s.handleAPI("GET /api/v1/figures/{id}", http.HandlerFunc(s.handleFigure))
 	s.handle("GET /debug/metrics", s.metrics.Handler())
 	s.handle("/api/", http.HandlerFunc(s.handleLegacy))
 }
@@ -125,6 +202,13 @@ func (s *Server) routes() {
 // handle registers pattern with per-route instrumentation.
 func (s *Server) handle(pattern string, h http.Handler) {
 	s.mux.Handle(pattern, serving.Instrument(s.metrics, pattern, h))
+}
+
+// handleAPI registers an /api/v1 route behind the load shedder and
+// (when configured) the fault injector, inside the per-route
+// instrumentation so shed 429s are metered against their route.
+func (s *Server) handleAPI(pattern string, h http.Handler) {
+	s.handle(pattern, serving.Shed(s.shedder, s.faults.Middleware(h)))
 }
 
 // route dispatches through the mux, replacing its plain-text 404/405
@@ -188,9 +272,14 @@ type ListMeta struct {
 // CacheMeta is the meta block of cached analysis endpoints.
 type CacheMeta struct {
 	// Cache is "hit" when the result was served without recomputing
-	// (retained entry or shared singleflight), "miss" otherwise.
+	// (retained entry or shared singleflight), "miss" when this
+	// request computed it, and "stale" when a last-known-good value
+	// was served because the compute path is failing or circuit-broken.
 	Cache string `json:"cache"`
 	Key   string `json:"key"`
+	// Stale marks a degraded response; stale responses also carry an
+	// X-Served-Stale: true header.
+	Stale bool `json:"stale,omitempty"`
 }
 
 func cacheMeta(key string, served bool) CacheMeta {
@@ -198,6 +287,10 @@ func cacheMeta(key string, served bool) CacheMeta {
 		return CacheMeta{Cache: "hit", Key: key}
 	}
 	return CacheMeta{Cache: "miss", Key: key}
+}
+
+func staleMeta(key string) CacheMeta {
+	return CacheMeta{Cache: "stale", Key: key, Stale: true}
 }
 
 func writeData(w http.ResponseWriter, status int, data, meta interface{}) {
@@ -236,6 +329,86 @@ func writeComputeError(w http.ResponseWriter, err error) {
 		return
 	}
 	writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+}
+
+// isServerFailure classifies err for the circuit breaker and the stale
+// fallback: client-side httpErrors (4xx — bad parameters, unknown
+// figures) are the service working correctly, anything else is a
+// failure of the compute path.
+func isServerFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var he *httpError
+	if errors.As(err, &he) && he.status < 500 {
+		return false
+	}
+	return true
+}
+
+// --- The resilience ladder -----------------------------------------------
+
+// cachedAnalysis runs compute for key through the full degradation
+// ladder: fresh cache → breaker-guarded singleflight compute → stale
+// last-known-good fallback. It returns (value, meta, true) when the
+// caller should write the value; on false the error response has
+// already been written (or, for a disconnected client, suppressed).
+//
+// name identifies the analysis kind ("types", "cluster", ...) and
+// selects the circuit breaker; the fault injector sees it as the
+// compute label "compute/<name>".
+func (s *Server) cachedAnalysis(w http.ResponseWriter, r *http.Request, name, key string, compute func() (interface{}, error)) (interface{}, CacheMeta, bool) {
+	var br *resilience.Breaker
+	if s.breakers != nil {
+		br = s.breakers.Get(name)
+	}
+	guarded := func() (interface{}, error) {
+		if br != nil && !br.Allow() {
+			return nil, resilience.ErrOpen
+		}
+		err := s.faults.ComputeError("compute/" + name)
+		var v interface{}
+		if err == nil {
+			v, err = compute()
+		}
+		if br != nil {
+			br.Record(!isServerFailure(err))
+		}
+		return v, err
+	}
+
+	v, served, err := s.cache.DoCtx(r.Context(), key, guarded)
+	if err == nil {
+		return v, cacheMeta(key, served), true
+	}
+	if errors.Is(err, context.Canceled) {
+		// The client disconnected; there is nobody to answer. The
+		// computation (if any) finishes detached and is cached.
+		return nil, CacheMeta{}, false
+	}
+
+	// Degrade: a circuit-broken, failing, or timed-out compute is
+	// answered with the last-known-good value when one exists, while a
+	// breaker-gated refresh runs detached in the background.
+	if s.staleServe && (errors.Is(err, resilience.ErrOpen) || errors.Is(err, context.DeadlineExceeded) || isServerFailure(err)) {
+		if sv, ok := s.cache.Stale(key); ok {
+			w.Header().Set("X-Served-Stale", "true")
+			go func() { _, _, _ = s.cache.Do(key, guarded) }()
+			return sv, staleMeta(key), true
+		}
+	}
+
+	switch {
+	case errors.Is(err, resilience.ErrOpen):
+		w.Header().Set("Retry-After", serving.RetryAfterSeconds(br.RetryAfter()))
+		writeError(w, http.StatusServiceUnavailable, "circuit_open",
+			"analysis %q is temporarily disabled after repeated failures; retry later", name)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "timeout", "computation for %q timed out", key)
+	default:
+		writeComputeError(w, err)
+	}
+	return nil, CacheMeta{}, false
 }
 
 // --- Query parameter parsing ---------------------------------------------
@@ -293,6 +466,55 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Courses:   len(s.repo.Courses()),
 		Materials: s.repo.NumMaterials(),
 	}, nil)
+}
+
+// --- Readiness -----------------------------------------------------------
+
+// warmup pre-computes the all-group agreement analysis under the exact
+// cache key /api/v1/agreement uses, proving the dataset is loaded and
+// the all-group analyses are warmable, then flips /readyz to ready.
+func (s *Server) warmup() {
+	_, _, err := s.cache.Do(agreementKey("all", 2), func() (interface{}, error) {
+		ids, err := groupCourseIDs("all")
+		if err != nil {
+			return nil, err
+		}
+		return computeAgreement(ids, 2)
+	})
+	s.readyMu.Lock()
+	s.ready = err == nil
+	s.readyErr = err
+	s.readyMu.Unlock()
+}
+
+// ReadyResponse is the /readyz data payload. Unlike /healthz (pure
+// liveness), readiness reflects whether the server has warmed its
+// all-group analyses, and the payload always reports circuit states so
+// operators can see degradation at a glance.
+type ReadyResponse struct {
+	Status   string                             `json:"status"` // "ready", "starting", or "unready"
+	Reason   string                             `json:"reason,omitempty"`
+	Breakers map[string]resilience.BreakerStats `json:"breakers"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.readyMu.Lock()
+	ready, readyErr := s.ready, s.readyErr
+	s.readyMu.Unlock()
+	resp := ReadyResponse{Status: "ready", Breakers: map[string]resilience.BreakerStats{}}
+	if s.breakers != nil {
+		resp.Breakers = s.breakers.Stats()
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+		resp.Status = "starting"
+		if readyErr != nil {
+			resp.Status = "unready"
+			resp.Reason = readyErr.Error()
+		}
+	}
+	writeData(w, status, resp, nil)
 }
 
 // --- Courses -------------------------------------------------------------
@@ -404,7 +626,7 @@ func (s *Server) handleCourseView(w http.ResponseWriter, r *http.Request) {
 	case "materials":
 		writeData(w, http.StatusOK, c.Materials, ListMeta{Total: len(c.Materials), Limit: len(c.Materials), Offset: 0})
 	case "anchors":
-		v, served, err := s.cache.Do("anchors|"+c.ID, func() (interface{}, error) {
+		v, m, ok := s.cachedAnalysis(w, r, "anchors", "anchors|"+c.ID, func() (interface{}, error) {
 			recs := s.recommender.Recommend(c)
 			out := make([]AnchorRec, 0, len(recs))
 			for _, rc := range recs {
@@ -416,13 +638,12 @@ func (s *Server) handleCourseView(w http.ResponseWriter, r *http.Request) {
 			}
 			return out, nil
 		})
-		if err != nil {
-			writeComputeError(w, err)
+		if !ok {
 			return
 		}
-		writeData(w, http.StatusOK, v.([]AnchorRec), cacheMeta("anchors|"+c.ID, served))
+		writeData(w, http.StatusOK, v, m)
 	case "audit":
-		v, served, err := s.cache.Do("audit|"+c.ID, func() (interface{}, error) {
+		v, m, ok := s.cachedAnalysis(w, r, "audit", "audit|"+c.ID, func() (interface{}, error) {
 			rep := audit.Audit(c, ontology.CS2013())
 			readiness := audit.AssessPDCReadiness(c)
 			units := make([]AuditUnit, 0, len(rep.Units))
@@ -444,11 +665,10 @@ func (s *Server) handleCourseView(w http.ResponseWriter, r *http.Request) {
 				PrerequisiteScore: readiness.PrerequisiteScore(),
 			}, nil
 		})
-		if err != nil {
-			writeComputeError(w, err)
+		if !ok {
 			return
 		}
-		writeData(w, http.StatusOK, v.(*AuditResponse), cacheMeta("audit|"+c.ID, served))
+		writeData(w, http.StatusOK, v, m)
 	case "pdcmaterials":
 		limit, err := parseIntParam(r, "limit", 10, 1)
 		if err != nil {
@@ -456,7 +676,7 @@ func (s *Server) handleCourseView(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		key := fmt.Sprintf("pdcmaterials|%s|%d", c.ID, limit)
-		v, served, err := s.cache.Do(key, func() (interface{}, error) {
+		v, m, ok := s.cachedAnalysis(w, r, "pdcmaterials", key, func() (interface{}, error) {
 			recs := catalog.Recommend(c, limit)
 			out := make([]PDCRec, 0, len(recs))
 			for _, rc := range recs {
@@ -468,11 +688,10 @@ func (s *Server) handleCourseView(w http.ResponseWriter, r *http.Request) {
 			}
 			return out, nil
 		})
-		if err != nil {
-			writeComputeError(w, err)
+		if !ok {
 			return
 		}
-		writeData(w, http.StatusOK, v.([]PDCRec), cacheMeta(key, served))
+		writeData(w, http.StatusOK, v, m)
 	default:
 		writeError(w, http.StatusNotFound, "not_found", "unknown course view %q", view)
 	}
@@ -563,6 +782,33 @@ type AgreementResponse struct {
 	Threshold int            `json:"threshold"`
 }
 
+// computeAgreement builds the agreement payload for ids; shared by the
+// handler and the readiness warmup (which pre-computes the all-group
+// analysis under the same cache key the handler uses).
+func computeAgreement(ids []string, threshold int) (interface{}, error) {
+	a, err := agreement.Analyze(dataset.CoursesByID(ids), ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		return nil, err
+	}
+	atLeast := make(map[string]int, len(ids))
+	for k := 2; k <= len(ids); k++ {
+		atLeast[strconv.Itoa(k)] = a.AtLeast(k)
+	}
+	return &AgreementResponse{
+		Courses:   ids,
+		Tags:      a.NumTags(),
+		AtLeast:   atLeast,
+		KASpan:    a.KASpan(threshold),
+		KACounts:  a.KACounts(threshold),
+		Threshold: threshold,
+	}, nil
+}
+
+// agreementKey is the cache key of /api/v1/agreement responses.
+func agreementKey(group string, threshold int) string {
+	return fmt.Sprintf("agreement|%s|%d", normGroup(group), threshold)
+}
+
 func (s *Server) handleAgreement(w http.ResponseWriter, r *http.Request) {
 	group := r.URL.Query().Get("group")
 	ids, err := groupCourseIDs(group)
@@ -575,30 +821,14 @@ func (s *Server) handleAgreement(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	key := fmt.Sprintf("agreement|%s|%d", normGroup(group), threshold)
-	v, served, err := s.cache.Do(key, func() (interface{}, error) {
-		a, err := agreement.Analyze(dataset.CoursesByID(ids), ontology.CS2013(), ontology.PDC12())
-		if err != nil {
-			return nil, err
-		}
-		atLeast := make(map[string]int, len(ids))
-		for k := 2; k <= len(ids); k++ {
-			atLeast[strconv.Itoa(k)] = a.AtLeast(k)
-		}
-		return &AgreementResponse{
-			Courses:   ids,
-			Tags:      a.NumTags(),
-			AtLeast:   atLeast,
-			KASpan:    a.KASpan(threshold),
-			KACounts:  a.KACounts(threshold),
-			Threshold: threshold,
-		}, nil
+	key := agreementKey(group, threshold)
+	v, m, ok := s.cachedAnalysis(w, r, "agreement", key, func() (interface{}, error) {
+		return computeAgreement(ids, threshold)
 	})
-	if err != nil {
-		writeComputeError(w, err)
+	if !ok {
 		return
 	}
-	writeData(w, http.StatusOK, v.(*AgreementResponse), cacheMeta(key, served))
+	writeData(w, http.StatusOK, v, m)
 }
 
 // CourseType is one course's NNMF typing.
@@ -641,7 +871,7 @@ func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("types|%s|%d", normGroup(group), k)
-	v, served, err := s.cache.Do(key, func() (interface{}, error) {
+	v, m, ok := s.cachedAnalysis(w, r, "types", key, func() (interface{}, error) {
 		model, err := s.analyzeTypes(dataset.CoursesByID(ids), k, factorize.PaperOptions(),
 			ontology.CS2013(), ontology.PDC12())
 		if err != nil {
@@ -670,11 +900,10 @@ func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
 		}
 		return &TypesResponse{K: k, Courses: courses, Types: types, Redundancy: model.Redundancy()}, nil
 	})
-	if err != nil {
-		writeComputeError(w, err)
+	if !ok {
 		return
 	}
-	writeData(w, http.StatusOK, v.(*TypesResponse), cacheMeta(key, served))
+	writeData(w, http.StatusOK, v, m)
 }
 
 // ClusterResponse is the /api/v1/cluster data payload.
@@ -698,7 +927,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("cluster|%s|%d", normGroup(group), k)
-	v, served, err := s.cache.Do(key, func() (interface{}, error) {
+	v, m, ok := s.cachedAnalysis(w, r, "cluster", key, func() (interface{}, error) {
 		d, err := cluster.Build(dataset.CoursesByID(ids), cluster.Average)
 		if err != nil {
 			return nil, err
@@ -719,11 +948,10 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			Clusters: out, Dendrogram: d.Render(),
 		}, nil
 	})
-	if err != nil {
-		writeComputeError(w, err)
+	if !ok {
 		return
 	}
-	writeData(w, http.StatusOK, v.(*ClusterResponse), cacheMeta(key, served))
+	writeData(w, http.StatusOK, v, m)
 }
 
 // --- Figures -------------------------------------------------------------
@@ -738,7 +966,7 @@ type FigureResponse struct {
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	key := "figure|" + id
-	v, served, err := s.cache.Do(key, func() (interface{}, error) {
+	v, m, ok := s.cachedAnalysis(w, r, "figures", key, func() (interface{}, error) {
 		for _, f := range core.Figures() {
 			if f.ID == id {
 				return f.Gen()
@@ -746,8 +974,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil, &httpError{status: http.StatusNotFound, code: "not_found", msg: fmt.Sprintf("unknown figure %q", id)}
 	})
-	if err != nil {
-		writeComputeError(w, err)
+	if !ok {
 		return
 	}
 	art := v.(*core.Artifact)
@@ -767,5 +994,5 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		svgNames = append(svgNames, name)
 	}
 	sort.Strings(svgNames)
-	writeData(w, http.StatusOK, FigureResponse{ID: art.ID, Text: art.Text, SVGs: svgNames}, cacheMeta(key, served))
+	writeData(w, http.StatusOK, FigureResponse{ID: art.ID, Text: art.Text, SVGs: svgNames}, m)
 }

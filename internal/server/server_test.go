@@ -48,6 +48,7 @@ type env struct {
 		Offset int    `json:"offset"`
 		Cache  string `json:"cache"`
 		Key    string `json:"key"`
+		Stale  bool   `json:"stale"`
 	} `json:"meta"`
 }
 

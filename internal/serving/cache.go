@@ -2,6 +2,7 @@ package serving
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -10,8 +11,16 @@ import (
 // completed results are retained (most recently used first) up to the
 // configured capacity. Errors are never cached.
 //
-// A capacity <= 0 disables retention — every Do misses — but
-// singleflight deduplication still collapses concurrent callers.
+// Alongside the fresh LRU the cache keeps a stale store of
+// last-known-good values, bounded at twice the fresh capacity and
+// ordered by recency of use, so an entry evicted from the fresh LRU
+// remains available for degraded serving (Stale) for a while longer.
+// The stale store only ever holds values that were at some point
+// computed successfully.
+//
+// A capacity <= 0 disables retention — every Do misses and nothing is
+// kept for stale serving — but singleflight deduplication still
+// collapses concurrent callers.
 type Cache struct {
 	capacity int
 	group    Group
@@ -20,10 +29,15 @@ type Cache struct {
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	shared    uint64
+	staleCap   int
+	staleLL    *list.List // front = most recently written/used
+	staleItems map[string]*list.Element
+
+	hits        uint64
+	misses      uint64
+	evictions   uint64
+	shared      uint64
+	staleServed uint64
 }
 
 type cacheEntry struct {
@@ -31,12 +45,16 @@ type cacheEntry struct {
 	val interface{}
 }
 
-// NewCache returns a cache holding at most capacity entries.
+// NewCache returns a cache holding at most capacity fresh entries and
+// 2*capacity stale last-known-good entries.
 func NewCache(capacity int) *Cache {
 	return &Cache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
+		capacity:   capacity,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		staleCap:   2 * capacity,
+		staleLL:    list.New(),
+		staleItems: make(map[string]*list.Element),
 	}
 }
 
@@ -46,6 +64,7 @@ func (c *Cache) Get(key string) (interface{}, bool) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
+		c.touchStale(key) // keep the stale copy as warm as the fresh one
 		c.hits++
 		return el.Value.(*cacheEntry).val, true
 	}
@@ -53,13 +72,15 @@ func (c *Cache) Get(key string) (interface{}, bool) {
 	return nil, false
 }
 
-// put stores key→val, evicting the least recently used entry when full.
+// put stores key→val in both the fresh LRU and the stale store,
+// evicting least-recently-used entries from each when over capacity.
 func (c *Cache) put(key string, val interface{}) {
 	if c.capacity <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putStale(key, val)
 	if el, ok := c.items[key]; ok {
 		el.Value.(*cacheEntry).val = val
 		c.ll.MoveToFront(el)
@@ -74,15 +95,59 @@ func (c *Cache) put(key string, val interface{}) {
 	}
 }
 
-// Do returns the cached value for key or computes it, deduplicating
+// putStale upserts key→val into the stale store; callers hold c.mu.
+func (c *Cache) putStale(key string, val interface{}) {
+	if el, ok := c.staleItems[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.staleLL.MoveToFront(el)
+		return
+	}
+	c.staleItems[key] = c.staleLL.PushFront(&cacheEntry{key: key, val: val})
+	for c.staleLL.Len() > c.staleCap {
+		oldest := c.staleLL.Back()
+		c.staleLL.Remove(oldest)
+		delete(c.staleItems, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// touchStale marks key's stale copy recently used; callers hold c.mu.
+func (c *Cache) touchStale(key string) {
+	if el, ok := c.staleItems[key]; ok {
+		c.staleLL.MoveToFront(el)
+	}
+}
+
+// Stale returns the last-known-good value for key from the stale
+// store, counting a stale serve when found. Callers use it as the
+// degraded fallback after Do failed (or was rejected by an open
+// circuit); a found entry is marked recently used so actively
+// degraded keys are the last to fall out.
+func (c *Cache) Stale(key string) (interface{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.staleItems[key]; ok {
+		c.staleLL.MoveToFront(el)
+		c.staleServed++
+		return el.Value.(*cacheEntry).val, true
+	}
+	return nil, false
+}
+
+// DoCtx returns the cached value for key or computes it, deduplicating
 // concurrent computations for the same key through the singleflight
 // group. The boolean reports whether the value was served without
 // running compute in this call (a cache hit or a shared flight).
-func (c *Cache) Do(key string, compute func() (interface{}, error)) (interface{}, bool, error) {
+//
+// The computation is detached from ctx: once started it runs to
+// completion and its result is cached, even if every waiting caller's
+// ctx is cancelled first — a disconnecting client cannot poison the
+// entry for the next request. The cancelled caller itself receives
+// ctx.Err().
+func (c *Cache) DoCtx(ctx context.Context, key string, compute func() (interface{}, error)) (interface{}, bool, error) {
 	if v, ok := c.Get(key); ok {
 		return v, true, nil
 	}
-	v, err, sharedFlight := c.group.Do(key, func() (interface{}, error) {
+	v, err, sharedFlight := c.group.DoCtx(ctx, key, func() (interface{}, error) {
 		v, err := compute()
 		if err == nil {
 			c.put(key, v)
@@ -97,7 +162,14 @@ func (c *Cache) Do(key string, compute func() (interface{}, error)) (interface{}
 	return v, sharedFlight, err
 }
 
-// Reset drops all retained entries; counters are preserved.
+// Do is DoCtx with a background context.
+func (c *Cache) Do(key string, compute func() (interface{}, error)) (interface{}, bool, error) {
+	return c.DoCtx(context.Background(), key, compute)
+}
+
+// Reset drops all retained fresh entries; the stale last-known-good
+// store and the counters are preserved, so a reset (like any other
+// fresh-cache miss) can still degrade to stale serving.
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -107,24 +179,28 @@ func (c *Cache) Reset() {
 
 // CacheStats is a point-in-time snapshot of the cache counters.
 type CacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Shared    uint64 `json:"shared_flights"`
-	Evictions uint64 `json:"evictions"`
-	Size      int    `json:"size"`
-	Capacity  int    `json:"capacity"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Shared      uint64 `json:"shared_flights"`
+	Evictions   uint64 `json:"evictions"`
+	Size        int    `json:"size"`
+	Capacity    int    `json:"capacity"`
+	StaleSize   int    `json:"stale_size"`
+	StaleServed uint64 `json:"stale_served"`
 }
 
-// Stats snapshots the hit/miss/eviction accounting.
+// Stats snapshots the hit/miss/eviction/stale accounting.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Shared:    c.shared,
-		Evictions: c.evictions,
-		Size:      c.ll.Len(),
-		Capacity:  c.capacity,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Shared:      c.shared,
+		Evictions:   c.evictions,
+		Size:        c.ll.Len(),
+		Capacity:    c.capacity,
+		StaleSize:   c.staleLL.Len(),
+		StaleServed: c.staleServed,
 	}
 }

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -158,5 +159,133 @@ func TestCacheConcurrentMixedKeys(t *testing.T) {
 	st := c.Stats()
 	if st.Size != len(keys) {
 		t.Fatalf("size = %d, want %d", st.Size, len(keys))
+	}
+}
+
+// TestCacheDoCtxClientDisconnect simulates a client disconnecting
+// mid-compute: the DoCtx caller gets ctx.Err(), the computation still
+// runs to completion, and its result lands in the cache for the next
+// request.
+func TestCacheDoCtxClientDisconnect(t *testing.T) {
+	c := NewCache(4)
+	started := make(chan struct{})
+	block := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var calls int32
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoCtx(ctx, "k", func() (interface{}, error) {
+			atomic.AddInt32(&calls, 1)
+			close(started)
+			<-block
+			return "v", nil
+		})
+		errCh <- err
+	}()
+	<-started
+	cancel() // client goes away mid-compute
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("disconnected caller got %v", err)
+	}
+	close(block)
+
+	// The detached flight completes and caches: the next request is a
+	// pure hit with no recompute.
+	waitFor(t, func() bool { _, ok := c.Get("k"); return ok })
+	v, served, err := c.Do("k", func() (interface{}, error) {
+		atomic.AddInt32(&calls, 1)
+		return "other", nil
+	})
+	if err != nil || !served || v.(string) != "v" {
+		t.Fatalf("post-disconnect Do: v=%v served=%v err=%v", v, served, err)
+	}
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+}
+
+// TestCacheStaleSurvivesEviction: the stale store (2x capacity) keeps
+// serving last-known-good values for entries the fresh LRU has already
+// dropped, and evicts in LRU order itself.
+func TestCacheStaleSurvivesEviction(t *testing.T) {
+	c := NewCache(1) // stale capacity 2
+	put := func(k string) {
+		if _, _, err := c.Do(k, func() (interface{}, error) { return "val-" + k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b") // evicts a from fresh; stale = {b, a}
+	put("c") // evicts b from fresh; stale = {c, b}, a falls out
+
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b still fresh after eviction")
+	}
+	if v, ok := c.Stale("b"); !ok || v.(string) != "val-b" {
+		t.Fatalf("stale b = %v, %v", v, ok)
+	}
+	if _, ok := c.Stale("a"); ok {
+		t.Fatal("a survived stale eviction out of order (want oldest-first)")
+	}
+	st := c.Stats()
+	if st.StaleSize != 2 || st.StaleServed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCacheStaleOrderingFollowsUse: fresh hits refresh the stale
+// copy's position, so a hot entry outlives a colder, newer one in the
+// stale store.
+func TestCacheStaleOrderingFollowsUse(t *testing.T) {
+	c := NewCache(2) // stale capacity 4
+	put := func(k string) {
+		if _, _, err := c.Do(k, func() (interface{}, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	c.Get("a") // touches a in both stores: stale order a, b
+	put("c")
+	put("d")
+	put("e") // stale capacity 4: evicts the coldest — b, not the touched a
+
+	if _, ok := c.Stale("b"); ok {
+		t.Fatal("cold b survived over touched a")
+	}
+	if _, ok := c.Stale("a"); !ok {
+		t.Fatal("touched a was stale-evicted")
+	}
+}
+
+// TestCacheResetKeepsStale: Reset drops the fresh entries only; the
+// last-known-good store still answers, which is what lets a restarted
+// (or wiped) fresh cache degrade gracefully while computes fail.
+func TestCacheResetKeepsStale(t *testing.T) {
+	c := NewCache(4)
+	if _, _, err := c.Do("k", func() (interface{}, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("fresh entry survived Reset")
+	}
+	if v, ok := c.Stale("k"); !ok || v.(int) != 1 {
+		t.Fatalf("stale entry lost on Reset: %v, %v", v, ok)
+	}
+}
+
+// TestCacheDisabledHasNoStale: capacity <= 0 disables both stores.
+func TestCacheDisabledHasNoStale(t *testing.T) {
+	c := NewCache(0)
+	if _, _, err := c.Do("k", func() (interface{}, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Stale("k"); ok {
+		t.Fatal("disabled cache retained a stale entry")
+	}
+	if st := c.Stats(); st.StaleSize != 0 {
+		t.Fatalf("stats = %+v", st)
 	}
 }

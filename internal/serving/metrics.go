@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"csmaterials/internal/resilience"
 )
 
 // latencyBucketsMS are the histogram upper bounds, in milliseconds.
@@ -28,9 +30,10 @@ type Metrics struct {
 	start    time.Time
 	inFlight int64
 
-	mu     sync.Mutex
-	routes map[string]*routeStats
-	cache  *Cache
+	mu         sync.Mutex
+	routes     map[string]*routeStats
+	cache      *Cache
+	resilience func() resilience.Stats
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -42,6 +45,14 @@ func NewMetrics() *Metrics {
 func (m *Metrics) ObserveCache(c *Cache) {
 	m.mu.Lock()
 	m.cache = c
+	m.mu.Unlock()
+}
+
+// ObserveResilience includes shedder/breaker accounting in the metrics
+// snapshot; f is called once per snapshot.
+func (m *Metrics) ObserveResilience(f func() resilience.Stats) {
+	m.mu.Lock()
+	m.resilience = f
 	m.mu.Unlock()
 }
 
@@ -103,14 +114,14 @@ func (rs *routeStats) quantileMS(q float64) float64 {
 
 // RouteSnapshot is the JSON form of one route's stats.
 type RouteSnapshot struct {
-	Count     uint64            `json:"count"`
-	ByStatus  map[string]uint64 `json:"by_status"`
-	Buckets   map[string]uint64 `json:"latency_buckets_ms"`
-	MeanMS    float64           `json:"mean_ms"`
-	MaxMS     float64           `json:"max_ms"`
-	P50MS     float64           `json:"p50_ms"`
-	P90MS     float64           `json:"p90_ms"`
-	P99MS     float64           `json:"p99_ms"`
+	Count    uint64            `json:"count"`
+	ByStatus map[string]uint64 `json:"by_status"`
+	Buckets  map[string]uint64 `json:"latency_buckets_ms"`
+	MeanMS   float64           `json:"mean_ms"`
+	MaxMS    float64           `json:"max_ms"`
+	P50MS    float64           `json:"p50_ms"`
+	P90MS    float64           `json:"p90_ms"`
+	P99MS    float64           `json:"p99_ms"`
 }
 
 // Snapshot is the JSON document served at /debug/metrics.
@@ -119,6 +130,7 @@ type Snapshot struct {
 	InFlight      int64                    `json:"in_flight"`
 	Routes        map[string]RouteSnapshot `json:"routes"`
 	Cache         *CacheStats              `json:"cache,omitempty"`
+	Resilience    *resilience.Stats        `json:"resilience,omitempty"`
 }
 
 // Snapshot returns a point-in-time copy of all metrics.
@@ -154,6 +166,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m.cache != nil {
 		st := m.cache.Stats()
 		snap.Cache = &st
+	}
+	if m.resilience != nil {
+		rs := m.resilience()
+		snap.Resilience = &rs
 	}
 	return snap
 }

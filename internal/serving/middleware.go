@@ -3,10 +3,13 @@ package serving
 import (
 	"encoding/json"
 	"log"
+	"math"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"time"
+
+	"csmaterials/internal/resilience"
 )
 
 // StatusWriter wraps a ResponseWriter and records the status code and
@@ -117,6 +120,39 @@ func Instrument(m *Metrics, route string, next http.Handler) http.Handler {
 		}()
 		next.ServeHTTP(sw, r)
 	})
+}
+
+// Shed rejects requests beyond the shedder's in-flight limit with a
+// 429 JSON error envelope and a Retry-After hint, before any work is
+// done on their behalf. A nil shedder disables shedding.
+func Shed(sh *resilience.Shedder, next http.Handler) http.Handler {
+	if sh == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !sh.Acquire() {
+			w.Header().Set("Retry-After", RetryAfterSeconds(sh.RetryAfter()))
+			WriteJSON(w, http.StatusTooManyRequests, map[string]interface{}{
+				"error": map[string]string{
+					"code":    "overloaded",
+					"message": "server is at capacity, retry later",
+				},
+			})
+			return
+		}
+		defer sh.Release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// RetryAfterSeconds renders d as a Retry-After header value (integer
+// seconds, rounded up, at least 1).
+func RetryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // WriteJSON writes v as indented JSON with the right content type.

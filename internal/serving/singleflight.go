@@ -1,22 +1,33 @@
 // Package serving is the production-hardening layer between the HTTP
 // handlers and the analysis packages: a keyed result cache with
-// singleflight deduplication, per-route metrics, and the middleware
-// stack (panic recovery, access logs, instrumentation) that cmd/serve
-// wraps around the API.
+// singleflight deduplication and a stale last-known-good store, the
+// per-route metrics registry, and the middleware stack (panic
+// recovery, access logs, instrumentation, load shedding) that
+// cmd/serve wraps around the API.
 //
 // The dataset behind the analyses is deterministic, so cached results
-// never go stale: the cache is bounded by size only and invalidation
-// does not exist.
+// never go stale on their own: the fresh cache is bounded by size only
+// and invalidation does not exist. "Stale" here means a last-known-good
+// value that has fallen out of the fresh LRU but is retained for
+// degraded serving while the compute path is failing (see Cache.Stale
+// and internal/resilience).
 package serving
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
-// call is an in-flight or completed singleflight computation.
+// call is an in-flight or completed singleflight computation. Its
+// fields are written by the flight goroutine before done is closed and
+// only read after <-done, so the channel close orders them.
 type call struct {
-	wg   sync.WaitGroup
-	val  interface{}
-	err  error
-	dups int // completed waiters that joined this flight
+	done     chan struct{}
+	val      interface{}
+	err      error
+	panicVal interface{}
+	panicked bool
+	dups     int // waiters that joined this flight
 }
 
 // Group deduplicates concurrent computations by key: while a call for
@@ -27,11 +38,18 @@ type Group struct {
 	m  map[string]*call
 }
 
-// Do executes fn once per key at a time. The boolean reports whether
-// the result was shared from another caller's flight. If fn panics the
-// panic propagates to the initiating caller and waiters receive an
-// errPanicked error rather than hanging.
-func (g *Group) Do(key string, fn func() (interface{}, error)) (interface{}, error, bool) {
+// DoCtx executes fn once per key at a time, detached from any one
+// caller: the computation runs in its own goroutine and always runs to
+// completion, so a caller whose ctx is cancelled abandons the wait
+// (receiving ctx.Err()) without cancelling or poisoning the flight for
+// everyone else. The boolean reports whether the result was shared
+// from another caller's flight.
+//
+// If fn panics, the panic propagates to the initiating caller if it is
+// still waiting; waiters receive an errPanicked error rather than
+// hanging. An initiator that already left keeps the process alive: the
+// panic is swallowed into errPanicked for any remaining waiters.
+func (g *Group) DoCtx(ctx context.Context, key string, fn func() (interface{}, error)) (interface{}, error, bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*call)
@@ -39,27 +57,47 @@ func (g *Group) Do(key string, fn func() (interface{}, error)) (interface{}, err
 	if c, ok := g.m[key]; ok {
 		c.dups++
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
 	}
-	c := new(call)
-	c.wg.Add(1)
+	c := &call{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
-	normal := false
-	defer func() {
-		if !normal {
-			c.err = errPanicked
-		}
-		g.mu.Lock()
-		delete(g.m, key)
-		g.mu.Unlock()
-		c.wg.Done()
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				c.panicked = true
+				c.panicVal = p
+				c.err = errPanicked
+			}
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
 	}()
-	c.val, c.err = fn()
-	normal = true
-	return c.val, c.err, false
+
+	select {
+	case <-c.done:
+		if c.panicked {
+			panic(c.panicVal)
+		}
+		return c.val, c.err, false
+	case <-ctx.Done():
+		return nil, ctx.Err(), false
+	}
+}
+
+// Do is DoCtx with a background context: the caller waits for the
+// flight unconditionally.
+func (g *Group) Do(key string, fn func() (interface{}, error)) (interface{}, error, bool) {
+	return g.DoCtx(context.Background(), key, fn)
 }
 
 // waiting reports how many callers are blocked on the key's in-flight

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -147,5 +148,129 @@ func TestSingleflightPanic(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("waiter hung after panic")
+	}
+}
+
+// TestSingleflightLeaderCancelDoesNotPoisonFollowers is the regression
+// test for the context-cancellation audit: a leader whose request
+// context is cancelled mid-flight abandons the wait with ctx.Err(),
+// but the computation keeps running detached and its real result is
+// delivered to followers parked on the same key.
+func TestSingleflightLeaderCancelDoesNotPoisonFollowers(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	block := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err, _ := g.DoCtx(ctx, "k", func() (interface{}, error) {
+			close(started)
+			<-block
+			return 42, nil
+		})
+		leaderErr <- err
+	}()
+	<-started
+
+	followerDone := make(chan struct{})
+	var fv interface{}
+	var ferr error
+	var fshared bool
+	go func() {
+		defer close(followerDone)
+		fv, ferr, fshared = g.DoCtx(context.Background(), "k", func() (interface{}, error) {
+			return -1, errors.New("follower must not compute")
+		})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.waiting("k") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Cancel the leader while the flight is still blocked: the leader
+	// leaves immediately with its context error.
+	cancel()
+	select {
+	case err := <-leaderErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled leader got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled leader still waiting on the flight")
+	}
+	select {
+	case <-followerDone:
+		t.Fatal("follower finished while the flight was still blocked")
+	default:
+	}
+
+	close(block)
+	select {
+	case <-followerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower hung after the flight completed")
+	}
+	if ferr != nil || fv.(int) != 42 || !fshared {
+		t.Fatalf("follower got v=%v err=%v shared=%v, want 42 from the leader's flight", fv, ferr, fshared)
+	}
+
+	// The key is reusable afterwards: no poisoned state remains.
+	v, err, shared := g.Do("k", func() (interface{}, error) { return 7, nil })
+	if err != nil || shared || v.(int) != 7 {
+		t.Fatalf("post-cancel flight: v=%v err=%v shared=%v", v, err, shared)
+	}
+}
+
+// TestSingleflightWaiterCancel: a follower with a cancelled context
+// stops waiting, while the leader still receives the real result.
+func TestSingleflightWaiterCancel(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	block := make(chan struct{})
+
+	leaderVal := make(chan interface{}, 1)
+	go func() {
+		v, _, _ := g.Do("k", func() (interface{}, error) {
+			close(started)
+			<-block
+			return "real", nil
+		})
+		leaderVal <- v
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err, shared := g.DoCtx(ctx, "k", func() (interface{}, error) { return nil, nil })
+		if !shared {
+			t.Error("waiter did not join the flight")
+		}
+		waiterErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.waiting("k") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter still parked")
+	}
+
+	close(block)
+	if v := <-leaderVal; v.(string) != "real" {
+		t.Fatalf("leader got %v", v)
 	}
 }
