@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench serve tier1
+.PHONY: build vet lint test race bench serve tier1
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project lint engine (internal/lint via cmd/lint): determinism,
+# floatcompare, errdrop, httpwrite, and lockdiscipline analyzers.
+# Non-zero exit on any diagnostic; see DESIGN §8 for the contracts.
+lint:
+	$(GO) run ./cmd/lint ./...
+
 test:
 	$(GO) test ./...
 
-# Concurrency-sensitive packages under the race detector: the serving
-# cache/singleflight/metrics, the resilience primitives and fault
-# injector, the HTTP handlers on top of them, and the goroutine
-# task-graph executor.
+# Whole-module race detection, not just hand-picked packages — the
+# lockdiscipline analyzer catches static mistakes, the race detector
+# catches the dynamic ones.
 race:
-	$(GO) test -race ./internal/serving/ ./internal/resilience/... ./internal/server/ ./internal/taskgraph/
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -24,5 +29,5 @@ bench:
 serve:
 	$(GO) run ./cmd/serve
 
-# Everything the repo's tier-1 gate runs, plus vet and race.
-tier1: build vet test race
+# Everything the repo's tier-1 gate runs, plus vet, lint, and race.
+tier1: build vet lint test race

@@ -1,0 +1,212 @@
+// Command lint runs the project's static-analysis suite (internal/lint)
+// over the module and prints file:line:col: [rule] message diagnostics.
+//
+// Usage:
+//
+//	go run ./cmd/lint ./...                  # whole module
+//	go run ./cmd/lint ./internal/nnmf        # specific package dirs
+//	go run ./cmd/lint -rules determinism,floatcompare ./...
+//	go run ./cmd/lint -exclude examples/ -json ./...
+//
+// Exit status: 0 when clean, 1 when any diagnostic was reported, 2 when
+// the module failed to load or type-check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"csmaterials/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	exclude := fs.String("exclude", "", "comma-separated path substrings to suppress diagnostics from")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: lint [flags] [./... | dirs]\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nanalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.Select(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	pkgs, err := loadTargets(loader, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	status := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "lint: %s: %v\n", pkg.Path, terr)
+			status = 2
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	diags = filterExcluded(diags, root, *exclude)
+
+	if *asJSON {
+		type jsonDiag struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: relTo(root, d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = relTo(root, d.Pos.Filename)
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+
+	if status == 0 && len(diags) > 0 {
+		status = 1
+	}
+	return status
+}
+
+// loadTargets loads either the whole module (no args or a ./... pattern)
+// or the specific directories named.
+func loadTargets(loader *lint.Loader, args []string) ([]*lint.Package, error) {
+	wholeModule := len(args) == 0
+	for _, a := range args {
+		if strings.HasSuffix(a, "...") {
+			wholeModule = true
+		}
+	}
+	if wholeModule {
+		return loader.LoadAll()
+	}
+	var pkgs []*lint.Package
+	for _, arg := range args {
+		dir, err := filepath.Abs(arg)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(loader.Root, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: %s is outside module root %s", arg, loader.Root)
+		}
+		path := loader.ModPath
+		if rel != "." {
+			path = loader.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		loaded, err := loader.LoadDirAs(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	return pkgs, nil
+}
+
+// filterExcluded drops diagnostics whose module-relative path contains
+// any of the comma-separated substrings.
+func filterExcluded(diags []lint.Diagnostic, root, exclude string) []lint.Diagnostic {
+	var pats []string
+	for _, p := range strings.Split(exclude, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			pats = append(pats, p)
+		}
+	}
+	if len(pats) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		rel := relTo(root, d.Pos.Filename)
+		skip := false
+		for _, p := range pats {
+			if strings.Contains(rel, p) {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// relTo renders path relative to root when possible.
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}

@@ -55,41 +55,77 @@ import (
 	"csmaterials/internal/server"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	cacheSize := flag.Int("cache-size", server.DefaultCacheSize, "analysis cache capacity in entries (negative disables retention)")
-	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline")
-	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
-	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "max concurrent /api/v1 requests before shedding with 429 (negative disables)")
-	breakerThreshold := flag.Int("breaker-threshold", resilience.DefaultBreakerThreshold, "consecutive compute failures before an analysis circuit opens (negative disables breakers)")
-	breakerCooldown := flag.Duration("breaker-cooldown", resilience.DefaultBreakerCooldown, "how long an open circuit waits before a half-open probe")
-	staleServe := flag.Bool("stale-serve", true, "serve last-known-good results (meta.stale) when a compute fails or its circuit is open")
-	flag.Parse()
+// config is the parsed command line, split from main so tests can cover
+// flag parsing and server wiring without binding a socket.
+type config struct {
+	addr             string
+	cacheSize        int
+	requestTimeout   time.Duration
+	shutdownTimeout  time.Duration
+	maxInFlight      int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	staleServe       bool
+}
 
-	logger := log.New(os.Stderr, "serve ", log.LstdFlags|log.LUTC)
-	s, err := server.NewWithOptions(server.Options{
-		CacheSize:         *cacheSize,
-		Logger:            logger,
-		MaxInFlight:       *maxInFlight,
-		BreakerThreshold:  *breakerThreshold,
-		BreakerCooldown:   *breakerCooldown,
-		DisableStaleServe: !*staleServe,
-	})
-	if err != nil {
-		logger.Fatalf("startup: %v", err)
+// parseConfig parses args (excluding the program name).
+func parseConfig(args []string) (config, error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.cacheSize, "cache-size", server.DefaultCacheSize, "analysis cache capacity in entries (negative disables retention)")
+	fs.DurationVar(&cfg.requestTimeout, "request-timeout", 30*time.Second, "per-request handler deadline")
+	fs.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	fs.IntVar(&cfg.maxInFlight, "max-inflight", server.DefaultMaxInFlight, "max concurrent /api/v1 requests before shedding with 429 (negative disables)")
+	fs.IntVar(&cfg.breakerThreshold, "breaker-threshold", resilience.DefaultBreakerThreshold, "consecutive compute failures before an analysis circuit opens (negative disables breakers)")
+	fs.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", resilience.DefaultBreakerCooldown, "how long an open circuit waits before a half-open probe")
+	fs.BoolVar(&cfg.staleServe, "stale-serve", true, "serve last-known-good results (meta.stale) when a compute fails or its circuit is open")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
 	}
+	return cfg, nil
+}
 
+// serverOptions maps the command line onto the server package's options.
+func (c config) serverOptions(logger *log.Logger) server.Options {
+	return server.Options{
+		CacheSize:         c.cacheSize,
+		Logger:            logger,
+		MaxInFlight:       c.maxInFlight,
+		BreakerThreshold:  c.breakerThreshold,
+		BreakerCooldown:   c.breakerCooldown,
+		DisableStaleServe: !c.staleServe,
+	}
+}
+
+// newHTTPServer wraps the handler with the per-request timeout and the
+// hardening timeouts around it.
+func newHTTPServer(cfg config, handler http.Handler, logger *log.Logger) *http.Server {
 	const timeoutBody = `{"error":{"code":"timeout","message":"request timed out"}}`
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           http.TimeoutHandler(s, *requestTimeout, timeoutBody),
+	return &http.Server{
+		Addr:              cfg.addr,
+		Handler:           http.TimeoutHandler(handler, cfg.requestTimeout, timeoutBody),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		// The handler deadline fires first; leave headroom to flush.
-		WriteTimeout: *requestTimeout + 5*time.Second,
+		WriteTimeout: cfg.requestTimeout + 5*time.Second,
 		IdleTimeout:  2 * time.Minute,
 		ErrorLog:     logger,
 	}
+}
+
+func main() {
+	cfg, err := parseConfig(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "serve ", log.LstdFlags|log.LUTC)
+	s, err := server.NewWithOptions(cfg.serverOptions(logger))
+	if err != nil {
+		logger.Fatalf("startup: %v", err)
+	}
+	srv := newHTTPServer(cfg, s, logger)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -101,8 +137,8 @@ func main() {
 	go func() {
 		defer close(done)
 		<-ctx.Done()
-		logger.Printf("shutdown: signal received, draining for up to %s", *shutdownTimeout)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		logger.Printf("shutdown: signal received, draining for up to %s", cfg.shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			logger.Printf("shutdown: %v (forcing close)", err)
@@ -110,7 +146,7 @@ func main() {
 		}
 	}()
 
-	logger.Printf("csmaterials API listening on %s (cache=%d entries, request timeout %s, max in-flight %d)", *addr, *cacheSize, *requestTimeout, *maxInFlight)
+	logger.Printf("csmaterials API listening on %s (cache=%d entries, request timeout %s, max in-flight %d)", cfg.addr, cfg.cacheSize, cfg.requestTimeout, cfg.maxInFlight)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		logger.Fatalf("serve: %v", err)
 	}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"csmaterials/internal/resilience"
+	"csmaterials/internal/server"
+)
+
+func TestParseConfigDefaults(t *testing.T) {
+	cfg, err := parseConfig(nil)
+	if err != nil {
+		t.Fatalf("parseConfig(nil): %v", err)
+	}
+	if cfg.addr != ":8080" {
+		t.Errorf("addr = %q, want :8080", cfg.addr)
+	}
+	if cfg.cacheSize != server.DefaultCacheSize {
+		t.Errorf("cacheSize = %d, want %d", cfg.cacheSize, server.DefaultCacheSize)
+	}
+	if cfg.requestTimeout != 30*time.Second {
+		t.Errorf("requestTimeout = %s, want 30s", cfg.requestTimeout)
+	}
+	if cfg.shutdownTimeout != 10*time.Second {
+		t.Errorf("shutdownTimeout = %s, want 10s", cfg.shutdownTimeout)
+	}
+	if cfg.maxInFlight != server.DefaultMaxInFlight {
+		t.Errorf("maxInFlight = %d, want %d", cfg.maxInFlight, server.DefaultMaxInFlight)
+	}
+	if cfg.breakerThreshold != resilience.DefaultBreakerThreshold {
+		t.Errorf("breakerThreshold = %d, want %d", cfg.breakerThreshold, resilience.DefaultBreakerThreshold)
+	}
+	if cfg.breakerCooldown != resilience.DefaultBreakerCooldown {
+		t.Errorf("breakerCooldown = %s, want %s", cfg.breakerCooldown, resilience.DefaultBreakerCooldown)
+	}
+	if !cfg.staleServe {
+		t.Error("staleServe = false, want true by default")
+	}
+}
+
+func TestParseConfigOverrides(t *testing.T) {
+	cfg, err := parseConfig([]string{
+		"-addr", "127.0.0.1:9999",
+		"-cache-size", "7",
+		"-request-timeout", "2s",
+		"-shutdown-timeout", "1s",
+		"-max-inflight", "3",
+		"-breaker-threshold", "-1",
+		"-breaker-cooldown", "5s",
+		"-stale-serve=false",
+	})
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	want := config{
+		addr:             "127.0.0.1:9999",
+		cacheSize:        7,
+		requestTimeout:   2 * time.Second,
+		shutdownTimeout:  time.Second,
+		maxInFlight:      3,
+		breakerThreshold: -1,
+		breakerCooldown:  5 * time.Second,
+		staleServe:       false,
+	}
+	if cfg != want {
+		t.Errorf("parseConfig = %+v, want %+v", cfg, want)
+	}
+}
+
+func TestParseConfigError(t *testing.T) {
+	if _, err := parseConfig([]string{"-request-timeout", "not-a-duration"}); err == nil {
+		t.Fatal("expected error for malformed duration")
+	}
+	if _, err := parseConfig([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("expected error for unknown flag")
+	}
+}
+
+func TestServerOptionsMapping(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	cfg := config{
+		cacheSize:        11,
+		maxInFlight:      22,
+		breakerThreshold: 33,
+		breakerCooldown:  44 * time.Second,
+		staleServe:       false,
+	}
+	opts := cfg.serverOptions(logger)
+	if opts.CacheSize != 11 || opts.MaxInFlight != 22 || opts.BreakerThreshold != 33 || opts.BreakerCooldown != 44*time.Second {
+		t.Errorf("options mismatch: %+v", opts)
+	}
+	if opts.Logger != logger {
+		t.Error("logger not propagated")
+	}
+	// The flag is phrased positively (-stale-serve) but the option is a
+	// disable switch; the inversion is the part worth pinning.
+	if !opts.DisableStaleServe {
+		t.Error("staleServe=false must set DisableStaleServe")
+	}
+	cfg.staleServe = true
+	if cfg.serverOptions(logger).DisableStaleServe {
+		t.Error("staleServe=true must clear DisableStaleServe")
+	}
+}
+
+func TestNewHTTPServerWiring(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	cfg := config{addr: ":0", requestTimeout: 50 * time.Millisecond}
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+	})
+	srv := newHTTPServer(cfg, handler, logger)
+	if srv.Addr != ":0" {
+		t.Errorf("Addr = %q, want :0", srv.Addr)
+	}
+	if srv.WriteTimeout != cfg.requestTimeout+5*time.Second {
+		t.Errorf("WriteTimeout = %s, want request timeout + 5s", srv.WriteTimeout)
+	}
+	if srv.ErrorLog != logger {
+		t.Error("ErrorLog not propagated")
+	}
+
+	// The handler above outlives the deadline, so the TimeoutHandler
+	// wrapper must answer with 503 and the JSON timeout body.
+	rec := httptest.NewRecorder()
+	srv.Handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/courses", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 from TimeoutHandler", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, `"code":"timeout"`) {
+		t.Errorf("timeout body = %q, want JSON error envelope", body)
+	}
+}

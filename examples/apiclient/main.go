@@ -80,7 +80,7 @@ func (c *client) get(path string) (*http.Response, []byte, error) {
 			return nil, nil, err
 		}
 		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -232,7 +232,7 @@ func main() {
 		log.Fatal(err)
 	}
 	final := resp.Request.URL.Path
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	fmt.Printf("\nlegacy /api/agreement redirected to %s (%s)\n", final, resp.Status)
 
 	// 6. Observability: per-route counters, cache accounting, and the
@@ -243,7 +243,7 @@ func main() {
 	}
 	var snap serving.Snapshot
 	err = json.NewDecoder(resp.Body).Decode(&snap)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -77,10 +77,12 @@ func plot(pts []simgraph.Point) {
 		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
 		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
 	}
-	if maxX == minX {
+	// maxX >= minX by construction, so <= is the collapsed-range test
+	// without an exact float equality.
+	if maxX <= minX {
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY <= minY {
 		maxY = minY + 1
 	}
 	grid := make([][]byte, h)

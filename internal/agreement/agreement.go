@@ -72,9 +72,17 @@ func (a *Analysis) TagsAtLeast(k int) []string {
 // Histogram returns the distribution of Figure 3: Counts[v] is the number
 // of tags appearing in exactly v courses (index 0 is always empty).
 func (a *Analysis) Histogram() *stats.Histogram {
-	obs := make([]int, 0, len(a.Counts))
-	for _, c := range a.Counts {
-		obs = append(obs, c)
+	// Iterate tags in sorted order so obs — and anything downstream that
+	// inspects it — is byte-identical run-to-run (determinism contract,
+	// DESIGN §8).
+	tags := make([]string, 0, len(a.Counts))
+	for tag := range a.Counts {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	obs := make([]int, 0, len(tags))
+	for _, tag := range tags {
+		obs = append(obs, a.Counts[tag])
 	}
 	return stats.NewHistogram(obs)
 }

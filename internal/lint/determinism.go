@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// computeSuffixes lists the module packages that form the reproduction's
+// deterministic compute core: given the same inputs and seeds they must
+// produce byte-identical output run-to-run, because the paper's figures
+// and the serving layer's cached analyses are built from them. The
+// serving stack (internal/server, internal/serving, internal/resilience)
+// is deliberately absent: it measures real time and handles real
+// concurrency. DESIGN §8 documents the contract.
+var computeSuffixes = []string{
+	"internal/agreement",
+	"internal/anchor",
+	"internal/audit",
+	"internal/bicluster",
+	"internal/catalog",
+	"internal/cluster",
+	"internal/core",
+	"internal/dataset",
+	"internal/factorize",
+	"internal/materials",
+	"internal/matrix",
+	"internal/mds",
+	"internal/nnmf",
+	"internal/ontology",
+	"internal/pca",
+	"internal/robustness",
+	"internal/search",
+	"internal/simgraph",
+	"internal/stats",
+	"internal/taskgraph",
+	"internal/viz",
+}
+
+// IsComputePackage reports whether an import path belongs to the
+// deterministic compute core.
+func IsComputePackage(path string) bool {
+	for _, s := range computeSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are the math/rand(/v2) package-level functions that
+// build explicit, seedable generators rather than consulting the global
+// source; calling them is the *fix* for a determinism finding.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// DeterminismAnalyzer flags the three classic ways a compute package goes
+// nondeterministic: top-level (globally seeded) math/rand calls, wall
+// clock reads via time.Now, and map iteration feeding order-sensitive
+// output (slice appends that are never sorted, or direct writes/encodes
+// inside the loop).
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc: "In compute packages (see DESIGN §8), randomness must flow through an " +
+			"explicitly seeded *rand.Rand, time must be injected rather than read from " +
+			"time.Now, and map iteration must not determine output order.",
+		Run: runDeterminism,
+	}
+}
+
+func runDeterminism(pass *Pass) {
+	if !IsComputePackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		isTest := pass.IsTestFile(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkAmbientCall(pass, call)
+			}
+			// Map-order findings in test files are noise: tests assert on
+			// sorted or set-like views and get to iterate freely.
+			if fn, ok := n.(*ast.FuncDecl); ok && !isTest && fn.Body != nil {
+				checkMapOrder(pass, fn)
+			}
+			return true
+		})
+	}
+}
+
+// checkAmbientCall flags calls that consult ambient process state:
+// globally seeded math/rand functions and time.Now.
+func checkAmbientCall(pass *Pass, call *ast.CallExpr) {
+	c, ok := pass.pkgCallee(call)
+	if !ok {
+		return
+	}
+	switch c.path {
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[c.name] {
+			pass.Reportf(call.Pos(),
+				"unseeded rand.%s uses the global source; thread an explicitly seeded *rand.Rand through this compute path",
+				c.name)
+		}
+	case "time":
+		if c.name == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now in a compute package makes output depend on the wall clock; inject the timestamp or clock from the caller")
+		}
+	}
+}
+
+// checkMapOrder walks one function looking for `for ... range m` over a
+// map whose body either appends to a slice declared outside the loop
+// (without the function ever sorting that slice) or writes/encodes output
+// directly — both of which leak Go's randomized map iteration order into
+// results.
+func checkMapOrder(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch stmt := m.(type) {
+			case *ast.AssignStmt:
+				if obj := appendTarget(pass, stmt, rng); obj != nil && !sortedInFunc(pass, fn, obj) {
+					pass.Reportf(stmt.Pos(),
+						"append to %s inside map iteration fixes nondeterministic order into the slice; sort the keys first (or sort %s before use)",
+						obj.Name(), obj.Name())
+				}
+			case *ast.CallExpr:
+				if name, ok := outputCall(pass, stmt); ok {
+					pass.Reportf(stmt.Pos(),
+						"%s inside map iteration emits output in nondeterministic order; iterate sorted keys instead", name)
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// appendTarget returns the object of `s` in a statement of the form
+// `s = append(s, ...)` where s is declared outside the range statement,
+// or nil.
+func appendTarget(pass *Pass, stmt *ast.AssignStmt, rng *ast.RangeStmt) types.Object {
+	if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := stmt.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := pass.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != lhs.Name {
+		return nil
+	}
+	obj := pass.Info.Uses[first]
+	if obj == nil {
+		return nil
+	}
+	// Declared inside the loop: each iteration starts fresh, order cannot
+	// accumulate.
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return nil
+	}
+	return obj
+}
+
+// sortedInFunc reports whether fn ever passes obj to a sort.* or
+// slices.Sort* call, which launders the map-order dependence away.
+func sortedInFunc(pass *Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		c, ok := pass.pkgCallee(call)
+		if !ok || (c.path != "sort" && c.path != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// outputCall reports whether call writes or encodes output (fmt.Fprint*,
+// Write/WriteString/Encode methods) — the forms that serialize map order
+// straight into artifacts.
+func outputCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if c, ok := pass.pkgCallee(call); ok && c.path == "fmt" && strings.HasPrefix(c.name, "Fprint") {
+		return "fmt." + c.name, true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pass.Info.Selections[sel] == nil {
+		return "", false // qualified package call, not a method
+	}
+	switch sel.Sel.Name {
+	case "WriteString", "Encode":
+		return sel.Sel.Name, true
+	}
+	return "", false
+}

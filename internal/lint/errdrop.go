@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDropAnalyzer flags call statements that discard an error result in
+// non-test code. An explicit `_ =` assignment stays legal — it is visible
+// intent that survives code review — and so do writes to in-memory sinks
+// (*strings.Builder, *bytes.Buffer) whose Write methods are documented to
+// never return a non-nil error. Deferred calls are exempt too: the
+// `defer f.Close()` read-path idiom is accepted project style, while
+// write-path closes are expected to be checked explicitly.
+func ErrDropAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc: "A statement-position call whose result set includes an error silently " +
+			"discards it; handle the error or assign it to _ explicitly. In-memory " +
+			"builder/buffer writes and deferred closes are exempt.",
+		Run: runErrDrop,
+	}
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || isMemorySinkWrite(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s returns an error that is silently discarded; handle it or assign it to _ explicitly",
+				calleeLabel(pass, call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// memorySinks are receiver/destination types whose Write* methods always
+// return a nil error (documented in the standard library; hash.Hash
+// states "It never returns an error").
+var memorySinks = map[string]bool{
+	"*strings.Builder": true,
+	"strings.Builder":  true,
+	"*bytes.Buffer":    true,
+	"bytes.Buffer":     true,
+	"hash.Hash":        true,
+	"hash.Hash32":      true,
+	"hash.Hash64":      true,
+}
+
+// isMemorySinkWrite reports whether call is a write whose error can never
+// fire or never matters: a method on a strings.Builder/bytes.Buffer, an
+// fmt.Fprint* whose destination is one, fmt.Print* (stdout diagnostics),
+// or fmt.Fprint* to a *os.File (console output; data-bearing file writes
+// in this repo go through os.WriteFile and checked encoders instead).
+func isMemorySinkWrite(pass *Pass, call *ast.CallExpr) bool {
+	if c, ok := pass.pkgCallee(call); ok {
+		if c.path == "fmt" {
+			if strings.HasPrefix(c.name, "Print") {
+				return true
+			}
+			if strings.HasPrefix(c.name, "Fprint") && len(call.Args) > 0 {
+				if t := pass.Info.TypeOf(call.Args[0]); t != nil && (memorySinks[t.String()] || t.String() == "*os.File") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || pass.Info.Selections[sel] == nil {
+		return false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	return t != nil && memorySinks[t.String()]
+}
+
+// calleeLabel names the called function for the diagnostic message.
+func calleeLabel(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return "(...)." + fun.Sel.Name
+	}
+	return "call"
+}

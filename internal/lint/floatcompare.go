@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCompareAnalyzer flags == and != between floating-point operands.
+// Three comparisons stay legal because exactness is the point:
+//
+//   - x == 0 (and != 0): sparsity guards and division guards test the
+//     exact zero bit pattern, which survives every IEEE-754 operation
+//     that produced it deliberately;
+//   - x != x: the portable NaN test;
+//   - the sort tie-break idiom, `if a != b { return a > b }`: a
+//     comparator must use exact equality or it loses transitivity, so an
+//     exact compare whose operand pair also appears in a relational
+//     (< <= > >=) compare within the same function is exempt.
+//
+// _test.go files are out of scope entirely: dogfooding showed every test
+// hit was a deliberate exact assertion — same-seed bit-identity checks
+// (the determinism contract itself), symmetry-by-construction checks
+// (At(i,j) == At(j,i)), and golden values on exactly-representable
+// integers — and replacing those with tolerances would weaken the tests.
+// Non-test code has no such excuse: NNMF convergence checks, agreement
+// scores, and eigenvalue iterations all accumulate rounding that makes
+// bitwise equality a coin flip, so they must go through the tolerance
+// helpers in internal/stats (stats.AlmostEqual / stats.WithinTol).
+func FloatCompareAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "floatcompare",
+		Doc: "Floating-point operands must not be compared with == or != except " +
+			"against exact zero, as the x != x NaN test, or as a sort tie-break; " +
+			"use stats.AlmostEqual or stats.WithinTol.",
+		Run: runFloatCompare,
+	}
+}
+
+func runFloatCompare(pass *Pass) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			tieBreaks := relationalPairs(pass, fn.Body)
+			ast.Inspect(fn.Body, func(m ast.Node) bool {
+				bin, ok := m.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pass.Info.TypeOf(bin.X)) || !isFloat(pass.Info.TypeOf(bin.Y)) {
+					return true
+				}
+				if isZeroConst(pass, bin.X) || isZeroConst(pass, bin.Y) {
+					return true
+				}
+				x, y := exprString(pass.Fset, bin.X), exprString(pass.Fset, bin.Y)
+				if bin.Op == token.NEQ && x == y {
+					return true // x != x NaN test
+				}
+				if tieBreaks[pairKey(x, y)] {
+					return true // comparator tie-break; exactness is required
+				}
+				pass.Reportf(bin.Pos(),
+					"floating-point %s comparison is exact to the last bit; use stats.AlmostEqual/stats.WithinTol (or compare against exact zero)",
+					bin.Op)
+				return true
+			})
+			return false // fn.Body already walked; don't descend twice
+		})
+	}
+}
+
+// relationalPairs collects the unordered operand-text pairs of every
+// float < <= > >= comparison in body; an exact ==/!= over the same pair
+// is the tie-break half of a deterministic comparator.
+func relationalPairs(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	pairs := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			if isFloat(pass.Info.TypeOf(bin.X)) && isFloat(pass.Info.TypeOf(bin.Y)) {
+				pairs[pairKey(exprString(pass.Fset, bin.X), exprString(pass.Fset, bin.Y))] = true
+			}
+		}
+		return true
+	})
+	return pairs
+}
+
+// pairKey builds an order-insensitive key for an operand pair.
+func pairKey(x, y string) string {
+	if x > y {
+		x, y = y, x
+	}
+	return x + "\x00" + y
+}
+
+// isFloat reports whether t is (or has underlying) float32/float64,
+// including untyped float constants.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.Kind() != constant.Unknown && constant.Sign(tv.Value) == 0
+}
+
+// exprString renders an expression for identity comparison.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return ""
+	}
+	return b.String()
+}

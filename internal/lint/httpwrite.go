@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// HTTPWriteAnalyzer enforces the response-write protocol in the HTTP
+// layer (internal/server): along any straight-line statement sequence a
+// handler may call WriteHeader at most once and never after the body has
+// started, and handler code must not invoke computes with a context
+// detached from the request (context.Background/context.TODO), which
+// would keep a cancelled client's work running and defeat the
+// singleflight/breaker plumbing built on r.Context().
+func HTTPWriteAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "httpwrite",
+		Doc: "In internal/server: no double WriteHeader, no WriteHeader after a body " +
+			"write in the same block, and handlers must derive contexts from " +
+			"r.Context() rather than context.Background/TODO.",
+		Run: runHTTPWrite,
+	}
+}
+
+func runHTTPWrite(pass *Pass) {
+	if !strings.HasSuffix(pass.Pkg.Path(), "internal/server") {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.BlockStmt:
+				checkWriteSequence(pass, fn)
+			case *ast.FuncDecl:
+				if fn.Body != nil && hasRequestParam(pass, fn.Type) {
+					checkDetachedContext(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				if hasRequestParam(pass, fn.Type) {
+					checkDetachedContext(pass, fn.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkWriteSequence scans one block's statement list in order, tracking
+// per-writer protocol state. Branch bodies are separate blocks, so each
+// control-flow arm is judged on its own straight-line sequence.
+func checkWriteSequence(pass *Pass, block *ast.BlockStmt) {
+	wroteHeader := map[string]bool{}
+	wroteBody := map[string]bool{}
+	for _, stmt := range block.List {
+		var call *ast.CallExpr
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+		case *ast.AssignStmt:
+			// `_, _ = w.Write(body)` is the project idiom for body writes.
+			if len(s.Rhs) == 1 {
+				call, _ = s.Rhs[0].(*ast.CallExpr)
+			}
+		}
+		if call == nil {
+			continue
+		}
+		w, method, ok := responseWriterCall(pass, call)
+		if !ok {
+			continue
+		}
+		switch method {
+		case "WriteHeader":
+			if wroteHeader[w] {
+				pass.Reportf(call.Pos(), "second WriteHeader on %s in the same block; the first status line already went out", w)
+			}
+			if wroteBody[w] {
+				pass.Reportf(call.Pos(), "WriteHeader on %s after its body write; headers are already flushed", w)
+			}
+			wroteHeader[w] = true
+		case "Write":
+			wroteBody[w] = true
+		}
+	}
+}
+
+// responseWriterCall matches method calls on a value of the interface
+// type net/http.ResponseWriter and returns the receiver's source text and
+// the method name.
+func responseWriterCall(pass *Pass, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || pass.Info.Selections[sel] == nil {
+		return "", "", false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil || t.String() != "net/http.ResponseWriter" {
+		return "", "", false
+	}
+	return exprString(pass.Fset, sel.X), sel.Sel.Name, true
+}
+
+// hasRequestParam reports whether the function signature takes a
+// *http.Request — the analyzer's definition of "handler code".
+func hasRequestParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := pass.Info.TypeOf(field.Type); t != nil && t.String() == "*net/http.Request" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDetachedContext flags context.Background()/context.TODO() inside
+// handler bodies.
+func checkDetachedContext(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c, isPkg := pass.pkgCallee(call); isPkg && c.path == "context" && (c.name == "Background" || c.name == "TODO") {
+			pass.Reportf(call.Pos(),
+				"handler detaches from the request context with context.%s; derive from r.Context() so client disconnects cancel the compute",
+				c.name)
+		}
+		return true
+	})
+}

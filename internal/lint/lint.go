@@ -1,0 +1,194 @@
+// Package lint is the project's static-analysis engine: a small,
+// stdlib-only analogue of golang.org/x/tools/go/analysis that loads every
+// package in the module with go/parser + go/types (source importer, no
+// external dependencies) and runs a registry of project-specific analyzers
+// enforcing the contracts the reproduction depends on:
+//
+//   - determinism: compute packages must not consult ambient randomness
+//     (unseeded math/rand), wall-clock time, or map iteration order when
+//     producing output (DESIGN §8 defines the compute set);
+//   - floatcompare: no ==/!= between floating-point operands in numeric
+//     code — use the tolerance helpers in internal/stats;
+//   - errdrop: no silently discarded error returns outside tests;
+//   - httpwrite: HTTP handlers must not double-WriteHeader, write headers
+//     after the body, or invoke computes with a context detached from the
+//     request;
+//   - lockdiscipline: every mu.Lock() pairs with an Unlock in the same
+//     block (preferably deferred), and mutexes never travel by value.
+//
+// Diagnostics are emitted as "file:line:col: [rule] message" (or JSON via
+// cmd/lint -json) and the engine is wired into `make lint` and CI so a
+// regression in any contract fails the build.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is a single finding at a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the canonical file:line:col: [rule] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one lint rule. Run inspects a type-checked package through
+// the Pass and reports findings via pass.Reportf.
+type Analyzer struct {
+	// Name identifies the rule in diagnostics and in cmd/lint -rules.
+	Name string
+	// Doc is a one-paragraph description shown by cmd/lint -help.
+	Doc string
+	// Run executes the rule against one package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkg   *types.Package
+	Files []*ast.File
+	Info  *types.Info
+
+	rule   string
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether file sits in a _test.go source file.
+func (p *Pass) IsTestFile(file *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// importedPkgName resolves an identifier to the *types.PkgName it denotes,
+// or nil. Analyzers use it to recognise qualified calls like rand.Intn.
+func (p *Pass) importedPkgName(id *ast.Ident) *types.PkgName {
+	if obj, ok := p.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn
+		}
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes path.name (a package-level
+// function of the package with the given import path).
+func (p *Pass) isPkgCall(call *ast.CallExpr, path, name string) bool {
+	got, ok := p.pkgCallee(call)
+	return ok && got.path == path && got.name == name
+}
+
+type callee struct{ path, name string }
+
+// pkgCallee extracts the (import path, func name) of a qualified
+// package-level call, e.g. rand.Intn -> ("math/rand", "Intn").
+func (p *Pass) pkgCallee(call *ast.CallExpr) (callee, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return callee{}, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return callee{}, false
+	}
+	pn := p.importedPkgName(id)
+	if pn == nil {
+		return callee{}, false
+	}
+	return callee{path: pn.Imported().Path(), name: sel.Sel.Name}, true
+}
+
+// All returns the full analyzer registry in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer(),
+		FloatCompareAnalyzer(),
+		ErrDropAnalyzer(),
+		HTTPWriteAnalyzer(),
+		LockDisciplineAnalyzer(),
+	}
+}
+
+// Select returns the analyzers whose names appear in the comma-separated
+// rules list ("" selects all), erroring on unknown names.
+func Select(rules string) ([]*Analyzer, error) {
+	all := All()
+	if rules == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("lint: unknown rule %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+// Run executes each analyzer over each package and returns the combined
+// diagnostics sorted by file, line, column, then rule.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:  pkg.Fset,
+				Pkg:   pkg.Types,
+				Files: pkg.Files,
+				Info:  pkg.Info,
+				rule:  a.Name,
+				report: func(d Diagnostic) {
+					diags = append(diags, d)
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}

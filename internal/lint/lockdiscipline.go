@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockDisciplineAnalyzer enforces the two mutex contracts the serving
+// and resilience layers rely on:
+//
+//  1. a mu.Lock() (or RLock) statement must be paired with an Unlock of
+//     the same mutex in the same block — ideally `defer mu.Unlock()` as
+//     the very next statement, but an explicit same-block Unlock (the
+//     hot-path pattern) also satisfies the rule. A lock whose unlock
+//     lives in a different block is how early returns leak locks;
+//  2. mutexes never travel by value: a parameter or receiver whose type
+//     contains a sync.Mutex/sync.RWMutex by value copies lock state and
+//     splits the critical section in two.
+func LockDisciplineAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockdiscipline",
+		Doc: "Every Lock/RLock must have a same-block Unlock (prefer an immediate " +
+			"defer), and no function may take a mutex-bearing type by value.",
+		Run: runLockDiscipline,
+	}
+}
+
+// lockPairs maps acquire methods to their release methods.
+var lockPairs = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func runLockDiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BlockStmt:
+				checkLockPairing(pass, node)
+			case *ast.FuncDecl:
+				checkMutexByValue(pass, node)
+			}
+			return true
+		})
+	}
+}
+
+// checkLockPairing scans one block for Lock/RLock statements and verifies
+// each has a matching release in the same block (deferred or explicit,
+// including inside nested statements of the same block, so
+// `if cond { mu.Unlock(); return }` counts).
+func checkLockPairing(pass *Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		recv, acquire, ok := mutexCallStmt(pass, stmt)
+		if !ok {
+			continue
+		}
+		release, isAcquire := lockPairs[acquire]
+		if !isAcquire {
+			continue
+		}
+		if hasRelease(pass, block.List[i+1:], recv, release) {
+			continue
+		}
+		pass.Reportf(stmt.Pos(),
+			"%s.%s() has no %s of %s in the same block; add `defer %s.%s()` right after the lock (or release before every exit)",
+			recv, acquire, release, recv, recv, release)
+	}
+}
+
+// mutexCallStmt matches `mu.Lock()`-shaped expression statements where the
+// receiver is a sync.Mutex or sync.RWMutex (possibly behind a pointer) and
+// returns the receiver's source text and the method name.
+func mutexCallStmt(pass *Pass, stmt ast.Stmt) (recv, method string, ok bool) {
+	expr, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	return mutexCall(pass, expr.X)
+}
+
+func mutexCall(pass *Pass, e ast.Expr) (recv, method string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || pass.Info.Selections[sel] == nil {
+		return "", "", false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if !isSyncMutexType(t) {
+		return "", "", false
+	}
+	return exprString(pass.Fset, sel.X), sel.Sel.Name, true
+}
+
+// hasRelease reports whether any of stmts (searched recursively, so
+// releases inside branches and defers count) calls recv.<release>().
+func hasRelease(pass *Pass, stmts []ast.Stmt, recv, release string) bool {
+	for _, stmt := range stmts {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if r, m, ok := mutexCall(pass, call); ok && r == recv && m == release {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMutexByValue flags receivers and parameters whose type carries a
+// sync.Mutex or sync.RWMutex by value.
+func checkMutexByValue(pass *Pass, fn *ast.FuncDecl) {
+	var fields []*ast.Field
+	if fn.Recv != nil {
+		fields = append(fields, fn.Recv.List...)
+	}
+	if fn.Type.Params != nil {
+		fields = append(fields, fn.Type.Params.List...)
+	}
+	for _, field := range fields {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if m := mutexInType(t, map[*types.Named]bool{}); m != "" {
+			pass.Reportf(field.Pos(),
+				"%s is passed by value but contains %s; copying a mutex splits its critical section — pass a pointer",
+				types.TypeString(t, types.RelativeTo(pass.Pkg)), m)
+		}
+	}
+}
+
+// isSyncMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// mutexInType returns the name of a sync mutex type reachable from t by
+// value (fields, arrays, embedding), or "".
+func mutexInType(t types.Type, seen map[*types.Named]bool) string {
+	switch tt := t.(type) {
+	case *types.Named:
+		if isSyncMutexType(tt) {
+			return "sync." + tt.Obj().Name()
+		}
+		if seen[tt] {
+			return ""
+		}
+		seen[tt] = true
+		return mutexInType(tt.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if m := mutexInType(tt.Field(i).Type(), seen); m != "" {
+				return m
+			}
+		}
+	case *types.Array:
+		return mutexInType(tt.Elem(), seen)
+	}
+	return ""
+}

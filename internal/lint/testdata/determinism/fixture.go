@@ -1,0 +1,73 @@
+// Fixture for the determinism analyzer. Loaded by lint_test.go under the
+// import path csmaterials/internal/dataset so the default compute-package
+// matcher is exercised; expect.txt pins the exact diagnostics.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// unseeded consults the globally seeded source: flagged.
+func unseeded() int {
+	return rand.Intn(10)
+}
+
+// seeded threads an explicit generator: legal.
+func seeded(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// construct builds an explicit generator with the constructor funcs: legal.
+func construct() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+// stamp reads the wall clock: flagged.
+func stamp() time.Time {
+	return time.Now()
+}
+
+// leakOrder appends map keys in iteration order and never sorts: flagged.
+func leakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedOrder appends in iteration order but sorts before returning: legal.
+func sortedOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emit serializes during map iteration; the string cannot be sorted
+// afterwards: flagged.
+func emit(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}
+
+// freshPerIter appends to a slice declared inside the loop, so no
+// cross-iteration order accumulates: legal.
+func freshPerIter(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []string
+		local = append(local, "x")
+		n += len(vs) + len(local)
+	}
+	return n
+}

@@ -1,0 +1,37 @@
+// Fixture for the errdrop analyzer; expect.txt pins the exact
+// diagnostics.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+func fails() error { return errors.New("x") }
+
+func multi() (int, error) { return 0, nil }
+
+func clean() {}
+
+func body() {
+	fails()                         // flagged: error discarded
+	multi()                         // flagged: second result is an error
+	clean()                         // legal: no error result
+	_ = fails()                     // legal: explicit discard
+	_, _ = multi()                  // legal: explicit discard
+	if err := fails(); err != nil { // legal: handled
+		return
+	}
+	fmt.Println("progress")     // legal: stdout diagnostics
+	fmt.Fprintf(os.Stderr, "x") // legal: console output
+	var b strings.Builder
+	fmt.Fprintf(&b, "x") // legal: in-memory sink
+	b.WriteString("y")   // legal: builder writes never fail
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s", b.String()) // legal: hash writes never fail
+	_ = h.Sum64()
+	defer fails() // legal: deferred calls are out of scope
+}

@@ -1,0 +1,7 @@
+// In-package test file: errdrop does not apply to _test.go sources, so
+// nothing here may appear in expect.txt.
+package errdrop
+
+func testHelperDrop() {
+	fails()
+}

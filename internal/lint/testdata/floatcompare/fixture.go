@@ -1,0 +1,47 @@
+// Fixture for the floatcompare analyzer; expect.txt pins the exact
+// diagnostics.
+package floatcompare
+
+// eq compares two computed floats exactly: flagged.
+func eq(a, b float64) bool {
+	return a == b
+}
+
+// neq likewise: flagged.
+func neq(a, b float64) bool {
+	return a != b
+}
+
+// zeroGuard tests the exact zero bit pattern: legal.
+func zeroGuard(x float64) bool {
+	return x == 0
+}
+
+// nanTest is the portable NaN check: legal.
+func nanTest(x float64) bool {
+	return x != x
+}
+
+// tieBreak pairs the exact compare with an ordering of the same
+// operands, the comparator idiom: legal.
+func tieBreak(a, b float64) bool {
+	if a != b {
+		return a > b
+	}
+	return false
+}
+
+// f32 is flagged at float32 too.
+func f32(a, b float32) bool {
+	return a == b
+}
+
+// nonZeroConst compares against a non-zero constant: flagged.
+func nonZeroConst(a float64) bool {
+	return a == 0.5
+}
+
+// intCompare is integer equality: legal, not a float.
+func intCompare(a, b int) bool {
+	return a == b
+}

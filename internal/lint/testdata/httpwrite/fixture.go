@@ -1,0 +1,58 @@
+// Fixture for the httpwrite analyzer. Loaded under the import path
+// csmaterials/internal/server so the package matcher is exercised;
+// expect.txt pins the exact diagnostics.
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+// good follows the protocol: header once, then body.
+func good(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok"))
+}
+
+// doubleHeader calls WriteHeader twice in one block: flagged.
+func doubleHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusInternalServerError)
+}
+
+// headerAfterBody flushes headers implicitly with the body write, then
+// tries to set a status: flagged.
+func headerAfterBody(w http.ResponseWriter, r *http.Request) {
+	_, _ = w.Write([]byte("body"))
+	w.WriteHeader(http.StatusOK)
+}
+
+// branches writes the header once per control-flow arm: legal.
+func branches(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/" {
+		w.WriteHeader(http.StatusOK)
+	} else {
+		w.WriteHeader(http.StatusNotFound)
+	}
+}
+
+// detached invokes work under a context disconnected from the request:
+// flagged.
+func detached(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background()
+	_ = ctx
+	w.WriteHeader(http.StatusOK)
+}
+
+// attached derives from the request: legal.
+func attached(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	_ = ctx
+	w.WriteHeader(http.StatusOK)
+}
+
+// notHandler has no *http.Request parameter, so background contexts are
+// fine (startup wiring does this legitimately).
+func notHandler() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,76 @@
+// Fixture for the lockdiscipline analyzer; expect.txt pins the exact
+// diagnostics.
+package lockdiscipline
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// deferred is the preferred pairing: legal.
+func deferred(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// manual releases explicitly in the same block (hot-path idiom): legal.
+func manual(b *box) int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// branchRelease unlocks on every exit, inside nested statements of the
+// same block: legal.
+func branchRelease(b *box, cond bool) {
+	b.mu.Lock()
+	if cond {
+		b.mu.Unlock()
+		return
+	}
+	b.n++
+	b.mu.Unlock()
+}
+
+// leak never releases in the locking block: flagged.
+func leak(b *box) {
+	b.mu.Lock()
+	b.n++
+}
+
+// readLeak takes a read lock with no RUnlock: flagged.
+func readLeak(mu *sync.RWMutex) {
+	mu.RLock()
+}
+
+// readPaired pairs RLock with a deferred RUnlock: legal.
+func readPaired(mu *sync.RWMutex) {
+	mu.RLock()
+	defer mu.RUnlock()
+}
+
+// byValueParam copies a bare mutex into the callee: flagged (the Lock
+// itself is properly paired, so only the copy is reported).
+func byValueParam(mu sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// byValueStruct copies a mutex-bearing struct: flagged.
+func byValueStruct(b box) int {
+	return b.n
+}
+
+// byValueRecv is a value receiver on a mutex-bearing type: flagged.
+func (b box) byValueRecv() int {
+	return b.n
+}
+
+// ptrRecv is the correct receiver form: legal.
+func (b *box) ptrRecv() int {
+	return b.n
+}

@@ -151,7 +151,7 @@ func (in *Injector) Middleware(next http.Handler) http.Handler {
 			in.count(func(s *Stats) { s.Errored++ })
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(r.Status)
-			fmt.Fprintf(w, "{\n  \"error\": {\n    \"code\": %q,\n    \"message\": %q\n  }\n}\n",
+			_, _ = fmt.Fprintf(w, "{\n  \"error\": {\n    \"code\": %q,\n    \"message\": %q\n  }\n}\n",
 				r.code(), fmt.Sprintf("injected fault on %s", req.URL.Path))
 			return
 		}

@@ -1,0 +1,35 @@
+package stats
+
+import "math"
+
+// DefaultTol is the tolerance the analysis packages use when comparing
+// accumulated floating-point quantities (agreement scores, NNMF
+// objective values, eigenvalues). It is loose enough to absorb the
+// rounding of a few thousand fused operations and tight enough to
+// distinguish any two values the paper's figures report.
+const DefaultTol = 1e-9
+
+// WithinTol reports whether a and b differ by at most abs in absolute
+// terms. NaN operands are never within tolerance of anything.
+func WithinTol(a, b, abs float64) bool {
+	return math.Abs(a-b) <= abs
+}
+
+// AlmostEqual reports whether a and b agree to tolerance tol: absolutely
+// for magnitudes at or below 1, relatively above, so the same tol works
+// for agreement fractions in [0,1] and unnormalized objective values
+// alike. Equal infinities agree; NaN agrees with nothing. This is the
+// comparison the floatcompare lint rule points at — use it instead of ==
+// or != on floating-point values (DESIGN §8).
+func AlmostEqual(a, b, tol float64) bool {
+	if (math.IsInf(a, 1) && math.IsInf(b, 1)) || (math.IsInf(a, -1) && math.IsInf(b, -1)) {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 0) {
+		// Opposite infinities, or one infinite operand: Inf <= tol*Inf
+		// would be vacuously true, so reject explicitly.
+		return false
+	}
+	return diff <= tol || diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWithinTol(t *testing.T) {
+	cases := []struct {
+		a, b, abs float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1.05, 0.1, true},
+		{1, 1.2, 0.1, false},
+		{-1, 1, 3, true},
+		{math.NaN(), 1, 1, false},
+		{1, math.NaN(), 1, false},
+		{math.NaN(), math.NaN(), 1, false},
+		{math.Inf(1), math.Inf(1), 1, false}, // Inf-Inf is NaN: absolute tol cannot hold
+	}
+	for _, c := range cases {
+		if got := WithinTol(c.a, c.b, c.abs); got != c.want {
+			t.Errorf("WithinTol(%v, %v, %v) = %v, want %v", c.a, c.b, c.abs, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-12, true},
+		{0, 0, 0, true},
+		// Relative comparison above magnitude 1.
+		{1e12, 1e12 * (1 + 1e-10), 1e-9, true},
+		{1e12, 1e12 * 1.01, 1e-9, false},
+		// Absolute comparison at small magnitude.
+		{1e-12, 2e-12, 1e-9, true},
+		{0.5, 0.50002, 1e-9, false},
+		// Infinities and NaN.
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(-1), math.Inf(-1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.Inf(1), 1e300, 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{math.NaN(), 1, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+		if got := AlmostEqual(c.b, c.a, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v (symmetry)", c.b, c.a, c.tol, got, c.want)
+		}
+	}
+
+	// The classic decimal-fraction case that motivates the rule, computed
+	// at runtime so Go's exact constant arithmetic doesn't fold it away.
+	tenth, fifth := 0.1, 0.2
+	sum := tenth + fifth
+	if sum == 0.3 {
+		t.Fatal("expected 0.1+0.2 to differ from 0.3 in float64")
+	}
+	if !AlmostEqual(sum, 0.3, 1e-12) {
+		t.Errorf("AlmostEqual(%v, 0.3, 1e-12) = false, want true", sum)
+	}
+	if AlmostEqual(sum, 0.3, 0) {
+		t.Errorf("AlmostEqual(%v, 0.3, 0) = true, want false", sum)
+	}
+}

@@ -1,0 +1,93 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"csmaterials/internal/ontology"
+)
+
+// TestLayoutDeterministic pins the determinism contract (DESIGN §8) for
+// the radial layout: identical input trees must produce identical polar
+// coordinates, because the workshop figures diff these artifacts
+// run-to-run.
+func TestLayoutDeterministic(t *testing.T) {
+	a := Layout(ontology.CS2013())
+	b := Layout(ontology.CS2013())
+	if a.RefLevel != b.RefLevel || a.MaxDepth != b.MaxDepth {
+		t.Fatalf("layout shape differs: ref %d/%d, depth %d/%d", a.RefLevel, b.RefLevel, a.MaxDepth, b.MaxDepth)
+	}
+	if len(a.Angle) != len(b.Angle) {
+		t.Fatalf("angle map sizes differ: %d vs %d", len(a.Angle), len(b.Angle))
+	}
+	for id, ang := range a.Angle {
+		if b.Angle[id] != ang {
+			t.Fatalf("angle for %s differs between identical runs: %v vs %v", id, ang, b.Angle[id])
+		}
+	}
+	for id, d := range a.Depth {
+		if b.Depth[id] != d {
+			t.Fatalf("depth for %s differs between identical runs: %d vs %d", id, d, b.Depth[id])
+		}
+	}
+}
+
+func TestLayoutCoversEveryNode(t *testing.T) {
+	g := ontology.CS2013()
+	l := Layout(g)
+	g.Walk(func(n *ontology.Node) bool {
+		if n.Kind == ontology.KindRoot {
+			return true
+		}
+		if _, ok := l.Angle[n.ID]; !ok {
+			t.Errorf("node %s has no angle", n.ID)
+		}
+		if _, ok := l.Depth[n.ID]; !ok {
+			t.Errorf("node %s has no depth", n.ID)
+		}
+		return true
+	})
+	if l.RefLevel < 1 || l.RefLevel > l.MaxDepth {
+		t.Fatalf("reference level %d outside 1..%d", l.RefLevel, l.MaxDepth)
+	}
+}
+
+func TestSVGRadialTreeDeterministic(t *testing.T) {
+	g := ontology.PDC12()
+	counts := map[string]int{}
+	align := map[string]float64{}
+	for i, n := range g.Leaves() {
+		counts[n.ID] = i % 7
+		align[n.ID] = float64(i%5-2) / 2
+	}
+	opts := RadialOptions{Counts: counts, Alignment: align, LabelAreas: true}
+	first := SVGRadialTree(g, opts)
+	for i := 0; i < 3; i++ {
+		if got := SVGRadialTree(g, opts); got != first {
+			t.Fatalf("render %d differs from first render of identical input", i+1)
+		}
+	}
+}
+
+func TestSVGRadialTreeShape(t *testing.T) {
+	g := ontology.PDC12()
+	svg := SVGRadialTree(g, RadialOptions{Size: 320})
+	if !strings.HasPrefix(svg, `<svg xmlns="http://www.w3.org/2000/svg" width="320" height="320">`) {
+		t.Fatalf("unexpected SVG header: %.80s", svg)
+	}
+	if !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatal("SVG not closed")
+	}
+	if !strings.Contains(svg, `fill="#cc2222"`) {
+		t.Fatal("root marker missing")
+	}
+	// One circle per non-root node, plus the root marker.
+	want := g.Len() + 1
+	if got := strings.Count(svg, "<circle "); got != want {
+		t.Fatalf("got %d circles, want %d", got, want)
+	}
+	// Default size applies when unset.
+	if !strings.Contains(SVGRadialTree(g, RadialOptions{}), `width="640"`) {
+		t.Fatal("default size not applied")
+	}
+}
