@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench serve tier1
+.PHONY: build vet lint test race race-engine bench bench-batch serve tier1
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The engine executor (singleflight, breakers, batch pool) is the
+# concurrency hot spot; race it first, with caching disabled, so a
+# regression there fails fast before the whole-module pass.
+race-engine:
+	$(GO) test -race -count=1 ./internal/engine/... ./internal/server/...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The batch worker pool's scaling numbers (cold vs warm, 1 vs N workers).
+bench-batch:
+	$(GO) test -bench=BenchmarkBatchParallel -benchmem ./internal/engine/
 
 serve:
 	$(GO) run ./cmd/serve
 
 # Everything the repo's tier-1 gate runs, plus vet, lint, and race.
-tier1: build vet lint test race
+tier1: build vet lint test race-engine race

@@ -2,6 +2,11 @@
 // synthesized dataset and writes text plus SVG artifacts to an output
 // directory.
 //
+// Figure generation goes through the same registered "figures" engine
+// analysis the HTTP API serves at /api/v1/figures/{id}: the command
+// enumerates the figure IDs and dispatches each by name, so the CLI
+// and the API cannot drift apart on what a figure is.
+//
 // Usage:
 //
 //	figures [-out DIR] [-fig ID]
@@ -11,12 +16,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/url"
 	"os"
 	"path/filepath"
 
 	"csmaterials/internal/core"
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/engine"
+	"csmaterials/internal/engine/analyses"
+	"csmaterials/internal/serving"
 )
 
 func main() {
@@ -25,26 +37,36 @@ func main() {
 	quiet := flag.Bool("q", false, "do not echo figure text to stdout")
 	flag.Parse()
 
-	if err := run(*out, *fig, *quiet); err != nil {
+	if err := run(os.Stdout, *out, *fig, *quiet); err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir, only string, quiet bool) error {
+func run(w io.Writer, outDir, only string, quiet bool) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
+	reg, err := analyses.Default()
+	if err != nil {
+		return err
+	}
+	exec := engine.NewExecutor(reg, engine.ExecutorOptions{
+		Repo:  dataset.Repository(),
+		Cache: serving.NewCache(16),
+	})
+
 	found := false
 	for _, f := range core.Figures() {
 		if only != "" && f.ID != only {
 			continue
 		}
 		found = true
-		art, err := f.Gen()
+		v, _, err := exec.Run(context.Background(), "figures", url.Values{"id": []string{f.ID}})
 		if err != nil {
 			return fmt.Errorf("figure %s: %w", f.ID, err)
 		}
+		art := v.(*core.Artifact)
 		txtPath := filepath.Join(outDir, art.ID+".txt")
 		if err := os.WriteFile(txtPath, []byte(art.Text), 0o644); err != nil {
 			return err
@@ -54,10 +76,11 @@ func run(outDir, only string, quiet bool) error {
 				return err
 			}
 		}
+		// Console/test-buffer echo; a failed write has no recovery path.
 		if !quiet {
-			fmt.Printf("=== figure %s ===\n%s\n", f.ID, art.Text)
+			_, _ = fmt.Fprintf(w, "=== figure %s ===\n%s\n", f.ID, art.Text)
 		} else {
-			fmt.Printf("wrote %s (%d SVGs)\n", txtPath, len(art.SVGs))
+			_, _ = fmt.Fprintf(w, "wrote %s (%d SVGs)\n", txtPath, len(art.SVGs))
 		}
 	}
 	if !found {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +11,7 @@ import (
 
 func TestRunAllFigures(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "", true); err != nil {
+	if err := run(io.Discard, dir, "", true); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -35,7 +37,7 @@ func TestRunAllFigures(t *testing.T) {
 
 func TestRunSingleFigure(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "3a", true); err != nil {
+	if err := run(io.Discard, dir, "3a", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "figure3-cs1.txt"))
@@ -55,7 +57,49 @@ func TestRunSingleFigure(t *testing.T) {
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run(t.TempDir(), "99", true); err == nil {
+	if err := run(io.Discard, t.TempDir(), "99", true); err == nil {
 		t.Fatal("unknown figure accepted")
+	}
+}
+
+// TestRunGoldenOutput pins the echoed figure text byte for byte: the
+// generation pipeline is deterministic, so any drift is a real change.
+// Regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test ./cmd/figures/
+func TestRunGoldenOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, t.TempDir(), "3a", false); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "figure3a.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out.Bytes(), want)
+	}
+}
+
+// TestQuietOutputListsArtifacts: -q reports what was written instead of
+// echoing figure bodies.
+func TestQuietOutputListsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(&out, dir, "3a", true); err != nil {
+		t.Fatal(err)
+	}
+	want := "wrote " + filepath.Join(dir, "figure3-cs1.txt") + " (1 SVGs)\n"
+	if out.String() != want {
+		t.Fatalf("quiet output = %q, want %q", out.String(), want)
 	}
 }

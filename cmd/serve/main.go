@@ -10,6 +10,7 @@
 //
 //	serve [-addr :8080] [-cache-size 256] [-request-timeout 30s] [-shutdown-timeout 10s]
 //	      [-max-inflight 256] [-breaker-threshold 5] [-breaker-cooldown 30s] [-stale-serve=true]
+//	      [-batch-workers 4]
 //
 // Beyond -max-inflight concurrent /api/v1 requests the server sheds
 // load with 429 + Retry-After. Each analysis family has a circuit
@@ -19,23 +20,30 @@
 // good result — marked meta.stale:true and X-Served-Stale — unless
 // -stale-serve=false.
 //
-// Endpoints (all GET; every /api/v1 response is a {"data","meta"}
-// envelope, errors are {"error":{"code","message"}}):
+// Endpoints (every /api/v1 response is a {"data","meta"} envelope,
+// errors are {"error":{"code","message"}}):
 //
-//	GET /healthz
-//	GET /readyz
-//	GET /api/v1/courses?limit=N&offset=M
-//	GET /api/v1/courses/{id}
-//	GET /api/v1/courses/{id}/materials
-//	GET /api/v1/courses/{id}/anchors
-//	GET /api/v1/courses/{id}/audit
-//	GET /api/v1/courses/{id}/pdcmaterials?limit=N
-//	GET /api/v1/search?tags=...&prefix=...&author=...&limit=N&offset=M
-//	GET /api/v1/agreement?group=CS1|DS|DSAlgo|PDC|all&threshold=K
-//	GET /api/v1/types?group=...&k=K
-//	GET /api/v1/cluster?group=...&k=K
-//	GET /api/v1/figures/{id}[?svg=name.svg]
-//	GET /debug/metrics
+//	GET  /healthz
+//	GET  /readyz
+//	GET  /api/v1/courses?limit=N&offset=M
+//	GET  /api/v1/courses/{id}
+//	GET  /api/v1/courses/{id}/materials
+//	GET  /api/v1/courses/{id}/anchors
+//	GET  /api/v1/courses/{id}/audit
+//	GET  /api/v1/courses/{id}/pdcmaterials?limit=N
+//	GET  /api/v1/search?tags=...&prefix=...&author=...&limit=N&offset=M
+//	GET  /api/v1/agreement?group=CS1|DS|DSAlgo|PDC|all&threshold=K
+//	GET  /api/v1/types?group=...&k=K
+//	GET  /api/v1/cluster?group=...&k=K
+//	GET  /api/v1/figures/{id}[?svg=name.svg]
+//	POST /api/v1/batch          {"items":[{"analysis":"types","params":{"group":"cs1"}}, ...]}
+//	GET  /debug/metrics
+//
+// The analysis endpoints are registry-driven (internal/engine): each
+// registered analysis is served at /api/v1/<name> and is addressable
+// by name in a batch. Batch items run on a -batch-workers pool with
+// per-item cache/breaker semantics and per-item error envelopes, in
+// input order.
 //
 // Legacy /api/... paths permanently redirect to /api/v1/... .
 package main
@@ -51,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"csmaterials/internal/engine"
 	"csmaterials/internal/resilience"
 	"csmaterials/internal/server"
 )
@@ -66,6 +75,7 @@ type config struct {
 	breakerThreshold int
 	breakerCooldown  time.Duration
 	staleServe       bool
+	batchWorkers     int
 }
 
 // parseConfig parses args (excluding the program name).
@@ -80,6 +90,7 @@ func parseConfig(args []string) (config, error) {
 	fs.IntVar(&cfg.breakerThreshold, "breaker-threshold", resilience.DefaultBreakerThreshold, "consecutive compute failures before an analysis circuit opens (negative disables breakers)")
 	fs.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", resilience.DefaultBreakerCooldown, "how long an open circuit waits before a half-open probe")
 	fs.BoolVar(&cfg.staleServe, "stale-serve", true, "serve last-known-good results (meta.stale) when a compute fails or its circuit is open")
+	fs.IntVar(&cfg.batchWorkers, "batch-workers", engine.DefaultBatchWorkers, "worker pool size for POST /api/v1/batch")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -95,6 +106,7 @@ func (c config) serverOptions(logger *log.Logger) server.Options {
 		BreakerThreshold:  c.breakerThreshold,
 		BreakerCooldown:   c.breakerCooldown,
 		DisableStaleServe: !c.staleServe,
+		BatchWorkers:      c.batchWorkers,
 	}
 }
 

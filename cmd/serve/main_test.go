@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"csmaterials/internal/engine"
 	"csmaterials/internal/resilience"
 	"csmaterials/internal/server"
 )
@@ -42,6 +43,9 @@ func TestParseConfigDefaults(t *testing.T) {
 	if !cfg.staleServe {
 		t.Error("staleServe = false, want true by default")
 	}
+	if cfg.batchWorkers != engine.DefaultBatchWorkers {
+		t.Errorf("batchWorkers = %d, want %d", cfg.batchWorkers, engine.DefaultBatchWorkers)
+	}
 }
 
 func TestParseConfigOverrides(t *testing.T) {
@@ -54,6 +58,7 @@ func TestParseConfigOverrides(t *testing.T) {
 		"-breaker-threshold", "-1",
 		"-breaker-cooldown", "5s",
 		"-stale-serve=false",
+		"-batch-workers", "9",
 	})
 	if err != nil {
 		t.Fatalf("parseConfig: %v", err)
@@ -67,6 +72,7 @@ func TestParseConfigOverrides(t *testing.T) {
 		breakerThreshold: -1,
 		breakerCooldown:  5 * time.Second,
 		staleServe:       false,
+		batchWorkers:     9,
 	}
 	if cfg != want {
 		t.Errorf("parseConfig = %+v, want %+v", cfg, want)
@@ -90,9 +96,10 @@ func TestServerOptionsMapping(t *testing.T) {
 		breakerThreshold: 33,
 		breakerCooldown:  44 * time.Second,
 		staleServe:       false,
+		batchWorkers:     6,
 	}
 	opts := cfg.serverOptions(logger)
-	if opts.CacheSize != 11 || opts.MaxInFlight != 22 || opts.BreakerThreshold != 33 || opts.BreakerCooldown != 44*time.Second {
+	if opts.CacheSize != 11 || opts.MaxInFlight != 22 || opts.BreakerThreshold != 33 || opts.BreakerCooldown != 44*time.Second || opts.BatchWorkers != 6 {
 		t.Errorf("options mismatch: %+v", opts)
 	}
 	if opts.Logger != logger {

@@ -1,18 +1,63 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestWorkshopRunsForEveryDatasetCourse(t *testing.T) {
 	// The workshop flow must complete for any course an attendee brings.
 	for _, id := range []string{"uncc-2214-krs", "ccc-csci40-kerney", "uncc-3145-saule", "utsa-bopana"} {
-		if err := run(id); err != nil {
+		var out bytes.Buffer
+		if err := run(&out, id); err != nil {
 			t.Errorf("workshop failed for %s: %v", id, err)
+			continue
+		}
+		for _, step := range []string{
+			"Day 1:", "Day 2, step 1:", "Day 2, step 5:", "Day 2, step 6:", "Day 2, step 7:",
+		} {
+			if !strings.Contains(out.String(), step) {
+				t.Errorf("workshop for %s skipped %q", id, step)
+			}
 		}
 	}
 }
 
 func TestWorkshopRejectsUnknownCourse(t *testing.T) {
-	if err := run("ghost"); err == nil {
+	if err := run(io.Discard, "ghost"); err == nil {
 		t.Fatal("unknown course accepted")
+	}
+}
+
+// TestWorkshopGoldenOutput pins the full workshop transcript for the
+// default course byte for byte: every analysis in the flow is
+// deterministic, so any drift is a real behaviour change. Regenerate
+// with:
+//
+//	UPDATE_GOLDEN=1 go test ./cmd/workshop/
+func TestWorkshopGoldenOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "uncc-2214-krs"); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "workshop-uncc-2214-krs.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out.Bytes(), want)
 	}
 }

@@ -1,7 +1,8 @@
 // Apiclient: drive the v1 HTTP API end-to-end against an in-process
 // httptest.Server — paginated course listing, a course's anchor
 // recommendations, the cached NNMF typing (watch meta.cache flip from
-// miss to hit), a legacy-path redirect, and the /debug/metrics report.
+// miss to hit), a parallel analysis batch (POST /api/v1/batch), a
+// legacy-path redirect, and the /debug/metrics report.
 //
 // The server is started with fault injection enabled, and every call
 // goes through a retrying client (exponential backoff with jitter,
@@ -19,6 +20,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"time"
 
 	"csmaterials/internal/resilience/faultinject"
@@ -210,7 +212,50 @@ func main() {
 	}
 	fmt.Println()
 
-	// 4. Degradation under injected faults: prime the agreement
+	// 4. One round trip, many analyses: POST /api/v1/batch runs the
+	// items on the server's worker pool with the same per-item cache
+	// and breaker semantics as the GET endpoints, and answers in input
+	// order. The types item was cached by step 3 — watch it come back
+	// as a hit while the others compute; the bogus item fails alone.
+	batchBody := `{"items": [
+		{"analysis": "types",     "params": {"group": "cs1", "k": "3"}},
+		{"analysis": "cluster",   "params": {"group": "all", "k": "4"}},
+		{"analysis": "agreement", "params": {"group": "pdc"}},
+		{"analysis": "bogus"}
+	]}`
+	resp, err := http.Post(ts.URL+"/api/v1/batch", "application/json", strings.NewReader(batchBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var batch struct {
+		Data []struct {
+			Analysis string `json:"analysis"`
+			Key      string `json:"key"`
+			Cache    string `json:"cache"`
+			Error    *struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		} `json:"data"`
+		Meta struct {
+			Items   int `json:"items"`
+			Workers int `json:"workers"`
+		} `json:"meta"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&batch)
+	_ = resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbatch of %d items on %d workers:\n", batch.Meta.Items, batch.Meta.Workers)
+	for _, item := range batch.Data {
+		if item.Error != nil {
+			fmt.Printf("  %-10s error=%s\n", item.Analysis, item.Error.Code)
+			continue
+		}
+		fmt.Printf("  %-10s key=%-16s cache=%s\n", item.Analysis, item.Key, item.Cache)
+	}
+
+	// 5. Degradation under injected faults: prime the agreement
 	// analysis, then make every agreement compute fail. The server
 	// answers from the last known good copy, flagged stale, and the
 	// retrying client rides out any 503s.
@@ -226,8 +271,8 @@ func main() {
 	fmt.Printf("\nagreement with compute faults injected: cache=%s stale=%v\n", e.Meta.Cache, e.Meta.Stale)
 	faults.SetRules()
 
-	// 5. Legacy paths still work via permanent redirect.
-	resp, err := http.Get(ts.URL + "/api/agreement?group=CS1&threshold=4")
+	// 6. Legacy paths still work via permanent redirect.
+	resp, err = http.Get(ts.URL + "/api/agreement?group=CS1&threshold=4")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -235,7 +280,7 @@ func main() {
 	_ = resp.Body.Close()
 	fmt.Printf("\nlegacy /api/agreement redirected to %s (%s)\n", final, resp.Status)
 
-	// 6. Observability: per-route counters, cache accounting, and the
+	// 7. Observability: per-route counters, cache accounting, and the
 	// resilience ladder's own numbers.
 	resp, err = http.Get(ts.URL + "/debug/metrics")
 	if err != nil {

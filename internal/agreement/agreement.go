@@ -6,6 +6,7 @@
 package agreement
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,6 +29,13 @@ type Analysis struct {
 // Analyze counts, for every curriculum tag, how many of the given courses
 // cover it. Guidelines are used for tree and knowledge-area summaries.
 func Analyze(courses []*materials.Course, guidelines ...*ontology.Guideline) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), courses, guidelines...)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation: the per-course
+// tag scan checks ctx between courses and returns ctx.Err() as soon as
+// the context is done.
+func AnalyzeCtx(ctx context.Context, courses []*materials.Course, guidelines ...*ontology.Guideline) (*Analysis, error) {
 	if len(courses) == 0 {
 		return nil, fmt.Errorf("agreement: no courses")
 	}
@@ -36,6 +44,9 @@ func Analyze(courses []*materials.Course, guidelines ...*ontology.Guideline) (*A
 	}
 	counts := map[string]int{}
 	for _, c := range courses {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for tag := range c.TagSet() {
 			counts[tag]++
 		}

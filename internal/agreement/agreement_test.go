@@ -247,7 +247,7 @@ func TestAlign(t *testing.T) {
 	if len(al.OnlyRight) != 1 || al.OnlyRight[0] != tagBigO {
 		t.Fatalf("OnlyRight = %v", al.OnlyRight)
 	}
-	if al.Jaccard != 1.0/3.0 {
+	if al.Jaccard != 1.0/3.0 { // lint:exact — one IEEE division; rounds identically to the constant
 		t.Fatalf("Jaccard = %v", al.Jaccard)
 	}
 }
@@ -257,11 +257,11 @@ func TestAlignIdenticalAndEmpty(t *testing.T) {
 		{ID: "m", Title: "t", Type: materials.Lecture, Tags: []string{tagVars}},
 	}
 	al := Align(ms, ms)
-	if al.Jaccard != 1 || len(al.OnlyLeft) != 0 || len(al.OnlyRight) != 0 {
+	if al.Jaccard != 1 || len(al.OnlyLeft) != 0 || len(al.OnlyRight) != 0 { // lint:exact — identical sets give Jaccard exactly 1
 		t.Fatalf("self-alignment = %+v", al)
 	}
 	empty := Align(nil, nil)
-	if empty.Jaccard != 1 {
+	if empty.Jaccard != 1 { // lint:exact — empty-set convention is exactly 1
 		t.Fatalf("empty alignment Jaccard = %v", empty.Jaccard)
 	}
 }

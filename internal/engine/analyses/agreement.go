@@ -1,0 +1,86 @@
+package analyses
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"csmaterials/internal/agreement"
+	"csmaterials/internal/engine"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+)
+
+// AgreementResponse is the agreement analysis payload (§4.3): per-tag
+// course counts summarized at every threshold, with the qualifying
+// knowledge areas at the requested one.
+type AgreementResponse struct {
+	Courses   []string       `json:"courses"`
+	Tags      int            `json:"tags"`
+	AtLeast   map[string]int `json:"at_least"`
+	KASpan    []string       `json:"ka_span"`
+	KACounts  map[string]int `json:"ka_counts"`
+	Threshold int            `json:"threshold"`
+}
+
+// AgreementParams selects a course group and an agreement threshold.
+type AgreementParams struct {
+	Group     string
+	Threshold int
+}
+
+// Validate checks the group is known; thresholds were range-checked at
+// parse time.
+func (p AgreementParams) Validate() error {
+	_, err := groupCourseIDs(p.Group)
+	return err
+}
+
+// CacheKey is "<group>|<threshold>".
+func (p AgreementParams) CacheKey() string {
+	return fmt.Sprintf("%s|%d", p.Group, p.Threshold)
+}
+
+// Agreement is the tag-agreement analysis (GET /api/v1/agreement).
+type Agreement struct{}
+
+func (Agreement) Name() string { return "agreement" }
+
+func (Agreement) Parse(v url.Values) (engine.Params, error) {
+	threshold, err := intParam(v, "threshold", 2, 1)
+	if err != nil {
+		return nil, err
+	}
+	return AgreementParams{Group: normGroup(v.Get("group")), Threshold: threshold}, nil
+}
+
+// WarmParams: the all-group analysis backs the readiness probe and the
+// default request, so it is pre-computed before /readyz flips.
+func (Agreement) WarmParams() []engine.Params {
+	return []engine.Params{AgreementParams{Group: "all", Threshold: 2}}
+}
+
+func (Agreement) Compute(ctx context.Context, repo *materials.Repository, p engine.Params) (interface{}, error) {
+	ap := p.(AgreementParams)
+	ids, err := groupCourseIDs(ap.Group)
+	if err != nil {
+		return nil, err
+	}
+	a, err := agreement.AnalyzeCtx(ctx, coursesByID(repo, ids), ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		return nil, err
+	}
+	atLeast := make(map[string]int, len(ids))
+	for k := 2; k <= len(ids); k++ {
+		atLeast[strconv.Itoa(k)] = a.AtLeast(k)
+	}
+	return &AgreementResponse{
+		Courses:   ids,
+		Tags:      a.NumTags(),
+		AtLeast:   atLeast,
+		KASpan:    a.KASpan(ap.Threshold),
+		KACounts:  a.KACounts(ap.Threshold),
+		Threshold: ap.Threshold,
+	}, nil
+}

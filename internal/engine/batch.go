@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"context"
+	"net/url"
+	"sync"
+)
+
+// DefaultBatchWorkers bounds batch concurrency when the operator does
+// not say otherwise. Analyses are CPU-bound, so a small pool saturates
+// the machine without letting one batch starve interactive requests.
+const DefaultBatchWorkers = 4
+
+// MaxBatchItems bounds one batch request; larger batches are rejected
+// up front rather than silently truncated.
+const MaxBatchItems = 64
+
+// BatchItem is one requested analysis in a batch: the registered name
+// plus the same parameters the GET endpoint would take as query values.
+type BatchItem struct {
+	Analysis string            `json:"analysis"`
+	Params   map[string]string `json:"params,omitempty"`
+}
+
+// Values converts the item's params to url.Values for Analysis.Parse.
+func (it BatchItem) Values() url.Values {
+	v := make(url.Values, len(it.Params))
+	for k, val := range it.Params {
+		v.Set(k, val)
+	}
+	return v
+}
+
+// BatchResult is the per-item envelope of a batch response. Exactly one
+// of Data or Error is set; Results[i] always answers Items[i], so a
+// partial failure cannot shift or reorder the rest of the batch.
+type BatchResult struct {
+	Analysis string      `json:"analysis"`
+	Key      string      `json:"key,omitempty"`
+	Cache    string      `json:"cache,omitempty"`
+	Stale    bool        `json:"stale,omitempty"`
+	Data     interface{} `json:"data,omitempty"`
+	Error    *Error      `json:"error,omitempty"`
+}
+
+// SetBatchWorkers sets the worker-pool bound for RunBatch (values < 1
+// fall back to DefaultBatchWorkers). Called once at startup.
+func (e *Executor) SetBatchWorkers(n int) {
+	if n < 1 {
+		n = DefaultBatchWorkers
+	}
+	e.mu.Lock()
+	e.batchWorkers = n
+	e.mu.Unlock()
+}
+
+// BatchWorkers returns the configured worker-pool bound.
+func (e *Executor) BatchWorkers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.batchWorkers
+}
+
+// RunBatch executes every item through the full serving ladder on a
+// bounded worker pool and returns one result per item, positionally.
+//
+// Each item keeps the exact semantics of its standalone endpoint: the
+// fresh cache is consulted first, concurrent equal items (within this
+// batch or across requests) collapse into one singleflight flight, the
+// per-analysis breaker guards the compute, and failures degrade to
+// stale values when enabled. Failures are per-item error envelopes —
+// one broken item never aborts the batch — and the output order is the
+// input order regardless of completion order, so responses are
+// deterministic under any worker interleaving.
+//
+// Cancelling ctx abandons unstarted items with 499 canceled envelopes;
+// items already computing stop as soon as their flight loses its last
+// waiter.
+func (e *Executor) RunBatch(ctx context.Context, items []BatchItem) []BatchResult {
+	e.mu.Lock()
+	workers := e.batchWorkers
+	e.batchCalls++
+	e.batchItems += uint64(len(items))
+	e.mu.Unlock()
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	results := make([]BatchResult, len(items))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = e.runItem(ctx, items[i])
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+func (e *Executor) runItem(ctx context.Context, it BatchItem) BatchResult {
+	res := BatchResult{Analysis: it.Analysis}
+	if err := ctx.Err(); err != nil {
+		res.Error = AsError(err)
+		return res
+	}
+	v, out, err := e.Run(ctx, it.Analysis, it.Values())
+	if err != nil {
+		res.Error = AsError(err)
+		return res
+	}
+	res.Key = out.Key
+	res.Cache = out.Cache
+	res.Stale = out.Stale
+	res.Data = v
+	return res
+}

@@ -1,0 +1,153 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"csmaterials/internal/engine"
+)
+
+func item(key string) engine.BatchItem {
+	return engine.BatchItem{Analysis: "fake", Params: map[string]string{"key": key}}
+}
+
+// TestRunBatchDeterministicOrder: whatever order the workers finish in,
+// Results[i] answers Items[i]. The fake blocks until every item is in
+// flight, so completion order is genuinely scrambled across workers.
+func TestRunBatchDeterministicOrder(t *testing.T) {
+	const n = 8
+	f := newFake("fake")
+	var inFlight int32
+	release := make(chan struct{})
+	f.set(func(ctx context.Context, p fakeParams) (interface{}, error) {
+		if atomic.AddInt32(&inFlight, 1) == n {
+			close(release)
+		}
+		<-release
+		return "value:" + p.key, nil
+	})
+	e, _, _ := newFakeExecutor(f)
+	e.SetBatchWorkers(n)
+
+	items := make([]engine.BatchItem, n)
+	for i := range items {
+		items[i] = item(fmt.Sprintf("k%d", i))
+	}
+	results := e.RunBatch(context.Background(), items)
+	if len(results) != n {
+		t.Fatalf("%d results for %d items", len(results), n)
+	}
+	for i, r := range results {
+		want := fmt.Sprintf("value:k%d", i)
+		if r.Error != nil || r.Data != want || r.Key != fmt.Sprintf("fake|k%d", i) {
+			t.Fatalf("results[%d] = %+v, want data %q", i, r, want)
+		}
+	}
+}
+
+// TestRunBatchPerItemErrors: one broken item yields its own error
+// envelope without disturbing its neighbours.
+func TestRunBatchPerItemErrors(t *testing.T) {
+	e, _, _ := newFakeExecutor(newFake("fake"))
+	results := e.RunBatch(context.Background(), []engine.BatchItem{
+		item("good"),
+		{Analysis: "bogus"},
+		item("unparsable"),
+		item("good"), // same key: served from cache/singleflight
+	})
+	if r := results[0]; r.Error != nil || r.Data != "value:good" || r.Cache != "miss" && r.Cache != "hit" {
+		t.Fatalf("results[0] = %+v", r)
+	}
+	if r := results[1]; r.Error == nil || r.Error.Status != 404 || r.Error.Code != "not_found" {
+		t.Fatalf("results[1] = %+v", r)
+	}
+	if r := results[2]; r.Error == nil || r.Error.Status != 400 || r.Error.Code != "bad_request" {
+		t.Fatalf("results[2] = %+v", r)
+	}
+	if r := results[3]; r.Error != nil || r.Data != "value:good" {
+		t.Fatalf("results[3] = %+v", r)
+	}
+	st := e.Stats()
+	if st.BatchCalls != 1 || st.BatchItems != 4 {
+		t.Fatalf("batch stats = %+v", st)
+	}
+}
+
+// TestRunBatchIdenticalItemsCollapse: equal items inside one batch
+// share a single compute through the singleflight, like concurrent
+// HTTP requests do.
+func TestRunBatchIdenticalItemsCollapse(t *testing.T) {
+	f := newFake("fake")
+	var computes int32
+	f.set(func(ctx context.Context, p fakeParams) (interface{}, error) {
+		atomic.AddInt32(&computes, 1)
+		return "value:" + p.key, nil
+	})
+	e, _, _ := newFakeExecutor(f)
+	e.SetBatchWorkers(4)
+	items := make([]engine.BatchItem, 12)
+	for i := range items {
+		items[i] = item("same")
+	}
+	results := e.RunBatch(context.Background(), items)
+	for i, r := range results {
+		if r.Error != nil || r.Data != "value:same" {
+			t.Fatalf("results[%d] = %+v", i, r)
+		}
+	}
+	if n := atomic.LoadInt32(&computes); n != 1 {
+		t.Fatalf("identical items computed %d times, want 1", n)
+	}
+}
+
+// TestRunBatchCancelled: a cancelled batch context turns unstarted
+// items into 499 envelopes instead of hanging or computing for nobody.
+func TestRunBatchCancelled(t *testing.T) {
+	e, _, _ := newFakeExecutor(newFake("fake"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := e.RunBatch(ctx, []engine.BatchItem{item("a"), item("b")})
+	for i, r := range results {
+		if r.Error == nil || r.Error.Status != 499 || r.Error.Code != "canceled" {
+			t.Fatalf("results[%d] = %+v, want 499 canceled", i, r)
+		}
+	}
+}
+
+// TestSetBatchWorkers: values < 1 fall back to the default; the pool
+// never exceeds the configured bound.
+func TestSetBatchWorkers(t *testing.T) {
+	f := newFake("fake")
+	var cur, max int32
+	var mu sync.Mutex
+	f.set(func(ctx context.Context, p fakeParams) (interface{}, error) {
+		mu.Lock()
+		cur++
+		if cur > max {
+			max = cur
+		}
+		mu.Unlock()
+		defer func() { mu.Lock(); cur--; mu.Unlock() }()
+		return "value:" + p.key, nil
+	})
+	e, _, _ := newFakeExecutor(f)
+
+	e.SetBatchWorkers(0)
+	if got := e.BatchWorkers(); got != engine.DefaultBatchWorkers {
+		t.Fatalf("BatchWorkers after SetBatchWorkers(0) = %d", got)
+	}
+	e.SetBatchWorkers(2)
+	items := make([]engine.BatchItem, 10)
+	for i := range items {
+		items[i] = item(fmt.Sprintf("k%d", i))
+	}
+	e.RunBatch(context.Background(), items)
+	mu.Lock()
+	defer mu.Unlock()
+	if max > 2 {
+		t.Fatalf("observed %d concurrent computes with 2 workers", max)
+	}
+}

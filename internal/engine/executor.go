@@ -1,0 +1,305 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"net/url"
+	"sync"
+	"time"
+
+	"csmaterials/internal/materials"
+	"csmaterials/internal/resilience"
+	"csmaterials/internal/resilience/faultinject"
+	"csmaterials/internal/serving"
+)
+
+// ExecutorOptions configures an Executor.
+type ExecutorOptions struct {
+	// Repo is the course repository handed to every Compute.
+	Repo *materials.Repository
+	// Cache is the result cache + singleflight group; required.
+	Cache *serving.Cache
+	// Breakers is the per-analysis circuit-breaker set; nil disables
+	// circuit breaking.
+	Breakers *resilience.BreakerSet
+	// Faults injects chaos into compute paths under the label
+	// "compute/<name>"; nil injects nothing.
+	Faults *faultinject.Injector
+	// StaleServe enables the last-known-good fallback when a compute
+	// fails, times out, or is circuit-broken.
+	StaleServe bool
+}
+
+// Outcome describes how a Run was answered, for the response meta.
+type Outcome struct {
+	// Key is the full cache key, "<name>|<params.CacheKey()>".
+	Key string
+	// Cache is "hit" (retained entry or shared flight), "miss" (this
+	// call computed), or "stale" (degraded last-known-good serve).
+	Cache string
+	// Stale marks a degraded response.
+	Stale bool
+}
+
+// analysisStats counts per-analysis executor activity.
+type analysisStats struct {
+	computes    uint64
+	failures    uint64
+	staleServed uint64
+}
+
+// AnalysisStats is the JSON form of one analysis's executor counters.
+type AnalysisStats struct {
+	Computes    uint64 `json:"computes"`
+	Failures    uint64 `json:"failures"`
+	StaleServed uint64 `json:"stale_served"`
+}
+
+// Stats is the executor section of /debug/metrics: per-analysis compute
+// accounting plus batch totals.
+type Stats struct {
+	Analyses     map[string]AnalysisStats `json:"analyses"`
+	BatchCalls   uint64                   `json:"batch_calls"`
+	BatchItems   uint64                   `json:"batch_items"`
+	BatchWorkers int                      `json:"batch_workers"`
+}
+
+// Executor runs registered analyses through the serving ladder: fresh
+// cache → breaker-guarded singleflight compute → stale last-known-good
+// fallback. Every surface (HTTP handlers, the batch endpoint, warmup,
+// CLIs) goes through the same two entry points, so the semantics of a
+// cache key, a breaker, or a stale serve cannot diverge per caller.
+type Executor struct {
+	reg        *Registry
+	repo       *materials.Repository
+	cache      *serving.Cache
+	breakers   *resilience.BreakerSet
+	faults     *faultinject.Injector
+	staleServe bool
+
+	batchWorkers int
+
+	mu         sync.Mutex
+	stats      map[string]*analysisStats
+	batchCalls uint64
+	batchItems uint64
+}
+
+// NewExecutor builds an executor over the registry. When o.Breakers is
+// set, a breaker is materialized for every registered analysis up
+// front, so readiness and metrics report the full set from the first
+// request rather than growing it lazily.
+func NewExecutor(reg *Registry, o ExecutorOptions) *Executor {
+	e := &Executor{
+		reg:          reg,
+		repo:         o.Repo,
+		cache:        o.Cache,
+		breakers:     o.Breakers,
+		faults:       o.Faults,
+		staleServe:   o.StaleServe,
+		batchWorkers: DefaultBatchWorkers,
+		stats:        make(map[string]*analysisStats),
+	}
+	if e.breakers != nil {
+		for _, name := range reg.Names() {
+			e.breakers.Get(name)
+		}
+	}
+	return e
+}
+
+// Registry exposes the analysis registry.
+func (e *Executor) Registry() *Registry { return e.reg }
+
+// Repo exposes the repository analyses compute over.
+func (e *Executor) Repo() *materials.Repository { return e.repo }
+
+// RetryAfter returns the wait hinted to clients rejected by name's open
+// circuit (zero without breakers).
+func (e *Executor) RetryAfter(name string) time.Duration {
+	if e.breakers == nil {
+		return 0
+	}
+	return e.breakers.Get(name).RetryAfter()
+}
+
+// Run parses values against the named analysis and executes it through
+// the ladder. Unknown names are a 404 *Error; parse and validation
+// failures are 400 *Errors unless the analysis supplied its own status.
+func (e *Executor) Run(ctx context.Context, name string, values url.Values) (interface{}, Outcome, error) {
+	a, ok := e.reg.Get(name)
+	if !ok {
+		return nil, Outcome{}, Errorf(404, "not_found", "unknown analysis %q", name)
+	}
+	p, err := e.ParseParams(a, values)
+	if err != nil {
+		return nil, Outcome{}, err
+	}
+	return e.RunParams(ctx, a, p)
+}
+
+// ParseParams parses and validates values for a, normalizing non-Error
+// failures to 400 bad_request.
+func (e *Executor) ParseParams(a Analysis, values url.Values) (Params, error) {
+	p, err := a.Parse(values)
+	if err != nil {
+		return nil, asBadRequest(err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, asBadRequest(err)
+	}
+	return p, nil
+}
+
+func asBadRequest(err error) error {
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	return &Error{Status: 400, Code: "bad_request", Message: err.Error()}
+}
+
+// Key returns the full cache key of (a, p).
+func Key(a Analysis, p Params) string {
+	if ck := p.CacheKey(); ck != "" {
+		return a.Name() + "|" + ck
+	}
+	return a.Name()
+}
+
+// RunParams executes a with validated params through the full ladder.
+//
+// The compute runs under the singleflight FLIGHT context: concurrent
+// equal requests share one computation, a departing caller cannot
+// cancel it for the others, and when the last caller departs the
+// flight context is cancelled so Compute stops burning CPU. Cancelled
+// computes are not failures: they never trip the breaker and are never
+// cached.
+//
+// On a compute failure, timeout, or open circuit, a stale
+// last-known-good value is returned (Outcome.Stale set) when stale
+// serving is enabled and one exists, while a breaker-gated refresh
+// runs detached in the background. Otherwise the error comes back:
+// resilience.ErrOpen, context errors, an *Error from the analysis, or
+// the raw compute error.
+func (e *Executor) RunParams(ctx context.Context, a Analysis, p Params) (interface{}, Outcome, error) {
+	name := a.Name()
+	key := Key(a, p)
+	var br *resilience.Breaker
+	if e.breakers != nil {
+		br = e.breakers.Get(name)
+	}
+	guarded := func(fctx context.Context) (interface{}, error) {
+		if br != nil && !br.Allow() {
+			return nil, resilience.ErrOpen
+		}
+		err := e.faults.ComputeError("compute/" + name)
+		var v interface{}
+		if err == nil {
+			e.countCompute(name)
+			v, err = a.Compute(fctx, e.repo, p)
+		}
+		if br != nil {
+			br.Record(!IsServerFailure(err))
+		}
+		if IsServerFailure(err) {
+			e.countFailure(name)
+		}
+		return v, err
+	}
+
+	v, served, err := e.cache.DoCtxFn(ctx, key, guarded)
+	if err == nil {
+		out := Outcome{Key: key, Cache: "miss"}
+		if served {
+			out.Cache = "hit"
+		}
+		return v, out, nil
+	}
+	if errors.Is(err, context.Canceled) {
+		// Every waiter left; there is nobody to answer and nothing to
+		// degrade for.
+		return nil, Outcome{}, err
+	}
+
+	if e.staleServe && (errors.Is(err, resilience.ErrOpen) || errors.Is(err, context.DeadlineExceeded) || IsServerFailure(err)) {
+		if sv, ok := e.cache.Stale(key); ok {
+			e.countStale(name)
+			go func() {
+				_, _, _ = e.cache.Do(key, func() (interface{}, error) { return guarded(context.Background()) })
+			}()
+			return sv, Outcome{Key: key, Cache: "stale", Stale: true}, nil
+		}
+	}
+	return nil, Outcome{}, err
+}
+
+// Warm pre-computes every registered Warmer analysis's WarmParams in
+// registration order, returning the first failure. The results land in
+// the cache under the exact keys live requests use, so the first real
+// request after readiness is a hit.
+func (e *Executor) Warm(ctx context.Context) error {
+	for _, name := range e.reg.Names() {
+		a, ok := e.reg.Get(name)
+		if !ok {
+			continue
+		}
+		w, ok := a.(Warmer)
+		if !ok {
+			continue
+		}
+		for _, p := range w.WarmParams() {
+			if err := p.Validate(); err != nil {
+				return err
+			}
+			if _, _, err := e.RunParams(ctx, a, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Executor) countCompute(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.statLocked(name).computes++
+}
+
+func (e *Executor) countFailure(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.statLocked(name).failures++
+}
+
+func (e *Executor) countStale(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.statLocked(name).staleServed++
+}
+
+// statLocked returns name's counters; callers hold e.mu.
+func (e *Executor) statLocked(name string) *analysisStats {
+	s, ok := e.stats[name]
+	if !ok {
+		s = &analysisStats{}
+		e.stats[name] = s
+	}
+	return s
+}
+
+// Stats snapshots the executor counters.
+func (e *Executor) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := Stats{
+		Analyses:     make(map[string]AnalysisStats, len(e.stats)),
+		BatchCalls:   e.batchCalls,
+		BatchItems:   e.batchItems,
+		BatchWorkers: e.batchWorkers,
+	}
+	for name, s := range e.stats {
+		out.Analyses[name] = AnalysisStats{Computes: s.computes, Failures: s.failures, StaleServed: s.staleServed}
+	}
+	return out
+}

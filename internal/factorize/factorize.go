@@ -7,6 +7,7 @@
 package factorize
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -53,6 +54,14 @@ type TagWeight struct {
 // Guidelines are used to interpret tags (knowledge-area summaries); pass
 // CS2013 and, for PDC courses, PDC12.
 func Analyze(courses []*materials.Course, k int, opts nnmf.Options, guidelines ...*ontology.Guideline) (*Model, error) {
+	return AnalyzeCtx(context.Background(), courses, k, opts, guidelines...)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation: the underlying
+// NNMF checks ctx between iterations and returns ctx.Err() promptly
+// when the caller goes away, so a cancelled request stops burning CPU
+// mid-factorization instead of converging for nobody.
+func AnalyzeCtx(ctx context.Context, courses []*materials.Course, k int, opts nnmf.Options, guidelines ...*ontology.Guideline) (*Model, error) {
 	if len(courses) == 0 {
 		return nil, fmt.Errorf("factorize: no courses")
 	}
@@ -67,9 +76,9 @@ func Analyze(courses []*materials.Course, k int, opts nnmf.Options, guidelines .
 		// The 0-1 course matrix is sparse; the CSR fast path computes the
 		// identical factorization (same init, same updates) in roughly
 		// half the time. See BenchmarkSparseNNMF.
-		res, err = nnmf.FactorizeCSR(matrix.FromDense(a), opts)
+		res, err = nnmf.FactorizeCSRCtx(ctx, matrix.FromDense(a), opts)
 	} else {
-		res, err = nnmf.Factorize(a, opts)
+		res, err = nnmf.FactorizeCtx(ctx, a, opts)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("factorize: %w", err)

@@ -12,7 +12,11 @@ import (
 // and the serving layer's cached analyses are built from them. The
 // serving stack (internal/server, internal/serving, internal/resilience)
 // is deliberately absent: it measures real time and handles real
-// concurrency. DESIGN §8 documents the contract.
+// concurrency. So is the engine executor (internal/engine) — its
+// singleflight, breaker, and batch-pool plumbing is real concurrency —
+// but the registered analyses (internal/engine/analyses) are pure
+// dispatch into the compute core and are held to the same contract.
+// DESIGN §8 documents the boundary.
 var computeSuffixes = []string{
 	"internal/agreement",
 	"internal/anchor",
@@ -22,6 +26,7 @@ var computeSuffixes = []string{
 	"internal/cluster",
 	"internal/core",
 	"internal/dataset",
+	"internal/engine/analyses",
 	"internal/factorize",
 	"internal/materials",
 	"internal/matrix",

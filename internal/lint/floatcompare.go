@@ -21,30 +21,33 @@ import (
 //     exact compare whose operand pair also appears in a relational
 //     (< <= > >=) compare within the same function is exempt.
 //
-// _test.go files are out of scope entirely: dogfooding showed every test
-// hit was a deliberate exact assertion — same-seed bit-identity checks
-// (the determinism contract itself), symmetry-by-construction checks
-// (At(i,j) == At(j,i)), and golden values on exactly-representable
-// integers — and replacing those with tolerances would weaken the tests.
-// Non-test code has no such excuse: NNMF convergence checks, agreement
-// scores, and eigenvalue iterations all accumulate rounding that makes
-// bitwise equality a coin flip, so they must go through the tolerance
-// helpers in internal/stats (stats.AlmostEqual / stats.WithinTol).
+// Beyond the structural exemptions, a comparison can be declared
+// intentionally exact with a `// lint:exact` comment on the same line
+// (trailing text after the marker is free-form rationale). Tests use it
+// for same-seed bit-identity checks (the determinism contract itself),
+// symmetry-by-construction checks (At(i,j) == At(j,i)), and golden values
+// on exactly-representable integers — assertions where a tolerance would
+// weaken the test. The annotation replaced an earlier blanket _test.go
+// skip: every exemption is now visible and reviewable at the assertion
+// that needs it, and new test code gets flagged instead of silently
+// ignored. Unannotated code has no excuse: NNMF convergence checks,
+// agreement scores, and eigenvalue iterations all accumulate rounding
+// that makes bitwise equality a coin flip, so they must go through the
+// tolerance helpers in internal/stats (stats.AlmostEqual /
+// stats.WithinTol).
 func FloatCompareAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "floatcompare",
 		Doc: "Floating-point operands must not be compared with == or != except " +
-			"against exact zero, as the x != x NaN test, or as a sort tie-break; " +
-			"use stats.AlmostEqual or stats.WithinTol.",
+			"against exact zero, as the x != x NaN test, as a sort tie-break, or " +
+			"on a line annotated // lint:exact; use stats.AlmostEqual or stats.WithinTol.",
 		Run: runFloatCompare,
 	}
 }
 
 func runFloatCompare(pass *Pass) {
 	for _, file := range pass.Files {
-		if pass.IsTestFile(file) {
-			continue
-		}
+		exact := exactLines(pass, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			fn, ok := n.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
@@ -69,6 +72,9 @@ func runFloatCompare(pass *Pass) {
 				if tieBreaks[pairKey(x, y)] {
 					return true // comparator tie-break; exactness is required
 				}
+				if exact[pass.Fset.Position(bin.Pos()).Line] {
+					return true // annotated intentionally exact
+				}
 				pass.Reportf(bin.Pos(),
 					"floating-point %s comparison is exact to the last bit; use stats.AlmostEqual/stats.WithinTol (or compare against exact zero)",
 					bin.Op)
@@ -77,6 +83,23 @@ func runFloatCompare(pass *Pass) {
 			return false // fn.Body already walked; don't descend twice
 		})
 	}
+}
+
+// exactLines collects the source lines of file carrying a "// lint:exact"
+// annotation. The marker must open the comment; anything after it is
+// free-form rationale. A comparison on an annotated line is intentionally
+// exact and not reported.
+func exactLines(pass *Pass, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == "lint:exact" || strings.HasPrefix(text, "lint:exact ") {
+				lines[pass.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
 }
 
 // relationalPairs collects the unordered operand-text pairs of every

@@ -100,17 +100,19 @@ func TestLockDisciplineFixture(t *testing.T) {
 // serving stack legitimately reads real time and may iterate maps.
 func TestDeterminismSkipsServingStack(t *testing.T) {
 	for path, want := range map[string]bool{
-		"csmaterials/internal/nnmf":       true,
-		"csmaterials/internal/dataset":    true,
-		"csmaterials/internal/matrix":     true,
-		"csmaterials/internal/factorize":  true,
-		"csmaterials/internal/viz":        true,
-		"csmaterials/internal/server":     false,
-		"csmaterials/internal/serving":    false,
-		"csmaterials/internal/resilience": false,
-		"csmaterials/internal/lint":       false,
-		"csmaterials/cmd/serve":           false,
-		"csmaterials":                     false,
+		"csmaterials/internal/nnmf":            true,
+		"csmaterials/internal/dataset":         true,
+		"csmaterials/internal/matrix":          true,
+		"csmaterials/internal/factorize":       true,
+		"csmaterials/internal/viz":             true,
+		"csmaterials/internal/engine/analyses": true,
+		"csmaterials/internal/engine":          false,
+		"csmaterials/internal/server":          false,
+		"csmaterials/internal/serving":         false,
+		"csmaterials/internal/resilience":      false,
+		"csmaterials/internal/lint":            false,
+		"csmaterials/cmd/serve":                false,
+		"csmaterials":                          false,
 	} {
 		if got := IsComputePackage(path); got != want {
 			t.Errorf("IsComputePackage(%q) = %v, want %v", path, got, want)

@@ -45,3 +45,9 @@ func nonZeroConst(a float64) bool {
 func intCompare(a, b int) bool {
 	return a == b
 }
+
+// annotated carries the lint:exact marker, which works outside tests
+// too: legal.
+func annotated(a, b float64) bool {
+	return a == b // lint:exact — interning check wants bit equality
+}

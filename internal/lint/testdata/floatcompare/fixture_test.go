@@ -1,0 +1,45 @@
+// Test-file fixture: _test.go sources are in scope for floatcompare, and
+// the per-assertion "// lint:exact" annotation is the only test-specific
+// escape hatch.
+package floatcompare
+
+import "testing"
+
+// TestBitIdentity asserts same-seed reproducibility, where a tolerance
+// would weaken the test: annotated, legal.
+func TestBitIdentity(t *testing.T) {
+	a, b := eq(1, 2), eq(1, 2)
+	x, y := 0.1, 0.1
+	_ = a
+	_ = b
+	if x != y { // lint:exact — same-seed runs must agree to the last bit
+		t.Fatal("drift")
+	}
+}
+
+// TestUnannotated compares computed floats without an annotation:
+// flagged, exactly like non-test code.
+func TestUnannotated(t *testing.T) {
+	x, y := 0.1+0.2, 0.3
+	if x == y {
+		t.Fatal("accidentally exact")
+	}
+}
+
+// TestAnnotationMustShareTheLine puts the marker on the previous line,
+// which does not count: flagged.
+func TestAnnotationMustShareTheLine(t *testing.T) {
+	x, y := 0.1+0.2, 0.3
+	// lint:exact
+	if x == y {
+		t.Fatal("marker on the wrong line")
+	}
+}
+
+// TestZeroStillLegal: the structural exemptions apply in tests too.
+func TestZeroStillLegal(t *testing.T) {
+	x := 0.0
+	if x != 0 {
+		t.Fatal("nonzero")
+	}
+}

@@ -260,17 +260,17 @@ func TestCourseMatrix(t *testing.T) {
 	if bigOCol < 0 {
 		t.Fatal("bigO column missing")
 	}
-	if a.At(0, bigOCol) != 1 || a.At(1, bigOCol) != 1 {
+	if a.At(0, bigOCol) != 1 || a.At(1, bigOCol) != 1 { // lint:exact — incidence entries are exact 0/1
 		t.Fatal("bigO column should be 1 for both courses")
 	}
 	// c2 has only one tag: its row sums to 1.
-	if got := a.RowSums()[1]; got != 1 {
+	if got := a.RowSums()[1]; got != 1 { // lint:exact — sum of exact 0/1 entries
 		t.Fatalf("row 2 sum = %v, want 1", got)
 	}
 	// Entries are 0-1.
 	for i := 0; i < a.Rows(); i++ {
 		for j := 0; j < a.Cols(); j++ {
-			if v := a.At(i, j); v != 0 && v != 1 {
+			if v := a.At(i, j); v != 0 && v != 1 { // lint:exact — incidence entries are exact 0/1
 				t.Fatalf("non-binary entry %v", v)
 			}
 		}

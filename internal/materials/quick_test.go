@@ -108,7 +108,7 @@ func TestPropCourseMatrixConsistent(t *testing.T) {
 			}
 			for tag := range set {
 				j, ok := colIdx[tag]
-				if !ok || a.At(i, j) != 1 {
+				if !ok || a.At(i, j) != 1 { // lint:exact — incidence entries are exact 0/1
 					return false
 				}
 			}

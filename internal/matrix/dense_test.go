@@ -39,12 +39,12 @@ func TestNewPanicsOnBadDims(t *testing.T) {
 func TestNewFromSliceRoundTrip(t *testing.T) {
 	data := []float64{1, 2, 3, 4, 5, 6}
 	m := NewFromSlice(2, 3, data)
-	if m.At(0, 0) != 1 || m.At(0, 2) != 3 || m.At(1, 0) != 4 || m.At(1, 2) != 6 {
+	if m.At(0, 0) != 1 || m.At(0, 2) != 3 || m.At(1, 0) != 4 || m.At(1, 2) != 6 { // lint:exact — exactly-representable integer fill
 		t.Fatalf("row-major layout wrong: %v", m)
 	}
 	// The matrix must own a copy, not alias the input.
 	data[0] = 99
-	if m.At(0, 0) != 1 {
+	if m.At(0, 0) != 1 { // lint:exact — exactly-representable integer fill
 		t.Fatal("NewFromSlice aliased caller data")
 	}
 }
@@ -60,7 +60,7 @@ func TestNewFromSliceLengthMismatch(t *testing.T) {
 
 func TestNewFromRows(t *testing.T) {
 	m := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
-	if m.Rows() != 3 || m.Cols() != 2 || m.At(2, 1) != 6 {
+	if m.Rows() != 3 || m.Cols() != 2 || m.At(2, 1) != 6 { // lint:exact — exactly-representable integer fill
 		t.Fatalf("unexpected matrix %v", m)
 	}
 }
@@ -82,7 +82,7 @@ func TestIdentity(t *testing.T) {
 			if i == j {
 				want = 1
 			}
-			if m.At(i, j) != want {
+			if m.At(i, j) != want { // lint:exact — exactly-representable integer fill
 				t.Fatalf("Identity(4).At(%d,%d) = %v, want %v", i, j, m.At(i, j), want)
 			}
 		}
@@ -114,7 +114,7 @@ func TestRandomNilRNGPanics(t *testing.T) {
 func TestRowViewAliases(t *testing.T) {
 	m := NewFromRows([][]float64{{1, 2}, {3, 4}})
 	m.RowView(1)[0] = 42
-	if m.At(1, 0) != 42 {
+	if m.At(1, 0) != 42 { // lint:exact — exactly-representable integer fill
 		t.Fatal("RowView must alias storage")
 	}
 }
@@ -123,15 +123,15 @@ func TestRowAndColCopies(t *testing.T) {
 	m := NewFromRows([][]float64{{1, 2}, {3, 4}})
 	r := m.Row(0)
 	r[0] = 99
-	if m.At(0, 0) != 1 {
+	if m.At(0, 0) != 1 { // lint:exact — exactly-representable integer fill
 		t.Fatal("Row must copy")
 	}
 	c := m.Col(1)
-	if c[0] != 2 || c[1] != 4 {
+	if c[0] != 2 || c[1] != 4 { // lint:exact — exactly-representable integer fill
 		t.Fatalf("Col(1) = %v, want [2 4]", c)
 	}
 	c[0] = 99
-	if m.At(0, 1) != 2 {
+	if m.At(0, 1) != 2 { // lint:exact — exactly-representable integer fill
 		t.Fatal("Col must copy")
 	}
 }
@@ -140,7 +140,7 @@ func TestSetRowSetCol(t *testing.T) {
 	m := New(2, 3)
 	m.SetRow(1, []float64{7, 8, 9})
 	m.SetCol(0, []float64{1, 2})
-	if m.At(1, 0) != 2 || m.At(1, 2) != 9 || m.At(0, 0) != 1 {
+	if m.At(1, 0) != 2 || m.At(1, 2) != 9 || m.At(0, 0) != 1 { // lint:exact — exactly-representable integer fill
 		t.Fatalf("unexpected matrix after SetRow/SetCol: %v", m)
 	}
 }
@@ -149,7 +149,7 @@ func TestCloneIndependence(t *testing.T) {
 	m := NewFromRows([][]float64{{1, 2}, {3, 4}})
 	n := m.Clone()
 	n.Set(0, 0, 100)
-	if m.At(0, 0) != 1 {
+	if m.At(0, 0) != 1 { // lint:exact — exactly-representable integer fill
 		t.Fatal("Clone shares storage with original")
 	}
 }
@@ -162,7 +162,7 @@ func TestTranspose(t *testing.T) {
 	}
 	for i := 0; i < 2; i++ {
 		for j := 0; j < 3; j++ {
-			if m.At(i, j) != tr.At(j, i) {
+			if m.At(i, j) != tr.At(j, i) { // lint:exact — transpose copies bits
 				t.Fatalf("T mismatch at (%d,%d)", i, j)
 			}
 		}
@@ -209,17 +209,17 @@ func TestScaleApply(t *testing.T) {
 
 func TestSumMeanMaxAbsMax(t *testing.T) {
 	a := NewFromRows([][]float64{{-5, 2}, {3, 4}})
-	if a.Sum() != 4 {
+	if a.Sum() != 4 { // lint:exact — small-integer arithmetic is exact
 		t.Fatalf("Sum = %v", a.Sum())
 	}
-	if a.Mean() != 1 {
+	if a.Mean() != 1 { // lint:exact — small-integer arithmetic is exact
 		t.Fatalf("Mean = %v", a.Mean())
 	}
-	if a.MaxAbs() != 5 {
+	if a.MaxAbs() != 5 { // lint:exact — small-integer arithmetic is exact
 		t.Fatalf("MaxAbs = %v", a.MaxAbs())
 	}
 	v, i, j := a.Max()
-	if v != 4 || i != 1 || j != 1 {
+	if v != 4 || i != 1 || j != 1 { // lint:exact — small-integer arithmetic is exact
 		t.Fatalf("Max = %v at (%d,%d)", v, i, j)
 	}
 }
@@ -227,11 +227,11 @@ func TestSumMeanMaxAbsMax(t *testing.T) {
 func TestRowColSumsArgMax(t *testing.T) {
 	a := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
 	rs := a.RowSums()
-	if rs[0] != 6 || rs[1] != 15 {
+	if rs[0] != 6 || rs[1] != 15 { // lint:exact — small-integer arithmetic is exact
 		t.Fatalf("RowSums = %v", rs)
 	}
 	cs := a.ColSums()
-	if cs[0] != 5 || cs[1] != 7 || cs[2] != 9 {
+	if cs[0] != 5 || cs[1] != 7 || cs[2] != 9 { // lint:exact — small-integer arithmetic is exact
 		t.Fatalf("ColSums = %v", cs)
 	}
 	if a.ArgMaxRow(0) != 2 || a.ArgMaxRow(1) != 2 {
@@ -248,7 +248,7 @@ func TestNormalizeRowsL1(t *testing.T) {
 	if n.At(1, 0) != 0 || n.At(1, 1) != 0 {
 		t.Fatal("zero row must remain zero")
 	}
-	if a.At(0, 0) != 2 {
+	if a.At(0, 0) != 2 { // lint:exact — small-integer arithmetic is exact
 		t.Fatal("NormalizeRowsL1 mutated receiver")
 	}
 }
@@ -256,7 +256,7 @@ func TestNormalizeRowsL1(t *testing.T) {
 func TestCenterCols(t *testing.T) {
 	a := NewFromRows([][]float64{{1, 10}, {3, 20}})
 	c, means := a.CenterCols()
-	if means[0] != 2 || means[1] != 15 {
+	if means[0] != 2 || means[1] != 15 { // lint:exact — small-integer arithmetic is exact
 		t.Fatalf("means = %v", means)
 	}
 	for j := 0; j < 2; j++ {
@@ -268,7 +268,7 @@ func TestCenterCols(t *testing.T) {
 
 func TestFrobeniusNorm(t *testing.T) {
 	a := NewFromRows([][]float64{{3, 4}})
-	if a.FrobeniusNorm() != 5 {
+	if a.FrobeniusNorm() != 5 { // lint:exact — 3-4-5: the norm is exactly 5
 		t.Fatalf("FrobeniusNorm = %v", a.FrobeniusNorm())
 	}
 }

@@ -18,13 +18,13 @@ func knownPoints(n, k int, seed int64) (*matrix.Dense, *matrix.Dense) {
 func TestEuclideanDistances(t *testing.T) {
 	x := matrix.NewFromRows([][]float64{{0, 0}, {3, 4}, {0, 8}})
 	d := EuclideanDistances(x)
-	if d.At(0, 1) != 5 || d.At(1, 0) != 5 {
+	if d.At(0, 1) != 5 || d.At(1, 0) != 5 { // lint:exact — 3-4-5 distances are exactly representable
 		t.Fatalf("d(0,1) = %v, want 5", d.At(0, 1))
 	}
-	if d.At(0, 2) != 8 {
+	if d.At(0, 2) != 8 { // lint:exact — 3-4-5 distances are exactly representable
 		t.Fatalf("d(0,2) = %v, want 8", d.At(0, 2))
 	}
-	if d.At(1, 2) != 5 {
+	if d.At(1, 2) != 5 { // lint:exact — 3-4-5 distances are exactly representable
 		t.Fatalf("d(1,2) = %v, want 5", d.At(1, 2))
 	}
 	for i := 0; i < 3; i++ {
@@ -121,7 +121,7 @@ func TestSMACOFDeterministicWithSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !x1.Equal(x2) || s1 != s2 {
+	if !x1.Equal(x2) || s1 != s2 { // lint:exact — same-seed runs must agree to the last bit
 		t.Fatal("SMACOF with same seed differs")
 	}
 }
@@ -162,7 +162,7 @@ func TestDistancesFromSimilarity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d.At(0, 1) != 0.25 || d.At(1, 0) != 0.25 {
+	if d.At(0, 1) != 0.25 || d.At(1, 0) != 0.25 { // lint:exact — 0.25 is exactly representable
 		t.Fatalf("d = %v", d)
 	}
 	if d.At(0, 0) != 0 || d.At(1, 1) != 0 {

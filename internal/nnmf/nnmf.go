@@ -20,6 +20,7 @@
 package nnmf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -141,6 +142,16 @@ type Result struct {
 
 // Factorize computes an NNMF of a with the given options.
 func Factorize(a *matrix.Dense, opts Options) (*Result, error) {
+	return FactorizeCtx(context.Background(), a, opts)
+}
+
+// FactorizeCtx is Factorize with cooperative cancellation: the iteration
+// loop checks ctx between updates and returns ctx.Err() as soon as the
+// context is done, so a dead client or a tripped timeout stops the CPU
+// work instead of letting it converge for nobody. Cancellation does not
+// affect the numbers: a factorization that runs to completion is
+// byte-identical with or without a context.
+func FactorizeCtx(ctx context.Context, a *matrix.Dense, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	rows, cols := a.Dims()
 	if opts.K <= 0 {
@@ -171,7 +182,10 @@ func Factorize(a *matrix.Dense, opts Options) (*Result, error) {
 	var best *Result
 	for r := 0; r < restarts; r++ {
 		w, h := initialize(a, opts, opts.Seed+int64(r))
-		res := run(a, w, h, opts, normA)
+		res, err := run(ctx, a, w, h, opts, normA)
+		if err != nil {
+			return nil, err
+		}
 		res.Restart = r
 		if best == nil || res.Err < best.Err {
 			best = res
@@ -196,11 +210,14 @@ func initialize(a *matrix.Dense, opts Options, seed int64) (w, h *matrix.Dense) 
 	}
 }
 
-func run(a, w, h *matrix.Dense, opts Options, normA float64) *Result {
+func run(ctx context.Context, a, w, h *matrix.Dense, opts Options, normA float64) (*Result, error) {
 	res := &Result{}
 	prev := math.Inf(1)
 	init := 0.0
 	for it := 0; it < opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		switch opts.Algorithm {
 		case MultiplicativeKL:
 			w, h = stepKL(a, w, h, opts.Eps)
@@ -226,7 +243,7 @@ func run(a, w, h *matrix.Dense, opts Options, normA float64) *Result {
 	}
 	res.W, res.H = w, h
 	res.Err = res.Residuals[len(res.Residuals)-1]
-	return res
+	return res, nil
 }
 
 // RelativeError returns ‖A − W·H‖_F / normA. Pass a.FrobeniusNorm() (or

@@ -1,6 +1,7 @@
 package nnmf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,6 +19,12 @@ import (
 // Only the Frobenius multiplicative algorithm is implemented sparsely;
 // Options.Algorithm is ignored.
 func FactorizeCSR(a *matrix.CSR, opts Options) (*Result, error) {
+	return FactorizeCSRCtx(context.Background(), a, opts)
+}
+
+// FactorizeCSRCtx is FactorizeCSR with cooperative cancellation; see
+// FactorizeCtx for the contract.
+func FactorizeCSRCtx(ctx context.Context, a *matrix.CSR, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	rows, cols := a.Dims()
 	if opts.K <= 0 {
@@ -47,7 +54,10 @@ func FactorizeCSR(a *matrix.CSR, opts Options) (*Result, error) {
 		} else {
 			w, h = randomInit(rows, cols, opts.K, mean, opts.Seed+int64(r))
 		}
-		res := runSparse(a, w, h, opts, normA)
+		res, err := runSparse(ctx, a, w, h, opts, normA)
+		if err != nil {
+			return nil, err
+		}
 		res.Restart = r
 		if best == nil || res.Err < best.Err {
 			best = res
@@ -66,11 +76,14 @@ func randomInit(rows, cols, k int, mean float64, seed int64) (*matrix.Dense, *ma
 	return w, h
 }
 
-func runSparse(a *matrix.CSR, w, h *matrix.Dense, opts Options, normA float64) *Result {
+func runSparse(ctx context.Context, a *matrix.CSR, w, h *matrix.Dense, opts Options, normA float64) (*Result, error) {
 	res := &Result{}
 	prev := math.Inf(1)
 	init := 0.0
 	for it := 0; it < opts.MaxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w, h = stepFrobeniusSparse(a, w, h, opts.Eps)
 		err := sparseRelativeError(a, w, h, normA)
 		res.Residuals = append(res.Residuals, err)
@@ -85,7 +98,7 @@ func runSparse(a *matrix.CSR, w, h *matrix.Dense, opts Options, normA float64) *
 	}
 	res.W, res.H = w, h
 	res.Err = res.Residuals[len(res.Residuals)-1]
-	return res
+	return res, nil
 }
 
 // stepFrobeniusSparse is stepFrobenius with the two A-products computed

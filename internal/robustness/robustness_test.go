@@ -95,7 +95,7 @@ func TestTypingAgreementIdenticalInputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if agree != 1 {
+	if agree != 1 { // lint:exact — identical typings agree at exactly 1
 		t.Fatalf("self-agreement = %v, want 1", agree)
 	}
 }
@@ -154,7 +154,7 @@ func TestSweepMonotoneTrend(t *testing.T) {
 	if len(results) != 3 {
 		t.Fatalf("sweep points = %d", len(results))
 	}
-	if results[0].Typing != 1 {
+	if results[0].Typing != 1 { // lint:exact — identical typings agree at exactly 1
 		t.Fatalf("zero-noise typing = %v, want 1", results[0].Typing)
 	}
 	if results[2].Typing > results[0].Typing {

@@ -135,7 +135,7 @@ func TestBreakerAndStaleDegradation(t *testing.T) {
 	}
 	s.breakers.SetClock(clk.Now)
 	var calls int32
-	s.analyzeTypes = countingAnalyze(&calls)
+	countCompute(t, s, "types", &calls)
 	s.warmup() // synchronous: /readyz is usable for breaker reporting
 	ts := httptest.NewServer(s)
 	defer ts.Close()
@@ -210,7 +210,7 @@ func TestBreakerAndStaleDegradation(t *testing.T) {
 		t.Fatal("cluster breaker affected by types failures")
 	}
 	if n := atomic.LoadInt32(&calls); n != 1 {
-		t.Fatalf("factorize.Analyze ran %d times; the breaker/injector should have kept it at the 1 priming call", n)
+		t.Fatalf("types Compute ran %d times; the breaker/injector should have kept it at the 1 priming call", n)
 	}
 
 	// /debug/metrics exposes breaker state and the stale-served count.
@@ -242,7 +242,7 @@ func TestBreakerAndStaleDegradation(t *testing.T) {
 		t.Fatalf("breaker after successful probe = %+v", st)
 	}
 	if n := atomic.LoadInt32(&calls); n != 2 {
-		t.Fatalf("factorize.Analyze ran %d times, want 2 (prime + recovery probe)", n)
+		t.Fatalf("types Compute ran %d times, want 2 (prime + recovery probe)", n)
 	}
 }
 

@@ -9,48 +9,44 @@
 // {"error": {"code", "message"}}. Legacy /api/... paths permanently
 // redirect to their /api/v1/... equivalents.
 //
-// The server is read-only and the dataset deterministic, so analysis
-// results are cached forever (bounded by size) in internal/serving's
-// LRU cache; concurrent identical requests collapse into a single
-// computation via singleflight. Per-route metrics are served at
-// GET /debug/metrics. Built on net/http only.
+// Every analysis endpoint is a thin dispatch into internal/engine: the
+// analyses register in an engine.Registry, and one executor runs them
+// all through the serving ladder (fresh cache → breaker-guarded
+// singleflight compute → stale last-known-good fallback). The server
+// wires no cache keys, breakers, or stale semantics per analysis —
+// adding an analysis to the API is one registration in
+// internal/engine/analyses. Routes, warmup, readiness, and metrics all
+// iterate the registry.
 //
-// Every analysis request walks internal/resilience's degradation
-// ladder: a load shedder rejects work beyond -max-inflight with 429 +
-// Retry-After before it costs anything; a per-analysis circuit breaker
-// opens after repeated compute failures so a broken path fails fast
-// (503 circuit_open + Retry-After); and when a compute fails, times
-// out, or is circuit-broken, the last-known-good cached value is
-// served instead with meta.stale: true and an X-Served-Stale header
-// while a breaker-gated refresh runs in the background. GET /readyz is
-// the readiness probe (distinct from the /healthz liveness probe): it
-// stays 503 until the dataset is loaded and the all-group agreement
-// analysis has been warmed, and always reports breaker states.
+// POST /api/v1/batch executes many analyses in one request on a
+// bounded worker pool with per-item cache/singleflight/breaker
+// semantics and per-item error envelopes, in deterministic input
+// order. GET /readyz is the readiness probe (distinct from the
+// /healthz liveness probe): it stays 503 until the dataset is loaded
+// and every warmable analysis has been pre-computed, and always
+// reports breaker states. Per-route metrics are served at
+// GET /debug/metrics. Built on net/http only.
 package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
-	"csmaterials/internal/agreement"
-	"csmaterials/internal/anchor"
-	"csmaterials/internal/audit"
-	"csmaterials/internal/catalog"
-	"csmaterials/internal/cluster"
 	"csmaterials/internal/core"
 	"csmaterials/internal/dataset"
-	"csmaterials/internal/factorize"
+	"csmaterials/internal/engine"
+	"csmaterials/internal/engine/analyses"
 	"csmaterials/internal/materials"
-	"csmaterials/internal/nnmf"
-	"csmaterials/internal/ontology"
 	"csmaterials/internal/resilience"
 	"csmaterials/internal/resilience/faultinject"
 	"csmaterials/internal/search"
@@ -90,6 +86,9 @@ type Options struct {
 	// DisableStaleServe turns off last-known-good degradation: compute
 	// failures become errors instead of stale responses.
 	DisableStaleServe bool
+	// BatchWorkers bounds the POST /api/v1/batch worker pool. Zero or
+	// negative means engine.DefaultBatchWorkers.
+	BatchWorkers int
 	// Faults, when non-nil, injects chaos (latency, errors, panics)
 	// into API routes and compute paths. Tests and demos only.
 	Faults *faultinject.Injector
@@ -101,27 +100,22 @@ type Options struct {
 
 // Server holds the shared read-only state behind the handlers.
 type Server struct {
-	repo        *materials.Repository
-	engine      *search.Engine
-	recommender *anchor.Recommender
-	mux         *http.ServeMux
-	handler     http.Handler
-	cache       *serving.Cache
-	metrics     *serving.Metrics
-	logger      *log.Logger
+	repo     *materials.Repository
+	searcher *search.Engine
+	exec     *engine.Executor
+	mux      *http.ServeMux
+	handler  http.Handler
+	cache    *serving.Cache
+	metrics  *serving.Metrics
+	logger   *log.Logger
 
-	shedder    *resilience.Shedder
-	breakers   *resilience.BreakerSet // nil when circuit breaking is disabled
-	faults     *faultinject.Injector  // nil when no chaos is injected
-	staleServe bool
+	shedder  *resilience.Shedder
+	breakers *resilience.BreakerSet // nil when circuit breaking is disabled
+	faults   *faultinject.Injector  // nil when no chaos is injected
 
 	readyMu  sync.Mutex
 	ready    bool
 	readyErr error
-
-	// analyzeTypes is factorize.Analyze, injectable so tests can count
-	// underlying calls through the cache/singleflight path.
-	analyzeTypes func([]*materials.Course, int, nnmf.Options, ...*ontology.Guideline) (*factorize.Model, error)
 }
 
 // New builds a server over the synthesized dataset with defaults.
@@ -129,7 +123,7 @@ func New() (*Server, error) { return NewWithOptions(Options{}) }
 
 // NewWithOptions builds a server with explicit serving options.
 func NewWithOptions(o Options) (*Server, error) {
-	rec, err := anchor.NewRecommender(ontology.CS2013(), ontology.PDC12())
+	reg, err := analyses.Default()
 	if err != nil {
 		return nil, err
 	}
@@ -144,21 +138,26 @@ func NewWithOptions(o Options) (*Server, error) {
 		maxInFlight = 0 // shedder treats 0 as unlimited
 	}
 	s := &Server{
-		repo:         dataset.Repository(),
-		engine:       search.NewEngine(dataset.Repository()),
-		recommender:  rec,
-		mux:          http.NewServeMux(),
-		cache:        serving.NewCache(size),
-		metrics:      serving.NewMetrics(),
-		logger:       o.Logger,
-		shedder:      resilience.NewShedder(maxInFlight, 0),
-		faults:       o.Faults,
-		staleServe:   !o.DisableStaleServe,
-		analyzeTypes: factorize.Analyze,
+		repo:     dataset.Repository(),
+		searcher: search.NewEngine(dataset.Repository()),
+		mux:      http.NewServeMux(),
+		cache:    serving.NewCache(size),
+		metrics:  serving.NewMetrics(),
+		logger:   o.Logger,
+		shedder:  resilience.NewShedder(maxInFlight, 0),
+		faults:   o.Faults,
 	}
 	if o.BreakerThreshold >= 0 {
 		s.breakers = resilience.NewBreakerSet(o.BreakerThreshold, o.BreakerCooldown)
 	}
+	s.exec = engine.NewExecutor(reg, engine.ExecutorOptions{
+		Repo:       s.repo,
+		Cache:      s.cache,
+		Breakers:   s.breakers,
+		Faults:     o.Faults,
+		StaleServe: !o.DisableStaleServe,
+	})
+	s.exec.SetBatchWorkers(o.BatchWorkers)
 	s.metrics.ObserveCache(s.cache)
 	s.metrics.ObserveResilience(func() resilience.Stats {
 		st := resilience.Stats{Shedder: s.shedder.Stats()}
@@ -167,6 +166,7 @@ func NewWithOptions(o Options) (*Server, error) {
 		}
 		return st
 	})
+	s.metrics.ObserveEngine(func() interface{} { return s.exec.Stats() })
 	s.routes()
 	s.handler = serving.Recover(s.logger, serving.AccessLog(s.logger, http.HandlerFunc(s.route)))
 	if !o.disableWarmup {
@@ -181,6 +181,10 @@ func (s *Server) Metrics() *serving.Metrics { return s.metrics }
 // Cache exposes the result cache (for benchmarks and tests).
 func (s *Server) Cache() *serving.Cache { return s.cache }
 
+// Engine exposes the analysis executor (registry access for tests and
+// tooling; fakes install via Engine().Registry().Replace).
+func (s *Server) Engine() *engine.Executor { return s.exec }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
@@ -191,10 +195,20 @@ func (s *Server) routes() {
 	s.handleAPI("GET /api/v1/courses/{id}", http.HandlerFunc(s.handleCourse))
 	s.handleAPI("GET /api/v1/courses/{id}/{view}", http.HandlerFunc(s.handleCourseView))
 	s.handleAPI("GET /api/v1/search", http.HandlerFunc(s.handleSearch))
-	s.handleAPI("GET /api/v1/agreement", http.HandlerFunc(s.handleAgreement))
-	s.handleAPI("GET /api/v1/types", http.HandlerFunc(s.handleTypes))
-	s.handleAPI("GET /api/v1/cluster", http.HandlerFunc(s.handleCluster))
 	s.handleAPI("GET /api/v1/figures/{id}", http.HandlerFunc(s.handleFigure))
+	s.handleAPI("POST /api/v1/batch", http.HandlerFunc(s.handleBatch))
+	// Every registered analysis is a GET route by name; the handler is
+	// one generic dispatch, so the route set IS the registry.
+	for _, name := range s.exec.Registry().Names() {
+		name := name
+		s.handleAPI("GET /api/v1/"+name, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			v, meta, ok := s.runAnalysis(w, r, name, r.URL.Query())
+			if !ok {
+				return
+			}
+			writeData(w, http.StatusOK, v, meta)
+		}))
+	}
 	s.handle("GET /debug/metrics", s.metrics.Handler())
 	s.handle("/api/", http.HandlerFunc(s.handleLegacy))
 }
@@ -222,14 +236,24 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUnmatched(w http.ResponseWriter, r *http.Request) {
-	// The API is GET-only: if the path matches a real route under GET,
-	// the original method was the problem. The method-less legacy
-	// "/api/" catch-all does not count as a real route here.
+	// The query API is GET-only (batch is the POST exception): if the
+	// path matches a real route under another method, the original
+	// method was the problem. The method-less legacy "/api/" catch-all
+	// does not count as a real route here.
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		probe := r.Clone(r.Context())
 		probe.Method = http.MethodGet
 		if _, pattern := s.mux.Handler(probe); pattern != "" && pattern != "/api/" {
 			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "method %s not allowed", r.Method)
+			return
+		}
+	}
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		probe := r.Clone(r.Context())
+		probe.Method = http.MethodPost
+		if _, pattern := s.mux.Handler(probe); pattern != "" && pattern != "/api/" {
+			w.Header().Set("Allow", http.MethodPost)
 			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "method %s not allowed", r.Method)
 			return
 		}
@@ -282,15 +306,10 @@ type CacheMeta struct {
 	Stale bool `json:"stale,omitempty"`
 }
 
-func cacheMeta(key string, served bool) CacheMeta {
-	if served {
-		return CacheMeta{Cache: "hit", Key: key}
-	}
-	return CacheMeta{Cache: "miss", Key: key}
-}
-
-func staleMeta(key string) CacheMeta {
-	return CacheMeta{Cache: "stale", Key: key, Stale: true}
+// BatchMeta is the meta block of POST /api/v1/batch responses.
+type BatchMeta struct {
+	Items   int `json:"items"`
+	Workers int `json:"workers"`
 }
 
 func writeData(w http.ResponseWriter, status int, data, meta interface{}) {
@@ -314,101 +333,69 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 	serving.WriteJSON(w, status, errorEnvelope{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
-// httpError lets cached compute functions carry a status and code.
-type httpError struct {
-	status int
-	code   string
-	msg    string
-}
+// --- Generic analysis dispatch -------------------------------------------
 
-func (e *httpError) Error() string { return e.msg }
-
-func writeComputeError(w http.ResponseWriter, err error) {
-	if he, ok := err.(*httpError); ok {
-		writeError(w, he.status, he.code, "%s", he.msg)
-		return
-	}
-	writeError(w, http.StatusInternalServerError, "internal", "%v", err)
-}
-
-// isServerFailure classifies err for the circuit breaker and the stale
-// fallback: client-side httpErrors (4xx — bad parameters, unknown
-// figures) are the service working correctly, anything else is a
-// failure of the compute path.
-func isServerFailure(err error) bool {
+// runAnalysis executes a registered analysis through the engine's
+// serving ladder and maps the outcome to HTTP. It returns (value, meta,
+// true) when the caller should write the value; on false the error
+// response has already been written (or, for a disconnected client,
+// suppressed).
+func (s *Server) runAnalysis(w http.ResponseWriter, r *http.Request, name string, values url.Values) (interface{}, CacheMeta, bool) {
+	v, out, err := s.exec.Run(r.Context(), name, values)
 	if err == nil {
-		return false
-	}
-	var he *httpError
-	if errors.As(err, &he) && he.status < 500 {
-		return false
-	}
-	return true
-}
-
-// --- The resilience ladder -----------------------------------------------
-
-// cachedAnalysis runs compute for key through the full degradation
-// ladder: fresh cache → breaker-guarded singleflight compute → stale
-// last-known-good fallback. It returns (value, meta, true) when the
-// caller should write the value; on false the error response has
-// already been written (or, for a disconnected client, suppressed).
-//
-// name identifies the analysis kind ("types", "cluster", ...) and
-// selects the circuit breaker; the fault injector sees it as the
-// compute label "compute/<name>".
-func (s *Server) cachedAnalysis(w http.ResponseWriter, r *http.Request, name, key string, compute func() (interface{}, error)) (interface{}, CacheMeta, bool) {
-	var br *resilience.Breaker
-	if s.breakers != nil {
-		br = s.breakers.Get(name)
-	}
-	guarded := func() (interface{}, error) {
-		if br != nil && !br.Allow() {
-			return nil, resilience.ErrOpen
+		if out.Stale {
+			w.Header().Set("X-Served-Stale", "true")
 		}
-		err := s.faults.ComputeError("compute/" + name)
-		var v interface{}
-		if err == nil {
-			v, err = compute()
-		}
-		if br != nil {
-			br.Record(!isServerFailure(err))
-		}
-		return v, err
-	}
-
-	v, served, err := s.cache.DoCtx(r.Context(), key, guarded)
-	if err == nil {
-		return v, cacheMeta(key, served), true
+		return v, CacheMeta{Cache: out.Cache, Key: out.Key, Stale: out.Stale}, true
 	}
 	if errors.Is(err, context.Canceled) {
-		// The client disconnected; there is nobody to answer. The
-		// computation (if any) finishes detached and is cached.
+		// The client disconnected; there is nobody to answer. A flight
+		// with remaining waiters finishes for them and is cached.
 		return nil, CacheMeta{}, false
 	}
-
-	// Degrade: a circuit-broken, failing, or timed-out compute is
-	// answered with the last-known-good value when one exists, while a
-	// breaker-gated refresh runs detached in the background.
-	if s.staleServe && (errors.Is(err, resilience.ErrOpen) || errors.Is(err, context.DeadlineExceeded) || isServerFailure(err)) {
-		if sv, ok := s.cache.Stale(key); ok {
-			w.Header().Set("X-Served-Stale", "true")
-			go func() { _, _, _ = s.cache.Do(key, guarded) }()
-			return sv, staleMeta(key), true
-		}
-	}
-
 	switch {
 	case errors.Is(err, resilience.ErrOpen):
-		w.Header().Set("Retry-After", serving.RetryAfterSeconds(br.RetryAfter()))
+		w.Header().Set("Retry-After", serving.RetryAfterSeconds(s.exec.RetryAfter(name)))
 		writeError(w, http.StatusServiceUnavailable, "circuit_open",
 			"analysis %q is temporarily disabled after repeated failures; retry later", name)
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "timeout", "computation for %q timed out", key)
+		writeError(w, http.StatusGatewayTimeout, "timeout", "computation for %q timed out", name)
 	default:
-		writeComputeError(w, err)
+		ee := engine.AsError(err)
+		writeError(w, ee.Status, ee.Code, "%s", ee.Message)
 	}
 	return nil, CacheMeta{}, false
+}
+
+// --- Batch ---------------------------------------------------------------
+
+// BatchRequest is the POST /api/v1/batch body.
+type BatchRequest struct {
+	Items []engine.BatchItem `json:"items"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad batch body: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "empty batch: pass items")
+		return
+	}
+	if len(req.Items) > engine.MaxBatchItems {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"batch of %d items exceeds the limit of %d", len(req.Items), engine.MaxBatchItems)
+		return
+	}
+	results := s.exec.RunBatch(r.Context(), req.Items)
+	if r.Context().Err() != nil {
+		return // client gone; nothing to write
+	}
+	writeData(w, http.StatusOK, results, BatchMeta{Items: len(results), Workers: s.exec.BatchWorkers()})
 }
 
 // --- Query parameter parsing ---------------------------------------------
@@ -470,17 +457,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // --- Readiness -----------------------------------------------------------
 
-// warmup pre-computes the all-group agreement analysis under the exact
-// cache key /api/v1/agreement uses, proving the dataset is loaded and
-// the all-group analyses are warmable, then flips /readyz to ready.
+// warmup pre-computes every registered Warmer analysis (the engine
+// iterates the registry) under the exact cache keys live requests use,
+// proving the dataset is loaded and the all-group analyses are
+// warmable, then flips /readyz to ready.
 func (s *Server) warmup() {
-	_, _, err := s.cache.Do(agreementKey("all", 2), func() (interface{}, error) {
-		ids, err := groupCourseIDs("all")
-		if err != nil {
-			return nil, err
-		}
-		return computeAgreement(ids, 2)
-	})
+	err := s.exec.Warm(context.Background())
 	s.readyMu.Lock()
 	s.ready = err == nil
 	s.readyErr = err
@@ -494,6 +476,7 @@ func (s *Server) warmup() {
 type ReadyResponse struct {
 	Status   string                             `json:"status"` // "ready", "starting", or "unready"
 	Reason   string                             `json:"reason,omitempty"`
+	Analyses []string                           `json:"analyses"`
 	Breakers map[string]resilience.BreakerStats `json:"breakers"`
 }
 
@@ -501,7 +484,11 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	s.readyMu.Lock()
 	ready, readyErr := s.ready, s.readyErr
 	s.readyMu.Unlock()
-	resp := ReadyResponse{Status: "ready", Breakers: map[string]resilience.BreakerStats{}}
+	resp := ReadyResponse{
+		Status:   "ready",
+		Analyses: s.exec.Registry().SortedNames(),
+		Breakers: map[string]resilience.BreakerStats{},
+	}
 	if s.breakers != nil {
 		resp.Breakers = s.breakers.Stats()
 	}
@@ -577,124 +564,32 @@ func (s *Server) handleCourse(w http.ResponseWriter, r *http.Request) {
 	writeData(w, http.StatusOK, CourseDetail{Course: summarize(c), Tags: c.SortedTags()}, nil)
 }
 
-// AnchorRec is one §5.2 anchor-point recommendation.
-type AnchorRec struct {
-	Rule     string   `json:"rule"`
-	Title    string   `json:"title"`
-	Score    float64  `json:"score"`
-	Audience string   `json:"audience"`
-	Activity string   `json:"activity"`
-	Matched  []string `json:"matched_anchors"`
-	Teaches  []string `json:"teaches"`
-}
-
-// AuditUnit is one covered CS2013 unit in an audit report.
-type AuditUnit struct {
-	Unit     string  `json:"unit"`
-	Tier     string  `json:"tier"`
-	Covered  int     `json:"covered"`
-	Total    int     `json:"total"`
-	Fraction float64 `json:"fraction"`
-}
-
-// AuditResponse is the course audit data payload.
-type AuditResponse struct {
-	Core1Coverage     float64     `json:"core1_coverage"`
-	Core2Coverage     float64     `json:"core2_coverage"`
-	Units             []AuditUnit `json:"units"`
-	PDCCoreCovered    int         `json:"pdc_core_covered"`
-	PDCCoreTotal      int         `json:"pdc_core_total"`
-	PrerequisiteScore float64     `json:"prerequisite_score"`
-}
-
-// PDCRec is one public-catalog material recommendation.
-type PDCRec struct {
-	ID     string   `json:"id"`
-	Title  string   `json:"title"`
-	Source string   `json:"source"`
-	Score  float64  `json:"score"`
-	NewPDC int      `json:"new_pdc_entries"`
-	Shared []string `json:"shared_tags"`
-}
-
+// handleCourseView serves /api/v1/courses/{id}/{view}. "materials" is
+// the one inline view; every other view dispatches into the analysis
+// registry with the course ID injected as the "course" parameter, so
+// per-course analyses (anchors, audit, pdcmaterials) need no wiring
+// here.
 func (s *Server) handleCourseView(w http.ResponseWriter, r *http.Request) {
 	c := s.course(w, r)
 	if c == nil {
 		return
 	}
-	switch view := r.PathValue("view"); view {
-	case "materials":
+	view := r.PathValue("view")
+	if view == "materials" {
 		writeData(w, http.StatusOK, c.Materials, ListMeta{Total: len(c.Materials), Limit: len(c.Materials), Offset: 0})
-	case "anchors":
-		v, m, ok := s.cachedAnalysis(w, r, "anchors", "anchors|"+c.ID, func() (interface{}, error) {
-			recs := s.recommender.Recommend(c)
-			out := make([]AnchorRec, 0, len(recs))
-			for _, rc := range recs {
-				out = append(out, AnchorRec{
-					Rule: rc.Rule.ID, Title: rc.Rule.Title, Score: rc.Score,
-					Audience: rc.Rule.Audience, Activity: rc.Rule.Activity,
-					Matched: rc.MatchedAnchors, Teaches: rc.Rule.Teaches,
-				})
-			}
-			return out, nil
-		})
-		if !ok {
-			return
-		}
-		writeData(w, http.StatusOK, v, m)
-	case "audit":
-		v, m, ok := s.cachedAnalysis(w, r, "audit", "audit|"+c.ID, func() (interface{}, error) {
-			rep := audit.Audit(c, ontology.CS2013())
-			readiness := audit.AssessPDCReadiness(c)
-			units := make([]AuditUnit, 0, len(rep.Units))
-			for _, u := range rep.Units {
-				if u.Covered == 0 {
-					continue
-				}
-				units = append(units, AuditUnit{
-					Unit: u.Unit.ID, Tier: u.Tier.String(),
-					Covered: u.Covered, Total: u.Total, Fraction: u.Fraction(),
-				})
-			}
-			return &AuditResponse{
-				Core1Coverage:     rep.TierCoverage(ontology.TierCore1),
-				Core2Coverage:     rep.TierCoverage(ontology.TierCore2),
-				Units:             units,
-				PDCCoreCovered:    readiness.CoreCovered,
-				PDCCoreTotal:      readiness.CoreTotal,
-				PrerequisiteScore: readiness.PrerequisiteScore(),
-			}, nil
-		})
-		if !ok {
-			return
-		}
-		writeData(w, http.StatusOK, v, m)
-	case "pdcmaterials":
-		limit, err := parseIntParam(r, "limit", 10, 1)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
-			return
-		}
-		key := fmt.Sprintf("pdcmaterials|%s|%d", c.ID, limit)
-		v, m, ok := s.cachedAnalysis(w, r, "pdcmaterials", key, func() (interface{}, error) {
-			recs := catalog.Recommend(c, limit)
-			out := make([]PDCRec, 0, len(recs))
-			for _, rc := range recs {
-				out = append(out, PDCRec{
-					ID: rc.Entry.Material.ID, Title: rc.Entry.Material.Title,
-					Source: string(rc.Entry.Source), Score: rc.Score,
-					NewPDC: rc.NewPDC, Shared: rc.SharedTags,
-				})
-			}
-			return out, nil
-		})
-		if !ok {
-			return
-		}
-		writeData(w, http.StatusOK, v, m)
-	default:
-		writeError(w, http.StatusNotFound, "not_found", "unknown course view %q", view)
+		return
 	}
+	if _, ok := s.exec.Registry().Get(view); !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown course view %q", view)
+		return
+	}
+	values := r.URL.Query()
+	values.Set("course", c.ID)
+	v, m, ok := s.runAnalysis(w, r, view, values)
+	if !ok {
+		return
+	}
+	writeData(w, http.StatusOK, v, m)
 }
 
 // --- Search --------------------------------------------------------------
@@ -732,7 +627,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "empty query: pass tags, prefix, text, or a facet")
 		return
 	}
-	results := s.engine.Search(q) // Limit 0: rank everything, then paginate
+	results := s.searcher.Search(q) // Limit 0: rank everything, then paginate
 	lo, hi := pageBounds(len(results), limit, offset)
 	out := make([]SearchHit, 0, hi-lo)
 	for _, res := range results[lo:hi] {
@@ -744,216 +639,6 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeData(w, http.StatusOK, out, ListMeta{Total: len(results), Limit: limit, Offset: offset})
 }
 
-// --- Group-based analyses ------------------------------------------------
-
-func groupCourseIDs(group string) ([]string, error) {
-	switch strings.ToLower(group) {
-	case "cs1":
-		return dataset.CS1CourseIDs(), nil
-	case "ds":
-		return dataset.DSCourseIDs(), nil
-	case "dsalgo":
-		return dataset.DSAlgoCourseIDs(), nil
-	case "pdc":
-		return dataset.PDCCourseIDs(), nil
-	case "all", "":
-		return dataset.AllCourseIDs(), nil
-	default:
-		return nil, fmt.Errorf("unknown group %q", group)
-	}
-}
-
-// normGroup canonicalizes the group parameter for cache keys.
-func normGroup(group string) string {
-	g := strings.ToLower(group)
-	if g == "" {
-		g = "all"
-	}
-	return g
-}
-
-// AgreementResponse is the /api/v1/agreement data payload.
-type AgreementResponse struct {
-	Courses   []string       `json:"courses"`
-	Tags      int            `json:"tags"`
-	AtLeast   map[string]int `json:"at_least"`
-	KASpan    []string       `json:"ka_span"`
-	KACounts  map[string]int `json:"ka_counts"`
-	Threshold int            `json:"threshold"`
-}
-
-// computeAgreement builds the agreement payload for ids; shared by the
-// handler and the readiness warmup (which pre-computes the all-group
-// analysis under the same cache key the handler uses).
-func computeAgreement(ids []string, threshold int) (interface{}, error) {
-	a, err := agreement.Analyze(dataset.CoursesByID(ids), ontology.CS2013(), ontology.PDC12())
-	if err != nil {
-		return nil, err
-	}
-	atLeast := make(map[string]int, len(ids))
-	for k := 2; k <= len(ids); k++ {
-		atLeast[strconv.Itoa(k)] = a.AtLeast(k)
-	}
-	return &AgreementResponse{
-		Courses:   ids,
-		Tags:      a.NumTags(),
-		AtLeast:   atLeast,
-		KASpan:    a.KASpan(threshold),
-		KACounts:  a.KACounts(threshold),
-		Threshold: threshold,
-	}, nil
-}
-
-// agreementKey is the cache key of /api/v1/agreement responses.
-func agreementKey(group string, threshold int) string {
-	return fmt.Sprintf("agreement|%s|%d", normGroup(group), threshold)
-}
-
-func (s *Server) handleAgreement(w http.ResponseWriter, r *http.Request) {
-	group := r.URL.Query().Get("group")
-	ids, err := groupCourseIDs(group)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
-		return
-	}
-	threshold, err := parseIntParam(r, "threshold", 2, 1)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
-		return
-	}
-	key := agreementKey(group, threshold)
-	v, m, ok := s.cachedAnalysis(w, r, "agreement", key, func() (interface{}, error) {
-		return computeAgreement(ids, threshold)
-	})
-	if !ok {
-		return
-	}
-	writeData(w, http.StatusOK, v, m)
-}
-
-// CourseType is one course's NNMF typing.
-type CourseType struct {
-	Course   string    `json:"course"`
-	Dominant int       `json:"dominant_type"`
-	Shares   []float64 `json:"shares"`
-	Evenness float64   `json:"evenness"`
-}
-
-// TypeSummary describes one discovered course type.
-type TypeSummary struct {
-	Label   string             `json:"label"`
-	KAShare map[string]float64 `json:"ka_share"`
-	TopTags []string           `json:"top_tags"`
-}
-
-// TypesResponse is the /api/v1/types data payload.
-type TypesResponse struct {
-	K          int           `json:"k"`
-	Courses    []CourseType  `json:"courses"`
-	Types      []TypeSummary `json:"types"`
-	Redundancy float64       `json:"redundancy"`
-}
-
-func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
-	group := r.URL.Query().Get("group")
-	ids, err := groupCourseIDs(group)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
-		return
-	}
-	defK := 3
-	if normGroup(group) == "all" {
-		defK = 4
-	}
-	k, err := parseIntParam(r, "k", defK, 1)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
-		return
-	}
-	key := fmt.Sprintf("types|%s|%d", normGroup(group), k)
-	v, m, ok := s.cachedAnalysis(w, r, "types", key, func() (interface{}, error) {
-		model, err := s.analyzeTypes(dataset.CoursesByID(ids), k, factorize.PaperOptions(),
-			ontology.CS2013(), ontology.PDC12())
-		if err != nil {
-			return nil, &httpError{status: http.StatusBadRequest, code: "bad_request", msg: err.Error()}
-		}
-		courses := make([]CourseType, 0, len(model.Courses))
-		for i, c := range model.Courses {
-			courses = append(courses, CourseType{
-				Course: c.ID, Dominant: model.DominantType(i),
-				Shares: model.TypeShare(i), Evenness: model.Evenness(i),
-			})
-		}
-		types := make([]TypeSummary, k)
-		for t := 0; t < k; t++ {
-			shares := model.KAShare(t)
-			kas := make(map[string]float64, len(shares))
-			for ka, v := range shares {
-				kas[ka] = v
-			}
-			top := model.TopTags(t, 5)
-			topTags := make([]string, len(top))
-			for i, tw := range top {
-				topTags[i] = tw.Tag
-			}
-			types[t] = TypeSummary{Label: model.TypeLabel(t), KAShare: kas, TopTags: topTags}
-		}
-		return &TypesResponse{K: k, Courses: courses, Types: types, Redundancy: model.Redundancy()}, nil
-	})
-	if !ok {
-		return
-	}
-	writeData(w, http.StatusOK, v, m)
-}
-
-// ClusterResponse is the /api/v1/cluster data payload.
-type ClusterResponse struct {
-	K          int        `json:"k"`
-	Linkage    string     `json:"linkage"`
-	Clusters   [][]string `json:"clusters"`
-	Dendrogram string     `json:"dendrogram"`
-}
-
-func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
-	group := r.URL.Query().Get("group")
-	ids, err := groupCourseIDs(group)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
-		return
-	}
-	k, err := parseIntParam(r, "k", 4, 1)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
-		return
-	}
-	key := fmt.Sprintf("cluster|%s|%d", normGroup(group), k)
-	v, m, ok := s.cachedAnalysis(w, r, "cluster", key, func() (interface{}, error) {
-		d, err := cluster.Build(dataset.CoursesByID(ids), cluster.Average)
-		if err != nil {
-			return nil, err
-		}
-		clusters, err := d.CutK(k)
-		if err != nil {
-			return nil, &httpError{status: http.StatusBadRequest, code: "bad_request", msg: err.Error()}
-		}
-		out := make([][]string, len(clusters))
-		for i, cl := range clusters {
-			out[i] = make([]string, 0, len(cl))
-			for _, c := range cl {
-				out[i] = append(out[i], c.ID)
-			}
-		}
-		return &ClusterResponse{
-			K: k, Linkage: d.Linkage.String(),
-			Clusters: out, Dendrogram: d.Render(),
-		}, nil
-	})
-	if !ok {
-		return
-	}
-	writeData(w, http.StatusOK, v, m)
-}
-
 // --- Figures -------------------------------------------------------------
 
 // FigureResponse is the /api/v1/figures/{id} data payload.
@@ -963,26 +648,20 @@ type FigureResponse struct {
 	SVGs []string `json:"svgs"`
 }
 
+// handleFigure dispatches the figures analysis for the path's ID and
+// adds the one figure-specific affordance: ?svg=<name> serves a single
+// SVG body from the cached artifact.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	key := "figure|" + id
-	v, m, ok := s.cachedAnalysis(w, r, "figures", key, func() (interface{}, error) {
-		for _, f := range core.Figures() {
-			if f.ID == id {
-				return f.Gen()
-			}
-		}
-		return nil, &httpError{status: http.StatusNotFound, code: "not_found", msg: fmt.Sprintf("unknown figure %q", id)}
-	})
+	values := url.Values{"id": []string{r.PathValue("id")}}
+	v, m, ok := s.runAnalysis(w, r, "figures", values)
 	if !ok {
 		return
 	}
 	art := v.(*core.Artifact)
-	// Serve one SVG directly when requested.
 	if svg := r.URL.Query().Get("svg"); svg != "" {
 		body, ok := art.SVGs[svg]
 		if !ok {
-			writeError(w, http.StatusNotFound, "not_found", "figure %s has no SVG %q", id, svg)
+			writeError(w, http.StatusNotFound, "not_found", "figure %s has no SVG %q", art.ID, svg)
 			return
 		}
 		w.Header().Set("Content-Type", "image/svg+xml")

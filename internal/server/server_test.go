@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -8,10 +9,8 @@ import (
 	"strings"
 	"testing"
 
-	"csmaterials/internal/factorize"
+	"csmaterials/internal/engine"
 	"csmaterials/internal/materials"
-	"csmaterials/internal/nnmf"
-	"csmaterials/internal/ontology"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -460,9 +459,9 @@ func TestLegacyRedirects(t *testing.T) {
 // a dropped connection.
 func TestPanicReturns500Envelope(t *testing.T) {
 	s, ts := newTestServer(t)
-	s.analyzeTypes = func([]*materials.Course, int, nnmf.Options, ...*ontology.Guideline) (*factorize.Model, error) {
+	replaceCompute(t, s, "types", func(context.Context, *materials.Repository, engine.Params) (interface{}, error) {
 		panic("injected analysis panic")
-	}
+	})
 	resp, body := get(t, ts, "/api/v1/types?group=cs1&k=2")
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status %d\n%s", resp.StatusCode, body)

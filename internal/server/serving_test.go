@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -8,29 +9,56 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"csmaterials/internal/factorize"
+	"csmaterials/internal/engine"
 	"csmaterials/internal/materials"
-	"csmaterials/internal/nnmf"
-	"csmaterials/internal/ontology"
 	"csmaterials/internal/serving"
 )
 
-// countingAnalyze wraps factorize.Analyze with a call counter.
-func countingAnalyze(calls *int32) func([]*materials.Course, int, nnmf.Options, ...*ontology.Guideline) (*factorize.Model, error) {
-	return func(cs []*materials.Course, k int, opts nnmf.Options, gs ...*ontology.Guideline) (*factorize.Model, error) {
-		atomic.AddInt32(calls, 1)
-		return factorize.Analyze(cs, k, opts, gs...)
+// fakeCompute swaps the registered analysis's Compute for fn while
+// keeping its Name/Parse (and so its routes, cache keys, and breaker),
+// exercising the identical dispatch path real analyses take. This is
+// the registry-level test seam: no server internals, just Replace.
+type fakeCompute struct {
+	engine.Analysis
+	fn func(ctx context.Context, repo *materials.Repository, p engine.Params) (interface{}, error)
+}
+
+func (f fakeCompute) Compute(ctx context.Context, repo *materials.Repository, p engine.Params) (interface{}, error) {
+	return f.fn(ctx, repo, p)
+}
+
+// replaceCompute installs fn as name's Compute and returns the original
+// analysis (for delegating fakes).
+func replaceCompute(t *testing.T, s *Server, name string,
+	fn func(ctx context.Context, repo *materials.Repository, p engine.Params) (interface{}, error)) engine.Analysis {
+	t.Helper()
+	reg := s.Engine().Registry()
+	orig, ok := reg.Get(name)
+	if !ok {
+		t.Fatalf("analysis %q not registered", name)
 	}
+	reg.Replace(fakeCompute{Analysis: orig, fn: fn})
+	return orig
+}
+
+// countCompute wraps name's registered Compute with a call counter.
+func countCompute(t *testing.T, s *Server, name string, calls *int32) {
+	t.Helper()
+	var orig engine.Analysis
+	orig = replaceCompute(t, s, name, func(ctx context.Context, repo *materials.Repository, p engine.Params) (interface{}, error) {
+		atomic.AddInt32(calls, 1)
+		return orig.Compute(ctx, repo, p)
+	})
 }
 
 // TestSingleflightCollapsesConcurrentTypes fires N parallel identical
 // /api/v1/types requests at a fresh server and proves exactly one
-// underlying factorize.Analyze call happened: concurrent arrivals share
-// the in-flight computation, later ones hit the completed cache entry.
+// underlying Compute call happened: concurrent arrivals share the
+// in-flight computation, later ones hit the completed cache entry.
 func TestSingleflightCollapsesConcurrentTypes(t *testing.T) {
 	s, ts := newTestServer(t)
 	var calls int32
-	s.analyzeTypes = countingAnalyze(&calls)
+	countCompute(t, s, "types", &calls)
 
 	const n = 16
 	var wg sync.WaitGroup
@@ -61,7 +89,7 @@ func TestSingleflightCollapsesConcurrentTypes(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got := atomic.LoadInt32(&calls); got != 1 {
-		t.Fatalf("factorize.Analyze ran %d times for %d concurrent identical requests, want 1", got, n)
+		t.Fatalf("types Compute ran %d times for %d concurrent identical requests, want 1", got, n)
 	}
 	st := s.Cache().Stats()
 	if st.Hits+st.Shared != n-1 {

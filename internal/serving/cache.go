@@ -133,22 +133,26 @@ func (c *Cache) Stale(key string) (interface{}, bool) {
 	return nil, false
 }
 
-// DoCtx returns the cached value for key or computes it, deduplicating
-// concurrent computations for the same key through the singleflight
-// group. The boolean reports whether the value was served without
-// running compute in this call (a cache hit or a shared flight).
+// DoCtxFn returns the cached value for key or computes it,
+// deduplicating concurrent computations for the same key through the
+// singleflight group. The boolean reports whether the value was served
+// without running compute in this call (a cache hit or a shared
+// flight).
 //
-// The computation is detached from ctx: once started it runs to
-// completion and its result is cached, even if every waiting caller's
-// ctx is cancelled first — a disconnecting client cannot poison the
-// entry for the next request. The cancelled caller itself receives
-// ctx.Err().
-func (c *Cache) DoCtx(ctx context.Context, key string, compute func() (interface{}, error)) (interface{}, bool, error) {
+// The compute function receives the FLIGHT context, not any one
+// caller's: while at least one caller is still waiting the flight stays
+// live, so a disconnecting client can neither poison nor cancel the
+// entry for everyone else (the cancelled caller itself receives
+// ctx.Err()). Only when the last waiter departs is the flight context
+// cancelled, letting a context-aware compute stop mid-iteration instead
+// of converging for nobody. Successful results are cached either way;
+// errors never are.
+func (c *Cache) DoCtxFn(ctx context.Context, key string, compute func(context.Context) (interface{}, error)) (interface{}, bool, error) {
 	if v, ok := c.Get(key); ok {
 		return v, true, nil
 	}
-	v, err, sharedFlight := c.group.DoCtx(ctx, key, func() (interface{}, error) {
-		v, err := compute()
+	v, err, sharedFlight := c.group.DoCtxFn(ctx, key, func(fctx context.Context) (interface{}, error) {
+		v, err := compute(fctx)
 		if err == nil {
 			c.put(key, v)
 		}
@@ -160,6 +164,13 @@ func (c *Cache) DoCtx(ctx context.Context, key string, compute func() (interface
 		c.mu.Unlock()
 	}
 	return v, sharedFlight, err
+}
+
+// DoCtx is DoCtxFn for computations that do not take a context: the
+// flight is fully detached and always runs to completion once started,
+// even if every waiting caller's ctx is cancelled first.
+func (c *Cache) DoCtx(ctx context.Context, key string, compute func() (interface{}, error)) (interface{}, bool, error) {
+	return c.DoCtxFn(ctx, key, func(context.Context) (interface{}, error) { return compute() })
 }
 
 // Do is DoCtx with a background context.

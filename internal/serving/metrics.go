@@ -34,6 +34,7 @@ type Metrics struct {
 	routes     map[string]*routeStats
 	cache      *Cache
 	resilience func() resilience.Stats
+	engine     func() interface{}
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -53,6 +54,15 @@ func (m *Metrics) ObserveCache(c *Cache) {
 func (m *Metrics) ObserveResilience(f func() resilience.Stats) {
 	m.mu.Lock()
 	m.resilience = f
+	m.mu.Unlock()
+}
+
+// ObserveEngine includes the analysis executor's accounting in the
+// metrics snapshot; f is called once per snapshot. The value is opaque
+// here (serving cannot import the engine package) and serialized as-is.
+func (m *Metrics) ObserveEngine(f func() interface{}) {
+	m.mu.Lock()
+	m.engine = f
 	m.mu.Unlock()
 }
 
@@ -131,6 +141,7 @@ type Snapshot struct {
 	Routes        map[string]RouteSnapshot `json:"routes"`
 	Cache         *CacheStats              `json:"cache,omitempty"`
 	Resilience    *resilience.Stats        `json:"resilience,omitempty"`
+	Engine        interface{}              `json:"engine,omitempty"`
 }
 
 // Snapshot returns a point-in-time copy of all metrics.
@@ -170,6 +181,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m.resilience != nil {
 		rs := m.resilience()
 		snap.Resilience = &rs
+	}
+	if m.engine != nil {
+		snap.Engine = m.engine()
 	}
 	return snap
 }

@@ -10,7 +10,7 @@ import (
 func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestMean(t *testing.T) {
-	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 { // lint:exact — 2.5 is exactly representable
 		t.Fatalf("Mean = %v", got)
 	}
 }
@@ -35,10 +35,10 @@ func TestVarianceStdDev(t *testing.T) {
 }
 
 func TestMedianOddEven(t *testing.T) {
-	if got := Median([]float64{3, 1, 2}); got != 2 {
+	if got := Median([]float64{3, 1, 2}); got != 2 { // lint:exact — exactly-representable golden value
 		t.Fatalf("Median odd = %v", got)
 	}
-	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 { // lint:exact — exactly-representable golden value
 		t.Fatalf("Median even = %v", got)
 	}
 }
@@ -46,23 +46,23 @@ func TestMedianOddEven(t *testing.T) {
 func TestMedianDoesNotMutate(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Median(xs)
-	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 { // lint:exact — input must come back bit-identical
 		t.Fatal("Median mutated input")
 	}
 }
 
 func TestQuantile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
-	if got := Quantile(xs, 0); got != 1 {
+	if got := Quantile(xs, 0); got != 1 { // lint:exact — integer quantiles are exact
 		t.Fatalf("q0 = %v", got)
 	}
-	if got := Quantile(xs, 1); got != 5 {
+	if got := Quantile(xs, 1); got != 5 { // lint:exact — integer quantiles are exact
 		t.Fatalf("q1 = %v", got)
 	}
-	if got := Quantile(xs, 0.5); got != 3 {
+	if got := Quantile(xs, 0.5); got != 3 { // lint:exact — integer quantiles are exact
 		t.Fatalf("q0.5 = %v", got)
 	}
-	if got := Quantile(xs, 0.25); got != 2 {
+	if got := Quantile(xs, 0.25); got != 2 { // lint:exact — integer quantiles are exact
 		t.Fatalf("q0.25 = %v", got)
 	}
 }
@@ -78,7 +78,7 @@ func TestQuantileBadQ(t *testing.T) {
 
 func TestMinMax(t *testing.T) {
 	min, max := MinMax([]float64{3, -1, 7, 2})
-	if min != -1 || max != 7 {
+	if min != -1 || max != 7 { // lint:exact — integer min/max are exact
 		t.Fatalf("MinMax = %v, %v", min, max)
 	}
 }
@@ -104,7 +104,7 @@ func TestJaccardDice(t *testing.T) {
 	if got := Dice(a, b); !approx(got, 0.5, 1e-12) {
 		t.Fatalf("Dice = %v", got)
 	}
-	if Jaccard(nil, nil) != 1 || Dice(nil, nil) != 1 {
+	if Jaccard(nil, nil) != 1 || Dice(nil, nil) != 1 { // lint:exact — nil-set convention is exactly 1
 		t.Fatal("empty-set similarity convention broken")
 	}
 	if got := Jaccard(a, nil); got != 0 {
@@ -245,7 +245,7 @@ func TestPropJaccardSymmetric(t *testing.T) {
 				b[letters[i:i+1]] = true
 			}
 		}
-		return Jaccard(a, b) == Jaccard(b, a)
+		return Jaccard(a, b) == Jaccard(b, a) // lint:exact — symmetric counts divide identically
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

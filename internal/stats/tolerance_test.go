@@ -60,7 +60,7 @@ func TestAlmostEqual(t *testing.T) {
 	// at runtime so Go's exact constant arithmetic doesn't fold it away.
 	tenth, fifth := 0.1, 0.2
 	sum := tenth + fifth
-	if sum == 0.3 {
+	if sum == 0.3 { // lint:exact — the motivating case: 0.1+0.2 is not bitwise 0.3
 		t.Fatal("expected 0.1+0.2 to differ from 0.3 in float64")
 	}
 	if !AlmostEqual(sum, 0.3, 1e-12) {

@@ -146,7 +146,7 @@ func TestScheduleDeterministic(t *testing.T) {
 	g := Layered(5, 5, 0.4, rng)
 	a := mustSchedule(t, g, 3, CriticalPathPriority)
 	b := mustSchedule(t, g, 3, CriticalPathPriority)
-	if a.Makespan != b.Makespan {
+	if a.Makespan != b.Makespan { // lint:exact — deterministic scheduler: identical runs, identical makespan
 		t.Fatal("nondeterministic makespan")
 	}
 	for id, sa := range a.Slots {

@@ -21,7 +21,7 @@ func TestLayoutDeterministic(t *testing.T) {
 		t.Fatalf("angle map sizes differ: %d vs %d", len(a.Angle), len(b.Angle))
 	}
 	for id, ang := range a.Angle {
-		if b.Angle[id] != ang {
+		if b.Angle[id] != ang { // lint:exact — identical runs must place nodes bit-identically
 			t.Fatalf("angle for %s differs between identical runs: %v vs %v", id, ang, b.Angle[id])
 		}
 	}
