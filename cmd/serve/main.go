@@ -10,7 +10,7 @@
 //
 //	serve [-addr :8080] [-cache-size 256] [-request-timeout 30s] [-shutdown-timeout 10s]
 //	      [-max-inflight 256] [-breaker-threshold 5] [-breaker-cooldown 30s] [-stale-serve=true]
-//	      [-batch-workers 4]
+//	      [-batch-workers 4] [-trace-buffer 256] [-debug-addr ""]
 //
 // Beyond -max-inflight concurrent /api/v1 requests the server sheds
 // load with 429 + Retry-After. Each analysis family has a circuit
@@ -37,7 +37,18 @@
 //	GET  /api/v1/cluster?group=...&k=K
 //	GET  /api/v1/figures/{id}[?svg=name.svg]
 //	POST /api/v1/batch          {"items":[{"analysis":"types","params":{"group":"cs1"}}, ...]}
-//	GET  /debug/metrics
+//	GET  /metrics               Prometheus text exposition
+//	GET  /debug/metrics         JSON metrics
+//	GET  /debug/trace           retained trace IDs
+//	GET  /debug/trace/{id}      one request's span record
+//
+// Every API response carries an X-Trace header naming its request
+// trace; the last -trace-buffer traces are retained for
+// /debug/trace/{id}. Operational output (startup, shutdown) is
+// structured JSON on stderr, one event per line, matching the
+// per-request wide events. With -debug-addr set, a second listener
+// serves Go pprof under /debug/pprof/ (plus everything the main
+// listener serves), so profiling stays off the public port.
 //
 // The analysis endpoints are registry-driven (internal/engine): each
 // registered analysis is served at /api/v1/<name> and is addressable
@@ -54,12 +65,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"csmaterials/internal/engine"
+	"csmaterials/internal/obs"
 	"csmaterials/internal/resilience"
 	"csmaterials/internal/server"
 )
@@ -76,6 +89,8 @@ type config struct {
 	breakerCooldown  time.Duration
 	staleServe       bool
 	batchWorkers     int
+	traceBuffer      int
+	debugAddr        string
 }
 
 // parseConfig parses args (excluding the program name).
@@ -91,14 +106,18 @@ func parseConfig(args []string) (config, error) {
 	fs.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", resilience.DefaultBreakerCooldown, "how long an open circuit waits before a half-open probe")
 	fs.BoolVar(&cfg.staleServe, "stale-serve", true, "serve last-known-good results (meta.stale) when a compute fails or its circuit is open")
 	fs.IntVar(&cfg.batchWorkers, "batch-workers", engine.DefaultBatchWorkers, "worker pool size for POST /api/v1/batch")
+	fs.IntVar(&cfg.traceBuffer, "trace-buffer", server.DefaultTraceBuffer, "finished request traces retained for GET /debug/trace/{id}")
+	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "optional second listen address serving /debug/pprof/ (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	return cfg, nil
 }
 
-// serverOptions maps the command line onto the server package's options.
-func (c config) serverOptions(logger *log.Logger) server.Options {
+// serverOptions maps the command line onto the server package's
+// options. events carries the per-request wide events; logger keeps
+// receiving panic stacks and http.Server errors.
+func (c config) serverOptions(logger *log.Logger, events *obs.Logger) server.Options {
 	return server.Options{
 		CacheSize:         c.cacheSize,
 		Logger:            logger,
@@ -107,7 +126,23 @@ func (c config) serverOptions(logger *log.Logger) server.Options {
 		BreakerCooldown:   c.breakerCooldown,
 		DisableStaleServe: !c.staleServe,
 		BatchWorkers:      c.batchWorkers,
+		Tracer:            obs.NewTracer(c.traceBuffer, nil),
+		Events:            events,
 	}
+}
+
+// debugHandler serves Go pprof under /debug/pprof/ and falls back to
+// the main handler for everything else, so the debug listener also
+// answers /metrics, /debug/trace, and /debug/metrics.
+func debugHandler(main http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", main)
+	return mux
 }
 
 // newHTTPServer wraps the handler with the per-request timeout and the
@@ -132,10 +167,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// All operational output is structured: one JSON event per line on
+	// stderr, the same stream and shape as the per-request wide events.
+	// The plain logger remains for panic stacks and http.Server errors,
+	// which are multi-line by nature.
+	events := obs.NewLogger(os.Stderr)
 	logger := log.New(os.Stderr, "serve ", log.LstdFlags|log.LUTC)
-	s, err := server.NewWithOptions(cfg.serverOptions(logger))
+	fail := func(event string, err error) {
+		events.Event(event, map[string]interface{}{"error": err.Error()})
+		os.Exit(1)
+	}
+
+	s, err := server.NewWithOptions(cfg.serverOptions(logger, events))
 	if err != nil {
-		logger.Fatalf("startup: %v", err)
+		fail("startup-failed", err)
 	}
 	srv := newHTTPServer(cfg, s, logger)
 
@@ -145,23 +190,43 @@ func main() {
 	// handlers observe cancellation during shutdown.
 	srv.BaseContext = func(net.Listener) context.Context { return ctx }
 
+	if cfg.debugAddr != "" {
+		dbg := &http.Server{Addr: cfg.debugAddr, Handler: debugHandler(s), ErrorLog: logger}
+		go func() {
+			events.Event("debug-listening", map[string]interface{}{"addr": cfg.debugAddr})
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				events.Event("debug-failed", map[string]interface{}{"error": err.Error()})
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			_ = dbg.Close()
+		}()
+	}
+
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		<-ctx.Done()
-		logger.Printf("shutdown: signal received, draining for up to %s", cfg.shutdownTimeout)
+		events.Event("shutdown-draining", map[string]interface{}{"grace": cfg.shutdownTimeout.String()})
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			logger.Printf("shutdown: %v (forcing close)", err)
+			events.Event("shutdown-forced", map[string]interface{}{"error": err.Error()})
 			_ = srv.Close()
 		}
 	}()
 
-	logger.Printf("csmaterials API listening on %s (cache=%d entries, request timeout %s, max in-flight %d)", cfg.addr, cfg.cacheSize, cfg.requestTimeout, cfg.maxInFlight)
+	events.Event("listening", map[string]interface{}{
+		"addr":            cfg.addr,
+		"cache_entries":   cfg.cacheSize,
+		"request_timeout": cfg.requestTimeout.String(),
+		"max_in_flight":   cfg.maxInFlight,
+		"trace_buffer":    cfg.traceBuffer,
+	})
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		logger.Fatalf("serve: %v", err)
+		fail("serve-failed", err)
 	}
 	<-done
-	logger.Printf("shutdown: complete")
+	events.Event("shutdown-complete", nil)
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"csmaterials/internal/engine"
+	"csmaterials/internal/obs"
 	"csmaterials/internal/resilience"
 	"csmaterials/internal/server"
 )
@@ -46,6 +47,12 @@ func TestParseConfigDefaults(t *testing.T) {
 	if cfg.batchWorkers != engine.DefaultBatchWorkers {
 		t.Errorf("batchWorkers = %d, want %d", cfg.batchWorkers, engine.DefaultBatchWorkers)
 	}
+	if cfg.traceBuffer != server.DefaultTraceBuffer {
+		t.Errorf("traceBuffer = %d, want %d", cfg.traceBuffer, server.DefaultTraceBuffer)
+	}
+	if cfg.debugAddr != "" {
+		t.Errorf("debugAddr = %q, want disabled by default", cfg.debugAddr)
+	}
 }
 
 func TestParseConfigOverrides(t *testing.T) {
@@ -59,6 +66,8 @@ func TestParseConfigOverrides(t *testing.T) {
 		"-breaker-cooldown", "5s",
 		"-stale-serve=false",
 		"-batch-workers", "9",
+		"-trace-buffer", "13",
+		"-debug-addr", "127.0.0.1:6060",
 	})
 	if err != nil {
 		t.Fatalf("parseConfig: %v", err)
@@ -73,6 +82,8 @@ func TestParseConfigOverrides(t *testing.T) {
 		breakerCooldown:  5 * time.Second,
 		staleServe:       false,
 		batchWorkers:     9,
+		traceBuffer:      13,
+		debugAddr:        "127.0.0.1:6060",
 	}
 	if cfg != want {
 		t.Errorf("parseConfig = %+v, want %+v", cfg, want)
@@ -90,6 +101,7 @@ func TestParseConfigError(t *testing.T) {
 
 func TestServerOptionsMapping(t *testing.T) {
 	logger := log.New(io.Discard, "", 0)
+	events := obs.NewLogger(io.Discard)
 	cfg := config{
 		cacheSize:        11,
 		maxInFlight:      22,
@@ -97,13 +109,20 @@ func TestServerOptionsMapping(t *testing.T) {
 		breakerCooldown:  44 * time.Second,
 		staleServe:       false,
 		batchWorkers:     6,
+		traceBuffer:      5,
 	}
-	opts := cfg.serverOptions(logger)
+	opts := cfg.serverOptions(logger, events)
 	if opts.CacheSize != 11 || opts.MaxInFlight != 22 || opts.BreakerThreshold != 33 || opts.BreakerCooldown != 44*time.Second || opts.BatchWorkers != 6 {
 		t.Errorf("options mismatch: %+v", opts)
 	}
 	if opts.Logger != logger {
 		t.Error("logger not propagated")
+	}
+	if opts.Events != events {
+		t.Error("events logger not propagated")
+	}
+	if opts.Tracer == nil || opts.Tracer.Stats().Capacity != 5 {
+		t.Errorf("tracer capacity not mapped from -trace-buffer: %+v", opts.Tracer)
 	}
 	// The flag is phrased positively (-stale-serve) but the option is a
 	// disable switch; the inversion is the part worth pinning.
@@ -111,8 +130,35 @@ func TestServerOptionsMapping(t *testing.T) {
 		t.Error("staleServe=false must set DisableStaleServe")
 	}
 	cfg.staleServe = true
-	if cfg.serverOptions(logger).DisableStaleServe {
+	if cfg.serverOptions(logger, events).DisableStaleServe {
 		t.Error("staleServe=true must clear DisableStaleServe")
+	}
+}
+
+// TestDebugHandler pins the -debug-addr surface: pprof endpoints are
+// served, and everything else falls through to the main handler.
+func TestDebugHandler(t *testing.T) {
+	main := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	h := debugHandler(main)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof index: status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("fallback: status %d, want main handler's 418", rec.Code)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"net/url"
 	"sync"
+
+	"csmaterials/internal/obs"
 )
 
 // DefaultBatchWorkers bounds batch concurrency when the operator does
@@ -106,7 +108,14 @@ func (e *Executor) RunBatch(ctx context.Context, items []BatchItem) []BatchResul
 	return results
 }
 
+// runItem executes one batch item, recording it as a batch-item span
+// (labelled with the item's analysis) in the batch request's trace;
+// the ladder spans of the item itself interleave under the trace mutex
+// with the other workers', each carrying its own analysis label.
 func (e *Executor) runItem(ctx context.Context, it BatchItem) BatchResult {
+	sp := obs.StartSpan(ctx, "batch-item")
+	sp.SetAnalysis(it.Analysis)
+	defer sp.End()
 	res := BatchResult{Analysis: it.Analysis}
 	if err := ctx.Err(); err != nil {
 		res.Error = AsError(err)

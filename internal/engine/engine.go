@@ -18,6 +18,14 @@
 // iterations and return ctx.Err() promptly instead of converging for
 // nobody. A cancelled compute is not a failure: it never trips the
 // circuit breaker and is never cached.
+//
+// The executor participates in request tracing (internal/obs): a
+// request context carrying a trace accumulates ordered spans for every
+// rung it visits — parse, the cache and singleflight spans emitted by
+// internal/serving, breaker-allow/breaker-open, compute, stale-serve —
+// each labelled with the analysis name, feeding the per-analysis
+// per-stage latency histograms behind GET /metrics. Untraced contexts
+// (CLIs, warmup, detached refreshes) skip tracing entirely.
 package engine
 
 import (

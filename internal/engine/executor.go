@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"csmaterials/internal/materials"
+	"csmaterials/internal/obs"
 	"csmaterials/internal/resilience"
 	"csmaterials/internal/resilience/faultinject"
 	"csmaterials/internal/serving"
@@ -131,10 +132,14 @@ func (e *Executor) Run(ctx context.Context, name string, values url.Values) (int
 	if !ok {
 		return nil, Outcome{}, Errorf(404, "not_found", "unknown analysis %q", name)
 	}
+	ctx = obs.WithAnalysis(ctx, name)
+	sp := obs.StartSpan(ctx, "parse")
 	p, err := e.ParseParams(a, values)
 	if err != nil {
+		sp.EndAs("parse-error")
 		return nil, Outcome{}, err
 	}
+	sp.End()
 	return e.RunParams(ctx, a, p)
 }
 
@@ -182,31 +187,58 @@ func Key(a Analysis, p Params) string {
 // runs detached in the background. Otherwise the error comes back:
 // resilience.ErrOpen, context errors, an *Error from the analysis, or
 // the raw compute error.
+// Tracing: when ctx carries an obs.Trace, the ladder walk is recorded
+// as ordered spans — the breaker decision (breaker-allow/breaker-open),
+// the compute (compute/compute-error/compute-canceled), plus the
+// cache-level spans serving.Cache emits — all labelled with the
+// analysis name for the per-stage histograms. The guarded closure
+// records into the trace of the request that INITIATED the flight (the
+// closure only runs for that caller), never into a joiner's; the
+// detached stale refresh runs a variant bound to an untraced context,
+// so a request's trace record never grows after it is served.
 func (e *Executor) RunParams(ctx context.Context, a Analysis, p Params) (interface{}, Outcome, error) {
 	name := a.Name()
 	key := Key(a, p)
+	ctx = obs.WithAnalysis(ctx, name)
 	var br *resilience.Breaker
 	if e.breakers != nil {
 		br = e.breakers.Get(name)
 	}
-	guarded := func(fctx context.Context) (interface{}, error) {
-		if br != nil && !br.Allow() {
-			return nil, resilience.ErrOpen
+	// guardedWith binds the breaker-guarded compute to a trace context
+	// (tctx carries the span sink; fctx carries cancellation).
+	guardedWith := func(tctx context.Context) func(context.Context) (interface{}, error) {
+		return func(fctx context.Context) (interface{}, error) {
+			bsp := obs.StartSpan(tctx, "breaker")
+			if br != nil && !br.Allow() {
+				bsp.EndAs("breaker-open")
+				return nil, resilience.ErrOpen
+			}
+			bsp.EndAs("breaker-allow")
+			err := e.faults.ComputeError("compute/" + name)
+			var v interface{}
+			if err == nil {
+				csp := obs.StartSpan(tctx, "compute")
+				e.countCompute(name)
+				v, err = a.Compute(fctx, e.repo, p)
+				switch {
+				case err == nil:
+					csp.End()
+				case errors.Is(err, context.Canceled):
+					csp.EndAs("compute-canceled")
+				default:
+					csp.EndAs("compute-error")
+				}
+			}
+			if br != nil {
+				br.Record(!IsServerFailure(err))
+			}
+			if IsServerFailure(err) {
+				e.countFailure(name)
+			}
+			return v, err
 		}
-		err := e.faults.ComputeError("compute/" + name)
-		var v interface{}
-		if err == nil {
-			e.countCompute(name)
-			v, err = a.Compute(fctx, e.repo, p)
-		}
-		if br != nil {
-			br.Record(!IsServerFailure(err))
-		}
-		if IsServerFailure(err) {
-			e.countFailure(name)
-		}
-		return v, err
 	}
+	guarded := guardedWith(ctx)
 
 	v, served, err := e.cache.DoCtxFn(ctx, key, guarded)
 	if err == nil {
@@ -225,8 +257,11 @@ func (e *Executor) RunParams(ctx context.Context, a Analysis, p Params) (interfa
 	if e.staleServe && (errors.Is(err, resilience.ErrOpen) || errors.Is(err, context.DeadlineExceeded) || IsServerFailure(err)) {
 		if sv, ok := e.cache.Stale(key); ok {
 			e.countStale(name)
+			obs.AddSpan(ctx, "stale-serve", time.Time{})
+			obs.AddSpan(ctx, "stale-refresh", time.Time{}) // detached refresh launched
+			refresh := guardedWith(context.Background())
 			go func() {
-				_, _, _ = e.cache.Do(key, func() (interface{}, error) { return guarded(context.Background()) })
+				_, _, _ = e.cache.Do(key, func() (interface{}, error) { return refresh(context.Background()) })
 			}()
 			return sv, Outcome{Key: key, Cache: "stale", Stale: true}, nil
 		}

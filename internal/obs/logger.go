@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logger emits structured wide events: one JSON object per line, keys
+// sorted (encoding/json map ordering), suitable for machine ingestion.
+// Unlike fmt.Fprintf to a file, write and encode errors are not
+// dropped: they are counted and exposed via Drops (and from there the
+// /metrics surface), so a broken log pipe under a daemon is visible
+// instead of silent. A nil *Logger is a valid no-op sink, letting
+// callers wire logging unconditionally.
+type Logger struct {
+	clock func() time.Time
+
+	mu    sync.Mutex
+	w     io.Writer
+	drops uint64
+}
+
+// NewLogger returns a logger writing one JSON line per event to w.
+// A nil w yields a nil (no-op) logger.
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{clock: time.Now, w: w}
+}
+
+// SetClock replaces the timestamp source (tests inject a fake clock
+// for byte-stable lines). No-op on a nil logger.
+func (l *Logger) SetClock(clock func() time.Time) {
+	if l == nil || clock == nil {
+		return
+	}
+	l.mu.Lock()
+	l.clock = clock
+	l.mu.Unlock()
+}
+
+// Event emits one wide-event line: fields plus "event" set to event
+// and "ts" set to the clock's RFC3339Nano now. The fields map is not
+// retained. Encode or write failures increment the drop counter.
+func (l *Logger) Event(event string, fields map[string]interface{}) {
+	if l == nil {
+		return
+	}
+	line := make(map[string]interface{}, len(fields)+2)
+	for k, v := range fields {
+		line[k] = v
+	}
+	line["event"] = event
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	line["ts"] = l.clock().UTC().Format(time.RFC3339Nano)
+	b, err := json.Marshal(line)
+	if err != nil {
+		l.drops++
+		return
+	}
+	b = append(b, '\n')
+	if _, err := l.w.Write(b); err != nil {
+		l.drops++
+	}
+}
+
+// Drops returns how many events failed to encode or write.
+func (l *Logger) Drops() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.drops
+}

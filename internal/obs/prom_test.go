@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteExpositionGolden(t *testing.T) {
+	families := []Family{
+		{
+			Name: "csm_requests_total", Help: "Requests by route.", Type: Counter,
+			Samples: []Sample{
+				{Labels: []Label{{"route", "GET /api/v1/types"}, {"status", "200"}}, Value: 12},
+				{Labels: []Label{{"route", "GET /api/v1/types"}, {"status", "400"}}, Value: 1},
+			},
+		},
+		{
+			Name: "csm_in_flight", Help: "In-flight requests.", Type: Gauge,
+			Samples: []Sample{{Value: 3}},
+		},
+		{Name: "csm_empty", Help: "Skipped entirely.", Type: Counter},
+		{
+			Name: "csm_stage_duration_seconds", Help: "Stage latency.", Type: Histogram,
+			Samples: HistogramSamples(
+				[]Label{{"analysis", "types"}, {"stage", "compute"}},
+				[]float64{0.001, 0.01}, []uint64{2, 1, 1}, 0.0145, 4),
+		},
+		{
+			Name: "csm_escapes", Help: `Help with \ backslash and "quotes".`, Type: Gauge,
+			Samples: []Sample{{Labels: []Label{{"k", "a\"b\\c\nd"}}, Value: 1}},
+		},
+	}
+	var b strings.Builder
+	if err := WriteExposition(&b, families); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP csm_requests_total Requests by route.
+# TYPE csm_requests_total counter
+csm_requests_total{route="GET /api/v1/types",status="200"} 12
+csm_requests_total{route="GET /api/v1/types",status="400"} 1
+# HELP csm_in_flight In-flight requests.
+# TYPE csm_in_flight gauge
+csm_in_flight 3
+# HELP csm_stage_duration_seconds Stage latency.
+# TYPE csm_stage_duration_seconds histogram
+csm_stage_duration_seconds_bucket{analysis="types",stage="compute",le="0.001"} 2
+csm_stage_duration_seconds_bucket{analysis="types",stage="compute",le="0.01"} 3
+csm_stage_duration_seconds_bucket{analysis="types",stage="compute",le="+Inf"} 4
+csm_stage_duration_seconds_sum{analysis="types",stage="compute"} 0.0145
+csm_stage_duration_seconds_count{analysis="types",stage="compute"} 4
+# HELP csm_escapes Help with \\ backslash and "quotes".
+# TYPE csm_escapes gauge
+csm_escapes{k="a\"b\\c\nd"} 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestValidateExpositionCatchesGarbage(t *testing.T) {
+	valid := "# HELP a b\n# TYPE a counter\na 1\na{x=\"y\"} 2.5\na{x=\"y\",z=\"w\"} +Inf\n"
+	if err := ValidateExposition(valid); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	for _, bad := range []string{
+		"a{x=y} 1\n",        // unquoted label value
+		"a 1 2 3\n",         // trailing garbage
+		"{x=\"y\"} 1\n",     // no metric name
+		"a{x=\"y\"\n",       // unterminated
+		"# TUPE a counter\n", // bad comment keyword
+	} {
+		if err := ValidateExposition(bad); err == nil {
+			t.Fatalf("garbage accepted: %q", bad)
+		}
+	}
+}
+
+func TestFormatValueEdges(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{0.25, "0.25"},
+		{1e9, "1e+09"},
+	} {
+		if got := formatValue(tc.v); got != tc.want {
+			t.Fatalf("formatValue(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	if got := formatValue(math.NaN()); got != "NaN" {
+		t.Fatalf("formatValue(NaN) = %q", got)
+	}
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTraceBuffer is the ring-buffer capacity used when a Tracer is
+// built with a non-positive one.
+const DefaultTraceBuffer = 256
+
+// StageBucketsSeconds are the per-stage latency histogram upper bounds,
+// in seconds (Prometheus convention); the final implicit bucket is
+// +Inf. Sub-millisecond buckets matter here: warm-path stages (cache
+// hits, breaker decisions) complete in microseconds and would otherwise
+// all land in one bucket.
+var StageBucketsSeconds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// stageKey identifies one (analysis, stage) histogram series.
+type stageKey struct {
+	analysis string
+	stage    string
+}
+
+// stageHist is one cumulative latency histogram.
+type stageHist struct {
+	buckets    []uint64 // len(StageBucketsSeconds)+1; last is +Inf
+	sumSeconds float64
+	count      uint64
+}
+
+// Tracer mints request traces, retains the most recent finished ones
+// in a fixed-size ring buffer queryable by ID, and folds every
+// finished span into per-(analysis, stage) latency histograms. The
+// clock is injectable so tests can golden span sequences and
+// durations; nil means time.Now. All methods are safe for concurrent
+// use.
+type Tracer struct {
+	clock    func() time.Time
+	capacity int
+
+	mu       sync.Mutex
+	seq      uint64
+	ring     []*Trace // oldest first; bounded by capacity
+	byID     map[string]*Trace
+	started  uint64
+	finished uint64
+	stages   map[stageKey]*stageHist
+}
+
+// NewTracer returns a tracer retaining the last capacity finished
+// traces (DefaultTraceBuffer when capacity <= 0) and reading the given
+// clock (time.Now when nil).
+func NewTracer(capacity int, clock func() time.Time) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceBuffer
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Tracer{
+		clock:    clock,
+		capacity: capacity,
+		byID:     make(map[string]*Trace),
+		stages:   make(map[stageKey]*stageHist),
+	}
+}
+
+// Start mints a new trace labelled label (typically the route
+// pattern), stores it in the returned context, and returns both. The
+// trace ID is a process-unique monotonic hex token.
+func (t *Tracer) Start(ctx context.Context, label string) (context.Context, *Trace) {
+	start := t.clock()
+	t.mu.Lock()
+	t.seq++
+	t.started++
+	id := fmt.Sprintf("%08x", t.seq)
+	t.mu.Unlock()
+	tr := &Trace{id: id, label: label, clock: t.clock, start: start}
+	return NewContext(ctx, tr), tr
+}
+
+// Finish seals tr, aggregates its completed spans into the stage
+// histograms, and admits it to the ring buffer, evicting the oldest
+// finished trace when full. Finishing a trace twice is a no-op.
+func (t *Tracer) Finish(tr *Trace) {
+	spans := tr.finish()
+	if spans == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.finished++
+	for _, sp := range spans {
+		if sp.end.IsZero() {
+			continue // still open; nothing meaningful to aggregate
+		}
+		t.observeLocked(sp.analysis, sp.name, sp.end.Sub(sp.start).Seconds())
+	}
+	if len(t.ring) >= t.capacity {
+		oldest := t.ring[0]
+		t.ring = t.ring[1:]
+		delete(t.byID, oldest.id)
+	}
+	t.ring = append(t.ring, tr)
+	t.byID[tr.id] = tr
+}
+
+// observeLocked folds one duration into the (analysis, stage)
+// histogram; callers hold t.mu.
+func (t *Tracer) observeLocked(analysis, stage string, seconds float64) {
+	k := stageKey{analysis: analysis, stage: stage}
+	h, ok := t.stages[k]
+	if !ok {
+		h = &stageHist{buckets: make([]uint64, len(StageBucketsSeconds)+1)}
+		t.stages[k] = h
+	}
+	i := sort.SearchFloat64s(StageBucketsSeconds, seconds)
+	h.buckets[i]++
+	h.sumSeconds += seconds
+	h.count++
+}
+
+// Get returns the finished trace with the given ID, if it is still in
+// the ring buffer.
+func (t *Tracer) Get(id string) (TraceRecord, bool) {
+	t.mu.Lock()
+	tr, ok := t.byID[id]
+	t.mu.Unlock()
+	if !ok {
+		return TraceRecord{}, false
+	}
+	return tr.Record(), true
+}
+
+// IDs returns the retained trace IDs, most recent first.
+func (t *Tracer) IDs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.ring))
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		out = append(out, t.ring[i].id)
+	}
+	return out
+}
+
+// StageExport is one (analysis, stage) histogram series, cumulative in
+// neither direction: Buckets[i] counts observations in bucket i
+// (bounds StageBucketsSeconds; the final entry is +Inf).
+type StageExport struct {
+	Analysis   string
+	Stage      string
+	Buckets    []uint64
+	SumSeconds float64
+	Count      uint64
+}
+
+// StageSnapshot returns every stage histogram, sorted by (analysis,
+// stage) for deterministic exposition.
+func (t *Tracer) StageSnapshot() []StageExport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageExport, 0, len(t.stages))
+	for k, h := range t.stages {
+		buckets := make([]uint64, len(h.buckets))
+		copy(buckets, h.buckets)
+		out = append(out, StageExport{
+			Analysis:   k.analysis,
+			Stage:      k.stage,
+			Buckets:    buckets,
+			SumSeconds: h.sumSeconds,
+			Count:      h.count,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Analysis != out[j].Analysis {
+			return out[i].Analysis < out[j].Analysis
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// TracerStats is the tracer section of the metrics surface.
+type TracerStats struct {
+	Started  uint64 `json:"started_total"`
+	Finished uint64 `json:"finished_total"`
+	RingSize int    `json:"ring_size"`
+	Capacity int    `json:"ring_capacity"`
+}
+
+// Stats snapshots the tracer counters.
+func (t *Tracer) Stats() TracerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TracerStats{
+		Started:  t.started,
+		Finished: t.finished,
+		RingSize: len(t.ring),
+		Capacity: t.capacity,
+	}
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"csmaterials/internal/engine/analyses"
+)
+
+// TestAPIDocsCoverRegistry pins docs/api.md to the live route table:
+// every registered analysis must be documented, and every documented
+// /api/v1/<segment> must correspond to a real route. CI runs this
+// test by name, so adding an analysis without documenting it (or
+// documenting an endpoint that does not exist) fails the build.
+func TestAPIDocsCoverRegistry(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "api.md"))
+	if err != nil {
+		t.Fatalf("docs/api.md unreadable: %v", err)
+	}
+	doc := string(raw)
+
+	reg, err := analyses.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := reg.Names()
+	for _, name := range names {
+		if !strings.Contains(doc, "/api/v1/"+name) {
+			t.Errorf("docs/api.md does not document registered analysis %q (GET /api/v1/%s)", name, name)
+		}
+	}
+
+	// Fixed (non-registry) routes the doc must cover.
+	for _, route := range []string{
+		"/api/v1/courses", "/api/v1/search", "/api/v1/batch",
+		"/healthz", "/readyz", "/metrics", "/debug/metrics", "/debug/trace",
+	} {
+		if !strings.Contains(doc, route) {
+			t.Errorf("docs/api.md does not document %s", route)
+		}
+	}
+
+	// Reverse direction: every /api/v1/<segment> the doc mentions must
+	// be a real route — a registered analysis or a fixed endpoint.
+	known := map[string]bool{"courses": true, "search": true, "figures": true, "batch": true}
+	for _, name := range names {
+		known[name] = true
+	}
+	seg := regexp.MustCompile(`/api/v1/([a-z]+)`)
+	for _, m := range seg.FindAllStringSubmatch(doc, -1) {
+		if !known[m[1]] {
+			t.Errorf("docs/api.md documents /api/v1/%s, which is not a registered analysis or fixed route", m[1])
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+
+	"csmaterials/internal/obs"
+	"csmaterials/internal/serving"
+)
+
+// DefaultTraceBuffer is the trace ring-buffer capacity when Options
+// does not provide a tracer.
+const DefaultTraceBuffer = obs.DefaultTraceBuffer
+
+// traced wraps an API route with request tracing: every request gets a
+// trace (advertised in the X-Trace response header and queryable at
+// GET /debug/trace/{id} while it remains in the ring buffer), the
+// ladder below records its spans into it, and on completion the trace
+// is sealed, aggregated into the per-stage histograms, and — when a
+// wide-event logger is configured — emitted as one structured JSON
+// line carrying the request outcome and stage timings.
+func (s *Server) traced(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, tr := s.tracer.Start(r.Context(), route)
+		sw := serving.Wrap(w)
+		sw.Header().Set("X-Trace", tr.ID())
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		s.tracer.Finish(tr)
+		s.logWideEvent(route, r, sw, tr)
+	})
+}
+
+// logWideEvent emits the one-line-per-request access event: route,
+// status, duration, trace ID, per-stage timings, and the serving
+// outcome derived from the span record.
+func (s *Server) logWideEvent(route string, r *http.Request, sw *serving.StatusWriter, tr *obs.Trace) {
+	if s.events == nil {
+		return
+	}
+	rec := tr.Record()
+	status := sw.Status
+	if !sw.Wrote() {
+		status = http.StatusOK
+	}
+	spans := make([]map[string]interface{}, 0, len(rec.Spans))
+	for _, sp := range rec.Spans {
+		m := map[string]interface{}{"name": sp.Name, "ms": sp.DurationMS}
+		if sp.Analysis != "" {
+			m["analysis"] = sp.Analysis
+		}
+		spans = append(spans, m)
+	}
+	fields := map[string]interface{}{
+		"trace":  rec.ID,
+		"route":  route,
+		"method": r.Method,
+		"path":   r.URL.Path,
+		"status": status,
+		"bytes":  sw.Bytes,
+		"dur_ms": rec.DurationMS,
+		"spans":  spans,
+	}
+	if r.URL.RawQuery != "" {
+		fields["query"] = r.URL.RawQuery
+	}
+	if outcome := traceOutcome(rec); outcome != "" {
+		fields["cache"] = outcome
+	}
+	if hasSpan(rec, "breaker-open") {
+		fields["breaker"] = "open"
+	}
+	if hasSpan(rec, "stale-serve") {
+		fields["stale"] = true
+	}
+	s.events.Event("request", fields)
+}
+
+// traceOutcome classifies how the ladder answered: "stale" dominates,
+// then "hit" (fresh cache or shared flight), then "miss" (computed
+// here); "" when the request never touched the cache (lists, health).
+func traceOutcome(rec obs.TraceRecord) string {
+	switch {
+	case hasSpan(rec, "stale-serve"):
+		return "stale"
+	case hasSpan(rec, "cache-hit"), hasSpan(rec, "singleflight-join"):
+		return "hit"
+	case hasSpan(rec, "cache-miss"):
+		return "miss"
+	}
+	return ""
+}
+
+func hasSpan(rec obs.TraceRecord, name string) bool {
+	for _, sp := range rec.Spans {
+		if sp.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// handleTraceList serves GET /debug/trace: the retained trace IDs
+// (most recent first) plus the tracer counters, so an operator can
+// find a trace without knowing its ID.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	serving.WriteJSON(w, http.StatusOK, struct {
+		Tracer obs.TracerStats `json:"tracer"`
+		Traces []string        `json:"traces"`
+	}{Tracer: s.tracer.Stats(), Traces: s.tracer.IDs()})
+}
+
+// handleTrace serves GET /debug/trace/{id}: the full span record of
+// one retained trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSpace(r.PathValue("id"))
+	rec, ok := s.tracer.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found",
+			"no trace %q in the ring buffer (capacity %d; traces are evicted oldest-first)",
+			id, s.tracer.Stats().Capacity)
+		return
+	}
+	serving.WriteJSON(w, http.StatusOK, rec)
+}

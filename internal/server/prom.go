@@ -1,0 +1,164 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+
+	"csmaterials/internal/obs"
+	"csmaterials/internal/resilience"
+	"csmaterials/internal/serving"
+)
+
+// handleProm serves GET /metrics in Prometheus text exposition format:
+// the per-route HTTP histograms, the cache/shedder/breaker/engine
+// counters that /debug/metrics serves as JSON, and the per-analysis
+// per-stage latency histograms aggregated from request traces.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	fams := s.promFamilies()
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteExposition(w, fams)
+}
+
+// promFamilies assembles every metric family in fixed family order
+// with sorted label sets, so the exposition shape (names, types,
+// label keys) is stable across runs and scrape-diffable.
+func (s *Server) promFamilies() []obs.Family {
+	var fams []obs.Family
+
+	// HTTP layer: uptime, in-flight, per-route counters + histograms.
+	ex := s.metrics.Export()
+	fams = append(fams,
+		obs.Family{Name: "csm_uptime_seconds", Help: "Seconds since the metrics registry was created.", Type: obs.Gauge,
+			Samples: []obs.Sample{{Value: ex.UptimeSeconds}}},
+		obs.Family{Name: "csm_http_in_flight", Help: "Requests currently being served.", Type: obs.Gauge,
+			Samples: []obs.Sample{{Value: float64(ex.InFlight)}}},
+	)
+	reqs := obs.Family{Name: "csm_http_requests_total", Help: "Completed requests by route pattern and status code.", Type: obs.Counter}
+	for _, rt := range ex.Routes {
+		for _, sc := range rt.ByStatus {
+			reqs.Samples = append(reqs.Samples, obs.Sample{
+				Labels: []obs.Label{{Name: "route", Value: rt.Route}, {Name: "status", Value: strconv.Itoa(sc.Status)}},
+				Value:  float64(sc.Count),
+			})
+		}
+	}
+	fams = append(fams, reqs)
+
+	boundsMS := serving.LatencyBoundsMS()
+	boundsSec := make([]float64, len(boundsMS))
+	for i, b := range boundsMS {
+		boundsSec[i] = b / 1000
+	}
+	durs := obs.Family{Name: "csm_http_request_duration_seconds", Help: "Request latency by route pattern.", Type: obs.Histogram}
+	for _, rt := range ex.Routes {
+		durs.Samples = append(durs.Samples, obs.HistogramSamples(
+			[]obs.Label{{Name: "route", Value: rt.Route}},
+			boundsSec, rt.BucketCounts, rt.TotalMS/1000, rt.Count)...)
+	}
+	fams = append(fams, durs)
+
+	// Cache.
+	cs := s.cache.Stats()
+	fams = append(fams,
+		counterFam("csm_cache_hits_total", "Fresh-cache hits.", cs.Hits),
+		counterFam("csm_cache_misses_total", "Fresh-cache misses.", cs.Misses),
+		counterFam("csm_cache_shared_flights_total", "Requests answered by another caller's singleflight.", cs.Shared),
+		counterFam("csm_cache_evictions_total", "Fresh-cache LRU evictions.", cs.Evictions),
+		counterFam("csm_cache_stale_served_total", "Degraded last-known-good serves.", cs.StaleServed),
+		gaugeFam("csm_cache_size", "Fresh entries currently retained.", float64(cs.Size)),
+		gaugeFam("csm_cache_capacity", "Fresh-cache capacity.", float64(cs.Capacity)),
+		gaugeFam("csm_cache_stale_size", "Stale last-known-good entries retained.", float64(cs.StaleSize)),
+	)
+
+	// Resilience: shedder + per-analysis breakers.
+	sh := s.shedder.Stats()
+	fams = append(fams,
+		gaugeFam("csm_shed_max_in_flight", "In-flight bound before shedding (0 = unlimited).", float64(sh.MaxInFlight)),
+		gaugeFam("csm_shed_in_flight", "Requests currently inside the shedder.", float64(sh.InFlight)),
+		counterFam("csm_shed_admitted_total", "Requests admitted by the load shedder.", sh.Admitted),
+		counterFam("csm_shed_rejected_total", "Requests shed with 429.", sh.Shed),
+	)
+	if s.breakers != nil {
+		bs := s.breakers.Stats()
+		names := make([]string, 0, len(bs))
+		for name := range bs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		state := obs.Family{Name: "csm_breaker_state", Help: "Circuit state per analysis: 0 closed, 1 half-open, 2 open.", Type: obs.Gauge}
+		var succ, fail, rej, opens obs.Family
+		succ = obs.Family{Name: "csm_breaker_successes_total", Help: "Recorded successes per analysis breaker.", Type: obs.Counter}
+		fail = obs.Family{Name: "csm_breaker_failures_total", Help: "Recorded failures per analysis breaker.", Type: obs.Counter}
+		rej = obs.Family{Name: "csm_breaker_rejected_total", Help: "Requests rejected by an open circuit per analysis.", Type: obs.Counter}
+		opens = obs.Family{Name: "csm_breaker_opens_total", Help: "Times each analysis circuit opened.", Type: obs.Counter}
+		for _, name := range names {
+			b := bs[name]
+			l := []obs.Label{{Name: "analysis", Value: name}}
+			state.Samples = append(state.Samples, obs.Sample{Labels: l, Value: breakerStateValue(b.State)})
+			succ.Samples = append(succ.Samples, obs.Sample{Labels: l, Value: float64(b.Successes)})
+			fail.Samples = append(fail.Samples, obs.Sample{Labels: l, Value: float64(b.Failures)})
+			rej.Samples = append(rej.Samples, obs.Sample{Labels: l, Value: float64(b.Rejected)})
+			opens.Samples = append(opens.Samples, obs.Sample{Labels: l, Value: float64(b.Opens)})
+		}
+		fams = append(fams, state, succ, fail, rej, opens)
+	}
+
+	// Engine executor: per-analysis compute accounting + batch totals.
+	es := s.exec.Stats()
+	names := make([]string, 0, len(es.Analyses))
+	for name := range es.Analyses {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	computes := obs.Family{Name: "csm_analysis_computes_total", Help: "Computes started per analysis.", Type: obs.Counter}
+	failures := obs.Family{Name: "csm_analysis_failures_total", Help: "Compute failures per analysis.", Type: obs.Counter}
+	stale := obs.Family{Name: "csm_analysis_stale_served_total", Help: "Stale serves per analysis.", Type: obs.Counter}
+	for _, name := range names {
+		a := es.Analyses[name]
+		l := []obs.Label{{Name: "analysis", Value: name}}
+		computes.Samples = append(computes.Samples, obs.Sample{Labels: l, Value: float64(a.Computes)})
+		failures.Samples = append(failures.Samples, obs.Sample{Labels: l, Value: float64(a.Failures)})
+		stale.Samples = append(stale.Samples, obs.Sample{Labels: l, Value: float64(a.StaleServed)})
+	}
+	fams = append(fams, computes, failures, stale,
+		counterFam("csm_batch_calls_total", "Batch requests served.", es.BatchCalls),
+		counterFam("csm_batch_items_total", "Batch items executed.", es.BatchItems),
+		gaugeFam("csm_batch_workers", "Configured batch worker-pool size.", float64(es.BatchWorkers)),
+	)
+
+	// Tracing: per-(analysis, stage) latency histograms + ring counters.
+	stageFam := obs.Family{Name: "csm_stage_duration_seconds", Help: "Ladder stage latency from request traces, by analysis and stage.", Type: obs.Histogram}
+	for _, st := range s.tracer.StageSnapshot() {
+		labels := []obs.Label{{Name: "analysis", Value: st.Analysis}, {Name: "stage", Value: st.Stage}}
+		stageFam.Samples = append(stageFam.Samples, obs.HistogramSamples(
+			labels, obs.StageBucketsSeconds, st.Buckets, st.SumSeconds, st.Count)...)
+	}
+	ts := s.tracer.Stats()
+	fams = append(fams, stageFam,
+		counterFam("csm_traces_total", "Traces finished.", ts.Finished),
+		gaugeFam("csm_trace_ring_size", "Finished traces retained for /debug/trace.", float64(ts.RingSize)),
+		gaugeFam("csm_trace_ring_capacity", "Trace ring-buffer capacity.", float64(ts.Capacity)),
+		counterFam("csm_log_dropped_total", "Wide-event log lines lost to encode/write failures.", s.events.Drops()),
+	)
+	return fams
+}
+
+func breakerStateValue(state string) float64 {
+	switch state {
+	case resilience.Open.String():
+		return 2
+	case resilience.HalfOpen.String():
+		return 1
+	}
+	return 0
+}
+
+func counterFam(name, help string, v uint64) obs.Family {
+	return obs.Family{Name: name, Help: help, Type: obs.Counter, Samples: []obs.Sample{{Value: float64(v)}}}
+}
+
+func gaugeFam(name, help string, v float64) obs.Family {
+	return obs.Family{Name: name, Help: help, Type: obs.Gauge, Samples: []obs.Sample{{Value: v}}}
+}

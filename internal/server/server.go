@@ -47,6 +47,7 @@ import (
 	"csmaterials/internal/engine"
 	"csmaterials/internal/engine/analyses"
 	"csmaterials/internal/materials"
+	"csmaterials/internal/obs"
 	"csmaterials/internal/resilience"
 	"csmaterials/internal/resilience/faultinject"
 	"csmaterials/internal/search"
@@ -92,6 +93,14 @@ type Options struct {
 	// Faults, when non-nil, injects chaos (latency, errors, panics)
 	// into API routes and compute paths. Tests and demos only.
 	Faults *faultinject.Injector
+	// Tracer records per-request traces and aggregates the per-stage
+	// latency histograms behind GET /metrics. Nil means a default
+	// tracer with a DefaultTraceBuffer-deep ring.
+	Tracer *obs.Tracer
+	// Events receives one structured JSON line per API request (the
+	// wide-event access log). Nil disables wide events; the plain
+	// Logger access log is used instead when it is set.
+	Events *obs.Logger
 
 	// disableWarmup skips the background readiness warmup so tests can
 	// drive the /readyz transition deterministically.
@@ -112,6 +121,9 @@ type Server struct {
 	shedder  *resilience.Shedder
 	breakers *resilience.BreakerSet // nil when circuit breaking is disabled
 	faults   *faultinject.Injector  // nil when no chaos is injected
+
+	tracer *obs.Tracer
+	events *obs.Logger // nil disables wide-event logging
 
 	readyMu  sync.Mutex
 	ready    bool
@@ -146,6 +158,11 @@ func NewWithOptions(o Options) (*Server, error) {
 		logger:   o.Logger,
 		shedder:  resilience.NewShedder(maxInFlight, 0),
 		faults:   o.Faults,
+		tracer:   o.Tracer,
+		events:   o.Events,
+	}
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(DefaultTraceBuffer, nil)
 	}
 	if o.BreakerThreshold >= 0 {
 		s.breakers = resilience.NewBreakerSet(o.BreakerThreshold, o.BreakerCooldown)
@@ -168,7 +185,13 @@ func NewWithOptions(o Options) (*Server, error) {
 	})
 	s.metrics.ObserveEngine(func() interface{} { return s.exec.Stats() })
 	s.routes()
-	s.handler = serving.Recover(s.logger, serving.AccessLog(s.logger, http.HandlerFunc(s.route)))
+	if s.events != nil {
+		// Wide events replace the plain access log: one line per
+		// request, not two.
+		s.handler = serving.Recover(s.logger, http.HandlerFunc(s.route))
+	} else {
+		s.handler = serving.Recover(s.logger, serving.AccessLog(s.logger, http.HandlerFunc(s.route)))
+	}
 	if !o.disableWarmup {
 		go s.warmup()
 	}
@@ -184,6 +207,9 @@ func (s *Server) Cache() *serving.Cache { return s.cache }
 // Engine exposes the analysis executor (registry access for tests and
 // tooling; fakes install via Engine().Registry().Replace).
 func (s *Server) Engine() *engine.Executor { return s.exec }
+
+// Tracer exposes the request tracer (for cmd/serve and tests).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
@@ -210,6 +236,9 @@ func (s *Server) routes() {
 		}))
 	}
 	s.handle("GET /debug/metrics", s.metrics.Handler())
+	s.handle("GET /metrics", http.HandlerFunc(s.handleProm))
+	s.handle("GET /debug/trace", http.HandlerFunc(s.handleTraceList))
+	s.handle("GET /debug/trace/{id}", http.HandlerFunc(s.handleTrace))
 	s.handle("/api/", http.HandlerFunc(s.handleLegacy))
 }
 
@@ -218,11 +247,13 @@ func (s *Server) handle(pattern string, h http.Handler) {
 	s.mux.Handle(pattern, serving.Instrument(s.metrics, pattern, h))
 }
 
-// handleAPI registers an /api/v1 route behind the load shedder and
-// (when configured) the fault injector, inside the per-route
-// instrumentation so shed 429s are metered against their route.
+// handleAPI registers an /api/v1 route behind request tracing, the
+// load shedder, and (when configured) the fault injector, inside the
+// per-route instrumentation so shed 429s are metered against their
+// route. Tracing wraps the shedder so shed requests still produce a
+// trace and a wide event.
 func (s *Server) handleAPI(pattern string, h http.Handler) {
-	s.handle(pattern, serving.Shed(s.shedder, s.faults.Middleware(h)))
+	s.handle(pattern, s.traced(pattern, serving.Shed(s.shedder, s.faults.Middleware(h))))
 }
 
 // route dispatches through the mux, replacing its plain-text 404/405

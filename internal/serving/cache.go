@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"context"
 	"sync"
+
+	"csmaterials/internal/obs"
 )
 
 // Cache is a bounded LRU result cache with singleflight deduplication:
@@ -147,18 +149,35 @@ func (c *Cache) Stale(key string) (interface{}, bool) {
 // cancelled, letting a context-aware compute stop mid-iteration instead
 // of converging for nobody. Successful results are cached either way;
 // errors never are.
+// The ladder is traced when ctx carries an obs.Trace: the lookup is
+// recorded as a cache-hit/cache-miss span, the flight that actually
+// computes records singleflight-lead and store spans into ITS
+// initiator's trace (joiners' compute closures never run), and a
+// caller that shared another flight records a singleflight-join span
+// covering its wait. Untraced contexts skip all of it.
 func (c *Cache) DoCtxFn(ctx context.Context, key string, compute func(context.Context) (interface{}, error)) (interface{}, bool, error) {
+	lookup := obs.StartSpan(ctx, "cache-lookup")
 	if v, ok := c.Get(key); ok {
+		lookup.EndAs("cache-hit")
 		return v, true, nil
 	}
+	lookup.EndAs("cache-miss")
+	sfStart := obs.Now(ctx)
 	v, err, sharedFlight := c.group.DoCtxFn(ctx, key, func(fctx context.Context) (interface{}, error) {
+		// This closure runs only for the caller that initiated the
+		// flight, so recording into ctx's trace is recording the lead.
+		lead := obs.StartSpan(ctx, "singleflight-lead")
 		v, err := compute(fctx)
 		if err == nil {
+			st := obs.StartSpan(ctx, "store")
 			c.put(key, v)
+			st.End()
 		}
+		lead.End()
 		return v, err
 	})
 	if sharedFlight {
+		obs.AddSpan(ctx, "singleflight-join", sfStart)
 		c.mu.Lock()
 		c.shared++
 		c.mu.Unlock()

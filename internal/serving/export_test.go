@@ -1,0 +1,56 @@
+package serving
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestMetricsExport(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("GET /api/v1/types", 200, 3*time.Millisecond)
+	m.Observe("GET /api/v1/types", 200, 30*time.Millisecond)
+	m.Observe("GET /api/v1/types", 400, time.Millisecond)
+	m.Observe("GET /api/v1/courses", 200, 700*time.Millisecond)
+	m.IncInFlight()
+
+	ex := m.Export()
+	if ex.InFlight != 1 {
+		t.Fatalf("in-flight = %d, want 1", ex.InFlight)
+	}
+	if len(ex.Routes) != 2 || ex.Routes[0].Route != "GET /api/v1/courses" || ex.Routes[1].Route != "GET /api/v1/types" {
+		t.Fatalf("routes not sorted: %+v", ex.Routes)
+	}
+	types := ex.Routes[1]
+	if types.Count != 3 {
+		t.Fatalf("count = %d, want 3", types.Count)
+	}
+	wantStatus := []StatusCount{{Status: 200, Count: 2}, {Status: 400, Count: 1}}
+	if len(types.ByStatus) != 2 || types.ByStatus[0] != wantStatus[0] || types.ByStatus[1] != wantStatus[1] {
+		t.Fatalf("by-status = %+v, want %+v", types.ByStatus, wantStatus)
+	}
+	bounds := LatencyBoundsMS()
+	if !sort.Float64sAreSorted(bounds) {
+		t.Fatalf("bounds not sorted: %v", bounds)
+	}
+	if len(types.BucketCounts) != len(bounds)+1 {
+		t.Fatalf("bucket counts = %d, want %d", len(types.BucketCounts), len(bounds)+1)
+	}
+	var total uint64
+	for _, n := range types.BucketCounts {
+		total += n
+	}
+	if total != 3 {
+		t.Fatalf("bucket total = %d, want 3", total)
+	}
+	if types.TotalMS < 34-1e-9 || types.TotalMS > 34+1e-9 {
+		t.Fatalf("total ms = %v, want 34", types.TotalMS)
+	}
+	// Export must return copies: mutating them cannot corrupt the registry.
+	types.BucketCounts[0] = math.MaxUint64
+	bounds[0] = -1
+	if m.Export().Routes[1].BucketCounts[0] == math.MaxUint64 || LatencyBoundsMS()[0] < 0 {
+		t.Fatal("export aliases internal state")
+	}
+}

@@ -201,3 +201,71 @@ func bucketLabel(i int) string {
 	}
 	return "<=" + ftoa(latencyBucketsMS[i])
 }
+
+// --- Raw export (the bridge to Prometheus exposition) --------------------
+
+// LatencyBoundsMS returns the finite histogram upper bounds in
+// milliseconds; the implicit final bucket is +Inf. Exposition code
+// converts to seconds at the edge.
+func LatencyBoundsMS() []float64 {
+	out := make([]float64, len(latencyBucketsMS))
+	copy(out, latencyBucketsMS)
+	return out
+}
+
+// StatusCount is one (status code, count) pair of a route's export.
+type StatusCount struct {
+	Status int
+	Count  uint64
+}
+
+// RouteExport is the raw (unformatted, bound-typed) form of one
+// route's stats, for metric exporters that need numbers rather than
+// the display labels of the JSON snapshot.
+type RouteExport struct {
+	Route    string
+	Count    uint64
+	ByStatus []StatusCount // sorted by status code
+	// BucketCounts are per-bucket (non-cumulative) observation counts
+	// aligned with LatencyBoundsMS; the final extra entry is +Inf.
+	BucketCounts []uint64
+	TotalMS      float64
+	MaxMS        float64
+}
+
+// Export is the raw snapshot behind GET /metrics.
+type Export struct {
+	UptimeSeconds float64
+	InFlight      int64
+	Routes        []RouteExport // sorted by route
+}
+
+// Export snapshots the registry in raw, deterministic form: routes and
+// status codes sorted, bucket counts aligned with LatencyBoundsMS.
+func (m *Metrics) Export() Export {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Export{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		InFlight:      atomic.LoadInt64(&m.inFlight),
+		Routes:        make([]RouteExport, 0, len(m.routes)),
+	}
+	for route, rs := range m.routes {
+		re := RouteExport{
+			Route:        route,
+			Count:        rs.count,
+			ByStatus:     make([]StatusCount, 0, len(rs.byStatus)),
+			BucketCounts: make([]uint64, len(rs.buckets)),
+			TotalMS:      rs.totalMS,
+			MaxMS:        rs.maxMS,
+		}
+		copy(re.BucketCounts, rs.buckets)
+		for status, n := range rs.byStatus {
+			re.ByStatus = append(re.ByStatus, StatusCount{Status: status, Count: n})
+		}
+		sort.Slice(re.ByStatus, func(i, j int) bool { return re.ByStatus[i].Status < re.ByStatus[j].Status })
+		out.Routes = append(out.Routes, re)
+	}
+	sort.Slice(out.Routes, func(i, j int) bool { return out.Routes[i].Route < out.Routes[j].Route })
+	return out
+}

@@ -11,6 +11,13 @@
 // value that has fallen out of the fresh LRU but is retained for
 // degraded serving while the compute path is failing (see Cache.Stale
 // and internal/resilience).
+//
+// The cache participates in request tracing (internal/obs): when a
+// request context carries a trace, Cache.DoCtxFn records
+// cache-hit/cache-miss, singleflight-lead/-join, and store spans, and
+// Metrics.Export exposes the raw per-route histograms that the
+// server's Prometheus endpoint renders. Untraced contexts pay one nil
+// context lookup and nothing else.
 package serving
 
 import (
