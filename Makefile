@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race race-engine bench bench-batch serve tier1
+.PHONY: build vet lint test race race-engine bench bench-batch bench-datasets serve tier1
 
 build:
 	$(GO) build ./...
@@ -29,12 +29,18 @@ race:
 race-engine:
 	$(GO) test -race -count=1 ./internal/engine/... ./internal/server/...
 
-bench:
+bench: bench-datasets
 	$(GO) test -bench=. -benchmem ./...
 
 # The batch worker pool's scaling numbers (cold vs warm, 1 vs N workers).
 bench-batch:
 	$(GO) test -bench=BenchmarkBatchParallel -benchmem ./internal/engine/
+
+# Dataset-scoped cold/warm serving latencies, snapshotted to
+# BENCH_datasets.json at the repo root so the perf trajectory
+# accumulates across commits (ROADMAP item 4).
+bench-datasets:
+	BENCH_JSON=$(CURDIR)/BENCH_datasets.json $(GO) test -bench=BenchmarkDatasetServing -run '^$$' -benchmem ./internal/engine/
 
 serve:
 	$(GO) run ./cmd/serve

@@ -10,7 +10,7 @@
 //
 //	serve [-addr :8080] [-cache-size 256] [-request-timeout 30s] [-shutdown-timeout 10s]
 //	      [-max-inflight 256] [-breaker-threshold 5] [-breaker-cooldown 30s] [-stale-serve=true]
-//	      [-batch-workers 4] [-trace-buffer 256] [-debug-addr ""]
+//	      [-batch-workers 4] [-trace-buffer 256] [-debug-addr ""] [-data-dir ""]
 //
 // Beyond -max-inflight concurrent /api/v1 requests the server sheds
 // load with 429 + Retry-After. Each analysis family has a circuit
@@ -36,7 +36,12 @@
 //	GET  /api/v1/types?group=...&k=K
 //	GET  /api/v1/cluster?group=...&k=K
 //	GET  /api/v1/figures/{id}[?svg=name.svg]
-//	POST /api/v1/batch          {"items":[{"analysis":"types","params":{"group":"cs1"}}, ...]}
+//	POST /api/v1/batch          {"items":[{"analysis":"types","dataset":"d","params":{"group":"cs1"}}, ...]}
+//	GET  /api/v1/datasets?limit=N&offset=M
+//	GET  /api/v1/datasets/{id}              dataset metadata (revision, courses, materials)
+//	PUT  /api/v1/datasets/{id}              ingest/replace a dataset ({"courses":[...]})
+//	DELETE /api/v1/datasets/{id}            remove a dataset ("default" is protected, 409)
+//	GET  /api/v1/datasets/{id}/...          every query/analysis route, dataset-scoped
 //	GET  /metrics               Prometheus text exposition
 //	GET  /debug/metrics         JSON metrics
 //	GET  /debug/trace           retained trace IDs
@@ -55,6 +60,14 @@
 // by name in a batch. Batch items run on a -batch-workers pool with
 // per-item cache/breaker semantics and per-item error envelopes, in
 // input order.
+//
+// The API is multi-dataset: the synthetic seed corpus is dataset
+// "default", -data-dir loads additional *.json dataset documents at
+// startup (each named after its file stem), and PUT /api/v1/datasets/{id}
+// ingests or replaces a dataset live. The un-scoped routes above are
+// permanent aliases for the default dataset; each also exists under
+// /api/v1/datasets/{id}/... scoped to any dataset. Caches, breakers,
+// and metrics partition per (dataset, analysis).
 //
 // Legacy /api/... paths permanently redirect to /api/v1/... .
 package main
@@ -91,6 +104,7 @@ type config struct {
 	batchWorkers     int
 	traceBuffer      int
 	debugAddr        string
+	dataDir          string
 }
 
 // parseConfig parses args (excluding the program name).
@@ -108,6 +122,7 @@ func parseConfig(args []string) (config, error) {
 	fs.IntVar(&cfg.batchWorkers, "batch-workers", engine.DefaultBatchWorkers, "worker pool size for POST /api/v1/batch")
 	fs.IntVar(&cfg.traceBuffer, "trace-buffer", server.DefaultTraceBuffer, "finished request traces retained for GET /debug/trace/{id}")
 	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "optional second listen address serving /debug/pprof/ (empty disables)")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "optional directory of *.json dataset documents registered at startup")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -128,6 +143,7 @@ func (c config) serverOptions(logger *log.Logger, events *obs.Logger) server.Opt
 		BatchWorkers:      c.batchWorkers,
 		Tracer:            obs.NewTracer(c.traceBuffer, nil),
 		Events:            events,
+		DataDir:           c.dataDir,
 	}
 }
 

@@ -53,6 +53,9 @@ func TestParseConfigDefaults(t *testing.T) {
 	if cfg.debugAddr != "" {
 		t.Errorf("debugAddr = %q, want disabled by default", cfg.debugAddr)
 	}
+	if cfg.dataDir != "" {
+		t.Errorf("dataDir = %q, want disabled by default", cfg.dataDir)
+	}
 }
 
 func TestParseConfigOverrides(t *testing.T) {
@@ -68,6 +71,7 @@ func TestParseConfigOverrides(t *testing.T) {
 		"-batch-workers", "9",
 		"-trace-buffer", "13",
 		"-debug-addr", "127.0.0.1:6060",
+		"-data-dir", "/tmp/datasets",
 	})
 	if err != nil {
 		t.Fatalf("parseConfig: %v", err)
@@ -84,6 +88,7 @@ func TestParseConfigOverrides(t *testing.T) {
 		batchWorkers:     9,
 		traceBuffer:      13,
 		debugAddr:        "127.0.0.1:6060",
+		dataDir:          "/tmp/datasets",
 	}
 	if cfg != want {
 		t.Errorf("parseConfig = %+v, want %+v", cfg, want)
@@ -110,10 +115,14 @@ func TestServerOptionsMapping(t *testing.T) {
 		staleServe:       false,
 		batchWorkers:     6,
 		traceBuffer:      5,
+		dataDir:          "/tmp/datasets",
 	}
 	opts := cfg.serverOptions(logger, events)
 	if opts.CacheSize != 11 || opts.MaxInFlight != 22 || opts.BreakerThreshold != 33 || opts.BreakerCooldown != 44*time.Second || opts.BatchWorkers != 6 {
 		t.Errorf("options mismatch: %+v", opts)
+	}
+	if opts.DataDir != "/tmp/datasets" {
+		t.Errorf("DataDir = %q, want /tmp/datasets", opts.DataDir)
 	}
 	if opts.Logger != logger {
 		t.Error("logger not propagated")

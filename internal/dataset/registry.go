@@ -1,0 +1,258 @@
+package dataset
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+)
+
+// DefaultID names the dataset the synthetic seed corpus registers
+// under. Un-scoped API routes are permanent aliases for it, and it can
+// be re-ingested (gaining revisions) but never deleted.
+const DefaultID = "default"
+
+// MaxIDLength bounds dataset IDs; longer IDs are rejected at ingest.
+const MaxIDLength = 64
+
+// idPattern admits lowercase letters, digits, '.', '_', and '-', with
+// an alphanumeric first byte. The excluded characters are load-bearing:
+// '|' separates cache-key fields, '@' separates the dataset generation
+// prefix, and '/' separates the dataset from the analysis in breaker
+// and stats scope names.
+var idPattern = regexp.MustCompile(`^[a-z0-9][a-z0-9._-]*$`)
+
+// Sentinel errors the API layer maps onto its taxonomy (404 / 409).
+var (
+	ErrNotFound  = errors.New("dataset: no such dataset")
+	ErrProtected = errors.New(`dataset: the "default" dataset cannot be deleted`)
+)
+
+// ValidateID reports whether id is a well-formed dataset name.
+func ValidateID(id string) error {
+	if id == "" {
+		return fmt.Errorf("dataset: empty dataset ID")
+	}
+	if len(id) > MaxIDLength {
+		return fmt.Errorf("dataset: dataset ID %q exceeds %d characters", id, MaxIDLength)
+	}
+	if !idPattern.MatchString(id) {
+		return fmt.Errorf("dataset: invalid dataset ID %q: want lowercase letters, digits, '.', '_', '-', starting with a letter or digit", id)
+	}
+	return nil
+}
+
+// Document is the ingest and on-disk dataset payload — the same
+// {"courses": [...]} shape materials.Repository.SaveJSON writes, so a
+// saved repository round-trips straight into PUT /api/v1/datasets/{id}.
+type Document struct {
+	Courses []*materials.Course `json:"courses"`
+}
+
+// Meta is the catalog-facing description of one dataset revision.
+type Meta struct {
+	ID        string    `json:"id"`
+	Revision  uint64    `json:"revision"`
+	Courses   int       `json:"courses"`
+	Materials int       `json:"materials"`
+	LoadedAt  time.Time `json:"loaded_at"`
+}
+
+// Snapshot is one immutable dataset revision: a fully validated
+// repository plus its identity. Replacing a dataset swaps the whole
+// snapshot pointer, so a compute holding one can never observe a
+// half-ingested corpus (no torn reads).
+type Snapshot struct {
+	id       string
+	revision uint64
+	repo     *materials.Repository
+	loadedAt time.Time
+}
+
+// ID returns the dataset name.
+func (s *Snapshot) ID() string { return s.id }
+
+// Revision returns the snapshot's monotonic revision (1-based per ID).
+func (s *Snapshot) Revision() uint64 { return s.revision }
+
+// Repo returns the snapshot's repository; treat it as read-only.
+func (s *Snapshot) Repo() *materials.Repository { return s.repo }
+
+// LoadedAt returns when the snapshot was registered (zero when the
+// registry was built without a clock).
+func (s *Snapshot) LoadedAt() time.Time { return s.loadedAt }
+
+// Meta summarizes the snapshot for the catalog.
+func (s *Snapshot) Meta() Meta {
+	return Meta{
+		ID:        s.id,
+		Revision:  s.revision,
+		Courses:   len(s.repo.Courses()),
+		Materials: s.repo.NumMaterials(),
+		LoadedAt:  s.loadedAt,
+	}
+}
+
+// Registry holds named, versioned datasets. Lookups return immutable
+// snapshots; Put atomically replaces a dataset's snapshot under a new
+// revision. Revision counters are per-ID, monotonic, and survive
+// Delete, so a cache key minted for any past revision can never
+// collide with a future one even if the same name is re-ingested.
+type Registry struct {
+	clock func() time.Time
+
+	mu    sync.RWMutex
+	snaps map[string]*Snapshot
+	order []string // registration order, for deterministic catalogs
+	revs  map[string]uint64
+}
+
+// NewRegistry returns a registry with the synthetic seed corpus
+// registered as DefaultID at revision 1. The clock stamps LoadedAt;
+// nil leaves timestamps zero (deterministic builds, tests).
+func NewRegistry(clock func() time.Time) *Registry {
+	if clock == nil {
+		clock = func() time.Time { return time.Time{} }
+	}
+	r := &Registry{
+		clock: clock,
+		snaps: map[string]*Snapshot{},
+		revs:  map[string]uint64{},
+	}
+	r.snaps[DefaultID] = &Snapshot{id: DefaultID, revision: 1, repo: Repository(), loadedAt: r.clock()}
+	r.order = append(r.order, DefaultID)
+	r.revs[DefaultID] = 1
+	return r
+}
+
+// Get returns the current snapshot of id.
+func (r *Registry) Get(id string) (*Snapshot, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.snaps[id]
+	return s, ok
+}
+
+// Default returns the snapshot of the default dataset (always present).
+func (r *Registry) Default() *Snapshot {
+	s, _ := r.Get(DefaultID)
+	return s
+}
+
+// Put validates courses into a fresh repository (every material tag
+// checked against CS2013/PDC12, material IDs unique) and atomically
+// registers the result as id's next revision. The previous snapshot,
+// if any, stays valid for computations already holding it.
+func (r *Registry) Put(id string, courses []*materials.Course) (*Snapshot, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	if len(courses) == 0 {
+		return nil, fmt.Errorf("dataset: dataset %q has no courses", id)
+	}
+	repo := materials.NewRepository(ontology.CS2013(), ontology.PDC12())
+	for _, c := range courses {
+		if err := repo.AddCourse(c); err != nil {
+			return nil, fmt.Errorf("dataset %q: %w", id, err)
+		}
+	}
+	ts := r.clock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rev := r.revs[id] + 1
+	r.revs[id] = rev
+	if _, exists := r.snaps[id]; !exists {
+		r.order = append(r.order, id)
+	}
+	snap := &Snapshot{id: id, revision: rev, repo: repo, loadedAt: ts}
+	r.snaps[id] = snap
+	return snap, nil
+}
+
+// Delete removes id from the registry. The default dataset is
+// protected (ErrProtected); unknown IDs return ErrNotFound. The
+// revision counter is retained so re-ingesting the same name continues
+// the sequence instead of reusing old cache keys.
+func (r *Registry) Delete(id string) error {
+	if id == DefaultID {
+		return ErrProtected
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.snaps[id]; !ok {
+		return ErrNotFound
+	}
+	delete(r.snaps, id)
+	for i, v := range r.order {
+		if v == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// List returns every registered dataset's Meta in registration order.
+func (r *Registry) List() []Meta {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Meta, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.snaps[id].Meta())
+	}
+	return out
+}
+
+// IDs returns the registered dataset names in registration order.
+func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.snaps)
+}
+
+// LoadDir registers every *.json file in dir as a dataset named after
+// the file's stem ("pdc-2024.json" becomes dataset "pdc-2024"), in
+// lexical filename order. Each file holds a Document. The first
+// invalid file aborts the load; the datasets registered before it
+// remain.
+func (r *Registry) LoadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading %s: %w", dir, err)
+	}
+	var loaded []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return loaded, fmt.Errorf("dataset: %s: %w", e.Name(), err)
+		}
+		var doc Document
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return loaded, fmt.Errorf("dataset: %s: %w", e.Name(), err)
+		}
+		id := strings.TrimSuffix(e.Name(), ".json")
+		if _, err := r.Put(id, doc.Courses); err != nil {
+			return loaded, fmt.Errorf("dataset: %s: %w", e.Name(), err)
+		}
+		loaded = append(loaded, id)
+	}
+	return loaded, nil
+}

@@ -33,8 +33,7 @@ type AgreementParams struct {
 // Validate checks the group is known; thresholds were range-checked at
 // parse time.
 func (p AgreementParams) Validate() error {
-	_, err := groupCourseIDs(p.Group)
-	return err
+	return validGroup(p.Group)
 }
 
 // CacheKey is "<group>|<threshold>".
@@ -63,7 +62,7 @@ func (Agreement) WarmParams() []engine.Params {
 
 func (Agreement) Compute(ctx context.Context, repo *materials.Repository, p engine.Params) (interface{}, error) {
 	ap := p.(AgreementParams)
-	ids, err := groupCourseIDs(ap.Group)
+	ids, err := groupCourseIDs(repo, ap.Group)
 	if err != nil {
 		return nil, err
 	}

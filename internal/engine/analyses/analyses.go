@@ -13,7 +13,6 @@ import (
 	"strings"
 
 	"csmaterials/internal/anchor"
-	"csmaterials/internal/dataset"
 	"csmaterials/internal/engine"
 	"csmaterials/internal/materials"
 	"csmaterials/internal/ontology"
@@ -37,23 +36,58 @@ func Default() (*engine.Registry, error) {
 	), nil
 }
 
-// groupCourseIDs resolves a normalized course-group name to its course
-// IDs in dataset order.
-func groupCourseIDs(group string) ([]string, error) {
+// validGroup checks a normalized group name against the paper's group
+// vocabulary. It is the parameter-validation half of group resolution:
+// membership is not resolved until Compute, when the dataset's
+// repository is in hand.
+func validGroup(group string) error {
+	switch group {
+	case "cs1", "ds", "dsalgo", "pdc", "all", "":
+		return nil
+	default:
+		return fmt.Errorf("unknown group %q", group)
+	}
+}
+
+// courseInGroup reports whether a course belongs to a normalized group.
+// The composite "dsalgo" group is the paper's DS∪Algo pool; "all" (and
+// the empty default) admit every course.
+func courseInGroup(c *materials.Course, group string) bool {
 	switch group {
 	case "cs1":
-		return dataset.CS1CourseIDs(), nil
+		return c.HasGroup(materials.GroupCS1)
 	case "ds":
-		return dataset.DSCourseIDs(), nil
+		return c.HasGroup(materials.GroupDS)
 	case "dsalgo":
-		return dataset.DSAlgoCourseIDs(), nil
+		return c.HasGroup(materials.GroupDS) || c.HasGroup(materials.GroupAlgo)
 	case "pdc":
-		return dataset.PDCCourseIDs(), nil
-	case "all", "":
-		return dataset.AllCourseIDs(), nil
-	default:
-		return nil, fmt.Errorf("unknown group %q", group)
+		return c.HasGroup(materials.GroupPDC)
+	default: // "all", "" — validated upstream
+		return true
 	}
+}
+
+// groupCourseIDs resolves a normalized course-group name to the IDs of
+// repo's member courses, in the repository's insertion order. The
+// membership is derived from course group tags rather than a hardcoded
+// roster, so the same analyses run against any ingested dataset; on the
+// seed corpus the derived lists reproduce the paper's rosters exactly.
+// A group with no members in this dataset is a 404, not an empty
+// analysis.
+func groupCourseIDs(repo *materials.Repository, group string) ([]string, error) {
+	if err := validGroup(group); err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, c := range repo.Courses() {
+		if courseInGroup(c, group) {
+			ids = append(ids, c.ID)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, engine.Errorf(404, "not_found", "no courses in group %q", group)
+	}
+	return ids, nil
 }
 
 // normGroup canonicalizes the group parameter for cache keys: groups

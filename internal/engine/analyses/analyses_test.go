@@ -9,6 +9,8 @@ import (
 	"csmaterials/internal/dataset"
 	"csmaterials/internal/engine"
 	"csmaterials/internal/engine/analyses"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
 )
 
 func defaultRegistry(t *testing.T) *engine.Registry {
@@ -182,5 +184,66 @@ func TestAgreementComputeHonoursCancellation(t *testing.T) {
 	_, err = a.Compute(ctx, dataset.Repository(), p)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled agreement compute returned %v, want context.Canceled", err)
+	}
+}
+
+// TestGroupsDerivedFromRepository pins the group rosters to the
+// repository's own course metadata: since the dataset registry made
+// analyses run over arbitrary corpora, group membership is derived
+// from each course's Group/SecondaryGroup fields — on the seed corpus
+// that derivation must reproduce the paper's exact rosters (§4.3-§4.6).
+func TestGroupsDerivedFromRepository(t *testing.T) {
+	reg := defaultRegistry(t)
+	a, _ := reg.Get("agreement")
+	repo := dataset.Repository()
+	for group, want := range map[string][]string{
+		"cs1":    dataset.CS1CourseIDs(),
+		"ds":     dataset.DSCourseIDs(),
+		"dsalgo": dataset.DSAlgoCourseIDs(),
+		"pdc":    dataset.PDCCourseIDs(),
+		"all":    dataset.AllCourseIDs(),
+	} {
+		p, err := a.Parse(url.Values{"group": []string{group}})
+		if err != nil {
+			t.Fatalf("parse group %q: %v", group, err)
+		}
+		v, err := a.Compute(context.Background(), repo, p)
+		if err != nil {
+			t.Fatalf("compute group %q: %v", group, err)
+		}
+		got := v.(*analyses.AgreementResponse).Courses
+		if len(got) != len(want) {
+			t.Fatalf("group %q roster = %v, want %v", group, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("group %q roster = %v, want %v", group, got, want)
+			}
+		}
+	}
+}
+
+// TestGroupOnEmptyCorpus: a corpus with no members of a requested
+// group is a typed 404, not a panic or an empty analysis.
+func TestGroupOnEmptyCorpus(t *testing.T) {
+	reg := defaultRegistry(t)
+	a, _ := reg.Get("agreement")
+	repo := materials.NewRepository(ontology.CS2013(), ontology.PDC12())
+	course := &materials.Course{ID: "solo", Name: "Solo", Group: materials.GroupCS1}
+	course.Materials = []*materials.Material{{
+		ID: "solo-m1", Title: "Intro", Type: materials.Lecture,
+		Tags: []string{dataset.Repository().Courses()[0].Materials[0].Tags[0]},
+	}}
+	if err := repo.AddCourse(course); err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.Parse(url.Values{"group": []string{"pdc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.Compute(context.Background(), repo, p)
+	var ee *engine.Error
+	if !errors.As(err, &ee) || ee.Status != 404 {
+		t.Fatalf("pdc over CS1-only corpus = %v, want 404 not_found", err)
 	}
 }

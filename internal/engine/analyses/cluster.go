@@ -25,8 +25,7 @@ type ClusterParams struct {
 }
 
 func (p ClusterParams) Validate() error {
-	_, err := groupCourseIDs(p.Group)
-	return err
+	return validGroup(p.Group)
 }
 
 // CacheKey is "<group>|<k>".
@@ -47,7 +46,7 @@ func (Cluster) Parse(v url.Values) (engine.Params, error) {
 
 func (Cluster) Compute(ctx context.Context, repo *materials.Repository, p engine.Params) (interface{}, error) {
 	cp := p.(ClusterParams)
-	ids, err := groupCourseIDs(cp.Group)
+	ids, err := groupCourseIDs(repo, cp.Group)
 	if err != nil {
 		return nil, err
 	}

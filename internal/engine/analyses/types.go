@@ -42,8 +42,7 @@ type TypesParams struct {
 }
 
 func (p TypesParams) Validate() error {
-	_, err := groupCourseIDs(p.Group)
-	return err
+	return validGroup(p.Group)
 }
 
 // CacheKey is "<group>|<k>".
@@ -71,7 +70,7 @@ func (Types) Parse(v url.Values) (engine.Params, error) {
 
 func (Types) Compute(ctx context.Context, repo *materials.Repository, p engine.Params) (interface{}, error) {
 	tp := p.(TypesParams)
-	ids, err := groupCourseIDs(tp.Group)
+	ids, err := groupCourseIDs(repo, tp.Group)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"net/url"
 	"sync"
 
+	"csmaterials/internal/dataset"
 	"csmaterials/internal/obs"
 )
 
@@ -19,8 +20,11 @@ const MaxBatchItems = 64
 
 // BatchItem is one requested analysis in a batch: the registered name
 // plus the same parameters the GET endpoint would take as query values.
+// Dataset selects which dataset the item computes over; empty means the
+// default dataset, so pre-datasets clients keep working unchanged.
 type BatchItem struct {
 	Analysis string            `json:"analysis"`
+	Dataset  string            `json:"dataset,omitempty"`
 	Params   map[string]string `json:"params,omitempty"`
 }
 
@@ -37,12 +41,15 @@ func (it BatchItem) Values() url.Values {
 // of Data or Error is set; Results[i] always answers Items[i], so a
 // partial failure cannot shift or reorder the rest of the batch.
 type BatchResult struct {
-	Analysis string      `json:"analysis"`
-	Key      string      `json:"key,omitempty"`
-	Cache    string      `json:"cache,omitempty"`
-	Stale    bool        `json:"stale,omitempty"`
-	Data     interface{} `json:"data,omitempty"`
-	Error    *Error      `json:"error,omitempty"`
+	Analysis string `json:"analysis"`
+	// Dataset echoes the item's dataset selector; omitted when the item
+	// did not set one, so legacy batch responses stay byte-identical.
+	Dataset string      `json:"dataset,omitempty"`
+	Key     string      `json:"key,omitempty"`
+	Cache   string      `json:"cache,omitempty"`
+	Stale   bool        `json:"stale,omitempty"`
+	Data    interface{} `json:"data,omitempty"`
+	Error   *Error      `json:"error,omitempty"`
 }
 
 // SetBatchWorkers sets the worker-pool bound for RunBatch (values < 1
@@ -113,15 +120,20 @@ func (e *Executor) RunBatch(ctx context.Context, items []BatchItem) []BatchResul
 // the ladder spans of the item itself interleave under the trace mutex
 // with the other workers', each carrying its own analysis label.
 func (e *Executor) runItem(ctx context.Context, it BatchItem) BatchResult {
+	ds := it.Dataset
+	if ds == "" {
+		ds = dataset.DefaultID
+	}
 	sp := obs.StartSpan(ctx, "batch-item")
 	sp.SetAnalysis(it.Analysis)
+	sp.SetDataset(ds)
 	defer sp.End()
-	res := BatchResult{Analysis: it.Analysis}
+	res := BatchResult{Analysis: it.Analysis, Dataset: it.Dataset}
 	if err := ctx.Err(); err != nil {
 		res.Error = AsError(err)
 		return res
 	}
-	v, out, err := e.Run(ctx, it.Analysis, it.Values())
+	v, out, err := e.RunOn(ctx, ds, it.Analysis, it.Values())
 	if err != nil {
 		res.Error = AsError(err)
 		return res

@@ -1,0 +1,161 @@
+package engine_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/engine"
+	"csmaterials/internal/engine/analyses"
+	"csmaterials/internal/resilience"
+	"csmaterials/internal/serving"
+)
+
+// benchRecorder accumulates dataset-benchmark results across b.Run
+// invocations so TestMain can emit one BENCH_datasets.json snapshot
+// after the run. testing reruns a benchmark with growing b.N; keying
+// by scenario keeps only the final (highest-N, most stable) sample.
+var benchRecorder = struct {
+	sync.Mutex
+	scenarios map[string]benchScenario
+}{scenarios: map[string]benchScenario{}}
+
+type benchScenario struct {
+	Dataset    string `json:"dataset"`
+	Mode       string `json:"mode"`
+	NsPerOp    int64  `json:"ns_per_op"`
+	Iterations int    `json:"iterations"`
+}
+
+func recordBench(dataset, mode string, b *testing.B) {
+	benchRecorder.Lock()
+	defer benchRecorder.Unlock()
+	benchRecorder.scenarios[dataset+"/"+mode] = benchScenario{
+		Dataset:    dataset,
+		Mode:       mode,
+		NsPerOp:    b.Elapsed().Nanoseconds() / int64(b.N),
+		Iterations: b.N,
+	}
+}
+
+// TestMain emits the dataset cold/warm perf snapshot when BENCH_JSON
+// names an output path (make bench sets it to BENCH_datasets.json).
+// Plain `go test` runs leave the environment untouched and write
+// nothing.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRecorder.scenarios) > 0 {
+		keys := make([]string, 0, len(benchRecorder.scenarios))
+		for k := range benchRecorder.scenarios {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := struct {
+			Benchmark string          `json:"benchmark"`
+			GoOS      string          `json:"goos"`
+			GoArch    string          `json:"goarch"`
+			CPUs      int             `json:"cpus"`
+			Scenarios []benchScenario `json:"scenarios"`
+		}{
+			Benchmark: "BenchmarkDatasetServing",
+			GoOS:      runtime.GOOS,
+			GoArch:    runtime.GOARCH,
+			CPUs:      runtime.NumCPU(),
+		}
+		for _, k := range keys {
+			out.Scenarios = append(out.Scenarios, benchRecorder.scenarios[k])
+		}
+		raw, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(raw, '\n'), 0o644)
+		}
+		if err != nil {
+			os.Stderr.WriteString("bench snapshot: " + err.Error() + "\n")
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// newDatasetExecutor wires the real analysis registry over a dataset
+// registry holding the 20-course seed corpus as "default" and a
+// 5-course subset as "alt" — the two corpora the cold/warm scenarios
+// compare.
+func newDatasetExecutor(b *testing.B) *engine.Executor {
+	b.Helper()
+	reg, err := analyses.Default()
+	if err != nil {
+		b.Fatal(err)
+	}
+	datasets := dataset.NewRegistry(nil)
+	// JSON round-trip the subset so the registry ingests fresh course
+	// objects instead of aliasing the shared seed corpus.
+	raw, err := json.Marshal(dataset.Document{Courses: dataset.Courses()[:5]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var doc dataset.Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := datasets.Put("alt", doc.Courses); err != nil {
+		b.Fatal(err)
+	}
+	return engine.NewExecutor(reg, engine.ExecutorOptions{
+		Datasets:   datasets,
+		Cache:      serving.NewCache(256),
+		Breakers:   resilience.NewBreakerSet(resilience.DefaultBreakerThreshold, time.Minute),
+		StaleServe: true,
+	})
+}
+
+// BenchmarkDatasetServing measures the dataset-scoped serving ladder
+// end to end at the executor layer: a cold agreement analysis (cache
+// invalidated each iteration, full compute) and a warm one (revision-
+// scoped cache hit) for both the full seed corpus and a small ingested
+// dataset. The cold/warm gap is the cache's value; the default/alt
+// cold gap shows how compute cost tracks corpus size.
+func BenchmarkDatasetServing(b *testing.B) {
+	for _, bc := range []struct {
+		dataset string
+		mode    string
+	}{
+		{dataset.DefaultID, "cold"},
+		{dataset.DefaultID, "warm"},
+		{"alt", "cold"},
+		{"alt", "warm"},
+	} {
+		b.Run(bc.dataset+"/"+bc.mode, func(b *testing.B) {
+			exec := newDatasetExecutor(b)
+			run := func(wantHit bool) {
+				_, out, err := exec.RunOn(context.Background(), bc.dataset, "agreement", nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if wantHit && out.Cache != "hit" {
+					b.Fatalf("warm iteration served %q, want hit", out.Cache)
+				}
+			}
+			run(false) // populate the cache (discarded for cold runs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if bc.mode == "cold" {
+					b.StopTimer()
+					exec.InvalidateDataset(bc.dataset, 0)
+					b.StartTimer()
+				}
+				run(bc.mode == "warm")
+			}
+			b.StopTimer()
+			recordBench(bc.dataset, bc.mode, b)
+		})
+	}
+}

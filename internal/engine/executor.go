@@ -3,10 +3,13 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/url"
+	"strings"
 	"sync"
 	"time"
 
+	"csmaterials/internal/dataset"
 	"csmaterials/internal/materials"
 	"csmaterials/internal/obs"
 	"csmaterials/internal/resilience"
@@ -16,15 +19,22 @@ import (
 
 // ExecutorOptions configures an Executor.
 type ExecutorOptions struct {
-	// Repo is the course repository handed to every Compute.
+	// Repo is the course repository handed to every Compute in
+	// single-repository mode. Ignored when Datasets is set.
 	Repo *materials.Repository
+	// Datasets, when non-nil, puts the executor in multi-dataset mode:
+	// every run resolves its repository through the registry, cache
+	// keys gain a "<dataset>@<revision>|" generation prefix, and
+	// breakers, stats, and fault labels partition per
+	// (dataset, analysis).
+	Datasets *dataset.Registry
 	// Cache is the result cache + singleflight group; required.
 	Cache *serving.Cache
-	// Breakers is the per-analysis circuit-breaker set; nil disables
-	// circuit breaking.
+	// Breakers is the per-(dataset, analysis) circuit-breaker set; nil
+	// disables circuit breaking.
 	Breakers *resilience.BreakerSet
 	// Faults injects chaos into compute paths under the label
-	// "compute/<name>"; nil injects nothing.
+	// "compute/<scope>"; nil injects nothing.
 	Faults *faultinject.Injector
 	// StaleServe enables the last-known-good fallback when a compute
 	// fails, times out, or is circuit-broken.
@@ -33,8 +43,15 @@ type ExecutorOptions struct {
 
 // Outcome describes how a Run was answered, for the response meta.
 type Outcome struct {
-	// Key is the full cache key, "<name>|<params.CacheKey()>".
+	// Key is the logical cache key, "<name>|<params.CacheKey()>" — the
+	// client-facing identity of the computation, identical across
+	// datasets and revisions. The physical cache key adds the
+	// "<dataset>@<revision>|" generation prefix in multi-dataset mode.
 	Key string
+	// Dataset is the dataset the computation resolved against.
+	Dataset string
+	// Revision is the dataset revision served (0 in single-repo mode).
+	Revision uint64
 	// Cache is "hit" (retained entry or shared flight), "miss" (this
 	// call computed), or "stale" (degraded last-known-good serve).
 	Cache string
@@ -42,21 +59,29 @@ type Outcome struct {
 	Stale bool
 }
 
-// analysisStats counts per-analysis executor activity.
+// analysisStats counts per-scope executor activity.
 type analysisStats struct {
 	computes    uint64
 	failures    uint64
 	staleServed uint64
+	hits        uint64
+	misses      uint64
 }
 
-// AnalysisStats is the JSON form of one analysis's executor counters.
+// AnalysisStats is the JSON form of one scope's executor counters. In
+// multi-dataset mode the map key is the scope name: the bare analysis
+// name for the default dataset, "<dataset>/<analysis>" otherwise — so
+// per-dataset serving behaviour is separable in /debug/metrics and
+// /metrics.
 type AnalysisStats struct {
 	Computes    uint64 `json:"computes"`
 	Failures    uint64 `json:"failures"`
 	StaleServed uint64 `json:"stale_served"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
 }
 
-// Stats is the executor section of /debug/metrics: per-analysis compute
+// Stats is the executor section of /debug/metrics: per-scope compute
 // accounting plus batch totals.
 type Stats struct {
 	Analyses     map[string]AnalysisStats `json:"analyses"`
@@ -68,11 +93,19 @@ type Stats struct {
 // Executor runs registered analyses through the serving ladder: fresh
 // cache → breaker-guarded singleflight compute → stale last-known-good
 // fallback. Every surface (HTTP handlers, the batch endpoint, warmup,
-// CLIs) goes through the same two entry points, so the semantics of a
+// CLIs) goes through the same entry points, so the semantics of a
 // cache key, a breaker, or a stale serve cannot diverge per caller.
+//
+// In multi-dataset mode (ExecutorOptions.Datasets) the ladder is
+// partitioned per dataset: RunOn/RunParamsOn resolve a snapshot from
+// the registry, physical cache keys carry the snapshot's revision (so
+// an ingest can never race an in-flight compute into a torn or
+// cross-revision read), and breakers/stats/fault labels are scoped
+// "<dataset>/<analysis>" for non-default datasets.
 type Executor struct {
 	reg        *Registry
 	repo       *materials.Repository
+	datasets   *dataset.Registry
 	cache      *serving.Cache
 	breakers   *resilience.BreakerSet
 	faults     *faultinject.Injector
@@ -87,13 +120,15 @@ type Executor struct {
 }
 
 // NewExecutor builds an executor over the registry. When o.Breakers is
-// set, a breaker is materialized for every registered analysis up
-// front, so readiness and metrics report the full set from the first
-// request rather than growing it lazily.
+// set, a breaker is materialized for every registered analysis (under
+// the default dataset's scope) up front, so readiness and metrics
+// report the full set from the first request rather than growing it
+// lazily; non-default dataset scopes materialize on first use.
 func NewExecutor(reg *Registry, o ExecutorOptions) *Executor {
 	e := &Executor{
 		reg:          reg,
 		repo:         o.Repo,
+		datasets:     o.Datasets,
 		cache:        o.Cache,
 		breakers:     o.Breakers,
 		faults:       o.Faults,
@@ -112,27 +147,106 @@ func NewExecutor(reg *Registry, o ExecutorOptions) *Executor {
 // Registry exposes the analysis registry.
 func (e *Executor) Registry() *Registry { return e.reg }
 
-// Repo exposes the repository analyses compute over.
-func (e *Executor) Repo() *materials.Repository { return e.repo }
+// Datasets exposes the dataset registry (nil in single-repo mode).
+func (e *Executor) Datasets() *dataset.Registry { return e.datasets }
+
+// Repo exposes the repository analyses compute over: the configured
+// single repository, or the default dataset's current snapshot in
+// multi-dataset mode.
+func (e *Executor) Repo() *materials.Repository {
+	if e.datasets != nil {
+		if snap, ok := e.datasets.Get(dataset.DefaultID); ok {
+			return snap.Repo()
+		}
+		return nil
+	}
+	return e.repo
+}
+
+// scopeName is the per-(dataset, analysis) identifier used for
+// breakers, executor stats, and fault labels. The default dataset
+// keeps the bare analysis name — unchanged from the single-dataset
+// era — so existing dashboards and envelopes stay byte-identical;
+// other datasets are "<dataset>/<analysis>" ('/' cannot occur in
+// either part).
+func scopeName(ds, name string) string {
+	if ds == dataset.DefaultID {
+		return name
+	}
+	return ds + "/" + name
+}
+
+// SplitScope is the inverse of the executor's scope naming: it splits
+// a breaker/stats key into its (dataset, analysis) parts, mapping bare
+// names to the default dataset.
+func SplitScope(scope string) (ds, analysis string) {
+	if i := strings.IndexByte(scope, '/'); i >= 0 {
+		return scope[:i], scope[i+1:]
+	}
+	return dataset.DefaultID, scope
+}
+
+// resolve maps a dataset ID to the repository and revision a run
+// computes over. Single-repo executors only know the default dataset.
+func (e *Executor) resolve(ds string) (*materials.Repository, uint64, error) {
+	if e.datasets == nil {
+		if ds != dataset.DefaultID {
+			return nil, 0, Errorf(404, "not_found", "unknown dataset %q", ds)
+		}
+		return e.repo, 0, nil
+	}
+	if err := dataset.ValidateID(ds); err != nil {
+		return nil, 0, Errorf(400, "bad_request", "%s", err.Error())
+	}
+	snap, ok := e.datasets.Get(ds)
+	if !ok {
+		return nil, 0, Errorf(404, "not_found", "unknown dataset %q", ds)
+	}
+	return snap.Repo(), snap.Revision(), nil
+}
+
+// physicalKey derives the cache/singleflight/stale key from the
+// logical key. In multi-dataset mode it is prefixed with the dataset
+// generation ("<dataset>@<revision>|"), so a re-ingested revision can
+// never collide with entries — or in-flight computes — of a previous
+// one, and invalidation can target exactly one dataset's entries.
+// Single-repo executors keep bare logical keys.
+func (e *Executor) physicalKey(ds string, rev uint64, logical string) string {
+	if e.datasets == nil {
+		return logical
+	}
+	return fmt.Sprintf("%s@%d|%s", ds, rev, logical)
+}
 
 // RetryAfter returns the wait hinted to clients rejected by name's open
-// circuit (zero without breakers).
+// circuit on the default dataset (zero without breakers).
 func (e *Executor) RetryAfter(name string) time.Duration {
+	return e.RetryAfterOn(dataset.DefaultID, name)
+}
+
+// RetryAfterOn is RetryAfter for a specific dataset's breaker.
+func (e *Executor) RetryAfterOn(ds, name string) time.Duration {
 	if e.breakers == nil {
 		return 0
 	}
-	return e.breakers.Get(name).RetryAfter()
+	return e.breakers.Get(scopeName(ds, name)).RetryAfter()
 }
 
-// Run parses values against the named analysis and executes it through
-// the ladder. Unknown names are a 404 *Error; parse and validation
-// failures are 400 *Errors unless the analysis supplied its own status.
+// Run executes the named analysis against the default dataset.
 func (e *Executor) Run(ctx context.Context, name string, values url.Values) (interface{}, Outcome, error) {
+	return e.RunOn(ctx, dataset.DefaultID, name, values)
+}
+
+// RunOn parses values against the named analysis and executes it
+// against dataset ds through the ladder. Unknown names and datasets
+// are 404 *Errors; malformed dataset IDs and parse/validation failures
+// are 400 *Errors unless the analysis supplied its own status.
+func (e *Executor) RunOn(ctx context.Context, ds, name string, values url.Values) (interface{}, Outcome, error) {
 	a, ok := e.reg.Get(name)
 	if !ok {
 		return nil, Outcome{}, Errorf(404, "not_found", "unknown analysis %q", name)
 	}
-	ctx = obs.WithAnalysis(ctx, name)
+	ctx = obs.WithAnalysis(obs.WithDataset(ctx, ds), name)
 	sp := obs.StartSpan(ctx, "parse")
 	p, err := e.ParseParams(a, values)
 	if err != nil {
@@ -140,7 +254,7 @@ func (e *Executor) Run(ctx context.Context, name string, values url.Values) (int
 		return nil, Outcome{}, err
 	}
 	sp.End()
-	return e.RunParams(ctx, a, p)
+	return e.RunParamsOn(ctx, ds, a, p)
 }
 
 // ParseParams parses and validates values for a, normalizing non-Error
@@ -164,7 +278,7 @@ func asBadRequest(err error) error {
 	return &Error{Status: 400, Code: "bad_request", Message: err.Error()}
 }
 
-// Key returns the full cache key of (a, p).
+// Key returns the logical cache key of (a, p).
 func Key(a Analysis, p Params) string {
 	if ck := p.CacheKey(); ck != "" {
 		return a.Name() + "|" + ck
@@ -172,7 +286,14 @@ func Key(a Analysis, p Params) string {
 	return a.Name()
 }
 
-// RunParams executes a with validated params through the full ladder.
+// RunParams executes a with validated params against the default
+// dataset through the full ladder.
+func (e *Executor) RunParams(ctx context.Context, a Analysis, p Params) (interface{}, Outcome, error) {
+	return e.RunParamsOn(ctx, dataset.DefaultID, a, p)
+}
+
+// RunParamsOn executes a with validated params against dataset ds
+// through the full ladder.
 //
 // The compute runs under the singleflight FLIGHT context: concurrent
 // equal requests share one computation, a departing caller cannot
@@ -181,28 +302,43 @@ func Key(a Analysis, p Params) string {
 // computes are not failures: they never trip the breaker and are never
 // cached.
 //
+// Dataset isolation: the snapshot (repository + revision) is resolved
+// once, before the ladder, and the revision is baked into the physical
+// cache key. A concurrent ingest swaps the registry's snapshot pointer
+// but cannot touch this run — it computes over its resolved snapshot
+// and stores under its resolved revision's key, which post-ingest
+// requests (holding the new revision) never read. There is no torn
+// read and no cross-revision stale serve.
+//
 // On a compute failure, timeout, or open circuit, a stale
-// last-known-good value is returned (Outcome.Stale set) when stale
-// serving is enabled and one exists, while a breaker-gated refresh
-// runs detached in the background. Otherwise the error comes back:
-// resilience.ErrOpen, context errors, an *Error from the analysis, or
-// the raw compute error.
+// last-known-good value (same dataset, same revision) is returned
+// (Outcome.Stale set) when stale serving is enabled and one exists,
+// while a breaker-gated refresh runs detached in the background.
+// Otherwise the error comes back: resilience.ErrOpen, context errors,
+// an *Error from the analysis, or the raw compute error.
 // Tracing: when ctx carries an obs.Trace, the ladder walk is recorded
 // as ordered spans — the breaker decision (breaker-allow/breaker-open),
 // the compute (compute/compute-error/compute-canceled), plus the
 // cache-level spans serving.Cache emits — all labelled with the
-// analysis name for the per-stage histograms. The guarded closure
-// records into the trace of the request that INITIATED the flight (the
-// closure only runs for that caller), never into a joiner's; the
-// detached stale refresh runs a variant bound to an untraced context,
-// so a request's trace record never grows after it is served.
-func (e *Executor) RunParams(ctx context.Context, a Analysis, p Params) (interface{}, Outcome, error) {
+// analysis name and dataset ID for the per-stage histograms. The
+// guarded closure records into the trace of the request that INITIATED
+// the flight (the closure only runs for that caller), never into a
+// joiner's; the detached stale refresh runs a variant bound to an
+// untraced context, so a request's trace record never grows after it
+// is served.
+func (e *Executor) RunParamsOn(ctx context.Context, ds string, a Analysis, p Params) (interface{}, Outcome, error) {
 	name := a.Name()
-	key := Key(a, p)
-	ctx = obs.WithAnalysis(ctx, name)
+	ctx = obs.WithAnalysis(obs.WithDataset(ctx, ds), name)
+	repo, rev, err := e.resolve(ds)
+	if err != nil {
+		return nil, Outcome{}, err
+	}
+	logical := Key(a, p)
+	key := e.physicalKey(ds, rev, logical)
+	scope := scopeName(ds, name)
 	var br *resilience.Breaker
 	if e.breakers != nil {
-		br = e.breakers.Get(name)
+		br = e.breakers.Get(scope)
 	}
 	// guardedWith binds the breaker-guarded compute to a trace context
 	// (tctx carries the span sink; fctx carries cancellation).
@@ -214,12 +350,12 @@ func (e *Executor) RunParams(ctx context.Context, a Analysis, p Params) (interfa
 				return nil, resilience.ErrOpen
 			}
 			bsp.EndAs("breaker-allow")
-			err := e.faults.ComputeError("compute/" + name)
+			err := e.faults.ComputeError("compute/" + scope)
 			var v interface{}
 			if err == nil {
 				csp := obs.StartSpan(tctx, "compute")
-				e.countCompute(name)
-				v, err = a.Compute(fctx, e.repo, p)
+				e.countCompute(scope)
+				v, err = a.Compute(fctx, repo, p)
 				switch {
 				case err == nil:
 					csp.End()
@@ -233,7 +369,7 @@ func (e *Executor) RunParams(ctx context.Context, a Analysis, p Params) (interfa
 				br.Record(!IsServerFailure(err))
 			}
 			if IsServerFailure(err) {
-				e.countFailure(name)
+				e.countFailure(scope)
 			}
 			return v, err
 		}
@@ -242,9 +378,12 @@ func (e *Executor) RunParams(ctx context.Context, a Analysis, p Params) (interfa
 
 	v, served, err := e.cache.DoCtxFn(ctx, key, guarded)
 	if err == nil {
-		out := Outcome{Key: key, Cache: "miss"}
+		out := Outcome{Key: logical, Dataset: ds, Revision: rev, Cache: "miss"}
 		if served {
 			out.Cache = "hit"
+			e.countHit(scope)
+		} else {
+			e.countMiss(scope)
 		}
 		return v, out, nil
 	}
@@ -256,24 +395,32 @@ func (e *Executor) RunParams(ctx context.Context, a Analysis, p Params) (interfa
 
 	if e.staleServe && (errors.Is(err, resilience.ErrOpen) || errors.Is(err, context.DeadlineExceeded) || IsServerFailure(err)) {
 		if sv, ok := e.cache.Stale(key); ok {
-			e.countStale(name)
+			e.countStale(scope)
 			obs.AddSpan(ctx, "stale-serve", time.Time{})
 			obs.AddSpan(ctx, "stale-refresh", time.Time{}) // detached refresh launched
 			refresh := guardedWith(context.Background())
 			go func() {
 				_, _, _ = e.cache.Do(key, func() (interface{}, error) { return refresh(context.Background()) })
 			}()
-			return sv, Outcome{Key: key, Cache: "stale", Stale: true}, nil
+			return sv, Outcome{Key: logical, Dataset: ds, Revision: rev, Cache: "stale", Stale: true}, nil
 		}
 	}
 	return nil, Outcome{}, err
 }
 
-// Warm pre-computes every registered Warmer analysis's WarmParams in
-// registration order, returning the first failure. The results land in
-// the cache under the exact keys live requests use, so the first real
-// request after readiness is a hit.
+// Warm pre-computes the default dataset's warmable analyses.
 func (e *Executor) Warm(ctx context.Context) error {
+	return e.WarmDataset(ctx, dataset.DefaultID)
+}
+
+// WarmDataset pre-computes every registered Warmer analysis's
+// WarmParams against dataset ds in registration order, returning the
+// first failure. The results land in the cache under the exact
+// (dataset, revision)-scoped keys live requests use, so the first real
+// request after readiness — or after an ingest — is a hit. Each
+// dataset's warmup budget is its own: warming one dataset never
+// touches another's entries or breakers.
+func (e *Executor) WarmDataset(ctx context.Context, ds string) error {
 	for _, name := range e.reg.Names() {
 		a, ok := e.reg.Get(name)
 		if !ok {
@@ -287,7 +434,7 @@ func (e *Executor) Warm(ctx context.Context) error {
 			if err := p.Validate(); err != nil {
 				return err
 			}
-			if _, _, err := e.RunParams(ctx, a, p); err != nil {
+			if _, _, err := e.RunParamsOn(ctx, ds, a, p); err != nil {
 				return err
 			}
 		}
@@ -295,30 +442,60 @@ func (e *Executor) Warm(ctx context.Context) error {
 	return nil
 }
 
-func (e *Executor) countCompute(name string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.statLocked(name).computes++
+// InvalidateDataset drops every cache and stale entry belonging to ds
+// except those of revision keep (pass the just-ingested revision, or 0
+// on delete to purge everything), returning the number of entries
+// dropped. Called after an ingest swaps the snapshot, it also sweeps
+// entries stored by computes that were in flight across the swap —
+// their keys carry the old revision and can never be read again. No-op
+// in single-repo mode.
+func (e *Executor) InvalidateDataset(ds string, keep uint64) int {
+	if e.datasets == nil || e.cache == nil {
+		return 0
+	}
+	prefix := ds + "@"
+	keepPrefix := fmt.Sprintf("%s@%d|", ds, keep)
+	return e.cache.Invalidate(func(key string) bool {
+		return strings.HasPrefix(key, prefix) && (keep == 0 || !strings.HasPrefix(key, keepPrefix))
+	})
 }
 
-func (e *Executor) countFailure(name string) {
+func (e *Executor) countCompute(scope string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.statLocked(name).failures++
+	e.statLocked(scope).computes++
 }
 
-func (e *Executor) countStale(name string) {
+func (e *Executor) countFailure(scope string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.statLocked(name).staleServed++
+	e.statLocked(scope).failures++
 }
 
-// statLocked returns name's counters; callers hold e.mu.
-func (e *Executor) statLocked(name string) *analysisStats {
-	s, ok := e.stats[name]
+func (e *Executor) countStale(scope string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.statLocked(scope).staleServed++
+}
+
+func (e *Executor) countHit(scope string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.statLocked(scope).hits++
+}
+
+func (e *Executor) countMiss(scope string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.statLocked(scope).misses++
+}
+
+// statLocked returns scope's counters; callers hold e.mu.
+func (e *Executor) statLocked(scope string) *analysisStats {
+	s, ok := e.stats[scope]
 	if !ok {
 		s = &analysisStats{}
-		e.stats[name] = s
+		e.stats[scope] = s
 	}
 	return s
 }
@@ -333,8 +510,14 @@ func (e *Executor) Stats() Stats {
 		BatchItems:   e.batchItems,
 		BatchWorkers: e.batchWorkers,
 	}
-	for name, s := range e.stats {
-		out.Analyses[name] = AnalysisStats{Computes: s.computes, Failures: s.failures, StaleServed: s.staleServed}
+	for scope, s := range e.stats {
+		out.Analyses[scope] = AnalysisStats{
+			Computes:    s.computes,
+			Failures:    s.failures,
+			StaleServed: s.staleServed,
+			CacheHits:   s.hits,
+			CacheMisses: s.misses,
+		}
 	}
 	return out
 }

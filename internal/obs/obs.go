@@ -44,6 +44,7 @@ type ctxKey int
 const (
 	traceKey ctxKey = iota
 	analysisKey
+	datasetKey
 )
 
 // NewContext returns ctx carrying tr.
@@ -70,16 +71,29 @@ func AnalysisFromContext(ctx context.Context) string {
 	return name
 }
 
+// WithDataset returns ctx labelled with the dataset ID; spans started
+// under it carry the label into the per-(dataset, analysis) histograms.
+func WithDataset(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, datasetKey, id)
+}
+
+// DatasetFromContext returns the dataset label carried by ctx ("" if
+// none).
+func DatasetFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(datasetKey).(string)
+	return id
+}
+
 // StartSpan appends a new span named name to the trace carried by ctx
-// and returns it; the span inherits ctx's analysis label. It returns
-// nil (safe to End/EndAs) when ctx carries no trace or the trace is
-// already finished.
+// and returns it; the span inherits ctx's analysis and dataset labels.
+// It returns nil (safe to End/EndAs) when ctx carries no trace or the
+// trace is already finished.
 func StartSpan(ctx context.Context, name string) *Span {
 	tr := FromContext(ctx)
 	if tr == nil {
 		return nil
 	}
-	return tr.startSpan(name, AnalysisFromContext(ctx))
+	return tr.startSpan(name, AnalysisFromContext(ctx), DatasetFromContext(ctx))
 }
 
 // AddSpan appends an already-completed span: started at start (or
@@ -92,7 +106,7 @@ func AddSpan(ctx context.Context, name string, start time.Time) {
 	if tr == nil {
 		return
 	}
-	tr.addSpan(name, AnalysisFromContext(ctx), start)
+	tr.addSpan(name, AnalysisFromContext(ctx), DatasetFromContext(ctx), start)
 }
 
 // Now reads the clock of the trace carried by ctx, for measuring a

@@ -64,10 +64,10 @@ func TestValidateExpositionCatchesGarbage(t *testing.T) {
 		t.Fatalf("valid exposition rejected: %v", err)
 	}
 	for _, bad := range []string{
-		"a{x=y} 1\n",        // unquoted label value
-		"a 1 2 3\n",         // trailing garbage
-		"{x=\"y\"} 1\n",     // no metric name
-		"a{x=\"y\"\n",       // unterminated
+		"a{x=y} 1\n",         // unquoted label value
+		"a 1 2 3\n",          // trailing garbage
+		"{x=\"y\"} 1\n",      // no metric name
+		"a{x=\"y\"\n",        // unterminated
 		"# TUPE a counter\n", // bad comment keyword
 	} {
 		if err := ValidateExposition(bad); err == nil {

@@ -40,7 +40,7 @@ func (tr *Trace) Label() string { return tr.label }
 func (tr *Trace) now() time.Time { return tr.clock() }
 
 // startSpan appends an open span; nil when the trace is sealed or full.
-func (tr *Trace) startSpan(name, analysis string) *Span {
+func (tr *Trace) startSpan(name, analysis, dataset string) *Span {
 	ts := tr.clock()
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
@@ -51,14 +51,14 @@ func (tr *Trace) startSpan(name, analysis string) *Span {
 		tr.dropped++
 		return nil
 	}
-	sp := &Span{tr: tr, name: name, analysis: analysis, start: ts}
+	sp := &Span{tr: tr, name: name, analysis: analysis, dataset: dataset, start: ts}
 	tr.spans = append(tr.spans, sp)
 	return sp
 }
 
 // addSpan appends a completed span ending now; zero start means
 // instantaneous.
-func (tr *Trace) addSpan(name, analysis string, start time.Time) {
+func (tr *Trace) addSpan(name, analysis, dataset string, start time.Time) {
 	end := tr.clock()
 	if start.IsZero() {
 		start = end
@@ -72,7 +72,7 @@ func (tr *Trace) addSpan(name, analysis string, start time.Time) {
 		tr.dropped++
 		return
 	}
-	tr.spans = append(tr.spans, &Span{tr: tr, name: name, analysis: analysis, start: start, end: end})
+	tr.spans = append(tr.spans, &Span{tr: tr, name: name, analysis: analysis, dataset: dataset, start: start, end: end})
 }
 
 // finish seals the trace and returns a snapshot of its completed spans
@@ -98,6 +98,7 @@ type Span struct {
 	tr       *Trace
 	name     string
 	analysis string
+	dataset  string
 	start    time.Time
 	end      time.Time
 }
@@ -138,10 +139,22 @@ func (s *Span) SetAnalysis(name string) {
 	s.tr.mu.Unlock()
 }
 
+// SetDataset overrides the span's dataset label (batch items learn
+// theirs after the span opened).
+func (s *Span) SetDataset(id string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.dataset = id
+	s.tr.mu.Unlock()
+}
+
 // SpanRecord is the JSON form of one span in a trace record.
 type SpanRecord struct {
 	Name     string  `json:"name"`
 	Analysis string  `json:"analysis,omitempty"`
+	Dataset  string  `json:"dataset,omitempty"`
 	OffsetMS float64 `json:"offset_ms"`
 	// DurationMS is the span's wall time; 0 for instantaneous marks.
 	DurationMS float64 `json:"duration_ms"`
@@ -179,6 +192,7 @@ func (tr *Trace) Record() TraceRecord {
 		sr := SpanRecord{
 			Name:     sp.name,
 			Analysis: sp.analysis,
+			Dataset:  sp.dataset,
 			OffsetMS: durMS(tr.start, sp.start),
 		}
 		if sp.end.IsZero() {

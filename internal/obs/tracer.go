@@ -22,8 +22,9 @@ var StageBucketsSeconds = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
 }
 
-// stageKey identifies one (analysis, stage) histogram series.
+// stageKey identifies one (dataset, analysis, stage) histogram series.
 type stageKey struct {
+	dataset  string
 	analysis string
 	stage    string
 }
@@ -101,7 +102,7 @@ func (t *Tracer) Finish(tr *Trace) {
 		if sp.end.IsZero() {
 			continue // still open; nothing meaningful to aggregate
 		}
-		t.observeLocked(sp.analysis, sp.name, sp.end.Sub(sp.start).Seconds())
+		t.observeLocked(sp.dataset, sp.analysis, sp.name, sp.end.Sub(sp.start).Seconds())
 	}
 	if len(t.ring) >= t.capacity {
 		oldest := t.ring[0]
@@ -112,10 +113,10 @@ func (t *Tracer) Finish(tr *Trace) {
 	t.byID[tr.id] = tr
 }
 
-// observeLocked folds one duration into the (analysis, stage)
+// observeLocked folds one duration into the (dataset, analysis, stage)
 // histogram; callers hold t.mu.
-func (t *Tracer) observeLocked(analysis, stage string, seconds float64) {
-	k := stageKey{analysis: analysis, stage: stage}
+func (t *Tracer) observeLocked(dataset, analysis, stage string, seconds float64) {
+	k := stageKey{dataset: dataset, analysis: analysis, stage: stage}
 	h, ok := t.stages[k]
 	if !ok {
 		h = &stageHist{buckets: make([]uint64, len(StageBucketsSeconds)+1)}
@@ -150,10 +151,12 @@ func (t *Tracer) IDs() []string {
 	return out
 }
 
-// StageExport is one (analysis, stage) histogram series, cumulative in
-// neither direction: Buckets[i] counts observations in bucket i
-// (bounds StageBucketsSeconds; the final entry is +Inf).
+// StageExport is one (dataset, analysis, stage) histogram series,
+// cumulative in neither direction: Buckets[i] counts observations in
+// bucket i (bounds StageBucketsSeconds; the final entry is +Inf).
+// Dataset is "" for spans recorded outside any dataset scope.
 type StageExport struct {
+	Dataset    string
 	Analysis   string
 	Stage      string
 	Buckets    []uint64
@@ -162,7 +165,7 @@ type StageExport struct {
 }
 
 // StageSnapshot returns every stage histogram, sorted by (analysis,
-// stage) for deterministic exposition.
+// dataset, stage) for deterministic exposition.
 func (t *Tracer) StageSnapshot() []StageExport {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -171,6 +174,7 @@ func (t *Tracer) StageSnapshot() []StageExport {
 		buckets := make([]uint64, len(h.buckets))
 		copy(buckets, h.buckets)
 		out = append(out, StageExport{
+			Dataset:    k.dataset,
 			Analysis:   k.analysis,
 			Stage:      k.stage,
 			Buckets:    buckets,
@@ -181,6 +185,9 @@ func (t *Tracer) StageSnapshot() []StageExport {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Analysis != out[j].Analysis {
 			return out[i].Analysis < out[j].Analysis
+		}
+		if out[i].Dataset != out[j].Dataset {
+			return out[i].Dataset < out[j].Dataset
 		}
 		return out[i].Stage < out[j].Stage
 	})

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"csmaterials/internal/dataset"
+)
+
+// Dataset lifecycle endpoints: the catalog (GET /api/v1/datasets),
+// per-dataset metadata (GET /api/v1/datasets/{ds}), live ingest
+// (PUT /api/v1/datasets/{ds}), and deletion
+// (DELETE /api/v1/datasets/{ds}). Ingest is a full-document replace:
+// the body is the same {"courses": [...]} document
+// materials.Repository.SaveJSON writes and -data-dir loads, validated
+// in full (every tag against CS2013/PDC12, material IDs globally
+// unique) before the registry's snapshot pointer swaps. Requests
+// in flight across the swap finish against the snapshot they resolved;
+// the old revision's cache entries are precisely invalidated, touching
+// no other dataset.
+
+// MaxDatasetBody bounds a PUT /api/v1/datasets/{ds} body.
+const MaxDatasetBody = 4 << 20
+
+// IngestMeta is the meta block of PUT /api/v1/datasets/{ds} responses.
+type IngestMeta struct {
+	// Invalidated counts the cache entries (fresh + stale) of the
+	// dataset's previous revisions dropped by this ingest.
+	Invalidated int `json:"invalidated"`
+}
+
+// DatasetDeleted is the DELETE /api/v1/datasets/{ds} data payload.
+type DatasetDeleted struct {
+	ID string `json:"id"`
+	// Invalidated counts the dataset's cache entries (fresh + stale)
+	// dropped with it.
+	Invalidated int `json:"invalidated"`
+}
+
+// handleDatasetList serves the paginated dataset catalog in
+// registration order (the default dataset is always first).
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	limit, offset, err := parsePage(r, 20)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	metas := s.datasets.List()
+	lo, hi := pageBounds(len(metas), limit, offset)
+	writeData(w, http.StatusOK, metas[lo:hi], ListMeta{Total: len(metas), Limit: limit, Offset: offset})
+}
+
+// handleDatasetGet serves one dataset's metadata.
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w, r)
+	if snap == nil {
+		return
+	}
+	writeData(w, http.StatusOK, snap.Meta(), nil)
+}
+
+// handleDatasetPut ingests (or replaces) a named dataset. The document
+// is validated in full before anything is published; a failed ingest
+// leaves the previous revision serving. On success the new snapshot is
+// live for every subsequent request, the previous revisions' cache
+// entries are dropped (including any stored by computes that were in
+// flight across the swap — their keys carry old revisions and are
+// unreachable), and the dataset's warmup re-runs in the background.
+func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("ds")
+	var doc dataset.Document
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxDatasetBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad dataset document: %v", err)
+		return
+	}
+	snap, err := s.datasets.Put(id, doc.Courses)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	invalidated := s.exec.InvalidateDataset(id, snap.Revision())
+	if s.noWarmup {
+		s.setDatasetState(id, DatasetReady{Status: "ready"})
+	} else {
+		s.setDatasetState(id, DatasetReady{Status: "warming"})
+		go func() { _ = s.warmDataset(id) }()
+	}
+	writeData(w, http.StatusOK, snap.Meta(), IngestMeta{Invalidated: invalidated})
+}
+
+// handleDatasetDelete removes a dataset and every trace of its serving
+// state: cache entries (all revisions), search index, and readiness
+// entry. The default dataset is protected (409 dataset_protected); its
+// revision counter — like every deleted dataset's — survives, so a
+// re-ingest under the same name can never resurrect old cache entries.
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("ds")
+	if err := s.datasets.Delete(id); err != nil {
+		switch {
+		case errors.Is(err, dataset.ErrProtected):
+			writeError(w, http.StatusConflict, "dataset_protected", "%v", err)
+		case errors.Is(err, dataset.ErrNotFound):
+			writeError(w, http.StatusNotFound, "not_found", "unknown dataset %q", id)
+		default:
+			writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		}
+		return
+	}
+	invalidated := s.exec.InvalidateDataset(id, 0)
+	s.dropSearcher(id)
+	s.dropDatasetState(id)
+	writeData(w, http.StatusOK, DatasetDeleted{ID: id, Invalidated: invalidated}, nil)
+}

@@ -36,6 +36,7 @@ func TestAPIDocsCoverRegistry(t *testing.T) {
 	// Fixed (non-registry) routes the doc must cover.
 	for _, route := range []string{
 		"/api/v1/courses", "/api/v1/search", "/api/v1/batch",
+		"/api/v1/datasets", "/api/v1/datasets/{id}",
 		"/healthz", "/readyz", "/metrics", "/debug/metrics", "/debug/trace",
 	} {
 		if !strings.Contains(doc, route) {
@@ -43,9 +44,19 @@ func TestAPIDocsCoverRegistry(t *testing.T) {
 		}
 	}
 
+	// Every route family that exists un-scoped also exists under
+	// /api/v1/datasets/{id}/; the doc must cover each scoped family —
+	// the fixed query families and every registered analysis.
+	scoped := append([]string{"courses", "search", "figures"}, names...)
+	for _, fam := range scoped {
+		if !strings.Contains(doc, "/api/v1/datasets/{id}/"+fam) {
+			t.Errorf("docs/api.md does not document the dataset-scoped route family /api/v1/datasets/{id}/%s", fam)
+		}
+	}
+
 	// Reverse direction: every /api/v1/<segment> the doc mentions must
 	// be a real route — a registered analysis or a fixed endpoint.
-	known := map[string]bool{"courses": true, "search": true, "figures": true, "batch": true}
+	known := map[string]bool{"courses": true, "search": true, "figures": true, "batch": true, "datasets": true}
 	for _, name := range names {
 		known[name] = true
 	}

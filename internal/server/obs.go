@@ -43,10 +43,17 @@ func (s *Server) logWideEvent(route string, r *http.Request, sw *serving.StatusW
 		status = http.StatusOK
 	}
 	spans := make([]map[string]interface{}, 0, len(rec.Spans))
+	var eventDataset string
 	for _, sp := range rec.Spans {
 		m := map[string]interface{}{"name": sp.Name, "ms": sp.DurationMS}
 		if sp.Analysis != "" {
 			m["analysis"] = sp.Analysis
+		}
+		if sp.Dataset != "" {
+			m["dataset"] = sp.Dataset
+			if eventDataset == "" {
+				eventDataset = sp.Dataset
+			}
 		}
 		spans = append(spans, m)
 	}
@@ -59,6 +66,9 @@ func (s *Server) logWideEvent(route string, r *http.Request, sw *serving.StatusW
 		"bytes":  sw.Bytes,
 		"dur_ms": rec.DurationMS,
 		"spans":  spans,
+	}
+	if eventDataset != "" {
+		fields["dataset"] = eventDataset
 	}
 	if r.URL.RawQuery != "" {
 		fields["query"] = r.URL.RawQuery

@@ -171,7 +171,13 @@ func TestPromExposition(t *testing.T) {
 		"# TYPE csm_shed_admitted_total counter",
 		"# TYPE csm_breaker_state gauge",
 		"# TYPE csm_analysis_computes_total counter",
+		"# TYPE csm_analysis_cache_hits_total counter",
+		"# TYPE csm_analysis_cache_misses_total counter",
 		"# TYPE csm_batch_calls_total counter",
+		"# TYPE csm_datasets gauge",
+		"# TYPE csm_dataset_revision gauge",
+		"# TYPE csm_dataset_courses gauge",
+		"# TYPE csm_dataset_materials gauge",
 		"# TYPE csm_stage_duration_seconds histogram",
 		"# TYPE csm_traces_total counter",
 		"# TYPE csm_trace_ring_size gauge",
@@ -182,16 +188,21 @@ func TestPromExposition(t *testing.T) {
 		}
 	}
 
-	// The per-stage histogram series carry (analysis, stage) labels and
-	// cumulative buckets ending in +Inf.
+	// The per-stage histogram series carry (analysis, dataset, stage)
+	// labels and cumulative buckets ending in +Inf; un-scoped requests
+	// land on the default dataset.
 	for _, series := range []string{
-		`csm_stage_duration_seconds_bucket{analysis="types",stage="compute",le="+Inf"}`,
-		`csm_stage_duration_seconds_bucket{analysis="types",stage="cache-hit",le="+Inf"}`,
-		`csm_stage_duration_seconds_sum{analysis="types",stage="compute"}`,
-		`csm_stage_duration_seconds_count{analysis="types",stage="compute"}`,
+		`csm_stage_duration_seconds_bucket{analysis="types",dataset="default",stage="compute",le="+Inf"}`,
+		`csm_stage_duration_seconds_bucket{analysis="types",dataset="default",stage="cache-hit",le="+Inf"}`,
+		`csm_stage_duration_seconds_sum{analysis="types",dataset="default",stage="compute"}`,
+		`csm_stage_duration_seconds_count{analysis="types",dataset="default",stage="compute"}`,
 		`csm_http_requests_total{route="GET /api/v1/types",status="200"} 2`,
-		`csm_breaker_state{analysis="types"} 0`,
-		`csm_analysis_computes_total{analysis="types"} 1`,
+		`csm_breaker_state{analysis="types",dataset="default"} 0`,
+		`csm_analysis_computes_total{analysis="types",dataset="default"} 1`,
+		`csm_analysis_cache_hits_total{analysis="types",dataset="default"} 1`,
+		`csm_analysis_cache_misses_total{analysis="types",dataset="default"} 1`,
+		`csm_datasets 1`,
+		`csm_dataset_revision{dataset="default"} 1`,
 		`csm_cache_hits_total 1`,
 		`csm_cache_misses_total 1`,
 	} {

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/engine"
 	"csmaterials/internal/obs"
 	"csmaterials/internal/resilience"
 	"csmaterials/internal/serving"
@@ -87,15 +89,15 @@ func (s *Server) promFamilies() []obs.Family {
 			names = append(names, name)
 		}
 		sort.Strings(names)
-		state := obs.Family{Name: "csm_breaker_state", Help: "Circuit state per analysis: 0 closed, 1 half-open, 2 open.", Type: obs.Gauge}
+		state := obs.Family{Name: "csm_breaker_state", Help: "Circuit state per (dataset, analysis): 0 closed, 1 half-open, 2 open.", Type: obs.Gauge}
 		var succ, fail, rej, opens obs.Family
-		succ = obs.Family{Name: "csm_breaker_successes_total", Help: "Recorded successes per analysis breaker.", Type: obs.Counter}
-		fail = obs.Family{Name: "csm_breaker_failures_total", Help: "Recorded failures per analysis breaker.", Type: obs.Counter}
-		rej = obs.Family{Name: "csm_breaker_rejected_total", Help: "Requests rejected by an open circuit per analysis.", Type: obs.Counter}
-		opens = obs.Family{Name: "csm_breaker_opens_total", Help: "Times each analysis circuit opened.", Type: obs.Counter}
+		succ = obs.Family{Name: "csm_breaker_successes_total", Help: "Recorded successes per (dataset, analysis) breaker.", Type: obs.Counter}
+		fail = obs.Family{Name: "csm_breaker_failures_total", Help: "Recorded failures per (dataset, analysis) breaker.", Type: obs.Counter}
+		rej = obs.Family{Name: "csm_breaker_rejected_total", Help: "Requests rejected by an open circuit per (dataset, analysis).", Type: obs.Counter}
+		opens = obs.Family{Name: "csm_breaker_opens_total", Help: "Times each (dataset, analysis) circuit opened.", Type: obs.Counter}
 		for _, name := range names {
 			b := bs[name]
-			l := []obs.Label{{Name: "analysis", Value: name}}
+			l := scopeLabels(name)
 			state.Samples = append(state.Samples, obs.Sample{Labels: l, Value: breakerStateValue(b.State)})
 			succ.Samples = append(succ.Samples, obs.Sample{Labels: l, Value: float64(b.Successes)})
 			fail.Samples = append(fail.Samples, obs.Sample{Labels: l, Value: float64(b.Failures)})
@@ -105,33 +107,62 @@ func (s *Server) promFamilies() []obs.Family {
 		fams = append(fams, state, succ, fail, rej, opens)
 	}
 
-	// Engine executor: per-analysis compute accounting + batch totals.
+	// Engine executor: per-(dataset, analysis) compute accounting +
+	// batch totals. Scope keys sort before splitting, so the sample
+	// order is deterministic even though it is not label-lexicographic.
 	es := s.exec.Stats()
 	names := make([]string, 0, len(es.Analyses))
 	for name := range es.Analyses {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	computes := obs.Family{Name: "csm_analysis_computes_total", Help: "Computes started per analysis.", Type: obs.Counter}
-	failures := obs.Family{Name: "csm_analysis_failures_total", Help: "Compute failures per analysis.", Type: obs.Counter}
-	stale := obs.Family{Name: "csm_analysis_stale_served_total", Help: "Stale serves per analysis.", Type: obs.Counter}
+	computes := obs.Family{Name: "csm_analysis_computes_total", Help: "Computes started per (dataset, analysis).", Type: obs.Counter}
+	failures := obs.Family{Name: "csm_analysis_failures_total", Help: "Compute failures per (dataset, analysis).", Type: obs.Counter}
+	stale := obs.Family{Name: "csm_analysis_stale_served_total", Help: "Stale serves per (dataset, analysis).", Type: obs.Counter}
+	hits := obs.Family{Name: "csm_analysis_cache_hits_total", Help: "Requests served from cache or a shared flight per (dataset, analysis).", Type: obs.Counter}
+	misses := obs.Family{Name: "csm_analysis_cache_misses_total", Help: "Requests that computed per (dataset, analysis).", Type: obs.Counter}
 	for _, name := range names {
 		a := es.Analyses[name]
-		l := []obs.Label{{Name: "analysis", Value: name}}
+		l := scopeLabels(name)
 		computes.Samples = append(computes.Samples, obs.Sample{Labels: l, Value: float64(a.Computes)})
 		failures.Samples = append(failures.Samples, obs.Sample{Labels: l, Value: float64(a.Failures)})
 		stale.Samples = append(stale.Samples, obs.Sample{Labels: l, Value: float64(a.StaleServed)})
+		hits.Samples = append(hits.Samples, obs.Sample{Labels: l, Value: float64(a.CacheHits)})
+		misses.Samples = append(misses.Samples, obs.Sample{Labels: l, Value: float64(a.CacheMisses)})
 	}
-	fams = append(fams, computes, failures, stale,
+	fams = append(fams, computes, failures, stale, hits, misses,
 		counterFam("csm_batch_calls_total", "Batch requests served.", es.BatchCalls),
 		counterFam("csm_batch_items_total", "Batch items executed.", es.BatchItems),
 		gaugeFam("csm_batch_workers", "Configured batch worker-pool size.", float64(es.BatchWorkers)),
 	)
 
-	// Tracing: per-(analysis, stage) latency histograms + ring counters.
-	stageFam := obs.Family{Name: "csm_stage_duration_seconds", Help: "Ladder stage latency from request traces, by analysis and stage.", Type: obs.Histogram}
+	// Dataset registry: one gauge set per registered dataset.
+	metas := s.datasets.List()
+	dsRev := obs.Family{Name: "csm_dataset_revision", Help: "Current revision per dataset.", Type: obs.Gauge}
+	dsCourses := obs.Family{Name: "csm_dataset_courses", Help: "Courses per dataset.", Type: obs.Gauge}
+	dsMaterials := obs.Family{Name: "csm_dataset_materials", Help: "Materials per dataset.", Type: obs.Gauge}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].ID < metas[j].ID })
+	for _, m := range metas {
+		l := []obs.Label{{Name: "dataset", Value: m.ID}}
+		dsRev.Samples = append(dsRev.Samples, obs.Sample{Labels: l, Value: float64(m.Revision)})
+		dsCourses.Samples = append(dsCourses.Samples, obs.Sample{Labels: l, Value: float64(m.Courses)})
+		dsMaterials.Samples = append(dsMaterials.Samples, obs.Sample{Labels: l, Value: float64(m.Materials)})
+	}
+	fams = append(fams,
+		gaugeFam("csm_datasets", "Registered datasets.", float64(len(metas))),
+		dsRev, dsCourses, dsMaterials,
+	)
+
+	// Tracing: per-(dataset, analysis, stage) latency histograms + ring
+	// counters. Spans recorded outside any dataset scope fall back to
+	// the default dataset label.
+	stageFam := obs.Family{Name: "csm_stage_duration_seconds", Help: "Ladder stage latency from request traces, by dataset, analysis, and stage.", Type: obs.Histogram}
 	for _, st := range s.tracer.StageSnapshot() {
-		labels := []obs.Label{{Name: "analysis", Value: st.Analysis}, {Name: "stage", Value: st.Stage}}
+		ds := st.Dataset
+		if ds == "" {
+			ds = dataset.DefaultID
+		}
+		labels := []obs.Label{{Name: "analysis", Value: st.Analysis}, {Name: "dataset", Value: ds}, {Name: "stage", Value: st.Stage}}
 		stageFam.Samples = append(stageFam.Samples, obs.HistogramSamples(
 			labels, obs.StageBucketsSeconds, st.Buckets, st.SumSeconds, st.Count)...)
 	}
@@ -143,6 +174,14 @@ func (s *Server) promFamilies() []obs.Family {
 		counterFam("csm_log_dropped_total", "Wide-event log lines lost to encode/write failures.", s.events.Drops()),
 	)
 	return fams
+}
+
+// scopeLabels expands an executor/breaker scope name into its
+// {analysis, dataset} label pair (alphabetical label order, per the
+// exposition's stable-shape contract).
+func scopeLabels(scope string) []obs.Label {
+	ds, analysis := engine.SplitScope(scope)
+	return []obs.Label{{Name: "analysis", Value: analysis}, {Name: "dataset", Value: ds}}
 }
 
 func breakerStateValue(state string) float64 {

@@ -18,14 +18,26 @@
 // internal/engine/analyses. Routes, warmup, readiness, and metrics all
 // iterate the registry.
 //
+// The API is multi-dataset: named, versioned datasets live in an
+// internal/dataset.Registry — the synthetic seed corpus is dataset
+// "default", more load from -data-dir at startup or arrive live via
+// PUT /api/v1/datasets/{id}. GET /api/v1/datasets is the catalog, and
+// every query/analysis route exists in a dataset-scoped form under
+// /api/v1/datasets/{id}/...; the original un-scoped routes are
+// permanent aliases for the default dataset and keep their exact
+// response shapes. Caches, breakers, and stats partition per
+// (dataset, analysis), so one dataset's failures or ingests never
+// disturb another's serving behaviour.
+//
 // POST /api/v1/batch executes many analyses in one request on a
 // bounded worker pool with per-item cache/singleflight/breaker
 // semantics and per-item error envelopes, in deterministic input
-// order. GET /readyz is the readiness probe (distinct from the
-// /healthz liveness probe): it stays 503 until the dataset is loaded
-// and every warmable analysis has been pre-computed, and always
-// reports breaker states. Per-route metrics are served at
-// GET /debug/metrics. Built on net/http only.
+// order; items may target any dataset. GET /readyz is the readiness
+// probe (distinct from the /healthz liveness probe): it stays 503
+// until the default dataset is loaded and every warmable analysis has
+// been pre-computed, and reports per-dataset warmup state and breaker
+// states. Per-route metrics are served at GET /debug/metrics. Built on
+// net/http only.
 package server
 
 import (
@@ -101,22 +113,29 @@ type Options struct {
 	// wide-event access log). Nil disables wide events; the plain
 	// Logger access log is used instead when it is set.
 	Events *obs.Logger
+	// DataDir, when non-empty, is a directory of *.json dataset
+	// documents ({"courses": [...]}) registered at startup, each named
+	// after its file stem. An invalid file fails construction.
+	DataDir string
 
 	// disableWarmup skips the background readiness warmup so tests can
-	// drive the /readyz transition deterministically.
+	// drive the /readyz transition deterministically; PUT ingests then
+	// mark their dataset ready without warming.
 	disableWarmup bool
 }
 
-// Server holds the shared read-only state behind the handlers.
+// Server holds the shared state behind the handlers. Dataset snapshots
+// are immutable; the registry swaps pointers, so handlers resolve a
+// snapshot once per request and work over a consistent corpus.
 type Server struct {
-	repo     *materials.Repository
-	searcher *search.Engine
+	datasets *dataset.Registry
 	exec     *engine.Executor
 	mux      *http.ServeMux
 	handler  http.Handler
 	cache    *serving.Cache
 	metrics  *serving.Metrics
 	logger   *log.Logger
+	noWarmup bool
 
 	shedder  *resilience.Shedder
 	breakers *resilience.BreakerSet // nil when circuit breaking is disabled
@@ -125,9 +144,21 @@ type Server struct {
 	tracer *obs.Tracer
 	events *obs.Logger // nil disables wide-event logging
 
+	// searchers caches one search index per dataset revision, built
+	// lazily on first search and invalidated by revision mismatch.
+	searcherMu sync.Mutex
+	searchers  map[string]searcherEntry
+
 	readyMu  sync.Mutex
-	ready    bool
-	readyErr error
+	ready    bool  // default dataset warmed (gates /readyz)
+	readyErr error // default dataset warmup failure
+	dsState  map[string]DatasetReady
+}
+
+// searcherEntry pins a search index to the dataset revision it indexed.
+type searcherEntry struct {
+	rev uint64
+	eng *search.Engine
 }
 
 // New builds a server over the synthesized dataset with defaults.
@@ -150,16 +181,26 @@ func NewWithOptions(o Options) (*Server, error) {
 		maxInFlight = 0 // shedder treats 0 as unlimited
 	}
 	s := &Server{
-		repo:     dataset.Repository(),
-		searcher: search.NewEngine(dataset.Repository()),
-		mux:      http.NewServeMux(),
-		cache:    serving.NewCache(size),
-		metrics:  serving.NewMetrics(),
-		logger:   o.Logger,
-		shedder:  resilience.NewShedder(maxInFlight, 0),
-		faults:   o.Faults,
-		tracer:   o.Tracer,
-		events:   o.Events,
+		datasets:  dataset.NewRegistry(time.Now),
+		mux:       http.NewServeMux(),
+		cache:     serving.NewCache(size),
+		metrics:   serving.NewMetrics(),
+		logger:    o.Logger,
+		noWarmup:  o.disableWarmup,
+		shedder:   resilience.NewShedder(maxInFlight, 0),
+		faults:    o.Faults,
+		tracer:    o.Tracer,
+		events:    o.Events,
+		searchers: map[string]searcherEntry{},
+		dsState:   map[string]DatasetReady{},
+	}
+	if o.DataDir != "" {
+		if _, err := s.datasets.LoadDir(o.DataDir); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range s.datasets.IDs() {
+		s.dsState[id] = DatasetReady{Status: "starting"}
 	}
 	if s.tracer == nil {
 		s.tracer = obs.NewTracer(DefaultTraceBuffer, nil)
@@ -168,7 +209,7 @@ func NewWithOptions(o Options) (*Server, error) {
 		s.breakers = resilience.NewBreakerSet(o.BreakerThreshold, o.BreakerCooldown)
 	}
 	s.exec = engine.NewExecutor(reg, engine.ExecutorOptions{
-		Repo:       s.repo,
+		Datasets:   s.datasets,
 		Cache:      s.cache,
 		Breakers:   s.breakers,
 		Faults:     o.Faults,
@@ -208,6 +249,9 @@ func (s *Server) Cache() *serving.Cache { return s.cache }
 // tooling; fakes install via Engine().Registry().Replace).
 func (s *Server) Engine() *engine.Executor { return s.exec }
 
+// Datasets exposes the dataset registry (for cmd/serve and tests).
+func (s *Server) Datasets() *dataset.Registry { return s.datasets }
+
 // Tracer exposes the request tracer (for cmd/serve and tests).
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
@@ -217,24 +261,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 func (s *Server) routes() {
 	s.handle("GET /healthz", http.HandlerFunc(s.handleHealth))
 	s.handle("GET /readyz", http.HandlerFunc(s.handleReady))
-	s.handleAPI("GET /api/v1/courses", http.HandlerFunc(s.handleCourses))
-	s.handleAPI("GET /api/v1/courses/{id}", http.HandlerFunc(s.handleCourse))
-	s.handleAPI("GET /api/v1/courses/{id}/{view}", http.HandlerFunc(s.handleCourseView))
-	s.handleAPI("GET /api/v1/search", http.HandlerFunc(s.handleSearch))
-	s.handleAPI("GET /api/v1/figures/{id}", http.HandlerFunc(s.handleFigure))
-	s.handleAPI("POST /api/v1/batch", http.HandlerFunc(s.handleBatch))
-	// Every registered analysis is a GET route by name; the handler is
-	// one generic dispatch, so the route set IS the registry.
-	for _, name := range s.exec.Registry().Names() {
-		name := name
-		s.handleAPI("GET /api/v1/"+name, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			v, meta, ok := s.runAnalysis(w, r, name, r.URL.Query())
-			if !ok {
-				return
-			}
-			writeData(w, http.StatusOK, v, meta)
-		}))
+	// The un-scoped query and analysis routes are permanent aliases for
+	// the default dataset; each family also exists dataset-scoped under
+	// /api/v1/datasets/{ds}/... (the {ds} path value is what routes the
+	// handler to a snapshot — both registrations share one handler).
+	for _, prefix := range []string{"/api/v1/", "/api/v1/datasets/{ds}/"} {
+		s.handleAPI("GET "+prefix+"courses", http.HandlerFunc(s.handleCourses))
+		s.handleAPI("GET "+prefix+"courses/{id}", http.HandlerFunc(s.handleCourse))
+		s.handleAPI("GET "+prefix+"courses/{id}/{view}", http.HandlerFunc(s.handleCourseView))
+		s.handleAPI("GET "+prefix+"search", http.HandlerFunc(s.handleSearch))
+		s.handleAPI("GET "+prefix+"figures/{id}", http.HandlerFunc(s.handleFigure))
+		// Every registered analysis is a GET route by name; the handler
+		// is one generic dispatch, so the route set IS the registry.
+		for _, name := range s.exec.Registry().Names() {
+			name := name
+			s.handleAPI("GET "+prefix+name, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				s.handleAnalysis(w, r, name, r.URL.Query())
+			}))
+		}
 	}
+	s.handleAPI("POST /api/v1/batch", http.HandlerFunc(s.handleBatch))
+	s.handleAPI("GET /api/v1/datasets", http.HandlerFunc(s.handleDatasetList))
+	s.handleAPI("GET /api/v1/datasets/{ds}", http.HandlerFunc(s.handleDatasetGet))
+	s.handleAPI("PUT /api/v1/datasets/{ds}", http.HandlerFunc(s.handleDatasetPut))
+	s.handleAPI("DELETE /api/v1/datasets/{ds}", http.HandlerFunc(s.handleDatasetDelete))
 	s.handle("GET /debug/metrics", s.metrics.Handler())
 	s.handle("GET /metrics", http.HandlerFunc(s.handleProm))
 	s.handle("GET /debug/trace", http.HandlerFunc(s.handleTraceList))
@@ -267,27 +317,25 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUnmatched(w http.ResponseWriter, r *http.Request) {
-	// The query API is GET-only (batch is the POST exception): if the
-	// path matches a real route under another method, the original
-	// method was the problem. The method-less legacy "/api/" catch-all
-	// does not count as a real route here.
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+	// If the path matches a real route under some other method, the
+	// original method was the problem: answer 405 listing the allowed
+	// methods. The method-less legacy "/api/" catch-all does not count
+	// as a real route here. HEAD rides along with GET, per net/http.
+	var allowed []string
+	for _, m := range []string{http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete} {
+		if m == r.Method || (m == http.MethodGet && r.Method == http.MethodHead) {
+			continue
+		}
 		probe := r.Clone(r.Context())
-		probe.Method = http.MethodGet
+		probe.Method = m
 		if _, pattern := s.mux.Handler(probe); pattern != "" && pattern != "/api/" {
-			w.Header().Set("Allow", http.MethodGet)
-			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "method %s not allowed", r.Method)
-			return
+			allowed = append(allowed, m)
 		}
 	}
-	if r.Method == http.MethodGet || r.Method == http.MethodHead {
-		probe := r.Clone(r.Context())
-		probe.Method = http.MethodPost
-		if _, pattern := s.mux.Handler(probe); pattern != "" && pattern != "/api/" {
-			w.Header().Set("Allow", http.MethodPost)
-			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "method %s not allowed", r.Method)
-			return
-		}
+	if len(allowed) > 0 {
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "method %s not allowed", r.Method)
+		return
 	}
 	writeError(w, http.StatusNotFound, "not_found", "no such endpoint %s", r.URL.Path)
 }
@@ -337,6 +385,19 @@ type CacheMeta struct {
 	Stale bool `json:"stale,omitempty"`
 }
 
+// DatasetCacheMeta is CacheMeta plus dataset identity — the meta block
+// of dataset-scoped analysis endpoints. The un-scoped aliases keep the
+// plain CacheMeta so their envelopes stay byte-identical to the
+// pre-datasets API.
+type DatasetCacheMeta struct {
+	CacheMeta
+	// Dataset is the dataset the analysis computed over.
+	Dataset string `json:"dataset"`
+	// Revision is the dataset revision served; a re-ingest bumps it, so
+	// clients can correlate responses with the corpus they saw.
+	Revision uint64 `json:"revision"`
+}
+
 // BatchMeta is the meta block of POST /api/v1/batch responses.
 type BatchMeta struct {
 	Items   int `json:"items"`
@@ -366,27 +427,38 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 
 // --- Generic analysis dispatch -------------------------------------------
 
-// runAnalysis executes a registered analysis through the engine's
-// serving ladder and maps the outcome to HTTP. It returns (value, meta,
-// true) when the caller should write the value; on false the error
-// response has already been written (or, for a disconnected client,
-// suppressed).
-func (s *Server) runAnalysis(w http.ResponseWriter, r *http.Request, name string, values url.Values) (interface{}, CacheMeta, bool) {
-	v, out, err := s.exec.Run(r.Context(), name, values)
+// requestDataset resolves which dataset a request targets: the {ds}
+// path value on scoped routes, the default dataset on the un-scoped
+// aliases. scoped reports which family the route belongs to (scoped
+// routes carry dataset identity in their meta block).
+func requestDataset(r *http.Request) (ds string, scoped bool) {
+	if ds = r.PathValue("ds"); ds != "" {
+		return ds, true
+	}
+	return dataset.DefaultID, false
+}
+
+// execAnalysis executes a registered analysis against ds through the
+// engine's serving ladder and maps errors to HTTP. It returns (value,
+// outcome, true) when the caller should write the value; on false the
+// error response has already been written (or, for a disconnected
+// client, suppressed).
+func (s *Server) execAnalysis(w http.ResponseWriter, r *http.Request, ds, name string, values url.Values) (interface{}, engine.Outcome, bool) {
+	v, out, err := s.exec.RunOn(r.Context(), ds, name, values)
 	if err == nil {
 		if out.Stale {
 			w.Header().Set("X-Served-Stale", "true")
 		}
-		return v, CacheMeta{Cache: out.Cache, Key: out.Key, Stale: out.Stale}, true
+		return v, out, true
 	}
 	if errors.Is(err, context.Canceled) {
 		// The client disconnected; there is nobody to answer. A flight
 		// with remaining waiters finishes for them and is cached.
-		return nil, CacheMeta{}, false
+		return nil, engine.Outcome{}, false
 	}
 	switch {
 	case errors.Is(err, resilience.ErrOpen):
-		w.Header().Set("Retry-After", serving.RetryAfterSeconds(s.exec.RetryAfter(name)))
+		w.Header().Set("Retry-After", serving.RetryAfterSeconds(s.exec.RetryAfterOn(ds, name)))
 		writeError(w, http.StatusServiceUnavailable, "circuit_open",
 			"analysis %q is temporarily disabled after repeated failures; retry later", name)
 	case errors.Is(err, context.DeadlineExceeded):
@@ -395,7 +467,34 @@ func (s *Server) runAnalysis(w http.ResponseWriter, r *http.Request, name string
 		ee := engine.AsError(err)
 		writeError(w, ee.Status, ee.Code, "%s", ee.Message)
 	}
-	return nil, CacheMeta{}, false
+	return nil, engine.Outcome{}, false
+}
+
+// runAnalysis executes a registered analysis for the request's dataset
+// and shapes the meta block for the route family: plain CacheMeta on
+// the un-scoped aliases (byte-identical to the pre-datasets API),
+// DatasetCacheMeta on scoped routes.
+func (s *Server) runAnalysis(w http.ResponseWriter, r *http.Request, name string, values url.Values) (interface{}, interface{}, bool) {
+	ds, scoped := requestDataset(r)
+	v, out, ok := s.execAnalysis(w, r, ds, name, values)
+	if !ok {
+		return nil, nil, false
+	}
+	cm := CacheMeta{Cache: out.Cache, Key: out.Key, Stale: out.Stale}
+	if scoped {
+		return v, DatasetCacheMeta{CacheMeta: cm, Dataset: out.Dataset, Revision: out.Revision}, true
+	}
+	return v, cm, true
+}
+
+// handleAnalysis is the shared GET handler behind every analysis route,
+// un-scoped and dataset-scoped alike.
+func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request, name string, values url.Values) {
+	v, meta, ok := s.runAnalysis(w, r, name, values)
+	if !ok {
+		return
+	}
+	writeData(w, http.StatusOK, v, meta)
 }
 
 // --- Batch ---------------------------------------------------------------
@@ -471,53 +570,106 @@ func pageBounds(n, limit, offset int) (lo, hi int) {
 
 // --- Health --------------------------------------------------------------
 
-// HealthResponse is the /healthz data payload.
+// HealthResponse is the /healthz data payload. Courses and Materials
+// describe the default dataset (liveness predates multi-dataset);
+// Datasets counts every registered dataset.
 type HealthResponse struct {
 	Status    string `json:"status"`
 	Courses   int    `json:"courses"`
 	Materials int    `json:"materials"`
+	Datasets  int    `json:"datasets"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	def := s.datasets.Default()
 	writeData(w, http.StatusOK, HealthResponse{
 		Status:    "ok",
-		Courses:   len(s.repo.Courses()),
-		Materials: s.repo.NumMaterials(),
+		Courses:   len(def.Repo().Courses()),
+		Materials: def.Repo().NumMaterials(),
+		Datasets:  s.datasets.Len(),
 	}, nil)
 }
 
 // --- Readiness -----------------------------------------------------------
 
-// warmup pre-computes every registered Warmer analysis (the engine
-// iterates the registry) under the exact cache keys live requests use,
-// proving the dataset is loaded and the all-group analyses are
-// warmable, then flips /readyz to ready.
+// DatasetReady is one dataset's warmup state in the /readyz payload.
+type DatasetReady struct {
+	// Status is "starting" (registered, warmup not begun), "warming"
+	// (warmup in progress), "ready", or "unready" (warmup failed).
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// setDatasetState records one dataset's warmup state.
+func (s *Server) setDatasetState(id string, st DatasetReady) {
+	s.readyMu.Lock()
+	s.dsState[id] = st
+	s.readyMu.Unlock()
+}
+
+// dropDatasetState forgets a deleted dataset's warmup state.
+func (s *Server) dropDatasetState(id string) {
+	s.readyMu.Lock()
+	delete(s.dsState, id)
+	s.readyMu.Unlock()
+}
+
+// warmDataset pre-computes one dataset's warmable analyses under the
+// exact (dataset, revision)-scoped cache keys live requests use,
+// recording the outcome in the per-dataset readiness state.
+func (s *Server) warmDataset(id string) error {
+	s.setDatasetState(id, DatasetReady{Status: "warming"})
+	err := s.exec.WarmDataset(context.Background(), id)
+	if err != nil {
+		s.setDatasetState(id, DatasetReady{Status: "unready", Reason: err.Error()})
+		return err
+	}
+	s.setDatasetState(id, DatasetReady{Status: "ready"})
+	return nil
+}
+
+// warmup warms every dataset registered at startup, default first: the
+// default dataset's outcome gates /readyz (proving the seed corpus is
+// loaded and the all-group analyses are warmable); data-dir datasets
+// warm after it and report per-dataset state only.
 func (s *Server) warmup() {
-	err := s.exec.Warm(context.Background())
+	err := s.warmDataset(dataset.DefaultID)
 	s.readyMu.Lock()
 	s.ready = err == nil
 	s.readyErr = err
 	s.readyMu.Unlock()
+	for _, id := range s.datasets.IDs() {
+		if id != dataset.DefaultID {
+			_ = s.warmDataset(id)
+		}
+	}
 }
 
 // ReadyResponse is the /readyz data payload. Unlike /healthz (pure
 // liveness), readiness reflects whether the server has warmed its
-// all-group analyses, and the payload always reports circuit states so
-// operators can see degradation at a glance.
+// all-group analyses over the default dataset, and the payload always
+// reports per-dataset warmup states and circuit states so operators
+// can see degradation at a glance.
 type ReadyResponse struct {
 	Status   string                             `json:"status"` // "ready", "starting", or "unready"
 	Reason   string                             `json:"reason,omitempty"`
 	Analyses []string                           `json:"analyses"`
+	Datasets map[string]DatasetReady            `json:"datasets"`
 	Breakers map[string]resilience.BreakerStats `json:"breakers"`
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	s.readyMu.Lock()
 	ready, readyErr := s.ready, s.readyErr
+	states := make(map[string]DatasetReady, len(s.dsState))
+	for id, st := range s.dsState {
+		states[id] = st
+	}
 	s.readyMu.Unlock()
 	resp := ReadyResponse{
 		Status:   "ready",
 		Analyses: s.exec.Registry().SortedNames(),
+		Datasets: states,
 		Breakers: map[string]resilience.BreakerStats{},
 	}
 	if s.breakers != nil {
@@ -557,13 +709,35 @@ func summarize(c *materials.Course) CourseSummary {
 	}
 }
 
+// snapshot resolves the request's dataset to its current snapshot,
+// writing the 400/404 error envelope (and returning nil) when the ID is
+// malformed or unknown. Handlers hold the snapshot for the whole
+// request, so a concurrent ingest cannot shift the corpus under them.
+func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) *dataset.Snapshot {
+	ds, _ := requestDataset(r)
+	if err := dataset.ValidateID(ds); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%s", err.Error())
+		return nil
+	}
+	snap, ok := s.datasets.Get(ds)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown dataset %q", ds)
+		return nil
+	}
+	return snap
+}
+
 func (s *Server) handleCourses(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w, r)
+	if snap == nil {
+		return
+	}
 	limit, offset, err := parsePage(r, 20)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	cs := s.repo.Courses()
+	cs := snap.Repo().Courses()
 	lo, hi := pageBounds(len(cs), limit, offset)
 	out := make([]CourseSummary, 0, hi-lo)
 	for _, c := range cs[lo:hi] {
@@ -579,8 +753,12 @@ type CourseDetail struct {
 }
 
 func (s *Server) course(w http.ResponseWriter, r *http.Request) *materials.Course {
+	snap := s.snapshot(w, r)
+	if snap == nil {
+		return nil
+	}
 	id := r.PathValue("id")
-	c := s.repo.Course(id)
+	c := snap.Repo().Course(id)
 	if c == nil {
 		writeError(w, http.StatusNotFound, "not_found", "unknown course %q", id)
 	}
@@ -635,7 +813,32 @@ type SearchHit struct {
 	Matched []string `json:"matched_tags,omitempty"`
 }
 
+// searcherFor returns the search index for snap's dataset revision,
+// building and caching it on first use; a re-ingest's revision bump
+// invalidates the cached index.
+func (s *Server) searcherFor(snap *dataset.Snapshot) *search.Engine {
+	s.searcherMu.Lock()
+	defer s.searcherMu.Unlock()
+	if e, ok := s.searchers[snap.ID()]; ok && e.rev == snap.Revision() {
+		return e.eng
+	}
+	eng := search.NewEngine(snap.Repo())
+	s.searchers[snap.ID()] = searcherEntry{rev: snap.Revision(), eng: eng}
+	return eng
+}
+
+// dropSearcher forgets a deleted dataset's search index.
+func (s *Server) dropSearcher(id string) {
+	s.searcherMu.Lock()
+	delete(s.searchers, id)
+	s.searcherMu.Unlock()
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w, r)
+	if snap == nil {
+		return
+	}
 	limit, offset, err := parsePage(r, 20)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
@@ -658,7 +861,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "empty query: pass tags, prefix, text, or a facet")
 		return
 	}
-	results := s.searcher.Search(q) // Limit 0: rank everything, then paginate
+	results := s.searcherFor(snap).Search(q) // Limit 0: rank everything, then paginate
 	lo, hi := pageBounds(len(results), limit, offset)
 	out := make([]SearchHit, 0, hi-lo)
 	for _, res := range results[lo:hi] {

@@ -197,6 +197,38 @@ func (c *Cache) Do(key string, compute func() (interface{}, error)) (interface{}
 	return c.DoCtx(context.Background(), key, compute)
 }
 
+// Invalidate removes every fresh AND stale entry whose key satisfies
+// match, returning the number of entries dropped across both stores.
+// Unlike Reset it also purges the stale store: an invalidated key must
+// not resurface as a degraded last-known-good serve (the caller knows
+// the value is wrong, not merely old). In-flight singleflight
+// computations are unaffected — they complete for their waiters and
+// store under their (now unmatched or re-matched) keys.
+func (c *Cache) Invalidate(match func(key string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); match(e.key) {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			n++
+		}
+		el = next
+	}
+	for el := c.staleLL.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); match(e.key) {
+			c.staleLL.Remove(el)
+			delete(c.staleItems, e.key)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
 // Reset drops all retained fresh entries; the stale last-known-good
 // store and the counters are preserved, so a reset (like any other
 // fresh-cache miss) can still degrade to stale serving.
