@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race race-engine bench bench-batch bench-datasets serve tier1
+.PHONY: build vet lint test race race-engine bench bench-batch bench-datasets bench-check serve tier1
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,14 @@ bench-batch:
 # accumulates across commits (ROADMAP item 4).
 bench-datasets:
 	BENCH_JSON=$(CURDIR)/BENCH_datasets.json $(GO) test -bench=BenchmarkDatasetServing -run '^$$' -benchmem ./internal/engine/
+
+# Perf regression gate (CI): re-run the dataset benchmarks into a
+# scratch snapshot and compare the compute-bound scenarios against the
+# committed BENCH_datasets.json, failing past 3x. The committed
+# baseline is only rewritten by an explicit `make bench-datasets`.
+bench-check:
+	BENCH_JSON=$(CURDIR)/BENCH_current.json $(GO) test -bench=BenchmarkDatasetServing -run '^$$' -benchmem ./internal/engine/
+	$(GO) run ./cmd/benchcheck -baseline $(CURDIR)/BENCH_datasets.json -current $(CURDIR)/BENCH_current.json
 
 serve:
 	$(GO) run ./cmd/serve

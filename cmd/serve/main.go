@@ -11,6 +11,7 @@
 //	serve [-addr :8080] [-cache-size 256] [-request-timeout 30s] [-shutdown-timeout 10s]
 //	      [-max-inflight 256] [-breaker-threshold 5] [-breaker-cooldown 30s] [-stale-serve=true]
 //	      [-batch-workers 4] [-trace-buffer 256] [-debug-addr ""] [-data-dir ""]
+//	      [-api-keys-file ""] [-idle-ttl 0]
 //
 // Beyond -max-inflight concurrent /api/v1 requests the server sheds
 // load with 429 + Retry-After. Each analysis family has a circuit
@@ -105,6 +106,8 @@ type config struct {
 	traceBuffer      int
 	debugAddr        string
 	dataDir          string
+	apiKeysFile      string
+	idleTTL          time.Duration
 }
 
 // parseConfig parses args (excluding the program name).
@@ -123,6 +126,8 @@ func parseConfig(args []string) (config, error) {
 	fs.IntVar(&cfg.traceBuffer, "trace-buffer", server.DefaultTraceBuffer, "finished request traces retained for GET /debug/trace/{id}")
 	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "optional second listen address serving /debug/pprof/ (empty disables)")
 	fs.StringVar(&cfg.dataDir, "data-dir", "", "optional directory of *.json dataset documents registered at startup")
+	fs.StringVar(&cfg.apiKeysFile, "api-keys-file", "", "optional JSON keyring locking dataset PUT/DELETE behind API keys (CSM_ADMIN_KEY adds an admin key; empty + unset env = open mode)")
+	fs.DurationVar(&cfg.idleTTL, "idle-ttl", 0, "reclaim idle datasets' search indexes and warm caches after this long without queries (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -131,8 +136,19 @@ func parseConfig(args []string) (config, error) {
 
 // serverOptions maps the command line onto the server package's
 // options. events carries the per-request wide events; logger keeps
-// receiving panic stacks and http.Server errors.
-func (c config) serverOptions(logger *log.Logger, events *obs.Logger) server.Options {
+// receiving panic stacks and http.Server errors. API keys come from
+// -api-keys-file folded with the CSM_ADMIN_KEY environment variable;
+// when neither is set the mutating dataset surface stays open.
+func (c config) serverOptions(logger *log.Logger, events *obs.Logger) (server.Options, error) {
+	var keys *server.KeysFile
+	if c.apiKeysFile != "" {
+		kf, err := server.LoadKeysFile(c.apiKeysFile)
+		if err != nil {
+			return server.Options{}, err
+		}
+		keys = kf
+	}
+	keys = server.KeysFromEnv(keys)
 	return server.Options{
 		CacheSize:         c.cacheSize,
 		Logger:            logger,
@@ -144,7 +160,9 @@ func (c config) serverOptions(logger *log.Logger, events *obs.Logger) server.Opt
 		Tracer:            obs.NewTracer(c.traceBuffer, nil),
 		Events:            events,
 		DataDir:           c.dataDir,
-	}
+		APIKeys:           keys,
+		IdleTTL:           c.idleTTL,
+	}, nil
 }
 
 // debugHandler serves Go pprof under /debug/pprof/ and falls back to
@@ -194,7 +212,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	s, err := server.NewWithOptions(cfg.serverOptions(logger, events))
+	opts, err := cfg.serverOptions(logger, events)
+	if err != nil {
+		fail("startup-failed", err)
+	}
+	s, err := server.NewWithOptions(opts)
 	if err != nil {
 		fail("startup-failed", err)
 	}
@@ -202,6 +224,9 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Idle-dataset reclamation runs for the process lifetime; servers
+	// embedded in tests never start it.
+	s.StartIdleReaper(ctx)
 	// Propagate the signal context into every request so in-flight
 	// handlers observe cancellation during shutdown.
 	srv.BaseContext = func(net.Listener) context.Context { return ctx }

@@ -117,7 +117,10 @@ func TestServerOptionsMapping(t *testing.T) {
 		traceBuffer:      5,
 		dataDir:          "/tmp/datasets",
 	}
-	opts := cfg.serverOptions(logger, events)
+	opts, err := cfg.serverOptions(logger, events)
+	if err != nil {
+		t.Fatalf("serverOptions: %v", err)
+	}
 	if opts.CacheSize != 11 || opts.MaxInFlight != 22 || opts.BreakerThreshold != 33 || opts.BreakerCooldown != 44*time.Second || opts.BatchWorkers != 6 {
 		t.Errorf("options mismatch: %+v", opts)
 	}
@@ -139,7 +142,11 @@ func TestServerOptionsMapping(t *testing.T) {
 		t.Error("staleServe=false must set DisableStaleServe")
 	}
 	cfg.staleServe = true
-	if cfg.serverOptions(logger, events).DisableStaleServe {
+	opts, err = cfg.serverOptions(logger, events)
+	if err != nil {
+		t.Fatalf("serverOptions: %v", err)
+	}
+	if opts.DisableStaleServe {
 		t.Error("staleServe=true must clear DisableStaleServe")
 	}
 }

@@ -64,6 +64,24 @@ type Meta struct {
 	Courses   int       `json:"courses"`
 	Materials int       `json:"materials"`
 	LoadedAt  time.Time `json:"loaded_at"`
+	Owner     string    `json:"owner,omitempty"`
+}
+
+// Attrs carries a dataset's tenancy metadata. It lives beside the
+// snapshot (not inside it) so it survives re-ingest revisions AND
+// Delete: like the revision counter, a deleted dataset's ownership is
+// retained so re-creating the name cannot silently transfer it to
+// another key holder.
+type Attrs struct {
+	// Owner is the name of the API key that owns the dataset's
+	// mutating surface. Empty = unowned (any valid key may claim it).
+	Owner string `json:"owner,omitempty"`
+	// CacheBudget overrides the dataset's fair-share serving-cache
+	// budget (entries). 0 = fair share.
+	CacheBudget int `json:"cache_budget,omitempty"`
+	// Weight scales the dataset's share of the admission quota.
+	// <= 0 counts as 1.
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // Snapshot is one immutable dataset revision: a fully validated
@@ -113,6 +131,7 @@ type Registry struct {
 	snaps map[string]*Snapshot
 	order []string // registration order, for deterministic catalogs
 	revs  map[string]uint64
+	attrs map[string]Attrs // survives Delete, like revs
 }
 
 // NewRegistry returns a registry with the synthetic seed corpus
@@ -126,6 +145,7 @@ func NewRegistry(clock func() time.Time) *Registry {
 		clock: clock,
 		snaps: map[string]*Snapshot{},
 		revs:  map[string]uint64{},
+		attrs: map[string]Attrs{},
 	}
 	r.snaps[DefaultID] = &Snapshot{id: DefaultID, revision: 1, repo: Repository(), loadedAt: r.clock()}
 	r.order = append(r.order, DefaultID)
@@ -200,13 +220,53 @@ func (r *Registry) Delete(id string) error {
 	return nil
 }
 
+// SetAttrs records id's tenancy metadata. Attrs are independent of the
+// snapshot lifecycle: they may be set before the dataset is ingested
+// (operator-declared tenants) and persist across re-ingest and Delete.
+func (r *Registry) SetAttrs(id string, a Attrs) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.attrs[id] = a
+}
+
+// SetOwner records owner for id, leaving the other attrs untouched.
+func (r *Registry) SetOwner(id, owner string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.attrs[id]
+	a.Owner = owner
+	r.attrs[id] = a
+}
+
+// Attrs returns id's tenancy metadata (zero value when never set).
+func (r *Registry) Attrs(id string) Attrs {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.attrs[id]
+}
+
+// MetaOf returns id's catalog entry with ownership composed in.
+func (r *Registry) MetaOf(id string) (Meta, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.snaps[id]
+	if !ok {
+		return Meta{}, false
+	}
+	m := s.Meta()
+	m.Owner = r.attrs[id].Owner
+	return m, true
+}
+
 // List returns every registered dataset's Meta in registration order.
 func (r *Registry) List() []Meta {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make([]Meta, 0, len(r.order))
 	for _, id := range r.order {
-		out = append(out, r.snaps[id].Meta())
+		m := r.snaps[id].Meta()
+		m.Owner = r.attrs[id].Owner
+		out = append(out, m)
 	}
 	return out
 }

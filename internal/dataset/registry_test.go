@@ -11,6 +11,7 @@ import (
 
 	"csmaterials/internal/materials"
 	"csmaterials/internal/ontology"
+	"csmaterials/internal/stats"
 )
 
 // miniCourses builds a small valid corpus by cloning a couple of seed
@@ -232,5 +233,79 @@ func TestLoadDir(t *testing.T) {
 
 	if _, err := r.LoadDir(filepath.Join(dir, "missing")); err == nil {
 		t.Error("missing directory must error")
+	}
+}
+
+// TestAttrsSurviveReingestAndDelete pins the ownership contract: attrs
+// are set once, survive every re-ingest revision, survive Delete (so a
+// deleted name cannot be silently claimed by another tenant), and
+// compose into the catalog Meta without living inside the snapshot.
+func TestAttrsSurviveReingestAndDelete(t *testing.T) {
+	r := NewRegistry(nil)
+	cs := miniCourses(t, 2)
+	if _, err := r.Put("tenant", cs); err != nil {
+		t.Fatal(err)
+	}
+	r.SetAttrs("tenant", Attrs{Owner: "alice", CacheBudget: 9, Weight: 2})
+
+	// Re-ingest twice: revisions advance, attrs stay.
+	for want := uint64(2); want <= 3; want++ {
+		snap, err := r.Put("tenant", cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Revision() != want {
+			t.Fatalf("revision = %d, want %d", snap.Revision(), want)
+		}
+		if a := r.Attrs("tenant"); a.Owner != "alice" || a.CacheBudget != 9 || !stats.WithinTol(a.Weight, 2, 0) {
+			t.Fatalf("attrs after re-ingest = %+v", a)
+		}
+	}
+	m, ok := r.MetaOf("tenant")
+	if !ok || m.Owner != "alice" || m.Revision != 3 {
+		t.Fatalf("MetaOf = %+v, %v", m, ok)
+	}
+	var found bool
+	for _, lm := range r.List() {
+		if lm.ID == "tenant" {
+			found = true
+			if lm.Owner != "alice" {
+				t.Fatalf("List meta owner = %q", lm.Owner)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("tenant missing from List")
+	}
+
+	if err := r.Delete("tenant"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.MetaOf("tenant"); ok {
+		t.Fatal("deleted dataset still in catalog")
+	}
+	if a := r.Attrs("tenant"); a.Owner != "alice" {
+		t.Fatalf("ownership lost on Delete: %+v", a)
+	}
+	// Re-creating the name continues under the original owner.
+	snap, err := r.Put("tenant", cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Revision() != 4 {
+		t.Fatalf("revision after re-create = %d, want 4", snap.Revision())
+	}
+	if m, _ := r.MetaOf("tenant"); m.Owner != "alice" {
+		t.Fatalf("owner after re-create = %q, want alice", m.Owner)
+	}
+}
+
+// TestSetOwnerLeavesOtherAttrs: SetOwner is a partial update.
+func TestSetOwnerLeavesOtherAttrs(t *testing.T) {
+	r := NewRegistry(nil)
+	r.SetAttrs("d", Attrs{CacheBudget: 5})
+	r.SetOwner("d", "bob")
+	if a := r.Attrs("d"); a.Owner != "bob" || a.CacheBudget != 5 {
+		t.Fatalf("attrs = %+v", a)
 	}
 }

@@ -3,9 +3,11 @@ package engine_test
 import (
 	"context"
 	"encoding/json"
+	"net/url"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -89,7 +91,7 @@ func TestMain(m *testing.M) {
 // registry holding the 20-course seed corpus as "default" and a
 // 5-course subset as "alt" — the two corpora the cold/warm scenarios
 // compare.
-func newDatasetExecutor(b *testing.B) *engine.Executor {
+func newDatasetExecutor(b *testing.B, cache *serving.Cache) *engine.Executor {
 	b.Helper()
 	reg, err := analyses.Default()
 	if err != nil {
@@ -111,7 +113,7 @@ func newDatasetExecutor(b *testing.B) *engine.Executor {
 	}
 	return engine.NewExecutor(reg, engine.ExecutorOptions{
 		Datasets:   datasets,
-		Cache:      serving.NewCache(256),
+		Cache:      cache,
 		Breakers:   resilience.NewBreakerSet(resilience.DefaultBreakerThreshold, time.Minute),
 		StaleServe: true,
 	})
@@ -134,7 +136,7 @@ func BenchmarkDatasetServing(b *testing.B) {
 		{"alt", "warm"},
 	} {
 		b.Run(bc.dataset+"/"+bc.mode, func(b *testing.B) {
-			exec := newDatasetExecutor(b)
+			exec := newDatasetExecutor(b, serving.NewCache(256))
 			run := func(wantHit bool) {
 				_, out, err := exec.RunOn(context.Background(), bc.dataset, "agreement", nil)
 				if err != nil {
@@ -158,4 +160,31 @@ func BenchmarkDatasetServing(b *testing.B) {
 			recordBench(bc.dataset, bc.mode, b)
 		})
 	}
+
+	// Eviction pressure under tenancy: a deliberately small cache
+	// partitioned between the two datasets (two-entry budget each) with
+	// both tenants cycling through more distinct keys than their budget
+	// holds. Every request misses, computes, and evicts inside its own
+	// partition — the worst-case multi-tenant steady state, and the
+	// scenario that catches budget-enforcement overhead regressions.
+	b.Run("mixed/contended", func(b *testing.B) {
+		cache := serving.NewCache(4)
+		exec := newDatasetExecutor(b, cache)
+		cache.Partition([]string{dataset.DefaultID, "alt"}, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds := dataset.DefaultID
+			if i%2 == 1 {
+				ds = "alt"
+			}
+			// Four distinct thresholds per tenant against a two-entry
+			// budget: every request misses and evicts within its scope.
+			v := url.Values{"threshold": []string{strconv.Itoa((i/2)%4 + 1)}}
+			if _, _, err := exec.RunOn(context.Background(), ds, "agreement", v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		recordBench("mixed", "contended", b)
+	})
 }

@@ -141,6 +141,12 @@ func NewExecutor(reg *Registry, o ExecutorOptions) *Executor {
 			e.breakers.Get(name)
 		}
 	}
+	if e.datasets != nil && e.cache != nil {
+		// Physical keys carry the dataset generation prefix, so the
+		// cache can partition its budget per dataset: one tenant's fill
+		// evicts only that tenant's entries.
+		e.cache.SetScopeFunc(DatasetScope)
+	}
 	return e
 }
 
@@ -216,6 +222,21 @@ func (e *Executor) physicalKey(ds string, rev uint64, logical string) string {
 		return logical
 	}
 	return fmt.Sprintf("%s@%d|%s", ds, rev, logical)
+}
+
+// DatasetScope maps a physical cache key to the dataset that owns it:
+// the "<dataset>@<revision>|<logical>" generation prefix identifies
+// the tenant ('@' and '|' cannot occur in a dataset ID). Keys without
+// a generation prefix (single-repo mode) fall into the shared "" scope.
+func DatasetScope(key string) string {
+	at := strings.IndexByte(key, '@')
+	if at <= 0 {
+		return ""
+	}
+	if bar := strings.IndexByte(key, '|'); bar >= 0 && bar < at {
+		return ""
+	}
+	return key[:at]
 }
 
 // RetryAfter returns the wait hinted to clients rejected by name's open
@@ -458,6 +479,34 @@ func (e *Executor) InvalidateDataset(ds string, keep uint64) int {
 	return e.cache.Invalidate(func(key string) bool {
 		return strings.HasPrefix(key, prefix) && (keep == 0 || !strings.HasPrefix(key, keepPrefix))
 	})
+}
+
+// DropDatasetServingState removes every trace of ds from the serving
+// layer on dataset DELETE: cache entries AND the scope's cache
+// counters (a deleted tenant must vanish from /debug/metrics and the
+// csm_ families, not linger at its last values), executor stats
+// scopes, and "<ds>/<analysis>" breakers. Returns the number of cache
+// entries (fresh + stale) dropped. The default dataset's serving state
+// is never dropped here — it cannot be deleted.
+func (e *Executor) DropDatasetServingState(ds string) int {
+	if e.datasets == nil || ds == dataset.DefaultID {
+		return 0
+	}
+	n := 0
+	if e.cache != nil {
+		n = e.cache.DropScope(ds)
+	}
+	if e.breakers != nil {
+		e.breakers.DropPrefix(ds + "/")
+	}
+	e.mu.Lock()
+	for scope := range e.stats {
+		if d, _ := SplitScope(scope); d == ds {
+			delete(e.stats, scope)
+		}
+	}
+	e.mu.Unlock()
+	return n
 }
 
 func (e *Executor) countCompute(scope string) {

@@ -194,6 +194,24 @@ func (t *Tracer) StageSnapshot() []StageExport {
 	return out
 }
 
+// DropDataset deletes every stage-histogram series labelled with the
+// given dataset, returning how many were removed. Deleting a dataset
+// must not leave its label values behind in the exposition; retained
+// ring traces are untouched (they are bounded and age out on their
+// own).
+func (t *Tracer) DropDataset(dataset string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for k := range t.stages {
+		if k.dataset == dataset {
+			delete(t.stages, k)
+			n++
+		}
+	}
+	return n
+}
+
 // TracerStats is the tracer section of the metrics surface.
 type TracerStats struct {
 	Started  uint64 `json:"started_total"`

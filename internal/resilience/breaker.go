@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"time"
 )
@@ -233,6 +234,23 @@ func (s *BreakerSet) SetClock(now func() time.Time) {
 		b.now = now
 		b.mu.Unlock()
 	}
+}
+
+// DropPrefix removes every breaker whose name starts with prefix and
+// returns how many were removed. The server uses it on dataset DELETE
+// to forget the deleted tenant's "<dataset>/<analysis>" breakers so
+// stats and metrics stop reporting a tenant that no longer exists.
+func (s *BreakerSet) DropPrefix(prefix string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for name := range s.m {
+		if strings.HasPrefix(name, prefix) {
+			delete(s.m, name)
+			n++
+		}
+	}
+	return n
 }
 
 // Stats snapshots every breaker in the set, keyed by name.

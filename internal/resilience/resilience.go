@@ -13,9 +13,11 @@
 package resilience
 
 // Stats is the resilience section of the /debug/metrics snapshot:
-// shedder counters plus the state and accounting of every named
-// circuit breaker.
+// shedder counters (globals of the two-level TenantLimiter, kept in
+// the legacy shape), the per-tenant admission breakdown, and the state
+// and accounting of every named circuit breaker.
 type Stats struct {
 	Shedder  ShedderStats            `json:"shedder"`
+	Tenants  map[string]TenantStats  `json:"tenants,omitempty"`
 	Breakers map[string]BreakerStats `json:"breakers"`
 }

@@ -1,0 +1,174 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTenantLimiterSingleTenantDegeneratesToShedder(t *testing.T) {
+	l := NewTenantLimiter(2, 0)
+	l.SetTenants(map[string]float64{"default": 1})
+	if q := l.Quota("default"); q != 2 {
+		t.Fatalf("single tenant quota = %d, want the whole cap", q)
+	}
+	if l.Acquire("default") != Admitted || l.Acquire("default") != Admitted {
+		t.Fatal("requests within the cap must be admitted")
+	}
+	// The third is a capacity rejection, not a quota one: with one
+	// tenant there is no fairness to enforce, only the global cap.
+	if res := l.Acquire("default"); res != ShedCapacity {
+		t.Fatalf("over-cap result = %v, want ShedCapacity", res)
+	}
+	l.Release("default")
+	if l.Acquire("default") != Admitted {
+		t.Fatal("released slot must be reusable")
+	}
+}
+
+func TestTenantLimiterQuotaFairShare(t *testing.T) {
+	l := NewTenantLimiter(8, 0)
+	l.SetTenants(map[string]float64{"a": 1, "b": 1})
+	if q := l.Quota("a"); q != 4 {
+		t.Fatalf("quota(a) = %d, want 4", q)
+	}
+	l.SetTenants(map[string]float64{"a": 3, "b": 1})
+	if qa, qb := l.Quota("a"), l.Quota("b"); qa != 6 || qb != 2 {
+		t.Fatalf("weighted quotas = %d, %d, want 6, 2", qa, qb)
+	}
+	// Quota never drops below one entry, however small the share.
+	l = NewTenantLimiter(2, 0)
+	l.SetTenants(map[string]float64{"a": 1, "b": 1, "c": 1, "d": 1})
+	if q := l.Quota("a"); q != 1 {
+		t.Fatalf("tiny share quota = %d, want floor of 1", q)
+	}
+}
+
+func TestTenantLimiterQuotaRejectionWithHeadroom(t *testing.T) {
+	l := NewTenantLimiter(8, 0)
+	l.SetTenants(map[string]float64{"a": 1, "b": 1})
+	for i := 0; i < 4; i++ {
+		if l.Acquire("a") != Admitted {
+			t.Fatalf("a's request %d within quota not admitted", i)
+		}
+	}
+	// a is at quota; the server still has 4 free slots, but fairness
+	// rejects a's fifth so b's share stays available.
+	if res := l.Acquire("a"); res != ShedQuota {
+		t.Fatalf("over-quota result = %v, want ShedQuota", res)
+	}
+	if res := l.Acquire("b"); res != Admitted {
+		t.Fatalf("b must still be admitted, got %v", res)
+	}
+	global, tenants := l.Stats()
+	if global.Shed != 1 || global.Admitted != 5 {
+		t.Fatalf("global stats = %+v", global)
+	}
+	a := tenants["a"]
+	if a.Shed != 1 || a.ShedQuota != 1 || a.Admitted != 4 || a.InFlight != 4 || a.Quota != 4 {
+		t.Fatalf("tenant a stats = %+v", a)
+	}
+	if b := tenants["b"]; b.Shed != 0 || b.InFlight != 1 {
+		t.Fatalf("tenant b stats = %+v", b)
+	}
+}
+
+func TestTenantLimiterUndeclaredTenantGetsExtraClaimantShare(t *testing.T) {
+	l := NewTenantLimiter(9, 0)
+	l.SetTenants(map[string]float64{"a": 1, "b": 1})
+	// An undeclared tenant is one more weight-1 claimant: 9/3 = 3, not
+	// free admission up to the global cap.
+	if q := l.Quota("stranger"); q != 3 {
+		t.Fatalf("undeclared quota = %d, want 3", q)
+	}
+}
+
+func TestTenantLimiterUnlimited(t *testing.T) {
+	l := NewTenantLimiter(0, 0)
+	l.SetTenants(map[string]float64{"a": 1})
+	for i := 0; i < 100; i++ {
+		if l.Acquire("a") != Admitted {
+			t.Fatal("max<=0 must admit everything")
+		}
+	}
+	if q := l.Quota("a"); q != 0 {
+		t.Fatalf("unlimited quota = %d, want 0", q)
+	}
+}
+
+func TestTenantLimiterRetryAfterScalesWithPressure(t *testing.T) {
+	l := NewTenantLimiter(4, time.Second)
+	l.SetTenants(map[string]float64{"a": 1, "b": 1})
+	if d := l.RetryAfter("a", ShedCapacity); d != time.Second {
+		t.Fatalf("capacity retry-after = %s, want base hint", d)
+	}
+	for i := 0; i < 2; i++ {
+		l.Acquire("a")
+	}
+	// At exactly quota the hint is the base; there is no overload yet.
+	if d := l.RetryAfter("a", ShedQuota); d != time.Second {
+		t.Fatalf("at-quota retry-after = %s, want base hint", d)
+	}
+}
+
+func TestTenantLimiterDropTenant(t *testing.T) {
+	l := NewTenantLimiter(4, 0)
+	l.SetTenants(map[string]float64{"a": 1, "b": 1})
+	l.Acquire("a")
+	l.DropTenant("a")
+	if _, tenants := l.Stats(); len(tenants) != 1 {
+		t.Fatalf("dropped tenant still reported: %+v", tenants)
+	}
+	// b's quota recovers the dropped tenant's share.
+	if q := l.Quota("b"); q != 4 {
+		t.Fatalf("quota(b) after drop = %d, want the whole cap", q)
+	}
+	l.Release("a") // stale release of the dropped tenant's slot
+	if n := l.InFlight(); n != 0 {
+		t.Fatalf("in-flight after stale release = %d", n)
+	}
+}
+
+func TestTenantLimiterConcurrentAcquireRelease(t *testing.T) {
+	l := NewTenantLimiter(16, 0)
+	l.SetTenants(map[string]float64{"a": 1, "b": 1})
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"a", "b"} {
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(tn string) {
+				defer wg.Done()
+				for j := 0; j < 200; j++ {
+					if l.Acquire(tn) == Admitted {
+						l.Release(tn)
+					}
+				}
+			}(tenant)
+		}
+	}
+	wg.Wait()
+	if n := l.InFlight(); n != 0 {
+		t.Fatalf("in-flight after drain = %d", n)
+	}
+	global, tenants := l.Stats()
+	if got := tenants["a"].Admitted + tenants["b"].Admitted; got != global.Admitted {
+		t.Fatalf("tenant admissions %d != global %d", got, global.Admitted)
+	}
+}
+
+func TestBreakerSetDropPrefix(t *testing.T) {
+	s := NewBreakerSet(3, time.Minute)
+	s.Get("types")
+	s.Get("alt/types")
+	s.Get("alt/cluster")
+	if n := s.DropPrefix("alt/"); n != 2 {
+		t.Fatalf("DropPrefix removed %d, want 2", n)
+	}
+	stats := s.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("breakers after drop = %v", stats)
+	}
+	if _, ok := stats["types"]; !ok {
+		t.Fatal("unrelated breaker removed")
+	}
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"csmaterials/internal/dataset"
+)
+
+// Ingest ownership. The mutating dataset surface (PUT/DELETE
+// /api/v1/datasets/{ds}) can be locked behind API keys: a request must
+// present the dataset's owner key or an admin key. Keys come from the
+// -api-keys-file document and/or the CSM_ADMIN_KEY environment
+// variable; when neither is configured the server runs in open mode
+// and the surface behaves exactly as before (the CLI/dev path). A
+// dataset without an owner is claimed by the first key that ingests
+// it; ownership survives re-ingest revisions and Delete, so deleting a
+// dataset does not let another tenant take the name over.
+
+// APIKey is one keyring entry: a bearer secret plus the tenant name it
+// authenticates as. Admin keys may mutate any dataset.
+type APIKey struct {
+	Key   string `json:"key"`
+	Name  string `json:"name"`
+	Admin bool   `json:"admin,omitempty"`
+}
+
+// DatasetGrant pre-declares one tenant's metadata in the keys file:
+// ownership and resource shares, applied to the registry at startup.
+type DatasetGrant struct {
+	// Owner names the API key that owns the dataset.
+	Owner string `json:"owner,omitempty"`
+	// CacheBudget overrides the dataset's fair-share cache budget
+	// (entries); 0 keeps the fair share.
+	CacheBudget int `json:"cache_budget,omitempty"`
+	// Weight scales the dataset's admission quota; <= 0 counts as 1.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// KeysFile is the -api-keys-file document.
+type KeysFile struct {
+	Keys     []APIKey                `json:"keys"`
+	Datasets map[string]DatasetGrant `json:"datasets,omitempty"`
+}
+
+// LoadKeysFile reads and validates an -api-keys-file document.
+func LoadKeysFile(path string) (*KeysFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("api keys: %w", err)
+	}
+	var kf KeysFile
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&kf); err != nil {
+		return nil, fmt.Errorf("api keys: %s: %w", path, err)
+	}
+	seen := map[string]bool{}
+	for i, k := range kf.Keys {
+		if k.Key == "" || k.Name == "" {
+			return nil, fmt.Errorf("api keys: %s: entry %d needs both key and name", path, i)
+		}
+		if seen[k.Key] {
+			return nil, fmt.Errorf("api keys: %s: duplicate key for %q", path, k.Name)
+		}
+		seen[k.Key] = true
+	}
+	for id := range kf.Datasets {
+		if err := dataset.ValidateID(id); err != nil {
+			return nil, fmt.Errorf("api keys: %s: %w", path, err)
+		}
+	}
+	return &kf, nil
+}
+
+// KeysFromEnv folds the CSM_ADMIN_KEY environment variable (an admin
+// key named "admin") into kf, creating the file-less keyring when kf
+// is nil and the variable is set. Returns nil when nothing configures
+// keys — open mode.
+func KeysFromEnv(kf *KeysFile) *KeysFile {
+	secret := os.Getenv("CSM_ADMIN_KEY")
+	if secret == "" {
+		return kf
+	}
+	if kf == nil {
+		kf = &KeysFile{}
+	}
+	for _, k := range kf.Keys {
+		if k.Key == secret {
+			return kf
+		}
+	}
+	kf.Keys = append(kf.Keys, APIKey{Key: secret, Name: "admin", Admin: true})
+	return kf
+}
+
+// requestKey extracts the presented API key: "Authorization: Bearer
+// <key>" or the X-API-Key header.
+func requestKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if rest, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// authorizeMutation decides whether r may mutate dataset id, returning
+// the authenticated key name and true when allowed. In open mode (no
+// keys configured) everything is allowed under the empty name. On
+// rejection the 401/403 envelope has been written: 401 unauthorized
+// when no/unknown key is presented, 403 forbidden when a valid
+// non-admin key targets a dataset owned by someone else.
+func (s *Server) authorizeMutation(w http.ResponseWriter, r *http.Request, id string) (string, bool) {
+	if len(s.keys) == 0 {
+		return "", true
+	}
+	secret := requestKey(r)
+	if secret == "" {
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		writeError(w, http.StatusUnauthorized, "unauthorized",
+			"dataset mutation requires an API key (Authorization: Bearer or X-API-Key)")
+		return "", false
+	}
+	k, ok := s.keys[secret]
+	if !ok {
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		writeError(w, http.StatusUnauthorized, "unauthorized", "unknown API key")
+		return "", false
+	}
+	if k.Admin {
+		return k.Name, true
+	}
+	owner := s.datasets.Attrs(id).Owner
+	if owner != "" && owner != k.Name {
+		writeError(w, http.StatusForbidden, "forbidden",
+			"dataset %q is owned by %q; key %q may not mutate it", id, owner, k.Name)
+		return "", false
+	}
+	return k.Name, true
+}

@@ -51,13 +51,17 @@ func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
 	writeData(w, http.StatusOK, metas[lo:hi], ListMeta{Total: len(metas), Limit: limit, Offset: offset})
 }
 
-// handleDatasetGet serves one dataset's metadata.
+// handleDatasetGet serves one dataset's metadata (with ownership).
 func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 	snap := s.snapshot(w, r)
 	if snap == nil {
 		return
 	}
-	writeData(w, http.StatusOK, snap.Meta(), nil)
+	meta, ok := s.datasets.MetaOf(snap.ID())
+	if !ok { // deleted since the snapshot resolved; serve what it saw
+		meta = snap.Meta()
+	}
+	writeData(w, http.StatusOK, meta, nil)
 }
 
 // handleDatasetPut ingests (or replaces) a named dataset. The document
@@ -69,6 +73,10 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 // unreachable), and the dataset's warmup re-runs in the background.
 func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("ds")
+	keyName, ok := s.authorizeMutation(w, r, id)
+	if !ok {
+		return
+	}
 	var doc dataset.Document
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxDatasetBody))
 	dec.DisallowUnknownFields()
@@ -81,6 +89,13 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
+	if keyName != "" && s.datasets.Attrs(id).Owner == "" {
+		// First keyed ingest of an unowned dataset claims it; the owner
+		// survives re-ingest revisions and Delete.
+		s.datasets.SetOwner(id, keyName)
+	}
+	s.retuneTenancy()
+	s.touchDataset(id)
 	invalidated := s.exec.InvalidateDataset(id, snap.Revision())
 	if s.noWarmup {
 		s.setDatasetState(id, DatasetReady{Status: "ready"})
@@ -88,7 +103,11 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 		s.setDatasetState(id, DatasetReady{Status: "warming"})
 		go func() { _ = s.warmDataset(id) }()
 	}
-	writeData(w, http.StatusOK, snap.Meta(), IngestMeta{Invalidated: invalidated})
+	meta, ok := s.datasets.MetaOf(id)
+	if !ok { // deleted in the same instant; report the revision ingested
+		meta = snap.Meta()
+	}
+	writeData(w, http.StatusOK, meta, IngestMeta{Invalidated: invalidated})
 }
 
 // handleDatasetDelete removes a dataset and every trace of its serving
@@ -98,6 +117,9 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 // re-ingest under the same name can never resurrect old cache entries.
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("ds")
+	if _, ok := s.authorizeMutation(w, r, id); !ok {
+		return
+	}
 	if err := s.datasets.Delete(id); err != nil {
 		switch {
 		case errors.Is(err, dataset.ErrProtected):
@@ -109,8 +131,12 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	invalidated := s.exec.InvalidateDataset(id, 0)
+	invalidated := s.exec.DropDatasetServingState(id)
 	s.dropSearcher(id)
 	s.dropDatasetState(id)
+	s.dropIdleTracking(id)
+	s.limiter.DropTenant(id)
+	s.tracer.DropDataset(id)
+	s.retuneTenancy()
 	writeData(w, http.StatusOK, DatasetDeleted{ID: id, Invalidated: invalidated}, nil)
 }

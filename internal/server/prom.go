@@ -61,7 +61,8 @@ func (s *Server) promFamilies() []obs.Family {
 	}
 	fams = append(fams, durs)
 
-	// Cache.
+	// Cache: global aggregates, then the per-dataset partition so one
+	// tenant's budget pressure is visible in isolation.
 	cs := s.cache.Stats()
 	fams = append(fams,
 		counterFam("csm_cache_hits_total", "Fresh-cache hits.", cs.Hits),
@@ -73,15 +74,71 @@ func (s *Server) promFamilies() []obs.Family {
 		gaugeFam("csm_cache_capacity", "Fresh-cache capacity.", float64(cs.Capacity)),
 		gaugeFam("csm_cache_stale_size", "Stale last-known-good entries retained.", float64(cs.StaleSize)),
 	)
+	// As with the tenant families below, a single-tenant deployment
+	// (only the default dataset's scope) keeps the legacy exposition.
+	_, cacheOnlyDefault := cs.Scopes[dataset.DefaultID]
+	if len(cs.Scopes) > 1 || (len(cs.Scopes) == 1 && !cacheOnlyDefault) {
+		scopes := make([]string, 0, len(cs.Scopes))
+		for scope := range cs.Scopes {
+			scopes = append(scopes, scope)
+		}
+		sort.Strings(scopes)
+		dcBudget := obs.Family{Name: "csm_dataset_cache_budget", Help: "Fresh-entry cache budget per dataset.", Type: obs.Gauge}
+		dcSize := obs.Family{Name: "csm_dataset_cache_size", Help: "Fresh entries retained per dataset.", Type: obs.Gauge}
+		dcStale := obs.Family{Name: "csm_dataset_cache_stale_size", Help: "Stale entries retained per dataset.", Type: obs.Gauge}
+		dcHits := obs.Family{Name: "csm_dataset_cache_hits_total", Help: "Fresh-cache hits per dataset.", Type: obs.Counter}
+		dcMisses := obs.Family{Name: "csm_dataset_cache_misses_total", Help: "Fresh-cache misses per dataset.", Type: obs.Counter}
+		dcEvict := obs.Family{Name: "csm_dataset_cache_evictions_total", Help: "Budget-scoped LRU evictions per dataset.", Type: obs.Counter}
+		dcStaleServed := obs.Family{Name: "csm_dataset_cache_stale_served_total", Help: "Degraded stale serves per dataset.", Type: obs.Counter}
+		for _, scope := range scopes {
+			sc := cs.Scopes[scope]
+			l := []obs.Label{{Name: "dataset", Value: scope}}
+			dcBudget.Samples = append(dcBudget.Samples, obs.Sample{Labels: l, Value: float64(sc.Budget)})
+			dcSize.Samples = append(dcSize.Samples, obs.Sample{Labels: l, Value: float64(sc.Size)})
+			dcStale.Samples = append(dcStale.Samples, obs.Sample{Labels: l, Value: float64(sc.StaleSize)})
+			dcHits.Samples = append(dcHits.Samples, obs.Sample{Labels: l, Value: float64(sc.Hits)})
+			dcMisses.Samples = append(dcMisses.Samples, obs.Sample{Labels: l, Value: float64(sc.Misses)})
+			dcEvict.Samples = append(dcEvict.Samples, obs.Sample{Labels: l, Value: float64(sc.Evictions)})
+			dcStaleServed.Samples = append(dcStaleServed.Samples, obs.Sample{Labels: l, Value: float64(sc.StaleServed)})
+		}
+		fams = append(fams, dcBudget, dcSize, dcStale, dcHits, dcMisses, dcEvict, dcStaleServed)
+	}
 
-	// Resilience: shedder + per-analysis breakers.
-	sh := s.shedder.Stats()
+	// Resilience: two-level admission limiter (global + per-tenant
+	// quotas) + per-analysis breakers.
+	sh, tenants := s.limiter.Stats()
 	fams = append(fams,
 		gaugeFam("csm_shed_max_in_flight", "In-flight bound before shedding (0 = unlimited).", float64(sh.MaxInFlight)),
 		gaugeFam("csm_shed_in_flight", "Requests currently inside the shedder.", float64(sh.InFlight)),
 		counterFam("csm_shed_admitted_total", "Requests admitted by the load shedder.", sh.Admitted),
-		counterFam("csm_shed_rejected_total", "Requests shed with 429.", sh.Shed),
+		counterFam("csm_shed_rejected_total", "Requests shed with 429 (capacity + quota).", sh.Shed),
 	)
+	// Single-tenant deployments (only the default dataset) keep the
+	// legacy exposition: no per-tenant admission families.
+	_, onlyDefault := tenants[dataset.DefaultID]
+	multiTenant := len(tenants) > 1 || (len(tenants) == 1 && !onlyDefault)
+	if multiTenant {
+		ids := make([]string, 0, len(tenants))
+		for id := range tenants {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		tQuota := obs.Family{Name: "csm_tenant_quota", Help: "In-flight admission quota per dataset (0 = unlimited).", Type: obs.Gauge}
+		tInFlight := obs.Family{Name: "csm_tenant_in_flight", Help: "Requests currently admitted per dataset.", Type: obs.Gauge}
+		tAdmitted := obs.Family{Name: "csm_tenant_admitted_total", Help: "Requests admitted per dataset.", Type: obs.Counter}
+		tShed := obs.Family{Name: "csm_tenant_shed_total", Help: "Requests shed per dataset (capacity + quota).", Type: obs.Counter}
+		tShedQuota := obs.Family{Name: "csm_tenant_shed_quota_total", Help: "Requests shed per dataset for exceeding its own quota.", Type: obs.Counter}
+		for _, id := range ids {
+			tn := tenants[id]
+			l := []obs.Label{{Name: "dataset", Value: id}}
+			tQuota.Samples = append(tQuota.Samples, obs.Sample{Labels: l, Value: float64(tn.Quota)})
+			tInFlight.Samples = append(tInFlight.Samples, obs.Sample{Labels: l, Value: float64(tn.InFlight)})
+			tAdmitted.Samples = append(tAdmitted.Samples, obs.Sample{Labels: l, Value: float64(tn.Admitted)})
+			tShed.Samples = append(tShed.Samples, obs.Sample{Labels: l, Value: float64(tn.Shed)})
+			tShedQuota.Samples = append(tShedQuota.Samples, obs.Sample{Labels: l, Value: float64(tn.ShedQuota)})
+		}
+		fams = append(fams, tQuota, tInFlight, tAdmitted, tShed, tShedQuota)
+	}
 	if s.breakers != nil {
 		bs := s.breakers.Stats()
 		names := make([]string, 0, len(bs))
@@ -148,9 +205,22 @@ func (s *Server) promFamilies() []obs.Family {
 		dsCourses.Samples = append(dsCourses.Samples, obs.Sample{Labels: l, Value: float64(m.Courses)})
 		dsMaterials.Samples = append(dsMaterials.Samples, obs.Sample{Labels: l, Value: float64(m.Materials)})
 	}
+	idleFam := obs.Family{Name: "csm_dataset_idle_reclaims_total", Help: "Times each dataset's warm state (search index + cache entries) was reclaimed after idling past -idle-ttl.", Type: obs.Counter}
+	reclaims := s.idleReclaimTotals()
+	reclaimIDs := make([]string, 0, len(reclaims))
+	for id := range reclaims {
+		reclaimIDs = append(reclaimIDs, id)
+	}
+	sort.Strings(reclaimIDs)
+	for _, id := range reclaimIDs {
+		idleFam.Samples = append(idleFam.Samples, obs.Sample{
+			Labels: []obs.Label{{Name: "dataset", Value: id}},
+			Value:  float64(reclaims[id]),
+		})
+	}
 	fams = append(fams,
 		gaugeFam("csm_datasets", "Registered datasets.", float64(len(metas))),
-		dsRev, dsCourses, dsMaterials,
+		dsRev, dsCourses, dsMaterials, idleFam,
 	)
 
 	// Tracing: per-(dataset, analysis, stage) latency histograms + ring

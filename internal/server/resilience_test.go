@@ -74,7 +74,7 @@ func TestShedderRejects429UnderOverload(t *testing.T) {
 		resp.Body.Close()
 		firstStatus <- resp.StatusCode
 	}()
-	waitFor(t, "held request admitted", func() bool { return s.shedder.InFlight() == 1 })
+	waitFor(t, "held request admitted", func() bool { return s.limiter.InFlight() == 1 })
 
 	// The server is at capacity: this request is rejected before any
 	// work happens on its behalf.
@@ -87,7 +87,7 @@ func TestShedderRejects429UnderOverload(t *testing.T) {
 	}
 	var e errEnv
 	decode(t, body, &e)
-	if e.Error.Code != "overloaded" {
+	if e.Error.Code != "capacity" {
 		t.Fatalf("error envelope = %+v", e)
 	}
 

@@ -117,11 +117,23 @@ type Options struct {
 	// documents ({"courses": [...]}) registered at startup, each named
 	// after its file stem. An invalid file fails construction.
 	DataDir string
+	// APIKeys, when non-nil, locks the mutating dataset surface
+	// (PUT/DELETE /api/v1/datasets/{ds}) behind its keyring and applies
+	// its dataset grants (ownership, cache budgets, weights) to the
+	// registry. Nil keeps the open single-tenant behavior.
+	APIKeys *KeysFile
+	// IdleTTL, when positive, reclaims a non-default dataset's lazy
+	// search index and warm cache entries after it has gone unqueried
+	// for that long (the reaper goroutine must be started with
+	// StartIdleReaper). Zero disables idle reclamation.
+	IdleTTL time.Duration
 
 	// disableWarmup skips the background readiness warmup so tests can
 	// drive the /readyz transition deterministically; PUT ingests then
 	// mark their dataset ready without warming.
 	disableWarmup bool
+	// clock overrides the idle-reclamation time source (tests).
+	clock func() time.Time
 }
 
 // Server holds the shared state behind the handlers. Dataset snapshots
@@ -137,9 +149,21 @@ type Server struct {
 	logger   *log.Logger
 	noWarmup bool
 
-	shedder  *resilience.Shedder
+	limiter  *resilience.TenantLimiter
 	breakers *resilience.BreakerSet // nil when circuit breaking is disabled
 	faults   *faultinject.Injector  // nil when no chaos is injected
+
+	keys map[string]APIKey // by secret; empty = open mode
+
+	// Idle reclamation: lastAccess tracks per-dataset query activity
+	// under an injectable clock; reclaimed datasets drop their search
+	// index and cache entries until the next touch.
+	clock        func() time.Time
+	idleTTL      time.Duration
+	idleMu       sync.Mutex
+	lastAccess   map[string]time.Time
+	reclaimed    map[string]bool
+	idleReclaims map[string]uint64
 
 	tracer *obs.Tracer
 	events *obs.Logger // nil disables wide-event logging
@@ -180,19 +204,37 @@ func NewWithOptions(o Options) (*Server, error) {
 	} else if maxInFlight < 0 {
 		maxInFlight = 0 // shedder treats 0 as unlimited
 	}
+	clock := o.clock
+	if clock == nil {
+		clock = time.Now
+	}
 	s := &Server{
-		datasets:  dataset.NewRegistry(time.Now),
-		mux:       http.NewServeMux(),
-		cache:     serving.NewCache(size),
-		metrics:   serving.NewMetrics(),
-		logger:    o.Logger,
-		noWarmup:  o.disableWarmup,
-		shedder:   resilience.NewShedder(maxInFlight, 0),
-		faults:    o.Faults,
-		tracer:    o.Tracer,
-		events:    o.Events,
-		searchers: map[string]searcherEntry{},
-		dsState:   map[string]DatasetReady{},
+		datasets:     dataset.NewRegistry(time.Now),
+		mux:          http.NewServeMux(),
+		cache:        serving.NewCache(size),
+		metrics:      serving.NewMetrics(),
+		logger:       o.Logger,
+		noWarmup:     o.disableWarmup,
+		limiter:      resilience.NewTenantLimiter(maxInFlight, 0),
+		faults:       o.Faults,
+		tracer:       o.Tracer,
+		events:       o.Events,
+		searchers:    map[string]searcherEntry{},
+		dsState:      map[string]DatasetReady{},
+		keys:         map[string]APIKey{},
+		clock:        clock,
+		idleTTL:      o.IdleTTL,
+		lastAccess:   map[string]time.Time{},
+		reclaimed:    map[string]bool{},
+		idleReclaims: map[string]uint64{},
+	}
+	if o.APIKeys != nil {
+		for _, k := range o.APIKeys.Keys {
+			s.keys[k.Key] = k
+		}
+		for id, g := range o.APIKeys.Datasets {
+			s.datasets.SetAttrs(id, dataset.Attrs{Owner: g.Owner, CacheBudget: g.CacheBudget, Weight: g.Weight})
+		}
 	}
 	if o.DataDir != "" {
 		if _, err := s.datasets.LoadDir(o.DataDir); err != nil {
@@ -216,9 +258,17 @@ func NewWithOptions(o Options) (*Server, error) {
 		StaleServe: !o.DisableStaleServe,
 	})
 	s.exec.SetBatchWorkers(o.BatchWorkers)
+	s.retuneTenancy()
 	s.metrics.ObserveCache(s.cache)
 	s.metrics.ObserveResilience(func() resilience.Stats {
-		st := resilience.Stats{Shedder: s.shedder.Stats()}
+		var st resilience.Stats
+		st.Shedder, st.Tenants = s.limiter.Stats()
+		if len(st.Tenants) == 1 {
+			if _, only := st.Tenants[dataset.DefaultID]; only {
+				// Single-tenant snapshots keep the legacy shape.
+				st.Tenants = nil
+			}
+		}
 		if s.breakers != nil {
 			st.Breakers = s.breakers.Stats()
 		}
@@ -298,12 +348,45 @@ func (s *Server) handle(pattern string, h http.Handler) {
 }
 
 // handleAPI registers an /api/v1 route behind request tracing, the
-// load shedder, and (when configured) the fault injector, inside the
-// per-route instrumentation so shed 429s are metered against their
-// route. Tracing wraps the shedder so shed requests still produce a
-// trace and a wide event.
+// two-level admission limiter, and (when configured) the fault
+// injector, inside the per-route instrumentation so shed 429s are
+// metered against their route. Tracing wraps the limiter so shed
+// requests still produce a trace and a wide event. The limiter
+// attributes each request to the dataset it targets (the {ds} path
+// value; un-scoped aliases and non-dataset routes bill the default
+// tenant), so one tenant's flood cannot consume another's quota.
 func (s *Server) handleAPI(pattern string, h http.Handler) {
-	s.handle(pattern, s.traced(pattern, serving.Shed(s.shedder, s.faults.Middleware(h))))
+	tenantOf := func(r *http.Request) string {
+		ds, _ := requestDataset(r)
+		return ds
+	}
+	s.handle(pattern, s.traced(pattern, serving.Shed(s.limiter, tenantOf, s.faults.Middleware(h))))
+}
+
+// retuneTenancy recomputes the cache partition and admission quotas
+// from the current dataset set and its registry attrs. Called at
+// construction and after every dataset PUT/DELETE, so budgets track
+// the tenant population: with only the default dataset registered the
+// whole cache and the whole admission cap belong to it (legacy
+// single-tenant behavior), and each additional tenant gets a weighted
+// fair share, overridable per dataset via Attrs.CacheBudget.
+func (s *Server) retuneTenancy() {
+	ids := s.datasets.IDs()
+	overrides := make(map[string]int)
+	weights := make(map[string]float64, len(ids))
+	for _, id := range ids {
+		a := s.datasets.Attrs(id)
+		if a.CacheBudget > 0 {
+			overrides[id] = a.CacheBudget
+		}
+		w := a.Weight
+		if w <= 0 {
+			w = 1
+		}
+		weights[id] = w
+	}
+	s.cache.Partition(ids, overrides)
+	s.limiter.SetTenants(weights)
 }
 
 // route dispatches through the mux, replacing its plain-text 404/405
@@ -444,6 +527,7 @@ func requestDataset(r *http.Request) (ds string, scoped bool) {
 // error response has already been written (or, for a disconnected
 // client, suppressed).
 func (s *Server) execAnalysis(w http.ResponseWriter, r *http.Request, ds, name string, values url.Values) (interface{}, engine.Outcome, bool) {
+	s.touchDataset(ds)
 	v, out, err := s.exec.RunOn(r.Context(), ds, name, values)
 	if err == nil {
 		if out.Stale {
@@ -520,6 +604,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request",
 			"batch of %d items exceeds the limit of %d", len(req.Items), engine.MaxBatchItems)
 		return
+	}
+	for _, it := range req.Items {
+		if it.Dataset != "" {
+			s.touchDataset(it.Dataset)
+		}
 	}
 	results := s.exec.RunBatch(r.Context(), req.Items)
 	if r.Context().Err() != nil {
@@ -724,6 +813,7 @@ func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) *dataset.Snaps
 		writeError(w, http.StatusNotFound, "not_found", "unknown dataset %q", ds)
 		return nil
 	}
+	s.touchDataset(ds)
 	return snap
 }
 

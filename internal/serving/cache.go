@@ -3,6 +3,7 @@ package serving
 import (
 	"container/list"
 	"context"
+	"sort"
 	"sync"
 
 	"csmaterials/internal/obs"
@@ -20,6 +21,16 @@ import (
 // The stale store only ever holds values that were at some point
 // computed successfully.
 //
+// The cache is tenant-partitionable: a scope function (SetScopeFunc)
+// maps every key to a scope — in the multi-dataset engine, the dataset
+// ID — and each scope owns its own LRU lists, counters, and capacity
+// budget. Eviction is scoped: a tenant filling its budget evicts only
+// its own entries, never another tenant's. Budgets default to a fair
+// share of the global capacity across the scopes declared with
+// Partition and can be overridden per scope. Without a scope function
+// every key lands in the single "" scope with the full capacity as its
+// budget, which is exactly the pre-partitioned behaviour.
+//
 // A capacity <= 0 disables retention — every Do misses and nothing is
 // kept for stale serving — but singleflight deduplication still
 // collapses concurrent callers.
@@ -27,19 +38,38 @@ type Cache struct {
 	capacity int
 	group    Group
 
-	mu    sync.Mutex
+	mu       sync.Mutex
+	scopeOf  func(key string) string // nil → everything in scope ""
+	scopes   map[string]*scopeStore
+	declared []string       // scopes sharing the capacity (sorted)
+	budgets  map[string]int // per-scope overrides
+
+	shared uint64
+}
+
+// scopeStore is one scope's partition: its own fresh LRU, stale store,
+// and accounting, so tenants cannot observe (or disturb) each other
+// through shared lists or counters.
+type scopeStore struct {
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
-	staleCap   int
 	staleLL    *list.List // front = most recently written/used
 	staleItems map[string]*list.Element
 
 	hits        uint64
 	misses      uint64
 	evictions   uint64
-	shared      uint64
 	staleServed uint64
+}
+
+func newScopeStore() *scopeStore {
+	return &scopeStore{
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		staleLL:    list.New(),
+		staleItems: make(map[string]*list.Element),
+	}
 }
 
 type cacheEntry struct {
@@ -48,15 +78,106 @@ type cacheEntry struct {
 }
 
 // NewCache returns a cache holding at most capacity fresh entries and
-// 2*capacity stale last-known-good entries.
+// 2*capacity stale last-known-good entries, all in one unpartitioned
+// scope until SetScopeFunc/Partition carve it up.
 func NewCache(capacity int) *Cache {
 	return &Cache{
-		capacity:   capacity,
-		ll:         list.New(),
-		items:      make(map[string]*list.Element),
-		staleCap:   2 * capacity,
-		staleLL:    list.New(),
-		staleItems: make(map[string]*list.Element),
+		capacity: capacity,
+		scopes:   map[string]*scopeStore{},
+		budgets:  map[string]int{},
+	}
+}
+
+// SetScopeFunc installs the key→scope mapping used to partition the
+// cache. Call it before the cache holds entries: existing entries keep
+// the scope they were stored under.
+func (c *Cache) SetScopeFunc(f func(key string) string) {
+	c.mu.Lock()
+	c.scopeOf = f
+	c.mu.Unlock()
+}
+
+// Partition declares the scopes that share the global capacity and the
+// per-scope budget overrides (entries; scopes absent from overrides get
+// a fair share of what the overrides leave). It is called again
+// whenever the tenant set changes; shrunken budgets are enforced
+// immediately, evicting over-budget entries scope by scope.
+func (c *Cache) Partition(scopes []string, overrides map[string]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.declared = append([]string(nil), scopes...)
+	sort.Strings(c.declared)
+	c.budgets = make(map[string]int, len(overrides))
+	for s, b := range overrides {
+		if b > 0 {
+			c.budgets[s] = b
+		}
+	}
+	for scope, st := range c.scopes {
+		c.enforceLocked(scope, st)
+	}
+}
+
+// scopeLocked resolves key's scope and returns its store, creating the
+// partition on first touch; callers hold c.mu.
+func (c *Cache) scopeLocked(key string) (string, *scopeStore) {
+	scope := ""
+	if c.scopeOf != nil {
+		scope = c.scopeOf(key)
+	}
+	st, ok := c.scopes[scope]
+	if !ok {
+		st = newScopeStore()
+		c.scopes[scope] = st
+	}
+	return scope, st
+}
+
+// budgetLocked is scope's fresh-entry budget: its override when one is
+// set, otherwise an equal share of the capacity the overrides leave
+// free, split across the declared scopes without overrides (never below
+// one entry, so a tenant can always retain something). With no declared
+// scopes — the unpartitioned, single-tenant case — the budget is the
+// whole capacity. Callers hold c.mu.
+func (c *Cache) budgetLocked(scope string) int {
+	if b, ok := c.budgets[scope]; ok {
+		return b
+	}
+	if len(c.declared) == 0 {
+		return c.capacity
+	}
+	reserved, unoverridden := 0, 0
+	for _, s := range c.declared {
+		if b, ok := c.budgets[s]; ok {
+			reserved += b
+		} else {
+			unoverridden++
+		}
+	}
+	if unoverridden == 0 {
+		unoverridden = 1 // undeclared scope asking: act like one claimant
+	}
+	share := (c.capacity - reserved) / unoverridden
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// enforceLocked evicts scope's least-recently-used entries until it is
+// within budget (fresh) and twice budget (stale); callers hold c.mu.
+func (c *Cache) enforceLocked(scope string, st *scopeStore) {
+	budget := c.budgetLocked(scope)
+	for st.ll.Len() > budget {
+		oldest := st.ll.Back()
+		st.ll.Remove(oldest)
+		delete(st.items, oldest.Value.(*cacheEntry).key)
+		st.evictions++
+	}
+	for st.staleLL.Len() > 2*budget {
+		oldest := st.staleLL.Back()
+		st.staleLL.Remove(oldest)
+		delete(st.staleItems, oldest.Value.(*cacheEntry).key)
 	}
 }
 
@@ -64,72 +185,68 @@ func NewCache(capacity int) *Cache {
 func (c *Cache) Get(key string) (interface{}, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.touchStale(key) // keep the stale copy as warm as the fresh one
-		c.hits++
+	_, st := c.scopeLocked(key)
+	if el, ok := st.items[key]; ok {
+		st.ll.MoveToFront(el)
+		touchStale(st, key) // keep the stale copy as warm as the fresh one
+		st.hits++
 		return el.Value.(*cacheEntry).val, true
 	}
-	c.misses++
+	st.misses++
 	return nil, false
 }
 
-// put stores key→val in both the fresh LRU and the stale store,
-// evicting least-recently-used entries from each when over capacity.
+// put stores key→val in its scope's fresh LRU and stale store,
+// evicting least-recently-used entries of THAT SCOPE when over its
+// budget.
 func (c *Cache) put(key string, val interface{}) {
 	if c.capacity <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.putStale(key, val)
-	if el, ok := c.items[key]; ok {
+	scope, st := c.scopeLocked(key)
+	putStale(st, key, val)
+	if el, ok := st.items[key]; ok {
 		el.Value.(*cacheEntry).val = val
-		c.ll.MoveToFront(el)
+		st.ll.MoveToFront(el)
+		c.enforceLocked(scope, st)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
-	for c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.evictions++
-	}
+	st.items[key] = st.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.enforceLocked(scope, st)
 }
 
-// putStale upserts key→val into the stale store; callers hold c.mu.
-func (c *Cache) putStale(key string, val interface{}) {
-	if el, ok := c.staleItems[key]; ok {
+// putStale upserts key→val into the scope's stale store; callers hold
+// c.mu (the bound is enforced by enforceLocked).
+func putStale(st *scopeStore, key string, val interface{}) {
+	if el, ok := st.staleItems[key]; ok {
 		el.Value.(*cacheEntry).val = val
-		c.staleLL.MoveToFront(el)
+		st.staleLL.MoveToFront(el)
 		return
 	}
-	c.staleItems[key] = c.staleLL.PushFront(&cacheEntry{key: key, val: val})
-	for c.staleLL.Len() > c.staleCap {
-		oldest := c.staleLL.Back()
-		c.staleLL.Remove(oldest)
-		delete(c.staleItems, oldest.Value.(*cacheEntry).key)
-	}
+	st.staleItems[key] = st.staleLL.PushFront(&cacheEntry{key: key, val: val})
 }
 
 // touchStale marks key's stale copy recently used; callers hold c.mu.
-func (c *Cache) touchStale(key string) {
-	if el, ok := c.staleItems[key]; ok {
-		c.staleLL.MoveToFront(el)
+func touchStale(st *scopeStore, key string) {
+	if el, ok := st.staleItems[key]; ok {
+		st.staleLL.MoveToFront(el)
 	}
 }
 
-// Stale returns the last-known-good value for key from the stale
-// store, counting a stale serve when found. Callers use it as the
+// Stale returns the last-known-good value for key from its scope's
+// stale store, counting a stale serve when found. Callers use it as the
 // degraded fallback after Do failed (or was rejected by an open
 // circuit); a found entry is marked recently used so actively
 // degraded keys are the last to fall out.
 func (c *Cache) Stale(key string) (interface{}, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.staleItems[key]; ok {
-		c.staleLL.MoveToFront(el)
-		c.staleServed++
+	_, st := c.scopeLocked(key)
+	if el, ok := st.staleItems[key]; ok {
+		st.staleLL.MoveToFront(el)
+		st.staleServed++
 		return el.Value.(*cacheEntry).val, true
 	}
 	return nil, false
@@ -197,49 +314,86 @@ func (c *Cache) Do(key string, compute func() (interface{}, error)) (interface{}
 	return c.DoCtx(context.Background(), key, compute)
 }
 
-// Invalidate removes every fresh AND stale entry whose key satisfies
-// match, returning the number of entries dropped across both stores.
-// Unlike Reset it also purges the stale store: an invalidated key must
-// not resurface as a degraded last-known-good serve (the caller knows
-// the value is wrong, not merely old). In-flight singleflight
+// Invalidate removes every fresh AND stale entry (across all scopes)
+// whose key satisfies match, returning the number of entries dropped
+// across both stores. Unlike Reset it also purges the stale store: an
+// invalidated key must not resurface as a degraded last-known-good
+// serve (the caller knows the value is wrong, not merely old). Scope
+// counters are untouched — invalidation is a corpus event, not a
+// tenant teardown (that is DropScope). In-flight singleflight
 // computations are unaffected — they complete for their waiters and
 // store under their (now unmatched or re-matched) keys.
 func (c *Cache) Invalidate(match func(key string) bool) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
-	for el := c.ll.Front(); el != nil; {
-		next := el.Next()
-		if e := el.Value.(*cacheEntry); match(e.key) {
-			c.ll.Remove(el)
-			delete(c.items, e.key)
-			n++
+	for _, st := range c.scopes {
+		for el := st.ll.Front(); el != nil; {
+			next := el.Next()
+			if e := el.Value.(*cacheEntry); match(e.key) {
+				st.ll.Remove(el)
+				delete(st.items, e.key)
+				n++
+			}
+			el = next
 		}
-		el = next
-	}
-	for el := c.staleLL.Front(); el != nil; {
-		next := el.Next()
-		if e := el.Value.(*cacheEntry); match(e.key) {
-			c.staleLL.Remove(el)
-			delete(c.staleItems, e.key)
-			n++
+		for el := st.staleLL.Front(); el != nil; {
+			next := el.Next()
+			if e := el.Value.(*cacheEntry); match(e.key) {
+				st.staleLL.Remove(el)
+				delete(st.staleItems, e.key)
+				n++
+			}
+			el = next
 		}
-		el = next
 	}
 	return n
 }
 
-// Reset drops all retained fresh entries; the stale last-known-good
-// store and the counters are preserved, so a reset (like any other
-// fresh-cache miss) can still degrade to stale serving.
+// DropScope tears down one scope's whole partition — fresh entries,
+// stale entries, AND counters — returning the number of entries
+// dropped. This is the tenant-deletion path: after it, snapshots and
+// /metrics no longer report the scope at all, rather than carrying a
+// ghost tenant's stats forever.
+func (c *Cache) DropScope(scope string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.scopes[scope]
+	if !ok {
+		return 0
+	}
+	n := st.ll.Len() + st.staleLL.Len()
+	delete(c.scopes, scope)
+	return n
+}
+
+// Reset drops all retained fresh entries in every scope; the stale
+// last-known-good stores and the counters are preserved, so a reset
+// (like any other fresh-cache miss) can still degrade to stale serving.
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.ll.Init()
-	c.items = make(map[string]*list.Element)
+	for _, st := range c.scopes {
+		st.ll.Init()
+		st.items = make(map[string]*list.Element)
+	}
 }
 
-// CacheStats is a point-in-time snapshot of the cache counters.
+// ScopeCacheStats is one scope's slice of the cache accounting.
+type ScopeCacheStats struct {
+	Budget      int    `json:"budget"`
+	Size        int    `json:"size"`
+	StaleSize   int    `json:"stale_size"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Evictions   uint64 `json:"evictions"`
+	StaleServed uint64 `json:"stale_served"`
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters. The
+// top-level fields aggregate across scopes; Scopes breaks the same
+// accounting down per named partition (absent while the cache is
+// unpartitioned, so the single-tenant snapshot keeps its old shape).
 type CacheStats struct {
 	Hits        uint64 `json:"hits"`
 	Misses      uint64 `json:"misses"`
@@ -249,20 +403,46 @@ type CacheStats struct {
 	Capacity    int    `json:"capacity"`
 	StaleSize   int    `json:"stale_size"`
 	StaleServed uint64 `json:"stale_served"`
+
+	Scopes map[string]ScopeCacheStats `json:"scopes,omitempty"`
 }
 
-// Stats snapshots the hit/miss/eviction/stale accounting.
+// Stats snapshots the hit/miss/eviction/stale accounting, aggregated
+// and per scope.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Shared:      c.shared,
-		Evictions:   c.evictions,
-		Size:        c.ll.Len(),
-		Capacity:    c.capacity,
-		StaleSize:   c.staleLL.Len(),
-		StaleServed: c.staleServed,
+	out := CacheStats{Capacity: c.capacity, Shared: c.shared}
+	for scope, st := range c.scopes {
+		out.Hits += st.hits
+		out.Misses += st.misses
+		out.Evictions += st.evictions
+		out.Size += st.ll.Len()
+		out.StaleSize += st.staleLL.Len()
+		out.StaleServed += st.staleServed
+		if scope == "" {
+			continue // the unpartitioned scope is the aggregate itself
+		}
+		if out.Scopes == nil {
+			out.Scopes = make(map[string]ScopeCacheStats)
+		}
+		out.Scopes[scope] = ScopeCacheStats{
+			Budget:      c.budgetLocked(scope),
+			Size:        st.ll.Len(),
+			StaleSize:   st.staleLL.Len(),
+			Hits:        st.hits,
+			Misses:      st.misses,
+			Evictions:   st.evictions,
+			StaleServed: st.staleServed,
+		}
 	}
+	return out
+}
+
+// ScopeBudget reports the current fresh-entry budget of scope (the
+// override when set, the fair share otherwise).
+func (c *Cache) ScopeBudget(scope string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budgetLocked(scope)
 }

@@ -289,3 +289,235 @@ func TestCacheDisabledHasNoStale(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+// --- Partitioned (multi-tenant) cache --------------------------------------
+
+// tenantScope maps "<tenant>:<rest>" keys to their tenant; keys with
+// no prefix land in the shared "" scope.
+func tenantScope(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == ':' {
+			return key[:i]
+		}
+	}
+	return ""
+}
+
+func newPartitioned(capacity int, overrides map[string]int, tenants ...string) *Cache {
+	c := NewCache(capacity)
+	c.SetScopeFunc(tenantScope)
+	c.Partition(tenants, overrides)
+	return c
+}
+
+func fill(t *testing.T, c *Cache, keys ...string) {
+	t.Helper()
+	for _, k := range keys {
+		k := k
+		if _, _, err := c.Do(k, func() (interface{}, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCacheScopedEviction is the core isolation property: tenant a
+// overfilling its budget evicts only its own entries; tenant b's stay.
+func TestCacheScopedEviction(t *testing.T) {
+	c := newPartitioned(8, nil, "a", "b") // fair share: 4 each
+	if got := c.ScopeBudget("a"); got != 4 {
+		t.Fatalf("budget(a) = %d, want 4", got)
+	}
+	fill(t, c, "b:1", "b:2", "b:3", "b:4")
+	fill(t, c, "a:1", "a:2", "a:3", "a:4", "a:5", "a:6", "a:7", "a:8", "a:9", "a:10")
+
+	st := c.Stats()
+	a, b := st.Scopes["a"], st.Scopes["b"]
+	if a.Size != 4 || a.Evictions != 6 {
+		t.Fatalf("scope a = %+v, want size 4 with 6 evictions", a)
+	}
+	if b.Size != 4 || b.Evictions != 0 {
+		t.Fatalf("scope b = %+v, want untouched by a's flood", b)
+	}
+	for _, k := range []string{"b:1", "b:2", "b:3", "b:4"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("b's entry %q evicted by a's fill", k)
+		}
+	}
+}
+
+// TestCacheBudgetOverrides: explicit budgets are honored and the
+// remaining capacity is split fairly across unoverridden tenants.
+func TestCacheBudgetOverrides(t *testing.T) {
+	c := newPartitioned(10, map[string]int{"big": 6}, "big", "s1", "s2")
+	if got := c.ScopeBudget("big"); got != 6 {
+		t.Fatalf("budget(big) = %d, want override 6", got)
+	}
+	if got := c.ScopeBudget("s1"); got != 2 {
+		t.Fatalf("budget(s1) = %d, want (10-6)/2 = 2", got)
+	}
+	// Budgets never round down to zero.
+	c2 := newPartitioned(2, nil, "a", "b", "c", "d")
+	if got := c2.ScopeBudget("a"); got != 1 {
+		t.Fatalf("tiny budget = %d, want floor of 1", got)
+	}
+}
+
+// TestCacheRepartitionShrinkEvicts: tightening a tenant's budget via a
+// new Partition call trims it immediately, counting scoped evictions.
+func TestCacheRepartitionShrinkEvicts(t *testing.T) {
+	c := newPartitioned(8, nil, "a") // a alone: budget 8
+	fill(t, c, "a:1", "a:2", "a:3", "a:4", "a:5", "a:6")
+	c.Partition([]string{"a", "b"}, nil) // now 4 each
+	st := c.Stats()
+	if a := st.Scopes["a"]; a.Size != 4 || a.Evictions != 2 {
+		t.Fatalf("scope a after shrink = %+v, want size 4, 2 evictions", a)
+	}
+	// LRU order respected: the oldest two went.
+	if _, ok := c.Get("a:1"); ok {
+		t.Fatal("a:1 survived the shrink")
+	}
+	if _, ok := c.Get("a:6"); !ok {
+		t.Fatal("a:6 (most recent) evicted by the shrink")
+	}
+}
+
+// TestCacheStaleStoreInheritsPartition: each scope's stale store is
+// bounded at twice its budget, independently of other tenants.
+func TestCacheStaleStoreInheritsPartition(t *testing.T) {
+	c := newPartitioned(4, nil, "a", "b") // 2 each, stale 4 each
+	fill(t, c, "b:1", "b:2")
+	for i := 0; i < 10; i++ {
+		fill(t, c, "a:"+string(rune('0'+i)))
+	}
+	st := c.Stats()
+	if a := st.Scopes["a"]; a.StaleSize != 4 {
+		t.Fatalf("scope a stale size = %d, want 2x budget = 4", a.StaleSize)
+	}
+	if _, ok := c.Stale("b:1"); !ok {
+		t.Fatal("b's stale entry displaced by a's churn")
+	}
+}
+
+// TestCacheDropScopeResetsCounters: DropScope removes the entries AND
+// the per-scope counters, so a deleted tenant vanishes from snapshots
+// instead of ghosting at its last values.
+func TestCacheDropScopeResetsCounters(t *testing.T) {
+	c := newPartitioned(8, nil, "a", "b")
+	fill(t, c, "a:1", "a:2", "b:1")
+	c.Get("a:1")
+	n := c.DropScope("a")
+	if n != 4 { // 2 fresh + 2 stale
+		t.Fatalf("DropScope dropped %d entries, want 4", n)
+	}
+	st := c.Stats()
+	if _, ok := st.Scopes["a"]; ok {
+		t.Fatalf("dropped scope still in stats: %+v", st.Scopes)
+	}
+	if _, ok := st.Scopes["b"]; !ok {
+		t.Fatal("unrelated scope dropped")
+	}
+	// The key space is reusable from zero.
+	if _, ok := c.Get("a:1"); ok {
+		t.Fatal("dropped entry still served")
+	}
+	if got := c.Stats().Scopes["a"].Hits; got != 0 {
+		t.Fatalf("recreated scope inherited hits = %d", got)
+	}
+}
+
+// TestCacheInvalidateKeepsScopeCounters: Invalidate is a corpus event
+// (re-ingest), not a tenant teardown — the scope's counters survive.
+func TestCacheInvalidateKeepsScopeCounters(t *testing.T) {
+	c := newPartitioned(8, nil, "a", "b")
+	fill(t, c, "a:1", "a:2")
+	c.Get("a:1")
+	dropped := c.Invalidate(func(key string) bool { return tenantScope(key) == "a" })
+	if dropped != 4 {
+		t.Fatalf("Invalidate dropped %d, want 4", dropped)
+	}
+	a := c.Stats().Scopes["a"]
+	if a.Size != 0 || a.StaleSize != 0 {
+		t.Fatalf("scope a entries survived: %+v", a)
+	}
+	if a.Hits != 1 || a.Misses != 2 {
+		t.Fatalf("scope a counters reset by Invalidate: %+v", a)
+	}
+}
+
+// TestCacheConcurrentInvalidateDoCtxEvictionRace hammers the three
+// mutation paths — DoCtx computes at the budget boundary, Invalidate
+// sweeps, and scoped eviction — concurrently across two tenants. Run
+// under -race this proves the partitioned stores share no unguarded
+// state; the assertions prove isolation holds through the churn.
+func TestCacheConcurrentInvalidateDoCtxEvictionRace(t *testing.T) {
+	c := newPartitioned(4, nil, "a", "b") // budget 2 each: every put is at the boundary
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	worker := func(tenant string) {
+		defer wg.Done()
+		keys := []string{tenant + ":1", tenant + ":2", tenant + ":3"}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := keys[i%len(keys)]
+			if _, _, err := c.DoCtx(ctx, k, func() (interface{}, error) { return i, nil }); err != nil {
+				t.Errorf("DoCtx(%q): %v", k, err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go worker("a")
+	go worker("b")
+
+	wg.Add(1)
+	go func() { // concurrent invalidation of tenant a only
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Invalidate(func(key string) bool { return tenantScope(key) == "a" })
+			}
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	st := c.Stats()
+	for scope, sc := range st.Scopes {
+		if sc.Size > c.ScopeBudget(scope) {
+			t.Fatalf("scope %s over budget: %+v", scope, sc)
+		}
+		if sc.StaleSize > 2*c.ScopeBudget(scope) {
+			t.Fatalf("scope %s stale over bound: %+v", scope, sc)
+		}
+	}
+	// b was never invalidated and never contended for a's budget: its
+	// three keys rotate through a budget of two, nothing more.
+	if b := st.Scopes["b"]; b.Size != 2 {
+		t.Fatalf("scope b size = %d, want full budget of 2", b.Size)
+	}
+}
+
+// TestCacheUnpartitionedScopeExcludedFromScopes: the "" scope is the
+// aggregate itself; single-tenant snapshots keep their legacy shape.
+func TestCacheUnpartitionedScopeExcludedFromScopes(t *testing.T) {
+	c := NewCache(4)
+	fill(t, c, "x", "y")
+	st := c.Stats()
+	if st.Scopes != nil {
+		t.Fatalf("unpartitioned cache reported scopes: %+v", st.Scopes)
+	}
+	if st.Size != 2 {
+		t.Fatalf("aggregate size = %d", st.Size)
+	}
+}

@@ -122,25 +122,40 @@ func Instrument(m *Metrics, route string, next http.Handler) http.Handler {
 	})
 }
 
-// Shed rejects requests beyond the shedder's in-flight limit with a
+// Shed rejects requests past the two-level admission limiter with a
 // 429 JSON error envelope and a Retry-After hint, before any work is
-// done on their behalf. A nil shedder disables shedding.
-func Shed(sh *resilience.Shedder, next http.Handler) http.Handler {
-	if sh == nil {
+// done on their behalf. The rejecting scope is threaded into the
+// envelope: "capacity" when the global in-flight cap is exhausted,
+// "tenant_quota" when the requesting tenant is over its own quota
+// while the server still has headroom. tenantOf maps a request to its
+// tenant (dataset) id; nil attributes everything to one tenant. A nil
+// limiter disables shedding.
+func Shed(l *resilience.TenantLimiter, tenantOf func(*http.Request) string, next http.Handler) http.Handler {
+	if l == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !sh.Acquire() {
-			w.Header().Set("Retry-After", RetryAfterSeconds(sh.RetryAfter()))
+		tenant := ""
+		if tenantOf != nil {
+			tenant = tenantOf(r)
+		}
+		res := l.Acquire(tenant)
+		if res != resilience.Admitted {
+			w.Header().Set("Retry-After", RetryAfterSeconds(l.RetryAfter(tenant, res)))
+			code, msg := "capacity", "server is at capacity, retry later"
+			if res == resilience.ShedQuota {
+				code = "tenant_quota"
+				msg = "dataset " + strconv.Quote(tenant) + " is over its admission quota, retry later"
+			}
 			WriteJSON(w, http.StatusTooManyRequests, map[string]interface{}{
 				"error": map[string]string{
-					"code":    "overloaded",
-					"message": "server is at capacity, retry later",
+					"code":    code,
+					"message": msg,
 				},
 			})
 			return
 		}
-		defer sh.Release()
+		defer l.Release(tenant)
 		next.ServeHTTP(w, r)
 	})
 }
