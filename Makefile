@@ -8,11 +8,14 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project lint engine (internal/lint via cmd/lint): determinism,
-# floatcompare, errdrop, httpwrite, and lockdiscipline analyzers.
-# Non-zero exit on any diagnostic; see DESIGN §8 for the contracts.
+# Project lint engine (internal/lint via cmd/lint): the full
+# interprocedural rule set — determinism, floatcompare, errdrop,
+# httpwrite, lockdiscipline, ctxflow, goroutinelife, metriclabel — over
+# the module call graph, with the committed baseline applied. Non-zero
+# exit on any non-baselined diagnostic; see DESIGN §8 for the contracts
+# and docs/operations.md for reading findings.
 lint:
-	$(GO) run ./cmd/lint ./...
+	$(GO) run ./cmd/lint -baseline lint-baseline.json ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"csmaterials/internal/lint"
+)
+
+// Baseline is the committed suppression file (-baseline). Each entry
+// names one known finding that is accepted for now; entries without a
+// justification are rejected so a suppression can never be silent.
+// Matching is deliberately narrow — rule and module-relative file must
+// match exactly, and the entry's message must be a substring of the
+// diagnostic's — so a baseline entry cannot swallow a new, different
+// finding in the same file.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry suppresses diagnostics of one rule in one file whose
+// message contains Message.
+type BaselineEntry struct {
+	Rule string `json:"rule"`
+	File string `json:"file"`
+	// Message is matched as a substring of the diagnostic message; ""
+	// is rejected (it would suppress every finding of the rule in the
+	// file without saying which).
+	Message string `json:"message"`
+	// Justification explains why the finding is accepted rather than
+	// fixed. Required and non-empty.
+	Justification string `json:"justification"`
+}
+
+// loadBaseline parses and validates the suppression file.
+func loadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var b Baseline
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	for i, e := range b.Entries {
+		switch {
+		case e.Rule == "" || e.File == "":
+			return nil, fmt.Errorf("lint: baseline %s entry %d: rule and file are required", path, i)
+		case strings.TrimSpace(e.Message) == "":
+			return nil, fmt.Errorf("lint: baseline %s entry %d (%s in %s): message is required", path, i, e.Rule, e.File)
+		case strings.TrimSpace(e.Justification) == "":
+			return nil, fmt.Errorf("lint: baseline %s entry %d (%s in %s): justification is required", path, i, e.Rule, e.File)
+		}
+	}
+	return &b, nil
+}
+
+// matches reports whether the entry suppresses the diagnostic (whose
+// filename has already been made module-relative).
+func (e BaselineEntry) matches(relFile string, d lint.Diagnostic) bool {
+	return e.Rule == d.Rule && e.File == relFile && strings.Contains(d.Message, e.Message)
+}
+
+// apply partitions diags into kept findings and suppressed ones, and
+// returns the baseline entries that matched nothing — stale entries the
+// caller should warn about so the file shrinks as findings are fixed.
+func (b *Baseline) apply(diags []lint.Diagnostic, root string) (kept []lint.Diagnostic, suppressed int, stale []BaselineEntry) {
+	used := make([]bool, len(b.Entries))
+	for _, d := range diags {
+		rel := relTo(root, d.Pos.Filename)
+		hit := false
+		for i, e := range b.Entries {
+			if e.matches(rel, d) {
+				used[i] = true
+				hit = true
+			}
+		}
+		if hit {
+			suppressed++
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	for i, e := range b.Entries {
+		if !used[i] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, suppressed, stale
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"csmaterials/internal/lint"
+)
+
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBaselineRequiresJustification(t *testing.T) {
+	path := writeBaseline(t, `{"entries": [
+		{"rule": "ctxflow", "file": "internal/x/y.go", "message": "detached context", "justification": ""}
+	]}`)
+	if _, err := loadBaseline(path); err == nil {
+		t.Fatal("baseline entry without justification must be rejected")
+	}
+}
+
+func TestLoadBaselineRequiresMessage(t *testing.T) {
+	path := writeBaseline(t, `{"entries": [
+		{"rule": "ctxflow", "file": "internal/x/y.go", "message": "", "justification": "legacy"}
+	]}`)
+	if _, err := loadBaseline(path); err == nil {
+		t.Fatal("baseline entry without a message must be rejected (it would match everything)")
+	}
+}
+
+func TestLoadBaselineRejectsUnknownFields(t *testing.T) {
+	path := writeBaseline(t, `{"entries": [
+		{"rule": "r", "file": "f.go", "message": "m", "justification": "j", "oops": true}
+	]}`)
+	if _, err := loadBaseline(path); err == nil {
+		t.Fatal("unknown baseline fields must be rejected, not silently ignored")
+	}
+}
+
+func diagAt(root, rel, rule, msg string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Pos:     token.Position{Filename: filepath.Join(root, rel), Line: 10, Column: 2},
+		Rule:    rule,
+		Message: msg,
+	}
+}
+
+func TestBaselineApply(t *testing.T) {
+	root := "/mod"
+	b := &Baseline{Entries: []BaselineEntry{
+		{Rule: "goroutinelife", File: "internal/server/server.go", Message: "no reachable stop", Justification: "migration in flight"},
+		{Rule: "metriclabel", File: "internal/server/prom.go", Message: "never matches anything", Justification: "stale on purpose"},
+	}}
+	diags := []lint.Diagnostic{
+		diagAt(root, "internal/server/server.go", "goroutinelife", "goroutine launched here has no reachable stop or wait path"),
+		// Same file, same rule, different message: must survive.
+		diagAt(root, "internal/server/server.go", "goroutinelife", "goroutine launches a dynamic function value"),
+		// Same message, different file: must survive.
+		diagAt(root, "internal/server/datasets.go", "goroutinelife", "goroutine launched here has no reachable stop or wait path"),
+	}
+	kept, suppressed, stale := b.apply(diags, root)
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", suppressed)
+	}
+	if len(kept) != 2 {
+		t.Fatalf("kept %d findings, want 2: %v", len(kept), kept)
+	}
+	if kept[0].Message != "goroutine launches a dynamic function value" {
+		t.Errorf("wrong finding suppressed: kept[0] = %v", kept[0])
+	}
+	if len(stale) != 1 || stale[0].Rule != "metriclabel" {
+		t.Errorf("stale = %v, want the metriclabel entry only", stale)
+	}
+}
+
+func TestBaselineEmptyIsValid(t *testing.T) {
+	path := writeBaseline(t, `{"entries": []}`)
+	b, err := loadBaseline(path)
+	if err != nil {
+		t.Fatalf("empty baseline must load: %v", err)
+	}
+	kept, suppressed, stale := b.apply([]lint.Diagnostic{diagAt("/mod", "a.go", "r", "m")}, "/mod")
+	if len(kept) != 1 || suppressed != 0 || len(stale) != 0 {
+		t.Errorf("empty baseline must be a no-op: kept=%d suppressed=%d stale=%d", len(kept), suppressed, len(stale))
+	}
+}

@@ -7,6 +7,14 @@
 //	go run ./cmd/lint ./internal/nnmf        # specific package dirs
 //	go run ./cmd/lint -rules determinism,floatcompare ./...
 //	go run ./cmd/lint -exclude examples/ -json ./...
+//	go run ./cmd/lint -baseline lint-baseline.json ./...
+//	go run ./cmd/lint -summary ./internal/engine
+//
+// -baseline points at a committed JSON suppression file; every entry
+// must carry a justification, and entries that no longer match any
+// finding are reported as stale so the file shrinks over time.
+// -summary skips the analyzers and dumps the call-graph summary facts
+// (DESIGN §8) computed for every function in the loaded packages.
 //
 // Exit status: 0 when clean, 1 when any diagnostic was reported, 2 when
 // the module failed to load or type-check.
@@ -34,6 +42,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	exclude := fs.String("exclude", "", "comma-separated path substrings to suppress diagnostics from")
 	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	baselinePath := fs.String("baseline", "", "JSON suppression file; every entry requires a justification")
+	summary := fs.Bool("summary", false, "dump per-function call-graph summaries instead of running analyzers")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: lint [flags] [./... | dirs]\n")
 		fs.PrintDefaults()
@@ -83,8 +93,33 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
+	if *summary {
+		if status != 0 {
+			return status
+		}
+		return dumpSummaries(pkgs, stdout)
+	}
+
 	diags := lint.Run(pkgs, analyzers)
 	diags = filterExcluded(diags, root, *exclude)
+
+	if *baselinePath != "" {
+		baseline, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		var suppressed int
+		var stale []BaselineEntry
+		diags, suppressed, stale = baseline.apply(diags, root)
+		if suppressed > 0 {
+			fmt.Fprintf(stderr, "lint: %d finding(s) suppressed by %s\n", suppressed, *baselinePath)
+		}
+		for _, e := range stale {
+			fmt.Fprintf(stderr, "lint: stale baseline entry: [%s] %s (%q) no longer matches any finding — remove it\n",
+				e.Rule, e.File, e.Message)
+		}
+	}
 
 	if *asJSON {
 		type jsonDiag struct {
@@ -118,6 +153,20 @@ func run(args []string, stdout, stderr *os.File) int {
 		status = 1
 	}
 	return status
+}
+
+// dumpSummaries builds the module call graph and prints one line per
+// declared function: its stable key and the summary facts the
+// interprocedural analyzers would consume ("-" when none).
+func dumpSummaries(pkgs []*lint.Package, stdout *os.File) int {
+	graph := lint.NewModule(pkgs).Graph
+	for _, n := range graph.Nodes() {
+		if n.IsTest() {
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: %s\n", n.Key, n.Describe())
+	}
+	return 0
 }
 
 // loadTargets loads either the whole module (no args or a ./... pattern)

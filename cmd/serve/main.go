@@ -227,6 +227,9 @@ func main() {
 	// Idle-dataset reclamation runs for the process lifetime; servers
 	// embedded in tests never start it.
 	s.StartIdleReaper(ctx)
+	// Ingest-triggered warmups spawned after this point are cancelled by
+	// the signal context and awaited before shutdown-complete.
+	s.BindLifecycle(ctx)
 	// Propagate the signal context into every request so in-flight
 	// handlers observe cancellation during shutdown.
 	srv.BaseContext = func(net.Listener) context.Context { return ctx }
@@ -269,5 +272,6 @@ func main() {
 		fail("serve-failed", err)
 	}
 	<-done
+	s.DrainBackground()
 	events.Event("shutdown-complete", nil)
 }

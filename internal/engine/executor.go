@@ -419,9 +419,9 @@ func (e *Executor) RunParamsOn(ctx context.Context, ds string, a Analysis, p Par
 			e.countStale(scope)
 			obs.AddSpan(ctx, "stale-serve", time.Time{})
 			obs.AddSpan(ctx, "stale-refresh", time.Time{}) // detached refresh launched
-			refresh := guardedWith(context.Background())
+			refresh := guardedWith(context.Background())   // lint:detach DESIGN §9: the stale refresh must outlive the request that tripped it
 			go func() {
-				_, _, _ = e.cache.Do(key, func() (interface{}, error) { return refresh(context.Background()) })
+				_, _, _ = e.cache.Do(key, func() (interface{}, error) { return refresh(context.Background()) }) // lint:detach same blessed refresh, inside the detached flight
 			}()
 			return sv, Outcome{Key: logical, Dataset: ds, Revision: rev, Cache: "stale", Stale: true}, nil
 		}

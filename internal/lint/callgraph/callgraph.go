@@ -1,0 +1,436 @@
+// Package callgraph builds a static, module-wide call graph over the
+// type-checked packages the lint loader produces, and computes the
+// per-function summaries the interprocedural analyzers consume
+// (DESIGN §8). The graph is deliberately conservative:
+//
+//   - direct calls and concrete method calls become static Call edges;
+//   - calls through an interface method become Dynamic edges to every
+//     module type whose method set satisfies the interface (class
+//     hierarchy analysis — over-approximate, never under);
+//   - a function mentioned as a *value* (stored, passed, converted to
+//     http.HandlerFunc, ...) gets a Ref edge from the mentioning
+//     function, so reachability survives first-class function plumbing
+//     without tracking dataflow;
+//   - `go f(...)` produces a Go edge to the launched function.
+//
+// Functions are keyed by a stable string (package path + receiver +
+// name) rather than by *types.Func identity, because the lint loader
+// type-checks a package twice — once as an import (without test files)
+// and once as the unit under analysis (with them) — and the two
+// instances must collapse into one node.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked analysis unit, mirroring lint.Package
+// without importing it (the lint package imports this one).
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// EdgeKind classifies how control can flow from caller to callee.
+type EdgeKind int
+
+const (
+	// Call is a direct call to a statically known function or method.
+	Call EdgeKind = iota
+	// Dynamic is a call through an interface method, resolved
+	// conservatively to every implementing module type.
+	Dynamic
+	// Ref records a function mentioned as a value; whoever holds the
+	// value may call it, so reachability must follow the edge.
+	Ref
+	// Go is a `go` statement launching the callee.
+	Go
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Call:
+		return "call"
+	case Dynamic:
+		return "dynamic"
+	case Ref:
+		return "ref"
+	case Go:
+		return "go"
+	}
+	return "?"
+}
+
+// Edge is one caller→callee relationship at a specific site.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	Kind   EdgeKind
+	// Site is the call (or reference) expression; nil for Ref edges
+	// where only an identifier was seen. Dynamic and Go edges carry the
+	// CallExpr too.
+	Site *ast.CallExpr
+	Pos  token.Pos
+}
+
+// Node is one module function or method.
+type Node struct {
+	// Key is the stable identity: "pkgpath.Func" or
+	// "pkgpath.(Type).Method" (pointer receivers are collapsed onto the
+	// named type).
+	Key string
+	// Func is the types object from the instance that carried syntax.
+	Func *types.Func
+	// Decl is the declaration, nil for functions without module source
+	// (should not happen for nodes created from walked packages).
+	Decl *ast.FuncDecl
+	// Pkg is the analysis package the declaration was found in.
+	Pkg *Package
+	// Out and In are the edges leaving and entering this node, in
+	// source order of their sites.
+	Out []*Edge
+	In  []*Edge
+	// Summary holds the per-function facts computed by Summarize.
+	Summary Summary
+}
+
+// IsTest reports whether the node's declaration sits in a _test.go
+// file.
+func (n *Node) IsTest() bool {
+	if n.Decl == nil || n.Pkg == nil {
+		return false
+	}
+	return strings.HasSuffix(n.Pkg.Fset.Position(n.Decl.Pos()).Filename, "_test.go")
+}
+
+// Graph is the module call graph.
+type Graph struct {
+	nodes  map[string]*Node
+	byDecl map[*ast.FuncDecl]*Node
+	// ifaceMethods maps an interface method key to the concrete
+	// implementations CHA resolved it to (for tests and -summary).
+	pkgs []*Package
+}
+
+// FuncKey renders the stable node identity for a types.Func:
+// "pkg/path.Name" for package functions, "pkg/path.(Recv).Name" for
+// methods (pointer receivers collapse onto the named type, generic
+// instantiations onto their origin).
+func FuncKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return fn.Name() // error.Error and friends
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		name := "?"
+		switch tt := t.(type) {
+		case *types.Named:
+			name = tt.Obj().Name()
+		case *types.Interface:
+			name = "interface"
+		}
+		return pkg.Path() + ".(" + name + ")." + fn.Name()
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+// Build walks every package and assembles the graph. Deterministic:
+// nodes and edges follow source order of the sorted package list.
+func Build(pkgs []*Package) *Graph {
+	g := &Graph{
+		nodes:  make(map[string]*Node),
+		byDecl: make(map[*ast.FuncDecl]*Node),
+		pkgs:   pkgs,
+	}
+	// Pass 1: create a node for every function declaration.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := FuncKey(obj)
+				n, exists := g.nodes[key]
+				if !exists {
+					n = &Node{Key: key}
+					g.nodes[key] = n
+				}
+				n.Func, n.Decl, n.Pkg = obj, fd, pkg
+				g.byDecl[fd] = n
+			}
+		}
+	}
+	// Pass 2: edges. Calls inside function literals are attributed to
+	// the enclosing declared function — the literal only exists because
+	// its encloser ran, so reachability is preserved (over-approximated
+	// for literals that escape, which is the conservative direction).
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller := g.byDecl[fd]
+				g.addEdges(caller, pkg, fd.Body)
+			}
+		}
+	}
+	g.resolveInterfaceEdges()
+	summarize(g)
+	return g
+}
+
+// addEdges walks body once recording Call/Ref/Go edges. A pre-pass
+// collects the identifiers standing in call position (and go-launched
+// call sites) so a direct call yields exactly one edge of the right
+// kind rather than a Call edge shadowed by a Ref edge.
+func (g *Graph) addEdges(caller *Node, pkg *Package, body *ast.BlockStmt) {
+	goCalls := map[*ast.CallExpr]bool{}
+	callIdents := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			goCalls[x.Call] = true
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(x.Fun).(type) {
+			case *ast.Ident:
+				callIdents[fun] = true
+			case *ast.SelectorExpr:
+				callIdents[fun.Sel] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if callee := g.calleeOf(pkg, x); callee != nil {
+				kind := Call
+				if goCalls[x] {
+					kind = Go
+				}
+				g.link(&Edge{Caller: caller, Callee: callee, Kind: kind, Site: x, Pos: x.Pos()})
+			}
+		case *ast.Ident:
+			// A function named outside call position is a value
+			// reference: stored, passed, or converted. Whoever receives
+			// it may call it.
+			if callIdents[x] {
+				return true
+			}
+			if fn, ok := pkg.Info.Uses[x].(*types.Func); ok {
+				if callee := g.nodes[FuncKey(fn)]; callee != nil {
+					g.link(&Edge{Caller: caller, Callee: callee, Kind: Ref, Pos: x.Pos()})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeOf resolves the target of a call expression to a module node,
+// or nil (stdlib calls, func values, builtins).
+func (g *Graph) calleeOf(pkg *Package, call *ast.CallExpr) *Node {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return g.nodes[FuncKey(fn)]
+		}
+	case *ast.SelectorExpr:
+		if sel := pkg.Info.Selections[fun]; sel != nil {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if recvIsInterface(sel.Recv()) {
+					// Marked for CHA resolution in resolveInterfaceEdges;
+					// record under the interface method key so lookups
+					// from any instance converge.
+					return g.ifaceNode(fn)
+				}
+				return g.nodes[FuncKey(fn)]
+			}
+		}
+		// Qualified package call: pkgname.Func.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+					return g.nodes[FuncKey(fn)]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ifaceNode returns (creating on demand) the placeholder node for an
+// interface method; resolveInterfaceEdges fans its edges out to the
+// implementations.
+func (g *Graph) ifaceNode(fn *types.Func) *Node {
+	key := "interface:" + FuncKey(fn)
+	n, ok := g.nodes[key]
+	if !ok {
+		n = &Node{Key: key, Func: fn}
+		g.nodes[key] = n
+	}
+	return n
+}
+
+func recvIsInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// resolveInterfaceEdges performs class-hierarchy analysis: every edge
+// into an interface-method placeholder is fanned out as a Dynamic edge
+// to each module type implementing the interface.
+func (g *Graph) resolveInterfaceEdges() {
+	// Collect module named types once.
+	var named []*types.Named
+	seen := map[string]bool{}
+	for _, pkg := range g.pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			nt, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			k := pkg.Types.Path() + "." + tn.Name()
+			if !seen[k] {
+				seen[k] = true
+				named = append(named, nt)
+			}
+		}
+	}
+	for _, n := range g.nodes {
+		if !strings.HasPrefix(n.Key, "interface:") || len(n.In) == 0 {
+			continue
+		}
+		sig, _ := n.Func.Type().(*types.Signature)
+		if sig == nil || sig.Recv() == nil {
+			continue
+		}
+		iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for _, nt := range named {
+			var impl types.Type = nt
+			if !types.Implements(impl, iface) {
+				impl = types.NewPointer(nt)
+				if !types.Implements(impl, iface) {
+					continue
+				}
+			}
+			obj, _, _ := types.LookupFieldOrMethod(impl, true, n.Func.Pkg(), n.Func.Name())
+			m, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			target := g.nodes[FuncKey(m)]
+			if target == nil {
+				continue
+			}
+			for _, e := range n.In {
+				g.link(&Edge{Caller: e.Caller, Callee: target, Kind: Dynamic, Site: e.Site, Pos: e.Pos})
+			}
+		}
+	}
+}
+
+func (g *Graph) link(e *Edge) {
+	if e.Caller == nil || e.Callee == nil {
+		return
+	}
+	e.Caller.Out = append(e.Caller.Out, e)
+	e.Callee.In = append(e.Callee.In, e)
+}
+
+// NodeOf returns the node for a types.Func from any type-check
+// instance, or nil.
+func (g *Graph) NodeOf(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[FuncKey(fn)]
+}
+
+// NodeOfDecl returns the node for a function declaration, or nil.
+func (g *Graph) NodeOfDecl(fd *ast.FuncDecl) *Node { return g.byDecl[fd] }
+
+// Lookup returns the node with the given stable key, or nil.
+func (g *Graph) Lookup(key string) *Node { return g.nodes[key] }
+
+// Nodes returns every declared (non-placeholder) node sorted by key.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for key, n := range g.nodes {
+		if strings.HasPrefix(key, "interface:") || n.Decl == nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Reachable computes the transitive closure from roots over Call,
+// Dynamic, Ref, and Go edges — everything that may execute as a
+// consequence of a root running.
+func (g *Graph) Reachable(roots []*Node) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var stack []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Out {
+			c := e.Callee
+			if c == nil || seen[c] {
+				continue
+			}
+			if strings.HasPrefix(c.Key, "interface:") {
+				continue // placeholders resolved separately
+			}
+			seen[c] = true
+			stack = append(stack, c)
+		}
+	}
+	return seen
+}

@@ -1,0 +1,540 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ParamPair is an unordered pair of parameter indices compared through
+// the same selector path: {0, 1, ".Score"} means param0.Score and
+// param1.Score are compared. I < J always.
+type ParamPair struct {
+	I, J int
+	// Path is the selector suffix applied to both parameters ("" for
+	// the bare parameter).
+	Path string
+}
+
+// Summary is the per-function fact set the interprocedural analyzers
+// consume. All sets are computed conservatively: a missing fact never
+// means "proven absent", only "not proven present" — each analyzer
+// documents which direction it errs.
+type Summary struct {
+	// HasCtxParam: the signature carries a context.Context parameter.
+	HasCtxParam bool
+	// PropagatesCtx: the context parameter is passed on to at least one
+	// call (the function threads its context rather than dropping it).
+	PropagatesCtx bool
+	// SpawnsGoroutine: the body contains a `go` statement.
+	SpawnsGoroutine bool
+	// SortsParams marks parameter indices the function passes to a
+	// sort.*/slices.* call, directly or through a callee that sorts its
+	// own parameter (fixpoint over static call edges).
+	SortsParams map[int]bool
+	// MapRangedResults marks result indices returning a slice that was
+	// appended to inside a `range` over a map without being sorted in
+	// this function — the caller inherits the sorting obligation.
+	MapRangedResults map[int]bool
+	// RelFloatPairs holds the parameter pairs the function compares
+	// with a relational float operator (< <= > >=), directly or through
+	// a callee (fixpoint). An exact ==/!= on the same pair elsewhere is
+	// the split-comparator tie-break idiom.
+	RelFloatPairs map[ParamPair]bool
+}
+
+// summarize computes every node's Summary, running the two fixpoint
+// passes (SortsParams, RelFloatPairs) to convergence.
+func summarize(g *Graph) {
+	nodes := g.Nodes()
+	for _, n := range nodes {
+		initSummary(n)
+	}
+	// Fixpoint: propagate sorts-param and rel-float-pair facts through
+	// static call edges until stable. The module graph is shallow; this
+	// converges in a handful of rounds.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if propagateThroughCalls(g, n) {
+				changed = true
+			}
+		}
+	}
+	// MapRangedResults depends on the final SortsParams facts (a callee
+	// that sorts its parameter launders the obligation).
+	for _, n := range nodes {
+		fillMapRangedResults(g, n)
+	}
+}
+
+func initSummary(n *Node) {
+	s := &n.Summary
+	s.SortsParams = map[int]bool{}
+	s.MapRangedResults = map[int]bool{}
+	s.RelFloatPairs = map[ParamPair]bool{}
+	if n.Decl == nil || n.Pkg == nil {
+		return
+	}
+	params := paramObjects(n)
+	ctxIdx := -1
+	for i, p := range params {
+		if p != nil && isContextType(p.Type()) {
+			ctxIdx = i
+			s.HasCtxParam = true
+		}
+	}
+	if n.Decl.Body == nil {
+		return
+	}
+	info := n.Pkg.Info
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		switch node := x.(type) {
+		case *ast.GoStmt:
+			s.SpawnsGoroutine = true
+		case *ast.CallExpr:
+			// Direct sort.* / slices.* on a parameter.
+			if isSortCall(info, node) {
+				for _, arg := range node.Args {
+					if idx := paramIndexOf(info, params, arg); idx >= 0 {
+						s.SortsParams[idx] = true
+					}
+				}
+			}
+			// Context propagation: the ctx param appears as an argument.
+			if ctxIdx >= 0 {
+				for _, arg := range node.Args {
+					if idx, path, ok := paramPath(info, params, arg); ok && idx == ctxIdx && path == "" {
+						s.PropagatesCtx = true
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			switch node.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				if isFloatType(info.TypeOf(node.X)) && isFloatType(info.TypeOf(node.Y)) {
+					if pp, ok := pairOf(info, params, node.X, node.Y); ok {
+						s.RelFloatPairs[pp] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// propagateThroughCalls folds callee facts into n's summary through
+// its static call sites; reports whether anything changed.
+func propagateThroughCalls(g *Graph, n *Node) bool {
+	if n.Decl == nil || n.Decl.Body == nil {
+		return false
+	}
+	info := n.Pkg.Info
+	params := paramObjects(n)
+	changed := false
+	for _, e := range n.Out {
+		if e.Kind != Call || e.Site == nil || e.Callee.Decl == nil {
+			continue
+		}
+		cs := e.Callee.Summary
+		// sorts-param: passing my param where the callee sorts its own.
+		for idx := range cs.SortsParams {
+			if idx < len(e.Site.Args) {
+				if my := paramIndexOf(info, params, e.Site.Args[idx]); my >= 0 && !n.Summary.SortsParams[my] {
+					n.Summary.SortsParams[my] = true
+					changed = true
+				}
+			}
+		}
+		// compares-float-pair: callee relationally compares params I,J
+		// through Path; compose with my argument expressions when they
+		// are parameter-rooted.
+		for pp := range cs.RelFloatPairs {
+			if pp.I >= len(e.Site.Args) || pp.J >= len(e.Site.Args) {
+				continue
+			}
+			i1, p1, ok1 := paramPath(info, params, e.Site.Args[pp.I])
+			i2, p2, ok2 := paramPath(info, params, e.Site.Args[pp.J])
+			if !ok1 || !ok2 || i1 == i2 || p1 != p2 {
+				continue
+			}
+			np := normalizePair(i1, i2, p1+pp.Path)
+			if !n.Summary.RelFloatPairs[np] {
+				n.Summary.RelFloatPairs[np] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// fillMapRangedResults records which result indices return a slice
+// filled from a map range and never sorted in-function (directly or via
+// a sorting callee).
+func fillMapRangedResults(g *Graph, n *Node) {
+	if n.Decl == nil || n.Decl.Body == nil {
+		return
+	}
+	info := n.Pkg.Info
+	var tainted []types.Object
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		rng, ok := x.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(y ast.Node) bool {
+			if stmt, ok := y.(*ast.AssignStmt); ok {
+				if obj := appendTargetObj(info, stmt, rng); obj != nil {
+					tainted = append(tainted, obj)
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if len(tainted) == 0 {
+		return
+	}
+	for _, obj := range tainted {
+		if objSortedIn(g, n, obj) {
+			continue
+		}
+		for _, idx := range returnIndicesOf(info, n.Decl, obj) {
+			n.Summary.MapRangedResults[idx] = true
+		}
+	}
+}
+
+// ObjSortedIn reports whether fn's body ever sorts obj: a direct
+// sort.*/slices.* call taking it, or a static callee that sorts the
+// parameter position obj is passed at. This is the module-wide version
+// of the old function-local sortedInFunc.
+func ObjSortedIn(g *Graph, fd *ast.FuncDecl, pkg *Package, obj types.Object) bool {
+	n := g.NodeOfDecl(fd)
+	if n == nil {
+		// Fall back to a node-less direct scan (function literals).
+		return directSortScan(pkg.Info, fd.Body, obj)
+	}
+	return objSortedIn(g, n, obj)
+}
+
+func objSortedIn(g *Graph, n *Node, obj types.Object) bool {
+	info := n.Pkg.Info
+	if directSortScan(info, n.Decl.Body, obj) {
+		return true
+	}
+	for _, e := range n.Out {
+		if e.Kind != Call || e.Site == nil || e.Callee.Decl == nil {
+			continue
+		}
+		for idx := range e.Callee.Summary.SortsParams {
+			if idx < len(e.Site.Args) {
+				if id, ok := ast.Unparen(e.Site.Args[idx]).(*ast.Ident); ok && info.Uses[id] == obj {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func directSortScan(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// appendTargetObj mirrors lint's appendTarget: `s = append(s, ...)`
+// where s is declared outside the range statement.
+func appendTargetObj(info *types.Info, stmt *ast.AssignStmt, rng *ast.RangeStmt) types.Object {
+	if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := stmt.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != lhs.Name {
+		return nil
+	}
+	obj := info.Uses[first]
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return nil
+	}
+	return obj
+}
+
+// returnIndicesOf finds the result indices at which fd returns obj
+// (plain `return ..., obj, ...` or a named result).
+func returnIndicesOf(info *types.Info, fd *ast.FuncDecl, obj types.Object) []int {
+	var out []int
+	seen := map[int]bool{}
+	add := func(i int) {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	// Named results: obj may be the result variable itself.
+	if fd.Type.Results != nil {
+		idx := 0
+		for _, field := range fd.Type.Results.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if info.Defs[name] == obj {
+					add(idx)
+				}
+				idx++
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false // returns inside literals belong to the literal
+		}
+		ret, ok := x.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for i, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && info.Uses[id] == obj {
+				add(i)
+			}
+		}
+		return true
+	})
+	sort.Ints(out)
+	return out
+}
+
+// paramObjects returns fd's parameter objects in declaration order
+// (nil for unnamed/underscore parameters).
+func paramObjects(n *Node) []types.Object {
+	var out []types.Object
+	if n.Decl == nil || n.Decl.Type.Params == nil {
+		return out
+	}
+	for _, field := range n.Decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				out = append(out, nil)
+				continue
+			}
+			out = append(out, n.Pkg.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// paramIndexOf resolves expr to a bare parameter index, or -1.
+func paramIndexOf(info *types.Info, params []types.Object, expr ast.Expr) int {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return -1
+	}
+	for i, p := range params {
+		if p != nil && p == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// paramPath resolves expr to (parameter index, selector suffix): `a`
+// -> (i, ""), `a.Score` -> (i, ".Score"), `a.X.Y` -> (i, ".X.Y").
+func paramPath(info *types.Info, params []types.Object, expr ast.Expr) (int, string, bool) {
+	var suffix []string
+	e := ast.Unparen(expr)
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if idx := paramIndexOf(info, params, x); idx >= 0 {
+				path := ""
+				for i := len(suffix) - 1; i >= 0; i-- {
+					path += "." + suffix[i]
+				}
+				return idx, path, true
+			}
+			return -1, "", false
+		case *ast.SelectorExpr:
+			suffix = append(suffix, x.Sel.Name)
+			e = ast.Unparen(x.X)
+		default:
+			return -1, "", false
+		}
+	}
+}
+
+func pairOf(info *types.Info, params []types.Object, x, y ast.Expr) (ParamPair, bool) {
+	i1, p1, ok1 := paramPath(info, params, x)
+	i2, p2, ok2 := paramPath(info, params, y)
+	if !ok1 || !ok2 || i1 == i2 || p1 != p2 {
+		return ParamPair{}, false
+	}
+	return normalizePair(i1, i2, p1), true
+}
+
+func normalizePair(i, j int, path string) ParamPair {
+	if i > j {
+		i, j = j, i
+	}
+	return ParamPair{I: i, J: j, Path: path}
+}
+
+// isSortCall recognises qualified calls into the sort and slices
+// packages — the calls that launder map-iteration order out of a slice.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pn.Imported().Path()
+	return path == "sort" || path == "slices"
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return t.String() == "context.Context"
+}
+
+// Render prints an expression for identity matching across functions.
+func Render(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// Describe renders a node's summary as a stable one-line string for
+// cmd/lint -summary and the unit tests.
+func (n *Node) Describe() string {
+	var parts []string
+	s := n.Summary
+	if s.HasCtxParam {
+		parts = append(parts, "ctx-param")
+	}
+	if s.PropagatesCtx {
+		parts = append(parts, "propagates-ctx")
+	}
+	if s.SpawnsGoroutine {
+		parts = append(parts, "spawns-goroutine")
+	}
+	if len(s.SortsParams) > 0 {
+		idxs := make([]int, 0, len(s.SortsParams))
+		for i := range s.SortsParams {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		var ss []string
+		for _, i := range idxs {
+			ss = append(ss, itoa(i))
+		}
+		parts = append(parts, "sorts-param("+strings.Join(ss, ",")+")")
+	}
+	if len(s.MapRangedResults) > 0 {
+		idxs := make([]int, 0, len(s.MapRangedResults))
+		for i := range s.MapRangedResults {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		var ss []string
+		for _, i := range idxs {
+			ss = append(ss, itoa(i))
+		}
+		parts = append(parts, "returns-map-ranged-slice("+strings.Join(ss, ",")+")")
+	}
+	if len(s.RelFloatPairs) > 0 {
+		var ss []string
+		for pp := range s.RelFloatPairs {
+			ss = append(ss, itoa(pp.I)+"~"+itoa(pp.J)+pp.Path)
+		}
+		sort.Strings(ss)
+		parts = append(parts, "compares-float-pair("+strings.Join(ss, ";")+")")
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+func itoa(i int) string {
+	if i < 0 {
+		return "-" + itoa(-i)
+	}
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + string(rune('0'+i%10))
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"testing"
+
+	"csmaterials/internal/lint/callgraph"
+)
+
+// loadCallgraphFixture type-checks testdata/callgraph under the import
+// path fixture/cg and returns the built graph.
+func loadCallgraphFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.LoadDirAs("testdata/callgraph", "fixture/cg")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture does not type-check: %v", terr)
+		}
+	}
+	return NewModule(pkgs).Graph
+}
+
+func mustNode(t *testing.T, g *callgraph.Graph, key string) *callgraph.Node {
+	t.Helper()
+	n := g.Lookup(key)
+	if n == nil {
+		t.Fatalf("graph has no node %q", key)
+	}
+	return n
+}
+
+// edgeKinds collects the kinds of edges from caller to the callee key.
+func edgeKinds(n *callgraph.Node, calleeKey string) []callgraph.EdgeKind {
+	var out []callgraph.EdgeKind
+	for _, e := range n.Out {
+		if e.Callee != nil && e.Callee.Key == calleeKey {
+			out = append(out, e.Kind)
+		}
+	}
+	return out
+}
+
+func TestCallgraphStaticEdges(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	direct := mustNode(t, g, "fixture/cg.direct")
+	if kinds := edgeKinds(direct, "fixture/cg.measure"); len(kinds) != 1 || kinds[0] != callgraph.Call {
+		t.Errorf("direct -> measure: got %v, want exactly one Call edge", kinds)
+	}
+	// A stdlib call produces no module edge.
+	sorts := mustNode(t, g, "fixture/cg.sortsParam")
+	if len(sorts.Out) != 0 {
+		t.Errorf("sortsParam should have no module out-edges, got %d", len(sorts.Out))
+	}
+}
+
+func TestCallgraphDynamicDispatchIsConservative(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	measure := mustNode(t, g, "fixture/cg.measure")
+	// The interface call must fan out to BOTH implementations...
+	for _, impl := range []string{"fixture/cg.(Circle).Area", "fixture/cg.(Square).Area"} {
+		kinds := edgeKinds(measure, impl)
+		if len(kinds) != 1 || kinds[0] != callgraph.Dynamic {
+			t.Errorf("measure -> %s: got %v, want exactly one Dynamic edge", impl, kinds)
+		}
+	}
+	// ...but never to a type whose method set does not satisfy the
+	// interface, and never as a static Call.
+	if kinds := edgeKinds(measure, "fixture/cg.(NotAShape).Area"); len(kinds) != 0 {
+		t.Errorf("measure -> NotAShape.Area: got %v, want no edges (wrong signature)", kinds)
+	}
+}
+
+func TestCallgraphGoAndRefEdges(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	spawner := mustNode(t, g, "fixture/cg.spawner")
+	if kinds := edgeKinds(spawner, "fixture/cg.worker"); len(kinds) != 1 || kinds[0] != callgraph.Go {
+		t.Errorf("spawner -> worker: got %v, want exactly one Go edge", kinds)
+	}
+	// runner is only mentioned as a value — a Ref edge, not a Call.
+	if kinds := edgeKinds(spawner, "fixture/cg.runner"); len(kinds) != 1 || kinds[0] != callgraph.Ref {
+		t.Errorf("spawner -> runner: got %v, want exactly one Ref edge", kinds)
+	}
+}
+
+func TestCallgraphReachability(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	entry := mustNode(t, g, "fixture/cg.entry")
+	seen := g.Reachable([]*callgraph.Node{entry})
+	wantIn := []string{
+		"fixture/cg.direct",
+		"fixture/cg.measure",
+		"fixture/cg.(Circle).Area", // via dynamic dispatch
+		"fixture/cg.(Square).Area",
+		"fixture/cg.worker", // via go statement
+		"fixture/cg.runner", // via function-value reference
+		"fixture/cg.ctxSink",
+	}
+	for _, key := range wantIn {
+		if !seen[mustNode(t, g, key)] {
+			t.Errorf("%s not reachable from entry; conservative closure must include it", key)
+		}
+	}
+	for _, key := range []string{"fixture/cg.collect", "fixture/cg.transitive"} {
+		if seen[mustNode(t, g, key)] {
+			t.Errorf("%s reachable from entry but nothing links it", key)
+		}
+	}
+}
+
+func TestCallgraphSummaries(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	for key, want := range map[string]string{
+		"fixture/cg.sortsParam":    "sorts-param(0)",
+		"fixture/cg.transitive":    "sorts-param(0)", // fixpoint through the callee
+		"fixture/cg.doesNotSort":   "-",
+		"fixture/cg.collect":       "returns-map-ranged-slice(0)",
+		"fixture/cg.collectSorted": "-", // sorting callee launders the obligation
+		"fixture/cg.lessByX":       "compares-float-pair(0~1.X)",
+		"fixture/cg.viaLess":       "compares-float-pair(0~1.X)", // composed through the call site
+		"fixture/cg.spawner":       "spawns-goroutine",
+		"fixture/cg.ctxThread":     "ctx-param propagates-ctx",
+		"fixture/cg.ctxDrop":       "ctx-param",
+	} {
+		if got := mustNode(t, g, key).Describe(); got != want {
+			t.Errorf("%s summary = %q, want %q", key, got, want)
+		}
+	}
+}
+
+func TestCallgraphFuncKeyCollapsesTestInstances(t *testing.T) {
+	// The same fixture loaded twice must produce identical keys, so the
+	// import-instance and analysis-instance of a package collapse onto
+	// one node. Cheap proxy: keys are stable across two builds.
+	g1 := loadCallgraphFixture(t)
+	g2 := loadCallgraphFixture(t)
+	n1, n2 := g1.Nodes(), g2.Nodes()
+	if len(n1) != len(n2) {
+		t.Fatalf("node counts differ: %d vs %d", len(n1), len(n2))
+	}
+	for i := range n1 {
+		if n1[i].Key != n2[i].Key {
+			t.Errorf("node %d key differs: %q vs %q", i, n1[i].Key, n2[i].Key)
+		}
+	}
+}

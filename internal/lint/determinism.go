@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/types"
 	"strings"
+
+	"csmaterials/internal/lint/callgraph"
 )
 
 // computeSuffixes lists the module packages that form the reproduction's
@@ -69,12 +71,22 @@ var randConstructors = map[string]bool{
 // clock reads via time.Now, and map iteration feeding order-sensitive
 // output (slice appends that are never sorted, or direct writes/encodes
 // inside the loop).
+//
+// The map-order check is interprocedural: the collect-then-sort idiom
+// is recognised whether the sort happens in the same function, inside a
+// helper the slice is passed to (a callee that sorts its parameter, per
+// the call-graph summaries), or — when the slice is returned — in the
+// callers: a collect-in-callee/sort-in-caller split is deterministic as
+// long as *every* caller sorts the returned slice before it can matter,
+// so the analyzer only reports when some caller (or the absence of any
+// module caller) leaves the order observable.
 func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
 		Doc: "In compute packages (see DESIGN §8), randomness must flow through an " +
 			"explicitly seeded *rand.Rand, time must be injected rather than read from " +
-			"time.Now, and map iteration must not determine output order.",
+			"time.Now, and map iteration must not determine output order (sorting in a " +
+			"helper or in every caller satisfies the contract).",
 		Run: runDeterminism,
 	}
 }
@@ -142,7 +154,7 @@ func checkMapOrder(pass *Pass, fn *ast.FuncDecl) {
 		ast.Inspect(rng.Body, func(m ast.Node) bool {
 			switch stmt := m.(type) {
 			case *ast.AssignStmt:
-				if obj := appendTarget(pass, stmt, rng); obj != nil && !sortedInFunc(pass, fn, obj) {
+				if obj := appendTarget(pass, stmt, rng); obj != nil && !orderLaundered(pass, fn, obj) {
 					pass.Reportf(stmt.Pos(),
 						"append to %s inside map iteration fixes nondeterministic order into the slice; sort the keys first (or sort %s before use)",
 						obj.Name(), obj.Name())
@@ -157,6 +169,114 @@ func checkMapOrder(pass *Pass, fn *ast.FuncDecl) {
 		})
 		return true
 	})
+}
+
+// orderLaundered reports whether the map-iteration order captured in obj
+// is laundered away before it can be observed: sorted in fn itself or by
+// a helper fn passes it to (call-graph sorts-param summary), or — when
+// fn returns the slice — sorted by every module caller of fn.
+func orderLaundered(pass *Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	if sortedInFunc(pass, fn, obj) {
+		return true
+	}
+	if pass.Mod == nil {
+		return false
+	}
+	g := pass.Mod.Graph
+	node := g.NodeOfDecl(fn)
+	if node == nil {
+		return false
+	}
+	// A helper that sorts the parameter obj is passed at.
+	if callgraph.ObjSortedIn(g, fn, modulePkgOf(pass), obj) {
+		return true
+	}
+	// Collect-in-callee/sort-in-caller: obj must be returned, and every
+	// caller must sort the result it receives. Zero callers keeps the
+	// obligation local (an unsorted escape hatch would silently spread).
+	indices := returnIndices(pass, fn, obj)
+	if len(indices) == 0 {
+		return false
+	}
+	callers := 0
+	for _, e := range node.In {
+		if (e.Kind != callgraph.Call && e.Kind != callgraph.Dynamic) || e.Site == nil || e.Caller.Decl == nil {
+			continue
+		}
+		callers++
+		for _, idx := range indices {
+			if !callerSortsResult(pass.Mod, e, idx) {
+				return false
+			}
+		}
+	}
+	return callers > 0
+}
+
+// modulePkgOf adapts the current pass to the callgraph package shape.
+func modulePkgOf(pass *Pass) *callgraph.Package {
+	return &callgraph.Package{Path: pass.Pkg.Path(), Fset: pass.Fset, Files: pass.Files, Types: pass.Pkg, Info: pass.Info}
+}
+
+// returnIndices finds the result positions at which fn returns obj.
+func returnIndices(pass *Pass, fn *ast.FuncDecl, obj types.Object) []int {
+	var out []int
+	seen := map[int]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for i, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && pass.Info.Uses[id] == obj && !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// callerSortsResult reports whether the caller behind edge e assigns the
+// call's result at index idx to a variable it then sorts (directly or
+// via a sorting helper). Results consumed any other way — returned
+// onward, used inline — do not count: conservatism errs toward
+// reporting.
+func callerSortsResult(mod *Module, e *callgraph.Edge, idx int) bool {
+	caller := e.Caller
+	info := caller.Pkg.Info
+	var obj types.Object
+	ast.Inspect(caller.Decl.Body, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		if assign.Rhs[0] != e.Site {
+			return true
+		}
+		if idx >= len(assign.Lhs) {
+			return true
+		}
+		if id, ok := assign.Lhs[0+idx].(*ast.Ident); ok && id.Name != "_" {
+			if o := info.Defs[id]; o != nil {
+				obj = o
+			} else if o := info.Uses[id]; o != nil {
+				obj = o
+			}
+		}
+		return true
+	})
+	if obj == nil {
+		return false
+	}
+	return callgraph.ObjSortedIn(mod.Graph, caller.Decl, caller.Pkg, obj)
 }
 
 // appendTarget returns the object of `s` in a statement of the form

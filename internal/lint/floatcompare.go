@@ -7,6 +7,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"csmaterials/internal/lint/callgraph"
 )
 
 // FloatCompareAnalyzer flags == and != between floating-point operands.
@@ -19,7 +21,13 @@ import (
 //   - the sort tie-break idiom, `if a != b { return a > b }`: a
 //     comparator must use exact equality or it loses transitivity, so an
 //     exact compare whose operand pair also appears in a relational
-//     (< <= > >=) compare within the same function is exempt.
+//     (< <= > >=) compare within the same function is exempt. The pair
+//     matching is interprocedural: a comparator split across helpers is
+//     recognised through the call-graph compares-float-pair summaries —
+//     the relational half may live in a callee (the pair is substituted
+//     through the call site's arguments) or in a caller (an exact
+//     compare on a parameter pair is exempt when some caller provides
+//     the relational half over the corresponding arguments).
 //
 // Beyond the structural exemptions, a comparison can be declared
 // intentionally exact with a `// lint:exact` comment on the same line
@@ -53,7 +61,7 @@ func runFloatCompare(pass *Pass) {
 			if !ok || fn.Body == nil {
 				return true
 			}
-			tieBreaks := relationalPairs(pass, fn.Body)
+			tieBreaks := effectiveRelPairs(pass, fn)
 			ast.Inspect(fn.Body, func(m ast.Node) bool {
 				bin, ok := m.(*ast.BinaryExpr)
 				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
@@ -72,6 +80,9 @@ func runFloatCompare(pass *Pass) {
 				if tieBreaks[pairKey(x, y)] {
 					return true // comparator tie-break; exactness is required
 				}
+				if callerTieBreak(pass, fn, bin) {
+					return true // split comparator: relational half in a caller
+				}
 				if exact[pass.Fset.Position(bin.Pos()).Line] {
 					return true // annotated intentionally exact
 				}
@@ -82,6 +93,166 @@ func runFloatCompare(pass *Pass) {
 			})
 			return false // fn.Body already walked; don't descend twice
 		})
+	}
+}
+
+// effectiveRelPairs is the function's direct relational pairs plus the
+// pairs its callees contribute: a call h(a, b) where h relationally
+// compares its params i and j through path S adds the pair
+// (render(args[i])+S, render(args[j])+S) — the relational half of a
+// comparator split into a helper.
+func effectiveRelPairs(pass *Pass, fn *ast.FuncDecl) map[string]bool {
+	pairs := relationalPairs(pass, fn.Body)
+	if pass.Mod == nil {
+		return pairs
+	}
+	node := pass.Mod.Graph.NodeOfDecl(fn)
+	if node == nil {
+		return pairs
+	}
+	for _, e := range node.Out {
+		if e.Kind != callgraph.Call || e.Site == nil || e.Callee.Decl == nil {
+			continue
+		}
+		for pp := range e.Callee.Summary.RelFloatPairs {
+			if pp.I >= len(e.Site.Args) || pp.J >= len(e.Site.Args) {
+				continue
+			}
+			x := exprString(pass.Fset, e.Site.Args[pp.I]) + pp.Path
+			y := exprString(pass.Fset, e.Site.Args[pp.J]) + pp.Path
+			pairs[pairKey(x, y)] = true
+		}
+	}
+	return pairs
+}
+
+// callerTieBreak handles the other half of a split comparator: an exact
+// compare on a parameter pair inside a helper is exempt when some
+// caller performs (directly or through its own callees) a relational
+// float compare over the expressions it passes for those parameters.
+func callerTieBreak(pass *Pass, fn *ast.FuncDecl, bin *ast.BinaryExpr) bool {
+	if pass.Mod == nil {
+		return false
+	}
+	g := pass.Mod.Graph
+	node := g.NodeOfDecl(fn)
+	if node == nil {
+		return false
+	}
+	params := nodeParamObjects(pass, fn)
+	i1, p1, ok1 := paramPathOf(pass, params, bin.X)
+	i2, p2, ok2 := paramPathOf(pass, params, bin.Y)
+	if !ok1 || !ok2 || i1 == i2 || p1 != p2 {
+		return false
+	}
+	for _, e := range node.In {
+		if (e.Kind != callgraph.Call && e.Kind != callgraph.Dynamic) || e.Site == nil || e.Caller.Decl == nil {
+			continue
+		}
+		if i1 >= len(e.Site.Args) || i2 >= len(e.Site.Args) {
+			continue
+		}
+		cFset := e.Caller.Pkg.Fset
+		x := callgraph.Render(cFset, e.Site.Args[i1]) + p1
+		y := callgraph.Render(cFset, e.Site.Args[i2]) + p2
+		// The caller's own effective relational pairs: direct compares
+		// plus its callees' contributions (which include fn's siblings).
+		callerPairs := callerRelPairs(e.Caller)
+		if callerPairs[pairKey(x, y)] {
+			return true
+		}
+	}
+	return false
+}
+
+// callerRelPairs renders a caller node's direct + callee-contributed
+// relational pairs using its own package info.
+func callerRelPairs(n *callgraph.Node) map[string]bool {
+	pairs := map[string]bool{}
+	info, fset := n.Pkg.Info, n.Pkg.Fset
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		bin, ok := x.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			if floatT(info.TypeOf(bin.X)) && floatT(info.TypeOf(bin.Y)) {
+				pairs[pairKey(callgraph.Render(fset, bin.X), callgraph.Render(fset, bin.Y))] = true
+			}
+		}
+		return true
+	})
+	for _, e := range n.Out {
+		if e.Kind != callgraph.Call || e.Site == nil || e.Callee.Decl == nil {
+			continue
+		}
+		for pp := range e.Callee.Summary.RelFloatPairs {
+			if pp.I >= len(e.Site.Args) || pp.J >= len(e.Site.Args) {
+				continue
+			}
+			x := callgraph.Render(fset, e.Site.Args[pp.I]) + pp.Path
+			y := callgraph.Render(fset, e.Site.Args[pp.J]) + pp.Path
+			pairs[pairKey(x, y)] = true
+		}
+	}
+	return pairs
+}
+
+func floatT(t types.Type) bool { return isFloat(t) }
+
+// nodeParamObjects lists fn's parameter objects in order (nil for
+// unnamed), mirroring the callgraph's internal helper for use with the
+// current pass's type info.
+func nodeParamObjects(pass *Pass, fn *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fn.Type.Params == nil {
+		return out
+	}
+	for _, field := range fn.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				out = append(out, nil)
+				continue
+			}
+			out = append(out, pass.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// paramPathOf resolves expr to (param index, selector suffix) against
+// the current pass's info.
+func paramPathOf(pass *Pass, params []types.Object, expr ast.Expr) (int, string, bool) {
+	var suffix []string
+	e := ast.Unparen(expr)
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj == nil {
+				return -1, "", false
+			}
+			for i, p := range params {
+				if p != nil && p == obj {
+					path := ""
+					for k := len(suffix) - 1; k >= 0; k-- {
+						path += "." + suffix[k]
+					}
+					return i, path, true
+				}
+			}
+			return -1, "", false
+		case *ast.SelectorExpr:
+			suffix = append(suffix, x.Sel.Name)
+			e = ast.Unparen(x.X)
+		default:
+			return -1, "", false
+		}
 	}
 }
 

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// goroutineScopes are the package-path suffixes whose goroutines must
+// prove a stop/wait path: the serving stack and the dataset layer run
+// for the process lifetime, so an unmanaged goroutine there is either a
+// leak (loops forever, pinned past shutdown) or an untracked background
+// task (fire-and-forget work that graceful drain cannot wait for).
+// Compute packages are out of scope: their goroutines are bounded
+// fan-out joined by channel sends (matrix, factorize, robustness), and
+// the determinism analyzer already polices them.
+var goroutineScopes = []string{
+	"internal/server",
+	"internal/serving",
+	"internal/resilience",
+	"internal/dataset",
+}
+
+// GoroutineLifeAnalyzer checks every `go` statement in the serving
+// stack for a reachable stop or wait path. Accepted proofs, searched in
+// the launched body and transitively through the static call graph:
+//
+//   - a ctx.Done() receive (the reaper pattern — StartIdleReaper);
+//   - a WaitGroup Done (the tracked-background-task pattern);
+//   - a channel send or close (the completion-signal pattern — the
+//     spawner or a waiter observes the goroutine finishing);
+//   - a `range` over a channel (terminates when the feeder closes it);
+//   - a select case receive whose body returns (stop-channel pattern).
+//
+// A goroutine with none of these is fire-and-forget: nothing can stop
+// it and nothing can wait for it.
+func GoroutineLifeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroutinelife",
+		Doc: "In the serving stack (internal/server, serving, resilience, dataset), " +
+			"every go statement needs a reachable stop/wait path: ctx.Done, a " +
+			"WaitGroup Done, a channel send/close, a channel range, or a " +
+			"receive-then-return select case.",
+		Run: runGoroutineLife,
+	}
+}
+
+func inGoroutineScope(path string) bool {
+	for _, s := range goroutineScopes {
+		if strings.HasSuffix(path, s) || strings.Contains(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoroutineLife(pass *Pass) {
+	if !inGoroutineScope(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, resolved := launchedBody(pass, gs)
+			if !resolved {
+				pass.Reportf(gs.Pos(),
+					"goroutine launches a dynamic function value; its stop/wait path cannot be proven — launch a named function or literal with a ctx.Done/WaitGroup/channel exit")
+				return true
+			}
+			if !hasLifecycleProof(pass, body, map[*ast.BlockStmt]bool{}) {
+				pass.Reportf(gs.Pos(),
+					"goroutine has no reachable stop or wait path (no ctx.Done receive, WaitGroup Done, channel send/close, or channel range); fire-and-forget work can neither be drained on shutdown nor stopped")
+			}
+			return true
+		})
+	}
+}
+
+// launchedBody resolves the body a go statement executes: a literal's
+// own body, or the declaration of a statically named function/method.
+func launchedBody(pass *Pass, gs *ast.GoStmt) (*ast.BlockStmt, bool) {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, true
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			if body := declBodyOf(pass, fn); body != nil {
+				return body, true
+			}
+		}
+	case *ast.SelectorExpr:
+		var fn *types.Func
+		if sel := pass.Info.Selections[fun]; sel != nil {
+			fn, _ = sel.Obj().(*types.Func)
+		} else if f, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			fn = f
+		}
+		if fn != nil {
+			if body := declBodyOf(pass, fn); body != nil {
+				return body, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// declBodyOf finds the module declaration body for fn via the call
+// graph (cross-package safe).
+func declBodyOf(pass *Pass, fn *types.Func) *ast.BlockStmt {
+	if pass.Mod == nil {
+		return nil
+	}
+	node := pass.Mod.Graph.NodeOf(fn)
+	if node == nil || node.Decl == nil {
+		return nil
+	}
+	return node.Decl.Body
+}
+
+// hasLifecycleProof scans body (and the bodies of statically called
+// module functions, transitively) for any accepted stop/wait evidence.
+func hasLifecycleProof(pass *Pass, body *ast.BlockStmt, visited map[*ast.BlockStmt]bool) bool {
+	if body == nil || visited[body] {
+		return false
+	}
+	visited[body] = true
+	found := false
+	var callees []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true // completion signal
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true // exits when the feeder closes the channel
+				}
+			}
+		case *ast.CommClause:
+			// select { case <-stop: return } — a receive whose case body
+			// leaves the goroutine.
+			if expr, ok := x.Comm.(*ast.ExprStmt); ok {
+				if u, ok := expr.X.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+					for _, s := range x.Body {
+						if _, isRet := s.(*ast.ReturnStmt); isRet {
+							found = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isCtxDone(pass, x) || isWaitGroupDone(pass, x) || isChanClose(pass, x) {
+				found = true
+				return false
+			}
+			// Defer the transitive search until the local scan finishes.
+			if fn := staticCallee(pass, x); fn != nil {
+				callees = append(callees, fn)
+			}
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	for _, fn := range callees {
+		if b := declBodyOf(pass, fn); b != nil && hasLifecycleProof(pass, b, visited) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxDone matches ctx.Done() on a context.Context receiver.
+func isCtxDone(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	return t != nil && t.String() == "context.Context"
+}
+
+// isWaitGroupDone matches wg.Done() on a sync.WaitGroup.
+func isWaitGroupDone(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return s == "sync.WaitGroup" || s == "*sync.WaitGroup"
+}
+
+// isChanClose matches close(ch).
+func isChanClose(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// staticCallee resolves a call to a module *types.Func, or nil.
+func staticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := pass.Info.Selections[fun]; sel != nil {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -2,28 +2,53 @@ package lint
 
 import (
 	"go/ast"
-	"strings"
 )
 
-// HTTPWriteAnalyzer enforces the response-write protocol in the HTTP
-// layer (internal/server): along any straight-line statement sequence a
-// handler may call WriteHeader at most once and never after the body has
-// started, and handler code must not invoke computes with a context
-// detached from the request (context.Background/context.TODO), which
-// would keep a cancelled client's work running and defeat the
-// singleflight/breaker plumbing built on r.Context().
+// HTTPWriteAnalyzer enforces the response-write protocol wherever
+// handler code lives: along any straight-line statement sequence a
+// handler may call WriteHeader at most once and never after the body
+// has started. The scope is not a hardcoded package list — any module
+// package whose call graph contains a handler root (a function taking
+// *net/http.Request) is checked, so a handler added to a new package
+// (a debug endpoint in internal/obs, a test double grown into a real
+// mux) is covered the day it appears.
+//
+// The detached-context check that used to live here moved to the
+// ctxflow analyzer, which follows the call graph beyond the handler's
+// own body instead of stopping at its braces.
 func HTTPWriteAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "httpwrite",
-		Doc: "In internal/server: no double WriteHeader, no WriteHeader after a body " +
-			"write in the same block, and handlers must derive contexts from " +
-			"r.Context() rather than context.Background/TODO.",
+		Doc: "In every package defining http.Handler code (found via call-graph " +
+			"handler roots): no double WriteHeader, and no WriteHeader after a body " +
+			"write in the same block.",
 		Run: runHTTPWrite,
 	}
 }
 
+const httpwritePkgsKey = "httpwrite.pkgs"
+
+// handlerPackages computes (once per run) the set of package paths that
+// define handler code: any function or literal-bearing declaration
+// whose signature takes *net/http.Request.
+func handlerPackages(mod *Module) map[string]bool {
+	v := mod.Memo(httpwritePkgsKey, func() interface{} {
+		pkgs := map[string]bool{}
+		for _, n := range mod.Graph.Nodes() {
+			if n.IsTest() {
+				continue
+			}
+			if isHandlerDecl(n) {
+				pkgs[n.Pkg.Path] = true
+			}
+		}
+		return pkgs
+	})
+	return v.(map[string]bool)
+}
+
 func runHTTPWrite(pass *Pass) {
-	if !strings.HasSuffix(pass.Pkg.Path(), "internal/server") {
+	if pass.Mod == nil || !handlerPackages(pass.Mod)[pass.Pkg.Path()] {
 		return
 	}
 	for _, file := range pass.Files {
@@ -31,17 +56,8 @@ func runHTTPWrite(pass *Pass) {
 			continue
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
-			switch fn := n.(type) {
-			case *ast.BlockStmt:
-				checkWriteSequence(pass, fn)
-			case *ast.FuncDecl:
-				if fn.Body != nil && hasRequestParam(pass, fn.Type) {
-					checkDetachedContext(pass, fn.Body)
-				}
-			case *ast.FuncLit:
-				if hasRequestParam(pass, fn.Type) {
-					checkDetachedContext(pass, fn.Body)
-				}
+			if block, ok := n.(*ast.BlockStmt); ok {
+				checkWriteSequence(pass, block)
 			}
 			return true
 		})
@@ -100,35 +116,4 @@ func responseWriterCall(pass *Pass, call *ast.CallExpr) (recv, method string, ok
 		return "", "", false
 	}
 	return exprString(pass.Fset, sel.X), sel.Sel.Name, true
-}
-
-// hasRequestParam reports whether the function signature takes a
-// *http.Request — the analyzer's definition of "handler code".
-func hasRequestParam(pass *Pass, ft *ast.FuncType) bool {
-	if ft.Params == nil {
-		return false
-	}
-	for _, field := range ft.Params.List {
-		if t := pass.Info.TypeOf(field.Type); t != nil && t.String() == "*net/http.Request" {
-			return true
-		}
-	}
-	return false
-}
-
-// checkDetachedContext flags context.Background()/context.TODO() inside
-// handler bodies.
-func checkDetachedContext(pass *Pass, body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if c, isPkg := pass.pkgCallee(call); isPkg && c.path == "context" && (c.name == "Background" || c.name == "TODO") {
-			pass.Reportf(call.Pos(),
-				"handler detaches from the request context with context.%s; derive from r.Context() so client disconnects cancel the compute",
-				c.name)
-		}
-		return true
-	})
 }

@@ -28,6 +28,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"csmaterials/internal/lint/callgraph"
 )
 
 // Diagnostic is a single finding at a source position.
@@ -53,12 +55,52 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
+// Module is the whole-run view shared by every Pass: the call graph
+// with its per-function summaries (DESIGN §8), the full package list,
+// and a memo space where interprocedural analyzers stash facts computed
+// once per run (reachability sets, the metric-family table) instead of
+// once per package.
+type Module struct {
+	Graph *callgraph.Graph
+	Pkgs  []*Package
+
+	memo map[string]interface{}
+}
+
+// NewModule builds the shared interprocedural state for a package set.
+func NewModule(pkgs []*Package) *Module {
+	cps := make([]*callgraph.Package, 0, len(pkgs))
+	for _, p := range pkgs {
+		cps = append(cps, &callgraph.Package{
+			Path: p.Path, Fset: p.Fset, Files: p.Files, Types: p.Types, Info: p.Info,
+		})
+	}
+	return &Module{
+		Graph: callgraph.Build(cps),
+		Pkgs:  pkgs,
+		memo:  make(map[string]interface{}),
+	}
+}
+
+// Memo returns the cached value under key, building it on first use.
+// Run is single-threaded; no locking.
+func (m *Module) Memo(key string, build func() interface{}) interface{} {
+	if v, ok := m.memo[key]; ok {
+		return v
+	}
+	v := build()
+	m.memo[key] = v
+	return v
+}
+
 // Pass carries one type-checked package through an analyzer run.
 type Pass struct {
 	Fset  *token.FileSet
 	Pkg   *types.Package
 	Files []*ast.File
 	Info  *types.Info
+	// Mod is the shared module-wide state (call graph, summaries, memo).
+	Mod *Module
 
 	rule   string
 	report func(Diagnostic)
@@ -124,6 +166,9 @@ func All() []*Analyzer {
 		ErrDropAnalyzer(),
 		HTTPWriteAnalyzer(),
 		LockDisciplineAnalyzer(),
+		CtxFlowAnalyzer(),
+		GoroutineLifeAnalyzer(),
+		MetricLabelAnalyzer(),
 	}
 }
 
@@ -159,8 +204,11 @@ func Select(rules string) ([]*Analyzer, error) {
 }
 
 // Run executes each analyzer over each package and returns the combined
-// diagnostics sorted by file, line, column, then rule.
+// diagnostics sorted by file, line, column, then rule. The module-wide
+// call graph and summaries are built once up front and shared by every
+// pass through Pass.Mod.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	mod := NewModule(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -169,6 +217,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:   pkg.Types,
 				Files: pkg.Files,
 				Info:  pkg.Info,
+				Mod:   mod,
 				rule:  a.Name,
 				report: func(d Diagnostic) {
 					diags = append(diags, d)

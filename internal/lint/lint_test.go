@@ -96,6 +96,32 @@ func TestLockDisciplineFixture(t *testing.T) {
 	runFixture(t, LockDisciplineAnalyzer(), "lockdiscipline", "fixture/lockdiscipline")
 }
 
+// TestHTTPWriteWideFixture pins the widened scope: a package far from
+// internal/server is still checked once it defines handler code.
+func TestHTTPWriteWideFixture(t *testing.T) {
+	runFixture(t, HTTPWriteAnalyzer(), "httpwritewide", "fixture/anywhere")
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	// Loaded as internal/engine so the Executor roots and the detach
+	// layer's lint:detach blessing are both exercised.
+	runFixture(t, CtxFlowAnalyzer(), "ctxflow", "csmaterials/internal/engine")
+}
+
+// TestCtxFlowScopeFixture pins the layer gate: lint:detach outside the
+// engine/serving layer does not suppress, it gets its own message.
+func TestCtxFlowScopeFixture(t *testing.T) {
+	runFixture(t, CtxFlowAnalyzer(), "ctxflowscope", "csmaterials/internal/server")
+}
+
+func TestGoroutineLifeFixture(t *testing.T) {
+	runFixture(t, GoroutineLifeAnalyzer(), "goroutinelife", "csmaterials/internal/serving")
+}
+
+func TestMetricLabelFixture(t *testing.T) {
+	runFixture(t, MetricLabelAnalyzer(), "metriclabel", "fixture/metriclabel")
+}
+
 // TestDeterminismSkipsServingStack pins the compute-package boundary: the
 // serving stack legitimately reads real time and may iterate maps.
 func TestDeterminismSkipsServingStack(t *testing.T) {

@@ -1,0 +1,99 @@
+// Fixture for the callgraph unit suite (callgraph_test.go): exercises
+// edge construction (static calls, interface dispatch, function values,
+// go statements) and every summary fact, including the fixpoint
+// propagation through helpers.
+package cg
+
+import (
+	"context"
+	"sort"
+)
+
+// Shape is dispatched through an interface in measure: CHA must fan the
+// call out to both implementations, and only to types that actually
+// implement the interface.
+type Shape interface {
+	Area() float64
+}
+
+type Circle struct{ R float64 }
+
+func (c Circle) Area() float64 { return 3 * c.R * c.R }
+
+type Square struct{ S float64 }
+
+func (s Square) Area() float64 { return s.S * s.S }
+
+// NotAShape has an Area method with the wrong signature; CHA must not
+// link it.
+type NotAShape struct{}
+
+func (NotAShape) Area() int { return 0 }
+
+func measure(sh Shape) float64 { return sh.Area() }
+
+func direct() float64 { return measure(Circle{R: 1}) }
+
+// sortsParam sorts its own parameter; transitive inherits the fact
+// through the fixpoint; doesNotSort passes the slice somewhere harmless.
+func sortsParam(xs []string) { sort.Strings(xs) }
+
+func transitive(xs []string) { sortsParam(xs) }
+
+func doesNotSort(xs []string) { _ = len(xs) }
+
+// collect returns a map-ranged slice without sorting it — the caller
+// inherits the obligation. collectSorted launders it through a callee.
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortsParam(out)
+	return out
+}
+
+type pt struct{ X, Y float64 }
+
+// lessByX compares params 0 and 1 through the .X path; viaLess
+// composes the pair through a call site with swapped arguments.
+func lessByX(a, b pt) bool { return a.X < b.X }
+
+func viaLess(p, q pt) bool { return lessByX(q, p) }
+
+// spawner launches worker via go and holds runner as a value (Ref
+// edge); neither is a plain Call.
+func spawner() {
+	go worker()
+	use(runner)
+}
+
+func worker() {}
+
+func runner() {}
+
+func use(f func()) { f() }
+
+// ctxThread threads its context into a callee; ctxDrop has one but
+// never passes it on.
+func ctxThread(ctx context.Context) { ctxSink(ctx) }
+
+func ctxSink(ctx context.Context) { <-ctx.Done() }
+
+func ctxDrop(ctx context.Context) { worker() }
+
+// entry ties the pieces together so everything is reachable from one
+// root in the reachability test.
+func entry(ctx context.Context) {
+	_ = direct()
+	spawner()
+	ctxThread(ctx)
+}

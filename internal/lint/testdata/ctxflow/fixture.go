@@ -1,0 +1,44 @@
+// Fixture for the ctxflow analyzer, loaded under the import path
+// csmaterials/internal/engine — a detach layer, so lint:detach
+// annotations are honored. The local Executor type's exported
+// ctx-taking methods are the reachability roots.
+package engine
+
+import "context"
+
+// Executor mirrors the real engine executor; its exported ctx-taking
+// methods root the reachable set.
+type Executor struct{}
+
+// Run is a root: everything it reaches must thread ctx.
+func (e *Executor) Run(ctx context.Context, name string) error {
+	return e.dispatch(ctx, name)
+}
+
+// dispatch is reachable from Run; its context.TODO is flagged.
+func (e *Executor) dispatch(ctx context.Context, name string) error {
+	_ = context.TODO()
+	detachedHelper()
+	blessedDetach()
+	return nil
+}
+
+// detachedHelper is reachable (transitively) and detaches without an
+// annotation: flagged.
+func detachedHelper() {
+	ctx := context.Background()
+	_ = ctx
+}
+
+// blessedDetach is the sanctioned pattern: annotated, inside a detach
+// layer: legal.
+func blessedDetach() {
+	ctx := context.Background() // lint:detach refresh must outlive the triggering request
+	_ = ctx
+}
+
+// startupWiring is reachable from no root; Background is legitimate
+// process wiring: legal.
+func startupWiring() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,30 @@
+// Fixture for the ctxflow analyzer's layer gate, loaded under the
+// import path csmaterials/internal/server — handler code, but NOT a
+// detach layer: a lint:detach annotation here is refused with its own
+// message instead of suppressing the finding.
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+// handler is a reachability root. Its annotated Background is still
+// flagged (wrong layer), with the annotation-specific message.
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // lint:detach not honored outside engine/serving
+	_ = ctx
+	helperFromHandler()
+	w.WriteHeader(http.StatusOK)
+}
+
+// helperFromHandler is handler-reachable; unannotated Background:
+// flagged with the standard message.
+func helperFromHandler() {
+	_ = context.Background()
+}
+
+// offline is unreachable from any handler: Background is legal wiring.
+func offline() context.Context {
+	return context.Background()
+}

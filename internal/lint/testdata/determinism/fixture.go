@@ -71,3 +71,60 @@ func freshPerIter(m map[string][]int) int {
 	}
 	return n
 }
+
+// sortViaHelper never calls sort itself; it hands the slice to a helper
+// whose call-graph summary says it sorts its parameter: legal.
+func sortViaHelper(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	normalize(out)
+	return out
+}
+
+// normalize sorts its parameter; the summary propagates to callers.
+func normalize(xs []string) {
+	sort.Strings(xs)
+}
+
+// collectHelper is the collect-in-callee half of the split idiom: it
+// returns the keys unsorted, and its only caller sorts them before the
+// order can be observed: legal.
+func collectHelper(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// callerSorts is the sort-in-caller half.
+func callerSorts(m map[string]int) []string {
+	keys := collectHelper(m)
+	sort.Strings(keys)
+	return keys
+}
+
+// collectLeaky looks identical, but one of its callers consumes the
+// slice without sorting, so the laundering is incomplete: flagged.
+func collectLeaky(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// goodConsumer sorts collectLeaky's result.
+func goodConsumer(m map[string]int) []string {
+	ks := collectLeaky(m)
+	sort.Strings(ks)
+	return ks
+}
+
+// badConsumer joins it raw — the caller that keeps collectLeaky flagged.
+func badConsumer(m map[string]int) string {
+	ks := collectLeaky(m)
+	return strings.Join(ks, ",")
+}

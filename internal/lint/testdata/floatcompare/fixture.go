@@ -51,3 +51,33 @@ func intCompare(a, b int) bool {
 func annotated(a, b float64) bool {
 	return a == b // lint:exact — interning check wants bit equality
 }
+
+// lessHelper holds the relational half of a split comparator; the
+// call-graph summary carries its param pair back to call sites.
+func lessHelper(a, b float64) bool {
+	return a > b
+}
+
+// splitCallerSide keeps the exact half but delegates the ordering of
+// the same operands to lessHelper: legal (callee contributes the pair).
+func splitCallerSide(x, y float64) bool {
+	if x != y {
+		return lessHelper(x, y)
+	}
+	return false
+}
+
+// tieEq holds the exact half of a comparator split the other way; its
+// caller performs the relational compare over the corresponding
+// arguments: legal (caller contributes the pair).
+func tieEq(a, b float64) bool {
+	return a == b
+}
+
+// splitCalleeSide is the caller providing tieEq's relational half.
+func splitCalleeSide(x, y float64) bool {
+	if tieEq(x, y) {
+		return false
+	}
+	return x > y
+}

@@ -1,0 +1,97 @@
+// Fixture for the goroutinelife analyzer, loaded under the import path
+// csmaterials/internal/serving so the serving-stack scope applies;
+// expect.txt pins the exact diagnostics.
+package serving
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// reaper loops with a ctx.Done exit: legal.
+func reaper(ctx context.Context, tick <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// tracked joins a WaitGroup the spawner can drain: legal.
+func tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// signalled closes a done channel a waiter can observe: legal.
+func signalled() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// sender reports completion over a result channel: legal.
+func sender(results chan<- int) {
+	go func() {
+		results <- 1
+	}()
+}
+
+// drainer ranges a jobs channel and stops when the feeder closes it:
+// legal.
+func drainer(jobs <-chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// throughHelper's proof lives in a callee, found through the call
+// graph: legal.
+func throughHelper(ctx context.Context) {
+	go func() {
+		loopUntilDone(ctx)
+	}()
+}
+
+func loopUntilDone(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// fireAndForget has no stop or wait path: flagged.
+func fireAndForget() {
+	go func() {
+		work()
+	}()
+}
+
+// namedFireAndForget launches a named function with no exit evidence:
+// flagged.
+func namedFireAndForget() {
+	go work()
+}
+
+// dynamic launches an arbitrary function value; nothing can be proven
+// about it: flagged.
+func dynamic(f func()) {
+	go f()
+}

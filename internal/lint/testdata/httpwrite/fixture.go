@@ -1,10 +1,10 @@
 // Fixture for the httpwrite analyzer. Loaded under the import path
-// csmaterials/internal/server so the package matcher is exercised;
-// expect.txt pins the exact diagnostics.
+// csmaterials/internal/server so a package with handler roots is
+// exercised; expect.txt pins the exact diagnostics. The detached-context
+// cases that used to live here belong to the ctxflow analyzer now.
 package server
 
 import (
-	"context"
 	"net/http"
 )
 
@@ -34,25 +34,4 @@ func branches(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.WriteHeader(http.StatusNotFound)
 	}
-}
-
-// detached invokes work under a context disconnected from the request:
-// flagged.
-func detached(w http.ResponseWriter, r *http.Request) {
-	ctx := context.Background()
-	_ = ctx
-	w.WriteHeader(http.StatusOK)
-}
-
-// attached derives from the request: legal.
-func attached(w http.ResponseWriter, r *http.Request) {
-	ctx := r.Context()
-	_ = ctx
-	w.WriteHeader(http.StatusOK)
-}
-
-// notHandler has no *http.Request parameter, so background contexts are
-// fine (startup wiring does this legitimately).
-func notHandler() context.Context {
-	return context.Background()
 }

@@ -1,0 +1,19 @@
+// Fixture for the httpwrite analyzer's widened scope: this package is
+// loaded under a path far from internal/server, but it defines handler
+// code (a function taking *http.Request), so the call-graph root scan
+// brings it in scope and the write-protocol violations are flagged.
+package anywhere
+
+import (
+	"net/http"
+)
+
+// debugEndpoint is a handler grown outside internal/server; the
+// protocol still applies.
+func debugEndpoint(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusTeapot)
+}
+
+// plumbing is not handler code and writes nothing; never flagged.
+func plumbing(n int) int { return n + 1 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -101,7 +102,7 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 		s.setDatasetState(id, DatasetReady{Status: "ready"})
 	} else {
 		s.setDatasetState(id, DatasetReady{Status: "warming"})
-		go func() { _ = s.warmDataset(id) }()
+		s.spawnBackground(func(ctx context.Context) { _ = s.warmDataset(ctx, id) })
 	}
 	meta, ok := s.datasets.MetaOf(id)
 	if !ok { // deleted in the same instant; report the revision ingested

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -507,7 +508,7 @@ func TestReadyzDatasets(t *testing.T) {
 		t.Errorf("pre-warmup default state = %+v", ready.Data.Datasets)
 	}
 
-	s.warmup()
+	s.warmup(context.Background())
 	w = do(t, s, http.MethodGet, "/readyz", "")
 	if w.Code != http.StatusOK {
 		t.Fatalf("post-warmup readyz: status %d\n%s", w.Code, w.Body.Bytes())

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -136,7 +137,7 @@ func TestBreakerAndStaleDegradation(t *testing.T) {
 	s.breakers.SetClock(clk.Now)
 	var calls int32
 	countCompute(t, s, "types", &calls)
-	s.warmup() // synchronous: /readyz is usable for breaker reporting
+	s.warmup(context.Background()) // synchronous: /readyz is usable for breaker reporting
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -296,7 +297,7 @@ func TestReadyzFlips(t *testing.T) {
 		t.Fatal("healthz not 200 while starting")
 	}
 
-	s.warmup()
+	s.warmup(context.Background())
 	e = getEnvelope(t, ts, "/readyz", 200)
 	decode(t, e.Data, &ready)
 	if ready.Status != "ready" {

@@ -177,6 +177,14 @@ type Server struct {
 	ready    bool  // default dataset warmed (gates /readyz)
 	readyErr error // default dataset warmup failure
 	dsState  map[string]DatasetReady
+
+	// Background warmup lifecycle: lifeCtx bounds every spawned warmup
+	// (BindLifecycle swaps in the process signal context so shutdown
+	// cancels in-flight warms) and bg tracks the goroutines so
+	// DrainBackground can wait for them during graceful drain.
+	lifeMu  sync.Mutex
+	lifeCtx context.Context
+	bg      sync.WaitGroup
 }
 
 // searcherEntry pins a search index to the dataset revision it indexed.
@@ -227,6 +235,7 @@ func NewWithOptions(o Options) (*Server, error) {
 		lastAccess:   map[string]time.Time{},
 		reclaimed:    map[string]bool{},
 		idleReclaims: map[string]uint64{},
+		lifeCtx:      context.Background(),
 	}
 	if o.APIKeys != nil {
 		for _, k := range o.APIKeys.Keys {
@@ -284,10 +293,38 @@ func NewWithOptions(o Options) (*Server, error) {
 		s.handler = serving.Recover(s.logger, serving.AccessLog(s.logger, http.HandlerFunc(s.route)))
 	}
 	if !o.disableWarmup {
-		go s.warmup()
+		s.spawnBackground(s.warmup)
 	}
 	return s, nil
 }
+
+// BindLifecycle ties subsequently spawned background warmups to ctx —
+// cmd/serve passes its signal context so a shutdown cancels in-flight
+// warms instead of orphaning them. Warmups already running keep the
+// context they were spawned under.
+func (s *Server) BindLifecycle(ctx context.Context) {
+	s.lifeMu.Lock()
+	s.lifeCtx = ctx
+	s.lifeMu.Unlock()
+}
+
+// spawnBackground runs fn on a tracked goroutine under the current
+// lifecycle context; DrainBackground waits for every such goroutine.
+func (s *Server) spawnBackground(fn func(ctx context.Context)) {
+	s.lifeMu.Lock()
+	ctx := s.lifeCtx
+	s.lifeMu.Unlock()
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		fn(ctx)
+	}()
+}
+
+// DrainBackground blocks until all tracked background work (startup and
+// ingest-triggered warmups) has finished. cmd/serve calls it after the
+// HTTP listener has shut down.
+func (s *Server) DrainBackground() { s.bg.Wait() }
 
 // Metrics exposes the metrics registry (for cmd/serve and tests).
 func (s *Server) Metrics() *serving.Metrics { return s.metrics }
@@ -706,9 +743,9 @@ func (s *Server) dropDatasetState(id string) {
 // warmDataset pre-computes one dataset's warmable analyses under the
 // exact (dataset, revision)-scoped cache keys live requests use,
 // recording the outcome in the per-dataset readiness state.
-func (s *Server) warmDataset(id string) error {
+func (s *Server) warmDataset(ctx context.Context, id string) error {
 	s.setDatasetState(id, DatasetReady{Status: "warming"})
-	err := s.exec.WarmDataset(context.Background(), id)
+	err := s.exec.WarmDataset(ctx, id)
 	if err != nil {
 		s.setDatasetState(id, DatasetReady{Status: "unready", Reason: err.Error()})
 		return err
@@ -721,15 +758,15 @@ func (s *Server) warmDataset(id string) error {
 // default dataset's outcome gates /readyz (proving the seed corpus is
 // loaded and the all-group analyses are warmable); data-dir datasets
 // warm after it and report per-dataset state only.
-func (s *Server) warmup() {
-	err := s.warmDataset(dataset.DefaultID)
+func (s *Server) warmup(ctx context.Context) {
+	err := s.warmDataset(ctx, dataset.DefaultID)
 	s.readyMu.Lock()
 	s.ready = err == nil
 	s.readyErr = err
 	s.readyMu.Unlock()
 	for _, id := range s.datasets.IDs() {
 		if id != dataset.DefaultID {
-			_ = s.warmDataset(id)
+			_ = s.warmDataset(ctx, id)
 		}
 	}
 }

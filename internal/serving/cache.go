@@ -311,7 +311,7 @@ func (c *Cache) DoCtx(ctx context.Context, key string, compute func() (interface
 
 // Do is DoCtx with a background context.
 func (c *Cache) Do(key string, compute func() (interface{}, error)) (interface{}, bool, error) {
-	return c.DoCtx(context.Background(), key, compute)
+	return c.DoCtx(context.Background(), key, compute) // lint:detach stale-refresh flights run to completion regardless of the triggering request
 }
 
 // Invalidate removes every fresh AND stale entry (across all scopes)

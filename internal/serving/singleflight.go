@@ -99,7 +99,7 @@ func (g *Group) doOnce(ctx context.Context, key string, fn func(context.Context)
 			return nil, ctx.Err(), true, false
 		}
 	}
-	fctx, cancel := context.WithCancel(context.Background())
+	fctx, cancel := context.WithCancel(context.Background()) // lint:detach flights outlive a cancelled leader so late joiners still get the value
 	c := &call{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	g.m[key] = c
 	g.mu.Unlock()
