@@ -39,18 +39,20 @@ bench: bench-datasets
 bench-batch:
 	$(GO) test -bench=BenchmarkBatchParallel -benchmem ./internal/engine/
 
-# Dataset-scoped cold/warm serving latencies, snapshotted to
+# Dataset-scoped cold/warm serving latencies, the NNMF core (cold vs
+# warm-seeded factorize), and batch worker scaling, snapshotted to
 # BENCH_datasets.json at the repo root so the perf trajectory
 # accumulates across commits (ROADMAP item 4).
 bench-datasets:
-	BENCH_JSON=$(CURDIR)/BENCH_datasets.json $(GO) test -bench=BenchmarkDatasetServing -run '^$$' -benchmem ./internal/engine/
+	BENCH_JSON=$(CURDIR)/BENCH_datasets.json $(GO) test -bench='BenchmarkDatasetServing|BenchmarkNNMFCore|BenchmarkBatchScaling' -run '^$$' -benchmem ./internal/engine/
 
 # Perf regression gate (CI): re-run the dataset benchmarks into a
 # scratch snapshot and compare the compute-bound scenarios against the
-# committed BENCH_datasets.json, failing past 3x. The committed
-# baseline is only rewritten by an explicit `make bench-datasets`.
+# committed BENCH_datasets.json, failing past 3x — plus the warm-start
+# convergence gate (nnmf warm <= 10% of cold). The committed baseline
+# is only rewritten by an explicit `make bench-datasets`.
 bench-check:
-	BENCH_JSON=$(CURDIR)/BENCH_current.json $(GO) test -bench=BenchmarkDatasetServing -run '^$$' -benchmem ./internal/engine/
+	BENCH_JSON=$(CURDIR)/BENCH_current.json $(GO) test -bench='BenchmarkDatasetServing|BenchmarkNNMFCore|BenchmarkBatchScaling' -run '^$$' -benchmem ./internal/engine/
 	$(GO) run ./cmd/benchcheck -baseline $(CURDIR)/BENCH_datasets.json -current $(CURDIR)/BENCH_current.json
 
 serve:

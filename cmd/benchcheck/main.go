@@ -1,11 +1,19 @@
 // Command benchcheck compares two BENCH_datasets.json snapshots (the
 // committed baseline vs a freshly benchmarked one) and exits non-zero
-// when a compute-bound scenario regressed beyond -max-ratio. Warm
-// scenarios are cache hits measured in nanoseconds — far too noisy for
-// a CI gate — so only the cold and contended modes are compared.
-// Scenarios present on one side only are reported but never fail the
-// gate: a new scenario has no baseline yet, and a retired one has no
-// current sample.
+// when a compute-bound scenario regressed beyond -max-ratio. Cache-hit
+// warm scenarios are measured in nanoseconds — far too noisy for a CI
+// gate — so only the compute-bound modes (cold, contended, and the
+// batch-scaling serial/parallel pair) are compared. Scenarios present
+// on one side only are reported but never fail the gate: a new
+// scenario has no baseline yet, and a retired one has no current
+// sample.
+//
+// The nnmf cold/warm pair carries one additional check on the CURRENT
+// snapshot alone: a warm-started factorization (seeded with its own
+// fitted factors) must cost at most -warm-ratio of the cold 10-restart
+// run. That is the incremental pipeline's convergence contract — if
+// warm-start stops short-circuiting, the ratio collapses toward 1 and
+// the gate fails even though nothing "regressed" against the baseline.
 package main
 
 import (
@@ -29,7 +37,34 @@ type snapshot struct {
 }
 
 // gatedModes are the compute-bound modes stable enough to gate on.
-var gatedModes = map[string]bool{"cold": true, "contended": true}
+// Warm cache hits stay ungated; the nnmf warm factorize is gated
+// separately against its cold sibling (see warmStartCheck).
+var gatedModes = map[string]bool{"cold": true, "contended": true, "serial": true, "parallel": true}
+
+// warmStartCheck verifies the nnmf cold/warm convergence contract on
+// the current snapshot: warm ns/op must not exceed maxWarmRatio of the
+// cold run. Returns "" when the pair is absent (older snapshots) or
+// the contract holds.
+func warmStartCheck(current snapshot, maxWarmRatio float64) string {
+	var cold, warm scenario
+	for _, sc := range current.Scenarios {
+		if sc.Dataset == "nnmf" && sc.Mode == "cold" {
+			cold = sc
+		}
+		if sc.Dataset == "nnmf" && sc.Mode == "warm" {
+			warm = sc
+		}
+	}
+	if cold.NsPerOp <= 0 || warm.NsPerOp <= 0 {
+		return ""
+	}
+	ratio := float64(warm.NsPerOp) / float64(cold.NsPerOp)
+	if ratio > maxWarmRatio {
+		return fmt.Sprintf("nnmf warm factorize costs %.1f%% of cold (%d vs %d ns/op), want <= %.1f%%",
+			ratio*100, warm.NsPerOp, cold.NsPerOp, maxWarmRatio*100)
+	}
+	return ""
+}
 
 func loadSnapshot(path string) (snapshot, error) {
 	raw, err := os.ReadFile(path)
@@ -86,6 +121,7 @@ func run(args []string) int {
 	baselinePath := fs.String("baseline", "BENCH_datasets.json", "committed benchmark snapshot")
 	currentPath := fs.String("current", "", "freshly generated benchmark snapshot")
 	maxRatio := fs.Float64("max-ratio", 3, "fail when current/baseline ns/op exceeds this")
+	warmRatio := fs.Float64("warm-ratio", 0.1, "fail when the nnmf warm factorize exceeds this fraction of its cold run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -97,6 +133,10 @@ func run(args []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		return 2
+	}
+	if msg := warmStartCheck(current, *warmRatio); msg != "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: "+msg)
+		return 1
 	}
 	baseline, err := loadSnapshot(*baselinePath)
 	if err != nil {

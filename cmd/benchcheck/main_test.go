@@ -55,6 +55,42 @@ func TestCompareHandlesMissingScenarios(t *testing.T) {
 	}
 }
 
+func TestCompareGatesBatchScaling(t *testing.T) {
+	baseline := snap(
+		scenario{Dataset: "batch", Mode: "serial", NsPerOp: 4000},
+		scenario{Dataset: "batch", Mode: "parallel", NsPerOp: 1000},
+	)
+	current := snap(
+		scenario{Dataset: "batch", Mode: "serial", NsPerOp: 4500},
+		scenario{Dataset: "batch", Mode: "parallel", NsPerOp: 3500},
+	)
+	_, regressions := compare(baseline, current, 3)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "batch/parallel") {
+		t.Fatalf("regressions = %v, want batch/parallel", regressions)
+	}
+}
+
+func TestWarmStartCheck(t *testing.T) {
+	// Pair absent (older snapshots): no verdict.
+	if msg := warmStartCheck(snap(scenario{Dataset: "default", Mode: "cold", NsPerOp: 1000}), 0.1); msg != "" {
+		t.Fatalf("snapshot without nnmf pair: %q", msg)
+	}
+	healthy := snap(
+		scenario{Dataset: "nnmf", Mode: "cold", NsPerOp: 100_000},
+		scenario{Dataset: "nnmf", Mode: "warm", NsPerOp: 5_000},
+	)
+	if msg := warmStartCheck(healthy, 0.1); msg != "" {
+		t.Fatalf("5%% warm ratio flagged: %q", msg)
+	}
+	broken := snap(
+		scenario{Dataset: "nnmf", Mode: "cold", NsPerOp: 100_000},
+		scenario{Dataset: "nnmf", Mode: "warm", NsPerOp: 60_000},
+	)
+	if msg := warmStartCheck(broken, 0.1); msg == "" {
+		t.Fatal("60% warm ratio must fail the convergence gate")
+	}
+}
+
 func TestRunExitCodes(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, body string) string {

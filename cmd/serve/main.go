@@ -41,7 +41,9 @@
 //	GET  /api/v1/datasets?limit=N&offset=M
 //	GET  /api/v1/datasets/{id}              dataset metadata (revision, courses, materials)
 //	PUT  /api/v1/datasets/{id}              ingest/replace a dataset ({"courses":[...]})
+//	PATCH /api/v1/datasets/{id}             apply a delta ({"events":[...]}); incremental refresh
 //	DELETE /api/v1/datasets/{id}            remove a dataset ("default" is protected, 409)
+//	POST /api/v1/keys/reload                re-read -api-keys-file (admin key; SIGHUP equivalent)
 //	GET  /api/v1/datasets/{id}/...          every query/analysis route, dataset-scoped
 //	GET  /metrics               Prometheus text exposition
 //	GET  /debug/metrics         JSON metrics
@@ -149,6 +151,14 @@ func (c config) serverOptions(logger *log.Logger, events *obs.Logger) (server.Op
 		keys = kf
 	}
 	keys = server.KeysFromEnv(keys)
+	var reload func() (*server.KeysFile, error)
+	if c.apiKeysFile != "" {
+		// Rotation without restart: SIGHUP and POST /api/v1/keys/reload
+		// re-read the same file (CSM_ADMIN_KEY is folded back in by the
+		// server on every reload).
+		path := c.apiKeysFile
+		reload = func() (*server.KeysFile, error) { return server.LoadKeysFile(path) }
+	}
 	return server.Options{
 		CacheSize:         c.cacheSize,
 		Logger:            logger,
@@ -161,6 +171,7 @@ func (c config) serverOptions(logger *log.Logger, events *obs.Logger) (server.Op
 		Events:            events,
 		DataDir:           c.dataDir,
 		APIKeys:           keys,
+		ReloadKeys:        reload,
 		IdleTTL:           c.idleTTL,
 	}, nil
 }
@@ -233,6 +244,29 @@ func main() {
 	// Propagate the signal context into every request so in-flight
 	// handlers observe cancellation during shutdown.
 	srv.BaseContext = func(net.Listener) context.Context { return ctx }
+
+	// SIGHUP rotates the API keyring in place when -api-keys-file is
+	// set: revoked keys stop authenticating on the next request without
+	// dropping a single connection.
+	if cfg.apiKeysFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					signal.Stop(hup)
+					return
+				case <-hup:
+					if err := s.ReloadAPIKeys(); err != nil {
+						events.Event("keys-reload-failed", map[string]interface{}{"error": err.Error()})
+					} else {
+						events.Event("keys-reloaded", map[string]interface{}{"file": cfg.apiKeysFile})
+					}
+				}
+			}
+		}()
+	}
 
 	if cfg.debugAddr != "" {
 		dbg := &http.Server{Addr: cfg.debugAddr, Handler: debugHandler(s), ErrorLog: logger}

@@ -1,0 +1,101 @@
+package agreement
+
+import (
+	"reflect"
+	"testing"
+
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/materials"
+)
+
+// TestRebaseMatchesFullAnalyze drives a real delta through the dataset
+// layer and checks the incremental rebase reproduces a full rescan of
+// the new revision exactly.
+func TestRebaseMatchesFullAnalyze(t *testing.T) {
+	r := dataset.NewRegistry(nil)
+	base := r.Default()
+	course := base.Repo().Courses()[0]
+	mat := course.Materials[0]
+
+	// Retag to a single tag chosen from another course so the course's
+	// tag set genuinely changes.
+	var newTag string
+	for tag := range base.Repo().Courses()[5].TagSet() {
+		if !course.TagSet()[tag] {
+			newTag = tag
+			break
+		}
+	}
+	if newTag == "" {
+		t.Fatal("no disjoint tag found")
+	}
+	snap, err := r.Apply(dataset.DefaultID, []dataset.Event{
+		{Op: dataset.OpRetag, Course: course.ID, MaterialID: mat.ID, Tags: []string{newTag}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prior := analyzeOrDie(t, base.Repo().Courses())
+	changes := map[string]TagChange{}
+	for id, tc := range snap.Delta().TagChanges {
+		changes[id] = TagChange{Added: tc.Added, Removed: tc.Removed}
+	}
+	rebased, err := prior.Rebase(snap.Repo().Courses(), changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := analyzeOrDie(t, snap.Repo().Courses())
+	if !reflect.DeepEqual(rebased.Counts, full.Counts) {
+		t.Errorf("rebased counts diverge from full analyze:\nrebased: %v\nfull:    %v", rebased.Counts, full.Counts)
+	}
+	if !reflect.DeepEqual(rebased.Histogram(), full.Histogram()) {
+		t.Error("rebased histogram diverges")
+	}
+	if !reflect.DeepEqual(rebased.KACounts(2), full.KACounts(2)) {
+		t.Error("rebased KACounts diverges")
+	}
+}
+
+func TestRebaseValidation(t *testing.T) {
+	a := analyzeOrDie(t, []*materials.Course{
+		mkCourse("c1", tagRecursion, tagBigO),
+		mkCourse("c2", tagRecursion),
+	})
+
+	// Group membership changed.
+	if _, err := a.Rebase([]*materials.Course{mkCourse("c1", tagRecursion)}, nil); err == nil {
+		t.Error("size change must fail")
+	}
+	if _, err := a.Rebase([]*materials.Course{mkCourse("c1", tagRecursion), mkCourse("cX", tagVars)}, nil); err == nil {
+		t.Error("membership change must fail")
+	}
+	// Removing a tag no course has is a stale change set.
+	same := []*materials.Course{mkCourse("c1", tagRecursion, tagBigO), mkCourse("c2", tagRecursion)}
+	if _, err := a.Rebase(same, map[string]TagChange{"c1": {Removed: []string{tagDigraph}}}); err == nil {
+		t.Error("negative count must fail")
+	}
+	// Changes for out-of-group courses are ignored.
+	out, err := a.Rebase(same, map[string]TagChange{"elsewhere": {Added: []string{tagVars}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Counts, a.Counts) {
+		t.Error("out-of-group change must not affect counts")
+	}
+	// A removal that drops a tag to zero deletes the key.
+	out, err = a.Rebase(same, map[string]TagChange{"c1": {Removed: []string{tagBigO}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.Counts[tagBigO]; ok {
+		t.Error("zero-count tag must be deleted")
+	}
+	// Guideline context survives the rebase (KA summaries still work).
+	if len(out.KASpan(1)) == 0 {
+		t.Error("rebased analysis lost guideline context")
+	}
+	if len(out.guidelines) != len(a.guidelines) {
+		t.Error("rebase dropped guidelines")
+	}
+}

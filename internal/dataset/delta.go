@@ -1,0 +1,296 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+)
+
+// Op names a classification event kind.
+type Op string
+
+// Classification-event operations: the three ways a live corpus
+// changes between revisions without a full re-ingest.
+const (
+	// OpAdd attaches a new material to an existing course.
+	OpAdd Op = "add"
+	// OpRemove detaches a material from its course.
+	OpRemove Op = "remove"
+	// OpRetag replaces a material's curriculum tags.
+	OpRetag Op = "retag"
+)
+
+// Event is one classification event against a dataset: a material
+// added to, removed from, or retagged within an existing course. It is
+// the PATCH /api/v1/datasets/{id} payload item and the input to
+// Registry.Apply.
+type Event struct {
+	Op     Op     `json:"op"`
+	Course string `json:"course"`
+	// Material carries the full new material for OpAdd.
+	Material *materials.Material `json:"material,omitempty"`
+	// MaterialID names the target of OpRemove and OpRetag.
+	MaterialID string `json:"material_id,omitempty"`
+	// Tags is the replacement tag list for OpRetag.
+	Tags []string `json:"tags,omitempty"`
+}
+
+// TagChange is one course's tag-SET difference across a delta: the
+// tags that entered and left the union of the course's material tags.
+// It is what the incremental consumers (agreement histograms, the
+// course × curriculum matrix) need — a retag that only touches tags
+// the course already covers through other materials produces an empty
+// TagChange even though the material itself changed.
+type TagChange struct {
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+}
+
+// Empty reports whether the course's tag set was unchanged.
+func (tc TagChange) Empty() bool { return len(tc.Added) == 0 && len(tc.Removed) == 0 }
+
+// Delta summarizes what one Apply changed, revision N-1 → N. It rides
+// on the new Snapshot so the serving layer can invalidate precisely:
+// an analysis scope that provably cannot observe any touched course or
+// tag keeps its cached results across the revision bump.
+type Delta struct {
+	// Events is the number of events applied.
+	Events int `json:"events"`
+	// Added, Removed, and Retagged count events by operation.
+	Added    int `json:"added"`
+	Removed  int `json:"removed"`
+	Retagged int `json:"retagged"`
+	// Courses lists the touched course IDs, sorted.
+	Courses []string `json:"courses"`
+	// Tags is the sorted union of every tag named by a touched
+	// material, before or after the delta.
+	Tags []string `json:"tags"`
+	// Groups is the sorted, lowercased union of the group labels
+	// (primary and secondary) of the touched courses — the coarse
+	// signal group-scoped analyses use to decide whether a delta can
+	// reach them.
+	Groups []string `json:"groups"`
+	// TagChanges maps each touched course to its tag-set difference
+	// (absent or empty when the course's tag union was unchanged).
+	// It is carried in memory for incremental recompute, not exported
+	// in API summaries.
+	TagChanges map[string]TagChange `json:"-"`
+}
+
+// TouchesCourse reports whether the delta touched the given course.
+func (d *Delta) TouchesCourse(id string) bool {
+	for _, c := range d.Courses {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TouchesGroup reports whether any touched course carries the given
+// lowercased group label.
+func (d *Delta) TouchesGroup(group string) bool {
+	for _, g := range d.Groups {
+		if g == group {
+			return true
+		}
+	}
+	return false
+}
+
+// validateEvent checks an event's shape before application.
+func validateEvent(i int, ev Event) error {
+	if ev.Course == "" {
+		return fmt.Errorf("dataset: event %d: missing course", i)
+	}
+	switch ev.Op {
+	case OpAdd:
+		if ev.Material == nil {
+			return fmt.Errorf("dataset: event %d: %q needs a material", i, OpAdd)
+		}
+		if ev.MaterialID != "" && ev.MaterialID != ev.Material.ID {
+			return fmt.Errorf("dataset: event %d: material_id %q contradicts material.id %q", i, ev.MaterialID, ev.Material.ID)
+		}
+	case OpRemove:
+		if ev.MaterialID == "" {
+			return fmt.Errorf("dataset: event %d: %q needs material_id", i, OpRemove)
+		}
+	case OpRetag:
+		if ev.MaterialID == "" {
+			return fmt.Errorf("dataset: event %d: %q needs material_id", i, OpRetag)
+		}
+		if len(ev.Tags) == 0 {
+			return fmt.Errorf("dataset: event %d: %q needs a non-empty tag list", i, OpRetag)
+		}
+	default:
+		return fmt.Errorf("dataset: event %d: unknown op %q", i, ev.Op)
+	}
+	return nil
+}
+
+// applyEvents derives a new repository from base by applying events,
+// without re-validating (or re-indexing through guideline lookups) the
+// untouched courses: they are adopted into the new repository by
+// pointer, so the validation cost of a delta is proportional to the
+// delta. Touched courses are cloned (and their touched materials
+// cloned) so the base snapshot stays immutable.
+func applyEvents(base *materials.Repository, events []Event) (*materials.Repository, *Delta, error) {
+	touched := map[string]*materials.Course{} // course ID → working clone
+	delta := &Delta{Events: len(events), TagChanges: map[string]TagChange{}}
+	tags := map[string]bool{}
+
+	courseOf := func(id string) (*materials.Course, error) {
+		if c, ok := touched[id]; ok {
+			return c, nil
+		}
+		orig := base.Course(id)
+		if orig == nil {
+			return nil, fmt.Errorf("dataset: unknown course %q", id)
+		}
+		c := orig.Clone()
+		touched[id] = c
+		return c, nil
+	}
+	findMaterial := func(c *materials.Course, id string) int {
+		for i, m := range c.Materials {
+			if m.ID == id {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for i, ev := range events {
+		if err := validateEvent(i, ev); err != nil {
+			return nil, nil, err
+		}
+		c, err := courseOf(ev.Course)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: event %d: %w", i, err)
+		}
+		switch ev.Op {
+		case OpAdd:
+			m := ev.Material.Clone()
+			// Global material-ID uniqueness, honoring in-batch removals:
+			// the ID may have left the corpus earlier in this same batch.
+			if owner, _ := ownerOf(base, touched, m.ID); owner != "" {
+				return nil, nil, fmt.Errorf("dataset: event %d: material ID %q already exists in course %q", i, m.ID, owner)
+			}
+			c.Materials = append(c.Materials, m)
+			delta.Added++
+			for _, t := range m.Tags {
+				tags[t] = true
+			}
+		case OpRemove:
+			idx := findMaterial(c, ev.MaterialID)
+			if idx < 0 {
+				return nil, nil, fmt.Errorf("dataset: event %d: course %q has no material %q", i, ev.Course, ev.MaterialID)
+			}
+			for _, t := range c.Materials[idx].Tags {
+				tags[t] = true
+			}
+			c.Materials = append(c.Materials[:idx], c.Materials[idx+1:]...)
+			delta.Removed++
+		case OpRetag:
+			idx := findMaterial(c, ev.MaterialID)
+			if idx < 0 {
+				return nil, nil, fmt.Errorf("dataset: event %d: course %q has no material %q", i, ev.Course, ev.MaterialID)
+			}
+			m := c.Materials[idx].Clone()
+			for _, t := range m.Tags {
+				tags[t] = true
+			}
+			m.Tags = append([]string(nil), ev.Tags...)
+			for _, t := range m.Tags {
+				tags[t] = true
+			}
+			c.Materials[idx] = m
+			delta.Retagged++
+		}
+	}
+
+	// Rebuild the repository: touched courses go through full
+	// validation (their new materials and tags are unproven); untouched
+	// courses are adopted as-is from the base snapshot.
+	repo := materials.NewRepository(ontology.CS2013(), ontology.PDC12())
+	for _, orig := range base.Courses() {
+		if mod, ok := touched[orig.ID]; ok {
+			if err := repo.AddCourse(mod); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		if err := repo.AdoptCourse(orig); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Summarize: touched courses, their group labels, the tag union,
+	// and the per-course tag-set differences old → new.
+	groups := map[string]bool{}
+	for id, mod := range touched {
+		delta.Courses = append(delta.Courses, id)
+		if g := strings.ToLower(string(mod.Group)); g != "" {
+			groups[g] = true
+		}
+		if g := strings.ToLower(string(mod.SecondaryGroup)); g != "" {
+			groups[g] = true
+		}
+		if tc := diffTagSets(base.Course(id).TagSet(), mod.TagSet()); !tc.Empty() {
+			delta.TagChanges[id] = tc
+		}
+	}
+	sort.Strings(delta.Courses)
+	delta.Tags = sortedKeys(tags)
+	delta.Groups = sortedKeys(groups)
+	return repo, delta, nil
+}
+
+// ownerOf reports which course currently holds a material ID, honoring
+// in-batch removals and additions: the working clones in touched
+// shadow their base counterparts.
+func ownerOf(base *materials.Repository, touched map[string]*materials.Course, materialID string) (string, int) {
+	for _, c := range base.Courses() {
+		cur := c
+		if mod, ok := touched[c.ID]; ok {
+			cur = mod
+		}
+		for i, m := range cur.Materials {
+			if m.ID == materialID {
+				return cur.ID, i
+			}
+		}
+	}
+	return "", -1
+}
+
+// diffTagSets computes the sorted set difference new − old (Added) and
+// old − new (Removed).
+func diffTagSets(old, new map[string]bool) TagChange {
+	var tc TagChange
+	for t := range new {
+		if !old[t] {
+			tc.Added = append(tc.Added, t)
+		}
+	}
+	for t := range old {
+		if !new[t] {
+			tc.Removed = append(tc.Removed, t)
+		}
+	}
+	sort.Strings(tc.Added)
+	sort.Strings(tc.Removed)
+	return tc
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,293 @@
+package dataset
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"csmaterials/internal/materials"
+)
+
+// firstMaterial returns the first course of the default corpus together
+// with its first material.
+func firstMaterial(t *testing.T) (*materials.Course, *materials.Material) {
+	t.Helper()
+	c := Repository().Courses()[0]
+	if len(c.Materials) == 0 {
+		t.Fatalf("seed course %q has no materials", c.ID)
+	}
+	return c, c.Materials[0]
+}
+
+// coveredMaterial finds a material in the default corpus whose every tag
+// also appears on another material of the same course, so retagging it
+// to a subset of its own tags leaves the course tag set unchanged. The
+// generator duplicates about a third of each course's tags across two
+// materials, so such a material always exists.
+func coveredMaterial(t *testing.T) (*materials.Course, *materials.Material) {
+	t.Helper()
+	for _, c := range Repository().Courses() {
+		for _, m := range c.Materials {
+			covered := true
+			for _, tag := range m.Tags {
+				dup := false
+				for _, other := range c.Materials {
+					if other.ID == m.ID {
+						continue
+					}
+					for _, ot := range other.Tags {
+						if ot == tag {
+							dup = true
+						}
+					}
+				}
+				if !dup {
+					covered = false
+					break
+				}
+			}
+			if covered && len(m.Tags) > 0 {
+				return c, m
+			}
+		}
+	}
+	t.Fatal("no fully-covered material in seed corpus")
+	return nil, nil
+}
+
+func TestApplyRetagProducesDelta(t *testing.T) {
+	now := time.Date(2026, 8, 8, 9, 0, 0, 0, time.UTC)
+	r := NewRegistry(func() time.Time { return now })
+	course, mat := firstMaterial(t)
+	base := r.Default()
+	origTags := append([]string(nil), mat.Tags...)
+
+	// Retag to a single known tag taken from another course so the tag
+	// set genuinely changes.
+	var newTag string
+	for _, c := range Repository().Courses()[1:] {
+		for _, m := range c.Materials {
+			for _, tag := range m.Tags {
+				if !course.TagSet()[tag] {
+					newTag = tag
+				}
+			}
+		}
+	}
+	if newTag == "" {
+		t.Fatal("no out-of-course tag found")
+	}
+
+	snap, err := r.Apply(DefaultID, []Event{{
+		Op: OpRetag, Course: course.ID, MaterialID: mat.ID, Tags: []string{newTag},
+	}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if snap.Revision() != base.Revision()+1 {
+		t.Errorf("revision = %d, want %d", snap.Revision(), base.Revision()+1)
+	}
+
+	d := snap.Delta()
+	if d == nil {
+		t.Fatal("delta-derived snapshot must carry a Delta")
+	}
+	if d.Events != 1 || d.Retagged != 1 || d.Added != 0 || d.Removed != 0 {
+		t.Errorf("delta counts = %+v", d)
+	}
+	if len(d.Courses) != 1 || d.Courses[0] != course.ID {
+		t.Errorf("delta.Courses = %v, want [%s]", d.Courses, course.ID)
+	}
+	if !d.TouchesCourse(course.ID) || d.TouchesCourse("nope") {
+		t.Error("TouchesCourse misreports")
+	}
+	wantGroup := strings.ToLower(string(course.Group))
+	if !d.TouchesGroup(wantGroup) {
+		t.Errorf("delta.Groups = %v, want to include %q", d.Groups, wantGroup)
+	}
+	// The tag union must cover both the old and the new tags.
+	tagSet := map[string]bool{}
+	for _, tag := range d.Tags {
+		tagSet[tag] = true
+	}
+	if !tagSet[newTag] {
+		t.Errorf("delta.Tags %v missing new tag %q", d.Tags, newTag)
+	}
+	for _, tag := range origTags {
+		if !tagSet[tag] {
+			t.Errorf("delta.Tags %v missing old tag %q", d.Tags, tag)
+		}
+	}
+	tc, ok := d.TagChanges[course.ID]
+	if !ok {
+		t.Fatal("tag-set-changing retag must record a TagChange")
+	}
+	if len(tc.Added) != 1 || tc.Added[0] != newTag {
+		t.Errorf("TagChange.Added = %v, want [%s]", tc.Added, newTag)
+	}
+
+	// New snapshot observes the change; base snapshot stays immutable.
+	if got := snap.Repo().Material(mat.ID); len(got.Tags) != 1 || got.Tags[0] != newTag {
+		t.Errorf("new repo material tags = %v", got.Tags)
+	}
+	if got := base.Repo().Material(mat.ID); len(got.Tags) != len(origTags) {
+		t.Errorf("base repo mutated: tags = %v, want %v", got.Tags, origTags)
+	}
+	if base.Delta() != nil {
+		t.Error("full-ingest snapshot must not carry a delta")
+	}
+	// Untouched courses are structurally shared, not copied.
+	other := Repository().Courses()[1]
+	if snap.Repo().Course(other.ID) != base.Repo().Course(other.ID) {
+		t.Error("untouched course should be shared by pointer across revisions")
+	}
+}
+
+func TestApplyTagSetPreservingRetag(t *testing.T) {
+	r := NewRegistry(nil)
+	course, mat := coveredMaterial(t)
+	base := r.Default()
+
+	snap, err := r.Apply(DefaultID, []Event{{
+		Op: OpRetag, Course: course.ID, MaterialID: mat.ID, Tags: mat.Tags[:1],
+	}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	d := snap.Delta()
+	if !d.TouchesCourse(course.ID) {
+		t.Error("course must still count as touched")
+	}
+	if tc, ok := d.TagChanges[course.ID]; ok {
+		t.Errorf("tag-set-preserving retag recorded TagChange %+v", tc)
+	}
+	// Course tag sets match exactly across the revisions.
+	oldSet := base.Repo().Course(course.ID).TagSet()
+	newSet := snap.Repo().Course(course.ID).TagSet()
+	if len(oldSet) != len(newSet) {
+		t.Fatalf("tag set size changed %d -> %d", len(oldSet), len(newSet))
+	}
+	for tag := range oldSet {
+		if !newSet[tag] {
+			t.Errorf("tag %q lost", tag)
+		}
+	}
+}
+
+func TestApplyAddRemoveAndBatchMove(t *testing.T) {
+	r := NewRegistry(nil)
+	course, mat := firstMaterial(t)
+	dest := Repository().Courses()[1]
+
+	// Adding a material with a duplicate ID fails...
+	dup := mat.Clone()
+	_, err := r.Apply(DefaultID, []Event{{Op: OpAdd, Course: dest.ID, Material: dup}})
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("duplicate add error = %v", err)
+	}
+	// ...unless the same batch removed it first (a cross-course move).
+	snap, err := r.Apply(DefaultID, []Event{
+		{Op: OpRemove, Course: course.ID, MaterialID: mat.ID},
+		{Op: OpAdd, Course: dest.ID, Material: dup},
+	})
+	if err != nil {
+		t.Fatalf("move batch: %v", err)
+	}
+	d := snap.Delta()
+	if d.Added != 1 || d.Removed != 1 || d.Events != 2 {
+		t.Errorf("delta counts = %+v", d)
+	}
+	if len(d.Courses) != 2 {
+		t.Errorf("delta.Courses = %v, want both courses", d.Courses)
+	}
+	if got := snap.Repo().Course(course.ID); got.TagSet()[mat.Tags[0]] && !courseHasOtherTagOwner(got, mat.ID, mat.Tags[0]) {
+		t.Error("removed material's tags still attributed to source course")
+	}
+	found := false
+	for _, m := range snap.Repo().Course(dest.ID).Materials {
+		if m.ID == mat.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("moved material missing from destination course")
+	}
+	if snap.Repo().NumMaterials() != Repository().NumMaterials() {
+		t.Errorf("material count changed: %d vs %d", snap.Repo().NumMaterials(), Repository().NumMaterials())
+	}
+}
+
+func courseHasOtherTagOwner(c *materials.Course, exceptID, tag string) bool {
+	for _, m := range c.Materials {
+		if m.ID == exceptID {
+			continue
+		}
+		for _, t := range m.Tags {
+			if t == tag {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestApplyValidation(t *testing.T) {
+	r := NewRegistry(nil)
+	course, mat := firstMaterial(t)
+	cases := []struct {
+		name   string
+		events []Event
+		want   string
+	}{
+		{"no events", nil, "no events"},
+		{"unknown op", []Event{{Op: "rename", Course: course.ID}}, "unknown op"},
+		{"missing course", []Event{{Op: OpRetag, MaterialID: mat.ID, Tags: []string{"x"}}}, "missing course"},
+		{"unknown course", []Event{{Op: OpRemove, Course: "ghost", MaterialID: mat.ID}}, "unknown course"},
+		{"unknown material", []Event{{Op: OpRetag, Course: course.ID, MaterialID: "ghost", Tags: []string{"x"}}}, "no material"},
+		{"retag no tags", []Event{{Op: OpRetag, Course: course.ID, MaterialID: mat.ID}}, "non-empty tag list"},
+		{"add no material", []Event{{Op: OpAdd, Course: course.ID}}, "needs a material"},
+		{"add contradictory id", []Event{{Op: OpAdd, Course: course.ID, MaterialID: "a", Material: &materials.Material{ID: "b", Type: materials.Lecture, Tags: []string{"x"}}}}, "contradicts"},
+		{"retag unknown tag", []Event{{Op: OpRetag, Course: course.ID, MaterialID: mat.ID, Tags: []string{"not-a-guideline-tag"}}}, "unknown curriculum tag"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := r.Apply(DefaultID, tc.events); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Apply error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	if _, err := r.Apply("absent", []Event{{Op: OpRemove, Course: course.ID, MaterialID: mat.ID}}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Apply on absent dataset = %v, want ErrNotFound", err)
+	}
+	if _, err := r.Apply("NOT VALID", []Event{{Op: OpRemove, Course: course.ID, MaterialID: mat.ID}}); err == nil {
+		t.Error("Apply with invalid ID must fail validation")
+	}
+
+	// Failed applies must not advance the revision.
+	if rev := r.Default().Revision(); rev != 1 {
+		t.Errorf("revision after failed applies = %d, want 1", rev)
+	}
+}
+
+func TestApplyRevisionSequencing(t *testing.T) {
+	r := NewRegistry(nil)
+	course, mat := firstMaterial(t)
+	ev := []Event{{Op: OpRetag, Course: course.ID, MaterialID: mat.ID, Tags: mat.Tags[:1]}}
+	s2, err := r.Apply(DefaultID, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A later full Put continues the sequence and clears the delta.
+	s3, err := r.Put(DefaultID, miniCourses(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Revision() != 2 || s3.Revision() != 3 {
+		t.Errorf("revisions = %d, %d, want 2, 3", s2.Revision(), s3.Revision())
+	}
+	if s3.Delta() != nil {
+		t.Error("Put snapshot must not carry a delta")
+	}
+}

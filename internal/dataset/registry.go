@@ -34,6 +34,9 @@ var idPattern = regexp.MustCompile(`^[a-z0-9][a-z0-9._-]*$`)
 var (
 	ErrNotFound  = errors.New("dataset: no such dataset")
 	ErrProtected = errors.New(`dataset: the "default" dataset cannot be deleted`)
+	// ErrConflict reports that Apply lost the base-snapshot race too
+	// many times in a row (concurrent mutations of the same dataset).
+	ErrConflict = errors.New("dataset: concurrent mutation conflict, retry")
 )
 
 // ValidateID reports whether id is a well-formed dataset name.
@@ -93,6 +96,10 @@ type Snapshot struct {
 	revision uint64
 	repo     *materials.Repository
 	loadedAt time.Time
+	// delta summarizes what changed from the previous revision when
+	// this snapshot was produced by Apply; nil for full ingests (Put),
+	// whose blast radius is the whole dataset.
+	delta *Delta
 }
 
 // ID returns the dataset name.
@@ -107,6 +114,12 @@ func (s *Snapshot) Repo() *materials.Repository { return s.repo }
 // LoadedAt returns when the snapshot was registered (zero when the
 // registry was built without a clock).
 func (s *Snapshot) LoadedAt() time.Time { return s.loadedAt }
+
+// Delta returns the classification-event summary that produced this
+// revision, or nil when the revision came from a full ingest (Put,
+// LoadDir, the seed corpus). A nil Delta means "assume everything
+// changed".
+func (s *Snapshot) Delta() *Delta { return s.delta }
 
 // Meta summarizes the snapshot for the catalog.
 func (s *Snapshot) Meta() Meta {
@@ -195,6 +208,53 @@ func (r *Registry) Put(id string, courses []*materials.Course) (*Snapshot, error
 	snap := &Snapshot{id: id, revision: rev, repo: repo, loadedAt: ts}
 	r.snaps[id] = snap
 	return snap, nil
+}
+
+// Apply derives id's next revision from its current snapshot by
+// applying classification events — materials added, removed, or
+// retagged — without re-parsing or re-validating the untouched part
+// of the corpus. The new snapshot carries a Delta summary (touched
+// courses, tags, and groups) so the serving layer can invalidate
+// precisely instead of sweeping the whole dataset.
+//
+// Apply is optimistic: the events are applied against the snapshot
+// current at entry, and the swap is retried against a fresh base if a
+// concurrent Put/Apply replaced it mid-derivation. Unknown datasets
+// return ErrNotFound; persistent contention returns ErrConflict.
+func (r *Registry) Apply(id string, events []Event) (*Snapshot, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("dataset: dataset %q: no events to apply", id)
+	}
+	const maxAttempts = 8
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		base, ok := r.Get(id)
+		if !ok {
+			return nil, ErrNotFound
+		}
+		repo, delta, err := applyEvents(base.repo, events)
+		if err != nil {
+			return nil, fmt.Errorf("dataset %q: %w", id, err)
+		}
+		ts := r.clock()
+		r.mu.Lock()
+		if r.snaps[id] != base {
+			// Lost the race: someone swapped the snapshot while we were
+			// deriving. The events were written against a corpus that is
+			// no longer current — re-derive from the new base.
+			r.mu.Unlock()
+			continue
+		}
+		rev := r.revs[id] + 1
+		r.revs[id] = rev
+		snap := &Snapshot{id: id, revision: rev, repo: repo, loadedAt: ts, delta: delta}
+		r.snaps[id] = snap
+		r.mu.Unlock()
+		return snap, nil
+	}
+	return nil, ErrConflict
 }
 
 // Delete removes id from the registry. The default dataset is

@@ -22,6 +22,10 @@ type AgreementResponse struct {
 	KASpan    []string       `json:"ka_span"`
 	KACounts  map[string]int `json:"ka_counts"`
 	Threshold int            `json:"threshold"`
+
+	// analysis retains the tag-count state so a later delta refresh can
+	// rebase it instead of rescanning; unexported, never serializes.
+	analysis *agreement.Analysis
 }
 
 // AgreementParams selects a course group and an agreement threshold.
@@ -70,6 +74,13 @@ func (Agreement) Compute(ctx context.Context, repo *materials.Repository, p engi
 	if err != nil {
 		return nil, err
 	}
+	return agreementResponse(ap, ids, a), nil
+}
+
+// agreementResponse derives the API payload from an analysis. Cold
+// computes and delta rebases share it, so a rebase whose counts match
+// a full rescan reproduces the cold response byte for byte.
+func agreementResponse(ap AgreementParams, ids []string, a *agreement.Analysis) *AgreementResponse {
 	atLeast := make(map[string]int, len(ids))
 	for k := 2; k <= len(ids); k++ {
 		atLeast[strconv.Itoa(k)] = a.AtLeast(k)
@@ -81,5 +92,6 @@ func (Agreement) Compute(ctx context.Context, repo *materials.Repository, p engi
 		KASpan:    a.KASpan(ap.Threshold),
 		KACounts:  a.KACounts(ap.Threshold),
 		Threshold: ap.Threshold,
-	}, nil
+		analysis:  a,
+	}
 }

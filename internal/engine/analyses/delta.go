@@ -1,0 +1,179 @@
+package analyses
+
+// This file implements delta-awareness: how each analysis judges
+// whether a classification delta can reach its cached results
+// (engine.DeltaAware), and how the iterative analyses recompute from
+// their previous result instead of from scratch (engine.WarmStarter).
+// Both contracts are conservative — AffectedBy errs toward true, and
+// ComputeWarm returns engine.ErrColdCompute unless it can prove the
+// warm result is byte-identical to a cold recompute.
+
+import (
+	"context"
+	"errors"
+	"strings"
+
+	"csmaterials/internal/agreement"
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/engine"
+	"csmaterials/internal/factorize"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/ontology"
+)
+
+// paramGroup extracts the group component of a "<group>|..." cache
+// key; keys without a separator are the group itself.
+func paramGroup(paramKey string) string {
+	if i := strings.IndexByte(paramKey, '|'); i >= 0 {
+		return paramKey[:i]
+	}
+	return paramKey
+}
+
+// groupAffected reports whether a delta touching d.Groups can reach
+// the course set selected by the normalized group name. Unknown names
+// and the all-course groups answer true: a false negative would let a
+// stale result serve under the new revision.
+func groupAffected(group string, d *dataset.Delta) bool {
+	if d == nil {
+		return true
+	}
+	if len(d.Courses) == 0 {
+		return false
+	}
+	switch group {
+	case "cs1":
+		return d.TouchesGroup("cs1")
+	case "ds":
+		return d.TouchesGroup("ds")
+	case "dsalgo":
+		return d.TouchesGroup("ds") || d.TouchesGroup("algo")
+	case "pdc":
+		return d.TouchesGroup("pdc")
+	default: // "all", "", unrecognized
+		return true
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AffectedBy scopes types results to their course group.
+func (Types) AffectedBy(paramKey string, d *dataset.Delta) bool {
+	return groupAffected(paramGroup(paramKey), d)
+}
+
+// ComputeWarm re-fits the course-type model seeded with the prior
+// factors. It only succeeds when the group's course matrix is
+// byte-identical to the prior's (the delta touched the group's label
+// but not its tag sets, or a same-revision stale refresh): the seeded
+// factorization then verifies the seeds are still a fixed point in a
+// single probe iteration and returns them unchanged, so the response
+// matches a cold 10-restart run exactly. Any drift declines to cold.
+func (t Types) ComputeWarm(ctx context.Context, repo *materials.Repository, p engine.Params, prior interface{}, d *dataset.Delta) (interface{}, error) {
+	tp := p.(TypesParams)
+	pr, ok := prior.(*TypesResponse)
+	if !ok || pr.model == nil || pr.model.K != tp.K {
+		return nil, engine.ErrColdCompute
+	}
+	ids, err := groupCourseIDs(repo, tp.Group)
+	if err != nil {
+		return nil, engine.ErrColdCompute
+	}
+	courses := coursesByID(repo, ids)
+	if len(courses) != len(pr.model.Courses) {
+		return nil, engine.ErrColdCompute
+	}
+	for i, c := range courses {
+		if pr.model.Courses[i].ID != c.ID {
+			return nil, engine.ErrColdCompute
+		}
+	}
+	a, tags := materials.CourseMatrix(courses)
+	if !equalStrings(tags, pr.model.Tags) || !a.Equal(pr.model.A) {
+		return nil, engine.ErrColdCompute
+	}
+	opts := factorize.PaperOptions()
+	opts.InitW, opts.InitH = pr.model.W, pr.model.H
+	model, err := factorize.AnalyzeCtx(ctx, courses, tp.K, opts, ontology.CS2013(), ontology.PDC12())
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		return nil, engine.ErrColdCompute
+	}
+	if !model.Fit.SeedRetained {
+		// The seeds moved under multiplicative updates: the matrix check
+		// above should have prevented this, but byte-identity beats speed.
+		return nil, engine.ErrColdCompute
+	}
+	return typesResponse(tp, model), nil
+}
+
+// AffectedBy scopes agreement results to their course group.
+func (Agreement) AffectedBy(paramKey string, d *dataset.Delta) bool {
+	return groupAffected(paramGroup(paramKey), d)
+}
+
+// ComputeWarm rebases the prior tag counts over the delta's per-course
+// tag-set changes — exact integer arithmetic, so the result matches a
+// full rescan of the new revision byte for byte. Group membership
+// changes or a stale change set decline to cold.
+func (Agreement) ComputeWarm(ctx context.Context, repo *materials.Repository, p engine.Params, prior interface{}, d *dataset.Delta) (interface{}, error) {
+	ap := p.(AgreementParams)
+	pr, ok := prior.(*AgreementResponse)
+	if !ok || pr.analysis == nil {
+		return nil, engine.ErrColdCompute
+	}
+	ids, err := groupCourseIDs(repo, ap.Group)
+	if err != nil {
+		return nil, engine.ErrColdCompute
+	}
+	changes := map[string]agreement.TagChange{}
+	if d != nil {
+		for id, tc := range d.TagChanges {
+			changes[id] = agreement.TagChange{Added: tc.Added, Removed: tc.Removed}
+		}
+	}
+	a, err := pr.analysis.Rebase(coursesByID(repo, ids), changes)
+	if err != nil {
+		return nil, engine.ErrColdCompute
+	}
+	return agreementResponse(ap, ids, a), nil
+}
+
+// AffectedBy scopes cluster results to their course group. Clustering
+// has no incremental form here, so affected results recompute cold.
+func (Cluster) AffectedBy(paramKey string, d *dataset.Delta) bool {
+	return groupAffected(paramGroup(paramKey), d)
+}
+
+// AffectedBy scopes anchor recommendations to their course: the
+// recommender reads one course's tag set against static rule tables.
+func (Anchors) AffectedBy(paramKey string, d *dataset.Delta) bool {
+	return d == nil || d.TouchesCourse(paramKey)
+}
+
+// AffectedBy scopes audits to their course.
+func (Audit) AffectedBy(paramKey string, d *dataset.Delta) bool {
+	return d == nil || d.TouchesCourse(paramKey)
+}
+
+// AffectedBy scopes catalog recommendations to their course (the key
+// is "<course>|<limit>"; the public catalog itself is static).
+func (PDCMaterials) AffectedBy(paramKey string, d *dataset.Delta) bool {
+	return d == nil || d.TouchesCourse(paramGroup(paramKey))
+}
+
+// AffectedBy: figures render the built-in seed corpus, not the
+// dataset's repository, so no delta can reach them.
+func (Figures) AffectedBy(string, *dataset.Delta) bool { return false }

@@ -33,6 +33,20 @@ type TypesResponse struct {
 	Courses    []CourseType  `json:"courses"`
 	Types      []TypeSummary `json:"types"`
 	Redundancy float64       `json:"redundancy"`
+
+	// model retains the fitted factorization so a later delta refresh
+	// can warm-start from it; unexported, so it never serializes.
+	model *factorize.Model
+}
+
+// ConvergenceIterations reports the NNMF work behind this response:
+// the summed iterations of every restart for cold runs, the single
+// probe iteration for retained warm starts.
+func (r *TypesResponse) ConvergenceIterations() int {
+	if r.model == nil || r.model.Fit == nil {
+		return 0
+	}
+	return r.model.Fit.TotalIterations
 }
 
 // TypesParams selects a course group and the number of types k.
@@ -84,6 +98,13 @@ func (Types) Compute(ctx context.Context, repo *materials.Repository, p engine.P
 		// client's parameters, not a broken compute path.
 		return nil, engine.Errorf(400, "bad_request", "%s", err.Error())
 	}
+	return typesResponse(tp, model), nil
+}
+
+// typesResponse derives the API payload from a fitted model. Cold and
+// warm computes share it so a warm start that retained the prior's
+// factors reproduces the cold response byte for byte.
+func typesResponse(tp TypesParams, model *factorize.Model) *TypesResponse {
 	courses := make([]CourseType, 0, len(model.Courses))
 	for i, c := range model.Courses {
 		courses = append(courses, CourseType{
@@ -100,5 +121,5 @@ func (Types) Compute(ctx context.Context, repo *materials.Repository, p engine.P
 		}
 		types[t] = TypeSummary{Label: model.TypeLabel(t), KAShare: model.KAShare(t), TopTags: topTags}
 	}
-	return &TypesResponse{K: tp.K, Courses: courses, Types: types, Redundancy: model.Redundancy()}, nil
+	return &TypesResponse{K: tp.K, Courses: courses, Types: types, Redundancy: model.Redundancy(), model: model}
 }

@@ -15,6 +15,9 @@ import (
 	"csmaterials/internal/dataset"
 	"csmaterials/internal/engine"
 	"csmaterials/internal/engine/analyses"
+	"csmaterials/internal/factorize"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/nnmf"
 	"csmaterials/internal/resilience"
 	"csmaterials/internal/serving"
 )
@@ -65,7 +68,7 @@ func TestMain(m *testing.M) {
 			CPUs      int             `json:"cpus"`
 			Scenarios []benchScenario `json:"scenarios"`
 		}{
-			Benchmark: "BenchmarkDatasetServing",
+			Benchmark: "BenchmarkDatasetServing,BenchmarkNNMFCore,BenchmarkBatchScaling",
 			GoOS:      runtime.GOOS,
 			GoArch:    runtime.GOARCH,
 			CPUs:      runtime.NumCPU(),
@@ -187,4 +190,85 @@ func BenchmarkDatasetServing(b *testing.B) {
 		b.StopTimer()
 		recordBench("mixed", "contended", b)
 	})
+}
+
+// BenchmarkNNMFCore measures the factorization kernel behind the types
+// analysis on the full seed-corpus matrix, in the two modes the
+// incremental pipeline distinguishes: cold (the paper's 10-restart
+// multiplicative-update run) and warm (the same matrix seeded with its
+// own fitted factors — the delta-refresh warm-start path, which
+// retains the fixed point after a single probe iteration). The
+// cold/warm ns gap is the warm start's value; benchcheck gates it at
+// -warm-ratio.
+func BenchmarkNNMFCore(b *testing.B) {
+	a, _ := materials.CourseMatrix(dataset.Courses())
+	opts := factorize.PaperOptions()
+	opts.K = 4
+	seed, err := nnmf.Factorize(a, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("nnmf/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nnmf.Factorize(a, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		recordBench("nnmf", "cold", b)
+	})
+	b.Run("nnmf/warm", func(b *testing.B) {
+		warm := opts
+		warm.InitW, warm.InitH = seed.W, seed.H
+		for i := 0; i < b.N; i++ {
+			res, err := nnmf.Factorize(a, warm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.SeedRetained {
+				b.Fatal("warm factorize did not retain the converged seed")
+			}
+		}
+		b.StopTimer()
+		recordBench("nnmf", "warm", b)
+	})
+}
+
+// BenchmarkBatchScaling measures RunBatch over real analyses with the
+// caches invalidated each iteration (every item computes), serial (one
+// worker) vs parallel (four workers). The serial/parallel gap is the
+// worker pool's value on compute-bound batches.
+func BenchmarkBatchScaling(b *testing.B) {
+	var items []engine.BatchItem
+	for _, ds := range []string{dataset.DefaultID, "alt"} {
+		for k := 2; k <= 4; k++ {
+			items = append(items, engine.BatchItem{
+				Analysis: "agreement", Dataset: ds,
+				Params: map[string]string{"threshold": strconv.Itoa(k)},
+			})
+		}
+	}
+	for _, bc := range []struct {
+		mode    string
+		workers int
+	}{{"serial", 1}, {"parallel", 4}} {
+		b.Run("batch/"+bc.mode, func(b *testing.B) {
+			exec := newDatasetExecutor(b, serving.NewCache(256))
+			exec.SetBatchWorkers(bc.workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				exec.InvalidateDataset(dataset.DefaultID, 0)
+				exec.InvalidateDataset("alt", 0)
+				b.StartTimer()
+				for _, res := range exec.RunBatch(context.Background(), items) {
+					if res.Error != nil {
+						b.Fatalf("%s: %v", res.Analysis, res.Error)
+					}
+				}
+			}
+			b.StopTimer()
+			recordBench("batch", bc.mode, b)
+		})
+	}
 }

@@ -84,10 +84,14 @@ type AnalysisStats struct {
 // Stats is the executor section of /debug/metrics: per-scope compute
 // accounting plus batch totals.
 type Stats struct {
-	Analyses     map[string]AnalysisStats `json:"analyses"`
-	BatchCalls   uint64                   `json:"batch_calls"`
-	BatchItems   uint64                   `json:"batch_items"`
-	BatchWorkers int                      `json:"batch_workers"`
+	Analyses map[string]AnalysisStats `json:"analyses"`
+	// Refresh breaks down invalidation and warm-start recompute
+	// activity per dataset (absent until a refresh or warm compute
+	// happens).
+	Refresh      map[string]RefreshStats `json:"refresh,omitempty"`
+	BatchCalls   uint64                  `json:"batch_calls"`
+	BatchItems   uint64                  `json:"batch_items"`
+	BatchWorkers int                     `json:"batch_workers"`
 }
 
 // Executor runs registered analyses through the serving ladder: fresh
@@ -115,6 +119,8 @@ type Executor struct {
 
 	mu         sync.Mutex
 	stats      map[string]*analysisStats
+	refresh    map[string]*refreshStats
+	priors     map[string]priorEntry
 	batchCalls uint64
 	batchItems uint64
 }
@@ -135,6 +141,8 @@ func NewExecutor(reg *Registry, o ExecutorOptions) *Executor {
 		staleServe:   o.StaleServe,
 		batchWorkers: DefaultBatchWorkers,
 		stats:        make(map[string]*analysisStats),
+		refresh:      make(map[string]*refreshStats),
+		priors:       make(map[string]priorEntry),
 	}
 	if e.breakers != nil {
 		for _, name := range reg.Names() {
@@ -376,9 +384,14 @@ func (e *Executor) RunParamsOn(ctx context.Context, ds string, a Analysis, p Par
 			if err == nil {
 				csp := obs.StartSpan(tctx, "compute")
 				e.countCompute(scope)
-				v, err = a.Compute(fctx, repo, p)
+				var warm bool
+				v, warm, err = e.computeWithPrior(fctx, ds, a, repo, p, key)
 				switch {
+				case err == nil && warm:
+					e.recordIterations(ds, true, v)
+					csp.EndAs("compute-warm")
 				case err == nil:
+					e.recordIterations(ds, false, v)
 					csp.End()
 				case errors.Is(err, context.Canceled):
 					csp.EndAs("compute-canceled")
@@ -419,7 +432,13 @@ func (e *Executor) RunParamsOn(ctx context.Context, ds string, a Analysis, p Par
 			e.countStale(scope)
 			obs.AddSpan(ctx, "stale-serve", time.Time{})
 			obs.AddSpan(ctx, "stale-refresh", time.Time{}) // detached refresh launched
-			refresh := guardedWith(context.Background())   // lint:detach DESIGN §9: the stale refresh must outlive the request that tripped it
+			// Seed the refresh with the value being served: the key is
+			// revision-scoped, so the repository is unchanged and a
+			// warm-startable analysis can converge from the last-known-good
+			// result in a probe iteration instead of a cold solve (delta
+			// nil: same revision). Non-warmable analyses ignore the seed.
+			e.seedPrior(key, sv, nil, true)
+			refresh := guardedWith(context.Background()) // lint:detach DESIGN §9: the stale refresh must outlive the request that tripped it
 			go func() {
 				_, _, _ = e.cache.Do(key, func() (interface{}, error) { return refresh(context.Background()) }) // lint:detach same blessed refresh, inside the detached flight
 			}()
@@ -471,12 +490,20 @@ func (e *Executor) WarmDataset(ctx context.Context, ds string) error {
 // their keys carry the old revision and can never be read again. No-op
 // in single-repo mode.
 func (e *Executor) InvalidateDataset(ds string, keep uint64) int {
+	fresh, stale := e.invalidateDatasetDetail(ds, keep)
+	return fresh + stale
+}
+
+// invalidateDatasetDetail is InvalidateDataset with the fresh and
+// stale drops reported separately (see serving.Cache.InvalidateDetail:
+// the stale count proves the sweep reached stale-only survivors).
+func (e *Executor) invalidateDatasetDetail(ds string, keep uint64) (fresh, stale int) {
 	if e.datasets == nil || e.cache == nil {
-		return 0
+		return 0, 0
 	}
 	prefix := ds + "@"
 	keepPrefix := fmt.Sprintf("%s@%d|", ds, keep)
-	return e.cache.Invalidate(func(key string) bool {
+	return e.cache.InvalidateDetail(func(key string) bool {
 		return strings.HasPrefix(key, prefix) && (keep == 0 || !strings.HasPrefix(key, keepPrefix))
 	})
 }
@@ -503,6 +530,13 @@ func (e *Executor) DropDatasetServingState(ds string) int {
 	for scope := range e.stats {
 		if d, _ := SplitScope(scope); d == ds {
 			delete(e.stats, scope)
+		}
+	}
+	delete(e.refresh, ds)
+	prefix := ds + "@"
+	for k := range e.priors {
+		if strings.HasPrefix(k, prefix) {
+			delete(e.priors, k)
 		}
 	}
 	e.mu.Unlock()
@@ -566,6 +600,23 @@ func (e *Executor) Stats() Stats {
 			StaleServed: s.staleServed,
 			CacheHits:   s.hits,
 			CacheMisses: s.misses,
+		}
+	}
+	for ds, s := range e.refresh {
+		if out.Refresh == nil {
+			out.Refresh = make(map[string]RefreshStats, len(e.refresh))
+		}
+		out.Refresh[ds] = RefreshStats{
+			Delta:            s.delta,
+			Full:             s.full,
+			InvalidatedFresh: s.invalidatedFresh,
+			InvalidatedStale: s.invalidatedStale,
+			Migrated:         s.migrated,
+			Seeded:           s.seeded,
+			WarmStarts:       s.warmStarts,
+			WarmFallbacks:    s.warmFallbacks,
+			WarmIterations:   s.warmIterations,
+			ColdIterations:   s.coldIterations,
 		}
 	}
 	return out

@@ -95,6 +95,18 @@ type Course struct {
 	Materials      []*Material `json:"materials"`
 }
 
+// Clone returns a copy of the course with its own Materials slice. The
+// Material pointers are shared with the original — callers mutating a
+// material must Clone it first. This is the delta-ingest primitive:
+// deriving a new snapshot touches only the materials an event names,
+// while everything else stays structurally shared with the previous
+// revision.
+func (c *Course) Clone() *Course {
+	cp := *c
+	cp.Materials = append([]*Material(nil), c.Materials...)
+	return &cp
+}
+
 // HasGroup reports whether the course carries g as its primary or
 // secondary group label.
 func (c *Course) HasGroup(g CourseGroup) bool {

@@ -77,6 +77,33 @@ func (r *Repository) AddCourse(c *Course) error {
 			}
 		}
 	}
+	r.indexCourse(c)
+	return nil
+}
+
+// AdoptCourse stores a course whose content was already validated by
+// this package — the incremental-ingest fast path. A delta ingest
+// (dataset.Registry.Apply) derives most courses unchanged from an
+// already-validated snapshot; re-running per-tag guideline lookups for
+// them would make delta cost proportional to the corpus. Only index
+// integrity (unique course and material IDs) is enforced; the caller
+// is responsible for the course having passed AddCourse-level
+// validation in a previous repository.
+func (r *Repository) AdoptCourse(c *Course) error {
+	if _, dup := r.courses[c.ID]; dup {
+		return fmt.Errorf("materials: duplicate course ID %q", c.ID)
+	}
+	for _, m := range c.Materials {
+		if _, dup := r.byMaterial[m.ID]; dup {
+			return fmt.Errorf("materials: material ID %q already exists in another course", m.ID)
+		}
+	}
+	r.indexCourse(c)
+	return nil
+}
+
+// indexCourse registers a validated course in the lookup indexes.
+func (r *Repository) indexCourse(c *Course) {
 	r.courses[c.ID] = c
 	r.order = append(r.order, c.ID)
 	for _, m := range c.Materials {
@@ -85,7 +112,6 @@ func (r *Repository) AddCourse(c *Course) error {
 			r.byTag[tag] = append(r.byTag[tag], m)
 		}
 	}
-	return nil
 }
 
 // Course returns the course with the given ID, or nil.

@@ -42,11 +42,24 @@ func FactorizeCSRCtx(ctx context.Context, a *matrix.CSR, opts Options) (*Result,
 	}
 	mean := normA * normA / float64(rows*cols) // mean of A for 0-1 matrices equals density; use ‖A‖²/(r·c) which matches for 0-1 entries
 
+	if opts.InitW != nil || opts.InitH != nil {
+		w, h, exact, err := warmSeeds(opts, rows, cols, mean)
+		if err != nil {
+			return nil, err
+		}
+		return runWarm(ctx, opts, exact, w, h,
+			func(w, h *matrix.Dense) (*matrix.Dense, *matrix.Dense) {
+				return stepFrobeniusSparse(a, w, h, opts.Eps)
+			},
+			func(w, h *matrix.Dense) float64 { return sparseRelativeError(a, w, h, normA) })
+	}
+
 	restarts := opts.Restarts
 	if opts.Init == InitNNDSVD {
 		restarts = 1
 	}
 	var best *Result
+	total := 0
 	for r := 0; r < restarts; r++ {
 		var w, h *matrix.Dense
 		if opts.Init == InitNNDSVD {
@@ -59,10 +72,12 @@ func FactorizeCSRCtx(ctx context.Context, a *matrix.CSR, opts Options) (*Result,
 			return nil, err
 		}
 		res.Restart = r
+		total += res.Iterations
 		if best == nil || res.Err < best.Err {
 			best = res
 		}
 	}
+	best.TotalIterations = total
 	return best, nil
 }
 

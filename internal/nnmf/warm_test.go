@@ -1,0 +1,225 @@
+package nnmf
+
+import (
+	"strings"
+	"testing"
+
+	"csmaterials/internal/dataset"
+	"csmaterials/internal/materials"
+	"csmaterials/internal/matrix"
+)
+
+// corpusMatrix builds the real analysis input: the 20-course seed
+// corpus's 0-1 course × curriculum matrix.
+func corpusMatrix() *matrix.Dense {
+	a, _ := materials.CourseMatrix(dataset.Courses())
+	return a
+}
+
+func paperLike() Options {
+	return Options{K: 4, Seed: 1, Restarts: 10, MaxIter: 500}
+}
+
+func warmFrom(prior *Result, opts Options) Options {
+	opts.InitW, opts.InitH = prior.W, prior.H
+	return opts
+}
+
+func TestWarmStartByteStableOnUnchangedMatrix(t *testing.T) {
+	a := corpusMatrix()
+	cold := factorizeOrDie(t, a, paperLike())
+
+	warm, err := Factorize(a, warmFrom(cold, paperLike()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.SeedRetained {
+		t.Fatalf("warm run on unchanged matrix did not retain seeds (iterations=%d, residuals=%v)",
+			warm.Iterations, warm.Residuals)
+	}
+	if !warm.Converged {
+		t.Error("retained run must report Converged")
+	}
+	if !warm.W.Equal(cold.W) || !warm.H.Equal(cold.H) {
+		t.Error("retained factors must be byte-identical to the seeds")
+	}
+	if warm.W == cold.W || warm.H == cold.H {
+		t.Error("retained factors must be copies, not aliases of the seeds")
+	}
+	if warm.Iterations != 1 {
+		t.Errorf("retention must cost exactly one probe iteration, got %d", warm.Iterations)
+	}
+	if cold.SeedRetained {
+		t.Error("cold run must not report SeedRetained")
+	}
+}
+
+func TestWarmStartSparseByteStable(t *testing.T) {
+	a := corpusMatrix()
+	csr := matrix.FromDense(a)
+	cold, err := FactorizeCSR(csr, paperLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := FactorizeCSR(csr, warmFrom(cold, paperLike()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.SeedRetained {
+		t.Fatalf("sparse warm run on unchanged matrix did not retain seeds (iterations=%d)", warm.Iterations)
+	}
+	if !warm.W.Equal(cold.W) || !warm.H.Equal(cold.H) {
+		t.Error("retained sparse factors must equal the seeds")
+	}
+}
+
+// totalIterations sums iterations across all restarts a cold run pays:
+// every restart iterates, even the losing ones. The winning restart's
+// count is a lower bound; use Restarts as a conservative multiplier.
+func TestWarmStartConvergesFastAfterSmallPerturbation(t *testing.T) {
+	a := corpusMatrix()
+	cold := factorizeOrDie(t, a, paperLike())
+
+	// Perturb one cell of the matrix — one material retagged with one
+	// extra guideline entry.
+	b := a.Clone()
+	r, c := b.Dims()
+	for i := 0; i < r && b.At(0, 0) != 0; i++ {
+		_ = i
+	}
+	flip := -1
+	for j := 0; j < c; j++ {
+		if b.At(0, j) == 0 {
+			flip = j
+			break
+		}
+	}
+	if flip < 0 {
+		t.Fatal("row 0 has no zero cell")
+	}
+	b.Set(0, flip, 1)
+
+	warm, err := Factorize(b, warmFrom(cold, paperLike()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A one-cell flip may leave the seeds within tolerance of a fixed
+	// point of the new matrix, in which case retention is the correct
+	// (and fastest) answer; either way convergence must be cheap.
+	if !warm.Converged {
+		t.Fatalf("warm run did not converge in %d iterations", warm.Iterations)
+	}
+	coldTotal := cold.Iterations * 10 // 10 restarts all iterate
+	if warm.Iterations*10 > coldTotal {
+		t.Errorf("warm iterations %d not ≤ 10%% of cold total %d", warm.Iterations, coldTotal)
+	}
+	if warm.Err > cold.Err*1.5 {
+		t.Errorf("warm fit %.4f much worse than cold %.4f", warm.Err, cold.Err)
+	}
+}
+
+// A broad perturbation must defeat the retention short-circuit and
+// exercise the warm continuation loop, still converging much faster
+// than a cold run.
+func TestWarmStartIteratesAfterBroadPerturbation(t *testing.T) {
+	a := corpusMatrix()
+	cold := factorizeOrDie(t, a, paperLike())
+
+	b := a.Clone()
+	r, c := b.Dims()
+	flipped := 0
+	for i := 0; i < r && flipped < 60; i++ {
+		for j := 0; j < c && flipped < 60; j += 3 {
+			if b.At(i, j) == 0 {
+				b.Set(i, j, 1)
+				flipped++
+			}
+		}
+	}
+	warm, err := Factorize(b, warmFrom(cold, paperLike()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.SeedRetained {
+		t.Error("broadly changed matrix must not retain seeds")
+	}
+	if !warm.Converged {
+		t.Fatalf("warm run did not converge in %d iterations", warm.Iterations)
+	}
+	if warm.Iterations <= 1 {
+		t.Error("expected the continuation loop to run past the probe iteration")
+	}
+	coldTotal := cold.Iterations * 10
+	if warm.Iterations*2 > coldTotal {
+		t.Errorf("warm iterations %d should be far below cold total %d", warm.Iterations, coldTotal)
+	}
+	if len(warm.Residuals) != warm.Iterations+1 {
+		t.Errorf("warm Residuals length %d, want seed error + %d iterations", len(warm.Residuals), warm.Iterations)
+	}
+}
+
+func TestWarmStartReconcilesDimensions(t *testing.T) {
+	a := corpusMatrix()
+	cold := factorizeOrDie(t, a, Options{K: 3, Seed: 1, Restarts: 2, MaxIter: 200})
+
+	// Grow: add a row (new course) and two columns (new tags).
+	r, c := a.Dims()
+	grown := matrix.New(r+1, c+2)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			grown.Set(i, j, a.At(i, j))
+		}
+	}
+	grown.Set(r, 0, 1)
+	grown.Set(r, c, 1)
+	grown.Set(0, c+1, 1)
+
+	warm, err := Factorize(grown, warmFrom(cold, Options{K: 3, MaxIter: 200}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.SeedRetained {
+		t.Error("dimension-reconciled seeds must never claim retention")
+	}
+	if wr, wk := warm.W.Dims(); wr != r+1 || wk != 3 {
+		t.Errorf("W dims = %dx%d", wr, wk)
+	}
+	if hk, hc := warm.H.Dims(); hk != 3 || hc != c+2 {
+		t.Errorf("H dims = %dx%d", hk, hc)
+	}
+
+	// Shrink: drop the last row and column.
+	shrunk := matrix.New(r-1, c-1)
+	for i := 0; i < r-1; i++ {
+		for j := 0; j < c-1; j++ {
+			shrunk.Set(i, j, a.At(i, j))
+		}
+	}
+	warm2, err := Factorize(shrunk, warmFrom(cold, Options{K: 3, MaxIter: 200}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr, wk := warm2.W.Dims(); wr != r-1 || wk != 3 {
+		t.Errorf("shrunk W dims = %dx%d", wr, wk)
+	}
+}
+
+func TestWarmStartValidation(t *testing.T) {
+	a := corpusMatrix()
+	seed := matrix.New(3, 3)
+
+	if _, err := Factorize(a, Options{K: 3, InitW: seed}); err == nil ||
+		!strings.Contains(err.Error(), "both InitW and InitH") {
+		t.Errorf("lone InitW error = %v", err)
+	}
+	if _, err := Factorize(a, Options{K: 3, InitH: seed}); err == nil ||
+		!strings.Contains(err.Error(), "both InitW and InitH") {
+		t.Errorf("lone InitH error = %v", err)
+	}
+	bad := matrix.New(3, 3)
+	bad.Set(0, 0, -1)
+	if _, err := Factorize(a, Options{K: 3, InitW: bad, InitH: seed}); err == nil ||
+		!strings.Contains(err.Error(), "invalid entry") {
+		t.Errorf("negative seed error = %v", err)
+	}
+}

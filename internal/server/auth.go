@@ -97,6 +97,99 @@ func KeysFromEnv(kf *KeysFile) *KeysFile {
 	return kf
 }
 
+// applyKeysFile installs kf as the active keyring and applies its
+// dataset grants. Grants only touch the datasets kf names: ownership
+// claimed at runtime (first keyed ingest) persists across reloads, so
+// rotating a tenant's secret cannot orphan or reassign its datasets.
+func (s *Server) applyKeysFile(kf *KeysFile) {
+	keys := make(map[string]APIKey, len(kf.Keys))
+	for _, k := range kf.Keys {
+		keys[k.Key] = k
+	}
+	s.keysMu.Lock()
+	s.keys = keys
+	s.keysMu.Unlock()
+	for id, g := range kf.Datasets {
+		s.datasets.SetAttrs(id, dataset.Attrs{Owner: g.Owner, CacheBudget: g.CacheBudget, Weight: g.Weight})
+	}
+}
+
+// lookupKey resolves a presented secret against the live keyring.
+func (s *Server) lookupKey(secret string) (APIKey, bool) {
+	s.keysMu.RLock()
+	defer s.keysMu.RUnlock()
+	k, ok := s.keys[secret]
+	return k, ok
+}
+
+// keysConfigured reports whether the server is running with a keyring
+// (false = open mode).
+func (s *Server) keysConfigured() bool {
+	s.keysMu.RLock()
+	defer s.keysMu.RUnlock()
+	return len(s.keys) > 0
+}
+
+// ReloadAPIKeys re-reads the keyring from the source configured via
+// Options.ReloadKeys (cmd/serve wires the -api-keys-file path, folded
+// with CSM_ADMIN_KEY) and swaps it in without a restart: keys removed
+// from the file stop authenticating on the next request, new keys
+// start working, and runtime ownership grants persist. Requests
+// already past authorization finish under the decision they got.
+func (s *Server) ReloadAPIKeys() error {
+	if s.reloadKeys == nil {
+		return fmt.Errorf("api keys: no reloadable key source configured")
+	}
+	kf, err := s.reloadKeys()
+	if err != nil {
+		return err
+	}
+	if kf = KeysFromEnv(kf); kf == nil {
+		kf = &KeysFile{}
+	}
+	s.applyKeysFile(kf)
+	s.retuneTenancy()
+	return nil
+}
+
+// KeysReloaded is the POST /api/v1/keys/reload data payload.
+type KeysReloaded struct {
+	// Keys is the number of entries in the reloaded keyring.
+	Keys int `json:"keys"`
+}
+
+// handleKeysReload swaps in the current contents of the configured key
+// source. Admin-gated: with a keyring active only an admin key may
+// rotate it (a tenant must not be able to reload away another tenant's
+// revocation); in open mode the surface is as open as every other
+// mutation. 409 keys_static when no reloadable source is configured.
+func (s *Server) handleKeysReload(w http.ResponseWriter, r *http.Request) {
+	if s.keysConfigured() {
+		k, ok := s.lookupKey(requestKey(r))
+		if !ok {
+			w.Header().Set("WWW-Authenticate", "Bearer")
+			writeError(w, http.StatusUnauthorized, "unauthorized", "key reload requires an admin API key")
+			return
+		}
+		if !k.Admin {
+			writeError(w, http.StatusForbidden, "forbidden", "key %q is not an admin key", k.Name)
+			return
+		}
+	}
+	if err := s.ReloadAPIKeys(); err != nil {
+		if s.reloadKeys == nil {
+			writeError(w, http.StatusConflict, "keys_static", "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "keys_reload_failed", "%v", err)
+		return
+	}
+	s.keysMu.RLock()
+	n := len(s.keys)
+	s.keysMu.RUnlock()
+	writeData(w, http.StatusOK, KeysReloaded{Keys: n}, nil)
+}
+
 // requestKey extracts the presented API key: "Authorization: Bearer
 // <key>" or the X-API-Key header.
 func requestKey(r *http.Request) string {
@@ -115,7 +208,7 @@ func requestKey(r *http.Request) string {
 // when no/unknown key is presented, 403 forbidden when a valid
 // non-admin key targets a dataset owned by someone else.
 func (s *Server) authorizeMutation(w http.ResponseWriter, r *http.Request, id string) (string, bool) {
-	if len(s.keys) == 0 {
+	if !s.keysConfigured() {
 		return "", true
 	}
 	secret := requestKey(r)
@@ -125,7 +218,7 @@ func (s *Server) authorizeMutation(w http.ResponseWriter, r *http.Request, id st
 			"dataset mutation requires an API key (Authorization: Bearer or X-API-Key)")
 		return "", false
 	}
-	k, ok := s.keys[secret]
+	k, ok := s.lookupKey(secret)
 	if !ok {
 		w.Header().Set("WWW-Authenticate", "Bearer")
 		writeError(w, http.StatusUnauthorized, "unauthorized", "unknown API key")

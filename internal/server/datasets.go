@@ -7,11 +7,13 @@ import (
 	"net/http"
 
 	"csmaterials/internal/dataset"
+	"csmaterials/internal/engine"
 )
 
 // Dataset lifecycle endpoints: the catalog (GET /api/v1/datasets),
 // per-dataset metadata (GET /api/v1/datasets/{ds}), live ingest
-// (PUT /api/v1/datasets/{ds}), and deletion
+// (PUT /api/v1/datasets/{ds}), incremental deltas
+// (PATCH /api/v1/datasets/{ds}), and deletion
 // (DELETE /api/v1/datasets/{ds}). Ingest is a full-document replace:
 // the body is the same {"courses": [...]} document
 // materials.Repository.SaveJSON writes and -data-dir loads, validated
@@ -24,11 +26,35 @@ import (
 // MaxDatasetBody bounds a PUT /api/v1/datasets/{ds} body.
 const MaxDatasetBody = 4 << 20
 
+// MaxPatchBody bounds a PATCH /api/v1/datasets/{ds} body. Deltas are
+// small by nature — a few events, not a corpus.
+const MaxPatchBody = 1 << 20
+
 // IngestMeta is the meta block of PUT /api/v1/datasets/{ds} responses.
 type IngestMeta struct {
 	// Invalidated counts the cache entries (fresh + stale) of the
 	// dataset's previous revisions dropped by this ingest.
 	Invalidated int `json:"invalidated"`
+}
+
+// PatchRequest is the PATCH /api/v1/datasets/{ds} body: an ordered
+// list of classification events applied atomically on top of the
+// dataset's current revision.
+type PatchRequest struct {
+	Events []dataset.Event `json:"events"`
+}
+
+// PatchMeta is the meta block of PATCH /api/v1/datasets/{ds}
+// responses: what the delta touched and what the serving layer did
+// about it.
+type PatchMeta struct {
+	// Delta summarizes the applied events (courses, tags, groups
+	// touched; add/remove/retag counts).
+	Delta *dataset.Delta `json:"delta"`
+	// Refresh reports the delta-driven cache reconciliation: entries
+	// migrated to the new revision, dropped, and retained as warm-start
+	// priors.
+	Refresh engine.DeltaOutcome `json:"refresh"`
 }
 
 // DatasetDeleted is the DELETE /api/v1/datasets/{ds} data payload.
@@ -97,7 +123,9 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 	}
 	s.retuneTenancy()
 	s.touchDataset(id)
-	invalidated := s.exec.InvalidateDataset(id, snap.Revision())
+	// A full re-ingest carries no delta, so ApplyDelta degrades to the
+	// whole-dataset refresh this handler always did.
+	outcome := s.exec.ApplyDelta(r.Context(), id, snap)
 	if s.noWarmup {
 		s.setDatasetState(id, DatasetReady{Status: "ready"})
 	} else {
@@ -108,7 +136,64 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 	if !ok { // deleted in the same instant; report the revision ingested
 		meta = snap.Meta()
 	}
-	writeData(w, http.StatusOK, meta, IngestMeta{Invalidated: invalidated})
+	writeData(w, http.StatusOK, meta, IngestMeta{Invalidated: outcome.Invalidated()})
+}
+
+// handleDatasetPatch applies a delta — an ordered event list — on top
+// of the dataset's current revision, behind the same auth/ownership
+// gates as PUT. Unlike PUT, the serving layer is reconciled
+// incrementally: cache entries whose analyses prove themselves
+// unaffected by the delta migrate to the new revision (staying warm),
+// affected entries drop, and droppable results of warm-startable
+// analyses are retained as priors so the recompute converges in a
+// fraction of the cold iteration budget. Concurrent PATCHes race on
+// the revision; the loser retries inside Registry.Apply and, if the
+// dataset keeps moving, answers 409 dataset_conflict.
+func (s *Server) handleDatasetPatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("ds")
+	keyName, ok := s.authorizeMutation(w, r, id)
+	if !ok {
+		return
+	}
+	var req PatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxPatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad delta body: %v", err)
+		return
+	}
+	if len(req.Events) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "empty delta: pass events")
+		return
+	}
+	snap, err := s.datasets.Apply(id, req.Events)
+	if err != nil {
+		switch {
+		case errors.Is(err, dataset.ErrNotFound):
+			writeError(w, http.StatusNotFound, "not_found", "unknown dataset %q", id)
+		case errors.Is(err, dataset.ErrConflict):
+			writeError(w, http.StatusConflict, "dataset_conflict", "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		}
+		return
+	}
+	if keyName != "" && s.datasets.Attrs(id).Owner == "" {
+		s.datasets.SetOwner(id, keyName)
+	}
+	s.touchDataset(id)
+	outcome := s.exec.ApplyDelta(r.Context(), id, snap)
+	if s.noWarmup {
+		s.setDatasetState(id, DatasetReady{Status: "ready"})
+	} else {
+		s.setDatasetState(id, DatasetReady{Status: "warming"})
+		s.spawnBackground(func(ctx context.Context) { _ = s.warmDataset(ctx, id) })
+	}
+	meta, ok := s.datasets.MetaOf(id)
+	if !ok {
+		meta = snap.Meta()
+	}
+	writeData(w, http.StatusOK, meta, PatchMeta{Delta: snap.Delta(), Refresh: outcome})
 }
 
 // handleDatasetDelete removes a dataset and every trace of its serving

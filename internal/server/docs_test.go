@@ -36,7 +36,7 @@ func TestAPIDocsCoverRegistry(t *testing.T) {
 	// Fixed (non-registry) routes the doc must cover.
 	for _, route := range []string{
 		"/api/v1/courses", "/api/v1/search", "/api/v1/batch",
-		"/api/v1/datasets", "/api/v1/datasets/{id}",
+		"/api/v1/datasets", "/api/v1/datasets/{id}", "/api/v1/keys/reload",
 		"/healthz", "/readyz", "/metrics", "/debug/metrics", "/debug/trace",
 	} {
 		if !strings.Contains(doc, route) {
@@ -56,7 +56,7 @@ func TestAPIDocsCoverRegistry(t *testing.T) {
 
 	// Reverse direction: every /api/v1/<segment> the doc mentions must
 	// be a real route — a registered analysis or a fixed endpoint.
-	known := map[string]bool{"courses": true, "search": true, "figures": true, "batch": true, "datasets": true}
+	known := map[string]bool{"courses": true, "search": true, "figures": true, "batch": true, "datasets": true, "keys": true}
 	for _, name := range names {
 		known[name] = true
 	}

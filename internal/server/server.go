@@ -122,6 +122,12 @@ type Options struct {
 	// its dataset grants (ownership, cache budgets, weights) to the
 	// registry. Nil keeps the open single-tenant behavior.
 	APIKeys *KeysFile
+	// ReloadKeys, when non-nil, re-reads the keyring source for
+	// Server.ReloadAPIKeys (SIGHUP / POST /api/v1/keys/reload) — cmd/serve
+	// wires it to re-load the -api-keys-file path. CSM_ADMIN_KEY is
+	// folded in on every reload, matching startup. Nil makes the keyring
+	// static: reload requests answer 409 keys_static.
+	ReloadKeys func() (*KeysFile, error)
 	// IdleTTL, when positive, reclaims a non-default dataset's lazy
 	// search index and warm cache entries after it has gone unqueried
 	// for that long (the reaper goroutine must be started with
@@ -153,7 +159,11 @@ type Server struct {
 	breakers *resilience.BreakerSet // nil when circuit breaking is disabled
 	faults   *faultinject.Injector  // nil when no chaos is injected
 
-	keys map[string]APIKey // by secret; empty = open mode
+	// keysMu guards keys so ReloadAPIKeys (SIGHUP, POST
+	// /api/v1/keys/reload) can swap the keyring under live traffic.
+	keysMu     sync.RWMutex
+	keys       map[string]APIKey // by secret; empty = open mode
+	reloadKeys func() (*KeysFile, error)
 
 	// Idle reclamation: lastAccess tracks per-dataset query activity
 	// under an injectable clock; reclaimed datasets drop their search
@@ -237,13 +247,9 @@ func NewWithOptions(o Options) (*Server, error) {
 		idleReclaims: map[string]uint64{},
 		lifeCtx:      context.Background(),
 	}
+	s.reloadKeys = o.ReloadKeys
 	if o.APIKeys != nil {
-		for _, k := range o.APIKeys.Keys {
-			s.keys[k.Key] = k
-		}
-		for id, g := range o.APIKeys.Datasets {
-			s.datasets.SetAttrs(id, dataset.Attrs{Owner: g.Owner, CacheBudget: g.CacheBudget, Weight: g.Weight})
-		}
+		s.applyKeysFile(o.APIKeys)
 	}
 	if o.DataDir != "" {
 		if _, err := s.datasets.LoadDir(o.DataDir); err != nil {
@@ -371,7 +377,9 @@ func (s *Server) routes() {
 	s.handleAPI("GET /api/v1/datasets", http.HandlerFunc(s.handleDatasetList))
 	s.handleAPI("GET /api/v1/datasets/{ds}", http.HandlerFunc(s.handleDatasetGet))
 	s.handleAPI("PUT /api/v1/datasets/{ds}", http.HandlerFunc(s.handleDatasetPut))
+	s.handleAPI("PATCH /api/v1/datasets/{ds}", http.HandlerFunc(s.handleDatasetPatch))
 	s.handleAPI("DELETE /api/v1/datasets/{ds}", http.HandlerFunc(s.handleDatasetDelete))
+	s.handleAPI("POST /api/v1/keys/reload", http.HandlerFunc(s.handleKeysReload))
 	s.handle("GET /debug/metrics", s.metrics.Handler())
 	s.handle("GET /metrics", http.HandlerFunc(s.handleProm))
 	s.handle("GET /debug/trace", http.HandlerFunc(s.handleTraceList))
@@ -442,7 +450,7 @@ func (s *Server) handleUnmatched(w http.ResponseWriter, r *http.Request) {
 	// methods. The method-less legacy "/api/" catch-all does not count
 	// as a real route here. HEAD rides along with GET, per net/http.
 	var allowed []string
-	for _, m := range []string{http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete} {
+	for _, m := range []string{http.MethodGet, http.MethodPost, http.MethodPut, http.MethodPatch, http.MethodDelete} {
 		if m == r.Method || (m == http.MethodGet && r.Method == http.MethodHead) {
 			continue
 		}

@@ -324,16 +324,27 @@ func (c *Cache) Do(key string, compute func() (interface{}, error)) (interface{}
 // computations are unaffected — they complete for their waiters and
 // store under their (now unmatched or re-matched) keys.
 func (c *Cache) Invalidate(match func(key string) bool) int {
+	fresh, stale := c.InvalidateDetail(match)
+	return fresh + stale
+}
+
+// InvalidateDetail is Invalidate with the two stores reported
+// separately: entries dropped from the fresh LRUs and entries dropped
+// from the stale last-known-good stores. The split matters for
+// revision sweeps: a scope can hold STALE-ONLY entries — every fresh
+// copy already evicted — and those are exactly the copies that would
+// otherwise surface a dead revision's value through degraded serving.
+// The stale count proves the sweep reached them.
+func (c *Cache) InvalidateDetail(match func(key string) bool) (fresh, stale int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := 0
 	for _, st := range c.scopes {
 		for el := st.ll.Front(); el != nil; {
 			next := el.Next()
 			if e := el.Value.(*cacheEntry); match(e.key) {
 				st.ll.Remove(el)
 				delete(st.items, e.key)
-				n++
+				fresh++
 			}
 			el = next
 		}
@@ -342,12 +353,120 @@ func (c *Cache) Invalidate(match func(key string) bool) int {
 			if e := el.Value.(*cacheEntry); match(e.key) {
 				st.staleLL.Remove(el)
 				delete(st.staleItems, e.key)
-				n++
+				stale++
 			}
 			el = next
 		}
 	}
-	return n
+	return fresh, stale
+}
+
+// DroppedEntry is one entry removed by a Rekey sweep, returned to the
+// caller because it is no longer reachable through the cache — the
+// delta-refresh path reuses dropped values as warm-start priors.
+type DroppedEntry struct {
+	Key   string
+	Val   interface{}
+	Stale bool
+}
+
+// Rekeyed summarizes a Rekey sweep.
+type Rekeyed struct {
+	MovedFresh   int
+	MovedStale   int
+	DroppedFresh int
+	DroppedStale int
+}
+
+// Rekey rewrites or removes entries key by key: for every fresh and
+// stale entry, mapper(key) returns the entry's new key — the same key
+// to leave it untouched, "" to drop it, or a different key to migrate
+// the entry in place. This is how a revision bump carries provably
+// unaffected results forward: the value survives under the new
+// revision's key, keeping its LRU position, instead of being thrown
+// away and recomputed. If the new key already exists the existing
+// entry wins and the source is dropped; an entry whose new key maps to
+// a different scope is re-inserted there (most recently used) under
+// that scope's budget. mapper must be pure and fast — it runs under
+// the cache lock. Dropped entries are returned for reuse.
+func (c *Cache) Rekey(mapper func(key string) string) (Rekeyed, []DroppedEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum Rekeyed
+	var dropped []DroppedEntry
+	for scope, st := range c.scopes {
+		c.rekeyList(scope, st, false, mapper, &sum, &dropped)
+		c.rekeyList(scope, st, true, mapper, &sum, &dropped)
+	}
+	return sum, dropped
+}
+
+// rekeyList applies mapper to one scope's fresh or stale list; callers
+// hold c.mu.
+func (c *Cache) rekeyList(scope string, st *scopeStore, stale bool, mapper func(key string) string, sum *Rekeyed, dropped *[]DroppedEntry) {
+	ll, items := st.ll, st.items
+	if stale {
+		ll, items = st.staleLL, st.staleItems
+	}
+	countMove, countDrop := &sum.MovedFresh, &sum.DroppedFresh
+	if stale {
+		countMove, countDrop = &sum.MovedStale, &sum.DroppedStale
+	}
+	for el := ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		newKey := mapper(e.key)
+		switch {
+		case newKey == e.key:
+			// untouched
+		case newKey == "":
+			ll.Remove(el)
+			delete(items, e.key)
+			*countDrop++
+			*dropped = append(*dropped, DroppedEntry{Key: e.key, Val: e.val, Stale: stale})
+		default:
+			target := scope
+			if c.scopeOf != nil {
+				target = c.scopeOf(newKey)
+			}
+			tst := st
+			if target != scope {
+				ts, ok := c.scopes[target]
+				if !ok {
+					ts = newScopeStore()
+					c.scopes[target] = ts
+				}
+				tst = ts
+			}
+			tItems := tst.items
+			if stale {
+				tItems = tst.staleItems
+			}
+			if _, exists := tItems[newKey]; exists {
+				ll.Remove(el)
+				delete(items, e.key)
+				*countDrop++
+				*dropped = append(*dropped, DroppedEntry{Key: e.key, Val: e.val, Stale: stale})
+				break
+			}
+			delete(items, e.key)
+			if tst == st {
+				e.key = newKey
+				items[newKey] = el
+			} else {
+				ll.Remove(el)
+				e.key = newKey
+				if stale {
+					tst.staleItems[newKey] = tst.staleLL.PushFront(e)
+				} else {
+					tst.items[newKey] = tst.ll.PushFront(e)
+				}
+				c.enforceLocked(target, tst)
+			}
+			*countMove++
+		}
+		el = next
+	}
 }
 
 // DropScope tears down one scope's whole partition — fresh entries,

@@ -521,3 +521,145 @@ func TestCacheUnpartitionedScopeExcludedFromScopes(t *testing.T) {
 		t.Fatalf("aggregate size = %d", st.Size)
 	}
 }
+
+func TestInvalidateDetailSweepsStaleOnlyScopes(t *testing.T) {
+	c := NewCache(1)
+	put := func(k string) {
+		if _, _, err := c.Do(k, func() (interface{}, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 1: storing a second key evicts the first from the fresh
+	// LRU but leaves its stale copy behind.
+	put("old@1|a")
+	put("old@1|b")
+	if _, ok := c.Get("old@1|a"); ok {
+		t.Fatal("a should be evicted from fresh")
+	}
+	if _, ok := c.Stale("old@1|a"); !ok {
+		t.Fatal("a should survive as stale")
+	}
+
+	fresh, stale := c.InvalidateDetail(func(k string) bool { return true })
+	if fresh != 1 || stale != 2 {
+		t.Fatalf("InvalidateDetail = (%d fresh, %d stale), want (1, 2)", fresh, stale)
+	}
+	// The evicted-but-stale key must be gone for good: a revision sweep
+	// that misses it would stale-serve a dead revision's value.
+	if _, ok := c.Stale("old@1|a"); ok {
+		t.Error("stale-only entry survived invalidation")
+	}
+	if _, ok := c.Stale("old@1|b"); ok {
+		t.Error("stale entry of fresh key survived invalidation")
+	}
+	// Invalidate reports the same total.
+	put("x")
+	put("y")
+	if n := c.Invalidate(func(string) bool { return true }); n != 3 {
+		t.Errorf("Invalidate = %d, want 1 fresh + 2 stale = 3", n)
+	}
+}
+
+func TestRekeyMigratesAndDrops(t *testing.T) {
+	c := NewCache(8)
+	put := func(k string) {
+		if _, _, err := c.Do(k, func() (interface{}, error) { return "val-" + k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("ds@1|keep|p")
+	put("ds@1|drop|p")
+	put("other@7|x")
+
+	sum, dropped := c.Rekey(func(k string) string {
+		switch k {
+		case "ds@1|keep|p":
+			return "ds@2|keep|p"
+		case "ds@1|drop|p":
+			return ""
+		default:
+			return k
+		}
+	})
+	// Each key exists fresh AND stale, so counts double.
+	if sum.MovedFresh != 1 || sum.MovedStale != 1 || sum.DroppedFresh != 1 || sum.DroppedStale != 1 {
+		t.Fatalf("Rekey summary = %+v", sum)
+	}
+	if len(dropped) != 2 {
+		t.Fatalf("dropped = %+v", dropped)
+	}
+	for _, d := range dropped {
+		if d.Key != "ds@1|drop|p" || d.Val.(string) != "val-ds@1|drop|p" {
+			t.Errorf("dropped entry = %+v", d)
+		}
+	}
+	if v, ok := c.Get("ds@2|keep|p"); !ok || v.(string) != "val-ds@1|keep|p" {
+		t.Error("migrated entry not reachable under new key")
+	}
+	if _, ok := c.Get("ds@1|keep|p"); ok {
+		t.Error("migrated entry still reachable under old key")
+	}
+	if _, ok := c.Stale("ds@1|drop|p"); ok {
+		t.Error("dropped entry still stale-served")
+	}
+	if _, ok := c.Get("other@7|x"); !ok {
+		t.Error("unmatched entry must survive untouched")
+	}
+}
+
+func TestRekeyCollisionKeepsExisting(t *testing.T) {
+	c := NewCache(8)
+	put := func(k, v string) {
+		if _, _, err := c.Do(k, func() (interface{}, error) { return v, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", "from-a")
+	put("b", "from-b")
+	sum, dropped := c.Rekey(func(k string) string {
+		if k == "a" {
+			return "b"
+		}
+		return k
+	})
+	if sum.DroppedFresh != 1 || sum.MovedFresh != 0 {
+		t.Fatalf("collision summary = %+v", sum)
+	}
+	if len(dropped) != 2 { // fresh + stale copies of "a"
+		t.Fatalf("dropped = %+v", dropped)
+	}
+	if v, _ := c.Get("b"); v.(string) != "from-b" {
+		t.Error("existing target must win the collision")
+	}
+}
+
+func TestRekeyAcrossScopes(t *testing.T) {
+	c := NewCache(8)
+	c.SetScopeFunc(func(key string) string {
+		for i := 0; i < len(key); i++ {
+			if key[i] == '|' {
+				return key[:i]
+			}
+		}
+		return ""
+	})
+	if _, _, err := c.Do("s1|k", func() (interface{}, error) { return "v", nil }); err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := c.Rekey(func(k string) string {
+		if k == "s1|k" {
+			return "s2|k"
+		}
+		return k
+	})
+	if sum.MovedFresh != 1 || sum.MovedStale != 1 {
+		t.Fatalf("cross-scope summary = %+v", sum)
+	}
+	if v, ok := c.Get("s2|k"); !ok || v.(string) != "v" {
+		t.Error("entry not reachable in the new scope")
+	}
+	st := c.Stats()
+	if sc, ok := st.Scopes["s2"]; !ok || sc.Size != 1 {
+		t.Errorf("scope stats after cross-scope rekey = %+v", st.Scopes)
+	}
+}
