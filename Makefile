@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race race-engine bench bench-batch bench-datasets bench-check serve tier1
+.PHONY: build vet lint test race race-engine bench bench-batch bench-datasets bench-check fleet-smoke serve tier1
 
 build:
 	$(GO) build ./...
@@ -40,20 +40,32 @@ bench-batch:
 	$(GO) test -bench=BenchmarkBatchParallel -benchmem ./internal/engine/
 
 # Dataset-scoped cold/warm serving latencies, the NNMF core (cold vs
-# warm-seeded factorize), and batch worker scaling, snapshotted to
-# BENCH_datasets.json at the repo root so the perf trajectory
-# accumulates across commits (ROADMAP item 4).
+# warm-seeded factorize), batch worker scaling, and fleet local vs
+# forwarded serving, snapshotted to BENCH_datasets.json at the repo
+# root so the perf trajectory accumulates across commits (ROADMAP
+# item 4). Order matters: the engine run rewrites the snapshot
+# wholesale, the server run merges its fleet/* scenarios into it.
 bench-datasets:
 	BENCH_JSON=$(CURDIR)/BENCH_datasets.json $(GO) test -bench='BenchmarkDatasetServing|BenchmarkNNMFCore|BenchmarkBatchScaling' -run '^$$' -benchmem ./internal/engine/
+	BENCH_JSON=$(CURDIR)/BENCH_datasets.json $(GO) test -bench='BenchmarkFleetServing' -run '^$$' -benchmem ./internal/server/
 
 # Perf regression gate (CI): re-run the dataset benchmarks into a
 # scratch snapshot and compare the compute-bound scenarios against the
-# committed BENCH_datasets.json, failing past 3x — plus the warm-start
-# convergence gate (nnmf warm <= 10% of cold). The committed baseline
-# is only rewritten by an explicit `make bench-datasets`.
+# committed BENCH_datasets.json, failing past 3x — plus the two
+# current-snapshot ratio gates: warm-start convergence (nnmf warm <=
+# 10% of cold) and fleet forwarding overhead (forwarded <= 8x local).
+# The committed baseline is only rewritten by an explicit
+# `make bench-datasets`.
 bench-check:
 	BENCH_JSON=$(CURDIR)/BENCH_current.json $(GO) test -bench='BenchmarkDatasetServing|BenchmarkNNMFCore|BenchmarkBatchScaling' -run '^$$' -benchmem ./internal/engine/
+	BENCH_JSON=$(CURDIR)/BENCH_current.json $(GO) test -bench='BenchmarkFleetServing' -run '^$$' -benchmem ./internal/server/
 	$(GO) run ./cmd/benchcheck -baseline $(CURDIR)/BENCH_datasets.json -current $(CURDIR)/BENCH_current.json
+
+# Three real cmd/serve replicas on loopback ports: proves the fleet
+# wiring end to end outside the test harness — cross-replica
+# cache-hit-after-forward and csm_fleet_forwards_total movement.
+fleet-smoke:
+	bash scripts/fleet_smoke.sh
 
 serve:
 	$(GO) run ./cmd/serve

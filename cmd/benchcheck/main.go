@@ -14,6 +14,13 @@
 // run. That is the incremental pipeline's convergence contract — if
 // warm-start stops short-circuiting, the ratio collapses toward 1 and
 // the gate fails even though nothing "regressed" against the baseline.
+//
+// The fleet local/forwarded pair works the same way: a request
+// forwarded one hop to its owner must cost at most -fleet-ratio of the
+// same request served by the owner directly. Absolute loopback
+// latencies drift with the runner, but the ratio only moves when the
+// forwarding path itself regresses (lost keep-alives, double body
+// reads, extra round trips), which is exactly what the gate is for.
 package main
 
 import (
@@ -38,7 +45,9 @@ type snapshot struct {
 
 // gatedModes are the compute-bound modes stable enough to gate on.
 // Warm cache hits stay ungated; the nnmf warm factorize is gated
-// separately against its cold sibling (see warmStartCheck).
+// separately against its cold sibling (see warmStartCheck), and the
+// fleet local/forwarded pair against each other (see fleetOverheadCheck)
+// — loopback HTTP latencies are runner-dependent, but their ratio holds.
 var gatedModes = map[string]bool{"cold": true, "contended": true, "serial": true, "parallel": true}
 
 // warmStartCheck verifies the nnmf cold/warm convergence contract on
@@ -62,6 +71,31 @@ func warmStartCheck(current snapshot, maxWarmRatio float64) string {
 	if ratio > maxWarmRatio {
 		return fmt.Sprintf("nnmf warm factorize costs %.1f%% of cold (%d vs %d ns/op), want <= %.1f%%",
 			ratio*100, warm.NsPerOp, cold.NsPerOp, maxWarmRatio*100)
+	}
+	return ""
+}
+
+// fleetOverheadCheck verifies the fleet routing tax on the current
+// snapshot: a forwarded warm hit (origin -> owner -> origin) must not
+// exceed maxFleetRatio times the owner-local warm hit. Returns "" when
+// the pair is absent (single-process snapshots) or the contract holds.
+func fleetOverheadCheck(current snapshot, maxFleetRatio float64) string {
+	var local, forwarded scenario
+	for _, sc := range current.Scenarios {
+		if sc.Dataset == "fleet" && sc.Mode == "local" {
+			local = sc
+		}
+		if sc.Dataset == "fleet" && sc.Mode == "forwarded" {
+			forwarded = sc
+		}
+	}
+	if local.NsPerOp <= 0 || forwarded.NsPerOp <= 0 {
+		return ""
+	}
+	ratio := float64(forwarded.NsPerOp) / float64(local.NsPerOp)
+	if ratio > maxFleetRatio {
+		return fmt.Sprintf("fleet forwarded serve costs %.1fx a local one (%d vs %d ns/op), want <= %.1fx",
+			ratio, forwarded.NsPerOp, local.NsPerOp, maxFleetRatio)
 	}
 	return ""
 }
@@ -122,6 +156,7 @@ func run(args []string) int {
 	currentPath := fs.String("current", "", "freshly generated benchmark snapshot")
 	maxRatio := fs.Float64("max-ratio", 3, "fail when current/baseline ns/op exceeds this")
 	warmRatio := fs.Float64("warm-ratio", 0.1, "fail when the nnmf warm factorize exceeds this fraction of its cold run")
+	fleetRatio := fs.Float64("fleet-ratio", 8, "fail when a forwarded fleet serve exceeds this multiple of a local one")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -135,6 +170,10 @@ func run(args []string) int {
 		return 2
 	}
 	if msg := warmStartCheck(current, *warmRatio); msg != "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: "+msg)
+		return 1
+	}
+	if msg := fleetOverheadCheck(current, *fleetRatio); msg != "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: "+msg)
 		return 1
 	}

@@ -91,6 +91,33 @@ func TestWarmStartCheck(t *testing.T) {
 	}
 }
 
+func TestFleetOverheadCheck(t *testing.T) {
+	// Pair absent (single-process snapshots): no verdict.
+	if msg := fleetOverheadCheck(snap(scenario{Dataset: "fleet", Mode: "local", NsPerOp: 50_000}), 8); msg != "" {
+		t.Fatalf("snapshot without the forwarded half: %q", msg)
+	}
+	healthy := snap(
+		scenario{Dataset: "fleet", Mode: "local", NsPerOp: 50_000},
+		scenario{Dataset: "fleet", Mode: "forwarded", NsPerOp: 150_000},
+	)
+	if msg := fleetOverheadCheck(healthy, 8); msg != "" {
+		t.Fatalf("3x forwarding overhead flagged: %q", msg)
+	}
+	broken := snap(
+		scenario{Dataset: "fleet", Mode: "local", NsPerOp: 50_000},
+		scenario{Dataset: "fleet", Mode: "forwarded", NsPerOp: 500_000},
+	)
+	if msg := fleetOverheadCheck(broken, 8); msg == "" {
+		t.Fatal("10x forwarding overhead must fail the gate")
+	}
+	// The pair never enters the baseline comparison: forwarded/local are
+	// not gated modes, so runner-to-runner latency drift can't fail CI.
+	_, regressions := compare(snap(), broken, 3)
+	if len(regressions) != 0 {
+		t.Fatalf("fleet modes leaked into the baseline gate: %v", regressions)
+	}
+}
+
 func TestRunExitCodes(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, body string) string {

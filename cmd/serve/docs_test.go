@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestClusterDocsCoverFleetFlags pins docs/cluster.md to the live flag
+// surface: every fleet flag the binary registers must be documented,
+// and fleetFlagNames itself must stay in sync with the flag set — a new
+// -fleet-something flag that is neither listed nor documented fails CI.
+func TestClusterDocsCoverFleetFlags(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "cluster.md"))
+	if err != nil {
+		t.Fatalf("docs/cluster.md unreadable: %v", err)
+	}
+	doc := string(raw)
+
+	var cfg config
+	fs := newFlagSet(&cfg)
+	for _, name := range fleetFlagNames {
+		if fs.Lookup(name) == nil {
+			t.Errorf("fleetFlagNames lists -%s, which cmd/serve does not register", name)
+			continue
+		}
+		if !strings.Contains(doc, "-"+name) {
+			t.Errorf("docs/cluster.md does not document the -%s flag", name)
+		}
+	}
+}

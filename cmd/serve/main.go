@@ -10,8 +10,8 @@
 //
 //	serve [-addr :8080] [-cache-size 256] [-request-timeout 30s] [-shutdown-timeout 10s]
 //	      [-max-inflight 256] [-breaker-threshold 5] [-breaker-cooldown 30s] [-stale-serve=true]
-//	      [-batch-workers 4] [-trace-buffer 256] [-debug-addr ""] [-data-dir ""]
-//	      [-api-keys-file ""] [-idle-ttl 0]
+//	      [-batch-workers 4] [-trace-buffer 256] [-trace-sample 1] [-debug-addr ""] [-data-dir ""]
+//	      [-api-keys-file ""] [-idle-ttl 0] [-node-id ""] [-peers ""]
 //
 // Beyond -max-inflight concurrent /api/v1 requests the server sheds
 // load with 429 + Retry-After. Each analysis family has a circuit
@@ -72,11 +72,23 @@
 // /api/v1/datasets/{id}/... scoped to any dataset. Caches, breakers,
 // and metrics partition per (dataset, analysis).
 //
+// Multi-replica mode: start every replica with the same -peers list
+// ("id=host:port,...") and its own -node-id from that list. Replicas
+// route each analysis request to the key's owner on a consistent-hash
+// ring (ownership = cache locality; the owner's singleflight becomes
+// cluster-wide dedup), fan batch items out by owner, and broadcast
+// ingest invalidations, degrading to local compute whenever a peer is
+// unreachable or draining. GET /api/v1/fleet reports membership and
+// routing counters; docs/cluster.md is the operator guide. At fleet
+// scale -trace-sample thins request tracing to a deterministic
+// fraction; sampled-out requests still log a wide event.
+//
 // Legacy /api/... paths permanently redirect to /api/v1/... .
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log"
 	"net"
@@ -88,6 +100,7 @@ import (
 	"time"
 
 	"csmaterials/internal/engine"
+	"csmaterials/internal/fleet"
 	"csmaterials/internal/obs"
 	"csmaterials/internal/resilience"
 	"csmaterials/internal/server"
@@ -110,12 +123,22 @@ type config struct {
 	dataDir          string
 	apiKeysFile      string
 	idleTTL          time.Duration
+	nodeID           string
+	peers            string
+	traceSample      float64
 }
 
-// parseConfig parses args (excluding the program name).
-func parseConfig(args []string) (config, error) {
+// fleetFlagNames are the flags that exist only for multi-replica
+// deployments. docs/cluster.md must document every one of them — the
+// docs drift test walks this list, so adding a fleet flag without a
+// cluster-doc entry fails the build.
+var fleetFlagNames = []string{"node-id", "peers", "trace-sample"}
+
+// newFlagSet builds the serve flag set over cfg. Split from
+// parseConfig so the docs drift test can introspect the registered
+// flags without parsing a command line.
+func newFlagSet(cfg *config) *flag.FlagSet {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	cfg := config{}
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	fs.IntVar(&cfg.cacheSize, "cache-size", server.DefaultCacheSize, "analysis cache capacity in entries (negative disables retention)")
 	fs.DurationVar(&cfg.requestTimeout, "request-timeout", 30*time.Second, "per-request handler deadline")
@@ -130,8 +153,21 @@ func parseConfig(args []string) (config, error) {
 	fs.StringVar(&cfg.dataDir, "data-dir", "", "optional directory of *.json dataset documents registered at startup")
 	fs.StringVar(&cfg.apiKeysFile, "api-keys-file", "", "optional JSON keyring locking dataset PUT/DELETE behind API keys (CSM_ADMIN_KEY adds an admin key; empty + unset env = open mode)")
 	fs.DurationVar(&cfg.idleTTL, "idle-ttl", 0, "reclaim idle datasets' search indexes and warm caches after this long without queries (0 disables)")
+	fs.StringVar(&cfg.nodeID, "node-id", "", "this replica's node ID in the -peers list (required with -peers)")
+	fs.StringVar(&cfg.peers, "peers", "", "fleet membership as comma-separated id=host:port entries, including this node; empty = single-process mode")
+	fs.Float64Var(&cfg.traceSample, "trace-sample", 1, "fraction of requests to trace, 0..1 (sampled-out requests still log wide events)")
+	return fs
+}
+
+// parseConfig parses args (excluding the program name).
+func parseConfig(args []string) (config, error) {
+	cfg := config{}
+	fs := newFlagSet(&cfg)
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
+	}
+	if cfg.peers == "" && cfg.nodeID != "" {
+		return config{}, errors.New("-node-id is set but -peers is empty")
 	}
 	return cfg, nil
 }
@@ -159,6 +195,25 @@ func (c config) serverOptions(logger *log.Logger, events *obs.Logger) (server.Op
 		path := c.apiKeysFile
 		reload = func() (*server.KeysFile, error) { return server.LoadKeysFile(path) }
 	}
+	tracer := obs.NewTracer(c.traceBuffer, nil)
+	tracer.SetSampleRate(c.traceSample)
+	var fl *fleet.Fleet
+	if c.peers != "" {
+		fcfg, err := fleet.ParsePeers(c.nodeID, c.peers)
+		if err != nil {
+			return server.Options{}, err
+		}
+		// Per-peer forwarding breakers reuse the analysis breaker
+		// tuning: a peer that keeps failing transport stops being
+		// forwarded to for the same cooldown an analysis would get.
+		fl, err = fleet.New(fcfg, fleet.Options{
+			BreakerThreshold: c.breakerThreshold,
+			BreakerCooldown:  c.breakerCooldown,
+		})
+		if err != nil {
+			return server.Options{}, err
+		}
+	}
 	return server.Options{
 		CacheSize:         c.cacheSize,
 		Logger:            logger,
@@ -167,12 +222,13 @@ func (c config) serverOptions(logger *log.Logger, events *obs.Logger) (server.Op
 		BreakerCooldown:   c.breakerCooldown,
 		DisableStaleServe: !c.staleServe,
 		BatchWorkers:      c.batchWorkers,
-		Tracer:            obs.NewTracer(c.traceBuffer, nil),
+		Tracer:            tracer,
 		Events:            events,
 		DataDir:           c.dataDir,
 		APIKeys:           keys,
 		ReloadKeys:        reload,
 		IdleTTL:           c.idleTTL,
+		Fleet:             fl,
 	}, nil
 }
 
@@ -286,6 +342,10 @@ func main() {
 	go func() {
 		defer close(done)
 		<-ctx.Done()
+		// In fleet mode, stop accepting newly forwarded computes (503
+		// node_draining, peers fall back locally) before the listener
+		// starts its graceful drain.
+		s.StartDraining()
 		events.Event("shutdown-draining", map[string]interface{}{"grace": cfg.shutdownTimeout.String()})
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 		defer cancel()
@@ -295,13 +355,19 @@ func main() {
 		}
 	}()
 
-	events.Event("listening", map[string]interface{}{
+	listening := map[string]interface{}{
 		"addr":            cfg.addr,
 		"cache_entries":   cfg.cacheSize,
 		"request_timeout": cfg.requestTimeout.String(),
 		"max_in_flight":   cfg.maxInFlight,
 		"trace_buffer":    cfg.traceBuffer,
-	})
+	}
+	if fl := s.Fleet(); fl != nil {
+		listening["node_id"] = fl.Self()
+		listening["ring_version"] = fl.RingVersion()
+		listening["peers"] = len(fl.Peers())
+	}
+	events.Event("listening", listening)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fail("serve-failed", err)
 	}

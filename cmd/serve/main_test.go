@@ -56,6 +56,12 @@ func TestParseConfigDefaults(t *testing.T) {
 	if cfg.dataDir != "" {
 		t.Errorf("dataDir = %q, want disabled by default", cfg.dataDir)
 	}
+	if cfg.traceSample != 1 { // lint:exact — flag default is the literal 1, not a computed value
+		t.Errorf("traceSample = %v, want 1 (sample everything) by default", cfg.traceSample)
+	}
+	if cfg.nodeID != "" || cfg.peers != "" {
+		t.Errorf("nodeID/peers = %q/%q, want single-process mode by default", cfg.nodeID, cfg.peers)
+	}
 }
 
 func TestParseConfigOverrides(t *testing.T) {
@@ -72,6 +78,9 @@ func TestParseConfigOverrides(t *testing.T) {
 		"-trace-buffer", "13",
 		"-debug-addr", "127.0.0.1:6060",
 		"-data-dir", "/tmp/datasets",
+		"-trace-sample", "0.25",
+		"-node-id", "a",
+		"-peers", "a=127.0.0.1:8080,b=127.0.0.1:8081",
 	})
 	if err != nil {
 		t.Fatalf("parseConfig: %v", err)
@@ -89,6 +98,9 @@ func TestParseConfigOverrides(t *testing.T) {
 		traceBuffer:      13,
 		debugAddr:        "127.0.0.1:6060",
 		dataDir:          "/tmp/datasets",
+		traceSample:      0.25,
+		nodeID:           "a",
+		peers:            "a=127.0.0.1:8080,b=127.0.0.1:8081",
 	}
 	if cfg != want {
 		t.Errorf("parseConfig = %+v, want %+v", cfg, want)
@@ -101,6 +113,71 @@ func TestParseConfigError(t *testing.T) {
 	}
 	if _, err := parseConfig([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("expected error for unknown flag")
+	}
+	if _, err := parseConfig([]string{"-node-id", "a"}); err == nil {
+		t.Fatal("expected error for -node-id without -peers")
+	}
+}
+
+// TestServerOptionsFleet pins the multi-replica wiring: -peers builds a
+// fleet whose membership, identity, and ring version come from the peer
+// table, and a malformed table (or a -node-id missing from it) fails
+// startup rather than silently serving single-process.
+func TestServerOptionsFleet(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	events := obs.NewLogger(io.Discard)
+	cfg := config{
+		nodeID:      "b",
+		peers:       "a=127.0.0.1:8080,b=127.0.0.1:8081,c=127.0.0.1:8082",
+		traceSample: 1,
+	}
+	opts, err := cfg.serverOptions(logger, events)
+	if err != nil {
+		t.Fatalf("serverOptions: %v", err)
+	}
+	if opts.Fleet == nil {
+		t.Fatal("Fleet = nil, want a fleet when -peers is set")
+	}
+	if opts.Fleet.Self() != "b" {
+		t.Errorf("Self = %q, want b", opts.Fleet.Self())
+	}
+	if got := len(opts.Fleet.Peers()); got != 3 {
+		t.Errorf("len(Peers) = %d, want 3", got)
+	}
+
+	cfg.peers = "a=127.0.0.1:8080" // node-id b not in the table
+	if _, err := cfg.serverOptions(logger, events); err == nil {
+		t.Fatal("expected error when -node-id is not in -peers")
+	}
+
+	cfg.peers = "not-a-peer-table"
+	if _, err := cfg.serverOptions(logger, events); err == nil {
+		t.Fatal("expected error for malformed -peers")
+	}
+
+	cfg.peers = ""
+	cfg.nodeID = ""
+	opts, err = cfg.serverOptions(logger, events)
+	if err != nil {
+		t.Fatalf("serverOptions: %v", err)
+	}
+	if opts.Fleet != nil {
+		t.Error("Fleet must stay nil without -peers")
+	}
+}
+
+// TestServerOptionsTraceSample pins that -trace-sample reaches the
+// tracer: at rate 0 every request is sampled out.
+func TestServerOptionsTraceSample(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	events := obs.NewLogger(io.Discard)
+	cfg := config{traceBuffer: 4, traceSample: 0}
+	opts, err := cfg.serverOptions(logger, events)
+	if err != nil {
+		t.Fatalf("serverOptions: %v", err)
+	}
+	if got := opts.Tracer.Stats().SampleRate; got != 0 {
+		t.Errorf("SampleRate = %v, want 0", got)
 	}
 }
 

@@ -315,6 +315,26 @@ func Key(a Analysis, p Params) string {
 	return a.Name()
 }
 
+// FleetKeyOn returns the cluster ownership key for one analysis
+// request: "<dataset>|<logical key>". It is the physical cache key
+// minus the revision — each replica runs its own revision counters, so
+// including them would make replicas disagree about ownership; the
+// logical triple (dataset, analysis, paramKey) is what must hash
+// identically everywhere. Unknown analyses and invalid params return
+// the same *Error the serving path would, so callers can fall through
+// to local handling for the canonical error envelope.
+func (e *Executor) FleetKeyOn(ds, name string, values url.Values) (string, error) {
+	a, ok := e.reg.Get(name)
+	if !ok {
+		return "", Errorf(404, "not_found", "unknown analysis %q", name)
+	}
+	p, err := e.ParseParams(a, values)
+	if err != nil {
+		return "", err
+	}
+	return ds + "|" + Key(a, p), nil
+}
+
 // RunParams executes a with validated params against the default
 // dataset through the full ladder.
 func (e *Executor) RunParams(ctx context.Context, a Analysis, p Params) (interface{}, Outcome, error) {

@@ -1,0 +1,140 @@
+// Package fleet is the horizontal scale-out layer: a consistent-hash
+// ring that assigns every analysis cache key an owning replica, a
+// static peer table describing the fleet's membership, and a
+// breaker-gated HTTP forwarding client so any replica can accept any
+// request while computes run on the key's owner.
+//
+// Ownership is cache locality: all replicas agree (same membership →
+// byte-identical ring) on which node owns a key, so repeated requests
+// for the same (dataset, analysis, params) triple land on one node's
+// cache and singleflight group — the owner's existing per-key dedup
+// becomes cluster-wide dedup without any shared state. Membership is
+// static (the -peers flag); a membership change is a rolling restart
+// with a new peer list, and the ring version lets replicas detect a
+// split (mixed peer lists) and refuse misrouted computes instead of
+// silently double-computing.
+//
+// The layer degrades, never fails: when an owner is unreachable,
+// draining, or disagrees about ownership, the originating replica
+// computes locally and serves — at worst the fleet briefly loses
+// dedup, never availability. docs/cluster.md is the operator guide.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the number of ring points each member
+// contributes when Options does not say otherwise. More virtual nodes
+// smooth the key distribution and shrink the share moved by a
+// membership change, at the cost of a larger (still tiny) sorted
+// point table.
+const DefaultVirtualNodes = 64
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a fixed membership.
+// Construction is deterministic: the same member set (in any order)
+// yields a byte-identical ring, so every replica resolves every key to
+// the same owner without coordination.
+type Ring struct {
+	vnodes  int
+	nodes   []string // sorted membership
+	points  []point  // sorted by (hash, node)
+	version string   // 8-hex membership fingerprint
+}
+
+// NewRing builds a ring over nodes with the given virtual-node count
+// (DefaultVirtualNodes when vnodes <= 0). Duplicate node IDs collapse;
+// an empty membership yields a ring that owns nothing ("" from Owner).
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	sorted := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			sorted = append(sorted, n)
+		}
+	}
+	sort.Strings(sorted)
+	r := &Ring{vnodes: vnodes, nodes: sorted, version: membershipVersion(sorted)}
+	r.points = make([]point, 0, len(sorted)*vnodes)
+	for _, n := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Owner returns the node owning key: the first ring point at or after
+// the key's hash, wrapping at the top. "" when the ring is empty.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the sorted membership.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Version returns the 8-hex membership fingerprint. Two replicas with
+// the same version have byte-identical rings and therefore agree on
+// every key's owner; forwarded requests carry it so a receiver can
+// refuse computes routed under a divergent membership (not_owner)
+// instead of breaking the ownership invariant.
+func (r *Ring) Version() string { return r.version }
+
+// VersionValue returns the fingerprint as a number, for the
+// csm_fleet_ring_version gauge (exact in float64).
+func (r *Ring) VersionValue() uint32 { return hash32(fmt.Sprint(r.nodes)) }
+
+// membershipVersion fingerprints a sorted membership.
+func membershipVersion(sorted []string) string {
+	return fmt.Sprintf("%08x", hash32(fmt.Sprint(sorted)))
+}
+
+// hash64 is FNV-1a 64 with an avalanche finalizer. Raw FNV mixes the
+// high-order bits of short strings poorly, which clusters ring points
+// and key hashes into a narrow band and skews ownership badly; the
+// finalizer (MurmurHash3's) spreads every input bit across the word.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func hash32(s string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum32()
+}

@@ -1,0 +1,255 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// keys returns a deterministic corpus of fleet-style ownership keys
+// (dataset|analysis|paramKey) large enough for distribution claims.
+func testKeys(n int) []string {
+	ks := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ks = append(ks, fmt.Sprintf("ds%d|analysis%d|k=%d", i%7, i%5, i))
+	}
+	return ks
+}
+
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	orders := [][]string{
+		{"a", "b", "c"},
+		{"c", "a", "b"},
+		{"b", "c", "a", "a", "b"}, // duplicates collapse
+	}
+	rings := make([]*Ring, len(orders))
+	for i, o := range orders {
+		rings[i] = NewRing(o, 0)
+	}
+	for _, r := range rings[1:] {
+		if r.Version() != rings[0].Version() {
+			t.Fatalf("version differs across insertion order: %s vs %s", r.Version(), rings[0].Version())
+		}
+	}
+	for _, k := range testKeys(2000) {
+		want := rings[0].Owner(k)
+		for i, r := range rings[1:] {
+			if got := r.Owner(k); got != want {
+				t.Fatalf("order %d: Owner(%q) = %q, want %q", i+1, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRingOwnershipIsStableAndTotal(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 0)
+	members := map[string]bool{"a": true, "b": true, "c": true}
+	counts := map[string]int{}
+	keys := testKeys(3000)
+	for _, k := range keys {
+		o := r.Owner(k)
+		if !members[o] {
+			t.Fatalf("Owner(%q) = %q, not a member", k, o)
+		}
+		if o2 := r.Owner(k); o2 != o {
+			t.Fatalf("Owner(%q) unstable: %q then %q", k, o, o2)
+		}
+		counts[o]++
+	}
+	// With 64 vnodes per member the split should be roughly even; a
+	// member owning under 1/6 of keys (half its fair share for n=3)
+	// would indicate a broken hash or sort.
+	for m, c := range counts {
+		if c < len(keys)/6 {
+			t.Fatalf("member %s owns only %d/%d keys — distribution broken: %v", m, c, len(keys), counts)
+		}
+	}
+}
+
+func TestRingJoinMovesKeysOnlyToNewNode(t *testing.T) {
+	before := NewRing([]string{"a", "b", "c"}, 0)
+	after := NewRing([]string{"a", "b", "c", "d"}, 0)
+	keys := testKeys(3000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "d" {
+			t.Fatalf("join: key %q moved %s→%s; keys may only move to the joining node", k, was, is)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("join: no keys moved to the new node")
+	}
+	// Consistent hashing bound: the new node should take roughly 1/n
+	// of the keyspace, not arbitrarily more.
+	if moved > len(keys)/2 {
+		t.Fatalf("join: %d/%d keys moved — far beyond the ~1/4 consistent-hash bound", moved, len(keys))
+	}
+}
+
+func TestRingLeaveMovesOnlyDepartedKeys(t *testing.T) {
+	before := NewRing([]string{"a", "b", "c", "d"}, 0)
+	after := NewRing([]string{"a", "b", "c"}, 0)
+	for _, k := range testKeys(3000) {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == "d" {
+			if is == "d" {
+				t.Fatalf("leave: key %q still owned by departed node", k)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("leave: key %q moved %s→%s though its owner stayed", k, was, is)
+		}
+	}
+}
+
+func TestRingVersionTracksMembership(t *testing.T) {
+	a := NewRing([]string{"a", "b"}, 0)
+	b := NewRing([]string{"b", "a"}, 0)
+	c := NewRing([]string{"a", "b", "c"}, 0)
+	if a.Version() != b.Version() {
+		t.Fatalf("same membership, different versions: %s vs %s", a.Version(), b.Version())
+	}
+	if a.Version() == c.Version() {
+		t.Fatalf("different membership, same version %s", a.Version())
+	}
+	if len(a.Version()) != 8 {
+		t.Fatalf("version %q not 8 hex chars", a.Version())
+	}
+	if a.VersionValue() == c.VersionValue() {
+		t.Fatal("VersionValue collision across memberships")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner("anything"); got != "" {
+		t.Fatalf("empty ring Owner = %q, want empty", got)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	cfg, err := ParsePeers("b", "a=127.0.0.1:8080, b=http://127.0.0.1:8081/ ,c=localhost:8082")
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	if cfg.Self != "b" || len(cfg.Peers) != 3 {
+		t.Fatalf("unexpected config: %+v", cfg)
+	}
+	want := map[string]string{
+		"a": "http://127.0.0.1:8080",
+		"b": "http://127.0.0.1:8081",
+		"c": "http://localhost:8082",
+	}
+	for _, p := range cfg.Peers {
+		if want[p.ID] != p.URL {
+			t.Fatalf("peer %s URL = %q, want %q", p.ID, p.URL, want[p.ID])
+		}
+	}
+
+	for name, args := range map[string][2]string{
+		"missing self":   {"z", "a=1:1,b=2:2"},
+		"empty self":     {"", "a=1:1"},
+		"bad entry":      {"a", "a"},
+		"duplicate id":   {"a", "a=1:1,a=2:2"},
+		"empty list":     {"a", " , "},
+		"empty id":       {"a", "=1:1,a=2:2"},
+		"empty addr":     {"a", "a=,b=2:2"},
+		"id only equals": {"a", "a=1:1,b="},
+	} {
+		if _, err := ParsePeers(args[0], args[1]); err == nil {
+			t.Errorf("%s: ParsePeers(%q, %q) succeeded, want error", name, args[0], args[1])
+		}
+	}
+}
+
+func TestFleetOwnershipAgreesAcrossReplicas(t *testing.T) {
+	cfgStr := "a=127.0.0.1:1,b=127.0.0.1:2,c=127.0.0.1:3"
+	fleets := make([]*Fleet, 0, 3)
+	for _, self := range []string{"a", "b", "c"} {
+		cfg, err := ParsePeers(self, cfgStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := New(cfg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleets = append(fleets, f)
+	}
+	for _, k := range testKeys(1000) {
+		want := fleets[0].Owner(k)
+		for _, f := range fleets[1:] {
+			if got := f.Owner(k); got != want {
+				t.Fatalf("replica %s: Owner(%q) = %q, want %q", f.Self(), k, got, want)
+			}
+		}
+	}
+	if fleets[0].RingVersion() != fleets[2].RingVersion() {
+		t.Fatal("replicas disagree on ring version")
+	}
+	owns := 0
+	for _, f := range fleets {
+		if f.Owns("ds0|analysis0|k=0") {
+			owns++
+		}
+	}
+	if owns != 1 {
+		t.Fatalf("key owned by %d replicas, want exactly 1", owns)
+	}
+}
+
+func TestFleetForwardUnknownPeerAndBreaker(t *testing.T) {
+	cfg, err := ParsePeers("a", "a=127.0.0.1:1,b=127.0.0.1:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Port 2 is unroutable; threshold 1 opens the breaker after the
+	// first transport failure.
+	f, err := New(cfg, Options{BreakerThreshold: 1, BreakerCooldown: time.Hour, ForwardTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Forward(context.Background(), "nope", http.MethodGet, "/x", nil); err == nil {
+		t.Fatal("Forward to unknown peer succeeded")
+	}
+	if _, err := f.Forward(context.Background(), "b", http.MethodGet, "/x", nil); err == nil {
+		t.Fatal("Forward to dead peer succeeded")
+	}
+	_, err = f.Forward(context.Background(), "b", http.MethodGet, "/x", nil)
+	if err == nil {
+		t.Fatal("second Forward succeeded, want breaker rejection")
+	}
+	st := f.Stats()
+	if st.Forwards["b"] != 1 {
+		t.Fatalf("forwards[b] = %d, want 1 (breaker-rejected try must not count as a forward)", st.Forwards["b"])
+	}
+	if st.ForwardFailures["b"] != 2 {
+		t.Fatalf("forward_failures[b] = %d, want 2", st.ForwardFailures["b"])
+	}
+}
+
+func TestFleetDrainingLatch(t *testing.T) {
+	cfg, _ := ParsePeers("a", "a=127.0.0.1:1,b=127.0.0.1:2")
+	f, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Draining() {
+		t.Fatal("new fleet already draining")
+	}
+	f.StartDraining()
+	if !f.Draining() {
+		t.Fatal("StartDraining did not latch")
+	}
+	if !f.Stats().Draining {
+		t.Fatal("Stats does not reflect draining")
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTracerSampleRateProportion(t *testing.T) {
+	clock := func() time.Time { return time.Unix(0, 0) }
+	for _, tc := range []struct {
+		rate     float64
+		min, max int // accepted traces out of 10000
+	}{
+		{rate: 1, min: 10000, max: 10000},
+		{rate: 0, min: 0, max: 0},
+		{rate: 0.1, min: 800, max: 1200},
+		{rate: 0.5, min: 4700, max: 5300},
+	} {
+		tr := NewTracer(8, clock)
+		tr.SetSampleRate(tc.rate)
+		kept := 0
+		for i := 0; i < 10000; i++ {
+			ctx, trace := tr.Start(context.Background(), "route")
+			if trace != nil {
+				kept++
+				if FromContext(ctx) != trace {
+					t.Fatalf("rate %v: sampled context does not carry its trace", tc.rate)
+				}
+				tr.Finish(trace)
+			} else if FromContext(ctx) != nil {
+				t.Fatalf("rate %v: sampled-out context carries a trace", tc.rate)
+			}
+		}
+		if kept < tc.min || kept > tc.max {
+			t.Errorf("rate %v: kept %d/10000, want in [%d, %d]", tc.rate, kept, tc.min, tc.max)
+		}
+		st := tr.Stats()
+		if st.Started != uint64(kept) {
+			t.Errorf("rate %v: started %d, want %d", tc.rate, st.Started, kept)
+		}
+		if st.SampledOut != uint64(10000-kept) {
+			t.Errorf("rate %v: sampled_out %d, want %d", tc.rate, st.SampledOut, 10000-kept)
+		}
+		if st.SampleRate != tc.rate { // lint:exact — Stats must echo the configured rate bit-for-bit, no arithmetic involved
+			t.Errorf("rate %v: stats report rate %v", tc.rate, st.SampleRate)
+		}
+	}
+}
+
+func TestTracerSampleDecisionIsDeterministic(t *testing.T) {
+	clock := func() time.Time { return time.Unix(0, 0) }
+	decisions := func() []bool {
+		tr := NewTracer(8, clock)
+		tr.SetSampleRate(0.3)
+		out := make([]bool, 0, 200)
+		for i := 0; i < 200; i++ {
+			_, trace := tr.Start(context.Background(), "r")
+			out = append(out, trace != nil)
+			tr.Finish(trace)
+		}
+		return out
+	}
+	a, b := decisions(), decisions()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampling decision %d differs across identical tracers", i)
+		}
+	}
+}
+
+func TestTracerSampleRateClamps(t *testing.T) {
+	tr := NewTracer(8, nil)
+	tr.SetSampleRate(-3)
+	if got := tr.Stats().SampleRate; got != 0 {
+		t.Fatalf("rate -3 clamped to %v, want 0", got)
+	}
+	tr.SetSampleRate(7)
+	if got := tr.Stats().SampleRate; got != 1 { // lint:exact — clamping snaps to the literal bound 1, not a computed value
+		t.Fatalf("rate 7 clamped to %v, want 1", got)
+	}
+}
+
+func TestSampledOutRequestIsNilSafeDownstream(t *testing.T) {
+	tr := NewTracer(8, nil)
+	tr.SetSampleRate(0)
+	ctx, trace := tr.Start(context.Background(), "route")
+	if trace != nil {
+		t.Fatal("rate 0 minted a trace")
+	}
+	// The whole instrumentation surface must be inert on the untraced
+	// context: spans are nil and every method is a no-op.
+	sp := StartSpan(ctx, "stage")
+	if sp != nil {
+		t.Fatal("StartSpan on untraced context returned a span")
+	}
+	sp.SetAnalysis("x")
+	sp.SetDataset("y")
+	sp.End()
+	sp.EndAs("other")
+	tr.Finish(trace) // nil finish is a no-op
+	if st := tr.Stats(); st.Finished != 0 || st.RingSize != 0 {
+		t.Fatalf("sampled-out request leaked into tracer state: %+v", st)
+	}
+}

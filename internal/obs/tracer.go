@@ -46,13 +46,15 @@ type Tracer struct {
 	clock    func() time.Time
 	capacity int
 
-	mu       sync.Mutex
-	seq      uint64
-	ring     []*Trace // oldest first; bounded by capacity
-	byID     map[string]*Trace
-	started  uint64
-	finished uint64
-	stages   map[stageKey]*stageHist
+	mu         sync.Mutex
+	seq        uint64
+	ring       []*Trace // oldest first; bounded by capacity
+	byID       map[string]*Trace
+	started    uint64
+	finished   uint64
+	sampledOut uint64
+	sampleRate float64 // probability a Start mints a trace; 1 = always
+	stages     map[stageKey]*stageHist
 }
 
 // NewTracer returns a tracer retaining the last capacity finished
@@ -66,20 +68,62 @@ func NewTracer(capacity int, clock func() time.Time) *Tracer {
 		clock = time.Now
 	}
 	return &Tracer{
-		clock:    clock,
-		capacity: capacity,
-		byID:     make(map[string]*Trace),
-		stages:   make(map[stageKey]*stageHist),
+		clock:      clock,
+		capacity:   capacity,
+		sampleRate: 1,
+		byID:       make(map[string]*Trace),
+		stages:     make(map[stageKey]*stageHist),
 	}
+}
+
+// SetSampleRate sets the probability that Start mints a trace, for
+// fleet-scale deployments where tracing every request is too much
+// retention churn. Values are clamped to [0, 1]; 1 (the default)
+// traces everything, 0 nothing. The decision is deterministic in the
+// request sequence number — a hash of the counter compared against the
+// rate — so a given rate yields an exact long-run proportion rather
+// than a noisy one, and tests can golden it.
+func (t *Tracer) SetSampleRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	t.mu.Lock()
+	t.sampleRate = rate
+	t.mu.Unlock()
+}
+
+// sampleMix is the splitmix64 finalizer: it turns the monotonic
+// sequence counter into a uniform 64-bit value so comparing against
+// rate*2^64 samples the exact requested proportion deterministically.
+func sampleMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Start mints a new trace labelled label (typically the route
 // pattern), stores it in the returned context, and returns both. The
 // trace ID is a process-unique monotonic hex token.
+//
+// When a sample rate below 1 is set, Start may instead decide not to
+// trace this request: it returns (ctx, nil) with the context
+// unchanged. A nil *Trace is safe everywhere downstream — StartSpan on
+// an untraced context returns a nil Span, whose methods are no-ops —
+// so instrumented code needs no sampling awareness. Callers that touch
+// the trace directly (Finish, ID) must check for nil.
 func (t *Tracer) Start(ctx context.Context, label string) (context.Context, *Trace) {
 	start := t.clock()
 	t.mu.Lock()
 	t.seq++
+	if t.sampleRate < 1 && float64(sampleMix(t.seq))/(1<<64) >= t.sampleRate {
+		t.sampledOut++
+		t.mu.Unlock()
+		return ctx, nil
+	}
 	t.started++
 	id := fmt.Sprintf("%08x", t.seq)
 	t.mu.Unlock()
@@ -89,8 +133,12 @@ func (t *Tracer) Start(ctx context.Context, label string) (context.Context, *Tra
 
 // Finish seals tr, aggregates its completed spans into the stage
 // histograms, and admits it to the ring buffer, evicting the oldest
-// finished trace when full. Finishing a trace twice is a no-op.
+// finished trace when full. Finishing a trace twice is a no-op, as is
+// finishing a nil trace (a sampled-out request).
 func (t *Tracer) Finish(tr *Trace) {
+	if tr == nil {
+		return
+	}
 	spans := tr.finish()
 	if spans == nil {
 		return
@@ -214,10 +262,12 @@ func (t *Tracer) DropDataset(dataset string) int {
 
 // TracerStats is the tracer section of the metrics surface.
 type TracerStats struct {
-	Started  uint64 `json:"started_total"`
-	Finished uint64 `json:"finished_total"`
-	RingSize int    `json:"ring_size"`
-	Capacity int    `json:"ring_capacity"`
+	Started    uint64  `json:"started_total"`
+	Finished   uint64  `json:"finished_total"`
+	SampledOut uint64  `json:"sampled_out_total"`
+	SampleRate float64 `json:"sample_rate"`
+	RingSize   int     `json:"ring_size"`
+	Capacity   int     `json:"ring_capacity"`
 }
 
 // Stats snapshots the tracer counters.
@@ -225,9 +275,11 @@ func (t *Tracer) Stats() TracerStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return TracerStats{
-		Started:  t.started,
-		Finished: t.finished,
-		RingSize: len(t.ring),
-		Capacity: t.capacity,
+		Started:    t.started,
+		Finished:   t.finished,
+		SampledOut: t.sampledOut,
+		SampleRate: t.sampleRate,
+		RingSize:   len(t.ring),
+		Capacity:   t.capacity,
 	}
 }

@@ -132,6 +132,7 @@ func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
 		s.setDatasetState(id, DatasetReady{Status: "warming"})
 		s.spawnBackground(func(ctx context.Context) { _ = s.warmDataset(ctx, id) })
 	}
+	s.broadcastInvalidate(r, id)
 	meta, ok := s.datasets.MetaOf(id)
 	if !ok { // deleted in the same instant; report the revision ingested
 		meta = snap.Meta()
@@ -189,6 +190,7 @@ func (s *Server) handleDatasetPatch(w http.ResponseWriter, r *http.Request) {
 		s.setDatasetState(id, DatasetReady{Status: "warming"})
 		s.spawnBackground(func(ctx context.Context) { _ = s.warmDataset(ctx, id) })
 	}
+	s.broadcastInvalidate(r, id)
 	meta, ok := s.datasets.MetaOf(id)
 	if !ok {
 		meta = snap.Meta()
@@ -224,5 +226,6 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	s.limiter.DropTenant(id)
 	s.tracer.DropDataset(id)
 	s.retuneTenancy()
+	s.broadcastInvalidate(r, id)
 	writeData(w, http.StatusOK, DatasetDeleted{ID: id, Invalidated: invalidated}, nil)
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"csmaterials/internal/engine/analyses"
+	"csmaterials/internal/fleet"
 )
 
 // TestAPIDocsCoverRegistry pins docs/api.md to the live route table:
@@ -37,10 +38,18 @@ func TestAPIDocsCoverRegistry(t *testing.T) {
 	for _, route := range []string{
 		"/api/v1/courses", "/api/v1/search", "/api/v1/batch",
 		"/api/v1/datasets", "/api/v1/datasets/{id}", "/api/v1/keys/reload",
+		"/api/v1/fleet", "/api/v1/fleet/invalidate",
 		"/healthz", "/readyz", "/metrics", "/debug/metrics", "/debug/trace",
 	} {
 		if !strings.Contains(doc, route) {
 			t.Errorf("docs/api.md does not document %s", route)
+		}
+	}
+
+	// Fleet-mode error codes clients can observe.
+	for _, code := range []string{"node_draining", "not_owner"} {
+		if !strings.Contains(doc, code) {
+			t.Errorf("docs/api.md does not document the %s error code", code)
 		}
 	}
 
@@ -56,7 +65,7 @@ func TestAPIDocsCoverRegistry(t *testing.T) {
 
 	// Reverse direction: every /api/v1/<segment> the doc mentions must
 	// be a real route — a registered analysis or a fixed endpoint.
-	known := map[string]bool{"courses": true, "search": true, "figures": true, "batch": true, "datasets": true, "keys": true}
+	known := map[string]bool{"courses": true, "search": true, "figures": true, "batch": true, "datasets": true, "keys": true, "fleet": true}
 	for _, name := range names {
 		known[name] = true
 	}
@@ -64,6 +73,59 @@ func TestAPIDocsCoverRegistry(t *testing.T) {
 	for _, m := range seg.FindAllStringSubmatch(doc, -1) {
 		if !known[m[1]] {
 			t.Errorf("docs/api.md documents /api/v1/%s, which is not a registered analysis or fixed route", m[1])
+		}
+	}
+}
+
+// TestClusterDocsCoverFleetMetrics pins docs/cluster.md (and the
+// operations guide's metrics reference) to the live csm_fleet_*
+// exposition: every family a fleet-mode replica emits must be
+// documented, and every csm_fleet_* name the docs mention must be a
+// family that actually exists. Adding a fleet counter without
+// documenting it fails CI, exactly like an undocumented analysis route.
+func TestClusterDocsCoverFleetMetrics(t *testing.T) {
+	cluster, err := os.ReadFile(filepath.Join("..", "..", "docs", "cluster.md"))
+	if err != nil {
+		t.Fatalf("docs/cluster.md unreadable: %v", err)
+	}
+	ops, err := os.ReadFile(filepath.Join("..", "..", "docs", "operations.md"))
+	if err != nil {
+		t.Fatalf("docs/operations.md unreadable: %v", err)
+	}
+
+	fl, err := fleet.New(fleet.Config{
+		Self:  "a",
+		Peers: []fleet.Peer{{ID: "a", URL: "http://127.0.0.1:1"}, {ID: "b", URL: "http://127.0.0.1:2"}},
+	}, fleet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithOptions(Options{Fleet: fl, disableWarmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[string]bool{}
+	for _, fam := range s.promFleetFamilies() {
+		live[fam.Name] = true
+		for docName, content := range map[string]string{"cluster": string(cluster), "operations": string(ops)} {
+			if !strings.Contains(content, fam.Name) {
+				t.Errorf("docs/%s.md does not document the %s metric family", docName, fam.Name)
+			}
+		}
+	}
+
+	// Reverse direction: a documented csm_fleet_* name must exist.
+	fam := regexp.MustCompile(`csm_fleet_[a-z_]+`)
+	for _, m := range fam.FindAllString(string(cluster)+string(ops), -1) {
+		if !live[m] {
+			t.Errorf("docs mention %s, which is not an emitted family", m)
+		}
+	}
+
+	// The operational contract of a drain must be spelled out.
+	for _, term := range []string{"node_draining", "not_owner", "SIGTERM", "X-CSM-Forwarded", "X-CSM-Ring-Version", "X-CSM-Owner"} {
+		if !strings.Contains(string(cluster), term) {
+			t.Errorf("docs/cluster.md does not mention %s", term)
 		}
 	}
 }

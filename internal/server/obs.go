@@ -23,7 +23,12 @@ func (s *Server) traced(route string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx, tr := s.tracer.Start(r.Context(), route)
 		sw := serving.Wrap(w)
-		sw.Header().Set("X-Trace", tr.ID())
+		if tr != nil {
+			// Sampled out (-trace-sample below 1): no trace, no X-Trace
+			// header; the ladder's StartSpan calls all no-op on the
+			// untraced context, and the wide event below still fires.
+			sw.Header().Set("X-Trace", tr.ID())
+		}
 		next.ServeHTTP(sw, r.WithContext(ctx))
 		s.tracer.Finish(tr)
 		s.logWideEvent(route, r, sw, tr)
@@ -37,11 +42,28 @@ func (s *Server) logWideEvent(route string, r *http.Request, sw *serving.StatusW
 	if s.events == nil {
 		return
 	}
-	rec := tr.Record()
 	status := sw.Status
 	if !sw.Wrote() {
 		status = http.StatusOK
 	}
+	if tr == nil {
+		// Sampled-out request: no spans or stage timings, but the access
+		// log stays complete — every request still emits one line.
+		fields := map[string]interface{}{
+			"route":   route,
+			"method":  r.Method,
+			"path":    r.URL.Path,
+			"status":  status,
+			"bytes":   sw.Bytes,
+			"sampled": false,
+		}
+		if r.URL.RawQuery != "" {
+			fields["query"] = r.URL.RawQuery
+		}
+		s.events.Event("request", fields)
+		return
+	}
+	rec := tr.Record()
 	spans := make([]map[string]interface{}, 0, len(rec.Spans))
 	var eventDataset string
 	for _, sp := range rec.Spans {

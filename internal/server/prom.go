@@ -276,10 +276,18 @@ func (s *Server) promFamilies() []obs.Family {
 	ts := s.tracer.Stats()
 	fams = append(fams, stageFam,
 		counterFam("csm_traces_total", "Traces finished.", ts.Finished),
+		counterFam("csm_traces_sampled_out_total", "Requests that ran untraced under -trace-sample.", ts.SampledOut),
+		gaugeFam("csm_trace_sample_rate", "Probability a request is traced (-trace-sample).", ts.SampleRate),
 		gaugeFam("csm_trace_ring_size", "Finished traces retained for /debug/trace.", float64(ts.RingSize)),
 		gaugeFam("csm_trace_ring_capacity", "Trace ring-buffer capacity.", float64(ts.Capacity)),
 		counterFam("csm_log_dropped_total", "Wide-event log lines lost to encode/write failures.", s.events.Drops()),
 	)
+
+	// Fleet: only in multi-replica mode, so single-process deployments
+	// keep the legacy exposition.
+	if s.fleet != nil {
+		fams = append(fams, s.promFleetFamilies()...)
+	}
 	return fams
 }
 

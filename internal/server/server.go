@@ -58,6 +58,7 @@ import (
 	"csmaterials/internal/dataset"
 	"csmaterials/internal/engine"
 	"csmaterials/internal/engine/analyses"
+	"csmaterials/internal/fleet"
 	"csmaterials/internal/materials"
 	"csmaterials/internal/obs"
 	"csmaterials/internal/resilience"
@@ -133,6 +134,13 @@ type Options struct {
 	// for that long (the reaper goroutine must be started with
 	// StartIdleReaper). Zero disables idle reclamation.
 	IdleTTL time.Duration
+	// Fleet, when non-nil, joins this replica to a multi-replica fleet:
+	// analysis requests route to their key's owner on the consistent-hash
+	// ring, batches fan out by owner, ingest invalidations broadcast,
+	// and the csm_fleet_* families are exposed. Nil keeps the
+	// single-process behavior byte-for-byte. cmd/serve builds one from
+	// -node-id and -peers.
+	Fleet *fleet.Fleet
 
 	// disableWarmup skips the background readiness warmup so tests can
 	// drive the /readyz transition deterministically; PUT ingests then
@@ -158,6 +166,7 @@ type Server struct {
 	limiter  *resilience.TenantLimiter
 	breakers *resilience.BreakerSet // nil when circuit breaking is disabled
 	faults   *faultinject.Injector  // nil when no chaos is injected
+	fleet    *fleet.Fleet           // nil in single-process mode
 
 	// keysMu guards keys so ReloadAPIKeys (SIGHUP, POST
 	// /api/v1/keys/reload) can swap the keyring under live traffic.
@@ -235,6 +244,7 @@ func NewWithOptions(o Options) (*Server, error) {
 		noWarmup:     o.disableWarmup,
 		limiter:      resilience.NewTenantLimiter(maxInFlight, 0),
 		faults:       o.Faults,
+		fleet:        o.Fleet,
 		tracer:       o.Tracer,
 		events:       o.Events,
 		searchers:    map[string]searcherEntry{},
@@ -374,6 +384,8 @@ func (s *Server) routes() {
 		}
 	}
 	s.handleAPI("POST /api/v1/batch", http.HandlerFunc(s.handleBatch))
+	s.handleAPI("GET /api/v1/fleet", http.HandlerFunc(s.handleFleet))
+	s.handleAPI("POST /api/v1/fleet/invalidate", http.HandlerFunc(s.handleFleetInvalidate))
 	s.handleAPI("GET /api/v1/datasets", http.HandlerFunc(s.handleDatasetList))
 	s.handleAPI("GET /api/v1/datasets/{ds}", http.HandlerFunc(s.handleDatasetGet))
 	s.handleAPI("PUT /api/v1/datasets/{ds}", http.HandlerFunc(s.handleDatasetPut))
@@ -617,8 +629,13 @@ func (s *Server) runAnalysis(w http.ResponseWriter, r *http.Request, name string
 }
 
 // handleAnalysis is the shared GET handler behind every analysis route,
-// un-scoped and dataset-scoped alike.
+// un-scoped and dataset-scoped alike. In fleet mode the request first
+// routes to its key's owner (see fleet.go); a false return means this
+// replica should serve it on the local ladder after all.
 func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request, name string, values url.Values) {
+	if s.fleet != nil && s.fleetAnalysis(w, r, name, values) {
+		return
+	}
 	v, meta, ok := s.runAnalysis(w, r, name, values)
 	if !ok {
 		return
@@ -654,6 +671,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if it.Dataset != "" {
 			s.touchDataset(it.Dataset)
 		}
+	}
+	if s.fleet != nil && r.Header.Get(fleet.ForwardedHeader) == "" {
+		// Distributed mode: partition by owner, fan out, reassemble.
+		// Forwarded sub-batches skip this arm (loop guard) and run on
+		// the local ladder below.
+		s.fleetBatch(w, r, req.Items)
+		return
+	}
+	if s.fleet != nil && s.fleet.Draining() {
+		s.fleet.CountDrainRefused()
+		writeError(w, http.StatusServiceUnavailable, "node_draining",
+			"node %s is draining; compute locally or retry another replica", s.fleet.Self())
+		return
 	}
 	results := s.exec.RunBatch(r.Context(), req.Items)
 	if r.Context().Err() != nil {
@@ -817,6 +847,12 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 			resp.Status = "unready"
 			resp.Reason = readyErr.Error()
 		}
+	}
+	if s.fleet != nil && s.fleet.Draining() {
+		// Draining replicas keep serving in-flight and direct traffic
+		// but must drop out of load-balancer rotation.
+		status = http.StatusServiceUnavailable
+		resp.Status = "draining"
 	}
 	writeData(w, status, resp, nil)
 }

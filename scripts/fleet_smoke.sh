@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — end-to-end fleet smoke test against REAL processes.
+#
+# The in-process e2e suite (internal/server/fleet_e2e_test.go) proves the
+# routing semantics; this script proves the deployment story: three
+# `cmd/serve` replicas started exactly as docs/cluster.md says, on real
+# loopback ports, with flags instead of test hooks. It asserts the one
+# observable claim that needs real processes — a key computed through one
+# replica is a warm cache hit through another, with the forward visible
+# in csm_fleet_forwards_total.
+#
+# Exit 0 on success; non-zero with a diagnostic otherwise. Used by
+# `make fleet-smoke` and the CI "Fleet smoke" step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT_A=18081
+PORT_B=18082
+PORT_C=18083
+PEERS="a=127.0.0.1:${PORT_A},b=127.0.0.1:${PORT_B},c=127.0.0.1:${PORT_C}"
+# The warmup only pre-computes agreement group=all threshold=2, so this
+# key is cold fleet-wide when the replicas come up.
+QUERY="/api/v1/agreement?group=ds&threshold=3"
+
+WORKDIR="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    kill "${PIDS[@]}" >/dev/null 2>&1 || true
+    wait >/dev/null 2>&1 || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "fleet smoke FAIL: $*" >&2
+    for id in a b c; do
+        log="$WORKDIR/serve-$id.log"
+        if [ -s "$log" ]; then
+            echo "--- last lines of replica $id ---" >&2
+            tail -n 5 "$log" >&2
+        fi
+    done
+    exit 1
+}
+
+echo "building cmd/serve..."
+go build -o "$WORKDIR/serve" ./cmd/serve
+
+for id in a b c; do
+    port_var="PORT_$(echo "$id" | tr '[:lower:]' '[:upper:]')"
+    "$WORKDIR/serve" -addr "127.0.0.1:${!port_var}" -node-id "$id" -peers "$PEERS" \
+        >"$WORKDIR/serve-$id.log" 2>&1 &
+    PIDS+=($!)
+done
+
+# Wait for every replica to warm up and pass readiness.
+for port in "$PORT_A" "$PORT_B" "$PORT_C"; do
+    ready=0
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://127.0.0.1:${port}/readyz" >/dev/null 2>&1; then
+            ready=1
+            break
+        fi
+        sleep 0.2
+    done
+    [ "$ready" = 1 ] || fail "replica on port $port never became ready"
+done
+
+# Cold through replica a: whoever owns the key computes it once.
+first="$(curl -fsS "http://127.0.0.1:${PORT_A}${QUERY}")" || fail "first request through a failed"
+echo "$first" | grep -q '"cache": "miss"' || fail "first request was not a cold miss: $first"
+
+# Same key through replica b: routed to the same owner, served from the
+# cache entry the first request created — the cross-replica warm hit.
+second="$(curl -fsS "http://127.0.0.1:${PORT_B}${QUERY}")" || fail "second request through b failed"
+echo "$second" | grep -q '"cache": "hit"' || fail "cross-replica request was not a warm hit: $second"
+
+# Both replicas must be relaying the same owner's bytes.
+owner_a="$(curl -fsSi "http://127.0.0.1:${PORT_A}${QUERY}" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-csm-owner"{print $2}')"
+owner_b="$(curl -fsSi "http://127.0.0.1:${PORT_B}${QUERY}" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-csm-owner"{print $2}')"
+[ -n "$owner_a" ] || fail "replica a response carries no X-CSM-Owner header"
+[ "$owner_a" = "$owner_b" ] || fail "replicas disagree on the owner: a says '$owner_a', b says '$owner_b'"
+
+# At least one of a/b is a non-owner for this key (3 nodes, 1 owner), so
+# some replica must have counted a forward to it.
+forwards=0
+for port in "$PORT_A" "$PORT_B" "$PORT_C"; do
+    if curl -fsS "http://127.0.0.1:${port}/metrics" \
+        | grep -E "^csm_fleet_forwards_total\{peer=\"${owner_a}\"\} [1-9]" >/dev/null; then
+        forwards=1
+    fi
+done
+[ "$forwards" = 1 ] || fail "no replica recorded csm_fleet_forwards_total toward owner '$owner_a'"
+
+echo "fleet smoke OK: owner=$owner_a, cold miss via a, warm hit via b, forwards recorded"
